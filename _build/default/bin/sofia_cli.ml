@@ -1,0 +1,314 @@
+(* sofia_cli: assemble, inspect, protect and run SLEON-32 programs.
+
+     sofia_cli assemble prog.s          print the resolved listing
+     sofia_cli cfg prog.s               emit the instruction-level CFG (dot)
+     sofia_cli protect prog.s [-o IMG]  transform, report stats, save the image
+     sofia_cli verify prog.s            protect + independently verify the image
+     sofia_cli run prog.s               run on the vanilla model
+     sofia_cli run --sofia prog.s       protect, then run on the SOFIA model
+     sofia_cli run-image img.sfi        run a saved protected image
+     sofia_cli table1                   print the hardware model's Table I *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let assemble_file path =
+  try Ok (Sofia.Asm.Assembler.assemble (read_file path)) with
+  | Sofia.Asm.Assembler.Error { line; message } ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Sys_error m -> Error m
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("error: " ^ m);
+    exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source file.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "key-seed" ] ~docv:"N" ~doc:"Device key seed.")
+
+let nonce_arg =
+  Arg.(value & opt int 1 & info [ "nonce" ] ~docv:"N" ~doc:"Program version nonce (8-bit).")
+
+(* ---- assemble ---- *)
+
+let assemble_cmd =
+  let run path =
+    let p = or_die (assemble_file path) in
+    Format.printf "%a" Sofia.Asm.Program.pp_listing p;
+    Format.printf "; %d instructions, %d bytes of text, %d bytes of data@."
+      (Array.length p.Sofia.Asm.Program.text)
+      (Sofia.Asm.Program.text_size_bytes p)
+      (Bytes.length p.Sofia.Asm.Program.data)
+  in
+  Cmd.v (Cmd.info "assemble" ~doc:"Assemble and print the resolved listing")
+    Term.(const run $ file_arg)
+
+(* ---- cfg ---- *)
+
+let cfg_cmd =
+  let run path =
+    let p = or_die (assemble_file path) in
+    match Sofia.Cfg.Cfg.build p with
+    | Ok cfg -> print_string (Sofia.Cfg.Cfg.to_dot cfg)
+    | Error es ->
+      List.iter (fun e -> Format.eprintf "error: %a@." Sofia.Cfg.Cfg.pp_error e) es;
+      exit 1
+  in
+  Cmd.v (Cmd.info "cfg" ~doc:"Emit the instruction-level CFG as graphviz dot")
+    Term.(const run $ file_arg)
+
+(* ---- protect ---- *)
+
+let protect_cmd =
+  let run path key_seed nonce verbose output =
+    let program = or_die (assemble_file path) in
+    let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+    match Sofia.Transform.Transform.protect ~keys ~nonce program with
+    | Error e ->
+      Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
+      exit 1
+    | Ok image ->
+      let st = image.Sofia.Transform.Image.stats in
+      Format.printf
+        "text: %d -> %d bytes (x%.2f)@.blocks: %d exec, %d mux (%d bridges, %d shims, %d \
+         trampolines, %d funnels)@.pad slots: %d; dropped unreachable: %d@.entry: 0x%08x  \
+         nonce: 0x%02x  keys: %s@."
+        st.Sofia.Transform.Layout.original_text_bytes
+        st.Sofia.Transform.Layout.transformed_text_bytes
+        (Sofia.Transform.Transform.expansion_ratio image)
+        st.Sofia.Transform.Layout.exec_blocks st.Sofia.Transform.Layout.mux_blocks
+        st.Sofia.Transform.Layout.bridge_blocks st.Sofia.Transform.Layout.shim_blocks
+        st.Sofia.Transform.Layout.trampoline_blocks st.Sofia.Transform.Layout.funnel_blocks
+        st.Sofia.Transform.Layout.pad_slots st.Sofia.Transform.Layout.unreachable_dropped
+        image.Sofia.Transform.Image.entry image.Sofia.Transform.Image.nonce
+        (Sofia.Crypto.Keys.fingerprint keys);
+      if verbose then
+        Array.iter
+          (fun (b : Sofia.Transform.Image.block) ->
+            Format.printf "@.block at 0x%08x (%a):@." b.Sofia.Transform.Image.base
+              Sofia.Transform.Block.pp_kind b.Sofia.Transform.Image.kind;
+            Array.iteri
+              (fun i w ->
+                Format.printf "  %08x: %08x -> %08x@."
+                  (b.Sofia.Transform.Image.base + (4 * i))
+                  b.Sofia.Transform.Image.plain_words.(i) w)
+              b.Sofia.Transform.Image.cipher_words)
+          image.Sofia.Transform.Image.blocks;
+      match output with
+      | Some path ->
+        Sofia.Transform.Binary_format.save image ~path;
+        Format.printf "image written to %s@." path
+      | None -> ()
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump every block.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the protected image to a .sfi container.")
+  in
+  Cmd.v (Cmd.info "protect" ~doc:"Apply the SOFIA transformation and report statistics")
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ verbose $ output)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run path key_seed nonce =
+    let program = or_die (assemble_file path) in
+    let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+    match Sofia.Transform.Transform.protect ~keys ~nonce program with
+    | Error e ->
+      Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
+      exit 1
+    | Ok image ->
+      (match Sofia.Transform.Verify.check_against_source ~keys program image with
+       | [] -> Format.printf "image verifies: structure, MACs, keystreams, source coverage@."
+       | issues ->
+         List.iter (fun i -> Format.eprintf "issue: %a@." Sofia.Transform.Verify.pp_issue i) issues;
+         exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Protect a program and independently verify the resulting image")
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg)
+
+(* ---- run-image ---- *)
+
+let run_image_cmd =
+  let run path key_seed =
+    let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+    match Sofia.Transform.Binary_format.load ~path with
+    | Error e ->
+      Format.eprintf "error: %a@." Sofia.Transform.Binary_format.pp_error e;
+      exit 1
+    | Ok loaded ->
+      let image = Sofia.Transform.Binary_format.image_of_loaded loaded in
+      let result = Sofia.Cpu.Sofia_runner.run ~keys image in
+      let open Sofia.Cpu.Machine in
+      Format.printf "outcome: %a@." pp_outcome result.outcome;
+      List.iter (fun v -> Format.printf "output: %d (0x%x)@." v v) result.outputs;
+      if result.output_text <> "" then Format.printf "text output: %s@." result.output_text;
+      Format.printf "cycles: %d  instructions: %d@." result.stats.cycles
+        result.stats.instructions;
+      (match result.outcome with
+       | Halted 0 -> ()
+       | Halted c -> exit (min c 127)
+       | Cpu_reset _ | Out_of_fuel -> exit 125)
+  in
+  let image_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"Protected .sfi image.")
+  in
+  Cmd.v (Cmd.info "run-image" ~doc:"Run a saved protected image on the SOFIA core")
+    Term.(const run $ image_file $ seed_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run path sofia key_seed nonce trace =
+    let program = or_die (assemble_file path) in
+    let traced = ref 0 in
+    let on_retire =
+      if trace = 0 then None
+      else
+        Some
+          (fun ~pc ~insn ->
+            if !traced < trace then begin
+              incr traced;
+              Format.printf "  %08x: %a@." pc Sofia.Isa.Insn.pp insn
+            end)
+    in
+    let result =
+      if sofia then begin
+        let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+        let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce program in
+        Sofia.Cpu.Sofia_runner.run ?on_retire ~keys image
+      end
+      else Sofia.Cpu.Vanilla.run ?on_retire program
+    in
+    let open Sofia.Cpu.Machine in
+    Format.printf "outcome: %a@." pp_outcome result.outcome;
+    List.iter (fun v -> Format.printf "output: %d (0x%x)@." v v) result.outputs;
+    if result.output_text <> "" then Format.printf "text output: %s@." result.output_text;
+    Format.printf "cycles: %d  instructions: %d  cpi: %.2f@." result.stats.cycles
+      result.stats.instructions (cpi result);
+    if sofia then
+      Format.printf "blocks entered: %d  MAC words: %d@." result.stats.blocks_entered
+        result.stats.mac_words_fetched;
+    match result.outcome with Halted 0 -> () | Halted c -> exit (min c 127) | _ -> exit 125
+  in
+  let sofia = Arg.(value & flag & info [ "sofia" ] ~doc:"Protect and run on the SOFIA core.") in
+  let trace =
+    Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N"
+           ~doc:"Print the first N retired instructions.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a program on the vanilla or SOFIA processor model")
+    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run path run_it sofia key_seed nonce =
+    let src =
+      try read_file path
+      with Sys_error m ->
+        prerr_endline ("error: " ^ m);
+        exit 1
+    in
+    match Sofia.Minic.Compile.to_assembly src with
+    | Error e ->
+      Format.eprintf "%s: %a@." path Sofia.Minic.Compile.pp_error e;
+      exit 1
+    | Ok asm ->
+      if not run_it then print_string asm
+      else begin
+        let program = Sofia.Asm.Assembler.assemble asm in
+        let result =
+          if sofia then begin
+            let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+            let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce program in
+            Sofia.Cpu.Sofia_runner.run ~keys image
+          end
+          else Sofia.Cpu.Vanilla.run program
+        in
+        let open Sofia.Cpu.Machine in
+        Format.printf "outcome: %a@." pp_outcome result.outcome;
+        List.iter (fun v -> Format.printf "output: %d (0x%x)@." v v) result.outputs
+      end
+  in
+  let run_it = Arg.(value & flag & info [ "run" ] ~doc:"Run instead of printing assembly.") in
+  let sofia = Arg.(value & flag & info [ "sofia" ] ~doc:"With --run: protect and run on the SOFIA core.") in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a MiniC source file to SLEON-32 assembly")
+    Term.(const run $ file_arg $ run_it $ sofia $ seed_arg $ nonce_arg)
+
+(* ---- gadgets ---- *)
+
+let gadgets_cmd =
+  let run path key_seed nonce =
+    let program = or_die (assemble_file path) in
+    let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+    match Sofia.Transform.Transform.protect ~keys ~nonce program with
+    | Error e ->
+      Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
+      exit 1
+    | Ok image ->
+      let module G = Sofia.Attack.Gadget in
+      let r = G.analyze ~keys ~program ~image () in
+      Format.printf "gadget suffixes (<=5 insns ending in an indirect transfer): %d@." r.G.total;
+      Format.printf "usable on the vanilla core      : %d@." r.G.vanilla_usable;
+      Format.printf "usable under shadow-stack CFI   : %d@." r.G.shadow_usable;
+      Format.printf "usable under SOFIA              : %d@." r.G.sofia_usable
+  in
+  Cmd.v (Cmd.info "gadgets" ~doc:"Analyze the code-reuse gadget surface of a program")
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg)
+
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let run path key_seed nonce trials =
+    let program = or_die (assemble_file path) in
+    let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+    match Sofia.Transform.Transform.protect ~keys ~nonce program with
+    | Error e ->
+      Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
+      exit 1
+    | Ok image ->
+      let module F = Sofia.Attack.Fault in
+      let c = F.random_campaign ~keys ~image ~trials ~seed:0xFA17L () in
+      Format.printf "%d transient fetch-path faults: %d detected, %d masked, %d corrupted, %d hung@."
+        c.F.trials c.F.detected c.F.masked c.F.corrupted c.F.hung;
+      if c.F.corrupted > 0 then exit 1
+  in
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Number of injected faults.")
+  in
+  Cmd.v (Cmd.info "faults" ~doc:"Run a transient fault-injection campaign against a program")
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ trials)
+
+(* ---- table1 ---- *)
+
+let table1_cmd =
+  let run () =
+    let module H = Sofia.Hwmodel.Hwmodel in
+    let v = H.synthesize_vanilla () and s = H.synthesize_sofia () in
+    Format.printf "Design    Slices   Clock Speed@.";
+    Format.printf "Vanilla   %5d    %.1f MHz@." v.H.slices v.H.fmax_mhz;
+    Format.printf "SOFIA     %5d    %.1f MHz@." s.H.slices s.H.fmax_mhz;
+    Format.printf "(paper:   5889/92.3 and 7551/50.1)@."
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the hardware model's reproduction of Table I")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "SOFIA software & control-flow integrity toolchain" in
+    exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sofia_cli" ~doc)
+          [ assemble_cmd; cfg_cmd; compile_cmd; protect_cmd; verify_cmd; run_cmd; run_image_cmd;
+            gadgets_cmd; faults_cmd; table1_cmd ]))

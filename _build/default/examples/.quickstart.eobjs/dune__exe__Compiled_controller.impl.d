@@ -1,0 +1,1 @@
+examples/compiled_controller.ml: Format List Option Sofia String

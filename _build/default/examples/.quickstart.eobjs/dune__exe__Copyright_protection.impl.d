@@ -1,0 +1,1 @@
+examples/copyright_protection.ml: Array Format List Sofia String

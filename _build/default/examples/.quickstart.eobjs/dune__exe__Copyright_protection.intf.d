@@ -1,0 +1,1 @@
+examples/copyright_protection.mli:

@@ -1,0 +1,1 @@
+examples/overhead_explorer.ml: Format List Sofia

@@ -1,0 +1,1 @@
+examples/overhead_explorer.mli:

@@ -1,0 +1,67 @@
+(* Attack demo: the paper's motivating scenario — a vulnerable
+   safety-critical controller attacked with code reuse (ROP and JOP)
+   and with direct code tampering, on both processor models.
+
+     dune exec examples/attack_demo.exe *)
+
+module Scenario = Sofia.Attack.Scenario
+module Tamper = Sofia.Attack.Tamper
+module Diversion = Sofia.Attack.Diversion
+module Machine = Sofia.Cpu.Machine
+
+let keys = Sofia.Crypto.Keys.generate ~seed:0xA77AC1L
+
+let describe (r : Machine.run_result) =
+  Format.asprintf "%a, outputs = [%s]" Machine.pp_outcome r.Machine.outcome
+    (String.concat "; " (List.map (Printf.sprintf "0x%x") r.Machine.outputs))
+
+let show_scenario t =
+  Format.printf "@.--- %s ---@." t.Scenario.name;
+  Format.printf "benign input :  vanilla: %s@." (describe t.Scenario.clean.Scenario.vanilla);
+  Format.printf "                shadow:  %s@." (describe t.Scenario.clean.Scenario.shadow);
+  Format.printf "                SOFIA:   %s@." (describe t.Scenario.clean.Scenario.sofia);
+  Format.printf "attack input :  vanilla: %s%s@."
+    (describe t.Scenario.attacked.Scenario.vanilla)
+    (if Scenario.vanilla_compromised t then "   << COMPROMISED (0xdead = brakes disabled)" else "");
+  Format.printf "                shadow:  %s%s@."
+    (describe t.Scenario.attacked.Scenario.shadow)
+    (if Scenario.shadow_compromised t then "   << baseline CFI bypassed"
+     else if Scenario.shadow_prevented t then "   << caught by the shadow stack" else "");
+  Format.printf "                SOFIA:   %s%s@."
+    (describe t.Scenario.attacked.Scenario.sofia)
+    (if Scenario.sofia_prevented t then "   << attack stopped before any store" else "")
+
+let () =
+  Format.printf "=== SOFIA attack demo ===@.";
+  Format.printf
+    "A controller copies a network packet without a bounds check. The@.\
+     attacker knows every address of the protected image but not the@.\
+     device keys (paper's threat model).@.";
+
+  show_scenario (Scenario.rop ~keys ());
+  show_scenario (Scenario.jop ~keys ());
+
+  (* direct code tampering campaign *)
+  let program = Sofia.Asm.Assembler.assemble Scenario.rop_source in
+  let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce:0x21 program in
+  let sofia, vanilla =
+    Tamper.random_word_campaign ~keys ~program ~image ~trials:100 ~seed:1L ()
+  in
+  Format.printf "@.--- random code-injection campaign (100 single-word overwrites) ---@.";
+  Format.printf
+    "SOFIA : %d/%d detected at fetch; %d landed in code this input never runs; 0 executed@."
+    sofia.Tamper.detected sofia.Tamper.trials sofia.Tamper.executed_same_output;
+  Format.printf
+    "vanilla: %d/%d executed tampered code then crashed; %d visibly misbehaved; %d were lucky@."
+    vanilla.Tamper.detected vanilla.Tamper.trials
+    vanilla.Tamper.executed_with_changed_output vanilla.Tamper.executed_same_output;
+
+  (* control-flow diversion: SOFIA vs coarse-grained CFI *)
+  let c = Diversion.random_campaign ~keys ~program ~image ~trials:300 ~seed:2L in
+  Format.printf "@.--- random control-flow diversions (%d off-CFG edges) ---@." c.Diversion.trials;
+  Format.printf "vanilla accepts     : %d@." c.Diversion.vanilla_accepted;
+  Format.printf "coarse-grained CFI  : %d  (label-based policy: any block leader)@."
+    c.Diversion.coarse_accepted;
+  Format.printf "SOFIA accepts       : %d  (instruction-level edges only)@."
+    c.Diversion.sofia_accepted;
+  Format.printf "@.done.@."

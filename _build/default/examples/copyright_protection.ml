@@ -1,0 +1,89 @@
+(* Copyright / confidentiality demo (paper §I: "even if an attacker
+   obtains the code running on a device, he should not be able to
+   understand it").
+
+   The stored binary is ciphertext keyed to the device: disassembling
+   it yields noise, two devices' images of the same program share no
+   words, and an image copied onto a device with different keys refuses
+   to run.
+
+     dune exec examples/copyright_protection.exe *)
+
+module Image = Sofia.Transform.Image
+module Disasm = Sofia.Asm.Disasm
+
+let source =
+  {|
+.equ OUT, 0xFFFF0000
+start:
+  li   a0, 123
+  li   a1, 456
+  mul  a2, a0, a1
+  li   t0, OUT
+  st   a2, 0(t0)
+  halt
+|}
+
+let () =
+  Format.printf "=== SOFIA copyright protection demo ===@.@.";
+  let device_a = Sofia.Protect.protect_source_exn ~key_seed:1001L ~nonce:1 source in
+  let device_b = Sofia.Protect.protect_source_exn ~key_seed:2002L ~nonce:1 source in
+  let image_a = device_a.Sofia.Protect.image in
+  let image_b = device_b.Sofia.Protect.image in
+
+  (* 1. what a reverse engineer reading the flash sees *)
+  Format.printf "plaintext program:@.";
+  Array.iteri
+    (fun i insn -> Format.printf "  %2d: %a@." i Sofia.Isa.Insn.pp insn)
+    device_a.Sofia.Protect.program.Sofia.Asm.Program.text;
+  Format.printf "@.stored image on device A (disassembled as-is):@.";
+  let entries =
+    Disasm.disassemble ~base:image_a.Image.text_base (Array.sub image_a.Image.cipher 0 8)
+  in
+  List.iter (fun e -> Format.printf "  %a@." Disasm.pp_entry e) entries;
+  let garbage =
+    List.length (List.filter (fun (e : Disasm.entry) -> e.Disasm.insn = None) entries)
+  in
+  Format.printf "  (%d of 8 words are not even valid encodings)@." garbage;
+
+  (* 2. the same program on two devices shares nothing *)
+  let common = ref 0 in
+  Array.iteri
+    (fun i w -> if w = image_b.Image.cipher.(i) then incr common)
+    image_a.Image.cipher;
+  Format.printf "@.identical words between device A and device B images: %d / %d@." !common
+    (Array.length image_a.Image.cipher);
+
+  (* 3. both run correctly on their own device *)
+  let ra = Sofia.Run.sofia device_a and rb = Sofia.Run.sofia device_b in
+  Format.printf "@.device A runs its image: %a, outputs [%s]@." Sofia.Cpu.Machine.pp_outcome
+    ra.Sofia.Cpu.Machine.outcome
+    (String.concat ";" (List.map string_of_int ra.Sofia.Cpu.Machine.outputs));
+  Format.printf "device B runs its image: %a, outputs [%s]@." Sofia.Cpu.Machine.pp_outcome
+    rb.Sofia.Cpu.Machine.outcome
+    (String.concat ";" (List.map string_of_int rb.Sofia.Cpu.Machine.outputs));
+
+  (* 4. piracy attempt: device B boots device A's image *)
+  let pirated = Sofia.Cpu.Sofia_runner.run ~keys:device_b.Sofia.Protect.keys image_a in
+  Format.printf "@.device B boots device A's image: %a@." Sofia.Cpu.Machine.pp_outcome
+    pirated.Sofia.Cpu.Machine.outcome;
+
+  (* 5. version replay: an old version's nonce is not accepted *)
+  let old_version = Image.with_nonce_relabelled image_a ~nonce:2 in
+  let replay = Sofia.Cpu.Sofia_runner.run ~keys:device_a.Sofia.Protect.keys old_version in
+  Format.printf "replaying under a different version nonce: %a@." Sofia.Cpu.Machine.pp_outcome
+    replay.Sofia.Cpu.Machine.outcome;
+
+  (* 6. provider-side view: a verified release for a whole fleet *)
+  let fleet = Sofia.Provision.mint_fleet ~seed:0xF1EE7L ~count:8 in
+  (match
+     Sofia.Provision.release ~devices:fleet ~version:1 (Sofia.Asm.Assembler.assemble source)
+   with
+   | Error m -> Format.printf "release failed: %s@." m
+   | Ok rel ->
+     Format.printf
+       "@.fleet release v%d: %d device images built and verified; ciphertext diversity %.1f%%@."
+       rel.Sofia.Provision.version
+       (List.length rel.Sofia.Provision.images)
+       (100.0 *. Sofia.Provision.ciphertext_diversity rel));
+  Format.printf "@.done.@."

@@ -1,0 +1,35 @@
+(* Overhead explorer: the paper-§IV-B measurement across the whole
+   workload suite, plus the hardware model's Table I and the cipher
+   unrolling trade-off.
+
+     dune exec examples/overhead_explorer.exe *)
+
+module H = Sofia.Hwmodel.Hwmodel
+
+let () =
+  Format.printf "=== SOFIA overhead explorer ===@.@.";
+
+  Format.printf "Table I (model vs paper):@.";
+  let v = H.synthesize_vanilla () and s = H.synthesize_sofia () in
+  Format.printf "  vanilla : %5d slices  %5.1f MHz   (paper: 5889 / 92.3)@." v.H.slices
+    v.H.fmax_mhz;
+  Format.printf "  SOFIA   : %5d slices  %5.1f MHz   (paper: 7551 / 50.1)@." s.H.slices
+    s.H.fmax_mhz;
+  Format.printf "  area +%.1f%% (paper +28.2%%), clock ratio %.2fx (paper 1.84x)@.@."
+    (H.area_overhead_pct ()) (H.clock_ratio ());
+
+  Format.printf "software overhead per workload (vanilla vs SOFIA):@.";
+  List.iter
+    (fun w ->
+      let o = Sofia.Report.overhead_of_workload w in
+      Format.printf "  %a@." Sofia.Report.pp_overhead o)
+    (Sofia.Workloads.Registry.benchmark_suite ());
+
+  Format.printf "@.cipher unrolling trade-off (area vs clock vs cycles/op):@.";
+  List.iter
+    (fun (u, syn, cycles) ->
+      Format.printf "  unroll %2d : %5d slices  %5.1f MHz  %2d cycles/op%s@." u syn.H.slices
+        syn.H.fmax_mhz cycles
+        (if u = 13 then "   <- paper's prototype" else ""))
+    (H.sweep_unroll [ 1; 2; 4; 8; 13; 26 ]);
+  Format.printf "@.done.@."

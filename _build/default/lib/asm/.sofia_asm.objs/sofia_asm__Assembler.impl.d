@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Array Buffer Bytes Char Hashtbl List Printf Program Sofia_isa Sofia_util String

@@ -1,0 +1,1 @@
+lib/asm/assembler.mli: Program Sofia_isa

@@ -1,0 +1,1 @@
+lib/asm/disasm.ml: Array Format List Sofia_isa

@@ -1,0 +1,1 @@
+lib/asm/program.ml: Array Bytes Format List Sofia_isa

@@ -1,0 +1,1 @@
+lib/asm/program.mli: Bytes Format Sofia_isa

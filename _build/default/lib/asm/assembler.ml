@@ -1,0 +1,521 @@
+module Insn = Sofia_isa.Insn
+module Reg = Sofia_isa.Reg
+module Encoding = Sofia_isa.Encoding
+
+exception Error of { line : int; message : string }
+
+let err line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexing: split a line into label / mnemonic / operand tokens.        *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  let in_string = ref false in
+  let cut = ref (String.length line) in
+  (try
+     String.iteri
+       (fun i c ->
+         if c = '"' then in_string := not !in_string
+         else if (not !in_string) && (c = ';' || c = '#') then begin
+           cut := i;
+           raise Exit
+         end)
+       line
+   with Exit -> ());
+  String.sub line 0 !cut
+
+let trim = String.trim
+
+(* Split operands on commas that are outside quotes and parentheses. *)
+let split_operands s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      end
+      else if c = ',' && not !in_string then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  out := Buffer.contents buf :: !out;
+  List.rev_map trim !out |> List.filter (fun s -> s <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type operand = string
+
+type stmt =
+  | Label of string
+  | Directive of string * operand list
+  | Mnemonic of string * operand list
+
+type line_stmts = { line : int; stmts : stmt list }
+
+let parse_line lineno raw =
+  let s = trim (strip_comment raw) in
+  if s = "" then { line = lineno; stmts = [] }
+  else begin
+    let stmts = ref [] in
+    let rest = ref s in
+    (* Leading labels: [ident:] possibly several. *)
+    let continue = ref true in
+    while !continue do
+      match String.index_opt !rest ':' with
+      | Some i
+        when i > 0
+             && String.for_all
+                  (fun c -> c = '_' || c = '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+                  (String.sub !rest 0 i) ->
+        stmts := Label (String.sub !rest 0 i) :: !stmts;
+        rest := trim (String.sub !rest (i + 1) (String.length !rest - i - 1))
+      | Some _ | None -> continue := false
+    done;
+    let s = !rest in
+    if s <> "" then begin
+      let head, args =
+        match String.index_opt s ' ' with
+        | None -> (
+          match String.index_opt s '\t' with
+          | None -> (s, "")
+          | Some i -> (String.sub s 0 i, String.sub s i (String.length s - i)))
+        | Some i ->
+          (* use whichever whitespace comes first *)
+          let j = match String.index_opt s '\t' with Some j when j < i -> j | _ -> i in
+          (String.sub s 0 j, String.sub s j (String.length s - j))
+      in
+      let head = trim head and args = trim args in
+      if head = "" then ()
+      else if head.[0] = '.' then stmts := Directive (head, split_operands args) :: !stmts
+      else stmts := Mnemonic (String.lowercase_ascii head, split_operands args) :: !stmts
+    end;
+    { line = lineno; stmts = List.rev !stmts }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Operand parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_reg line s =
+  match Reg.of_name s with
+  | Some r -> r
+  | None -> err line "expected register, got %S" s
+
+let parse_int_literal s =
+  let s = trim s in
+  if s = "" then None
+  else if String.length s >= 3 && s.[0] = '\'' && s.[String.length s - 1] = '\'' then
+    if String.length s = 3 then Some (Char.code s.[1])
+    else if s = "'\\n'" then Some 10
+    else if s = "'\\t'" then Some 9
+    else if s = "'\\0'" then Some 0
+    else if s = "'\\''" then Some 39
+    else None
+  else
+    match int_of_string_opt s with
+    | Some v -> Some v
+    | None -> None
+
+(* A value operand: integer literal, or symbol (resolved via [lookup]),
+   optionally with a trailing [+n] / [-n]. *)
+let parse_value line lookup s =
+  match parse_int_literal s with
+  | Some v -> v
+  | None ->
+    let sym, off =
+      (* find a +/- that is not the leading sign *)
+      let idx = ref None in
+      String.iteri (fun i c -> if i > 0 && (c = '+' || c = '-') && !idx = None then idx := Some i) s;
+      match !idx with
+      | Some i ->
+        let off_str = String.sub s i (String.length s - i) in
+        (match int_of_string_opt off_str with
+         | Some off -> (trim (String.sub s 0 i), off)
+         | None -> (s, 0))
+      | None -> (s, 0)
+    in
+    (match lookup sym with
+     | Some v -> v + off
+     | None -> err line "undefined symbol %S" sym)
+
+(* [off(base)] memory operand. *)
+let parse_mem line lookup s =
+  match String.index_opt s '(' with
+  | None -> err line "expected off(base) operand, got %S" s
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then err line "expected off(base) operand, got %S" s;
+    let off_str = trim (String.sub s 0 i) in
+    let base_str = trim (String.sub s (i + 1) (String.length s - i - 2)) in
+    let off = if off_str = "" then 0 else parse_value line lookup off_str in
+    (off, parse_reg line base_str)
+
+(* ------------------------------------------------------------------ *)
+(* Mnemonic tables                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let alu_r_ops : (string * Insn.alu_op) list =
+  [ ("add", Add); ("sub", Sub); ("and", And); ("or", Or); ("xor", Xor); ("sll", Sll);
+    ("srl", Srl); ("sra", Sra); ("mul", Mul); ("div", Div); ("rem", Rem); ("slt", Slt);
+    ("sltu", Sltu) ]
+
+let alu_i_ops : (string * Insn.alu_op) list =
+  [ ("addi", Add); ("andi", And); ("ori", Or); ("xori", Xor); ("slli", Sll); ("srli", Srl);
+    ("srai", Sra); ("slti", Slt); ("sltiu", Sltu) ]
+
+let branch_ops : (string * Insn.cond) list =
+  [ ("beq", Eq); ("bne", Ne); ("blt", Lt); ("bge", Ge); ("bltu", Ltu); ("bgeu", Geu);
+    ("bgt", Gt); ("ble", Le); ("bgtu", Gtu); ("bleu", Leu) ]
+
+(* Number of words a mnemonic expands to; needed by pass 1. [li] with a
+   literal that fits signed-16 is one word, all other [li]/[la] are two
+   words, everything else is one. *)
+let expansion_size mnemonic args =
+  match (mnemonic, args) with
+  | "li", [ _; v ] ->
+    (match parse_int_literal v with
+     | Some x when Encoding.imm16_signed_fits x -> 1
+     | Some _ | None -> 2)
+  | "la", _ -> 2
+  | _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: layout                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type section = Text | Data
+
+let align_up x a = (x + a - 1) / a * a
+
+let data_size_of_directive line d args =
+  match d with
+  | ".word" -> (4, 4 * List.length args)
+  | ".byte" -> (1, List.length args)
+  | ".space" ->
+    (match args with
+     | [ n ] ->
+       (match parse_int_literal n with
+        | Some v when v >= 0 -> (1, v)
+        | Some _ | None -> err line ".space expects a non-negative literal")
+     | _ -> err line ".space expects one operand")
+  | ".ascii" | ".asciz" ->
+    (match args with
+     | [ s ] when String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' ->
+       let body = String.sub s 1 (String.length s - 2) in
+       (1, String.length body + if d = ".asciz" then 1 else 0)
+     | _ -> err line "%s expects a quoted string" d)
+  | _ -> err line "directive %s not allowed here" d
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let assemble ?(text_base = Program.default_text_base) ?(data_base = Program.default_data_base)
+    src =
+  let lines = String.split_on_char '\n' src in
+  let parsed = List.mapi (fun i l -> parse_line (i + 1) l) lines in
+
+  (* -------- pass 1: compute symbol table -------- *)
+  let symbols : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let equs : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let text_words = ref 0 in
+  let data_off = ref 0 in
+  let section = ref Text in
+  List.iter
+    (fun { line; stmts } ->
+      List.iter
+        (fun stmt ->
+          match stmt with
+          | Label name ->
+            if Hashtbl.mem symbols name || Hashtbl.mem equs name then
+              err line "duplicate label %S" name;
+            let addr =
+              match !section with
+              | Text -> text_base + (4 * !text_words)
+              | Data -> data_base + !data_off
+            in
+            Hashtbl.replace symbols name addr
+          | Directive (".text", _) -> section := Text
+          | Directive (".data", _) -> section := Data
+          | Directive (".equ", args) ->
+            (match args with
+             | [ name; v ] ->
+               (match parse_int_literal v with
+                | Some value ->
+                  if Hashtbl.mem symbols name || Hashtbl.mem equs name then
+                    err line "duplicate symbol %S" name;
+                  Hashtbl.replace equs name value
+                | None -> err line ".equ expects a literal value")
+             | _ -> err line ".equ expects: name, value")
+          | Directive (".targets", _) | Directive (".global", _) -> ()
+          | Directive (".align", args) ->
+            (match (args, !section) with
+             | [ n ], Data ->
+               (match parse_int_literal n with
+                | Some a when a > 0 -> data_off := align_up !data_off a
+                | Some _ | None -> err line ".align expects a positive literal")
+             | [ n ], Text ->
+               (match parse_int_literal n with
+                | Some a when a > 0 && a mod 4 = 0 ->
+                  text_words := align_up (4 * !text_words) a / 4
+                | Some _ | None -> err line ".align in .text expects a multiple of 4")
+             | _, _ -> err line ".align expects one operand")
+          | Directive (d, args) ->
+            (match !section with
+             | Data ->
+               let align, size = data_size_of_directive line d args in
+               data_off := align_up !data_off align + size
+             | Text -> err line "directive %s not allowed in .text" d)
+          | Mnemonic (m, args) ->
+            (match !section with
+             | Text -> text_words := !text_words + expansion_size m args
+             | Data -> err line "instruction in .data section"))
+        stmts)
+    parsed;
+
+  let lookup name =
+    match Hashtbl.find_opt symbols name with
+    | Some v -> Some v
+    | None -> Hashtbl.find_opt equs name
+  in
+  let text_end = text_base + (4 * !text_words) in
+  let is_text_symbol name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a >= text_base && a < text_end
+    | None -> false
+  in
+
+  (* -------- pass 2: emit -------- *)
+  let text = ref [] in
+  let ntext = ref 0 in
+  let current_line = ref 0 in
+  (* validate encodability here so range problems carry a source line *)
+  let emit insn =
+    (match Encoding.encode insn with
+     | (_ : int) -> ()
+     | exception Encoding.Encode_error message -> err !current_line "%s" message);
+    text := insn :: !text;
+    incr ntext
+  in
+  let data = Buffer.create 256 in
+  let pad_data_to off = while Buffer.length data < off do Buffer.add_char data '\000' done in
+  let indirect_targets = ref [] in
+  let pending_targets = ref None in
+  let la_relocs = ref [] in
+  let data_word_relocs = ref [] in
+  let section = ref Text in
+
+  (* Must mirror [expansion_size] exactly: a literal that fits
+     signed-16 is one [addi]; anything else (big literal or symbol,
+     whatever its resolved value) is the two-word [lui]+[ori] form. *)
+  let emit_li rd raw v =
+    let one_word =
+      match parse_int_literal raw with
+      | Some x -> Encoding.imm16_signed_fits x
+      | None -> false
+    in
+    let v32 = v land 0xFFFF_FFFF in
+    if one_word then emit (Insn.Alu_i (Add, rd, Reg.zero, v))
+    else begin
+      emit (Insn.Lui (rd, (v32 lsr 16) land 0xFFFF));
+      emit (Insn.Alu_i (Or, rd, rd, v32 land 0xFFFF))
+    end
+  in
+
+  let branch_target line cur_addr s =
+    match parse_int_literal s with
+    | Some woff -> woff
+    | None ->
+      let target = parse_value line lookup s in
+      if (target - cur_addr) mod 4 <> 0 then err line "branch target %S not word-aligned" s;
+      (target - cur_addr) / 4
+  in
+
+  let emit_insn line m args =
+    current_line := line;
+    let cur_addr = text_base + (4 * !ntext) in
+    (match !pending_targets with
+     | Some ts ->
+       indirect_targets := (cur_addr, ts) :: !indirect_targets;
+       pending_targets := None
+     | None -> ());
+    match (m, args) with
+    | "nop", [] -> emit Insn.nop
+    | ("li" | "la"), [ rd; v ] ->
+      let rd = parse_reg line rd in
+      if m = "la" then begin
+        let addr = parse_value line lookup v in
+        if is_text_symbol v then
+          la_relocs :=
+            { Program.hi_index = !ntext; lo_index = !ntext + 1; la_symbol = v } :: !la_relocs;
+        emit (Insn.Lui (rd, (addr lsr 16) land 0xFFFF));
+        emit (Insn.Alu_i (Or, rd, rd, addr land 0xFFFF))
+      end
+      else begin
+        if parse_int_literal v = None && is_text_symbol v then
+          err line "li of code address %S: use la so the SOFIA transformation can relocate it" v;
+        emit_li rd v (parse_value line lookup v)
+      end
+    | "mv", [ rd; rs ] -> emit (Insn.Alu_i (Add, parse_reg line rd, parse_reg line rs, 0))
+    | "neg", [ rd; rs ] -> emit (Insn.Alu_r (Sub, parse_reg line rd, Reg.zero, parse_reg line rs))
+    | "subi", [ rd; rs; imm ] ->
+      emit (Insn.Alu_i (Add, parse_reg line rd, parse_reg line rs, -parse_value line lookup imm))
+    | "lui", [ rd; imm ] -> emit (Insn.Lui (parse_reg line rd, parse_value line lookup imm))
+    | "ld", [ rd; mem ] ->
+      let off, base = parse_mem line lookup mem in
+      emit (Insn.Load (W32, parse_reg line rd, base, off))
+    | "ldb", [ rd; mem ] ->
+      let off, base = parse_mem line lookup mem in
+      emit (Insn.Load (W8, parse_reg line rd, base, off))
+    | "st", [ rs; mem ] ->
+      let off, base = parse_mem line lookup mem in
+      emit (Insn.Store (W32, parse_reg line rs, base, off))
+    | "stb", [ rs; mem ] ->
+      let off, base = parse_mem line lookup mem in
+      emit (Insn.Store (W8, parse_reg line rs, base, off))
+    | "beqz", [ rs; t ] ->
+      emit (Insn.Branch (Eq, parse_reg line rs, Reg.zero, branch_target line cur_addr t))
+    | "bnez", [ rs; t ] ->
+      emit (Insn.Branch (Ne, parse_reg line rs, Reg.zero, branch_target line cur_addr t))
+    | "j", [ t ] -> emit (Insn.Jal (Reg.zero, branch_target line cur_addr t))
+    | "jal", [ t ] -> emit (Insn.Jal (Reg.ra, branch_target line cur_addr t))
+    | "jal", [ rd; t ] -> emit (Insn.Jal (parse_reg line rd, branch_target line cur_addr t))
+    | "call", [ t ] -> emit (Insn.Jal (Reg.ra, branch_target line cur_addr t))
+    | "jalr", [ rs ] -> emit (Insn.Jalr (Reg.ra, parse_reg line rs, 0))
+    | "jalr", [ rd; rs; imm ] ->
+      emit (Insn.Jalr (parse_reg line rd, parse_reg line rs, parse_value line lookup imm))
+    | "ret", [] -> emit (Insn.Jalr (Reg.zero, Reg.ra, 0))
+    | "halt", [] -> emit (Insn.Halt 0)
+    | "halt", [ c ] -> emit (Insn.Halt (parse_value line lookup c))
+    | _, _ ->
+      (match List.assoc_opt m alu_r_ops with
+       | Some op ->
+         (match args with
+          | [ rd; rs1; rs2 ] ->
+            emit (Insn.Alu_r (op, parse_reg line rd, parse_reg line rs1, parse_reg line rs2))
+          | _ -> err line "%s expects rd, rs1, rs2" m)
+       | None ->
+         (match List.assoc_opt m alu_i_ops with
+          | Some op ->
+            (match args with
+             | [ rd; rs1; imm ] ->
+               emit
+                 (Insn.Alu_i (op, parse_reg line rd, parse_reg line rs1, parse_value line lookup imm))
+             | _ -> err line "%s expects rd, rs1, imm" m)
+          | None ->
+            (match List.assoc_opt m branch_ops with
+             | Some c ->
+               (match args with
+                | [ rs1; rs2; t ] ->
+                  emit
+                    (Insn.Branch
+                       (c, parse_reg line rs1, parse_reg line rs2, branch_target line cur_addr t))
+                | _ -> err line "%s expects rs1, rs2, target" m)
+             | None -> err line "unknown mnemonic %S" m)))
+  in
+
+  let emit_data line d args =
+    match d with
+    | ".word" ->
+      pad_data_to (align_up (Buffer.length data) 4);
+      List.iter
+        (fun a ->
+          if is_text_symbol a then
+            data_word_relocs := (Buffer.length data, a) :: !data_word_relocs;
+          let v = parse_value line lookup a land 0xFFFF_FFFF in
+          Buffer.add_bytes data (Sofia_util.Word.bytes_of_word32_le v))
+        args
+    | ".byte" ->
+      List.iter
+        (fun a ->
+          let v = parse_value line lookup a in
+          Buffer.add_char data (Char.chr (v land 0xFF)))
+        args
+    | ".space" ->
+      (match args with
+       | [ n ] ->
+         (match parse_int_literal n with
+          | Some v -> pad_data_to (Buffer.length data + v)
+          | None -> err line ".space expects a literal")
+       | _ -> err line ".space expects one operand")
+    | ".ascii" | ".asciz" ->
+      (match args with
+       | [ s ] ->
+         let body = String.sub s 1 (String.length s - 2) in
+         Buffer.add_string data body;
+         if d = ".asciz" then Buffer.add_char data '\000'
+       | _ -> err line "%s expects a string" d)
+    | _ -> err line "directive %s not allowed here" d
+  in
+
+  List.iter
+    (fun { line; stmts } ->
+      List.iter
+        (fun stmt ->
+          match stmt with
+          | Label _ -> ()
+          | Directive (".text", _) -> section := Text
+          | Directive (".data", _) -> section := Data
+          | Directive (".equ", _) | Directive (".global", _) -> ()
+          | Directive (".targets", args) ->
+            let ts = List.map (fun a -> parse_value line lookup a) args in
+            pending_targets := Some ts
+          | Directive (".align", args) ->
+            (match (args, !section) with
+             | [ n ], Data ->
+               (match parse_int_literal n with
+                | Some a -> pad_data_to (align_up (Buffer.length data) a)
+                | None -> err line ".align expects a literal")
+             | [ n ], Text ->
+               (match parse_int_literal n with
+                | Some a ->
+                  let target = align_up (4 * !ntext) a / 4 in
+                  while !ntext < target do emit Insn.nop done
+                | None -> err line ".align expects a literal")
+             | _, _ -> err line ".align expects one operand")
+          | Directive (d, args) ->
+            (match !section with
+             | Data -> emit_data line d args
+             | Text -> err line "directive %s not allowed in .text" d)
+          | Mnemonic (m, args) ->
+            (match !section with
+             | Text -> emit_insn line m args
+             | Data -> err line "instruction in .data section"))
+        stmts)
+    parsed;
+
+  let text_arr = Array.of_list (List.rev !text) in
+  let entry =
+    match Hashtbl.find_opt symbols "start" with Some a -> a | None -> text_base
+  in
+  {
+    Program.text = text_arr;
+    text_base;
+    data = Buffer.to_bytes data;
+    data_base;
+    entry;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
+    indirect_targets = !indirect_targets;
+    la_relocs = !la_relocs;
+    data_word_relocs = !data_word_relocs;
+  }
+
+let assemble_insns ?(text_base = Program.default_text_base) insns =
+  {
+    Program.text = Array.of_list insns;
+    text_base;
+    data = Bytes.create 0;
+    data_base = Program.default_data_base;
+    entry = text_base;
+    symbols = [];
+    indirect_targets = [];
+    la_relocs = [];
+    data_word_relocs = [];
+  }

@@ -1,0 +1,17 @@
+type entry = { address : int; word : int; insn : Sofia_isa.Insn.t option }
+
+let disassemble ?(base = 0) words =
+  Array.to_list
+    (Array.mapi
+       (fun i word ->
+         { address = base + (4 * i); word; insn = Sofia_isa.Encoding.decode word })
+       words)
+
+let pp_entry fmt e =
+  match e.insn with
+  | Some insn ->
+    Format.fprintf fmt "%08x: %08x  %a" e.address e.word Sofia_isa.Insn.pp insn
+  | None -> Format.fprintf fmt "%08x: %08x  .invalid" e.address e.word
+
+let pp fmt entries =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) entries

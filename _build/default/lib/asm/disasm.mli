@@ -1,0 +1,21 @@
+(** Disassembler for raw 32-bit word streams.
+
+    Useful both for inspecting transformed (decrypted) images and for
+    demonstrating the paper's Fig. 2 effect: a word decrypted along an
+    invalid control-flow edge is either an invalid encoding or a valid
+    but wrong instruction. *)
+
+type entry = {
+  address : int;
+  word : int;
+  insn : Sofia_isa.Insn.t option;  (** [None] when not a valid encoding *)
+}
+
+val disassemble : ?base:int -> int array -> entry list
+(** Decode every word; [base] is the byte address of word 0
+    (default 0). *)
+
+val pp_entry : Format.formatter -> entry -> unit
+(** ["%08x: %08x  <asm or .invalid>"]. *)
+
+val pp : Format.formatter -> entry list -> unit

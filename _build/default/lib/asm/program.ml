@@ -1,0 +1,48 @@
+type t = {
+  text : Sofia_isa.Insn.t array;
+  text_base : int;
+  data : Bytes.t;
+  data_base : int;
+  entry : int;
+  symbols : (string * int) list;
+  indirect_targets : (int * int list) list;
+  la_relocs : la_reloc list;
+  data_word_relocs : (int * string) list;
+}
+
+and la_reloc = { hi_index : int; lo_index : int; la_symbol : string }
+
+let default_text_base = 0x0000
+let default_data_base = 0x0001_0000
+let mmio_base = 0xFFFF_0000
+
+let text_size_bytes t = 4 * Array.length t.text
+
+let encoded_text t = Array.map Sofia_isa.Encoding.encode t.text
+
+let address_of_index t i = t.text_base + (4 * i)
+
+let index_of_address t addr =
+  if addr < t.text_base then None
+  else if (addr - t.text_base) mod 4 <> 0 then None
+  else
+    let i = (addr - t.text_base) / 4 in
+    if i < Array.length t.text then Some i else None
+
+let symbol t name = List.assoc_opt name t.symbols
+
+let targets_of t addr =
+  match List.assoc_opt addr t.indirect_targets with
+  | Some l -> l
+  | None -> []
+
+let pp_listing fmt t =
+  let by_addr = List.map (fun (n, a) -> (a, n)) t.symbols in
+  Array.iteri
+    (fun i insn ->
+      let addr = address_of_index t i in
+      List.iter
+        (fun (a, n) -> if a = addr then Format.fprintf fmt "%s:@." n)
+        by_addr;
+      Format.fprintf fmt "  %08x:  %a@." addr Sofia_isa.Insn.pp insn)
+    t.text

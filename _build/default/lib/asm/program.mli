@@ -1,0 +1,64 @@
+(** An assembled (plaintext) SLEON-32 program.
+
+    This is the input shape the SOFIA transformation (paper §III)
+    operates on: a linear instruction stream with resolved symbols,
+    plus the control-flow annotations a precise CFG needs (declared
+    target sets for indirect jumps). *)
+
+type t = {
+  text : Sofia_isa.Insn.t array;  (** instruction stream; word [i] lives at [text_base + 4*i] *)
+  text_base : int;  (** byte address of [text.(0)]; 32-byte aligned *)
+  data : Bytes.t;  (** initialised data image *)
+  data_base : int;  (** byte address of [data] *)
+  entry : int;  (** entry-point address (label [start] if present) *)
+  symbols : (string * int) list;  (** label → byte address *)
+  indirect_targets : (int * int list) list;
+      (** [jalr] address → declared possible target addresses *)
+  la_relocs : la_reloc list;
+      (** text-address materialisations ([la rd, textsym]) that the
+          SOFIA transformation must re-patch after relayout *)
+  data_word_relocs : (int * string) list;
+      (** data-section [.word textsym] entries (jump/pointer tables):
+          byte offset into [data] → text symbol *)
+}
+
+and la_reloc = {
+  hi_index : int;  (** instruction index of the [lui] *)
+  lo_index : int;  (** instruction index of the paired [ori] *)
+  la_symbol : string;
+}
+
+val default_text_base : int
+(** [0x0000] — code starts at address 0. *)
+
+val default_data_base : int
+(** [0x0001_0000] (64 KiB). *)
+
+val mmio_base : int
+(** [0xFFFF_0000]: base of the memory-mapped output device used by
+    bare-metal workloads (word stores are recorded as outputs). *)
+
+val text_size_bytes : t -> int
+(** Size of the text section in bytes ([4 * Array.length text]); the
+    quantity Table-adjacent §IV-B reports (6,976 B for vanilla
+    ADPCM). *)
+
+val encoded_text : t -> int array
+(** The encoded 32-bit instruction words. *)
+
+val address_of_index : t -> int -> int
+(** Byte address of instruction [i]. *)
+
+val index_of_address : t -> int -> int option
+(** Inverse of {!address_of_index}; [None] when the address is not a
+    word-aligned text address. *)
+
+val symbol : t -> string -> int option
+(** Address of a label. *)
+
+val targets_of : t -> int -> int list
+(** Declared indirect-target set for the instruction at the given
+    address ([\[\]] when undeclared). *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Human-readable listing with addresses and symbol annotations. *)

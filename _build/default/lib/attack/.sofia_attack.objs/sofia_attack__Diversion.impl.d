@@ -1,0 +1,1 @@
+lib/attack/diversion.ml: Array Hashtbl List Sofia_asm Sofia_cfg Sofia_cpu Sofia_isa Sofia_transform Sofia_util

@@ -1,0 +1,1 @@
+lib/attack/diversion.mli: Sofia_asm Sofia_cfg Sofia_crypto Sofia_transform

@@ -1,0 +1,1 @@
+lib/attack/fault.ml: Sofia_cpu Sofia_util String

@@ -1,0 +1,1 @@
+lib/attack/fault.mli: Sofia_cpu Sofia_crypto Sofia_transform

@@ -1,0 +1,1 @@
+lib/attack/forgery.ml: Array Int64 List Sofia_crypto Sofia_util

@@ -1,0 +1,1 @@
+lib/attack/forgery.mli: Sofia_crypto

@@ -1,0 +1,1 @@
+lib/attack/gadget.ml: Array Hashtbl List Sofia_asm Sofia_cpu Sofia_isa Sofia_transform

@@ -1,0 +1,1 @@
+lib/attack/gadget.mli: Sofia_asm Sofia_crypto Sofia_transform

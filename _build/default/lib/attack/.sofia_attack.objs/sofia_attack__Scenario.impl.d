@@ -1,0 +1,1 @@
+lib/attack/scenario.ml: Array Bytes List Sofia_asm Sofia_cpu Sofia_transform Sofia_util

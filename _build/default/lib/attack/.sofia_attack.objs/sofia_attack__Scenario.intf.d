@@ -1,0 +1,1 @@
+lib/attack/scenario.mli: Sofia_cpu Sofia_crypto

@@ -1,0 +1,1 @@
+lib/attack/tamper.ml: Array Option Sofia_asm Sofia_cpu Sofia_transform Sofia_util String

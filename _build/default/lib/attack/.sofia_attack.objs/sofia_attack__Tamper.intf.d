@@ -1,0 +1,1 @@
+lib/attack/tamper.mli: Sofia_asm Sofia_cpu Sofia_crypto Sofia_transform

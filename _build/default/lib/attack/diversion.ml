@@ -1,0 +1,100 @@
+module Machine = Sofia_cpu.Machine
+module Image = Sofia_transform.Image
+module Block = Sofia_transform.Block
+module Program = Sofia_asm.Program
+module Cfg = Sofia_cfg.Cfg
+
+type policy_verdict = Accepted | Rejected
+
+type diversion = { from_exit : int; target : int }
+
+let sofia_accepts ~keys ~image { from_exit; target } =
+  match Sofia_cpu.Sofia_runner.fetch_block ~keys ~image ~target ~prev_pc:from_exit with
+  | Sofia_cpu.Sofia_runner.Block_ok _ -> Accepted
+  | Sofia_cpu.Sofia_runner.Fetch_violation _ -> Rejected
+
+let coarse_cfi_accepts ~cfg ~target_orig_index =
+  let i = target_orig_index in
+  if i < 0 || i >= Cfg.length cfg then Rejected
+  else begin
+    (* "leader" in the coarse sense: function entry, join, or any
+       branch-target / post-control-flow instruction *)
+    let preds = Cfg.predecessors cfg i in
+    let is_entry = List.mem i (Cfg.entries cfg) in
+    let is_leader =
+      is_entry
+      || List.length preds > 1
+      || (match preds with [ p ] -> p <> i - 1 | [] -> true | _ :: _ :: _ -> true)
+      ||
+      (i > 0
+       && Sofia_isa.Insn.is_control_flow (Cfg.program cfg).Program.text.(i - 1))
+    in
+    if is_leader then Accepted else Rejected
+  end
+
+let vanilla_accepts ~program ~target_orig_index =
+  let text = program.Program.text in
+  if target_orig_index < 0 || target_orig_index >= Array.length text then Rejected
+  else Accepted (* the word is one of our own instructions: it decodes *)
+
+type campaign = {
+  trials : int;
+  sofia_accepted : int;
+  coarse_accepted : int;
+  vanilla_accepted : int;
+}
+
+let random_campaign ~keys ~program ~image ~trials ~seed =
+  let rng = Sofia_util.Prng.create ~seed in
+  let cfg = Cfg.build_exn program in
+  let n = Array.length program.Program.text in
+  let nblocks = Array.length image.Image.blocks in
+  (* legitimate (prev_pc, target-port) pairs, to exclude real edges *)
+  let legit = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Image.block) ->
+      let ports = Block.port_offsets b.Image.kind in
+      List.iteri
+        (fun i prev -> Hashtbl.replace legit (prev, b.Image.base + List.nth ports i) ())
+        b.Image.entry_prev_pcs)
+    image.Image.blocks;
+  let rec trial k acc =
+    if k >= trials then acc
+    else begin
+      let src_block = image.Image.blocks.(Sofia_util.Prng.int_below rng nblocks) in
+      let from_exit = src_block.Image.base + Block.exit_offset in
+      let target_orig_index = Sofia_util.Prng.int_below rng n in
+      let sofia_target = image.Image.addr_of_orig.(target_orig_index) in
+      if sofia_target < 0 || Hashtbl.mem legit (from_exit, sofia_target) then trial k acc
+      else begin
+        let s = sofia_accepts ~keys ~image { from_exit; target = sofia_target } in
+        let c = coarse_cfi_accepts ~cfg ~target_orig_index in
+        let v = vanilla_accepts ~program ~target_orig_index in
+        trial (k + 1)
+          {
+            trials = acc.trials + 1;
+            sofia_accepted = (acc.sofia_accepted + if s = Accepted then 1 else 0);
+            coarse_accepted = (acc.coarse_accepted + if c = Accepted then 1 else 0);
+            vanilla_accepted = (acc.vanilla_accepted + if v = Accepted then 1 else 0);
+          }
+      end
+    end
+  in
+  trial 0 { trials = 0; sofia_accepted = 0; coarse_accepted = 0; vanilla_accepted = 0 }
+
+let legitimate_edges_accepted ~keys ~image =
+  let total = ref 0 in
+  let accepted = ref 0 in
+  Array.iter
+    (fun (b : Image.block) ->
+      let ports = Block.port_offsets b.Image.kind in
+      List.iteri
+        (fun i prev ->
+          incr total;
+          let target = b.Image.base + List.nth ports i in
+          match sofia_accepts ~keys ~image { from_exit = prev; target } with
+          | Accepted -> incr accepted
+          | Rejected -> ())
+        b.Image.entry_prev_pcs)
+    image.Image.blocks;
+  (!accepted, !total)

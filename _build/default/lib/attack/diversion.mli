@@ -1,0 +1,62 @@
+(** Code-reuse / control-flow-diversion analysis (paper §II-A, §IV-A.2).
+
+    A code-reuse attack forces control along an edge absent from the
+    program's CFG (ROP, JOP, arbitrary gadget chaining). For SOFIA the
+    question "does edge (from → to) execute?" reduces to "does the
+    frontend's fetch of [to] with prevPC = [from]'s exit verify?" —
+    exposed by {!Sofia_cpu.Sofia_runner.fetch_block}. This module runs
+    systematic and randomized diversion campaigns and compares three
+    policies:
+
+    - {b none} (vanilla): every diversion to decodable text executes;
+    - {b coarse CFI} (label-based, the software schemes of the paper's
+      §I): a diversion is accepted iff it lands on {e any} basic-block
+      leader — the policy most software CFI enforces, which recent
+      attacks bypass;
+    - {b SOFIA}: accepted iff the exact instruction-level edge is in
+      the CFG (the "finest possible granularity" claim). *)
+
+type policy_verdict = Accepted | Rejected
+
+type diversion = { from_exit : int; target : int }
+(** [from_exit] is the exit-word address of the block control is
+    diverted from; [target] the attacker-chosen destination. *)
+
+val sofia_accepts :
+  keys:Sofia_crypto.Keys.t -> image:Sofia_transform.Image.t -> diversion -> policy_verdict
+(** Accepted iff the frontend fetch verifies (and the block decodes,
+    with no banned-slot store). *)
+
+val coarse_cfi_accepts : cfg:Sofia_cfg.Cfg.t -> target_orig_index:int -> policy_verdict
+(** The label-based baseline on the {e original} program: accepted iff
+    the target is a basic-block leader (join, branch target or function
+    entry). *)
+
+val vanilla_accepts : program:Sofia_asm.Program.t -> target_orig_index:int -> policy_verdict
+(** Accepted iff the word decodes (vanilla executes anything
+    decodable). *)
+
+type campaign = {
+  trials : int;
+  sofia_accepted : int;
+  coarse_accepted : int;
+  vanilla_accepted : int;
+}
+
+val random_campaign :
+  keys:Sofia_crypto.Keys.t ->
+  program:Sofia_asm.Program.t ->
+  image:Sofia_transform.Image.t ->
+  trials:int ->
+  seed:int64 ->
+  campaign
+(** Uniformly random (source block, target word) diversions, where the
+    target for SOFIA is the transformed address of the same original
+    instruction the coarse/vanilla policies are asked about, so the
+    three policies judge the same logical attack. Edges that exist in
+    the CFG are excluded (those are not attacks). *)
+
+val legitimate_edges_accepted :
+  keys:Sofia_crypto.Keys.t -> image:Sofia_transform.Image.t -> int * int
+(** [(accepted, total)] over every legitimate entry edge of every block
+    — sanity check that SOFIA never rejects real control flow. *)

@@ -1,0 +1,46 @@
+module Machine = Sofia_cpu.Machine
+
+type verdict = Detected | Masked | Corrupted | Hung
+
+type campaign = { trials : int; detected : int; masked : int; corrupted : int; hung : int }
+
+let bounded_config = function
+  | Some c -> c
+  | None -> { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.fuel = 2_000_000 }
+
+let classify_run ~clean (r : Machine.run_result) =
+  match r.Machine.outcome with
+  | Machine.Cpu_reset _ -> Detected
+  | Machine.Out_of_fuel -> Hung
+  | Machine.Halted _ ->
+    if
+      r.Machine.outcome = clean.Machine.outcome
+      && r.Machine.outputs = clean.Machine.outputs
+      && String.equal r.Machine.output_text clean.Machine.output_text
+    then Masked
+    else Corrupted
+
+let inject_once ?config ~keys ~image ~fetch ~bit () =
+  let config = bounded_config config in
+  let clean = Sofia_cpu.Sofia_runner.run ~config ~keys image in
+  classify_run ~clean (Sofia_cpu.Sofia_runner.run ~config ~fault:(fetch, bit) ~keys image)
+
+let random_campaign ?config ~keys ~image ~trials ~seed () =
+  let config = bounded_config config in
+  let rng = Sofia_util.Prng.create ~seed in
+  let clean = Sofia_cpu.Sofia_runner.run ~config ~keys image in
+  let fetches = clean.Machine.stats.Machine.blocks_entered in
+  let acc = ref { trials = 0; detected = 0; masked = 0; corrupted = 0; hung = 0 } in
+  for _ = 1 to trials do
+    let fetch = Sofia_util.Prng.int_in rng ~lo:1 ~hi:(max 1 fetches) in
+    let bit = Sofia_util.Prng.int_below rng 256 in
+    let r = Sofia_cpu.Sofia_runner.run ~config ~fault:(fetch, bit) ~keys image in
+    let a = !acc in
+    acc :=
+      (match classify_run ~clean r with
+       | Detected -> { a with trials = a.trials + 1; detected = a.detected + 1 }
+       | Masked -> { a with trials = a.trials + 1; masked = a.masked + 1 }
+       | Corrupted -> { a with trials = a.trials + 1; corrupted = a.corrupted + 1 }
+       | Hung -> { a with trials = a.trials + 1; hung = a.hung + 1 })
+  done;
+  !acc

@@ -1,0 +1,45 @@
+module Cbc_mac = Sofia_crypto.Cbc_mac
+
+let seconds_per_year = 365.0 *. 24.0 *. 3600.0
+
+let expected_attempts ~mac_bits = 2.0 ** float_of_int (mac_bits - 1)
+
+let years_to_forge ~mac_bits ~cycles_per_attempt ~clock_hz =
+  expected_attempts ~mac_bits *. float_of_int cycles_per_attempt /. clock_hz /. seconds_per_year
+
+type trial_stats = { mac_bits : int; trials_run : int; successes : int; mean_attempts : float }
+
+let monte_carlo ~(keys : Sofia_crypto.Keys.t) ~mac_bits ~runs ~seed =
+  assert (mac_bits >= 1 && mac_bits <= 30);
+  let rng = Sofia_util.Prng.create ~seed in
+  let mask = Int64.of_int ((1 lsl mac_bits) - 1) in
+  let truncated words = Int64.logand (Cbc_mac.mac_words keys.Sofia_crypto.Keys.k2 words) mask in
+  let total_attempts = ref 0 in
+  let successes = ref 0 in
+  let space = 1 lsl mac_bits in
+  for _ = 1 to runs do
+    (* attacker fixes a tampered 6-word instruction group, then tries
+       distinct n-bit tags online (a sequential sweep from a random
+       start) until the device accepts one — expected 2^(n-1) attempts *)
+    let words = Array.init 6 (fun _ -> Sofia_util.Prng.next32 rng) in
+    let real = Int64.to_int (truncated words) in
+    let start = Sofia_util.Prng.int_below rng space in
+    let rec guess k =
+      if (start + k - 1) mod space = real then k else guess (k + 1)
+    in
+    total_attempts := !total_attempts + guess 1;
+    incr successes
+  done;
+  {
+    mac_bits;
+    trials_run = runs;
+    successes = !successes;
+    mean_attempts = float_of_int !total_attempts /. float_of_int runs;
+  }
+
+let scaling_exponent stats =
+  let points =
+    List.map (fun s -> (float_of_int s.mac_bits, log (s.mean_attempts) /. log 2.0)) stats
+  in
+  let slope, _ = Sofia_util.Stats.linear_fit points in
+  slope

@@ -1,0 +1,67 @@
+module Insn = Sofia_isa.Insn
+module Program = Sofia_asm.Program
+module Image = Sofia_transform.Image
+module Block = Sofia_transform.Block
+
+type gadget = { address : int; length : int }
+
+type report = { total : int; vanilla_usable : int; shadow_usable : int; sofia_usable : int }
+
+let is_chainable (insn : Insn.t) =
+  (* transfers an attacker can steer: returns and indirect jumps *)
+  match insn with
+  | Insn.Jalr _ -> true
+  | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Lui _ | Insn.Load _ | Insn.Store _ | Insn.Branch _
+  | Insn.Jal _ | Insn.Halt _ -> false
+
+let scan ?(max_length = 5) (program : Program.t) =
+  let text = program.Program.text in
+  let out = ref [] in
+  Array.iteri
+    (fun i insn ->
+      if is_chainable insn then
+        for len = 1 to max_length do
+          let start = i - len + 1 in
+          if start >= 0 then begin
+            (* a usable suffix must not contain an earlier transfer *)
+            let clean = ref true in
+            for j = start to i - 1 do
+              if Insn.is_control_flow text.(j) then clean := false
+            done;
+            if !clean then
+              out := { address = Program.address_of_index program start; length = len } :: !out
+          end
+        done)
+    text;
+  List.rev !out
+
+let analyze ?max_length ~keys ~program ~image () =
+  let gadgets = scan ?max_length program in
+  let pads = Sofia_cpu.Shadow_cfi.landing_pads program in
+  let exits =
+    Array.to_list image.Image.blocks
+    |> List.map (fun (b : Image.block) -> b.Image.base + Block.exit_offset)
+  in
+  let sofia_usable g =
+    match Program.index_of_address program g.address with
+    | None -> false
+    | Some idx ->
+      let target = image.Image.addr_of_orig.(idx) in
+      target >= 0
+      && List.exists
+           (fun prev ->
+             match
+               Sofia_cpu.Sofia_runner.fetch_block ~keys ~image ~target ~prev_pc:prev
+             with
+             | Sofia_cpu.Sofia_runner.Block_ok _ -> true
+             | Sofia_cpu.Sofia_runner.Fetch_violation _ -> false)
+           exits
+  in
+  let shadow = List.filter (fun g -> Hashtbl.mem pads g.address) gadgets in
+  let sofia = List.filter sofia_usable gadgets in
+  {
+    total = List.length gadgets;
+    vanilla_usable = List.length gadgets;
+    shadow_usable = List.length shadow;
+    sofia_usable = List.length sofia;
+  }

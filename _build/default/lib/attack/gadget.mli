@@ -1,0 +1,44 @@
+(** Code-reuse gadget-surface analysis.
+
+    A {e gadget} is a short instruction suffix ending in a control
+    transfer an attacker can chain (a return or an indirect jump) —
+    the raw material of ROP/JOP. This module counts how much of that
+    surface each core actually exposes:
+
+    - {b vanilla}: every gadget is usable — any diversion to its first
+      instruction executes;
+    - {b shadow-stack / landing-pad baseline}: only gadgets whose first
+      instruction is a coarse landing pad can be entered by an indirect
+      transfer (returns are pinned by the shadow stack), so the surface
+      shrinks but does not vanish — the published bypasses of
+      coarse-grained CFI live exactly in this residue;
+    - {b SOFIA}: a gadget is usable only if some attacker-reachable
+      edge decrypts-and-verifies at its transformed address; the
+      keystream binding makes this the empty set, which we confirm
+      empirically against every block exit in the image. *)
+
+type gadget = {
+  address : int;  (** address of the gadget's first instruction *)
+  length : int;  (** instructions up to and including the transfer *)
+}
+
+type report = {
+  total : int;
+  vanilla_usable : int;
+  shadow_usable : int;
+  sofia_usable : int;
+}
+
+val scan : ?max_length:int -> Sofia_asm.Program.t -> gadget list
+(** All gadget suffixes of length ≤ [max_length] (default 5). *)
+
+val analyze :
+  ?max_length:int ->
+  keys:Sofia_crypto.Keys.t ->
+  program:Sofia_asm.Program.t ->
+  image:Sofia_transform.Image.t ->
+  unit ->
+  report
+(** Count usable gadgets under the three policies. SOFIA usability is
+    tested exhaustively: a gadget counts as usable if entry from {e
+    any} block-exit edge of the image passes the frontend. *)

@@ -1,0 +1,222 @@
+module Machine = Sofia_cpu.Machine
+module Image = Sofia_transform.Image
+module Block = Sofia_transform.Block
+module Program = Sofia_asm.Program
+
+type outcome_pair = {
+  vanilla : Machine.run_result;
+  shadow : Machine.run_result;  (* shadow-stack + landing-pad baseline core *)
+  sofia : Machine.run_result;
+}
+
+type t = {
+  name : string;
+  clean : outcome_pair;
+  attacked : outcome_pair;
+  pwn_marker : int;
+}
+
+let pwn_marker = 0xDEAD
+
+(* A toy engine-controller: processes a network packet (length-prefixed
+   word list at [input]) into a stack buffer without a bounds check,
+   then reports completion. The privileged [unlock] routine (the
+   "disable the brakes" store) is legitimately reachable only through a
+   guarded call that never fires at run time. *)
+let rop_source =
+  {|
+.equ OUT, 0xFFFF0000
+start:
+  li   a5, 0
+  beq  a5, zero, skip_priv
+  call unlock
+skip_priv:
+  la   a0, input
+  call process
+  li   t0, 1
+  la   t1, OUT
+  st   t0, 0(t1)
+  halt 0
+
+process:
+  addi sp, sp, -32
+  st   ra, 28(sp)
+  ld   t0, 0(a0)        ; attacker-controlled word count
+  li   t1, 0
+copy:
+  bge  t1, t0, copy_done
+  slli t3, t1, 2
+  add  t4, a0, t3
+  ld   t5, 4(t4)
+  add  t6, sp, t3
+  st   t5, 0(t6)        ; no bounds check: index 7 hits the saved ra
+  addi t1, t1, 1
+  j    copy
+copy_done:
+  ld   ra, 28(sp)
+  addi sp, sp, 32
+  ret
+
+unlock:
+  li   t0, 0xDEAD
+  la   t1, OUT
+  st   t0, 0(t1)
+  halt 99
+
+.data
+input: .space 64
+|}
+
+(* Dispatcher variant: the handler is fetched from a function-pointer
+   table in data memory; the payload overwrites the table entry. *)
+let jop_source =
+  {|
+.equ OUT, 0xFFFF0000
+start:
+  li   a5, 0
+  beq  a5, zero, skip_priv
+  call unlock
+skip_priv:
+  la   a0, input
+  call process
+  la   t0, handlers
+  ld   t1, 0(t0)
+  .targets handler_ok
+  jalr t1
+  la   t1, OUT
+  st   a0, 0(t1)
+  halt 0
+
+process:
+  addi sp, sp, -16
+  ld   t0, 0(a0)
+  li   t1, 0
+copy:
+  bge  t1, t0, copy_done
+  slli t3, t1, 2
+  add  t4, a0, t3
+  ld   t5, 4(t4)
+  la   t6, handlers
+  add  t6, t6, t3
+  st   t5, 0(t6)        ; index 0 overwrites the handler pointer
+  addi t1, t1, 1
+  j    copy
+copy_done:
+  addi sp, sp, 16
+  ret
+
+handler_ok:
+  li   a0, 42
+  ret
+
+unlock:
+  li   t0, 0xDEAD
+  la   t1, OUT
+  st   t0, 0(t1)
+  halt 99
+
+.data
+input:    .space 64
+handlers: .word handler_ok
+|}
+
+let with_data_words (data : Bytes.t) ~offset words =
+  let d = Bytes.copy data in
+  List.iteri
+    (fun i w -> Bytes.blit (Sofia_util.Word.bytes_of_word32_le w) 0 d (offset + (4 * i)) 4)
+    words;
+  d
+
+(* Entry-port address of the block holding the given original
+   instruction (the attacker aims at block entries: anything else is
+   even easier for SOFIA to reject). *)
+let transformed_entry_port (image : Image.t) orig_index =
+  let slot_addr = image.Image.addr_of_orig.(orig_index) in
+  assert (slot_addr >= 0);
+  match Image.block_of_address image slot_addr with
+  | Some b ->
+    b.Image.base + List.hd (List.rev (Block.port_offsets b.Image.kind))
+  | None -> assert false
+
+let run_pair ~keys ~program ~image ~payload ~input_offset =
+  let data_v = with_data_words program.Program.data ~offset:input_offset payload in
+  let data_s = with_data_words image.Image.data ~offset:input_offset payload in
+  let program = { program with Program.data = data_v } in
+  let image = { image with Image.data = data_s } in
+  {
+    vanilla = Sofia_cpu.Vanilla.run program;
+    shadow = Sofia_cpu.Shadow_cfi.run program;
+    sofia = Sofia_cpu.Sofia_runner.run ~keys image;
+  }
+
+let build ~keys ~nonce ~name ~source ~payload_for =
+  let program = Sofia_asm.Assembler.assemble source in
+  let image = Sofia_transform.Transform.protect_exn ~keys ~nonce program in
+  let input_addr =
+    match Program.symbol program "input" with Some a -> a | None -> assert false
+  in
+  let input_offset = input_addr - program.Program.data_base in
+  let unlock_addr =
+    match Program.symbol program "unlock" with Some a -> a | None -> assert false
+  in
+  let unlock_index =
+    match Program.index_of_address program unlock_addr with Some i -> i | None -> assert false
+  in
+  let vanilla_gadget = unlock_addr in
+  let sofia_gadget = transformed_entry_port image unlock_index in
+  let benign, attack = payload_for ~vanilla_gadget ~sofia_gadget in
+  (* the vanilla and SOFIA payloads differ only in the gadget address *)
+  let clean = run_pair ~keys ~program ~image ~payload:benign ~input_offset in
+  let attacked =
+    let v_payload, s_payload = attack in
+    let data_v = with_data_words program.Program.data ~offset:input_offset v_payload in
+    let data_s = with_data_words image.Image.data ~offset:input_offset s_payload in
+    let program_v = { program with Program.data = data_v } in
+    let image_s = { image with Image.data = data_s } in
+    {
+      vanilla = Sofia_cpu.Vanilla.run program_v;
+      shadow = Sofia_cpu.Shadow_cfi.run program_v;
+      sofia = Sofia_cpu.Sofia_runner.run ~keys image_s;
+    }
+  in
+  { name; clean; attacked; pwn_marker }
+
+let rop ~keys ?(nonce = 0x5A) () =
+  build ~keys ~nonce ~name:"rop-stack-smash" ~source:rop_source
+    ~payload_for:(fun ~vanilla_gadget ~sofia_gadget ->
+      let benign = [ 2; 11; 22 ] in
+      (* 8 copied words: indices 0..6 filler, index 7 = saved ra *)
+      let attack_with g = 8 :: [ 0; 0; 0; 0; 0; 0; 0; g ] in
+      (benign, (attack_with vanilla_gadget, attack_with sofia_gadget)))
+
+let jop ~keys ?(nonce = 0x5B) () =
+  build ~keys ~nonce ~name:"jop-table-corruption" ~source:jop_source
+    ~payload_for:(fun ~vanilla_gadget ~sofia_gadget ->
+      let benign = [ 0 ] in
+      (* one copied word overwrites handlers[0] *)
+      let attack_with g = [ 1; g ] in
+      (benign, (attack_with vanilla_gadget, attack_with sofia_gadget)))
+
+let emitted_marker (r : Machine.run_result) = List.mem pwn_marker r.Machine.outputs
+
+let vanilla_compromised t = emitted_marker t.attacked.vanilla
+
+let sofia_prevented t =
+  (not (emitted_marker t.attacked.sofia))
+  && (match t.attacked.sofia.Machine.outcome with
+      | Machine.Cpu_reset _ -> true
+      | Machine.Halted _ | Machine.Out_of_fuel -> false)
+
+let shadow_prevented t =
+  (not (emitted_marker t.attacked.shadow))
+  && (match t.attacked.shadow.Machine.outcome with
+      | Machine.Cpu_reset _ -> true
+      | Machine.Halted _ | Machine.Out_of_fuel -> false)
+
+let shadow_compromised t = emitted_marker t.attacked.shadow
+
+let clean_runs_agree t =
+  t.clean.vanilla.Machine.outcome = t.clean.sofia.Machine.outcome
+  && t.clean.vanilla.Machine.outputs = t.clean.sofia.Machine.outputs
+  && t.clean.vanilla.Machine.outcome = t.clean.shadow.Machine.outcome
+  && t.clean.vanilla.Machine.outputs = t.clean.shadow.Machine.outputs

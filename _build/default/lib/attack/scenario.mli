@@ -1,0 +1,59 @@
+(** End-to-end exploitation scenarios on a vulnerable safety-critical
+    control program — the paper's motivating setting (§II-B.2: "a store
+    instruction that disables the brakes on a car").
+
+    Both scenarios run the {e same} vulnerable binary on the vanilla
+    core and on the SOFIA core, first with benign input, then with an
+    attacker-crafted payload. The attacker has full knowledge of the
+    transformed image (addresses of every gadget) but not the keys.
+
+    - {!rop}: a stack-buffer overflow overwrites a saved return
+      address; the [ret] then lands on the entry of privileged code
+      that is legitimately reachable elsewhere (classic code reuse).
+    - {!jop}: the payload corrupts a function-pointer table in data
+      memory; the indirect call then targets the privileged code
+      (jump-oriented programming). *)
+
+type outcome_pair = {
+  vanilla : Sofia_cpu.Machine.run_result;
+  shadow : Sofia_cpu.Machine.run_result;
+      (** the {!Sofia_cpu.Shadow_cfi} baseline core on the same
+          plaintext binary *)
+  sofia : Sofia_cpu.Machine.run_result;
+}
+
+type t = {
+  name : string;
+  clean : outcome_pair;  (** benign input: both must halt with equal outputs *)
+  attacked : outcome_pair;
+      (** payload: vanilla is expected to be compromised (it reaches
+          the privileged store), SOFIA to reset *)
+  pwn_marker : int;
+      (** the MMIO value the privileged gadget writes (attack success
+          indicator) *)
+}
+
+val rop_source : string
+(** The vulnerable controller's assembly (exposed for docs/demos). *)
+
+val jop_source : string
+
+val rop : keys:Sofia_crypto.Keys.t -> ?nonce:int -> unit -> t
+val jop : keys:Sofia_crypto.Keys.t -> ?nonce:int -> unit -> t
+
+val vanilla_compromised : t -> bool
+(** The attacked vanilla run emitted the pwn marker. *)
+
+val sofia_prevented : t -> bool
+(** The attacked SOFIA run reset without emitting the pwn marker. *)
+
+val shadow_prevented : t -> bool
+(** The shadow-stack baseline stopped the attack (expected for ROP). *)
+
+val shadow_compromised : t -> bool
+(** The baseline let the attack through (expected for JOP: the
+    corrupted pointer targets a legitimate function entry, which coarse
+    landing pads accept — the precision gap SOFIA closes). *)
+
+val clean_runs_agree : t -> bool
+(** Benign input: vanilla and SOFIA outputs/outcome agree. *)

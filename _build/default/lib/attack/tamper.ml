@@ -1,0 +1,100 @@
+module Machine = Sofia_cpu.Machine
+module Image = Sofia_transform.Image
+module Program = Sofia_asm.Program
+
+type verdict = Detected of Machine.violation | Executed of Machine.run_result
+
+type campaign_result = {
+  trials : int;
+  detected : int;
+  executed_with_changed_output : int;
+  executed_same_output : int;
+}
+
+let verdict_of_result (r : Machine.run_result) =
+  match r.Machine.outcome with
+  | Machine.Cpu_reset v -> Detected v
+  | Machine.Halted _ | Machine.Out_of_fuel -> Executed r
+
+let run_tampered_sofia ?config ~keys image ~address ~value =
+  let tampered = Image.with_tampered_word image ~address ~value in
+  verdict_of_result (Sofia_cpu.Sofia_runner.run ?config ~keys tampered)
+
+let run_tampered_vanilla ?config (program : Program.t) ~address ~value =
+  let text = Program.encoded_text program in
+  let rel = address - program.Program.text_base in
+  if rel < 0 || rel mod 4 <> 0 || rel / 4 >= Array.length text then
+    invalid_arg "Tamper.run_tampered_vanilla: address outside text";
+  text.(rel / 4) <- value land 0xFFFF_FFFF;
+  verdict_of_result
+    (Sofia_cpu.Vanilla.run_encoded ?config ~text ~text_base:program.Program.text_base
+       ~entry:program.Program.entry ~data:program.Program.data
+       ~data_base:program.Program.data_base ())
+
+(* A run "executed with same output" when outcome and output streams
+   match the clean baseline. *)
+let same_behaviour (baseline : Machine.run_result) (r : Machine.run_result) =
+  baseline.Machine.outcome = r.Machine.outcome
+  && baseline.Machine.outputs = r.Machine.outputs
+  && String.equal baseline.Machine.output_text r.Machine.output_text
+
+let empty = { trials = 0; detected = 0; executed_with_changed_output = 0; executed_same_output = 0 }
+
+let account baseline acc verdict =
+  match verdict with
+  | Detected _ -> { acc with trials = acc.trials + 1; detected = acc.detected + 1 }
+  | Executed r ->
+    if same_behaviour baseline r then
+      { acc with trials = acc.trials + 1; executed_same_output = acc.executed_same_output + 1 }
+    else
+      {
+        acc with
+        trials = acc.trials + 1;
+        executed_with_changed_output = acc.executed_with_changed_output + 1;
+      }
+
+(* Tampered programs can loop forever (a corrupted branch on the
+   vanilla core has no detection), so campaigns default to a bounded
+   instruction budget. *)
+let campaign_default_config =
+  { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.fuel = 2_000_000 }
+
+let campaign ?config ~keys ~program ~image ~trials ~seed ~mutate_word () =
+  let config = Option.value config ~default:campaign_default_config in
+  let rng = Sofia_util.Prng.create ~seed in
+  let clean_sofia = Sofia_cpu.Sofia_runner.run ~config ~keys image in
+  let clean_vanilla = Sofia_cpu.Vanilla.run ~config program in
+  let vanilla_words = Array.length (Program.encoded_text program) in
+  let sofia_words = Image.word_count image in
+  let rec go i (acc_s, acc_v) =
+    if i >= trials then (acc_s, acc_v)
+    else begin
+      let s_idx = Sofia_util.Prng.int_below rng sofia_words in
+      let v_idx = Sofia_util.Prng.int_below rng vanilla_words in
+      let s_addr = image.Image.text_base + (4 * s_idx) in
+      let v_addr = program.Program.text_base + (4 * v_idx) in
+      let s_old = match Image.fetch image s_addr with Some w -> w | None -> 0 in
+      let v_old = (Program.encoded_text program).(v_idx) in
+      let s_new = mutate_word rng s_old in
+      let v_new = mutate_word rng v_old in
+      let vs = run_tampered_sofia ~config ~keys image ~address:s_addr ~value:s_new in
+      let vv = run_tampered_vanilla ~config program ~address:v_addr ~value:v_new in
+      go (i + 1) (account clean_sofia acc_s vs, account clean_vanilla acc_v vv)
+    end
+  in
+  go 0 (empty, empty)
+
+let random_word_campaign ?config ~keys ~program ~image ~trials ~seed () =
+  let mutate_word rng old =
+    (* force an actual change *)
+    let rec fresh () =
+      let w = Sofia_util.Prng.next32 rng in
+      if w = old then fresh () else w
+    in
+    fresh ()
+  in
+  campaign ?config ~keys ~program ~image ~trials ~seed ~mutate_word ()
+
+let random_bitflip_campaign ?config ~keys ~program ~image ~trials ~seed () =
+  let mutate_word rng old = old lxor (1 lsl Sofia_util.Prng.int_below rng 32) in
+  campaign ?config ~keys ~program ~image ~trials ~seed ~mutate_word ()

@@ -1,0 +1,67 @@
+(** Code-injection / tampering campaigns (paper §I, §II-B).
+
+    The attacker model: full read/write access to program memory (the
+    paper's low-end deployed-in-the-field device), no knowledge of the
+    device keys. A tampering attack replaces or flips bits of encrypted
+    text words; SOFIA's SI property says every such change is caught
+    before the block's instructions can reach the MA stage.
+
+    The vanilla comparison executes the same tampered words directly:
+    whatever still decodes, runs. *)
+
+type verdict =
+  | Detected of Sofia_cpu.Machine.violation
+      (** on the SOFIA core: the reset fired before any tampered
+          instruction executed. On the vanilla core this merely means
+          the CPU eventually trapped (invalid opcode, bus fault) —
+          {e after} executing whatever tampered state led there, so it
+          is not a security guarantee. *)
+  | Executed of Sofia_cpu.Machine.run_result
+      (** the tampered program ran to completion (or fuel) *)
+
+type campaign_result = {
+  trials : int;
+  detected : int;
+  executed_with_changed_output : int;
+      (** undetected runs whose outputs differ from the clean run — the
+          dangerous case *)
+  executed_same_output : int;  (** tamper was semantically harmless *)
+}
+
+val run_tampered_sofia :
+  ?config:Sofia_cpu.Run_config.t ->
+  keys:Sofia_crypto.Keys.t ->
+  Sofia_transform.Image.t ->
+  address:int ->
+  value:int ->
+  verdict
+
+val run_tampered_vanilla :
+  ?config:Sofia_cpu.Run_config.t -> Sofia_asm.Program.t -> address:int -> value:int -> verdict
+(** Overwrite one encoded text word of the vanilla binary and run. *)
+
+val random_word_campaign :
+  ?config:Sofia_cpu.Run_config.t ->
+  keys:Sofia_crypto.Keys.t ->
+  program:Sofia_asm.Program.t ->
+  image:Sofia_transform.Image.t ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  campaign_result * campaign_result
+(** [sofia, vanilla] results for the same random single-word
+    overwrites (uniform random word at a uniform random text address).
+    Unless a config is supplied, campaign runs use a bounded
+    2M-instruction fuel, since tampered vanilla programs may loop
+    forever. *)
+
+val random_bitflip_campaign :
+  ?config:Sofia_cpu.Run_config.t ->
+  keys:Sofia_crypto.Keys.t ->
+  program:Sofia_asm.Program.t ->
+  image:Sofia_transform.Image.t ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  campaign_result * campaign_result
+(** Single-bit flips instead of whole-word overwrites. *)

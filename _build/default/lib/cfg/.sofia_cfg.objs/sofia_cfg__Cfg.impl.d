@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Buffer Format Hashtbl List Printf Result Sofia_asm Sofia_isa String

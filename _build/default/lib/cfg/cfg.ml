@@ -1,0 +1,290 @@
+module Insn = Sofia_isa.Insn
+module Reg = Sofia_isa.Reg
+module Program = Sofia_asm.Program
+
+type node_kind =
+  | Straight
+  | Cond_branch of { taken : int; fallthrough : int }
+  | Jump of int
+  | Call of { targets : int list; return_point : int }
+  | Ret of { return_points : int list }
+  | Indirect_jump of { targets : int list }
+  | Stop
+
+type t = {
+  program : Program.t;
+  succ : int list array;
+  pred : int list array;
+  kinds : node_kind array;
+  owner : int list array;
+  entries : int list;
+}
+
+type error =
+  | Undeclared_indirect of int
+  | Target_out_of_text of { address : int; target : int }
+  | Ret_outside_function of int
+
+let pp_error fmt = function
+  | Undeclared_indirect a ->
+    Format.fprintf fmt "indirect jump at 0x%08x has no .targets declaration" a
+  | Target_out_of_text { address; target } ->
+    Format.fprintf fmt "control transfer at 0x%08x targets 0x%08x outside .text" address target
+  | Ret_outside_function a ->
+    Format.fprintf fmt "ret at 0x%08x is not reachable from any call target" a
+
+let is_ret = function
+  | Insn.Jalr (rd, rs1, 0) -> Reg.equal rd Reg.zero && Reg.equal rs1 Reg.ra
+  | Insn.Jalr _ | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Lui _ | Insn.Load _ | Insn.Store _
+  | Insn.Branch _ | Insn.Jal _ | Insn.Halt _ -> false
+
+let build program =
+  let n = Array.length program.Program.text in
+  (* Errors carry the index of the offending instruction; unreachable
+     instructions (dead code, never-called functions) cannot affect
+     execution, so their errors are filtered out at the end. *)
+  let indexed_errors : (int * error) list ref = ref [] in
+  let error_at i e = indexed_errors := (i, e) :: !indexed_errors in
+  let addr i = Program.address_of_index program i in
+  let index_of address ~src =
+    match Program.index_of_address program address with
+    | Some i -> Some i
+    | None ->
+      error_at src (Target_out_of_text { address = addr src; target = address });
+      None
+  in
+
+  (* First classification pass; [Ret] return points are resolved after
+     ownership is known, so use a placeholder. *)
+  let kinds =
+    Array.init n (fun i ->
+      let insn = program.Program.text.(i) in
+      match insn with
+      | Insn.Branch (_, _, _, woff) ->
+        let t = i + woff in
+        if t < 0 || t >= n then begin
+          error_at i (Target_out_of_text { address = addr i; target = addr i + (4 * woff) });
+          Stop
+        end
+        else if i + 1 >= n then Stop
+        else Cond_branch { taken = t; fallthrough = i + 1 }
+      | Insn.Jal (rd, woff) ->
+        let t = i + woff in
+        if t < 0 || t >= n then begin
+          error_at i (Target_out_of_text { address = addr i; target = addr i + (4 * woff) });
+          Stop
+        end
+        else if Reg.equal rd Reg.zero then Jump t
+        else Call { targets = [ t ]; return_point = i + 1 }
+      | Insn.Jalr (rd, _, _) when not (is_ret insn) ->
+        let declared = Program.targets_of program (addr i) in
+        if declared = [] then begin
+          error_at i (Undeclared_indirect (addr i));
+          Stop
+        end
+        else begin
+          let targets = List.filter_map (fun a -> index_of a ~src:i) declared in
+          if Reg.equal rd Reg.zero then Indirect_jump { targets }
+          else Call { targets; return_point = i + 1 }
+        end
+      | Insn.Jalr (_, _, _) -> Ret { return_points = [] }
+      | Insn.Halt _ -> Stop
+      | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Lui _ | Insn.Load _ | Insn.Store _ ->
+        if i + 1 >= n then Stop else Straight)
+  in
+
+  (* Entries, ownership, call sites, return edges and reachability are
+     mutually dependent: a call site that is itself dead code must not
+     create return edges (otherwise an uncalled function's body becomes
+     spuriously reachable through its callee's return). Compute the
+     least fixpoint by growing from the program entry: each round adds
+     the return edges of the call sites discovered so far and extends
+     reachability, so the set only grows and the loop terminates. An
+     over-approximation would not do: a dead loop containing a call can
+     sustain its own reachability through the callee's return edge. *)
+  let program_entry = Program.index_of_address program program.Program.entry in
+  let reachable_now = Array.make n false in
+  let owner = Array.make n [] in
+  let entries = ref [] in
+  let intra_succ i =
+    match kinds.(i) with
+    | Straight -> [ i + 1 ]
+    | Cond_branch { taken; fallthrough } -> [ taken; fallthrough ]
+    | Jump t -> [ t ]
+    | Call { return_point; _ } -> if return_point < n then [ return_point ] else []
+    | Ret _ | Stop -> []
+    | Indirect_jump { targets } -> targets
+  in
+  let changed = ref true in
+  while !changed do
+    (* function entries: program entry + targets of live calls *)
+    let entry_set = Hashtbl.create 16 in
+    (match program_entry with Some e -> Hashtbl.replace entry_set e () | None -> ());
+    Array.iteri
+      (fun i k ->
+        if reachable_now.(i) then
+          match k with
+          | Call { targets; _ } -> List.iter (fun t -> Hashtbl.replace entry_set t ()) targets
+          | Straight | Cond_branch _ | Jump _ | Ret _ | Indirect_jump _ | Stop -> ())
+      kinds;
+    entries := Hashtbl.fold (fun k () acc -> k :: acc) entry_set [] |> List.sort compare;
+    (* ownership from live entries along intra-procedural edges *)
+    Array.fill owner 0 n [];
+    List.iter
+      (fun e ->
+        let seen = Array.make n false in
+        let rec visit i =
+          if i >= 0 && i < n && not seen.(i) then begin
+            seen.(i) <- true;
+            owner.(i) <- e :: owner.(i);
+            List.iter visit (intra_succ i)
+          end
+        in
+        visit e)
+      !entries;
+    (* call sites per function, live calls only *)
+    let call_sites = Hashtbl.create 16 in
+    Array.iteri
+      (fun i k ->
+        if reachable_now.(i) then
+          match k with
+          | Call { targets; _ } ->
+            List.iter
+              (fun t ->
+                let prev = try Hashtbl.find call_sites t with Not_found -> [] in
+                Hashtbl.replace call_sites t (i :: prev))
+              targets
+          | Straight | Cond_branch _ | Jump _ | Ret _ | Indirect_jump _ | Stop -> ())
+      kinds;
+    (* return edges *)
+    Array.iteri
+      (fun i k ->
+        match k with
+        | Ret _ ->
+          let points =
+            List.concat_map
+              (fun f ->
+                let sites = try Hashtbl.find call_sites f with Not_found -> [] in
+                List.filter_map (fun c -> if c + 1 < n then Some (c + 1) else None) sites)
+              owner.(i)
+            |> List.sort_uniq compare
+          in
+          kinds.(i) <- Ret { return_points = points }
+        | Straight | Cond_branch _ | Jump _ | Call _ | Indirect_jump _ | Stop -> ())
+      kinds;
+    (* reachability over the runtime edges of the current kinds *)
+    let seen = Array.make n false in
+    let succ_of i =
+      match kinds.(i) with
+      | Straight -> [ i + 1 ]
+      | Cond_branch { taken; fallthrough } -> [ taken; fallthrough ]
+      | Jump t -> [ t ]
+      | Call { targets; _ } -> targets
+      | Ret { return_points } -> return_points
+      | Indirect_jump { targets } -> targets
+      | Stop -> []
+    in
+    let rec visit i =
+      if i >= 0 && i < n && not seen.(i) then begin
+        seen.(i) <- true;
+        List.iter visit (succ_of i)
+      end
+    in
+    (match program_entry with Some e -> visit e | None -> ());
+    changed := not (Array.for_all2 ( = ) seen reachable_now);
+    Array.blit seen 0 reachable_now 0 n
+  done;
+  let entries = !entries in
+  (* a live ret with no return point cannot be laid out *)
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Ret { return_points = [] } when reachable_now.(i) ->
+        error_at i (Ret_outside_function (addr i))
+      | Ret _ | Straight | Cond_branch _ | Jump _ | Call _ | Indirect_jump _ | Stop -> ())
+    kinds;
+
+  let errors =
+    List.rev !indexed_errors
+    |> List.filter_map (fun (i, e) -> if reachable_now.(i) then Some e else None)
+  in
+  if errors <> [] then Result.Error errors
+  else begin
+    let succ =
+      Array.mapi
+        (fun i k ->
+          ignore i;
+          match k with
+          | Straight -> [ i + 1 ]
+          | Cond_branch { taken; fallthrough } -> List.sort_uniq compare [ taken; fallthrough ]
+          | Jump t -> [ t ]
+          | Call { targets; _ } -> targets
+          | Ret { return_points } -> return_points
+          | Indirect_jump { targets } -> targets
+          | Stop -> [])
+        kinds
+    in
+    let pred = Array.make n [] in
+    Array.iteri (fun i ss -> List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss) succ;
+    Array.iteri (fun i p -> pred.(i) <- List.sort_uniq compare p) pred;
+    Result.Ok { program; succ; pred; kinds; owner; entries }
+  end
+
+let build_exn program =
+  match build program with
+  | Ok t -> t
+  | Error es ->
+    let msg =
+      String.concat "; " (List.map (fun e -> Format.asprintf "%a" pp_error e) es)
+    in
+    invalid_arg ("Cfg.build: " ^ msg)
+
+let program t = t.program
+let length t = Array.length t.succ
+let successors t i = t.succ.(i)
+let predecessors t i = t.pred.(i)
+let kind t i = t.kinds.(i)
+let entries t = t.entries
+let owners t i = t.owner.(i)
+
+let reachable t =
+  let n = length t in
+  let seen = Array.make n false in
+  let rec visit i =
+    if i >= 0 && i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit t.succ.(i)
+    end
+  in
+  (match Program.index_of_address t.program t.program.Program.entry with
+   | Some e -> visit e
+   | None -> ());
+  seen
+
+let is_join t i = List.length t.pred.(i) > 1
+
+let join_points t =
+  let out = ref [] in
+  for i = length t - 1 downto 0 do
+    if is_join t i then out := i :: !out
+  done;
+  !out
+
+let max_predecessors t =
+  Array.fold_left (fun acc p -> max acc (List.length p)) 0 t.pred
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iteri
+    (fun i insn ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%08x: %s\"];\n" i
+           (Program.address_of_index t.program i)
+           (String.escaped (Insn.to_string insn))))
+    t.program.Program.text;
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i s)) ss)
+    t.succ;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

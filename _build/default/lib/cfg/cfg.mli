@@ -1,0 +1,81 @@
+(** Precise instruction-level control-flow graph.
+
+    SOFIA's CFI mechanism encrypts every instruction with the
+    control-flow edge that reaches it ([{ω ‖ prevPC ‖ PC}], paper
+    §II-A), so the transformation needs the {e runtime} successor
+    relation at single-instruction granularity:
+
+    - straight-line code: [i → i+1];
+    - conditional branch: both the taken target and the fall-through;
+    - direct jump/call ([jal]): the target — a call's runtime successor
+      is the {e callee entry}, not the return point;
+    - return ([jalr zero, ra, 0]): one edge per return point
+      ([call_site + 1]) of every call site of the containing function
+      (paper §II-A: "the return point in the caller is encrypted with
+      the address of the return instruction in the callee");
+    - other indirect jumps/calls: the declared [.targets] set — the
+      paper requires a precise CFG and excludes constructs it cannot
+      model (§II-D).
+
+    Function membership (needed to resolve return edges) is computed by
+    propagating ownership from function entries along intra-procedural
+    edges, where a call's intra-procedural successor is its return
+    point. *)
+
+type node_kind =
+  | Straight  (** falls through to [i+1] *)
+  | Cond_branch of { taken : int; fallthrough : int }
+  | Jump of int  (** unconditional direct jump *)
+  | Call of { targets : int list; return_point : int }
+  | Ret of { return_points : int list }
+  | Indirect_jump of { targets : int list }
+  | Stop  (** [halt]: no successors *)
+
+type t
+
+type error =
+  | Undeclared_indirect of int  (** address of a [jalr] with no [.targets] *)
+  | Target_out_of_text of { address : int; target : int }
+  | Ret_outside_function of int
+      (** a [ret] not owned by any called function: its return edge set
+          would be empty *)
+
+val build : Sofia_asm.Program.t -> (t, error list) result
+(** Construct the CFG; fails with the full error list when the program
+    cannot be modelled precisely. *)
+
+val build_exn : Sofia_asm.Program.t -> t
+(** @raise Invalid_argument rendering the error list. *)
+
+val program : t -> Sofia_asm.Program.t
+val length : t -> int
+
+val successors : t -> int -> int list
+(** Runtime successor indices of instruction [i]. *)
+
+val predecessors : t -> int -> int list
+(** Runtime predecessor indices. *)
+
+val kind : t -> int -> node_kind
+
+val entries : t -> int list
+(** Function entry indices (call targets), program entry included. *)
+
+val owners : t -> int -> int list
+(** Entry indices of the functions containing instruction [i]. *)
+
+val reachable : t -> bool array
+(** Reachability from the program entry along runtime edges. *)
+
+val is_join : t -> int -> bool
+(** More than one runtime predecessor: will need a multiplexor block
+    (paper §II-D). *)
+
+val join_points : t -> int list
+
+val max_predecessors : t -> int
+
+val pp_error : Format.formatter -> error -> unit
+
+val to_dot : t -> string
+(** Graphviz rendering (instruction-level). *)

@@ -1,0 +1,1 @@
+lib/core/sofia.ml: Format Provision Result Sofia_asm Sofia_attack Sofia_cfg Sofia_cpu Sofia_crypto Sofia_hwmodel Sofia_isa Sofia_minic Sofia_transform Sofia_util Sofia_workloads

@@ -1,0 +1,1 @@
+lib/core/provision.ml: Array Format List Printf Sofia_crypto Sofia_transform Sofia_util

@@ -1,0 +1,1 @@
+lib/core/provision.mli: Sofia_asm Sofia_crypto Sofia_transform

@@ -1,0 +1,127 @@
+(** SOFIA: Software and Control Flow Integrity Architecture — top-level
+    library facade.
+
+    Reproduction of de Clercq et al., DATE 2016. The sub-libraries:
+
+    - {!Isa}, {!Asm}, {!Cfg}: the SLEON-32 instruction set, assembler
+      and precise instruction-level CFG;
+    - {!Crypto}: RECTANGLE-80, control-flow-dependent CTR encryption,
+      CBC-MAC;
+    - {!Transform}: the MAC-then-Encrypt binary transformation into
+      execution / multiplexor blocks;
+    - {!Cpu}: the vanilla and SOFIA-extended 7-stage processor models;
+    - {!Attack}: tampering, code-reuse and forgery campaigns;
+    - {!Hwmodel}: the Table-I FPGA area / clock model;
+    - {!Workloads}: ADPCM and the other benchmark kernels;
+    - {!Minic}: the C-like toolchain front-end (source → assembly).
+
+    The {!Protect}, {!Run} and {!Report} modules below are the
+    high-level API a downstream user starts from; see
+    [examples/quickstart.ml]. *)
+
+module Util = Sofia_util
+module Isa = Sofia_isa
+module Asm = Sofia_asm
+module Cfg = Sofia_cfg
+module Crypto = Sofia_crypto
+module Transform = Sofia_transform
+module Cpu = Sofia_cpu
+module Attack = Sofia_attack
+module Hwmodel = Sofia_hwmodel
+module Workloads = Sofia_workloads
+module Minic = Sofia_minic
+module Provision = Provision
+
+(** One-stop protection pipeline: assemble → CFG → transform →
+    MAC-then-Encrypt. *)
+module Protect = struct
+  type protected = {
+    program : Sofia_asm.Program.t;  (** the plaintext program *)
+    image : Sofia_transform.Image.t;  (** the encrypted SOFIA image *)
+    keys : Sofia_crypto.Keys.t;
+    nonce : int;
+  }
+
+  let protect_program ?(key_seed = 0x50F1AL) ?(nonce = 1) program =
+    let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
+    Result.map
+      (fun image -> { program; image; keys; nonce })
+      (Sofia_transform.Transform.protect ~keys ~nonce program)
+
+  (** Assemble a source string and protect it.
+      @raise Sofia_asm.Assembler.Error on assembly errors. *)
+  let protect_source ?key_seed ?nonce source =
+    protect_program ?key_seed ?nonce (Sofia_asm.Assembler.assemble source)
+
+  let protect_source_exn ?key_seed ?nonce source =
+    match protect_source ?key_seed ?nonce source with
+    | Ok p -> p
+    | Error e -> invalid_arg (Format.asprintf "Sofia.Protect: %a" Sofia_transform.Layout.pp_error e)
+end
+
+(** Running programs on the two processor models. *)
+module Run = struct
+  let vanilla ?config ?args program = Sofia_cpu.Vanilla.run ?config ?args program
+
+  let sofia ?config ?args (p : Protect.protected) =
+    Sofia_cpu.Sofia_runner.run ?config ?args ~keys:p.Protect.keys p.Protect.image
+
+  (** Run both models and check that outputs agree (they must, for an
+      untampered image). *)
+  let both ?config ?args (p : Protect.protected) =
+    let v = vanilla ?config ?args p.Protect.program in
+    let s = sofia ?config ?args p in
+    (v, s)
+end
+
+(** Paper-style overhead reporting (§IV-B). *)
+module Report = struct
+  type overhead = {
+    name : string;
+    vanilla_cycles : int;
+    sofia_cycles : int;
+    cycle_overhead_pct : float;
+    text_bytes_vanilla : int;
+    text_bytes_sofia : int;
+    expansion : float;
+    clock_ratio : float;
+    total_time_overhead_pct : float;
+    outputs_ok : bool;
+  }
+
+  let overhead_of_workload ?config ?(key_seed = 0xBE7CL) ?(nonce = 1)
+      (w : Sofia_workloads.Workload.t) =
+    let program = Sofia_workloads.Workload.assemble w in
+    let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
+    let image = Sofia_transform.Transform.protect_exn ~keys ~nonce program in
+    let rv = Sofia_cpu.Vanilla.run ?config program in
+    let rs = Sofia_cpu.Sofia_runner.run ?config ~keys image in
+    let cycle_ratio =
+      float_of_int rs.Sofia_cpu.Machine.stats.Sofia_cpu.Machine.cycles
+      /. float_of_int rv.Sofia_cpu.Machine.stats.Sofia_cpu.Machine.cycles
+    in
+    let clock_ratio = Sofia_hwmodel.Hwmodel.clock_ratio () in
+    {
+      name = w.Sofia_workloads.Workload.name;
+      vanilla_cycles = rv.Sofia_cpu.Machine.stats.Sofia_cpu.Machine.cycles;
+      sofia_cycles = rs.Sofia_cpu.Machine.stats.Sofia_cpu.Machine.cycles;
+      cycle_overhead_pct = (cycle_ratio -. 1.0) *. 100.0;
+      text_bytes_vanilla = Sofia_asm.Program.text_size_bytes program;
+      text_bytes_sofia = Sofia_transform.Image.text_size_bytes image;
+      expansion = Sofia_transform.Transform.expansion_ratio image;
+      clock_ratio;
+      total_time_overhead_pct = ((cycle_ratio *. clock_ratio) -. 1.0) *. 100.0;
+      outputs_ok =
+        rv.Sofia_cpu.Machine.outputs = w.Sofia_workloads.Workload.expected_outputs
+        && rs.Sofia_cpu.Machine.outputs = w.Sofia_workloads.Workload.expected_outputs;
+    }
+
+  let pp_overhead fmt o =
+    Format.fprintf fmt
+      "%-16s text %6dB -> %6dB (x%.2f)  cycles %9d -> %9d (%+.1f%%)  total time %+.1f%%%s"
+      o.name o.text_bytes_vanilla o.text_bytes_sofia o.expansion o.vanilla_cycles o.sofia_cycles
+      o.cycle_overhead_pct o.total_time_overhead_pct
+      (if o.outputs_ok then "" else "  [OUTPUT MISMATCH]")
+end
+
+let version = "1.0.0"

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Format Memory Sofia_isa Sofia_util Word

@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Format Memory Sofia_isa

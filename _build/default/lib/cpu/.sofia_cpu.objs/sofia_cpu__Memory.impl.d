@@ -1,0 +1,1 @@
+lib/cpu/memory.ml: Buffer Bytes Char List Sofia_asm Sofia_util

@@ -1,0 +1,1 @@
+lib/cpu/run_config.mli: Icache Timing

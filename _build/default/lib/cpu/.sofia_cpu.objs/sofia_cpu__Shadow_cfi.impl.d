@@ -1,0 +1,1 @@
+lib/cpu/shadow_cfi.ml: Array Hashtbl Icache List Machine Memory Run_config Sofia_asm Sofia_isa Timing

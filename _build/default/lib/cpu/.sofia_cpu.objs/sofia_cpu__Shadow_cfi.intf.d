@@ -1,0 +1,1 @@
+lib/cpu/shadow_cfi.mli: Bytes Hashtbl Machine Run_config Sofia_asm

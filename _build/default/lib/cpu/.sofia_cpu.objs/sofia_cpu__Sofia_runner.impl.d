@@ -1,0 +1,1 @@
+lib/cpu/sofia_runner.ml: Array Hashtbl Icache List Machine Memory Run_config Sofia_crypto Sofia_isa Sofia_transform Timing Vanilla

@@ -1,0 +1,1 @@
+lib/cpu/sofia_runner.mli: Machine Run_config Sofia_crypto Sofia_isa Sofia_transform

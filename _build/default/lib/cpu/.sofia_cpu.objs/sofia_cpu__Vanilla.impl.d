@@ -1,0 +1,1 @@
+lib/cpu/vanilla.ml: Array Icache List Machine Memory Run_config Sofia_asm Sofia_isa Timing

@@ -1,0 +1,1 @@
+lib/cpu/vanilla.mli: Bytes Machine Run_config Sofia_asm Sofia_isa

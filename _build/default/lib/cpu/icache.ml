@@ -1,0 +1,35 @@
+type config = { size_bytes : int; line_bytes : int }
+
+let default = { size_bytes = 4096; line_bytes = 32 }
+
+type t = {
+  config : config;
+  lines : int array;  (* tag per set; -1 = invalid *)
+  mutable n_access : int;
+  mutable n_miss : int;
+}
+
+let create config =
+  let nsets = config.size_bytes / config.line_bytes in
+  assert (nsets > 0);
+  { config; lines = Array.make nsets (-1); n_access = 0; n_miss = 0 }
+
+let access t addr =
+  let line_addr = addr / t.config.line_bytes in
+  let nsets = Array.length t.lines in
+  let set = line_addr mod nsets in
+  let tag = line_addr / nsets in
+  t.n_access <- t.n_access + 1;
+  if t.lines.(set) = tag then true
+  else begin
+    t.n_miss <- t.n_miss + 1;
+    t.lines.(set) <- tag;
+    false
+  end
+
+let accesses t = t.n_access
+let misses t = t.n_miss
+
+let reset_stats t =
+  t.n_access <- 0;
+  t.n_miss <- 0

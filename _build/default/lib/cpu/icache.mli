@@ -1,0 +1,23 @@
+(** Direct-mapped instruction cache model.
+
+    One SOFIA block (32 bytes) is exactly one line with the default
+    geometry, so a block fetch touches one line. The model only tracks
+    hit/miss (contents are irrelevant to a functional simulator). *)
+
+type config = { size_bytes : int; line_bytes : int }
+
+val default : config
+(** 4 KiB, 32-byte lines — LEON3 minimal configuration territory. *)
+
+type t
+
+val create : config -> t
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; returns [true]
+    on hit, [false] on miss (the line is then filled). *)
+
+val accesses : t -> int
+val misses : t -> int
+
+val reset_stats : t -> unit

@@ -1,0 +1,37 @@
+(** Flat data memory with a memory-mapped output device.
+
+    Bare-metal workloads write results to the MMIO region at
+    [Sofia_asm.Program.mmio_base]:
+
+    - word store at [mmio_base]      → appends a 32-bit output value;
+    - word/byte store at [mmio_base + 4] → appends an output character.
+
+    Loads from the MMIO region read 0. Accesses outside both the RAM
+    and MMIO ranges, and unaligned word accesses, raise {!Bus_error} —
+    the simulator's stand-in for a SPARC data-access exception. *)
+
+exception Bus_error of int
+(** Carries the offending address. *)
+
+type t
+
+val create : ?size_bytes:int -> unit -> t
+(** RAM covers [\[0, size_bytes)]; default 1 MiB. *)
+
+val size_bytes : t -> int
+
+val load_bytes : t -> addr:int -> Bytes.t -> unit
+(** Copy an initialised section (e.g. the data image) into RAM. *)
+
+val read32 : t -> int -> int
+val write32 : t -> int -> int -> unit
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+
+val outputs : t -> int list
+(** Words written to the output port, oldest first. *)
+
+val output_text : t -> string
+(** Characters written to the character port. *)
+
+val clear_outputs : t -> unit

@@ -1,0 +1,11 @@
+type t = { timing : Timing.t; icache : Icache.config; mem_size : int; fuel : int }
+
+let default =
+  {
+    timing = Timing.leon3_default;
+    icache = Icache.default;
+    mem_size = 1 lsl 20;
+    fuel = 400_000_000;
+  }
+
+let initial_sp t = (t.mem_size - 16) land lnot 15

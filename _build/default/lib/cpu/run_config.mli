@@ -1,0 +1,15 @@
+(** Shared runner configuration. *)
+
+type t = {
+  timing : Timing.t;
+  icache : Icache.config;
+  mem_size : int;  (** RAM bytes *)
+  fuel : int;  (** maximum retired instructions before [Out_of_fuel] *)
+}
+
+val default : t
+(** LEON3-class timing, 4 KiB I-cache, 1 MiB RAM, 400 M-instruction
+    fuel. *)
+
+val initial_sp : t -> int
+(** Stack pointer at reset: top of RAM, 16-byte aligned. *)

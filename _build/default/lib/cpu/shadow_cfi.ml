@@ -1,0 +1,168 @@
+module Insn = Sofia_isa.Insn
+module Reg = Sofia_isa.Reg
+module Encoding = Sofia_isa.Encoding
+module Program = Sofia_asm.Program
+
+let is_ret (insn : Insn.t) =
+  match insn with
+  | Insn.Jalr (rd, rs1, 0) -> Reg.equal rd Reg.zero && Reg.equal rs1 Reg.ra
+  | Insn.Jalr _ | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Lui _ | Insn.Load _ | Insn.Store _
+  | Insn.Branch _ | Insn.Jal _ | Insn.Halt _ -> false
+
+let landing_pads_of_words ~text ~text_base =
+  let pads = Hashtbl.create 64 in
+  Hashtbl.replace pads text_base ();
+  Array.iteri
+    (fun i w ->
+      match Encoding.decode w with
+      | Some (Insn.Jal (_, woff)) -> Hashtbl.replace pads (text_base + (4 * (i + woff))) ()
+      | Some (Insn.Branch (_, _, _, woff)) ->
+        Hashtbl.replace pads (text_base + (4 * (i + woff))) ()
+      | Some
+          ( Insn.Alu_r _ | Insn.Alu_i _ | Insn.Lui _ | Insn.Load _ | Insn.Store _ | Insn.Jalr _
+          | Insn.Halt _ )
+      | None -> ())
+    text;
+  pads
+
+let landing_pads (program : Program.t) =
+  let pads =
+    landing_pads_of_words ~text:(Program.encoded_text program)
+      ~text_base:program.Program.text_base
+  in
+  (* indirect-callable entries are labelled (ENDBR-style landing pads) *)
+  List.iter
+    (fun (_, targets) -> List.iter (fun t -> Hashtbl.replace pads t ()) targets)
+    program.Program.indirect_targets;
+  pads
+
+let run_encoded ?(config = Run_config.default) ?(shadow_depth = 1024) ?(args = [])
+    ?(extra_pads = []) ~text ~text_base ~entry ~data ~data_base () =
+  let mem = Memory.create ~size_bytes:config.Run_config.mem_size () in
+  Memory.load_bytes mem ~addr:data_base data;
+  let machine = Machine.create ~entry ~sp:(Run_config.initial_sp config) in
+  List.iteri (fun i v -> if i < 8 then Machine.write_reg machine (Reg.a i) v) args;
+  let icache = Icache.create config.Run_config.icache in
+  let timing = config.Run_config.timing in
+  let pads = landing_pads_of_words ~text ~text_base in
+  List.iter (fun a -> Hashtbl.replace pads a ()) extra_pads;
+  let shadow = Array.make shadow_depth 0 in
+  let sp = ref 0 in
+  let n = Array.length text in
+  let decoded = Array.make n None in
+  let decode i =
+    match decoded.(i) with
+    | Some d -> d
+    | None ->
+      let d = Encoding.decode text.(i) in
+      decoded.(i) <- Some d;
+      d
+  in
+  let cycles = ref 0 in
+  let instructions = ref 0 in
+  let redirects = ref 0 in
+  let finish outcome =
+    {
+      Machine.outcome;
+      stats =
+        {
+          Machine.cycles = !cycles;
+          instructions = !instructions;
+          mac_words_fetched = 0;
+          blocks_entered = 0;
+          redirects = !redirects;
+          icache_accesses = Icache.accesses icache;
+          icache_misses = Icache.misses icache;
+          load_use_stalls = 0;
+        };
+      outputs = Memory.outputs mem;
+      output_text = Memory.output_text mem;
+    }
+  in
+  let rec step () =
+    if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
+    else begin
+      let pc = Machine.pc machine in
+      let rel = pc - text_base in
+      if rel < 0 || rel mod 4 <> 0 || rel / 4 >= n then
+        finish (Machine.Cpu_reset (Machine.Bus_fault { address = pc }))
+      else begin
+        if not (Icache.access icache pc) then cycles := !cycles + timing.Timing.icache_miss_penalty;
+        match decode (rel / 4) with
+        | None ->
+          finish
+            (Machine.Cpu_reset (Machine.Invalid_opcode { address = pc; word = text.(rel / 4) }))
+        | Some insn ->
+          incr instructions;
+          cycles := !cycles + Timing.insn_cost timing insn;
+          (* CFI policy actions before the transfer commits *)
+          let is_call =
+            match insn with
+            | Insn.Jal (rd, _) | Insn.Jalr (rd, _, _) -> not (Reg.equal rd Reg.zero)
+            | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Lui _ | Insn.Load _ | Insn.Store _
+            | Insn.Branch _ | Insn.Halt _ -> false
+          in
+          (match Machine.execute machine mem insn with
+           | exception Memory.Bus_error address ->
+             finish (Machine.Cpu_reset (Machine.Bus_fault { address }))
+           | Machine.Next ->
+             Machine.set_pc machine (pc + 4);
+             step ()
+           | Machine.Halt code -> finish (Machine.Halted code)
+           | Machine.Redirect target ->
+             incr redirects;
+             cycles := !cycles + timing.Timing.taken_branch_penalty;
+             if is_ret insn then begin
+               if !sp = 0 then
+                 finish
+                   (Machine.Cpu_reset (Machine.Shadow_stack_mismatch { expected = 0; got = target }))
+               else begin
+                 decr sp;
+                 let expected = shadow.(!sp) in
+                 if expected <> target then
+                   finish
+                     (Machine.Cpu_reset (Machine.Shadow_stack_mismatch { expected; got = target }))
+                 else begin
+                   Machine.set_pc machine target;
+                   step ()
+                 end
+               end
+             end
+             else begin
+               if is_call then begin
+                 if !sp >= shadow_depth then
+                   finish
+                     (Machine.Cpu_reset
+                        (Machine.Shadow_stack_mismatch { expected = -1; got = target }))
+                 else begin
+                   shadow.(!sp) <- pc + 4;
+                   incr sp;
+                   check_indirect insn target
+                 end
+               end
+               else check_indirect insn target
+             end)
+      end
+    end
+  and check_indirect insn target =
+    let indirect =
+      match insn with
+      | Insn.Jalr _ -> true
+      | Insn.Jal _ | Insn.Branch _ | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Lui _ | Insn.Load _
+      | Insn.Store _ | Insn.Halt _ -> false
+    in
+    if indirect && not (Hashtbl.mem pads target) then
+      finish (Machine.Cpu_reset (Machine.Landing_pad_violation { address = target }))
+    else begin
+      Machine.set_pc machine target;
+      step ()
+    end
+  in
+  step ()
+
+let run ?config ?shadow_depth ?args (program : Program.t) =
+  let extra_pads = List.concat_map snd program.Program.indirect_targets in
+  run_encoded ?config ?shadow_depth ?args ~extra_pads
+    ~text:(Program.encoded_text program) ~text_base:program.Program.text_base
+    ~entry:program.Program.entry ~data:program.Program.data
+    ~data_base:program.Program.data_base ()

@@ -1,0 +1,48 @@
+(** Baseline hardware-CFI core: shadow call stack + coarse landing
+    pads — the class of defenses (HAFIX, branch regulation, the
+    paper's refs [16]–[20]) SOFIA positions itself against.
+
+    Policy enforced on the {e plaintext} binary:
+
+    - every call pushes its return address onto a hardware shadow
+      stack; every [ret] must match the top of that stack (mitigates
+      ROP);
+    - every other indirect transfer must land on a coarse landing pad —
+      a function entry or basic-block leader, derived from the binary
+      alone (no [.targets] knowledge; that precision is exactly what
+      this baseline lacks and SOFIA has).
+
+    What it cannot do, by construction: detect tampered or injected
+    instructions (no integrity mechanism), or stop a corrupted function
+    pointer that targets some {e other} legitimate function entry — the
+    JOP gap demonstrated by the attack scenarios and by the §I-cited
+    bypasses of coarse-grained CFI. *)
+
+val landing_pads : Sofia_asm.Program.t -> (int, unit) Hashtbl.t
+(** The coarse landing-pad set: function entries (call targets) and
+    branch-target leaders, recovered by scanning the encoded binary. *)
+
+val run :
+  ?config:Run_config.t ->
+  ?shadow_depth:int ->
+  ?args:int list ->
+  Sofia_asm.Program.t ->
+  Machine.run_result
+(** Run under the baseline policy ([shadow_depth] defaults to 1024;
+    overflow/underflow and mismatches reset). *)
+
+val run_encoded :
+  ?config:Run_config.t ->
+  ?shadow_depth:int ->
+  ?args:int list ->
+  ?extra_pads:int list ->
+  text:int array ->
+  text_base:int ->
+  entry:int ->
+  data:Bytes.t ->
+  data_base:int ->
+  unit ->
+  Machine.run_result
+(** Same, over raw encoded words (for tampered-binary experiments; the
+    landing-pad set is recovered from the given words, as the baseline
+    hardware would from the binary it protects). *)

@@ -1,0 +1,230 @@
+module Insn = Sofia_isa.Insn
+module Reg = Sofia_isa.Reg
+module Encoding = Sofia_isa.Encoding
+module Keys = Sofia_crypto.Keys
+module Ctr = Sofia_crypto.Ctr
+module Cbc_mac = Sofia_crypto.Cbc_mac
+module Image = Sofia_transform.Image
+module Block = Sofia_transform.Block
+
+type fetch_outcome =
+  | Block_ok of { base : int; kind : Block.kind; insns : Insn.t array }
+  | Fetch_violation of Machine.violation
+
+type entry_style = Exec_entry | Mux_path1 | Mux_path2
+
+let classify ~text_base target =
+  let rel = target - text_base in
+  if rel >= 0 && rel mod Block.size_bytes = 0 then (Exec_entry, target)
+  else if rel >= 0 && rel mod Block.size_bytes = 4 then (Mux_path1, target - 4)
+  else if rel >= 0 && rel mod Block.size_bytes = 8 then (Mux_path2, target - 8)
+  else (Exec_entry, target)
+
+let fetch_block ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
+  if target land 3 <> 0 then Fetch_violation (Machine.Misaligned_entry { address = target })
+  else begin
+    let style, base = classify ~text_base:image.Image.text_base target in
+    let word offset =
+      match Image.fetch image (base + offset) with
+      | Some w -> Some w
+      | None -> None
+    in
+    let keystream ~prev ~pc = Ctr.keystream32 keys.Keys.k1 ~nonce:image.Image.nonce ~prev_pc:prev ~pc in
+    (* addresses used as counters must stay in range; out-of-range
+       (attacker-chosen wild) values are a bus fault, like hardware
+       fetching outside program memory *)
+    let in_counter_range a = a >= 0 && a / 4 < 1 lsl 28 in
+    if not (in_counter_range base && in_counter_range prev_pc) then
+      Fetch_violation (Machine.Bus_fault { address = base })
+    else begin
+      let fail_bus off = Fetch_violation (Machine.Bus_fault { address = base + off }) in
+      let decrypt ~prev ~off =
+        match word off with
+        | None -> None
+        | Some w -> Some (w lxor keystream ~prev ~pc:(base + off))
+      in
+      (* interior chain: word at offset o has prevPC = o - 4 *)
+      let interior off = decrypt ~prev:(base + off - 4) ~off in
+      let check_and_build ~kind ~m1 ~m2 ~insn_words ~first_off =
+        let mac_key = match kind with Block.Exec -> keys.Keys.k2 | Block.Mux -> keys.Keys.k3 in
+        if not (Cbc_mac.verify_words mac_key insn_words ~m1 ~m2) then
+          Fetch_violation (Machine.Mac_mismatch { block_base = base })
+        else begin
+          let n = Array.length insn_words in
+          let insns = Array.make n Insn.nop in
+          let violation = ref None in
+          Array.iteri
+            (fun i w ->
+              if !violation = None then
+                match Encoding.decode w with
+                | Some insn ->
+                  if kind = Block.Exec && Block.store_banned_slot kind i && Insn.is_store insn
+                  then
+                    violation :=
+                      Some (Machine.Store_in_banned_slot { address = base + first_off + (4 * i) })
+                  else insns.(i) <- insn
+                | None ->
+                  violation :=
+                    Some (Machine.Invalid_opcode { address = base + first_off + (4 * i); word = w }))
+            insn_words;
+          match !violation with
+          | Some v -> Fetch_violation v
+          | None -> Block_ok { base; kind; insns }
+        end
+      in
+      match style with
+      | Exec_entry ->
+        let m1 = decrypt ~prev:prev_pc ~off:0 in
+        let rest = List.init 7 (fun i -> interior (4 * (i + 1))) in
+        (match m1 :: rest with
+         | [ Some m1; Some m2; Some w0; Some w1; Some w2; Some w3; Some w4; Some w5 ] ->
+           check_and_build ~kind:Block.Exec ~m1 ~m2 ~insn_words:[| w0; w1; w2; w3; w4; w5 |]
+             ~first_off:(Block.first_insn_offset Block.Exec)
+         | _ -> fail_bus 0)
+      | Mux_path1 | Mux_path2 ->
+        let m1 =
+          match style with
+          | Mux_path1 -> decrypt ~prev:prev_pc ~off:0
+          | Mux_path2 | Exec_entry -> decrypt ~prev:prev_pc ~off:4
+        in
+        (* M2 uses prevPC = addr(M1e2) = base + 4 on both paths *)
+        let m2 = interior 8 in
+        let insn_opts = List.init 5 (fun i -> interior (12 + (4 * i))) in
+        (match (m1, m2, insn_opts) with
+         | Some m1, Some m2, [ Some w0; Some w1; Some w2; Some w3; Some w4 ] ->
+           check_and_build ~kind:Block.Mux ~m1 ~m2 ~insn_words:[| w0; w1; w2; w3; w4 |]
+             ~first_off:(Block.first_insn_offset Block.Mux)
+         | _, _, _ -> fail_bus 0)
+    end
+  end
+
+let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : Keys.t) (image : Image.t) =
+  let mem = Memory.create ~size_bytes:config.Run_config.mem_size () in
+  Memory.load_bytes mem ~addr:image.Image.data_base image.Image.data;
+  let machine = Machine.create ~entry:image.Image.entry ~sp:(Run_config.initial_sp config) in
+  List.iteri (fun i v -> if i < 8 then Machine.write_reg machine (Reg.a i) v) args;
+  let icache = Icache.create config.Run_config.icache in
+  let timing = config.Run_config.timing in
+  let cycles = ref 0 in
+  let instructions = ref 0 in
+  let mac_words = ref 0 in
+  let blocks = ref 0 in
+  let redirects = ref 0 in
+  let load_use = ref 0 in
+  let pending_load : Reg.t option ref = ref None in
+  (* memoised frontend: decryption is deterministic per (target, prevPC) *)
+  let fetch_cache : (int * int, fetch_outcome) Hashtbl.t = Hashtbl.create 1024 in
+  let fetch_count = ref 0 in
+  let fetch ~target ~prev_pc =
+    incr fetch_count;
+    match fault with
+    | Some (n, bit) when !fetch_count = n ->
+      (* transient fetch-path fault: one bit of this fetch group flips;
+         bypass the memo in both directions *)
+      let _, base = classify ~text_base:image.Image.text_base target in
+      let address = base + (4 * (bit / 32 mod Block.words_per_block)) in
+      (match Image.fetch image address with
+       | Some w ->
+         let faulted =
+           Image.with_tampered_word image ~address ~value:(w lxor (1 lsl (bit mod 32)))
+         in
+         fetch_block ~keys ~image:faulted ~target ~prev_pc
+       | None -> fetch_block ~keys ~image ~target ~prev_pc)
+    | Some _ | None ->
+      (match Hashtbl.find_opt fetch_cache (target, prev_pc) with
+       | Some r -> r
+       | None ->
+         let r = fetch_block ~keys ~image ~target ~prev_pc in
+         Hashtbl.replace fetch_cache (target, prev_pc) r;
+         r)
+  in
+  let finish outcome =
+    {
+      Machine.outcome;
+      stats =
+        {
+          Machine.cycles = !cycles;
+          instructions = !instructions;
+          mac_words_fetched = !mac_words;
+          blocks_entered = !blocks;
+          redirects = !redirects;
+          icache_accesses = Icache.accesses icache;
+          icache_misses = Icache.misses icache;
+          load_use_stalls = !load_use;
+        };
+      outputs = Memory.outputs mem;
+      output_text = Memory.output_text mem;
+    }
+  in
+  let rec run_block ~target ~prev_pc ~redirected =
+    if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
+    else
+      match fetch ~target ~prev_pc with
+      | Fetch_violation v -> finish (Machine.Cpu_reset v)
+      | Block_ok { base; kind; insns } ->
+        incr blocks;
+        let missed = not (Icache.access icache base) in
+        if redirected then incr redirects;
+        (* MAC words per visit: 2 (a multiplexor path skips one of the
+           three). They are absorbed by the verify unit; their cost is
+           the fetch-bandwidth floor below. *)
+        mac_words := !mac_words + 2;
+        pending_load := None;
+        let first_off = Block.first_insn_offset kind in
+        let words_fetched = Block.words_per_block - (Block.mac_words kind - 2) in
+        (* execution cycles of this block visit, compared against the
+           decoupled frontend's fetch floor when the block completes *)
+        let bcost = ref 0 in
+        let finalize () =
+          (match timing.Timing.frontend with
+           | Timing.Decoupled ->
+             let floor = Timing.block_fetch_floor timing ~words_fetched in
+             cycles := !cycles + max !bcost floor
+           | Timing.In_order ->
+             (* every fetched word is a pipeline slot: the two MAC
+                words cost their nop slots on top of the instructions *)
+             cycles := !cycles + !bcost + (2 * timing.Timing.mac_word_cycle));
+          if missed then cycles := !cycles + timing.Timing.icache_miss_penalty;
+          if redirected then cycles := !cycles + timing.Timing.decrypt_redirect_extra
+        in
+        let rec exec_slot i =
+          if i >= Array.length insns then begin
+            (* fall through to the next block *)
+            finalize ();
+            let exit_addr = base + Block.exit_offset in
+            run_block ~target:(base + Block.size_bytes) ~prev_pc:exit_addr ~redirected:false
+          end
+          else if !instructions >= config.Run_config.fuel then begin
+            finalize ();
+            finish Machine.Out_of_fuel
+          end
+          else begin
+            let insn = insns.(i) in
+            let pc = base + first_off + (4 * i) in
+            Machine.set_pc machine pc;
+            incr instructions;
+            (match on_retire with Some f -> f ~pc ~insn | None -> ());
+            bcost := !bcost + Timing.insn_cost timing insn;
+            (match !pending_load with
+             | Some rd when List.exists (Reg.equal rd) (Vanilla.reads insn) ->
+               bcost := !bcost + timing.Timing.load_use_stall;
+               incr load_use
+             | Some _ | None -> ());
+            pending_load := (if Insn.is_load insn then Vanilla.dest insn else None);
+            match Machine.execute machine mem insn with
+            | exception Memory.Bus_error address ->
+              finalize ();
+              finish (Machine.Cpu_reset (Machine.Bus_fault { address }))
+            | Machine.Next -> exec_slot (i + 1)
+            | Machine.Redirect tgt ->
+              bcost := !bcost + timing.Timing.taken_branch_penalty;
+              finalize ();
+              run_block ~target:tgt ~prev_pc:pc ~redirected:true
+            | Machine.Halt code ->
+              finalize ();
+              finish (Machine.Halted code)
+          end
+        in
+        exec_slot 0
+  in
+  run_block ~target:image.Image.entry ~prev_pc:Block.reset_prev_pc ~redirected:true

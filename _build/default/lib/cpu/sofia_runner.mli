@@ -1,0 +1,56 @@
+(** The SOFIA-extended processor model (paper Fig. 1).
+
+    Fetches {e encrypted} 8-word blocks, decrypts each word with the
+    control-flow-dependent CTR keystream, substitutes NOPs for the MAC
+    words, verifies the block CBC-MAC before any instruction can reach
+    the Memory-Access stage, and fires the reset line on any violation:
+    MAC mismatch (tampered code {e or} tampered control flow), a store
+    in a banned slot, an undecodable word, or a fetch outside program
+    memory.
+
+    Entry classification follows the §II-E call-site convention: a
+    transfer to block offset 0 fetches an execution block; offsets 4
+    and 8 select a multiplexor block's first and second control-flow
+    paths. A transfer to any other offset is decrypted as if it started
+    an execution block — the keystream cannot match, so the MAC check
+    catches it (that is the paper's fine-grained CFI property).
+
+    Decryption results are memoised per (target, prevPC) edge: hardware
+    re-decrypts every fetch in a 2-cycle pipelined unit (modelled in
+    {!Timing}); the memo only removes redundant {e simulation} work. *)
+
+val run :
+  ?config:Run_config.t ->
+  ?args:int list ->
+  ?fault:int * int ->
+  ?on_retire:(pc:int -> insn:Sofia_isa.Insn.t -> unit) ->
+  keys:Sofia_crypto.Keys.t ->
+  Sofia_transform.Image.t ->
+  Machine.run_result
+(** Run a protected image from its entry port until [halt], a
+    SOFIA reset, or fuel exhaustion.
+
+    [fault = (n, bit)] injects a transient fetch-path fault: during the
+    [n]-th block fetch (1-based), bit [bit mod 256] of the fetched
+    8-word group reads flipped — a glitch on the memory bus or in the
+    instruction cache, the threat the paper's conclusion lists as
+    future work. The stored image is unchanged (the fault is
+    transient). *)
+
+type fetch_outcome =
+  | Block_ok of {
+      base : int;
+      kind : Sofia_transform.Block.kind;
+      insns : Sofia_isa.Insn.t array;
+    }
+  | Fetch_violation of Machine.violation
+
+val fetch_block :
+  keys:Sofia_crypto.Keys.t ->
+  image:Sofia_transform.Image.t ->
+  target:int ->
+  prev_pc:int ->
+  fetch_outcome
+(** One frontend fetch-decrypt-verify cycle, exposed for unit tests and
+    for the attack analyzer (e.g. to ask "would this diverted edge have
+    been accepted?" without running the machine). *)

@@ -1,0 +1,56 @@
+type frontend_model = Decoupled | In_order
+
+type t = {
+  frontend : frontend_model;
+  base : int;
+  load_extra : int;
+  store_extra : int;
+  mul_extra : int;
+  div_extra : int;
+  taken_branch_penalty : int;
+  load_use_stall : int;
+  icache_miss_penalty : int;
+  mac_word_cycle : int;
+  decrypt_redirect_extra : int;
+  fetch_words_num : int;
+  fetch_words_den : int;
+}
+
+(* Evaluation-board calibration: LEON3 with write-through caches and
+   external memory wait states (the paper's vanilla ADPCM run implies a
+   CPI well above the core's ideal ~1.1: 114.2 Mcycles for a 6,976-byte
+   binary). Loads/stores pay AHB latency; taken branches flush the
+   front of the 7-stage pipe (our ISA has no delay slot). *)
+let leon3_default =
+  {
+    frontend = Decoupled;
+    base = 1;
+    load_extra = 3;
+    store_extra = 3;
+    mul_extra = 4;
+    div_extra = 34;
+    taken_branch_penalty = 4;
+    load_use_stall = 1;
+    icache_miss_penalty = 20;
+    mac_word_cycle = 1;
+    decrypt_redirect_extra = 2;
+    fetch_words_num = 2;
+    fetch_words_den = 1;
+  }
+
+let insn_cost t (insn : Sofia_isa.Insn.t) =
+  match insn with
+  | Sofia_isa.Insn.Load _ -> t.base + t.load_extra
+  | Sofia_isa.Insn.Store _ -> t.base + t.store_extra
+  | Sofia_isa.Insn.Alu_r (op, _, _, _) | Sofia_isa.Insn.Alu_i (op, _, _, _) ->
+    (match op with
+     | Sofia_isa.Insn.Mul -> t.base + t.mul_extra
+     | Sofia_isa.Insn.Div | Sofia_isa.Insn.Rem -> t.base + t.div_extra
+     | Sofia_isa.Insn.Add | Sofia_isa.Insn.Sub | Sofia_isa.Insn.And | Sofia_isa.Insn.Or
+     | Sofia_isa.Insn.Xor | Sofia_isa.Insn.Sll | Sofia_isa.Insn.Srl | Sofia_isa.Insn.Sra
+     | Sofia_isa.Insn.Slt | Sofia_isa.Insn.Sltu -> t.base)
+  | Sofia_isa.Insn.Lui _ | Sofia_isa.Insn.Branch _ | Sofia_isa.Insn.Jal _
+  | Sofia_isa.Insn.Jalr _ | Sofia_isa.Insn.Halt _ -> t.base
+
+let block_fetch_floor t ~words_fetched =
+  ((words_fetched * t.fetch_words_den) + t.fetch_words_num - 1) / t.fetch_words_num

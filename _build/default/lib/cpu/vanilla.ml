@@ -1,0 +1,108 @@
+module Insn = Sofia_isa.Insn
+module Reg = Sofia_isa.Reg
+module Encoding = Sofia_isa.Encoding
+module Program = Sofia_asm.Program
+
+(* Registers an instruction reads (for load-use stall detection). *)
+let reads (insn : Insn.t) =
+  match insn with
+  | Insn.Alu_r (_, _, rs1, rs2) -> [ rs1; rs2 ]
+  | Insn.Alu_i (_, _, rs1, _) -> [ rs1 ]
+  | Insn.Lui _ | Insn.Jal _ | Insn.Halt _ -> []
+  | Insn.Load (_, _, base, _) -> [ base ]
+  | Insn.Store (_, src, base, _) -> [ src; base ]
+  | Insn.Branch (_, rs1, rs2, _) -> [ rs1; rs2 ]
+  | Insn.Jalr (_, rs1, _) -> [ rs1 ]
+
+let dest (insn : Insn.t) =
+  match insn with
+  | Insn.Alu_r (_, rd, _, _) | Insn.Alu_i (_, rd, _, _) | Insn.Lui (rd, _)
+  | Insn.Load (_, rd, _, _) | Insn.Jal (rd, _) | Insn.Jalr (rd, _, _) -> Some rd
+  | Insn.Store _ | Insn.Branch _ | Insn.Halt _ -> None
+
+let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ~text ~text_base ~entry
+    ~data ~data_base () =
+  let mem = Memory.create ~size_bytes:config.Run_config.mem_size () in
+  Memory.load_bytes mem ~addr:data_base data;
+  let machine = Machine.create ~entry ~sp:(Run_config.initial_sp config) in
+  List.iteri (fun i v -> if i < 8 then Machine.write_reg machine (Reg.a i) v) args;
+  let icache = Icache.create config.Run_config.icache in
+  let timing = config.Run_config.timing in
+  let n = Array.length text in
+  let decoded = Array.make n None in
+  let decode i =
+    match decoded.(i) with
+    | Some d -> d
+    | None ->
+      let d = Encoding.decode text.(i) in
+      decoded.(i) <- Some d;
+      d
+  in
+  let cycles = ref 0 in
+  let instructions = ref 0 in
+  let redirects = ref 0 in
+  let load_use = ref 0 in
+  let pending_load : Reg.t option ref = ref None in
+  let finish outcome =
+    {
+      Machine.outcome;
+      stats =
+        {
+          Machine.cycles = !cycles;
+          instructions = !instructions;
+          mac_words_fetched = 0;
+          blocks_entered = 0;
+          redirects = !redirects;
+          icache_accesses = Icache.accesses icache;
+          icache_misses = Icache.misses icache;
+          load_use_stalls = !load_use;
+        };
+      outputs = Memory.outputs mem;
+      output_text = Memory.output_text mem;
+    }
+  in
+  let rec step () =
+    if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
+    else begin
+      let pc = Machine.pc machine in
+      let rel = pc - text_base in
+      if rel < 0 || rel mod 4 <> 0 || rel / 4 >= n then
+        finish (Machine.Cpu_reset (Machine.Bus_fault { address = pc }))
+      else begin
+        let i = rel / 4 in
+        if not (Icache.access icache pc) then cycles := !cycles + timing.Timing.icache_miss_penalty;
+        match decode i with
+        | None ->
+          finish (Machine.Cpu_reset (Machine.Invalid_opcode { address = pc; word = text.(i) }))
+        | Some insn ->
+          incr instructions;
+          (match on_retire with Some f -> f ~pc ~insn | None -> ());
+          cycles := !cycles + Timing.insn_cost timing insn;
+          (match !pending_load with
+           | Some rd when List.exists (Reg.equal rd) (reads insn) ->
+             cycles := !cycles + timing.Timing.load_use_stall;
+             incr load_use
+           | Some _ | None -> ());
+          pending_load := (if Insn.is_load insn then dest insn else None);
+          (match Machine.execute machine mem insn with
+           | exception Memory.Bus_error address ->
+             finish (Machine.Cpu_reset (Machine.Bus_fault { address }))
+           | Machine.Next ->
+             Machine.set_pc machine (pc + 4);
+             step ()
+           | Machine.Redirect target ->
+             incr redirects;
+             cycles := !cycles + timing.Timing.taken_branch_penalty;
+             pending_load := None;
+             Machine.set_pc machine target;
+             step ()
+           | Machine.Halt code -> finish (Machine.Halted code))
+      end
+    end
+  in
+  step ()
+
+let run ?config ?args ?on_retire (program : Program.t) =
+  run_encoded ?config ?args ?on_retire ~text:(Program.encoded_text program)
+    ~text_base:program.Program.text_base ~entry:program.Program.entry
+    ~data:program.Program.data ~data_base:program.Program.data_base ()

@@ -1,0 +1,38 @@
+(** The unmodified ("stock LEON3") processor model: the baseline of
+    every comparison in the paper's §IV.
+
+    It fetches 32-bit words from the text image, decodes, and executes
+    with the {!Timing} cost model — no decryption, no MAC verification,
+    no protection whatsoever: tampered words execute if they decode,
+    and control can flow anywhere. *)
+
+val reads : Sofia_isa.Insn.t -> Sofia_isa.Reg.t list
+(** Source registers (used for load-use stall detection). *)
+
+val dest : Sofia_isa.Insn.t -> Sofia_isa.Reg.t option
+(** Destination register, if any. *)
+
+val run :
+  ?config:Run_config.t ->
+  ?args:int list ->
+  ?on_retire:(pc:int -> insn:Sofia_isa.Insn.t -> unit) ->
+  Sofia_asm.Program.t ->
+  Machine.run_result
+(** Assemble-and-go: runs from the program's entry point until [halt],
+    a fault, or fuel exhaustion. [args] preloads [a0], [a1], …;
+    [on_retire] observes every retired instruction (tracing). *)
+
+val run_encoded :
+  ?config:Run_config.t ->
+  ?args:int list ->
+  ?on_retire:(pc:int -> insn:Sofia_isa.Insn.t -> unit) ->
+  text:int array ->
+  text_base:int ->
+  entry:int ->
+  data:Bytes.t ->
+  data_base:int ->
+  unit ->
+  Machine.run_result
+(** Run raw encoded words — the entry point the attack suite uses to
+    execute {e tampered} vanilla binaries (a word that no longer
+    decodes raises an invalid-opcode trap, exactly like a real CPU). *)

@@ -1,0 +1,1 @@
+lib/crypto/cbc_mac.ml: Array Int64 List Rectangle

@@ -1,0 +1,1 @@
+lib/crypto/ctr.ml: Int64 Printf Rectangle Sofia_util Word

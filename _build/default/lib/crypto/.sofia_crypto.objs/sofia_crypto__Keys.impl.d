@@ -1,0 +1,1 @@
+lib/crypto/keys.ml: Printf Rectangle Sofia_util

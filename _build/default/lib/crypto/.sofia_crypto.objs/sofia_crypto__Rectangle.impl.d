@@ -1,0 +1,1 @@
+lib/crypto/rectangle.ml: Array Bytes Int64 Printf Prng Sofia_util String Word

@@ -1,0 +1,1 @@
+lib/crypto/rectangle.mli: Sofia_util

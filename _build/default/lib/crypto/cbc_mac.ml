@@ -1,0 +1,26 @@
+let mac key blocks =
+  List.fold_left (fun c m -> Rectangle.encrypt key (Int64.logxor c m)) 0L blocks
+  |> fun c -> if blocks = [] then Rectangle.encrypt key 0L else c
+
+let pack_words words =
+  let n = Array.length words in
+  let nblocks = (n + 1) / 2 in
+  List.init nblocks (fun i ->
+    let lo = Int64.of_int (words.(2 * i) land 0xFFFF_FFFF) in
+    let hi =
+      if (2 * i) + 1 < n then Int64.of_int (words.((2 * i) + 1) land 0xFFFF_FFFF) else 0L
+    in
+    Int64.logor lo (Int64.shift_left hi 32))
+
+let mac_words key words = mac key (pack_words words)
+
+let split_tag t =
+  ( Int64.to_int (Int64.logand t 0xFFFF_FFFFL),
+    Int64.to_int (Int64.logand (Int64.shift_right_logical t 32) 0xFFFF_FFFFL) )
+
+let join_tag m1 m2 =
+  Int64.logor
+    (Int64.of_int (m1 land 0xFFFF_FFFF))
+    (Int64.shift_left (Int64.of_int (m2 land 0xFFFF_FFFF)) 32)
+
+let verify_words key words ~m1 ~m2 = Int64.equal (mac_words key words) (join_tag m1 m2)

@@ -1,0 +1,20 @@
+open Sofia_util
+
+let counter ~nonce ~prev_pc ~pc =
+  if nonce < 0 || nonce > 0xFF then invalid_arg "Ctr.counter: nonce must be 8-bit";
+  let widx name a =
+    if a < 0 || a mod 4 <> 0 || a / 4 >= 1 lsl 28 then
+      invalid_arg (Printf.sprintf "Ctr.counter: bad %s address 0x%x" name a);
+    a / 4
+  in
+  let p = widx "prev_pc" prev_pc and c = widx "pc" pc in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int nonce) 56)
+    (Int64.logor (Int64.shift_left (Int64.of_int p) 28) (Int64.of_int c))
+
+let keystream32 key ~nonce ~prev_pc ~pc =
+  let o = Rectangle.encrypt key (counter ~nonce ~prev_pc ~pc) in
+  Int64.to_int (Int64.logand o 0xFFFF_FFFFL)
+
+let crypt_word key ~nonce ~prev_pc ~pc w =
+  Word.u32 (w lxor keystream32 key ~nonce ~prev_pc ~pc)

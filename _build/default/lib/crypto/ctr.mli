@@ -1,0 +1,25 @@
+(** Control-flow-dependent CTR-mode instruction encryption (paper
+    §II-A, Alg. 1).
+
+    The counter for an instruction at address [pc] reached from the
+    instruction at address [prev_pc] is the 64-bit block
+
+    {v I = ω(8) ‖ prevPC/4 (28) ‖ PC/4 (28) v}
+
+    (word indices; the paper writes [{ω ‖ prevPC ‖ PC}] without fixing
+    a packing — any injective packing preserves the argument). The
+    keystream is [E_k1(I)] and the instruction word is XORed with its
+    [r = 32] least-significant bits:
+    [cinst = Ek1(I) ⊕ inst], [inst' = Ek1(I) ⊕ cinst]. *)
+
+val counter : nonce:int -> prev_pc:int -> pc:int -> int64
+(** Build the counter block. [nonce] is the 8-bit program nonce ω;
+    addresses must be word-aligned and below 2^30.
+    @raise Invalid_argument otherwise. *)
+
+val keystream32 : Rectangle.key -> nonce:int -> prev_pc:int -> pc:int -> int
+(** Low 32 bits of [E_k1(counter)]. *)
+
+val crypt_word : Rectangle.key -> nonce:int -> prev_pc:int -> pc:int -> int -> int
+(** XOR a 32-bit word with the keystream; its own inverse, so it both
+    encrypts and decrypts. *)

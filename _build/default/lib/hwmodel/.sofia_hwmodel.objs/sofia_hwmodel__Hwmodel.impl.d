@@ -1,0 +1,1 @@
+lib/hwmodel/hwmodel.ml: Float List Printf Sofia_util

@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Insn Printf Prng Reg Sofia_util Word

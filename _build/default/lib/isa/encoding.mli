@@ -1,0 +1,47 @@
+(** Binary encoding of SLEON-32 instructions.
+
+    Instructions are 32-bit words; the major opcode lives in bits
+    [31:26]. The encoding is dense enough that a uniformly random word
+    decodes to a valid instruction with probability ≈ 0.28 — the
+    quantitative version of the paper's §II-A observation that an
+    incorrectly decrypted instruction "might have a valid opcode" and
+    execute with malicious effect, which is what the SI mechanism
+    exists to stop.
+
+    Layout summary (bit fields, high to low):
+    - [0x00] alu-r:  op(6) rd(5) rs1(5) rs2(5) funct(11)
+    - [0x01–0x09] alu-i (addi andi ori xori slli srli srai slti sltiu):
+      op(6) rd(5) rs1(5) imm(16)
+    - [0x0A] lui:    op(6) rd(5) zero(5) imm(16)
+    - [0x0B/0x0C] ld/ldb:   op(6) rd(5) base(5) simm(16)
+    - [0x0D/0x0E] st/stb:   op(6) src(5) base(5) simm(16)
+    - [0x0F] branch: op(6) cond(4) rs1(5) rs2(5) soff(12)
+    - [0x10] jal:    op(6) rd(5) soff(21)
+    - [0x11] jalr:   op(6) rd(5) rs1(5) simm(16)
+    - [0x12] halt:   op(6) code(26)
+
+    Immediate conventions: [addi]/[slti]/loads/stores/[jalr] immediates
+    are signed 16-bit; [andi]/[ori]/[xori]/[sltiu] are zero-extended
+    16-bit; shift immediates are 5-bit; branch offsets signed 12-bit
+    words; [jal] offsets signed 21-bit words. *)
+
+exception Encode_error of string
+
+val encode : Insn.t -> int
+(** [encode i] is the 32-bit word for [i].
+    @raise Encode_error if an immediate is out of range for its
+    field. *)
+
+val decode : int -> Insn.t option
+(** [decode w] decodes the low 32 bits of [w]; [None] when [w] is not a
+    valid instruction (unknown opcode, reserved funct/cond, non-zero
+    must-be-zero field). *)
+
+val imm16_signed_fits : int -> bool
+val imm16_unsigned_fits : int -> bool
+val branch_offset_fits : int -> bool
+val jal_offset_fits : int -> bool
+
+val valid_word_fraction : samples:int -> seed:int64 -> float
+(** Monte-Carlo estimate of the probability that a uniformly random
+    32-bit word decodes to a valid instruction. *)

@@ -1,0 +1,147 @@
+type alu_op =
+  | Add
+  | Sub
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Mul
+  | Div
+  | Rem
+  | Slt
+  | Sltu
+
+type cond = Eq | Ne | Lt | Ge | Ltu | Geu | Gt | Le | Gtu | Leu
+
+type width = W32 | W8
+
+type t =
+  | Alu_r of alu_op * Reg.t * Reg.t * Reg.t
+  | Alu_i of alu_op * Reg.t * Reg.t * int
+  | Lui of Reg.t * int
+  | Load of width * Reg.t * Reg.t * int
+  | Store of width * Reg.t * Reg.t * int
+  | Branch of cond * Reg.t * Reg.t * int
+  | Jal of Reg.t * int
+  | Jalr of Reg.t * Reg.t * int
+  | Halt of int
+
+let nop = Alu_r (Add, Reg.zero, Reg.zero, Reg.zero)
+
+let has_imm_form = function
+  | Add | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu -> true
+  | Sub | Mul | Div | Rem -> false
+
+let is_store = function
+  | Store _ -> true
+  | Alu_r _ | Alu_i _ | Lui _ | Load _ | Branch _ | Jal _ | Jalr _ | Halt _ -> false
+
+let is_load = function
+  | Load _ -> true
+  | Alu_r _ | Alu_i _ | Lui _ | Store _ | Branch _ | Jal _ | Jalr _ | Halt _ -> false
+
+let is_control_flow = function
+  | Branch _ | Jal _ | Jalr _ | Halt _ -> true
+  | Alu_r _ | Alu_i _ | Lui _ | Load _ | Store _ -> false
+
+let is_conditional = function
+  | Branch _ -> true
+  | Alu_r _ | Alu_i _ | Lui _ | Load _ | Store _ | Jal _ | Jalr _ | Halt _ -> false
+
+let is_indirect = function
+  | Jalr _ -> true
+  | Alu_r _ | Alu_i _ | Lui _ | Load _ | Store _ | Branch _ | Jal _ | Halt _ -> false
+
+let eval_cond c a b =
+  let open Sofia_util in
+  let sa = Word.signed32 a and sb = Word.signed32 b in
+  let ua = Word.u32 a and ub = Word.u32 b in
+  match c with
+  | Eq -> ua = ub
+  | Ne -> ua <> ub
+  | Lt -> sa < sb
+  | Ge -> sa >= sb
+  | Ltu -> ua < ub
+  | Geu -> ua >= ub
+  | Gt -> sa > sb
+  | Le -> sa <= sb
+  | Gtu -> ua > ub
+  | Leu -> ua <= ub
+
+let eval_alu op a b =
+  let open Sofia_util in
+  let sa = Word.signed32 a and sb = Word.signed32 b in
+  let ua = Word.u32 a and ub = Word.u32 b in
+  match op with
+  | Add -> Word.add32 ua ub
+  | Sub -> Word.sub32 ua ub
+  | And -> ua land ub
+  | Or -> ua lor ub
+  | Xor -> ua lxor ub
+  | Sll -> Word.u32 (ua lsl (ub land 31))
+  | Srl -> ua lsr (ub land 31)
+  | Sra -> Word.u32 (sa asr (ub land 31))
+  | Mul -> Word.mul32 ua ub
+  | Div -> if sb = 0 then Word.mask32 else Word.u32 (sa / sb)
+  | Rem -> if sb = 0 then ua else Word.u32 (sa mod sb)
+  | Slt -> if sa < sb then 1 else 0
+  | Sltu -> if ua < ub then 1 else 0
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+
+let cond_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Ltu -> "ltu"
+  | Geu -> "geu"
+  | Gt -> "gt"
+  | Le -> "le"
+  | Gtu -> "gtu"
+  | Leu -> "leu"
+
+let pp fmt insn =
+  let r = Reg.name in
+  match insn with
+  | Alu_r (Add, d, s1, s2)
+    when Reg.equal d Reg.zero && Reg.equal s1 Reg.zero && Reg.equal s2 Reg.zero ->
+    Format.pp_print_string fmt "nop"
+  | Alu_r (op, d, s1, s2) ->
+    Format.fprintf fmt "%s %s, %s, %s" (alu_name op) (r d) (r s1) (r s2)
+  | Alu_i (op, d, s1, imm) ->
+    Format.fprintf fmt "%si %s, %s, %d" (alu_name op) (r d) (r s1) imm
+  | Lui (d, imm) -> Format.fprintf fmt "lui %s, %d" (r d) imm
+  | Load (W32, d, base, off) -> Format.fprintf fmt "ld %s, %d(%s)" (r d) off (r base)
+  | Load (W8, d, base, off) -> Format.fprintf fmt "ldb %s, %d(%s)" (r d) off (r base)
+  | Store (W32, src, base, off) -> Format.fprintf fmt "st %s, %d(%s)" (r src) off (r base)
+  | Store (W8, src, base, off) -> Format.fprintf fmt "stb %s, %d(%s)" (r src) off (r base)
+  | Branch (c, s1, s2, woff) ->
+    Format.fprintf fmt "b%s %s, %s, %d" (cond_name c) (r s1) (r s2) woff
+  | Jal (d, woff) ->
+    if Reg.equal d Reg.zero then Format.fprintf fmt "j %d" woff
+    else Format.fprintf fmt "jal %s, %d" (r d) woff
+  | Jalr (d, s1, off) ->
+    if Reg.equal d Reg.zero && Reg.equal s1 Reg.ra && off = 0 then
+      Format.pp_print_string fmt "ret"
+    else Format.fprintf fmt "jalr %s, %s, %d" (r d) (r s1) off
+  | Halt code -> Format.fprintf fmt "halt %d" code
+
+let to_string insn = Format.asprintf "%a" pp insn
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,97 @@
+(** SLEON-32 instruction set.
+
+    A 32-bit fixed-width RISC ISA standing in for the SPARCv8 of the
+    paper's LEON3 prototype. SOFIA is ISA-agnostic; what the
+    architecture needs from the ISA is: 32-bit instruction words, a
+    distinguished class of store instructions (the Memory-Access-stage
+    guard of paper §II-B.2), direct branches/calls with statically known
+    targets, and indirect jumps whose target sets a precise CFG can
+    enumerate.
+
+    The all-zero word decodes to [add zero, zero, zero], the canonical
+    NOP — mirroring how SOFIA hardware substitutes NOPs for fetched MAC
+    words before the decode stage. *)
+
+type alu_op =
+  | Add
+  | Sub
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Mul
+  | Div
+  | Rem
+  | Slt
+  | Sltu
+
+type cond = Eq | Ne | Lt | Ge | Ltu | Geu | Gt | Le | Gtu | Leu
+
+type width = W32 | W8
+
+type t =
+  | Alu_r of alu_op * Reg.t * Reg.t * Reg.t
+      (** [Alu_r (op, rd, rs1, rs2)]. *)
+  | Alu_i of alu_op * Reg.t * Reg.t * int
+      (** [Alu_i (op, rd, rs1, imm)]. Immediate forms exist for
+          [Add], [And], [Or], [Xor], [Sll], [Srl], [Sra], [Slt],
+          [Sltu]. Logical immediates are zero-extended 16-bit values,
+          [Add]/[Slt] immediates are signed 16-bit, shifts take a 5-bit
+          amount. *)
+  | Lui of Reg.t * int  (** [rd <- imm16 << 16]. *)
+  | Load of width * Reg.t * Reg.t * int
+      (** [Load (w, rd, base, off)]: [rd <- mem_w\[base + off\]];
+          signed 16-bit byte offset. *)
+  | Store of width * Reg.t * Reg.t * int
+      (** [Store (w, src, base, off)]: [mem_w\[base + off\] <- src]. *)
+  | Branch of cond * Reg.t * Reg.t * int
+      (** [Branch (c, rs1, rs2, woff)]: if [c rs1 rs2] then
+          [pc <- pc + 4*woff]. Signed 12-bit word offset relative to
+          the branch instruction itself. *)
+  | Jal of Reg.t * int
+      (** [Jal (rd, woff)]: [rd <- pc + 4; pc <- pc + 4*woff]. Signed
+          21-bit word offset. [rd = zero] is a plain jump, [rd = ra] a
+          call. *)
+  | Jalr of Reg.t * Reg.t * int
+      (** [Jalr (rd, rs1, off)]: [rd <- pc + 4; pc <- rs1 + off].
+          [jalr zero, ra, 0] is the return idiom. *)
+  | Halt of int  (** Stop simulation with a 26-bit exit code. *)
+
+val nop : t
+(** [add zero, zero, zero]. *)
+
+val has_imm_form : alu_op -> bool
+(** Whether [Alu_i] accepts this operation. *)
+
+val is_store : t -> bool
+(** Paper §II-B.2: stores are the instructions the SI mechanism must
+    keep out of the MA stage until the block MAC verifies. *)
+
+val is_load : t -> bool
+
+val is_control_flow : t -> bool
+(** Branch, jal, jalr or halt: the instructions that may end a SOFIA
+    block (control may leave a block only at its last word). *)
+
+val is_conditional : t -> bool
+
+val is_indirect : t -> bool
+(** [Jalr]: successor set not evident from the encoding. *)
+
+val eval_cond : cond -> int -> int -> bool
+(** [eval_cond c a b] with [a], [b] unsigned 32-bit register values;
+    signed conditions reinterpret them as two's complement. *)
+
+val eval_alu : alu_op -> int -> int -> int
+(** 32-bit ALU semantics. Division by zero yields all-ones for [Div]
+    and the dividend for [Rem] (no trap, like RISC-V). *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-syntax printer, e.g. [add a0, a1, a2];
+    [bne t0, zero, -12]; [ld a0, 8(sp)]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

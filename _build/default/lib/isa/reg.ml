@@ -1,0 +1,68 @@
+type t = int
+
+let of_int i =
+  if i < 0 || i > 31 then invalid_arg (Printf.sprintf "Reg.of_int: %d" i);
+  i
+
+let to_int r = r
+
+let zero = 0
+let gp = 28
+let fp = 29
+let sp = 30
+let ra = 31
+
+let a i =
+  if i < 0 || i > 7 then invalid_arg "Reg.a";
+  4 + i
+
+let s i =
+  if i < 0 || i > 7 then invalid_arg "Reg.s";
+  12 + i
+
+let t i =
+  if i < 0 || i > 7 then invalid_arg "Reg.t";
+  20 + i
+
+let name r =
+  match r with
+  | 0 -> "zero"
+  | 28 -> "gp"
+  | 29 -> "fp"
+  | 30 -> "sp"
+  | 31 -> "ra"
+  | r when r >= 4 && r <= 11 -> Printf.sprintf "a%d" (r - 4)
+  | r when r >= 12 && r <= 19 -> Printf.sprintf "s%d" (r - 12)
+  | r when r >= 20 && r <= 27 -> Printf.sprintf "t%d" (r - 20)
+  | r -> Printf.sprintf "r%d" r
+
+let of_name s =
+  let parse_indexed prefix base limit =
+    let p = String.length prefix in
+    if String.length s > p && String.sub s 0 p = prefix then
+      match int_of_string_opt (String.sub s p (String.length s - p)) with
+      | Some i when i >= 0 && i < limit -> Some (base + i)
+      | Some _ | None -> None
+    else None
+  in
+  match s with
+  | "zero" -> Some 0
+  | "gp" -> Some 28
+  | "fp" -> Some 29
+  | "sp" -> Some 30
+  | "ra" -> Some 31
+  | _ ->
+    (match parse_indexed "r" 0 32 with
+     | Some r -> Some r
+     | None ->
+       (match parse_indexed "a" 4 8 with
+        | Some r -> Some r
+        | None ->
+          (match parse_indexed "s" 12 8 with
+           | Some r -> Some r
+           | None -> parse_indexed "t" 20 8)))
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+let equal = Int.equal
+let compare = Int.compare

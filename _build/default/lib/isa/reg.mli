@@ -1,0 +1,45 @@
+(** General-purpose registers of the SLEON-32 ISA.
+
+    32 registers; [r0] is hardwired to zero (writes are discarded), as
+    on SPARC's %g0. Conventional aliases:
+
+    - [zero] = r0
+    - [a0]–[a7] = r4–r11 (arguments / results / caller-saved)
+    - [s0]–[s7] = r12–r19 (callee-saved)
+    - [t0]–[t7] = r20–r27 (temporaries)
+    - [gp] = r28, [fp] = r29, [sp] = r30, [ra] = r31 *)
+
+type t = private int
+(** A register index in [0, 31]. *)
+
+val of_int : int -> t
+(** @raise Invalid_argument if outside [0, 31]. *)
+
+val to_int : t -> int
+
+val zero : t
+val gp : t
+val fp : t
+val sp : t
+val ra : t
+
+val a : int -> t
+(** [a i] is argument register [i] for [i] in [0, 7]. *)
+
+val s : int -> t
+(** [s i] is saved register [i] for [i] in [0, 7]. *)
+
+val t : int -> t
+(** [t i] is temporary register [i] for [i] in [0, 7]. *)
+
+val name : t -> string
+(** Canonical alias ("zero", "a0", …, "ra"); plain registers print as
+    ["rN"]. *)
+
+val of_name : string -> t option
+(** Parses both alias names and ["rN"] forms. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

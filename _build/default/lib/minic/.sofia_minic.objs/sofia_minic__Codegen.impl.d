@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Codegen Format Parser Printf Sofia_asm

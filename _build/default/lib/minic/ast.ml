@@ -1,0 +1,53 @@
+type position = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr
+
+type unop = Neg | BNot | LNot
+
+type expr = { desc : expr_desc; pos : position }
+
+and expr_desc =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Call_indirect of string * expr * expr list
+      (* [table[e](args)]: indirect call through a function table *)
+
+type stmt = { sdesc : stmt_desc; spos : position }
+
+and stmt_desc =
+  | Expr of expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | Local of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+  | Out of expr
+
+type func = { fname : string; params : string list; body : stmt list; fpos : position }
+
+type global =
+  | Scalar of { name : string; init : int }
+  | Array of { name : string; size : int; init : int list }
+  | Funtable of { name : string; entries : string list }
+
+type program = { globals : global list; funcs : func list }
+
+let pp_binop fmt op =
+  Format.pp_print_string fmt
+    (match op with
+     | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+     | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+     | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+     | LAnd -> "&&" | LOr -> "||")

@@ -1,0 +1,67 @@
+(** Abstract syntax of MiniC, the small C-like language the toolchain
+    front-end compiles to SLEON-32 assembly.
+
+    MiniC covers the paper's target domain — bare-metal, OS-less
+    control code: 32-bit integers, global scalars and fixed-size
+    arrays, functions, structured control flow, and an [out(e)]
+    builtin writing the MMIO result port. No pointers-to-functions (the
+    paper's precise-CFG requirement; use the assembler directly for
+    indirect-call code), no recursion limits, no heap. *)
+
+type position = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr  (** short-circuiting *)
+
+type unop = Neg | BNot | LNot
+
+type expr = { desc : expr_desc; pos : position }
+
+and expr_desc =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** [arr\[e\]] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Call_indirect of string * expr * expr list
+      (** [table\[e\](args)]: indirect call through a function table —
+          MiniC's function-pointer construct. Each table may be called
+          from exactly one site, so the SOFIA transformation can assign
+          every entry a unique multiplexor port (paper §II-D). *)
+
+type stmt = { sdesc : stmt_desc; spos : position }
+
+and stmt_desc =
+  | Expr of expr  (** expression statement (typically a call) *)
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [arr\[e1\] = e2] *)
+  | Local of string * expr  (** [int x = e;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+  | Out of expr  (** [out(e)]: write to the MMIO result port *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  fpos : position;
+}
+
+type global =
+  | Scalar of { name : string; init : int }
+  | Array of { name : string; size : int; init : int list }
+      (** [init] shorter than [size] is zero-extended *)
+  | Funtable of { name : string; entries : string list }
+      (** [int name\[\] = { f, g };] — a table of function pointers *)
+
+type program = { globals : global list; funcs : func list }
+
+val pp_binop : Format.formatter -> binop -> unit

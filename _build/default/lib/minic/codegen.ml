@@ -1,0 +1,428 @@
+exception Error of { pos : Ast.position option; message : string }
+
+let fail ?pos fmt = Printf.ksprintf (fun message -> raise (Error { pos; message })) fmt
+
+type global_kind = Gscalar | Garray of int
+
+type env = {
+  globals : (string, global_kind) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;  (* name -> arity *)
+  funtables : (string, string list) Hashtbl.t;  (* table -> entries *)
+  funtable_used : (string, unit) Hashtbl.t;  (* tables already bound to a call site *)
+  slots : (string, int) Hashtbl.t;  (* local/param -> frame slot *)
+  mutable nslots : int;
+  buf : Buffer.t;
+  mutable label_counter : int;
+  fname : string;
+}
+
+let emit env fmt = Printf.ksprintf (fun s -> Buffer.add_string env.buf ("  " ^ s ^ "\n")) fmt
+let label env name = Buffer.add_string env.buf (name ^ ":\n")
+
+let fresh env hint =
+  env.label_counter <- env.label_counter + 1;
+  Printf.sprintf ".L%s_%s%d" env.fname hint env.label_counter
+
+(* frame slot address: fp - 12 - 4*slot *)
+let slot_offset slot = -12 - (4 * slot)
+
+let max_params = 6
+
+(* collect the local declarations of a function body, in order *)
+let rec collect_locals stmts acc =
+  List.fold_left
+    (fun acc (s : Ast.stmt) ->
+      match s.Ast.sdesc with
+      | Ast.Local (name, _) -> name :: acc
+      | Ast.If (_, a, b) -> collect_locals b (collect_locals a acc)
+      | Ast.While (_, body) -> collect_locals body acc
+      | Ast.For (init, _, step, body) ->
+        let acc =
+          match init with
+          | Some { Ast.sdesc = Ast.Local (name, _); _ } -> name :: acc
+          | Some _ | None -> acc
+        in
+        let acc = collect_locals body acc in
+        (match step with
+         | Some { Ast.sdesc = Ast.Local (name, _); _ } -> name :: acc
+         | Some _ | None -> acc)
+      | Ast.Expr _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ | Ast.Out _ | Ast.Break
+      | Ast.Continue -> acc)
+    acc stmts
+
+let push env =
+  emit env "addi sp, sp, -4";
+  emit env "st   a0, 0(sp)"
+
+let pop_a1 env =
+  emit env "ld   a1, 0(sp)";
+  emit env "addi sp, sp, 4"
+
+(* leaf expressions evaluate into a0 using only a0/t0, so a binary
+   operation with a leaf right operand can keep its left value in a1
+   and skip the stack round trip *)
+let is_leaf (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int _ | Ast.Var _ -> true
+  | Ast.Index _ | Ast.Binop _ | Ast.Unop _ | Ast.Call _ | Ast.Call_indirect _ -> false
+
+let rec gen_expr env (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int v ->
+    if v < -0x8000_0000 || v > 0xFFFF_FFFF then fail ~pos:e.Ast.pos "literal out of 32-bit range";
+    emit env "li   a0, %d" v
+  | Ast.Var name -> (
+    match Hashtbl.find_opt env.slots name with
+    | Some slot -> emit env "ld   a0, %d(fp)" (slot_offset slot)
+    | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some Gscalar ->
+        emit env "la   t0, %s" name;
+        emit env "ld   a0, 0(t0)"
+      | Some (Garray _) -> fail ~pos:e.Ast.pos "array %S used as a scalar" name
+      | None -> fail ~pos:e.Ast.pos "unknown variable %S" name))
+  | Ast.Index (name, idx) -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some (Garray _) ->
+      gen_expr env idx;
+      emit env "slli a0, a0, 2";
+      emit env "la   t0, %s" name;
+      emit env "add  t0, t0, a0";
+      emit env "ld   a0, 0(t0)"
+    | Some Gscalar -> fail ~pos:e.Ast.pos "scalar %S indexed as an array" name
+    | None -> fail ~pos:e.Ast.pos "unknown array %S" name)
+  | Ast.Unop (op, inner) -> (
+    gen_expr env inner;
+    match op with
+    | Ast.Neg -> emit env "sub  a0, zero, a0"
+    | Ast.BNot ->
+      emit env "li   a1, -1";
+      emit env "xor  a0, a0, a1"
+    | Ast.LNot -> emit env "sltiu a0, a0, 1")
+  | Ast.Binop (Ast.LAnd, l, r) ->
+    let lfalse = fresh env "andf" and lend = fresh env "ande" in
+    gen_expr env l;
+    emit env "beqz a0, %s" lfalse;
+    gen_expr env r;
+    emit env "sltu a0, zero, a0";
+    emit env "j    %s" lend;
+    label env lfalse;
+    emit env "li   a0, 0";
+    label env lend
+  | Ast.Binop (Ast.LOr, l, r) ->
+    let ltrue = fresh env "ort" and lend = fresh env "ore" in
+    gen_expr env l;
+    emit env "bnez a0, %s" ltrue;
+    gen_expr env r;
+    emit env "sltu a0, zero, a0";
+    emit env "j    %s" lend;
+    label env ltrue;
+    emit env "li   a0, 1";
+    label env lend
+  | Ast.Binop (op, l, r) -> (
+    gen_expr env l;
+    if is_leaf r then begin
+      emit env "mv   a1, a0";
+      gen_expr env r
+    end
+    else begin
+      push env;
+      gen_expr env r;
+      pop_a1 env
+    end;
+    (* a1 = left, a0 = right *)
+    match op with
+    | Ast.Add -> emit env "add  a0, a1, a0"
+    | Ast.Sub -> emit env "sub  a0, a1, a0"
+    | Ast.Mul -> emit env "mul  a0, a1, a0"
+    | Ast.Div -> emit env "div  a0, a1, a0"
+    | Ast.Mod -> emit env "rem  a0, a1, a0"
+    | Ast.BAnd -> emit env "and  a0, a1, a0"
+    | Ast.BOr -> emit env "or   a0, a1, a0"
+    | Ast.BXor -> emit env "xor  a0, a1, a0"
+    | Ast.Shl -> emit env "sll  a0, a1, a0"
+    | Ast.Shr -> emit env "sra  a0, a1, a0"
+    | Ast.Eq ->
+      emit env "xor  a0, a1, a0";
+      emit env "sltiu a0, a0, 1"
+    | Ast.Ne ->
+      emit env "xor  a0, a1, a0";
+      emit env "sltu a0, zero, a0"
+    | Ast.Lt -> emit env "slt  a0, a1, a0"
+    | Ast.Le ->
+      emit env "slt  a0, a0, a1";
+      emit env "xori a0, a0, 1"
+    | Ast.Gt -> emit env "slt  a0, a0, a1"
+    | Ast.Ge ->
+      emit env "slt  a0, a1, a0";
+      emit env "xori a0, a0, 1"
+    | Ast.LAnd | Ast.LOr -> assert false)
+  | Ast.Call (name, args) -> (
+    match Hashtbl.find_opt env.funcs name with
+    | None -> fail ~pos:e.Ast.pos "unknown function %S" name
+    | Some arity ->
+      let nargs = List.length args in
+      if nargs <> arity then
+        fail ~pos:e.Ast.pos "%S expects %d argument(s), got %d" name arity nargs;
+      (* evaluate left to right, pushing; then load into a0..a(n-1):
+         the last-pushed argument is the last parameter *)
+      List.iter
+        (fun a ->
+          gen_expr env a;
+          push env)
+        args;
+      for k = nargs - 1 downto 0 do
+        emit env "ld   a%d, %d(sp)" k (4 * (nargs - 1 - k))
+      done;
+      if nargs > 0 then emit env "addi sp, sp, %d" (4 * nargs);
+      emit env "call %s" name)
+  | Ast.Call_indirect (table, index, args) -> (
+    match Hashtbl.find_opt env.funtables table with
+    | None -> fail ~pos:e.Ast.pos "unknown function table %S" table
+    | Some entries ->
+      (* a table is a single SOFIA indirect site: each entry gets one
+         multiplexor port, so one call site per table *)
+      if Hashtbl.mem env.funtable_used table then
+        fail ~pos:e.Ast.pos "function table %S is already called elsewhere" table;
+      Hashtbl.replace env.funtable_used table ();
+      let arity =
+        match entries with
+        | [] -> fail ~pos:e.Ast.pos "empty function table %S" table
+        | first :: _ -> Hashtbl.find env.funcs first
+      in
+      let nargs = List.length args in
+      if nargs <> arity then
+        fail ~pos:e.Ast.pos "entries of %S expect %d argument(s), got %d" table arity nargs;
+      gen_expr env index;
+      push env;
+      List.iter
+        (fun a ->
+          gen_expr env a;
+          push env)
+        args;
+      for k = nargs - 1 downto 0 do
+        emit env "ld   a%d, %d(sp)" k (4 * (nargs - 1 - k))
+      done;
+      emit env "ld   t0, %d(sp)" (4 * nargs);
+      emit env "addi sp, sp, %d" (4 * (nargs + 1));
+      emit env "slli t0, t0, 2";
+      emit env "la   t1, %s" table;
+      emit env "add  t1, t1, t0";
+      emit env "ld   t0, 0(t1)";
+      emit env ".targets %s" (String.concat ", " entries);
+      emit env "jalr t0")
+
+let gen_condition env cond ~false_label =
+  gen_expr env cond;
+  emit env "beqz a0, %s" false_label
+
+let rec gen_stmt env ~ret_label ?loop (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Expr e -> gen_expr env e
+  | Ast.Local (name, e) | Ast.Assign (name, e) -> (
+    (match s.Ast.sdesc with
+     | Ast.Assign _
+       when Hashtbl.find_opt env.slots name = None
+            && Hashtbl.find_opt env.globals name = None ->
+       fail ~pos:s.Ast.spos "unknown variable %S" name
+     | _ -> ());
+    gen_expr env e;
+    match Hashtbl.find_opt env.slots name with
+    | Some slot -> emit env "st   a0, %d(fp)" (slot_offset slot)
+    | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some Gscalar ->
+        emit env "la   t0, %s" name;
+        emit env "st   a0, 0(t0)"
+      | Some (Garray _) -> fail ~pos:s.Ast.spos "array %S used as a scalar" name
+      | None -> fail ~pos:s.Ast.spos "unknown variable %S" name))
+  | Ast.Store (name, idx, e) -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some (Garray _) ->
+      gen_expr env idx;
+      push env;
+      gen_expr env e;
+      pop_a1 env;
+      emit env "slli a1, a1, 2";
+      emit env "la   t0, %s" name;
+      emit env "add  t0, t0, a1";
+      emit env "st   a0, 0(t0)"
+    | Some Gscalar -> fail ~pos:s.Ast.spos "scalar %S indexed as an array" name
+    | None -> fail ~pos:s.Ast.spos "unknown array %S" name)
+  | Ast.If (cond, then_, else_) ->
+    let lelse = fresh env "else" and lend = fresh env "fi" in
+    gen_condition env cond ~false_label:(if else_ = [] then lend else lelse);
+    List.iter (gen_stmt env ~ret_label ?loop) then_;
+    if else_ <> [] then begin
+      emit env "j    %s" lend;
+      label env lelse;
+      List.iter (gen_stmt env ~ret_label ?loop) else_
+    end;
+    label env lend
+  | Ast.While (cond, body) ->
+    let lhead = fresh env "wh" and lend = fresh env "we" in
+    label env lhead;
+    gen_condition env cond ~false_label:lend;
+    List.iter (gen_stmt env ~ret_label ~loop:(lend, lhead)) body;
+    emit env "j    %s" lhead;
+    label env lend
+  | Ast.For (init, cond, step, body) ->
+    (match init with Some s -> gen_stmt env ~ret_label ?loop s | None -> ());
+    let lhead = fresh env "for" in
+    let lstep = fresh env "fs" in
+    let lend = fresh env "fe" in
+    label env lhead;
+    (match cond with
+     | Some c -> gen_condition env c ~false_label:lend
+     | None -> ());
+    List.iter (gen_stmt env ~ret_label ~loop:(lend, lstep)) body;
+    label env lstep;
+    (match step with Some s -> gen_stmt env ~ret_label ?loop s | None -> ());
+    emit env "j    %s" lhead;
+    label env lend
+  | Ast.Break -> (
+    match loop with
+    | Some (break_label, _) -> emit env "j    %s" break_label
+    | None -> fail ~pos:s.Ast.spos "break outside a loop")
+  | Ast.Continue -> (
+    match loop with
+    | Some (_, continue_label) -> emit env "j    %s" continue_label
+    | None -> fail ~pos:s.Ast.spos "continue outside a loop")
+  | Ast.Return e ->
+    (match e with Some e -> gen_expr env e | None -> emit env "li   a0, 0");
+    emit env "j    %s" ret_label
+  | Ast.Out e ->
+    gen_expr env e;
+    emit env "li   t0, 0xFFFF0000";
+    emit env "st   a0, 0(t0)"
+
+let gen_func ~globals ~funcs ~funtables ~funtable_used (f : Ast.func) =
+  if List.length f.Ast.params > max_params then
+    fail ~pos:f.Ast.fpos "%S has more than %d parameters" f.Ast.fname max_params;
+  let env =
+    {
+      globals;
+      funcs;
+      funtables;
+      funtable_used;
+      slots = Hashtbl.create 16;
+      nslots = 0;
+      buf = Buffer.create 512;
+      label_counter = 0;
+      fname = f.Ast.fname;
+    }
+  in
+  let add_slot pos name =
+    if Hashtbl.mem env.slots name then
+      fail ~pos "duplicate local/parameter %S in %S" name f.Ast.fname;
+    Hashtbl.replace env.slots name env.nslots;
+    env.nslots <- env.nslots + 1
+  in
+  List.iter (add_slot f.Ast.fpos) f.Ast.params;
+  List.iter (add_slot f.Ast.fpos) (List.rev (collect_locals f.Ast.body []));
+  let frame = 8 + (4 * env.nslots) in
+  label env f.Ast.fname;
+  emit env "addi sp, sp, -%d" frame;
+  emit env "st   ra, %d(sp)" (frame - 4);
+  emit env "st   fp, %d(sp)" (frame - 8);
+  emit env "addi fp, sp, %d" frame;
+  List.iteri
+    (fun i p ->
+      let slot = Hashtbl.find env.slots p in
+      emit env "st   a%d, %d(fp)" i (slot_offset slot))
+    f.Ast.params;
+  let ret_label = Printf.sprintf ".L%s_ret" f.Ast.fname in
+  List.iter (gen_stmt env ~ret_label) f.Ast.body;
+  emit env "li   a0, 0" (* fall-off-the-end returns 0 *);
+  label env ret_label;
+  emit env "ld   ra, -4(fp)";
+  emit env "mv   sp, fp";
+  emit env "ld   fp, -8(sp)";
+  emit env "ret";
+  Buffer.contents env.buf
+
+let words_directive values =
+  let buf = Buffer.create 128 in
+  List.iteri
+    (fun i v ->
+      if i mod 16 = 0 then begin
+        if i > 0 then Buffer.add_char buf '\n';
+        Buffer.add_string buf "  .word "
+      end
+      else Buffer.add_string buf ", ";
+      Buffer.add_string buf (string_of_int v))
+    values;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let generate (p : Ast.program) =
+  let globals = Hashtbl.create 16 in
+  let funcs = Hashtbl.create 16 in
+  let funtables = Hashtbl.create 8 in
+  let funtable_used = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      let name =
+        match g with
+        | Ast.Scalar { name; _ } | Ast.Array { name; _ } | Ast.Funtable { name; _ } -> name
+      in
+      if Hashtbl.mem globals name then fail "duplicate global %S" name;
+      (match g with
+       | Ast.Funtable { entries; _ } -> Hashtbl.replace funtables name entries
+       | Ast.Scalar _ | Ast.Array _ -> ());
+      Hashtbl.replace globals name
+        (match g with
+         | Ast.Scalar _ -> Gscalar
+         | Ast.Array { size; _ } -> Garray size
+         | Ast.Funtable { entries; _ } -> Garray (List.length entries)))
+    p.Ast.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem funcs f.Ast.fname || Hashtbl.mem globals f.Ast.fname then
+        fail ~pos:f.Ast.fpos "duplicate definition %S" f.Ast.fname;
+      Hashtbl.replace funcs f.Ast.fname (List.length f.Ast.params))
+    p.Ast.funcs;
+  if not (Hashtbl.mem funcs "main") then fail "no function %S" "main";
+  if Hashtbl.find funcs "main" <> 0 then fail "%S must take no parameters" "main";
+  (* validate function tables: entries exist and agree on arity *)
+  Hashtbl.iter
+    (fun table entries ->
+      let arities =
+        List.map
+          (fun f ->
+            match Hashtbl.find_opt funcs f with
+            | Some a -> a
+            | None -> fail "function table %S refers to unknown function %S" table f)
+          entries
+      in
+      match List.sort_uniq compare arities with
+      | [] | [ _ ] -> ()
+      | _ -> fail "entries of function table %S have different arities" table)
+    funtables;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "; generated by the MiniC front-end\n";
+  Buffer.add_string buf "start:\n  call main\n  halt\n\n";
+  List.iter
+    (fun f -> Buffer.add_string buf (gen_func ~globals ~funcs ~funtables ~funtable_used f ^ "\n"))
+    p.Ast.funcs;
+  if p.Ast.globals <> [] then begin
+    Buffer.add_string buf ".data\n";
+    List.iter
+      (fun g ->
+        match g with
+        | Ast.Scalar { name; init } -> Buffer.add_string buf (Printf.sprintf "%s: .word %d\n" name init)
+        | Ast.Funtable { name; entries } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s: .word %s\n" name (String.concat ", " entries))
+        | Ast.Array { name; size; init } ->
+          let n = List.length init in
+          if n > size then fail "array %S initialiser longer than its size" name;
+          if init = [] then Buffer.add_string buf (Printf.sprintf "%s: .space %d\n" name (4 * size))
+          else begin
+            Buffer.add_string buf (Printf.sprintf "%s:\n" name);
+            Buffer.add_string buf (words_directive init);
+            if size > n then Buffer.add_string buf (Printf.sprintf "  .space %d\n" (4 * (size - n)))
+          end)
+      p.Ast.globals
+  end;
+  Buffer.contents buf

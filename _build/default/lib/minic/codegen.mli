@@ -1,0 +1,24 @@
+(** MiniC → SLEON-32 assembly code generator.
+
+    A deliberately simple, obviously-correct strategy (this is the
+    toolchain substrate, not an optimising compiler):
+
+    - expressions evaluate into [a0], with intermediate results spilled
+      to the machine stack ([a1] and [t0] are the only other scratch
+      registers);
+    - every function gets a frame ([ra], caller's [fp], spilled
+      parameters, locals) addressed off [fp];
+    - arguments pass in [a0]–[a5] (at most 6);
+    - [out(e)] stores to the MMIO result port; [main]'s return ends the
+      program via [halt].
+
+    Calling convention and frame layout are documented in the
+    implementation; generated labels use the reserved [.L] prefix. *)
+
+exception Error of { pos : Ast.position option; message : string }
+
+val generate : Ast.program -> string
+(** Emit assembly text for {!Sofia_asm.Assembler.assemble}.
+    @raise Error on semantic errors (unknown identifiers, arity
+    mismatches, missing [main], duplicate definitions, too many
+    parameters). *)

@@ -1,0 +1,29 @@
+type error = { pos : Ast.position option; message : string }
+
+let pp_error fmt e =
+  match e.pos with
+  | Some { Ast.line; col } -> Format.fprintf fmt "%d:%d: %s" line col e.message
+  | None -> Format.pp_print_string fmt e.message
+
+let to_assembly src =
+  match Codegen.generate (Parser.parse src) with
+  | asm -> Ok asm
+  | exception Parser.Error { pos; message } -> Error { pos = Some pos; message }
+  | exception Codegen.Error { pos; message } -> Error { pos; message }
+
+let to_program src =
+  match to_assembly src with
+  | Error e -> Error e
+  | Ok asm -> (
+    match Sofia_asm.Assembler.assemble asm with
+    | p -> Ok p
+    | exception Sofia_asm.Assembler.Error { line; message } ->
+      (* an assembler error on generated code is a compiler bug; expose
+         the offending line for debugging *)
+      Error
+        { pos = None; message = Printf.sprintf "internal: generated line %d: %s" line message })
+
+let to_program_exn src =
+  match to_program src with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "Minic: %a" pp_error e)

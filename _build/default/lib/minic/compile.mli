@@ -1,0 +1,14 @@
+(** MiniC front-end facade: source text → assembly → program. *)
+
+type error = { pos : Ast.position option; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val to_assembly : string -> (string, error) result
+(** Parse and generate assembly text. *)
+
+val to_program : string -> (Sofia_asm.Program.t, error) result
+(** Parse, generate and assemble. *)
+
+val to_program_exn : string -> Sofia_asm.Program.t
+(** @raise Invalid_argument with a rendered error. *)

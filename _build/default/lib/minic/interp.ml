@@ -1,0 +1,188 @@
+open Sofia_util
+
+type outcome = Finished of int list | Fuel_exhausted
+
+exception Sem_error of string
+exception Out_of_fuel
+exception Return_value of int
+exception Break_loop
+exception Continue_loop
+
+let sem fmt = Printf.ksprintf (fun m -> raise (Sem_error m)) fmt
+
+type value_cell = Vscalar of int ref | Varray of int array | Vfuntable of string array
+
+type state = {
+  globals : (string, value_cell) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable outputs_rev : int list;
+  mutable fuel : int;
+}
+
+let tick st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let eval_binop op a b =
+  let sa = Word.signed32 a and sb = Word.signed32 b in
+  match (op : Ast.binop) with
+  | Ast.Add -> Word.add32 a b
+  | Ast.Sub -> Word.sub32 a b
+  | Ast.Mul -> Word.mul32 a b
+  | Ast.Div -> if sb = 0 then Word.mask32 else Word.u32 (sa / sb)
+  | Ast.Mod -> if sb = 0 then a else Word.u32 (sa mod sb)
+  | Ast.BAnd -> a land b
+  | Ast.BOr -> a lor b
+  | Ast.BXor -> a lxor b
+  | Ast.Shl -> Word.u32 (a lsl (b land 31))
+  | Ast.Shr -> Word.u32 (sa asr (b land 31))
+  | Ast.Eq -> if a = b then 1 else 0
+  | Ast.Ne -> if a <> b then 1 else 0
+  | Ast.Lt -> if sa < sb then 1 else 0
+  | Ast.Le -> if sa <= sb then 1 else 0
+  | Ast.Gt -> if sa > sb then 1 else 0
+  | Ast.Ge -> if sa >= sb then 1 else 0
+  | Ast.LAnd | Ast.LOr -> assert false (* handled by short-circuiting *)
+
+let rec eval st frame (e : Ast.expr) =
+  tick st;
+  match e.Ast.desc with
+  | Ast.Int v -> Word.u32 v
+  | Ast.Var name -> (
+    match Hashtbl.find_opt frame name with
+    | Some r -> !r
+    | None -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some (Vscalar r) -> !r
+      | Some (Varray _) -> sem "array %S used as a scalar" name
+      | Some (Vfuntable _) -> sem "function table %S used as a scalar" name
+      | None -> sem "unknown variable %S" name))
+  | Ast.Index (name, idx) -> (
+    let i = Word.signed32 (eval st frame idx) in
+    match Hashtbl.find_opt st.globals name with
+    | Some (Varray a) ->
+      if i < 0 || i >= Array.length a then sem "index %d out of bounds for %S" i name;
+      a.(i)
+    | Some (Vfuntable _) -> sem "function table %S read as data" name
+    | Some (Vscalar _) -> sem "scalar %S indexed" name
+    | None -> sem "unknown array %S" name)
+  | Ast.Unop (op, inner) -> (
+    let v = eval st frame inner in
+    match op with
+    | Ast.Neg -> Word.u32 (-v)
+    | Ast.BNot -> Word.u32 (lnot v)
+    | Ast.LNot -> if v = 0 then 1 else 0)
+  | Ast.Binop (Ast.LAnd, l, r) ->
+    if eval st frame l = 0 then 0 else if eval st frame r <> 0 then 1 else 0
+  | Ast.Binop (Ast.LOr, l, r) ->
+    if eval st frame l <> 0 then 1 else if eval st frame r <> 0 then 1 else 0
+  | Ast.Binop (op, l, r) ->
+    let a = eval st frame l in
+    let b = eval st frame r in
+    eval_binop op a b
+  | Ast.Call (name, args) -> call st name (List.map (eval st frame) args)
+  | Ast.Call_indirect (table, idx, args) -> (
+    let i = Word.signed32 (eval st frame idx) in
+    match Hashtbl.find_opt st.globals table with
+    | Some (Vfuntable entries) ->
+      if i < 0 || i >= Array.length entries then
+        sem "index %d out of bounds for function table %S" i table;
+      call st entries.(i) (List.map (eval st frame) args)
+    | Some (Varray _ | Vscalar _) -> sem "%S is not a function table" table
+    | None -> sem "unknown function table %S" table)
+
+and call st name arg_values =
+  match Hashtbl.find_opt st.funcs name with
+  | None -> sem "unknown function %S" name
+  | Some f ->
+    if List.length f.Ast.params <> List.length arg_values then
+      sem "%S arity mismatch" name;
+    let frame = Hashtbl.create 8 in
+    List.iter2 (fun p v -> Hashtbl.replace frame p (ref v)) f.Ast.params arg_values;
+    (try
+       exec_block st frame f.Ast.body;
+       0 (* fall off the end: return 0, like the code generator *)
+     with Return_value v -> v)
+
+and exec_block st frame stmts = List.iter (exec st frame) stmts
+
+and exec st frame (s : Ast.stmt) =
+  tick st;
+  match s.Ast.sdesc with
+  | Ast.Expr e -> ignore (eval st frame e)
+  | Ast.Local (name, e) ->
+    let v = eval st frame e in
+    Hashtbl.replace frame name (ref v)
+  | Ast.Assign (name, e) -> (
+    let v = eval st frame e in
+    match Hashtbl.find_opt frame name with
+    | Some r -> r := v
+    | None -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some (Vscalar r) -> r := v
+      | Some (Varray _ | Vfuntable _) -> sem "%S is not a scalar" name
+      | None -> sem "unknown variable %S" name))
+  | Ast.Store (name, idx, e) -> (
+    let i = Word.signed32 (eval st frame idx) in
+    let v = eval st frame e in
+    match Hashtbl.find_opt st.globals name with
+    | Some (Varray a) ->
+      if i < 0 || i >= Array.length a then sem "index %d out of bounds for %S" i name;
+      a.(i) <- v
+    | Some (Vfuntable _ | Vscalar _) -> sem "%S is not a data array" name
+    | None -> sem "unknown array %S" name)
+  | Ast.If (cond, then_, else_) ->
+    if eval st frame cond <> 0 then exec_block st frame then_ else exec_block st frame else_
+  | Ast.While (cond, body) ->
+    let rec loop () =
+      tick st;
+      if eval st frame cond <> 0 then begin
+        (try exec_block st frame body with Continue_loop -> ());
+        loop ()
+      end
+    in
+    (try loop () with Break_loop -> ())
+  | Ast.For (init, cond, step, body) ->
+    (match init with Some s -> exec st frame s | None -> ());
+    let rec loop () =
+      tick st;
+      let go = match cond with Some c -> eval st frame c <> 0 | None -> true in
+      if go then begin
+        (try exec_block st frame body with Continue_loop -> ());
+        (match step with Some s -> exec st frame s | None -> ());
+        loop ()
+      end
+    in
+    (try loop () with Break_loop -> ())
+  | Ast.Break -> raise Break_loop
+  | Ast.Continue -> raise Continue_loop
+  | Ast.Return e ->
+    let v = match e with Some e -> eval st frame e | None -> 0 in
+    raise (Return_value v)
+  | Ast.Out e ->
+    let v = eval st frame e in
+    st.outputs_rev <- v :: st.outputs_rev
+
+let run ?(fuel = 10_000_000) (p : Ast.program) =
+  let st =
+    { globals = Hashtbl.create 16; funcs = Hashtbl.create 16; outputs_rev = []; fuel }
+  in
+  try
+    List.iter
+      (fun g ->
+        match g with
+        | Ast.Scalar { name; init } -> Hashtbl.replace st.globals name (Vscalar (ref (Word.u32 init)))
+        | Ast.Array { name; size; init } ->
+          let a = Array.make size 0 in
+          List.iteri (fun i v -> if i < size then a.(i) <- Word.u32 v) init;
+          Hashtbl.replace st.globals name (Varray a)
+        | Ast.Funtable { name; entries } ->
+          Hashtbl.replace st.globals name (Vfuntable (Array.of_list entries)))
+      p.Ast.globals;
+    List.iter (fun (f : Ast.func) -> Hashtbl.replace st.funcs f.Ast.fname f) p.Ast.funcs;
+    if not (Hashtbl.mem st.funcs "main") then sem "no main function";
+    ignore (call st "main" []);
+    Ok (Finished (List.rev st.outputs_rev))
+  with
+  | Sem_error m -> Error m
+  | Out_of_fuel -> Ok Fuel_exhausted

@@ -1,0 +1,21 @@
+(** Reference interpreter for MiniC with exact 32-bit machine
+    semantics (wrap-around arithmetic, truncating signed division,
+    arithmetic right shift).
+
+    This is the code generator's differential-testing oracle: for any
+    program both engines accept, [run] and a simulator run of the
+    compiled binary must produce identical output streams. The
+    interpreter deliberately shares no code with the compiler.
+
+    Unsupported (rejected with [Error]): reading a function table as
+    data (the compiled program would see machine addresses there), and
+    out-of-bounds array accesses (undefined in the compiled program). *)
+
+type outcome =
+  | Finished of int list  (** [out] values, in order *)
+  | Fuel_exhausted
+
+val run : ?fuel:int -> Ast.program -> (outcome, string) result
+(** Execute [main]. [fuel] bounds the number of evaluation steps
+    (default 10 million). Semantic errors (unknown identifiers, arity
+    mismatches, out-of-bounds indices) return [Error]. *)

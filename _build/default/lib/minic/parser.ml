@@ -1,0 +1,487 @@
+exception Error of { pos : Ast.position; message : string }
+
+let fail pos fmt = Printf.ksprintf (fun message -> raise (Error { pos; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | TInt of int
+  | TIdent of string
+  | TKw of string
+  | TOp of string
+  | TEOF
+
+type lexed = { tok : token; tpos : Ast.position }
+
+let keywords = [ "int"; "if"; "else"; "while"; "for"; "return"; "out"; "break"; "continue" ]
+
+let lex src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () = { Ast.line = !line; col = !col } in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  let cur () = if !i < n then Some src.[!i] else None in
+  let next () = if !i + 1 < n then Some src.[!i + 1] else None in
+  let is_ident_start c = c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let is_ident c = is_ident_start c || (c >= '0' && c <= '9') in
+  let is_digit c = c >= '0' && c <= '9' in
+  let emit tok tpos = out := { tok; tpos } :: !out in
+  let rec go () =
+    match cur () with
+    | None -> emit TEOF (pos ())
+    | Some c ->
+      if c = ' ' || c = '\t' || c = '\r' || c = '\n' then begin
+        advance ();
+        go ()
+      end
+      else if c = '/' && next () = Some '/' then begin
+        while cur () <> None && cur () <> Some '\n' do advance () done;
+        go ()
+      end
+      else if c = '/' && next () = Some '*' then begin
+        let p = pos () in
+        advance ();
+        advance ();
+        let rec skip () =
+          match (cur (), next ()) with
+          | Some '*', Some '/' ->
+            advance ();
+            advance ()
+          | Some _, _ ->
+            advance ();
+            skip ()
+          | None, _ -> fail p "unterminated block comment"
+        in
+        skip ();
+        go ()
+      end
+      else if is_digit c then begin
+        let p = pos () in
+        let start = !i in
+        if c = '0' && (next () = Some 'x' || next () = Some 'X') then begin
+          advance ();
+          advance ();
+          while
+            match cur () with
+            | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+            | None -> false
+          do
+            advance ()
+          done
+        end
+        else
+          while match cur () with Some c -> is_digit c | None -> false do advance () done;
+        let text = String.sub src start (!i - start) in
+        (match int_of_string_opt text with
+         | Some v -> emit (TInt v) p
+         | None -> fail p "bad integer literal %S" text);
+        go ()
+      end
+      else if is_ident_start c then begin
+        let p = pos () in
+        let start = !i in
+        while match cur () with Some c -> is_ident c | None -> false do advance () done;
+        let text = String.sub src start (!i - start) in
+        emit (if List.mem text keywords then TKw text else TIdent text) p;
+        go ()
+      end
+      else if c = '\'' then begin
+        let p = pos () in
+        advance ();
+        let v =
+          match cur () with
+          | Some '\\' ->
+            advance ();
+            (match cur () with
+             | Some 'n' -> 10
+             | Some 't' -> 9
+             | Some '0' -> 0
+             | Some '\\' -> 92
+             | Some '\'' -> 39
+             | Some c -> fail p "bad escape '\\%c'" c
+             | None -> fail p "unterminated char literal")
+          | Some c -> Char.code c
+          | None -> fail p "unterminated char literal"
+        in
+        advance ();
+        (match cur () with
+         | Some '\'' -> advance ()
+         | Some _ | None -> fail p "unterminated char literal");
+        emit (TInt v) p;
+        go ()
+      end
+      else begin
+        let p = pos () in
+        let two =
+          match (c, next ()) with
+          | ('=', Some '=') | ('!', Some '=') | ('<', Some '=') | ('>', Some '=')
+          | ('&', Some '&') | ('|', Some '|') | ('<', Some '<') | ('>', Some '>') ->
+            Some (Printf.sprintf "%c%c" c (Option.get (next ())))
+          | _ -> None
+        in
+        (match two with
+         | Some op ->
+           advance ();
+           advance ();
+           emit (TOp op) p
+         | None ->
+           (match c with
+            | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '!' | '<' | '>' | '='
+            | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' ->
+              advance ();
+              emit (TOp (String.make 1 c)) p
+            | _ -> fail p "unexpected character %C" c));
+        go ()
+      end
+  in
+  go ();
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : lexed array; mutable k : int }
+
+let cur st = st.toks.(st.k)
+let peek st = if st.k + 1 < Array.length st.toks then st.toks.(st.k + 1) else st.toks.(st.k)
+let advance st = if st.k + 1 < Array.length st.toks then st.k <- st.k + 1
+
+let tok_name = function
+  | TInt v -> Printf.sprintf "integer %d" v
+  | TIdent s -> Printf.sprintf "identifier %S" s
+  | TKw s -> Printf.sprintf "keyword %S" s
+  | TOp s -> Printf.sprintf "%S" s
+  | TEOF -> "end of input"
+
+let expect_op st op =
+  match (cur st).tok with
+  | TOp o when o = op -> advance st
+  | t -> fail (cur st).tpos "expected %S, got %s" op (tok_name t)
+
+let expect_kw st kw =
+  match (cur st).tok with
+  | TKw k when k = kw -> advance st
+  | t -> fail (cur st).tpos "expected %S, got %s" kw (tok_name t)
+
+let expect_ident st =
+  match (cur st).tok with
+  | TIdent s ->
+    advance st;
+    s
+  | t -> fail (cur st).tpos "expected identifier, got %s" (tok_name t)
+
+let accept_op st op =
+  match (cur st).tok with
+  | TOp o when o = op ->
+    advance st;
+    true
+  | _ -> false
+
+(* expression parsing: precedence climbing *)
+
+let binop_of = function
+  | "||" -> Some (Ast.LOr, 1)
+  | "&&" -> Some (Ast.LAnd, 2)
+  | "|" -> Some (Ast.BOr, 3)
+  | "^" -> Some (Ast.BXor, 4)
+  | "&" -> Some (Ast.BAnd, 5)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match (cur st).tok with
+    | TOp o ->
+      (match binop_of o with
+       | Some (op, prec) when prec >= min_prec ->
+         let pos = (cur st).tpos in
+         advance st;
+         let rhs = parse_binary st (prec + 1) in
+         lhs := { Ast.desc = Ast.Binop (op, !lhs, rhs); pos }
+       | Some _ | None -> continue := false)
+    | TInt _ | TIdent _ | TKw _ | TEOF -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let pos = (cur st).tpos in
+  match (cur st).tok with
+  | TOp "-" ->
+    advance st;
+    { Ast.desc = Ast.Unop (Ast.Neg, parse_unary st); pos }
+  | TOp "~" ->
+    advance st;
+    { Ast.desc = Ast.Unop (Ast.BNot, parse_unary st); pos }
+  | TOp "!" ->
+    advance st;
+    { Ast.desc = Ast.Unop (Ast.LNot, parse_unary st); pos }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let pos = (cur st).tpos in
+  match (cur st).tok with
+  | TInt v ->
+    advance st;
+    { Ast.desc = Ast.Int v; pos }
+  | TOp "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_op st ")";
+    e
+  | TIdent name ->
+    advance st;
+    (match (cur st).tok with
+     | TOp "(" ->
+       advance st;
+       let args = ref [] in
+       if not (accept_op st ")") then begin
+         args := [ parse_expr st ];
+         while accept_op st "," do args := parse_expr st :: !args done;
+         expect_op st ")"
+       end;
+       { Ast.desc = Ast.Call (name, List.rev !args); pos }
+     | TOp "[" ->
+       advance st;
+       let idx = parse_expr st in
+       expect_op st "]";
+       if accept_op st "(" then begin
+         let args = ref [] in
+         if not (accept_op st ")") then begin
+           args := [ parse_expr st ];
+           while accept_op st "," do args := parse_expr st :: !args done;
+           expect_op st ")"
+         end;
+         { Ast.desc = Ast.Call_indirect (name, idx, List.rev !args); pos }
+       end
+       else { Ast.desc = Ast.Index (name, idx); pos }
+     | _ -> { Ast.desc = Ast.Var name; pos })
+  | t -> fail pos "expected expression, got %s" (tok_name t)
+
+(* statements *)
+
+let rec parse_block st =
+  expect_op st "{";
+  let stmts = ref [] in
+  while not (accept_op st "}") do stmts := parse_stmt st :: !stmts done;
+  List.rev !stmts
+
+and parse_simple st =
+  (* assignment / declaration / expression, without the trailing ';' *)
+  let spos = (cur st).tpos in
+  match ((cur st).tok, (peek st).tok) with
+  | TKw "int", _ ->
+    advance st;
+    let name = expect_ident st in
+    expect_op st "=";
+    let e = parse_expr st in
+    { Ast.sdesc = Ast.Local (name, e); spos }
+  | TIdent name, TOp "=" ->
+    advance st;
+    advance st;
+    let e = parse_expr st in
+    { Ast.sdesc = Ast.Assign (name, e); spos }
+  | TIdent name, TOp "[" ->
+    (* could be a store or an indexing expression; try store *)
+    let save = st.k in
+    advance st;
+    advance st;
+    let idx = parse_expr st in
+    expect_op st "]";
+    if accept_op st "=" then begin
+      let e = parse_expr st in
+      { Ast.sdesc = Ast.Store (name, idx, e); spos }
+    end
+    else begin
+      st.k <- save;
+      { Ast.sdesc = Ast.Expr (parse_expr st); spos }
+    end
+  | _, _ -> { Ast.sdesc = Ast.Expr (parse_expr st); spos }
+
+and parse_stmt st =
+  let spos = (cur st).tpos in
+  match (cur st).tok with
+  | TKw "if" ->
+    advance st;
+    expect_op st "(";
+    let cond = parse_expr st in
+    expect_op st ")";
+    let then_ = parse_block st in
+    let else_ =
+      match (cur st).tok with
+      | TKw "else" ->
+        advance st;
+        (match (cur st).tok with
+         | TKw "if" -> [ parse_stmt st ]
+         | _ -> parse_block st)
+      | _ -> []
+    in
+    { Ast.sdesc = Ast.If (cond, then_, else_); spos }
+  | TKw "while" ->
+    advance st;
+    expect_op st "(";
+    let cond = parse_expr st in
+    expect_op st ")";
+    { Ast.sdesc = Ast.While (cond, parse_block st); spos }
+  | TKw "for" ->
+    advance st;
+    expect_op st "(";
+    let init = if (cur st).tok = TOp ";" then None else Some (parse_simple st) in
+    expect_op st ";";
+    let cond = if (cur st).tok = TOp ";" then None else Some (parse_expr st) in
+    expect_op st ";";
+    let step = if (cur st).tok = TOp ")" then None else Some (parse_simple st) in
+    expect_op st ")";
+    { Ast.sdesc = Ast.For (init, cond, step, parse_block st); spos }
+  | TKw "break" ->
+    advance st;
+    expect_op st ";";
+    { Ast.sdesc = Ast.Break; spos }
+  | TKw "continue" ->
+    advance st;
+    expect_op st ";";
+    { Ast.sdesc = Ast.Continue; spos }
+  | TKw "return" ->
+    advance st;
+    let e = if (cur st).tok = TOp ";" then None else Some (parse_expr st) in
+    expect_op st ";";
+    { Ast.sdesc = Ast.Return e; spos }
+  | TKw "out" ->
+    advance st;
+    expect_op st "(";
+    let e = parse_expr st in
+    expect_op st ")";
+    expect_op st ";";
+    { Ast.sdesc = Ast.Out e; spos }
+  | _ ->
+    let s = parse_simple st in
+    expect_op st ";";
+    s
+
+(* top level *)
+
+let parse_global st =
+  expect_kw st "int";
+  let name = expect_ident st in
+  match (cur st).tok with
+  | TOp "[" when (peek st).tok = TOp "]" ->
+    (* function table: int name[] = { f, g }; *)
+    advance st;
+    advance st;
+    expect_op st "=";
+    expect_op st "{";
+    let entries = ref [ expect_ident st ] in
+    while accept_op st "," do entries := expect_ident st :: !entries done;
+    expect_op st "}";
+    expect_op st ";";
+    Ast.Funtable { name; entries = List.rev !entries }
+  | TOp "[" ->
+    advance st;
+    let size =
+      match (cur st).tok with
+      | TInt v when v > 0 ->
+        advance st;
+        v
+      | t -> fail (cur st).tpos "expected array size, got %s" (tok_name t)
+    in
+    expect_op st "]";
+    let init = ref [] in
+    if accept_op st "=" then begin
+      expect_op st "{";
+      let parse_item () =
+        let neg = accept_op st "-" in
+        match (cur st).tok with
+        | TInt v ->
+          advance st;
+          init := (if neg then -v else v) :: !init
+        | t -> fail (cur st).tpos "expected integer, got %s" (tok_name t)
+      in
+      parse_item ();
+      while accept_op st "," do parse_item () done;
+      expect_op st "}"
+    end;
+    expect_op st ";";
+    Ast.Array { name; size; init = List.rev !init }
+  | _ ->
+    let init =
+      if accept_op st "=" then begin
+        let neg = accept_op st "-" in
+        match (cur st).tok with
+        | TInt v ->
+          advance st;
+          if neg then -v else v
+        | t -> fail (cur st).tpos "expected integer, got %s" (tok_name t)
+      end
+      else 0
+    in
+    expect_op st ";";
+    Ast.Scalar { name; init }
+
+let parse src =
+  let st = { toks = lex src; k = 0 } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec top () =
+    match (cur st).tok with
+    | TEOF -> ()
+    | TKw "int" ->
+      (* function iff "int ident (" *)
+      let is_func =
+        match (peek st).tok with
+        | TIdent _ ->
+          st.k + 2 < Array.length st.toks
+          && (match st.toks.(st.k + 2).tok with TOp "(" -> true | _ -> false)
+        | _ -> false
+      in
+      if is_func then begin
+        let fpos = (cur st).tpos in
+        advance st;
+        let fname = expect_ident st in
+        expect_op st "(";
+        let params = ref [] in
+        if not (accept_op st ")") then begin
+          let param () =
+            expect_kw st "int";
+            params := expect_ident st :: !params
+          in
+          param ();
+          while accept_op st "," do param () done;
+          expect_op st ")"
+        end;
+        let body = parse_block st in
+        funcs := { Ast.fname; params = List.rev !params; body; fpos } :: !funcs
+      end
+      else globals := parse_global st :: !globals;
+      top ()
+    | t -> fail (cur st).tpos "expected declaration, got %s" (tok_name t)
+  in
+  top ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }

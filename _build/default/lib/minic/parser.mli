@@ -1,0 +1,31 @@
+(** Hand-written lexer + recursive-descent parser for MiniC.
+
+    Syntax (C-like):
+
+    {v
+    int limit = 100;
+    int flags[200];
+
+    int mark(int step) {
+      int j = step * step;
+      while (j < limit) { flags[j] = 1; j = j + step; }
+      return 0;
+    }
+
+    int main() {
+      int count = 0;
+      for (int i = 2; i < limit; i = i + 1) {
+        if (!flags[i]) { count = count + 1; mark(i); }
+      }
+      out(count);
+      return 0;
+    }
+    v}
+
+    Comments: [// line] and [/* block */]. Literals: decimal, [0x...]
+    hex, ['c'] characters. *)
+
+exception Error of { pos : Ast.position; message : string }
+
+val parse : string -> Ast.program
+(** @raise Error on lexical or syntax errors. *)

@@ -1,0 +1,1 @@
+lib/transform/binary_format.ml: Array Block Bytes Format Fun Image Layout Sofia_util Word

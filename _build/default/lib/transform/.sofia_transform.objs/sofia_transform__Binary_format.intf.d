@@ -1,0 +1,1 @@
+lib/transform/binary_format.mli: Bytes Format Image

@@ -1,0 +1,1 @@
+lib/transform/block.ml: Format

@@ -1,0 +1,1 @@
+lib/transform/image.ml: Array Block Bytes Layout Sofia_isa

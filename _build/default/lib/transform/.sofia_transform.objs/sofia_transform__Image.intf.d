@@ -1,0 +1,1 @@
+lib/transform/image.mli: Block Bytes Layout Sofia_isa

@@ -1,0 +1,1 @@
+lib/transform/layout.ml: Array Block Bytes Format Hashtbl List Printf Queue Result Sofia_asm Sofia_cfg Sofia_isa Sofia_util String

@@ -1,0 +1,1 @@
+lib/transform/layout.mli: Block Bytes Format Sofia_asm Sofia_cfg Sofia_isa

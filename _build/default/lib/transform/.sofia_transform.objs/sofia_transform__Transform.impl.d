@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Array Block Format Image Layout Result Sofia_crypto Sofia_isa

@@ -1,0 +1,1 @@
+lib/transform/transform.mli: Image Layout Sofia_asm Sofia_crypto

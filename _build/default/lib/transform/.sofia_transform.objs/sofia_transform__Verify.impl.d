@@ -1,0 +1,1 @@
+lib/transform/verify.ml: Array Block Format Hashtbl Image List Sofia_asm Sofia_cfg Sofia_crypto Sofia_isa

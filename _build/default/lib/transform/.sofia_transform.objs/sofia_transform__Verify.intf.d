@@ -1,0 +1,1 @@
+lib/transform/verify.mli: Format Image Sofia_asm Sofia_crypto

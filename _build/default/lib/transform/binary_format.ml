@@ -1,0 +1,146 @@
+open Sofia_util
+
+type error = Bad_magic | Unsupported_version of int | Truncated | Checksum_mismatch
+
+let pp_error fmt = function
+  | Bad_magic -> Format.pp_print_string fmt "not a SOFIA image (bad magic)"
+  | Unsupported_version v -> Format.fprintf fmt "unsupported format version %d" v
+  | Truncated -> Format.pp_print_string fmt "truncated image file"
+  | Checksum_mismatch -> Format.pp_print_string fmt "payload checksum mismatch"
+
+module Loaded = struct
+  type t = {
+    nonce : int;
+    entry : int;
+    text_base : int;
+    cipher : int array;
+    data : Bytes.t;
+    data_base : int;
+  }
+end
+
+let magic = 0x53464941 (* "SFIA" *)
+let version = 1
+let header_bytes = 0x24
+
+let crc32 bytes ~off ~len =
+  let crc = ref Word.mask32 in
+  for i = off to off + len - 1 do
+    crc := !crc lxor Bytes.get_uint8 bytes i;
+    for _ = 1 to 8 do
+      let mask = Word.u32 (- (!crc land 1)) in
+      crc := (!crc lsr 1) lxor (0xEDB88320 land mask)
+    done
+  done;
+  Word.u32 (!crc lxor Word.mask32)
+
+let serialize (image : Image.t) =
+  let text_words = Array.length image.Image.cipher in
+  let data_len = Bytes.length image.Image.data in
+  let total = header_bytes + (4 * text_words) + data_len in
+  let b = Bytes.make total '\000' in
+  let put off v = Bytes.blit (Word.bytes_of_word32_le v) 0 b off 4 in
+  Array.iteri (fun i w -> put (header_bytes + (4 * i)) w) image.Image.cipher;
+  Bytes.blit image.Image.data 0 b (header_bytes + (4 * text_words)) data_len;
+  let crc = crc32 b ~off:header_bytes ~len:(total - header_bytes) in
+  put 0x00 magic;
+  put 0x04 version;
+  put 0x08 image.Image.nonce;
+  put 0x0C image.Image.entry;
+  put 0x10 text_words;
+  put 0x14 image.Image.data_base;
+  put 0x18 data_len;
+  put 0x1C crc;
+  put 0x20 image.Image.text_base;
+  b
+
+let deserialize b =
+  let len = Bytes.length b in
+  if len < header_bytes then Error Truncated
+  else begin
+    let get off = Word.word32_of_bytes_le b off in
+    if get 0x00 <> magic then Error Bad_magic
+    else if get 0x04 <> version then Error (Unsupported_version (get 0x04))
+    else begin
+      let text_words = get 0x10 in
+      let data_len = get 0x18 in
+      if len < header_bytes + (4 * text_words) + data_len then Error Truncated
+      else begin
+        let payload_len = (4 * text_words) + data_len in
+        if crc32 b ~off:header_bytes ~len:payload_len <> get 0x1C then Error Checksum_mismatch
+        else begin
+          let cipher = Array.init text_words (fun i -> get (header_bytes + (4 * i))) in
+          let data = Bytes.sub b (header_bytes + (4 * text_words)) data_len in
+          Ok
+            {
+              Loaded.nonce = get 0x08;
+              entry = get 0x0C;
+              text_base = get 0x20;
+              cipher;
+              data;
+              data_base = get 0x14;
+            }
+        end
+      end
+    end
+  end
+
+let save image ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc (serialize image))
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      deserialize b)
+
+let image_of_loaded (l : Loaded.t) =
+  let nblocks = Array.length l.Loaded.cipher / Block.words_per_block in
+  let blocks =
+    Array.init nblocks (fun k ->
+      let cipher_words =
+        Array.sub l.Loaded.cipher (Block.words_per_block * k) Block.words_per_block
+      in
+      {
+        Image.base = l.Loaded.text_base + (Block.size_bytes * k);
+        kind = Block.Exec (* unknown without keys; the runner never reads it *);
+        role = Layout.Primary;
+        insns = [||];
+        mac = 0L;
+        plain_words = [||];
+        cipher_words;
+        entry_prev_pcs = [];
+        orig_indices = [||];
+      })
+  in
+  {
+    Image.nonce = l.Loaded.nonce;
+    entry = l.Loaded.entry;
+    text_base = l.Loaded.text_base;
+    blocks;
+    cipher = l.Loaded.cipher;
+    data = l.Loaded.data;
+    data_base = l.Loaded.data_base;
+    addr_of_orig = [||];
+    stats =
+      {
+        Layout.original_insns = 0;
+        original_text_bytes = 0;
+        transformed_text_bytes = 4 * Array.length l.Loaded.cipher;
+        exec_blocks = 0;
+        mux_blocks = 0;
+        bridge_blocks = 0;
+        shim_blocks = 0;
+        trampoline_blocks = 0;
+        funnel_blocks = 0;
+        pad_slots = 0;
+        unreachable_dropped = 0;
+      };
+  }

@@ -1,0 +1,75 @@
+module Keys = Sofia_crypto.Keys
+module Ctr = Sofia_crypto.Ctr
+module Cbc_mac = Sofia_crypto.Cbc_mac
+module Encoding = Sofia_isa.Encoding
+
+let encrypt_block ~(keys : Keys.t) ~nonce (b : Layout.block) : Image.block =
+  let base = b.Layout.base in
+  let insn_words = Array.map Encoding.encode b.Layout.insns in
+  let mac_key = match b.Layout.kind with Block.Exec -> keys.Keys.k2 | Block.Mux -> keys.Keys.k3 in
+  let mac = Cbc_mac.mac_words mac_key insn_words in
+  let m1, m2 = Cbc_mac.split_tag mac in
+  (* plaintext 8-word block with interleaved MAC words *)
+  let plain_words =
+    match b.Layout.kind with
+    | Block.Exec -> Array.append [| m1; m2 |] insn_words
+    | Block.Mux -> Array.append [| m1; m1; m2 |] insn_words
+  in
+  assert (Array.length plain_words = Block.words_per_block);
+  (* per-word (prevPC, PC) pairs *)
+  let prev_pcs =
+    match (b.Layout.kind, b.Layout.entry_prev_pcs) with
+    | Block.Exec, [ p1 ] ->
+      [| p1; base; base + 4; base + 8; base + 12; base + 16; base + 20; base + 24 |]
+    | Block.Mux, [ p1; p2 ] ->
+      (* M2 (word 2) is encrypted with prevPC = addr(M1e2) on both
+         control-flow paths (Fig. 8). *)
+      [| p1; p2; base + 4; base + 8; base + 12; base + 16; base + 20; base + 24 |]
+    | Block.Exec, _ | Block.Mux, _ -> assert false
+  in
+  let cipher_words =
+    Array.mapi
+      (fun i w -> Ctr.crypt_word keys.Keys.k1 ~nonce ~prev_pc:prev_pcs.(i) ~pc:(base + (4 * i)) w)
+      plain_words
+  in
+  {
+    Image.base;
+    kind = b.Layout.kind;
+    role = b.Layout.role;
+    insns = b.Layout.insns;
+    mac;
+    plain_words;
+    cipher_words;
+    entry_prev_pcs = b.Layout.entry_prev_pcs;
+    orig_indices = b.Layout.orig_indices;
+  }
+
+let encrypt_layout ~keys ~nonce (l : Layout.t) : Image.t =
+  let blocks = Array.map (encrypt_block ~keys ~nonce) l.Layout.blocks in
+  let cipher =
+    Array.concat (Array.to_list (Array.map (fun b -> b.Image.cipher_words) blocks))
+  in
+  {
+    Image.nonce;
+    entry = l.Layout.entry;
+    text_base = l.Layout.text_base;
+    blocks;
+    cipher;
+    data = l.Layout.data;
+    data_base = l.Layout.data_base;
+    addr_of_orig = l.Layout.addr_of_orig;
+    stats = l.Layout.stats;
+  }
+
+let protect ~keys ~nonce program =
+  if nonce < 0 || nonce > 0xFF then invalid_arg "Transform.protect: nonce must be 8-bit";
+  Result.map (encrypt_layout ~keys ~nonce) (Layout.layout program)
+
+let protect_exn ~keys ~nonce program =
+  match protect ~keys ~nonce program with
+  | Ok image -> image
+  | Error e -> invalid_arg (Format.asprintf "Transform.protect: %a" Layout.pp_error e)
+
+let expansion_ratio (image : Image.t) =
+  float_of_int image.Image.stats.Layout.transformed_text_bytes
+  /. float_of_int image.Image.stats.Layout.original_text_bytes

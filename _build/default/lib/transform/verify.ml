@@ -1,0 +1,177 @@
+module Insn = Sofia_isa.Insn
+module Encoding = Sofia_isa.Encoding
+module Keys = Sofia_crypto.Keys
+module Ctr = Sofia_crypto.Ctr
+module Cbc_mac = Sofia_crypto.Cbc_mac
+module Program = Sofia_asm.Program
+module Cfg = Sofia_cfg.Cfg
+
+type issue =
+  | Misaligned_block of { base : int }
+  | Wrong_slot_count of { base : int; expected : int; got : int }
+  | Mid_block_control_flow of { address : int }
+  | Banned_store of { address : int }
+  | Wrong_entry_count of { base : int; got : int }
+  | Mac_words_wrong of { base : int }
+  | Ciphertext_mismatch of { address : int }
+  | Unknown_predecessor of { base : int; prev_pc : int }
+  | Uncovered_instruction of { orig_index : int }
+  | Duplicated_instruction of { orig_index : int }
+  | Instruction_changed of { orig_index : int; address : int }
+
+let pp_issue fmt = function
+  | Misaligned_block { base } -> Format.fprintf fmt "block at 0x%08x is not 32-byte aligned" base
+  | Wrong_slot_count { base; expected; got } ->
+    Format.fprintf fmt "block at 0x%08x has %d instruction slots, expected %d" base got expected
+  | Mid_block_control_flow { address } ->
+    Format.fprintf fmt "control-flow instruction in a non-final slot at 0x%08x" address
+  | Banned_store { address } ->
+    Format.fprintf fmt "store in a banned execution-block slot at 0x%08x" address
+  | Wrong_entry_count { base; got } ->
+    Format.fprintf fmt "block at 0x%08x declares %d entry ports" base got
+  | Mac_words_wrong { base } ->
+    Format.fprintf fmt "stored MAC of block at 0x%08x does not match its instructions" base
+  | Ciphertext_mismatch { address } ->
+    Format.fprintf fmt "ciphertext word at 0x%08x does not decrypt to its plaintext" address
+  | Unknown_predecessor { base; prev_pc } ->
+    Format.fprintf fmt "block at 0x%08x declares unknown predecessor 0x%08x" base prev_pc
+  | Uncovered_instruction { orig_index } ->
+    Format.fprintf fmt "reachable source instruction #%d is not in the image" orig_index
+  | Duplicated_instruction { orig_index } ->
+    Format.fprintf fmt "source instruction #%d occupies more than one slot" orig_index
+  | Instruction_changed { orig_index; address } ->
+    Format.fprintf fmt "source instruction #%d was altered at 0x%08x" orig_index address
+
+let check ~(keys : Keys.t) (image : Image.t) =
+  let issues = ref [] in
+  let issue i = issues := i :: !issues in
+  (* valid exit addresses of the image, for linkage checking *)
+  let exits = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Image.block) -> Hashtbl.replace exits (b.Image.base + Block.exit_offset) ())
+    image.Image.blocks;
+  Array.iter
+    (fun (b : Image.block) ->
+      let base = b.Image.base in
+      if (base - image.Image.text_base) mod Block.size_bytes <> 0 then
+        issue (Misaligned_block { base });
+      let expected_slots = Block.insn_slots b.Image.kind in
+      let got = Array.length b.Image.insns in
+      if got <> expected_slots then issue (Wrong_slot_count { base; expected = expected_slots; got });
+      let first = Block.first_insn_offset b.Image.kind in
+      Array.iteri
+        (fun i insn ->
+          let address = base + first + (4 * i) in
+          if i < got - 1 && Insn.is_control_flow insn then
+            issue (Mid_block_control_flow { address });
+          if Block.store_banned_slot b.Image.kind i && Insn.is_store insn then
+            issue (Banned_store { address }))
+        b.Image.insns;
+      (* entry ports *)
+      let nports = List.length (Block.port_offsets b.Image.kind) in
+      let nentries = List.length b.Image.entry_prev_pcs in
+      if nentries <> nports then issue (Wrong_entry_count { base; got = nentries });
+      List.iter
+        (fun prev ->
+          if prev <> Block.reset_prev_pc && not (Hashtbl.mem exits prev) then
+            issue (Unknown_predecessor { base; prev_pc = prev }))
+        b.Image.entry_prev_pcs;
+      (* MAC words in the plaintext block *)
+      let insn_words = Array.map Encoding.encode b.Image.insns in
+      let mac_key = match b.Image.kind with Block.Exec -> keys.Keys.k2 | Block.Mux -> keys.Keys.k3 in
+      let m1, m2 = Cbc_mac.split_tag (Cbc_mac.mac_words mac_key insn_words) in
+      let macs_ok =
+        match b.Image.kind with
+        | Block.Exec ->
+          b.Image.plain_words.(0) = m1 && b.Image.plain_words.(1) = m2
+          && Array.for_all2 ( = ) insn_words (Array.sub b.Image.plain_words 2 6)
+        | Block.Mux ->
+          b.Image.plain_words.(0) = m1 && b.Image.plain_words.(1) = m1
+          && b.Image.plain_words.(2) = m2
+          && Array.for_all2 ( = ) insn_words (Array.sub b.Image.plain_words 3 5)
+      in
+      if not macs_ok then issue (Mac_words_wrong { base });
+      (* ciphertext: re-derive each word's keystream from the declared
+         entry edges and the in-block chain *)
+      let prev_of_word i =
+        match (b.Image.kind, i) with
+        | Block.Exec, 0 -> [ List.nth b.Image.entry_prev_pcs 0 ]
+        | Block.Mux, 0 -> [ List.nth b.Image.entry_prev_pcs 0 ]
+        | Block.Mux, 1 -> [ List.nth b.Image.entry_prev_pcs 1 ]
+        | _, i -> [ base + (4 * (i - 1)) ]
+      in
+      Array.iteri
+        (fun i cipher ->
+          let pc = base + (4 * i) in
+          let ok =
+            List.exists
+              (fun prev ->
+                Ctr.crypt_word keys.Keys.k1 ~nonce:image.Image.nonce ~prev_pc:prev ~pc cipher
+                = b.Image.plain_words.(i))
+              (prev_of_word i)
+          in
+          if not ok then issue (Ciphertext_mismatch { address = pc }))
+        b.Image.cipher_words)
+    image.Image.blocks;
+  List.rev !issues
+
+(* Strip the fields a legitimate retarget/rematerialisation may change,
+   keeping everything that must stay identical. *)
+let semantic_shape (insn : Insn.t) =
+  match insn with
+  | Insn.Branch (c, r1, r2, _) -> Insn.Branch (c, r1, r2, 0)
+  | Insn.Jal (rd, _) -> Insn.Jal (rd, 0)
+  | Insn.Lui (rd, _) -> Insn.Lui (rd, 0)
+  | Insn.Alu_i (Or, rd, rs, _) when Sofia_isa.Reg.equal rd rs -> Insn.Alu_i (Or, rd, rs, 0)
+  | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Load _ | Insn.Store _ | Insn.Jalr _ | Insn.Halt _ -> insn
+
+let check_against_source ~keys (program : Program.t) (image : Image.t) =
+  let issues = ref (check ~keys image) in
+  let issue i = issues := !issues @ [ i ] in
+  (match Cfg.build program with
+   | Error _ -> () (* the transformation would have refused this program *)
+   | Ok cfg ->
+     let reachable = Cfg.reachable cfg in
+     let n = Array.length program.Program.text in
+     (* which original instruction sits in which slot *)
+     let seen = Array.make n 0 in
+     let la_lo_indices =
+       List.concat_map
+         (fun { Program.hi_index; lo_index; _ } -> [ hi_index; lo_index ])
+         program.Program.la_relocs
+     in
+     Array.iter
+       (fun (b : Image.block) ->
+         let first = Block.first_insn_offset b.Image.kind in
+         Array.iteri
+           (fun s orig ->
+             match orig with
+             | None -> ()
+             | Some i ->
+               seen.(i) <- seen.(i) + 1;
+               let address = b.Image.base + first + (4 * s) in
+               let original = program.Program.text.(i) in
+               let placed = b.Image.insns.(s) in
+               (* [semantic_shape] already blanks exactly the fields a
+                  retarget (branch/jal offsets) or a code-pointer
+                  rematerialisation (lui / or-self immediates, cf.
+                  [la_lo_indices]) may rewrite *)
+               ignore la_lo_indices;
+               if semantic_shape placed <> semantic_shape original then
+                 issue (Instruction_changed { orig_index = i; address }))
+           b.Image.orig_indices)
+       image.Image.blocks;
+     for i = 0 to n - 1 do
+       if reachable.(i) then begin
+         (* funnelled rets are legitimately replaced by jumps *)
+         let is_ret =
+           match program.Program.text.(i) with
+           | Insn.Jalr (rd, rs, 0) ->
+             Sofia_isa.Reg.equal rd Sofia_isa.Reg.zero && Sofia_isa.Reg.equal rs Sofia_isa.Reg.ra
+           | _ -> false
+         in
+         if seen.(i) = 0 && not is_ret then issue (Uncovered_instruction { orig_index = i });
+         if seen.(i) > 1 then issue (Duplicated_instruction { orig_index = i })
+       end
+     done);
+  !issues

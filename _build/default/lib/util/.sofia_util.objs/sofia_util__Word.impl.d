@@ -1,0 +1,1 @@
+lib/util/word.ml: Bytes Int64 Printf

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next32 t = Int64.to_int (Int64.logand (next64 t) 0xFFFF_FFFFL)
+
+let int_below t n =
+  assert (n > 0);
+  (* 62 random bits avoid any sign issue in OCaml ints. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  r mod n
+
+let int_in t ~lo ~hi =
+  assert (hi >= lo);
+  lo + int_below t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = create ~seed:(next64 t)

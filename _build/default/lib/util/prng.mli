@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All randomised pieces of the repository (workload inputs, attack
+    fuzzing, Monte-Carlo forgery experiments) draw from this generator
+    so every experiment is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val next64 : t -> int64
+(** Next 64-bit output. *)
+
+val next32 : t -> int
+(** Next unsigned 32-bit value. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] draws uniformly from [\[0, n)]. Requires [n > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform draw from the inclusive range [\[lo, hi\]]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independently-seeded child generator, advancing [t]. *)

@@ -1,0 +1,63 @@
+let mask32 = 0xFFFF_FFFF
+
+let u32 x = x land mask32
+let u16 x = x land 0xFFFF
+let u8 x = x land 0xFF
+
+let add32 a b = u32 (a + b)
+let sub32 a b = u32 (a - b)
+let mul32 a b = u32 (a * b)
+
+let signed32 x =
+  let x = u32 x in
+  if x land 0x8000_0000 <> 0 then x - 0x1_0000_0000 else x
+
+let sign_extend ~bits x =
+  assert (bits > 0 && bits <= 32);
+  let m = (1 lsl bits) - 1 in
+  let x = x land m in
+  if x land (1 lsl (bits - 1)) <> 0 then x - (1 lsl bits) else x
+
+let bits ~lo ~width x = (x lsr lo) land ((1 lsl width) - 1)
+
+let set_bits ~lo ~width ~value x =
+  let m = ((1 lsl width) - 1) lsl lo in
+  (x land lnot m) lor ((value lsl lo) land m)
+
+let rotl16 x n =
+  let x = u16 x in
+  let n = n land 15 in
+  u16 ((x lsl n) lor (x lsr (16 - n)))
+
+let rotl32 x n =
+  let x = u32 x in
+  let n = n land 31 in
+  u32 ((x lsl n) lor (x lsr (32 - n)))
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let popcount64 x =
+  let rec go acc x =
+    if Int64.equal x 0L then acc
+    else go (acc + Int64.to_int (Int64.logand x 1L)) (Int64.shift_right_logical x 1)
+  in
+  go 0 x
+
+let hex32 x = Printf.sprintf "0x%08x" (u32 x)
+let hex64 x = Printf.sprintf "0x%016Lx" x
+
+let bytes_of_word32_le x =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 (u8 x);
+  Bytes.set_uint8 b 1 (u8 (x lsr 8));
+  Bytes.set_uint8 b 2 (u8 (x lsr 16));
+  Bytes.set_uint8 b 3 (u8 (x lsr 24));
+  b
+
+let word32_of_bytes_le b off =
+  Bytes.get_uint8 b off
+  lor (Bytes.get_uint8 b (off + 1) lsl 8)
+  lor (Bytes.get_uint8 b (off + 2) lsl 16)
+  lor (Bytes.get_uint8 b (off + 3) lsl 24)

@@ -1,0 +1,67 @@
+(** Fixed-width word helpers.
+
+    All 32-bit quantities are carried in OCaml [int] (63-bit native ints
+    on every supported platform), masked to 32 bits; 64-bit quantities
+    use [int64]. These helpers centralise the masking discipline so the
+    rest of the code never worries about sign-extension accidents. *)
+
+val mask32 : int
+(** [mask32] is [0xFFFF_FFFF]. *)
+
+val u32 : int -> int
+(** [u32 x] truncates [x] to an unsigned 32-bit value. *)
+
+val u16 : int -> int
+(** [u16 x] truncates [x] to an unsigned 16-bit value. *)
+
+val u8 : int -> int
+(** [u8 x] truncates [x] to an unsigned 8-bit value. *)
+
+val add32 : int -> int -> int
+(** 32-bit wrap-around addition. *)
+
+val sub32 : int -> int -> int
+(** 32-bit wrap-around subtraction. *)
+
+val mul32 : int -> int -> int
+(** 32-bit wrap-around multiplication (low 32 bits of the product). *)
+
+val signed32 : int -> int
+(** [signed32 x] reinterprets the low 32 bits of [x] as a signed value
+    in [-2^31, 2^31). *)
+
+val sign_extend : bits:int -> int -> int
+(** [sign_extend ~bits x] sign-extends the low [bits] bits of [x] to a
+    signed OCaml int. *)
+
+val bits : lo:int -> width:int -> int -> int
+(** [bits ~lo ~width x] extracts [width] bits of [x] starting at bit
+    [lo] (bit 0 = least significant). *)
+
+val set_bits : lo:int -> width:int -> value:int -> int -> int
+(** [set_bits ~lo ~width ~value x] returns [x] with the field
+    [\[lo, lo+width)] replaced by the low [width] bits of [value]. *)
+
+val rotl16 : int -> int -> int
+(** [rotl16 x n] rotates the low 16 bits of [x] left by [n]. *)
+
+val rotl32 : int -> int -> int
+(** [rotl32 x n] rotates the low 32 bits of [x] left by [n]. *)
+
+val popcount : int -> int
+(** Number of set bits (non-negative arguments). *)
+
+val popcount64 : int64 -> int
+(** Number of set bits of a 64-bit word. *)
+
+val hex32 : int -> string
+(** [hex32 x] formats the low 32 bits as ["0x%08lx"]. *)
+
+val hex64 : int64 -> string
+(** [hex64 x] formats as ["0x%016Lx"]. *)
+
+val bytes_of_word32_le : int -> bytes
+(** Little-endian 4-byte serialisation of the low 32 bits. *)
+
+val word32_of_bytes_le : bytes -> int -> int
+(** [word32_of_bytes_le b off] reads a little-endian 32-bit word. *)

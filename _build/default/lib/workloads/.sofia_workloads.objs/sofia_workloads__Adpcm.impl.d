@@ -1,0 +1,1 @@
+lib/workloads/adpcm.ml: Array List Printf Sofia_util Word Workload

@@ -1,0 +1,1 @@
+lib/workloads/compiled.ml: Format Kernels List Printf Sofia_minic String Workload

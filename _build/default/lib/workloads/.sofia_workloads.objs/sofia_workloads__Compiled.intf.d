@@ -1,0 +1,1 @@
+lib/workloads/compiled.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Buffer List Printf Prng Sofia_util Word Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Buffer List Prng Sofia_asm Sofia_util String Word

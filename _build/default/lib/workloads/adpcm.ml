@@ -1,0 +1,684 @@
+open Sofia_util
+
+let step_table =
+  [| 7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41; 45; 50; 55; 60;
+     66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190; 209; 230; 253; 279; 307; 337; 371;
+     408; 449; 494; 544; 598; 658; 724; 796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707;
+     1878; 2066; 2272; 2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894; 6484; 7132;
+     7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289; 16818; 18500; 20350; 22385; 24623;
+     27086; 29794; 32767 |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+type state = { mutable valpred : int; mutable index : int; mutable step : int }
+
+let initial_state () = { valpred = 0; index = 0; step = step_table.(0) }
+
+let clamp_state st =
+  if st.valpred > 32767 then st.valpred <- 32767;
+  if st.valpred < -32768 then st.valpred <- -32768;
+  if st.index < 0 then st.index <- 0;
+  if st.index > 88 then st.index <- 88;
+  st.step <- step_table.(st.index)
+
+let apply_vpdiff st ~sign ~delta =
+  let vpdiff = ref (st.step asr 3) in
+  if delta land 4 <> 0 then vpdiff := !vpdiff + st.step;
+  if delta land 2 <> 0 then vpdiff := !vpdiff + (st.step asr 1);
+  if delta land 1 <> 0 then vpdiff := !vpdiff + (st.step asr 2);
+  if sign <> 0 then st.valpred <- st.valpred - !vpdiff
+  else st.valpred <- st.valpred + !vpdiff
+
+let encode_sample st sample =
+  let diff = sample - st.valpred in
+  let sign = if diff < 0 then 8 else 0 in
+  let d = ref (abs diff) in
+  let delta = ref 0 in
+  if !d >= st.step then begin
+    delta := 4;
+    d := !d - st.step
+  end;
+  let half = st.step asr 1 in
+  if !d >= half then begin
+    delta := !delta lor 2;
+    d := !d - half
+  end;
+  if !d >= st.step asr 2 then delta := !delta lor 1;
+  apply_vpdiff st ~sign ~delta:!delta;
+  (* the paper-era IMA order: clamp the predictor, then adjust the index *)
+  if st.valpred > 32767 then st.valpred <- 32767;
+  if st.valpred < -32768 then st.valpred <- -32768;
+  let code = !delta lor sign in
+  st.index <- st.index + index_table.(code land 7);
+  clamp_state st;
+  code
+
+let decode_sample st code =
+  let sign = code land 8 in
+  let delta = code land 7 in
+  apply_vpdiff st ~sign ~delta;
+  if st.valpred > 32767 then st.valpred <- 32767;
+  if st.valpred < -32768 then st.valpred <- -32768;
+  st.index <- st.index + index_table.(delta);
+  clamp_state st;
+  st.valpred
+
+let reference_outputs ~samples =
+  let enc = initial_state () in
+  let codes = List.map (encode_sample enc) samples in
+  let chk_enc = Workload.checksum_list codes in
+  let dec = initial_state () in
+  let decoded = List.map (decode_sample dec) codes in
+  let chk_dec = Workload.checksum_list decoded in
+  [ chk_enc; chk_dec; Word.u32 dec.valpred; dec.index ]
+
+let source_branchy ~nsamples ~samples =
+  Printf.sprintf
+    {|
+; IMA ADPCM encode + decode (MediaBench-class benchmark, bare metal)
+.equ OUT, 0xFFFF0000
+.equ NSAMP, %d
+
+start:
+  la   s0, pcm_in
+  la   s1, encoded
+  li   s3, 0            ; valpred
+  li   s4, 0            ; index
+  la   s7, steptab
+  ld   s5, 0(s7)        ; step = steptab[0]
+  la   s6, indextab
+  li   t0, 0            ; code checksum
+  li   s2, 0
+  li   t7, NSAMP
+
+enc_loop:
+  ld   a0, 0(s0)
+  sub  a1, a0, s3       ; diff = sample - valpred
+  li   a2, 0
+  bge  a1, zero, enc_pos
+  li   a2, 8
+  sub  a1, zero, a1
+enc_pos:
+  li   a3, 0
+  blt  a1, s5, enc_d2
+  ori  a3, a3, 4
+  sub  a1, a1, s5
+enc_d2:
+  srai a4, s5, 1
+  blt  a1, a4, enc_d1
+  ori  a3, a3, 2
+  sub  a1, a1, a4
+enc_d1:
+  srai a4, s5, 2
+  blt  a1, a4, enc_dd
+  ori  a3, a3, 1
+enc_dd:
+  srai a5, s5, 3        ; vpdiff = step >> 3
+  andi a4, a3, 4
+  beqz a4, enc_v2
+  add  a5, a5, s5
+enc_v2:
+  andi a4, a3, 2
+  beqz a4, enc_v1
+  srai a4, s5, 1
+  add  a5, a5, a4
+enc_v1:
+  andi a4, a3, 1
+  beqz a4, enc_vd
+  srai a4, s5, 2
+  add  a5, a5, a4
+enc_vd:
+  beqz a2, enc_padd
+  sub  s3, s3, a5
+  j    enc_clamp
+enc_padd:
+  add  s3, s3, a5
+enc_clamp:
+  li   a4, 32767
+  ble  s3, a4, enc_cl1
+  mv   s3, a4
+enc_cl1:
+  li   a4, -32768
+  bge  s3, a4, enc_cl2
+  mv   s3, a4
+enc_cl2:
+  or   a3, a3, a2       ; code = delta | sign
+  andi a4, a3, 7
+  slli a4, a4, 2
+  add  a4, s6, a4
+  ld   a4, 0(a4)
+  add  s4, s4, a4       ; index += indextab[code & 7]
+  bge  s4, zero, enc_ic1
+  li   s4, 0
+enc_ic1:
+  li   a4, 88
+  ble  s4, a4, enc_ic2
+  mv   s4, a4
+enc_ic2:
+  slli a4, s4, 2
+  add  a4, s7, a4
+  ld   s5, 0(a4)        ; step = steptab[index]
+  stb  a3, 0(s1)
+  li   a4, 31
+  mul  t0, t0, a4
+  add  t0, t0, a3       ; chk = chk*31 + code
+  addi s0, s0, 4
+  addi s1, s1, 1
+  addi s2, s2, 1
+  blt  s2, t7, enc_loop
+
+; ---- decode ----
+  la   s0, encoded
+  la   s1, decoded
+  li   s3, 0
+  li   s4, 0
+  ld   s5, 0(s7)
+  li   t1, 0            ; sample checksum
+  li   s2, 0
+
+dec_loop:
+  ldb  a3, 0(s0)
+  andi a2, a3, 8
+  srai a5, s5, 3
+  andi a4, a3, 4
+  beqz a4, dec_v2
+  add  a5, a5, s5
+dec_v2:
+  andi a4, a3, 2
+  beqz a4, dec_v1
+  srai a4, s5, 1
+  add  a5, a5, a4
+dec_v1:
+  andi a4, a3, 1
+  beqz a4, dec_vd
+  srai a4, s5, 2
+  add  a5, a5, a4
+dec_vd:
+  beqz a2, dec_padd
+  sub  s3, s3, a5
+  j    dec_clamp
+dec_padd:
+  add  s3, s3, a5
+dec_clamp:
+  li   a4, 32767
+  ble  s3, a4, dec_cl1
+  mv   s3, a4
+dec_cl1:
+  li   a4, -32768
+  bge  s3, a4, dec_cl2
+  mv   s3, a4
+dec_cl2:
+  andi a4, a3, 7
+  slli a4, a4, 2
+  add  a4, s6, a4
+  ld   a4, 0(a4)
+  add  s4, s4, a4
+  bge  s4, zero, dec_ic1
+  li   s4, 0
+dec_ic1:
+  li   a4, 88
+  ble  s4, a4, dec_ic2
+  mv   s4, a4
+dec_ic2:
+  slli a4, s4, 2
+  add  a4, s7, a4
+  ld   s5, 0(a4)
+  st   s3, 0(s1)
+  li   a4, 31
+  mul  t1, t1, a4
+  add  t1, t1, s3
+  addi s0, s0, 1
+  addi s1, s1, 4
+  addi s2, s2, 1
+  blt  s2, t7, dec_loop
+
+; ---- report ----
+  la   a6, OUT
+  st   t0, 0(a6)
+  st   t1, 0(a6)
+  st   s3, 0(a6)
+  st   s4, 0(a6)
+  halt
+
+.data
+pcm_in:
+%s
+encoded:  .space %d
+.align 4
+decoded:  .space %d
+steptab:
+%s
+indextab:
+%s
+|}
+    nsamples
+    (Workload.words_directive samples)
+    nsamples (4 * nsamples)
+    (Workload.words_directive (Array.to_list step_table))
+    (Workload.words_directive (Array.to_list index_table))
+
+(* Hand-scheduled variant: the if-trees of the per-sample kernel are
+   if-converted to straight-line mask arithmetic (slt / mask / xor-select),
+   leaving only the loop back-edges as control flow. This is what an
+   optimising SOFIA-aware toolchain would emit (the paper's conclusion
+   lists such toolchain optimisation as planned work): large basic
+   blocks pack SOFIA's 6-instruction execution blocks densely, so the
+   padding and multiplexor overhead collapses. Arithmetic is identical
+   to the branchy variant, so both check against the same reference. *)
+let source_scheduled ~nsamples ~samples =
+  Printf.sprintf
+    {|
+; IMA ADPCM encode + decode, if-converted / hand-scheduled
+.equ OUT, 0xFFFF0000
+.equ NSAMP, %d
+
+start:
+  la   s0, pcm_in
+  la   s1, encoded
+  li   s3, 0            ; valpred
+  li   s4, 0            ; index
+  la   s7, steptab
+  ld   s5, 0(s7)        ; step
+  la   s6, indextab
+  li   t0, 0            ; code checksum
+  li   s2, 0
+  li   t3, 32767
+  li   t4, -32768
+  li   t5, 88
+  li   t6, 31
+  li   t7, NSAMP
+
+enc_loop:
+  ld   a0, 0(s0)
+  sub  a1, a0, s3       ; diff
+  slt  a2, a1, zero     ; sign (0/1)
+  sub  a7, zero, a2     ; sign mask (0/-1)
+  xor  a1, a1, a7
+  sub  a1, a1, a7       ; |diff|
+  slt  a4, a1, s5       ; bit2: diff >= step ?
+  xori a4, a4, 1
+  sub  a5, zero, a4
+  and  a6, s5, a5
+  sub  a1, a1, a6
+  slli a3, a4, 2        ; delta
+  srai t2, s5, 1        ; bit1: half step
+  slt  a4, a1, t2
+  xori a4, a4, 1
+  sub  a5, zero, a4
+  and  a6, t2, a5
+  sub  a1, a1, a6
+  slli a4, a4, 1
+  or   a3, a3, a4
+  srai t2, s5, 2        ; bit0: quarter step
+  slt  a4, a1, t2
+  xori a4, a4, 1
+  or   a3, a3, a4
+  srai a5, s5, 3        ; vpdiff = step>>3
+  srli a4, a3, 2
+  andi a4, a4, 1
+  sub  a4, zero, a4
+  and  a4, s5, a4
+  add  a5, a5, a4
+  srli a4, a3, 1
+  andi a4, a4, 1
+  sub  a4, zero, a4
+  srai t2, s5, 1
+  and  a4, t2, a4
+  add  a5, a5, a4
+  andi a4, a3, 1
+  sub  a4, zero, a4
+  srai t2, s5, 2
+  and  a4, t2, a4
+  add  a5, a5, a4
+  xor  a5, a5, a7       ; apply sign
+  sub  a5, a5, a7
+  add  s3, s3, a5
+  slt  a4, t3, s3       ; clamp to 32767
+  sub  a4, zero, a4
+  xor  a6, s3, t3
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  slt  a4, s3, t4       ; clamp to -32768
+  sub  a4, zero, a4
+  xor  a6, s3, t4
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  slli a4, a2, 3        ; code = delta | sign<<3
+  or   a3, a3, a4
+  andi a4, a3, 7
+  slli a4, a4, 2
+  add  a4, s6, a4
+  ld   a4, 0(a4)
+  add  s4, s4, a4       ; index update
+  slt  a4, s4, zero     ; clamp to 0
+  sub  a4, zero, a4
+  and  a6, s4, a4
+  xor  s4, s4, a6
+  slt  a4, t5, s4       ; clamp to 88
+  sub  a4, zero, a4
+  xor  a6, s4, t5
+  and  a6, a6, a4
+  xor  s4, s4, a6
+  slli a4, s4, 2
+  add  a4, s7, a4
+  ld   s5, 0(a4)
+  stb  a3, 0(s1)
+  mul  t0, t0, t6
+  add  t0, t0, a3
+  addi s0, s0, 4
+  addi s1, s1, 1
+  addi s2, s2, 1
+  blt  s2, t7, enc_loop
+
+; ---- decode ----
+  la   s0, encoded
+  la   s1, decoded
+  li   s3, 0
+  li   s4, 0
+  ld   s5, 0(s7)
+  li   t1, 0
+  li   s2, 0
+
+dec_loop:
+  ldb  a3, 0(s0)
+  srli a2, a3, 3
+  andi a2, a2, 1        ; sign (0/1)
+  sub  a7, zero, a2     ; sign mask
+  srai a5, s5, 3        ; vpdiff
+  srli a4, a3, 2
+  andi a4, a4, 1
+  sub  a4, zero, a4
+  and  a4, s5, a4
+  add  a5, a5, a4
+  srli a4, a3, 1
+  andi a4, a4, 1
+  sub  a4, zero, a4
+  srai t2, s5, 1
+  and  a4, t2, a4
+  add  a5, a5, a4
+  andi a4, a3, 1
+  sub  a4, zero, a4
+  srai t2, s5, 2
+  and  a4, t2, a4
+  add  a5, a5, a4
+  xor  a5, a5, a7
+  sub  a5, a5, a7
+  add  s3, s3, a5
+  slt  a4, t3, s3
+  sub  a4, zero, a4
+  xor  a6, s3, t3
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  slt  a4, s3, t4
+  sub  a4, zero, a4
+  xor  a6, s3, t4
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  andi a4, a3, 7
+  slli a4, a4, 2
+  add  a4, s6, a4
+  ld   a4, 0(a4)
+  add  s4, s4, a4
+  slt  a4, s4, zero
+  sub  a4, zero, a4
+  and  a6, s4, a4
+  xor  s4, s4, a6
+  slt  a4, t5, s4
+  sub  a4, zero, a4
+  xor  a6, s4, t5
+  and  a6, a6, a4
+  xor  s4, s4, a6
+  slli a4, s4, 2
+  add  a4, s7, a4
+  ld   s5, 0(a4)
+  st   s3, 0(s1)
+  mul  t1, t1, t6
+  add  t1, t1, s3
+  addi s0, s0, 1
+  addi s1, s1, 4
+  addi s2, s2, 1
+  blt  s2, t7, dec_loop
+
+; ---- report ----
+  la   a6, OUT
+  st   t0, 0(a6)
+  st   t1, 0(a6)
+  st   s3, 0(a6)
+  st   s4, 0(a6)
+  halt
+
+.data
+pcm_in:
+%s
+encoded:  .space %d
+.align 4
+decoded:  .space %d
+steptab:
+%s
+indextab:
+%s
+|}
+    nsamples
+    (Workload.words_directive samples)
+    nsamples (4 * nsamples)
+    (Workload.words_directive (Array.to_list step_table))
+    (Workload.words_directive (Array.to_list index_table))
+
+(* Compiler-style middle ground: decision branches stay (sign, delta
+   bits, vpdiff accumulation — as compiled if-trees), but the four
+   saturating clamps are if-converted, as -O2 compilers commonly manage
+   for min/max patterns. This is the closest stand-in for the paper's
+   BCC-compiled SPARC binary. *)
+let source_compiled ~nsamples ~samples =
+  Printf.sprintf
+    {|
+; IMA ADPCM encode + decode, compiler-style kernel
+.equ OUT, 0xFFFF0000
+.equ NSAMP, %d
+
+start:
+  la   s0, pcm_in
+  la   s1, encoded
+  li   s3, 0            ; valpred
+  li   s4, 0            ; index
+  la   s7, steptab
+  ld   s5, 0(s7)        ; step
+  la   s6, indextab
+  li   t0, 0            ; code checksum
+  li   s2, 0
+  li   t3, 32767
+  li   t4, -32768
+  li   t5, 88
+  li   t6, 31
+  li   t7, NSAMP
+
+enc_loop:
+  ld   a0, 0(s0)
+  sub  a1, a0, s3
+  li   a2, 0
+  bge  a1, zero, enc_pos
+  li   a2, 8
+  sub  a1, zero, a1
+enc_pos:
+  li   a3, 0
+  blt  a1, s5, enc_d2
+  ori  a3, a3, 4
+  sub  a1, a1, s5
+enc_d2:
+  srai a4, s5, 1
+  blt  a1, a4, enc_d1
+  ori  a3, a3, 2
+  sub  a1, a1, a4
+enc_d1:
+  srai a4, s5, 2
+  blt  a1, a4, enc_dd
+  ori  a3, a3, 1
+enc_dd:
+  srai a5, s5, 3
+  andi a4, a3, 4
+  beqz a4, enc_v2
+  add  a5, a5, s5
+enc_v2:
+  andi a4, a3, 2
+  beqz a4, enc_v1
+  srai a4, s5, 1
+  add  a5, a5, a4
+enc_v1:
+  andi a4, a3, 1
+  beqz a4, enc_vd
+  srai a4, s5, 2
+  add  a5, a5, a4
+enc_vd:
+  beqz a2, enc_padd
+  sub  s3, s3, a5
+  j    enc_joined
+enc_padd:
+  add  s3, s3, a5
+enc_joined:
+  slt  a4, t3, s3       ; clamp valpred to [t4, t3], branchless
+  sub  a4, zero, a4
+  xor  a6, s3, t3
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  slt  a4, s3, t4
+  sub  a4, zero, a4
+  xor  a6, s3, t4
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  or   a3, a3, a2
+  andi a4, a3, 7
+  slli a4, a4, 2
+  add  a4, s6, a4
+  ld   a4, 0(a4)
+  add  s4, s4, a4
+  slt  a4, s4, zero     ; clamp index to [0, 88], branchless
+  sub  a4, zero, a4
+  and  a6, s4, a4
+  xor  s4, s4, a6
+  slt  a4, t5, s4
+  sub  a4, zero, a4
+  xor  a6, s4, t5
+  and  a6, a6, a4
+  xor  s4, s4, a6
+  slli a4, s4, 2
+  add  a4, s7, a4
+  ld   s5, 0(a4)
+  stb  a3, 0(s1)
+  mul  t0, t0, t6
+  add  t0, t0, a3
+  addi s0, s0, 4
+  addi s1, s1, 1
+  addi s2, s2, 1
+  blt  s2, t7, enc_loop
+
+; ---- decode ----
+  la   s0, encoded
+  la   s1, decoded
+  li   s3, 0
+  li   s4, 0
+  ld   s5, 0(s7)
+  li   t1, 0
+  li   s2, 0
+
+dec_loop:
+  ldb  a3, 0(s0)
+  andi a2, a3, 8
+  srai a5, s5, 3
+  andi a4, a3, 4
+  beqz a4, dec_v2
+  add  a5, a5, s5
+dec_v2:
+  andi a4, a3, 2
+  beqz a4, dec_v1
+  srai a4, s5, 1
+  add  a5, a5, a4
+dec_v1:
+  andi a4, a3, 1
+  beqz a4, dec_vd
+  srai a4, s5, 2
+  add  a5, a5, a4
+dec_vd:
+  beqz a2, dec_padd
+  sub  s3, s3, a5
+  j    dec_joined
+dec_padd:
+  add  s3, s3, a5
+dec_joined:
+  slt  a4, t3, s3
+  sub  a4, zero, a4
+  xor  a6, s3, t3
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  slt  a4, s3, t4
+  sub  a4, zero, a4
+  xor  a6, s3, t4
+  and  a6, a6, a4
+  xor  s3, s3, a6
+  andi a4, a3, 7
+  slli a4, a4, 2
+  add  a4, s6, a4
+  ld   a4, 0(a4)
+  add  s4, s4, a4
+  slt  a4, s4, zero
+  sub  a4, zero, a4
+  and  a6, s4, a4
+  xor  s4, s4, a6
+  slt  a4, t5, s4
+  sub  a4, zero, a4
+  xor  a6, s4, t5
+  and  a6, a6, a4
+  xor  s4, s4, a6
+  slli a4, s4, 2
+  add  a4, s7, a4
+  ld   s5, 0(a4)
+  st   s3, 0(s1)
+  mul  t1, t1, t6
+  add  t1, t1, s3
+  addi s0, s0, 1
+  addi s1, s1, 4
+  addi s2, s2, 1
+  blt  s2, t7, dec_loop
+
+; ---- report ----
+  la   a6, OUT
+  st   t0, 0(a6)
+  st   t1, 0(a6)
+  st   s3, 0(a6)
+  st   s4, 0(a6)
+  halt
+
+.data
+pcm_in:
+%s
+encoded:  .space %d
+.align 4
+decoded:  .space %d
+steptab:
+%s
+indextab:
+%s
+|}
+    nsamples
+    (Workload.words_directive samples)
+    nsamples (4 * nsamples)
+    (Workload.words_directive (Array.to_list step_table))
+    (Workload.words_directive (Array.to_list index_table))
+
+type variant = Branchy | Compiled | Scheduled
+
+let workload ?(samples = 2048) ?(variant = Compiled) () =
+  let pcm = Workload.triangle_noise_samples ~n:samples ~seed:0x5301AL in
+  let source, name, how =
+    match variant with
+    | Compiled -> (source_compiled, "adpcm", "compiler-style")
+    | Scheduled -> (source_scheduled, "adpcm_scheduled", "if-converted")
+    | Branchy -> (source_branchy, "adpcm_branchy", "branchy")
+  in
+  {
+    Workload.name;
+    description =
+      Printf.sprintf "IMA ADPCM encode+decode of %d synthetic PCM samples (%s kernel)" samples
+        how;
+    source = source ~nsamples:samples ~samples:pcm;
+    expected_outputs = reference_outputs ~samples:pcm;
+  }

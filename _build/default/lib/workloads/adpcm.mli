@@ -1,0 +1,43 @@
+(** IMA ADPCM encoder + decoder — the reproduction of the paper's
+    §IV-B software benchmark (MediaBench (I) ADPCM on bare metal).
+
+    The assembly program encodes [samples] 16-bit PCM samples to 4-bit
+    ADPCM codes and decodes them back, emitting four MMIO words: the
+    code-stream checksum, the decoded-stream checksum, and the
+    decoder's final predictor and step index. The input clip is the
+    deterministic synthetic signal of
+    {!Workload.triangle_noise_samples} (substituting for the MediaBench
+    audio file, which exercises the same per-sample control flow). *)
+
+val step_table : int array
+(** The 89-entry IMA step-size table. *)
+
+val index_table : int array
+(** The 8-entry index-adjustment table. *)
+
+type state = { mutable valpred : int; mutable index : int; mutable step : int }
+
+val initial_state : unit -> state
+
+val encode_sample : state -> int -> int
+(** Reference encoder for one sample; returns the 4-bit code. *)
+
+val decode_sample : state -> int -> int
+(** Reference decoder for one code; returns the reconstructed sample. *)
+
+val reference_outputs : samples:int list -> int list
+(** The four output words the assembly program must produce. *)
+
+type variant =
+  | Branchy  (** naive if-trees: one branch per decision *)
+  | Compiled
+      (** decision branches plus if-converted clamps — the closest
+          stand-in for the paper's BCC-compiled SPARC binary *)
+  | Scheduled
+      (** if-converted straight-line kernel (slt/mask selects) — what a
+          SOFIA-aware toolchain would emit; the paper's conclusion
+          lists such toolchain optimisation as planned work *)
+
+val workload : ?samples:int -> ?variant:variant -> unit -> Workload.t
+(** Default 2,048 samples, [Compiled] kernel. All variants compute
+    identical results and check against the same reference. *)

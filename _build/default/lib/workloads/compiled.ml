@@ -1,0 +1,184 @@
+let ints values = String.concat ", " (List.map string_of_int values)
+
+let compile_to name description ~source ~expected =
+  match Sofia_minic.Compile.to_assembly source with
+  | Error e ->
+    invalid_arg (Format.asprintf "Compiled.%s: MiniC error: %a" name Sofia_minic.Compile.pp_error e)
+  | Ok asm ->
+    { Workload.name; description; source = asm; expected_outputs = expected }
+
+let sieve ?(limit = 2000) () =
+  let source =
+    Printf.sprintf
+      {|
+int limit = %d;
+int flags[%d];
+
+int main() {
+  int count = 0;
+  int sum = 0;
+  for (int i = 2; i < limit; i = i + 1) {
+    if (!flags[i]) {
+      count = count + 1;
+      sum = sum + i;
+      for (int j = i * i; j < limit; j = j + i) { flags[j] = 1; }
+    }
+  }
+  out(count);
+  out(sum);
+  return 0;
+}
+|}
+      limit limit
+  in
+  compile_to "sieve_c"
+    (Printf.sprintf "MiniC sieve of Eratosthenes below %d" limit)
+    ~source
+    ~expected:(Kernels.sieve_reference limit)
+
+let fibonacci_recursive ?(n = 18) () =
+  let rec fib k = if k < 2 then k else fib (k - 1) + fib (k - 2) in
+  let source =
+    Printf.sprintf
+      {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { out(fib(%d)); return 0; }
+|}
+      n
+  in
+  compile_to "fib_rec_c"
+    (Printf.sprintf "MiniC naively recursive Fibonacci, n = %d" n)
+    ~source ~expected:[ fib n ]
+
+let matmul ?(dim = 12) () =
+  let a, b = Kernels.matmul_inputs ~dim in
+  let source =
+    Printf.sprintf
+      {|
+int dim = %d;
+int a[%d] = { %s };
+int b[%d] = { %s };
+
+int main() {
+  int chk = 0;
+  for (int i = 0; i < dim; i = i + 1) {
+    for (int j = 0; j < dim; j = j + 1) {
+      int acc = 0;
+      for (int k = 0; k < dim; k = k + 1) {
+        acc = acc + a[i * dim + k] * b[k * dim + j];
+      }
+      chk = chk * 31 + acc;
+    }
+  }
+  out(chk);
+  return 0;
+}
+|}
+      dim (dim * dim) (ints a) (dim * dim) (ints b)
+  in
+  compile_to "matmul_c"
+    (Printf.sprintf "MiniC %dx%d integer matrix multiply" dim dim)
+    ~source
+    ~expected:[ Kernels.matmul_reference ~dim ~a ~b ]
+
+let crc32 ?(bytes = 1024) () =
+  let data = Kernels.crc32_input ~bytes in
+  let source =
+    Printf.sprintf
+      {|
+int n = %d;
+int data[%d] = { %s };
+
+int main() {
+  int crc = -1;
+  for (int i = 0; i < n; i = i + 1) {
+    crc = crc ^ data[i];
+    for (int k = 0; k < 8; k = k + 1) {
+      int mask = -(crc & 1);
+      crc = ((crc >> 1) & 0x7FFFFFFF) ^ (0xEDB88320 & mask);
+    }
+  }
+  out(crc ^ -1);
+  return 0;
+}
+|}
+      bytes bytes (ints data)
+  in
+  compile_to "crc32_c"
+    (Printf.sprintf "MiniC bitwise CRC-32 over %d bytes" bytes)
+    ~source
+    ~expected:[ Kernels.crc32_reference data ]
+
+(* Dhrystone-flavoured synthetic mix: parallel-array "records",
+   procedure calls, string-ish byte comparisons over int arrays,
+   conditionals and a function-table dispatch. The reference comes from
+   the MiniC interpreter, which is itself differentially tested against
+   the compiler. *)
+let synthetic_source ~iterations =
+  Printf.sprintf
+    {|
+int rec_kind[4]   = { 1, 2, 1, 3 };
+int rec_value[4]  = { 10, -20, 30, -40 };
+int rec_next[4]   = { 1, 2, 3, 0 };
+int name_a[6] = { 'd', 'h', 'r', 'y', '1', 0 };
+int name_b[6] = { 'd', 'h', 'r', 'y', '2', 0 };
+int checksum = 0;
+
+int mix(int v) { checksum = checksum * 31 + v; return checksum; }
+
+int str_cmp(int which) {
+  for (int i = 0; i < 6; i = i + 1) {
+    int ca = name_a[i];
+    int cb = name_b[i];
+    if (ca != cb) { return ca - cb; }
+    if (ca == 0) { break; }
+  }
+  return 0;
+}
+
+int proc_records(int start, int steps) {
+  int node = start;
+  int acc = 0;
+  while (steps > 0) {
+    if (rec_kind[node] == 1) { acc = acc + rec_value[node]; }
+    else if (rec_kind[node] == 2) { acc = acc - rec_value[node]; }
+    else { acc = acc ^ rec_value[node]; }
+    node = rec_next[node];
+    steps = steps - 1;
+  }
+  return acc;
+}
+
+int op_lo(int v) { return v & 0xFFFF; }
+int op_hi(int v) { return (v >> 16) & 0xFFFF; }
+int extract[] = { op_lo, op_hi };
+
+int main() {
+  for (int iter = 0; iter < %d; iter = iter + 1) {
+    mix(proc_records(iter & 3, 5 + (iter & 7)));
+    mix(str_cmp(iter));
+    rec_value[iter & 3] = rec_value[iter & 3] + iter;
+    mix(extract[iter & 1](checksum));
+  }
+  out(checksum);
+  return 0;
+}
+|}
+    iterations
+
+let synthetic ?(iterations = 64) () =
+  let source = synthetic_source ~iterations in
+  let expected =
+    match Sofia_minic.Interp.run (Sofia_minic.Parser.parse source) with
+    | Ok (Sofia_minic.Interp.Finished outs) -> outs
+    | Ok Sofia_minic.Interp.Fuel_exhausted -> invalid_arg "Compiled.synthetic: fuel"
+    | Error m -> invalid_arg ("Compiled.synthetic: " ^ m)
+  in
+  compile_to "synth_c"
+    (Printf.sprintf "MiniC Dhrystone-style synthetic mix, %d iterations" iterations)
+    ~source ~expected
+
+let all () = [ sieve (); fibonacci_recursive (); matmul (); crc32 (); synthetic () ]

@@ -1,0 +1,27 @@
+(** Workloads written in MiniC and built through the toolchain
+    front-end — the compiled-code counterpart of the hand-written
+    kernels, checked against the same references.
+
+    These exist for the toolchain study (EXPERIMENTS.md X6): how does
+    compiler-generated code fare under the SOFIA transformation
+    compared to hand-scheduled assembly of the same algorithm? *)
+
+val sieve : ?limit:int -> unit -> Workload.t
+(** MiniC sieve of Eratosthenes; same outputs as {!Kernels.sieve}. *)
+
+val fibonacci_recursive : ?n:int -> unit -> Workload.t
+(** Naively recursive Fibonacci (default n = 18): call-heavy code, the
+    worst case for return-point blocks. *)
+
+val matmul : ?dim:int -> unit -> Workload.t
+(** MiniC matrix multiply; same outputs as {!Kernels.matmul}. *)
+
+val crc32 : ?bytes:int -> unit -> Workload.t
+(** MiniC bitwise CRC-32; same outputs as {!Kernels.crc32}. *)
+
+val synthetic : ?iterations:int -> unit -> Workload.t
+(** Dhrystone-flavoured synthetic mix (records-as-parallel-arrays,
+    string comparison, procedure calls, function-table dispatch); the
+    expected outputs come from the MiniC reference interpreter. *)
+
+val all : unit -> Workload.t list

@@ -1,0 +1,600 @@
+open Sofia_util
+
+let bytes_directive values =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i v ->
+      if i mod 16 = 0 then begin
+        if i > 0 then Buffer.add_char buf '\n';
+        Buffer.add_string buf "  .byte "
+      end
+      else Buffer.add_string buf ", ";
+      Buffer.add_string buf (string_of_int (v land 0xFF)))
+    values;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let random_bytes ~n ~seed =
+  let rng = Prng.create ~seed in
+  List.init n (fun _ -> Prng.int_below rng 256)
+
+let random_words ~n ~seed ~lo ~hi =
+  let rng = Prng.create ~seed in
+  List.init n (fun _ -> Prng.int_in rng ~lo ~hi)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc32_reference data =
+  let crc = ref Word.mask32 in
+  List.iter
+    (fun b ->
+      crc := !crc lxor (b land 0xFF);
+      for _ = 1 to 8 do
+        let mask = Word.u32 (-(!crc land 1)) in
+        crc := (!crc lsr 1) lxor (0xEDB88320 land mask)
+      done)
+    data;
+  Word.u32 (!crc lxor Word.mask32)
+
+let crc32_input ~bytes = random_bytes ~n:bytes ~seed:0xC3C32L
+
+let matmul_inputs ~dim =
+  ( random_words ~n:(dim * dim) ~seed:0x3A7L ~lo:(-100) ~hi:100,
+    random_words ~n:(dim * dim) ~seed:0x3B8L ~lo:(-100) ~hi:100 )
+
+let crc32 ?(bytes = 1024) () =
+  let data = crc32_input ~bytes in
+  let source =
+    Printf.sprintf
+      {|
+; table-less CRC-32
+.equ OUT, 0xFFFF0000
+.equ NBYTES, %d
+start:
+  la   s0, buf
+  li   s1, NBYTES
+  li   t0, -1
+  li   t2, 0xEDB88320
+  li   s2, 0
+outer:
+  add  a0, s0, s2
+  ldb  a1, 0(a0)
+  xor  t0, t0, a1
+  li   a2, 8
+inner:
+  andi a3, t0, 1
+  sub  a3, zero, a3
+  and  a3, a3, t2
+  srli t0, t0, 1
+  xor  t0, t0, a3
+  addi a2, a2, -1
+  bnez a2, inner
+  addi s2, s2, 1
+  blt  s2, s1, outer
+  li   a4, -1
+  xor  t0, t0, a4
+  la   a6, OUT
+  st   t0, 0(a6)
+  halt
+.data
+buf:
+%s
+|}
+      bytes (bytes_directive data)
+  in
+  {
+    Workload.name = "crc32";
+    description = Printf.sprintf "bitwise CRC-32 over %d pseudorandom bytes" bytes;
+    source;
+    expected_outputs = [ crc32_reference data ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* FIR filter                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fir_taps = [ 3; -5; 8; -13; 21; -34; 55; -34; 21; -13; 8; -5; 3; -2; 1; 4 ]
+
+let fir_reference ~taps ~signal =
+  let x = Array.of_list signal in
+  let h = Array.of_list taps in
+  let chk = ref 0 in
+  for i = Array.length h to Array.length x - 1 do
+    let acc = ref 0 in
+    for k = 0 to Array.length h - 1 do
+      acc := Word.add32 !acc (Word.mul32 (Word.u32 h.(k)) (Word.u32 x.(i - k)))
+    done;
+    chk := Workload.checksum !chk !acc
+  done;
+  Word.u32 !chk
+
+let fir ?(samples = 1024) () =
+  let signal = random_words ~n:samples ~seed:0xF17L ~lo:(-2000) ~hi:2000 in
+  let source =
+    Printf.sprintf
+      {|
+; 16-tap integer FIR filter
+.equ OUT, 0xFFFF0000
+.equ NSAMP, %d
+start:
+  la   s0, x
+  la   s1, h
+  li   s2, 16
+  li   s3, NSAMP
+  li   t0, 0
+  li   t5, 16
+  li   t6, 31
+outer:
+  bge  s2, s3, done
+  li   a0, 0
+  li   a1, 0
+inner:
+  slli a4, a1, 2
+  add  a5, s1, a4
+  ld   a2, 0(a5)
+  sub  a6, s2, a1
+  slli a6, a6, 2
+  add  a6, s0, a6
+  ld   a3, 0(a6)
+  mul  a7, a2, a3
+  add  a0, a0, a7
+  addi a1, a1, 1
+  blt  a1, t5, inner
+  mul  t0, t0, t6
+  add  t0, t0, a0
+  addi s2, s2, 1
+  j    outer
+done:
+  la   a6, OUT
+  st   t0, 0(a6)
+  halt
+.data
+x:
+%s
+h:
+%s
+|}
+      samples
+      (Workload.words_directive signal)
+      (Workload.words_directive fir_taps)
+  in
+  {
+    Workload.name = "fir";
+    description = Printf.sprintf "16-tap integer FIR over %d samples" samples;
+    source;
+    expected_outputs = [ fir_reference ~taps:fir_taps ~signal ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Matrix multiply                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let matmul_reference ~dim ~a ~b =
+  let a = Array.of_list a and b = Array.of_list b in
+  let chk = ref 0 in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      let acc = ref 0 in
+      for k = 0 to dim - 1 do
+        acc := Word.add32 !acc (Word.mul32 (Word.u32 a.((i * dim) + k)) (Word.u32 b.((k * dim) + j)))
+      done;
+      chk := Workload.checksum !chk !acc
+    done
+  done;
+  Word.u32 !chk
+
+let matmul ?(dim = 12) () =
+  let a, b = matmul_inputs ~dim in
+  let source =
+    Printf.sprintf
+      {|
+; dense integer matrix multiply
+.equ OUT, 0xFFFF0000
+.equ DIM, %d
+start:
+  la   s0, mat_a
+  la   s1, mat_b
+  li   t5, DIM
+  li   t6, 31
+  li   t0, 0
+  li   s2, 0            ; i
+loop_i:
+  bge  s2, t5, done
+  li   s3, 0            ; j
+loop_j:
+  bge  s3, t5, next_i
+  li   a0, 0            ; acc
+  li   s4, 0            ; k
+loop_k:
+  bge  s4, t5, k_done
+  mul  a1, s2, t5
+  add  a1, a1, s4
+  slli a1, a1, 2
+  add  a1, s0, a1
+  ld   a2, 0(a1)        ; a[i][k]
+  mul  a3, s4, t5
+  add  a3, a3, s3
+  slli a3, a3, 2
+  add  a3, s1, a3
+  ld   a4, 0(a3)        ; b[k][j]
+  mul  a5, a2, a4
+  add  a0, a0, a5
+  addi s4, s4, 1
+  j    loop_k
+k_done:
+  mul  t0, t0, t6
+  add  t0, t0, a0
+  addi s3, s3, 1
+  j    loop_j
+next_i:
+  addi s2, s2, 1
+  j    loop_i
+done:
+  la   a6, OUT
+  st   t0, 0(a6)
+  halt
+.data
+mat_a:
+%s
+mat_b:
+%s
+|}
+      dim
+      (Workload.words_directive a)
+      (Workload.words_directive b)
+  in
+  {
+    Workload.name = "matmul";
+    description = Printf.sprintf "%dx%d integer matrix multiply" dim dim;
+    source;
+    expected_outputs = [ matmul_reference ~dim ~a ~b ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Selection sort                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sort_reference values =
+  let sorted = List.sort compare values in
+  let chk = Workload.checksum_list (List.map Word.u32 sorted) in
+  [ chk; 1 ]
+
+let sort ?(elements = 96) () =
+  let values = random_words ~n:elements ~seed:0x50FL ~lo:(-1000000) ~hi:1000000 in
+  let source =
+    Printf.sprintf
+      {|
+; selection sort + in-order verification
+.equ OUT, 0xFFFF0000
+.equ N, %d
+start:
+  la   s0, arr
+  li   s1, N
+  li   s2, 0
+outer:
+  addi a0, s1, -1
+  bge  s2, a0, sort_done
+  mv   s3, s2
+  addi s4, s2, 1
+inner:
+  bge  s4, s1, inner_done
+  slli a1, s4, 2
+  add  a1, s0, a1
+  ld   a2, 0(a1)
+  slli a3, s3, 2
+  add  a3, s0, a3
+  ld   a4, 0(a3)
+  bge  a2, a4, noswap
+  mv   s3, s4
+noswap:
+  addi s4, s4, 1
+  j    inner
+inner_done:
+  slli a1, s2, 2
+  add  a1, s0, a1
+  slli a3, s3, 2
+  add  a3, s0, a3
+  ld   a2, 0(a1)
+  ld   a4, 0(a3)
+  st   a4, 0(a1)
+  st   a2, 0(a3)
+  addi s2, s2, 1
+  j    outer
+sort_done:
+  li   t0, 0
+  li   t2, 1
+  li   s2, 0
+  li   t6, 31
+chk_loop:
+  bge  s2, s1, chk_done
+  slli a1, s2, 2
+  add  a1, s0, a1
+  ld   a2, 0(a1)
+  mul  t0, t0, t6
+  add  t0, t0, a2
+  beqz s2, keep
+  ld   a3, -4(a1)
+  ble  a3, a2, keep
+  li   t2, 0
+keep:
+  addi s2, s2, 1
+  j    chk_loop
+chk_done:
+  la   a6, OUT
+  st   t0, 0(a6)
+  st   t2, 0(a6)
+  halt
+.data
+arr:
+%s
+|}
+      elements
+      (Workload.words_directive values)
+  in
+  {
+    Workload.name = "sort";
+    description = Printf.sprintf "selection sort of %d words" elements;
+    source;
+    expected_outputs = sort_reference values;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sieve of Eratosthenes                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sieve_reference limit =
+  let composite = Array.make limit false in
+  let count = ref 0 and sum = ref 0 in
+  for i = 2 to limit - 1 do
+    if not composite.(i) then begin
+      incr count;
+      sum := Word.add32 !sum i;
+      let j = ref (i * i) in
+      while !j < limit do
+        composite.(!j) <- true;
+        j := !j + i
+      done
+    end
+  done;
+  [ !count; !sum ]
+
+let sieve ?(limit = 2000) () =
+  let source =
+    Printf.sprintf
+      {|
+; sieve of Eratosthenes
+.equ OUT, 0xFFFF0000
+.equ LIMIT, %d
+start:
+  la   s0, flags
+  li   s1, LIMIT
+  li   t0, 0
+  li   t1, 0
+  li   s2, 2
+outer:
+  bge  s2, s1, done
+  add  a0, s0, s2
+  ldb  a1, 0(a0)
+  bnez a1, next
+  addi t0, t0, 1
+  add  t1, t1, s2
+  mul  a2, s2, s2
+mark:
+  bge  a2, s1, next
+  add  a3, s0, a2
+  li   a4, 1
+  stb  a4, 0(a3)
+  add  a2, a2, s2
+  j    mark
+next:
+  addi s2, s2, 1
+  j    outer
+done:
+  la   a6, OUT
+  st   t0, 0(a6)
+  st   t1, 0(a6)
+  halt
+.data
+flags: .space %d
+|}
+      limit limit
+  in
+  {
+    Workload.name = "sieve";
+    description = Printf.sprintf "sieve of Eratosthenes below %d" limit;
+    source;
+    expected_outputs = sieve_reference limit;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fibonacci                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fibonacci_reference n =
+  let a = ref 0 and b = ref 1 in
+  for _ = 1 to n do
+    let next = Word.add32 !a !b in
+    a := !b;
+    b := next
+  done;
+  [ !a ]
+
+let fibonacci ?(n = 90) () =
+  let source =
+    Printf.sprintf
+      {|
+; iterative Fibonacci (32-bit wrap-around)
+.equ OUT, 0xFFFF0000
+.equ N, %d
+start:
+  li   a0, 0
+  li   a1, 1
+  li   a2, N
+  li   a3, 0
+loop:
+  add  a4, a0, a1
+  mv   a0, a1
+  mv   a1, a4
+  addi a3, a3, 1
+  blt  a3, a2, loop
+  la   a6, OUT
+  st   a0, 0(a6)
+  halt
+|}
+      n
+  in
+  {
+    Workload.name = "fibonacci";
+    description = Printf.sprintf "iterative Fibonacci, n = %d" n;
+    source;
+    expected_outputs = fibonacci_reference n;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Substring search                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let needle = [ 0x61; 0x62; 0x63; 0x61 ]  (* "abca" *)
+
+let strsearch_reference hay =
+  let h = Array.of_list hay in
+  let n = Array.of_list needle in
+  let count = ref 0 in
+  for i = 0 to Array.length h - Array.length n do
+    let matches = ref true in
+    Array.iteri (fun k c -> if h.(i + k) <> c then matches := false) n;
+    if !matches then incr count
+  done;
+  [ !count ]
+
+let strsearch ?(haystack = 512) () =
+  let rng = Prng.create ~seed:0x57AL in
+  (* 4-symbol alphabet so the needle actually occurs *)
+  let hay = List.init haystack (fun _ -> 0x61 + Prng.int_below rng 4) in
+  let source =
+    Printf.sprintf
+      {|
+; naive 4-byte substring count
+.equ OUT, 0xFFFF0000
+.equ N, %d
+start:
+  la   s0, hay
+  li   s1, N
+  addi s1, s1, -3
+  li   s2, 0
+  li   t0, 0
+  li   t2, %d
+  li   t3, %d
+  li   t4, %d
+  li   t5, %d
+loop:
+  bge  s2, s1, done
+  add  a0, s0, s2
+  ldb  a1, 0(a0)
+  bne  a1, t2, next
+  ldb  a1, 1(a0)
+  bne  a1, t3, next
+  ldb  a1, 2(a0)
+  bne  a1, t4, next
+  ldb  a1, 3(a0)
+  bne  a1, t5, next
+  addi t0, t0, 1
+next:
+  addi s2, s2, 1
+  j    loop
+done:
+  la   a6, OUT
+  st   t0, 0(a6)
+  halt
+.data
+hay:
+%s
+|}
+      haystack (List.nth needle 0) (List.nth needle 1) (List.nth needle 2) (List.nth needle 3)
+      (bytes_directive hay)
+  in
+  {
+    Workload.name = "strsearch";
+    description = Printf.sprintf "naive substring count over %d bytes" haystack;
+    source;
+    expected_outputs = strsearch_reference hay;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Function-pointer dispatcher                                         *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_step state cmd =
+  match cmd with
+  | 0 -> Word.add32 state 1237
+  | 1 -> Word.u32 (state lxor 0x5A5A)
+  | 2 -> Word.u32 ((state lsl 1) lor 1)
+  | 3 -> Word.add32 (Word.mul32 state 17) 3
+  | _ -> assert false
+
+let dispatch_reference cmds = [ List.fold_left dispatch_step 0x1234 cmds ]
+
+let dispatch ?(commands = 256) () =
+  let rng = Prng.create ~seed:0xD15L in
+  let cmds = List.init commands (fun _ -> Prng.int_below rng 4) in
+  let source =
+    Printf.sprintf
+      {|
+; command interpreter through a function-pointer table
+.equ OUT, 0xFFFF0000
+.equ NCMD, %d
+start:
+  la   s0, cmds
+  li   s1, NCMD
+  li   s2, 0
+  li   s3, 0x1234
+  la   s4, table
+loop:
+  slli a1, s2, 2
+  add  a1, s0, a1
+  ld   a2, 0(a1)
+  slli a2, a2, 2
+  add  a2, s4, a2
+  ld   t0, 0(a2)
+  mv   a0, s3
+  .targets h_add, h_xor, h_shift, h_mul
+  jalr t0
+  mv   s3, a0
+  addi s2, s2, 1
+  blt  s2, s1, loop
+  la   a6, OUT
+  st   s3, 0(a6)
+  halt
+
+h_add:
+  addi a0, a0, 1237
+  ret
+h_xor:
+  xori a0, a0, 0x5A5A
+  ret
+h_shift:
+  slli a0, a0, 1
+  ori  a0, a0, 1
+  ret
+h_mul:
+  li   a1, 17
+  mul  a0, a0, a1
+  addi a0, a0, 3
+  ret
+
+.data
+cmds:
+%s
+table: .word h_add, h_xor, h_shift, h_mul
+|}
+      commands
+      (Workload.words_directive cmds)
+  in
+  {
+    Workload.name = "dispatch";
+    description = Printf.sprintf "function-pointer dispatcher over %d commands" commands;
+    source;
+    expected_outputs = dispatch_reference cmds;
+  }

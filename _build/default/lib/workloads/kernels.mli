@@ -1,0 +1,58 @@
+(** Additional benchmark kernels (beyond the paper's ADPCM): embedded
+    integer workloads with differing control-flow profiles, used by the
+    extended overhead study (EXPERIMENTS.md X1) and the integration
+    tests. Each pairs assembly with an OCaml reference. *)
+
+val crc32_reference : int list -> int
+(** Reference CRC-32 of a byte list (checkable against the classic
+    ["123456789" → 0xCBF43926] vector). *)
+
+val sieve_reference : int -> int list
+(** [\[count; sum\]] of primes below the limit. *)
+
+val fibonacci_reference : int -> int list
+(** [\[fib n\]] with 32-bit wrap-around. *)
+
+val dispatch_reference : int list -> int list
+(** Final interpreter state for a command list. *)
+
+val crc32_input : bytes:int -> int list
+(** The pseudorandom input buffer of {!crc32} (shared with the MiniC
+    port in {!Compiled}). *)
+
+val matmul_inputs : dim:int -> int list * int list
+(** The input matrices of {!matmul}. *)
+
+val matmul_reference : dim:int -> a:int list -> b:int list -> int
+(** Checksum of the product matrix. *)
+
+val crc32 : ?bytes:int -> unit -> Workload.t
+(** Bitwise (table-less) CRC-32 over a pseudorandom buffer. Tight
+    8-iteration inner loop: branch-dominated. *)
+
+val fir : ?samples:int -> unit -> Workload.t
+(** 16-tap integer FIR filter: multiply/load-dominated inner loop. *)
+
+val matmul : ?dim:int -> unit -> Workload.t
+(** Dense integer matrix multiply (default 12×12): triple nested
+    loop. *)
+
+val sort : ?elements:int -> unit -> Workload.t
+(** Selection sort of a pseudorandom word array, plus an in-order
+    verification pass: compare/branch-dominated. *)
+
+val sieve : ?limit:int -> unit -> Workload.t
+(** Sieve of Eratosthenes up to [limit] (default 2000); outputs the
+    prime count and the sum of primes: byte-store-dominated. *)
+
+val fibonacci : ?n:int -> unit -> Workload.t
+(** Iterative Fibonacci with 32-bit wrap-around (default n = 90):
+    minimal straight-line loop. *)
+
+val strsearch : ?haystack:int -> unit -> Workload.t
+(** Naive 4-byte substring count over a pseudorandom byte buffer. *)
+
+val dispatch : ?commands:int -> unit -> Workload.t
+(** A command interpreter driving four handlers through a
+    function-pointer table — exercises indirect calls, multiplexor
+    trees and return funnels inside a realistic workload. *)

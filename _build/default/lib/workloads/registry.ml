@@ -1,0 +1,24 @@
+let all () =
+  [
+    Adpcm.workload ();
+    Kernels.crc32 ();
+    Kernels.fir ();
+    Kernels.matmul ();
+    Kernels.sort ();
+    Kernels.sieve ();
+    Kernels.fibonacci ();
+    Kernels.strsearch ();
+    Kernels.dispatch ();
+  ]
+
+let benchmark_suite () =
+  all ()
+  @ [
+      Adpcm.workload ~variant:Adpcm.Scheduled ();
+      Adpcm.workload ~variant:Adpcm.Branchy ();
+    ]
+
+let by_name name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) (benchmark_suite ())
+
+let names () = List.map (fun w -> w.Workload.name) (benchmark_suite ())

@@ -1,0 +1,14 @@
+(** Workload registry. *)
+
+val all : unit -> Workload.t list
+(** Every workload at its default scale, ADPCM (compiled variant)
+    first. *)
+
+val benchmark_suite : unit -> Workload.t list
+(** The workloads used by the cross-workload overhead study: all of
+    {!all} plus the two alternative ADPCM kernels. *)
+
+val by_name : string -> Workload.t option
+(** Look up a default-scale workload by name. *)
+
+val names : unit -> string list

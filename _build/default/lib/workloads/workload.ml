@@ -1,0 +1,46 @@
+open Sofia_util
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  expected_outputs : int list;
+}
+
+let checksum acc v = Word.add32 (Word.mul32 acc 31) (Word.u32 v)
+
+let checksum_list values = List.fold_left checksum 0 values
+
+let words_directive values =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | [] -> ()
+    | vs ->
+      let line, rest =
+        let rec take k acc = function
+          | [] -> (List.rev acc, [])
+          | x :: r when k > 0 -> take (k - 1) (x :: acc) r
+          | r -> (List.rev acc, r)
+        in
+        take 16 [] vs
+      in
+      Buffer.add_string buf "  .word ";
+      Buffer.add_string buf (String.concat ", " (List.map string_of_int line));
+      Buffer.add_char buf '\n';
+      go rest
+  in
+  go values;
+  Buffer.contents buf
+
+let triangle_noise_samples ~n ~seed =
+  let rng = Prng.create ~seed in
+  let period = 64 in
+  List.init n (fun i ->
+    let phase = i mod period in
+    let tri = if phase < period / 2 then phase else period - phase in
+    let carrier = (tri * 48000 / period) - 12000 in
+    let noise = Prng.int_in rng ~lo:(-400) ~hi:400 in
+    let s = carrier + noise in
+    if s > 32767 then 32767 else if s < -32768 then -32768 else s)
+
+let assemble t = Sofia_asm.Assembler.assemble t.source

@@ -1,0 +1,35 @@
+(** Benchmark workloads: assembly programs paired with OCaml reference
+    implementations.
+
+    Every workload is a bare-metal program (the paper targets software
+    that "does not require an operating system") that computes over
+    data baked into its [.data] section and writes result words to the
+    MMIO output port; the [expected_outputs] come from an OCaml
+    implementation of the same algorithm with identical 32-bit
+    semantics, so a simulator run is correct iff the output streams are
+    equal. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** assembly text, ready for {!Sofia_asm.Assembler.assemble} *)
+  expected_outputs : int list;
+}
+
+val checksum : int -> int -> int
+(** [checksum acc v] = [acc * 31 + v] in 32-bit wrap-around arithmetic —
+    the accumulation both the assembly and the references use. *)
+
+val checksum_list : int list -> int
+(** Fold {!checksum} over a list starting from 0. *)
+
+val words_directive : int list -> string
+(** Format a list of 32-bit values as [.word] lines (16 per line). *)
+
+val triangle_noise_samples : n:int -> seed:int64 -> int list
+(** Deterministic synthetic 16-bit PCM: a triangle carrier plus small
+    PRNG noise, clamped to [\[-32768, 32767\]] — the stand-in for the
+    MediaBench audio clip. *)
+
+val assemble : t -> Sofia_asm.Program.t
+(** Assemble the workload's source. *)

@@ -1,0 +1,1 @@
+test/attack_tests.ml: Alcotest Format List Printf Sofia

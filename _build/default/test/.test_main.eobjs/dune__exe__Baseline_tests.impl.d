@@ -1,0 +1,1 @@
+test/baseline_tests.ml: Alcotest Format Hashtbl List Option Printf Sofia

@@ -1,0 +1,1 @@
+test/cfg_tests.ml: Alcotest Array List Sofia String

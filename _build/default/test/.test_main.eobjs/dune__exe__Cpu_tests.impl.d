@@ -1,0 +1,1 @@
+test/cpu_tests.ml: Alcotest Array Bytes Char Format List Option Sofia

@@ -1,0 +1,1 @@
+test/crypto_tests.ml: Alcotest Array Bytes Hashtbl Int64 List Printf QCheck QCheck_alcotest Sofia

@@ -1,0 +1,1 @@
+test/hwmodel_tests.ml: Alcotest List Printf Sofia

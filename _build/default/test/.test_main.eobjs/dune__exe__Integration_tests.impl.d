@@ -1,0 +1,1 @@
+test/integration_tests.ml: Alcotest Array Format List Option Printf Sofia String

@@ -1,0 +1,1 @@
+test/isa_tests.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Sofia

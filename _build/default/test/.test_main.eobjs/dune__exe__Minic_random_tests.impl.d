@@ -1,0 +1,1 @@
+test/minic_random_tests.ml: Alcotest Buffer Format Int64 List Printf QCheck QCheck_alcotest Sofia String

@@ -1,0 +1,1 @@
+test/minic_tests.ml: Alcotest Format Printf QCheck QCheck_alcotest Result Sofia

@@ -1,0 +1,1 @@
+test/property_tests.ml: Array Buffer Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Sofia String

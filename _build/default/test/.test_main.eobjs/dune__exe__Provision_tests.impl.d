@@ -1,0 +1,1 @@
+test/provision_tests.ml: Alcotest Format List Option Printf Result Sofia

@@ -1,0 +1,1 @@
+test/transform_tests.ml: Alcotest Array Buffer Format List Sofia

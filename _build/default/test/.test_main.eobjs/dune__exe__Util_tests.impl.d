@@ -1,0 +1,1 @@
+test/util_tests.ml: Alcotest Array Bytes Int64 Sofia

@@ -1,0 +1,1 @@
+test/verify_tests.ml: Alcotest Array Bytes Filename Format Fun List Option Printf Sofia String Sys

@@ -1,0 +1,1 @@
+test/workload_tests.ml: Alcotest Array Char Format List Printf Sofia

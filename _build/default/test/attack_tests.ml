@@ -1,0 +1,158 @@
+(* Tests for the attack suite: tampering, diversion, forgery,
+   end-to-end exploitation scenarios. *)
+
+module Tamper = Sofia.Attack.Tamper
+module Diversion = Sofia.Attack.Diversion
+module Forgery = Sofia.Attack.Forgery
+module Scenario = Sofia.Attack.Scenario
+module Machine = Sofia.Cpu.Machine
+module Keys = Sofia.Crypto.Keys
+module Assembler = Sofia.Asm.Assembler
+module Transform = Sofia.Transform.Transform
+
+let keys = Keys.generate ~seed:0x477ACL
+let check_int = Alcotest.(check int)
+
+let victim_src =
+  {|
+start:
+  li   a0, 3
+  call f
+loop:
+  addi a0, a0, -1
+  bnez a0, loop
+  li   a1, 0xFFFF0000
+  st   a0, 0(a1)
+  halt
+f:
+  addi a0, a0, 10
+  ret
+|}
+
+let victim () =
+  let program = Assembler.assemble victim_src in
+  let image = Transform.protect_exn ~keys ~nonce:9 program in
+  (program, image)
+
+let test_single_word_tamper () =
+  let program, image = victim () in
+  (match
+     Tamper.run_tampered_sofia ~keys image ~address:(image.Sofia.Transform.Image.text_base + 8)
+       ~value:0x12345678
+   with
+   | Tamper.Detected (Machine.Mac_mismatch _) -> ()
+   | Tamper.Detected v ->
+     Alcotest.fail (Format.asprintf "unexpected violation %a" Machine.pp_violation v)
+   | Tamper.Executed _ -> Alcotest.fail "tamper executed on SOFIA");
+  (* vanilla: overwrite the addi with a nop — it executes and changes
+     the result *)
+  match
+    Tamper.run_tampered_vanilla program ~address:(4 * 8) (* the addi in f *) ~value:0
+  with
+  | Tamper.Executed _ -> ()
+  | Tamper.Detected _ -> Alcotest.fail "vanilla has no detection"
+
+let test_word_campaign () =
+  let program, image = victim () in
+  let sofia, vanilla =
+    Tamper.random_word_campaign ~keys ~program ~image ~trials:60 ~seed:1L ()
+  in
+  check_int "sofia trials" 60 sofia.Tamper.trials;
+  check_int "sofia detects everything before execution" 60 sofia.Tamper.detected;
+  (* the vanilla core has no protection: its "detections" are traps
+     that fire only after arbitrary tampered instructions already ran *)
+  check_int "vanilla accounts add up" 60
+    (vanilla.Tamper.detected + vanilla.Tamper.executed_with_changed_output
+     + vanilla.Tamper.executed_same_output);
+  Alcotest.(check bool) "some vanilla tampers execute" true
+    (vanilla.Tamper.executed_with_changed_output + vanilla.Tamper.executed_same_output > 0)
+
+let test_bitflip_campaign () =
+  let program, image = victim () in
+  let sofia, _vanilla =
+    Tamper.random_bitflip_campaign ~keys ~program ~image ~trials:60 ~seed:2L ()
+  in
+  check_int "single bit flips all detected" 60 sofia.Tamper.detected
+
+let test_diversion_campaign () =
+  let program, image = victim () in
+  let c = Diversion.random_campaign ~keys ~program ~image ~trials:100 ~seed:3L in
+  check_int "trials" 100 c.Diversion.trials;
+  check_int "SOFIA accepts no illegal edge" 0 c.Diversion.sofia_accepted;
+  check_int "vanilla accepts every diversion" 100 c.Diversion.vanilla_accepted;
+  Alcotest.(check bool) "coarse CFI accepts some (the gap SOFIA closes)" true
+    (c.Diversion.coarse_accepted > 0 && c.Diversion.coarse_accepted < 100)
+
+let test_legitimate_edges () =
+  let _, image = victim () in
+  let accepted, total = Diversion.legitimate_edges_accepted ~keys ~image in
+  Alcotest.(check bool) "has edges" true (total > 0);
+  check_int "no false positives" total accepted
+
+let test_forgery_analytics () =
+  (* paper §IV-A: 46,795 and 93,590 years *)
+  let y1 = Forgery.years_to_forge ~mac_bits:64 ~cycles_per_attempt:8 ~clock_hz:50e6 in
+  let y2 = Forgery.years_to_forge ~mac_bits:64 ~cycles_per_attempt:16 ~clock_hz:50e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "SI forgery %.0f years ~ 46795" y1)
+    true
+    (abs_float (y1 -. 46795.0) /. 46795.0 < 0.01);
+  Alcotest.(check bool)
+    (Printf.sprintf "CFI attack %.0f years ~ 93590" y2)
+    true
+    (abs_float (y2 -. 93590.0) /. 93590.0 < 0.01);
+  Alcotest.(check (float 1.0)) "attempts 2^(n-1)" (2.0 ** 63.0)
+    (Forgery.expected_attempts ~mac_bits:64)
+
+let test_forgery_monte_carlo () =
+  let stats =
+    List.map
+      (fun bits -> Forgery.monte_carlo ~keys ~mac_bits:bits ~runs:60 ~seed:4L)
+      [ 6; 8; 10 ]
+  in
+  List.iter
+    (fun (s : Forgery.trial_stats) ->
+      let expected = Forgery.expected_attempts ~mac_bits:s.Forgery.mac_bits in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-bit mean %.0f ~ %.0f" s.Forgery.mac_bits s.Forgery.mean_attempts
+           expected)
+        true
+        (s.Forgery.mean_attempts > expected /. 2.0 && s.Forgery.mean_attempts < expected *. 2.0))
+    stats;
+  let slope = Forgery.scaling_exponent stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "scaling exponent %.2f ~ 1" slope)
+    true
+    (slope > 0.8 && slope < 1.2)
+
+let test_rop_scenario () =
+  let t = Scenario.rop ~keys () in
+  Alcotest.(check bool) "clean runs agree" true (Scenario.clean_runs_agree t);
+  Alcotest.(check bool) "vanilla compromised" true (Scenario.vanilla_compromised t);
+  Alcotest.(check bool) "sofia prevented" true (Scenario.sofia_prevented t)
+
+let test_jop_scenario () =
+  let t = Scenario.jop ~keys () in
+  Alcotest.(check bool) "clean runs agree" true (Scenario.clean_runs_agree t);
+  Alcotest.(check bool) "vanilla compromised" true (Scenario.vanilla_compromised t);
+  Alcotest.(check bool) "sofia prevented" true (Scenario.sofia_prevented t)
+
+let test_scenarios_deterministic () =
+  let a = Scenario.rop ~keys () and b = Scenario.rop ~keys () in
+  Alcotest.(check bool) "same verdicts" true
+    (Scenario.vanilla_compromised a = Scenario.vanilla_compromised b
+     && Scenario.sofia_prevented a = Scenario.sofia_prevented b)
+
+let suite =
+  [
+    Alcotest.test_case "single-word tamper" `Quick test_single_word_tamper;
+    Alcotest.test_case "random word campaign" `Quick test_word_campaign;
+    Alcotest.test_case "bit-flip campaign" `Quick test_bitflip_campaign;
+    Alcotest.test_case "diversion campaign (3 policies)" `Quick test_diversion_campaign;
+    Alcotest.test_case "no false positives on real edges" `Quick test_legitimate_edges;
+    Alcotest.test_case "forgery analytics (46,795 / 93,590 years)" `Quick test_forgery_analytics;
+    Alcotest.test_case "forgery Monte-Carlo 2^(n-1) law" `Quick test_forgery_monte_carlo;
+    Alcotest.test_case "ROP scenario end to end" `Quick test_rop_scenario;
+    Alcotest.test_case "JOP scenario end to end" `Quick test_jop_scenario;
+    Alcotest.test_case "scenario determinism" `Quick test_scenarios_deterministic;
+  ]

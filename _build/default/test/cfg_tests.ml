@@ -1,0 +1,149 @@
+(* Tests for the instruction-level CFG. *)
+
+module Cfg = Sofia.Cfg.Cfg
+module Assembler = Sofia.Asm.Assembler
+module Program = Sofia.Asm.Program
+
+let build src = Cfg.build_exn (Assembler.assemble src)
+
+let check_ints = Alcotest.(check (list int))
+
+let test_straight_line () =
+  let cfg = build "nop\nnop\nhalt\n" in
+  check_ints "succ 0" [ 1 ] (Cfg.successors cfg 0);
+  check_ints "succ 1" [ 2 ] (Cfg.successors cfg 1);
+  check_ints "succ halt" [] (Cfg.successors cfg 2);
+  check_ints "pred 1" [ 0 ] (Cfg.predecessors cfg 1);
+  check_ints "pred 0" [] (Cfg.predecessors cfg 0)
+
+let test_branch_edges () =
+  (* 0: beq -> 2 ; 1: nop ; 2: halt *)
+  let cfg = build "beq a0, zero, 2\nnop\nhalt\n" in
+  check_ints "branch succs" [ 1; 2 ] (Cfg.successors cfg 0);
+  check_ints "join preds" [ 0; 1 ] (Cfg.predecessors cfg 2);
+  Alcotest.(check bool) "2 is a join" true (Cfg.is_join cfg 2);
+  check_ints "joins" [ 2 ] (Cfg.join_points cfg)
+
+let test_call_and_return_edges () =
+  let src = "start:\n  call f\n  nop\n  call f\n  nop\n  halt\nf:\n  ret\n" in
+  let cfg = build src in
+  (* call at 0 targets f (index 5); its runtime successor is f, not 1 *)
+  check_ints "call succ" [ 5 ] (Cfg.successors cfg 0);
+  (* ret at 5 returns to both return points (1 and 3) *)
+  check_ints "ret succs" [ 1; 3 ] (Cfg.successors cfg 5);
+  check_ints "return point pred" [ 5 ] (Cfg.predecessors cfg 1);
+  (match Cfg.kind cfg 0 with
+   | Cfg.Call { targets; return_point } ->
+     check_ints "targets" [ 5 ] targets;
+     Alcotest.(check int) "return point" 1 return_point
+   | _ -> Alcotest.fail "expected Call");
+  (match Cfg.kind cfg 5 with
+   | Cfg.Ret { return_points } -> check_ints "rps" [ 1; 3 ] return_points
+   | _ -> Alcotest.fail "expected Ret")
+
+let test_indirect_targets () =
+  let src = "start:\n.targets f, g\n  jalr t0\n  halt\nf: ret\ng: ret\n" in
+  let cfg = build src in
+  check_ints "indirect call targets" [ 2; 3 ] (Cfg.successors cfg 0)
+
+let test_undeclared_indirect_is_error () =
+  let p = Assembler.assemble "start:\n  jalr t0\n  halt\n" in
+  match Cfg.build p with
+  | Error [ Cfg.Undeclared_indirect 0 ] -> ()
+  | Error _ -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "expected Undeclared_indirect"
+
+let test_branch_out_of_text_is_error () =
+  let p = Assembler.assemble "beq a0, zero, 100\nhalt\n" in
+  match Cfg.build p with
+  | Error (Cfg.Target_out_of_text _ :: _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Target_out_of_text"
+
+let test_ret_outside_function_is_error () =
+  let p = Assembler.assemble "start:\n  ret\n" in
+  match Cfg.build p with
+  | Error (Cfg.Ret_outside_function _ :: _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Ret_outside_function"
+
+let test_entries_and_owners () =
+  let src = "start:\n  call f\n  halt\nf:\n  nop\n  ret\n" in
+  let cfg = build src in
+  check_ints "entries" [ 0; 2 ] (Cfg.entries cfg);
+  Alcotest.(check bool) "f body owned by f" true (List.mem 2 (Cfg.owners cfg 3));
+  Alcotest.(check bool) "main body owned by start" true (List.mem 0 (Cfg.owners cfg 1))
+
+let test_reachability () =
+  let src = "start:\n  j skip\n  nop\n  nop\nskip:\n  halt\n" in
+  let cfg = build src in
+  let r = Cfg.reachable cfg in
+  Alcotest.(check bool) "entry reachable" true r.(0);
+  Alcotest.(check bool) "dead 1" false r.(1);
+  Alcotest.(check bool) "dead 2" false r.(2);
+  Alcotest.(check bool) "target reachable" true r.(3)
+
+let test_loop_shape () =
+  let src = "start:\n  li a0, 3\nloop:\n  addi a0, a0, -1\n  bnez a0, loop\n  halt\n" in
+  let cfg = build src in
+  (* loop head has two predecessors: fall-in and back edge *)
+  check_ints "loop head preds" [ 0; 2 ] (Cfg.predecessors cfg 1);
+  Alcotest.(check int) "max preds" 2 (Cfg.max_predecessors cfg)
+
+let test_tail_call_ownership () =
+  (* g is entered by a tail call from f: g's ret returns to f's callers *)
+  let src = "start:\n  call f\n  halt\nf:\n  j g\ng:\n  ret\n" in
+  let cfg = build src in
+  check_ints "tail-callee ret returns to start's return point" [ 1 ] (Cfg.successors cfg 3)
+
+let test_dead_call_site_creates_no_return_edges () =
+  (* f1 is never called; its call to f0 must not create a return edge,
+     or f1's tail becomes spuriously reachable (regression: found by
+     the MiniC differential property) *)
+  let src =
+    "start:\n  call f0\n  halt\nf0:\n  addi a0, a0, 1\n  ret\nf1:\n  call f0\n  nop\n  ret\n"
+  in
+  let cfg = build src in
+  let r = Cfg.reachable cfg in
+  (* layout: 0 call, 1 halt, 2 addi, 3 ret(f0), 4 call(f1), 5 nop, 6 ret(f1) *)
+  check_ints "ret edges exclude the dead call site" [ 1 ] (Cfg.successors cfg 3);
+  Alcotest.(check bool) "f1 body is dead" false r.(4);
+  Alcotest.(check bool) "f1's ret is dead" false r.(6)
+
+let test_self_sustaining_dead_cycle () =
+  (* a dead loop containing a call: the cycle
+     return-point -> loop back-edge -> call -> callee ret -> return-point
+     must not make itself reachable (needs least-fixpoint reachability) *)
+  let src =
+    "start:\n  call f0\n  halt\nf0:\n  ret\nf1:\nf1_loop:\n  call f0\n  addi a0, a0, -1\n  bnez a0, f1_loop\n  ret\n"
+  in
+  let cfg = build src in
+  let r = Cfg.reachable cfg in
+  (* layout: 0 call, 1 halt, 2 ret(f0), 3 call, 4 addi, 5 bnez, 6 ret(f1) *)
+  check_ints "f0 returns only to the live site" [ 1 ] (Cfg.successors cfg 2);
+  Alcotest.(check bool) "dead loop stays dead" false r.(3);
+  Alcotest.(check bool) "dead ret stays dead" false r.(6)
+
+let test_dot_output () =
+  let cfg = build "start:\n  beqz a0, start\n  halt\n" in
+  let dot = Cfg.to_dot cfg in
+  Alcotest.(check bool) "dot has digraph" true (String.length dot > 20);
+  Alcotest.(check bool) "dot has edges" true
+    (String.split_on_char '\n' dot |> List.exists (fun l -> String.length l > 4 && String.sub l 2 1 = "n"))
+
+let suite =
+  [
+    Alcotest.test_case "straight line" `Quick test_straight_line;
+    Alcotest.test_case "branch edges and joins" `Quick test_branch_edges;
+    Alcotest.test_case "call and return edges" `Quick test_call_and_return_edges;
+    Alcotest.test_case "indirect targets" `Quick test_indirect_targets;
+    Alcotest.test_case "undeclared indirect rejected" `Quick test_undeclared_indirect_is_error;
+    Alcotest.test_case "branch out of text rejected" `Quick test_branch_out_of_text_is_error;
+    Alcotest.test_case "ret outside function rejected" `Quick test_ret_outside_function_is_error;
+    Alcotest.test_case "entries and ownership" `Quick test_entries_and_owners;
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "loop shape" `Quick test_loop_shape;
+    Alcotest.test_case "tail-call ownership" `Quick test_tail_call_ownership;
+    Alcotest.test_case "dead call sites create no return edges" `Quick
+      test_dead_call_site_creates_no_return_edges;
+    Alcotest.test_case "self-sustaining dead cycle" `Quick test_self_sustaining_dead_cycle;
+    Alcotest.test_case "graphviz output" `Quick test_dot_output;
+  ]

@@ -1,0 +1,173 @@
+(* Cross-module integration tests: the full protect-and-run pipeline
+   through the Sofia facade, semantic preservation across workloads,
+   nonce/version handling, and the paper's end-to-end claims. *)
+
+module Machine = Sofia.Cpu.Machine
+module Image = Sofia.Transform.Image
+module Workload = Sofia.Workloads.Workload
+
+let check_int = Alcotest.(check int)
+
+let test_facade_quickstart () =
+  let p =
+    Sofia.Protect.protect_source_exn
+      "start:\n  li a0, 6\n  call f\n  li a1, 0xFFFF0000\n  st a0, 0(a1)\n  halt\nf:\n  mul a0, a0, a0\n  ret\n"
+  in
+  let v, s = Sofia.Run.both p in
+  Alcotest.(check (list int)) "vanilla output" [ 36 ] v.Machine.outputs;
+  Alcotest.(check (list int)) "sofia output" [ 36 ] s.Machine.outputs;
+  Alcotest.(check bool) "both halt" true
+    (v.Machine.outcome = Machine.Halted 0 && s.Machine.outcome = Machine.Halted 0)
+
+let test_facade_reports_layout_errors () =
+  match Sofia.Protect.protect_source "start:\n  jalr t0\n  halt\n" with
+  | Error (Sofia.Transform.Layout.Cfg_errors _) -> ()
+  | Error _ -> Alcotest.fail "wrong error kind"
+  | Ok _ -> Alcotest.fail "expected failure"
+
+(* Semantic preservation: the protected image must behave exactly like
+   the plaintext program on every workload. *)
+let test_semantic_preservation () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p =
+        match Sofia.Protect.protect_program (Workload.assemble w) with
+        | Ok p -> p
+        | Error e ->
+          Alcotest.fail
+            (Format.asprintf "%s: %a" w.Workload.name Sofia.Transform.Layout.pp_error e)
+      in
+      let v, s = Sofia.Run.both p in
+      Alcotest.(check (list int))
+        (w.Workload.name ^ ": identical outputs")
+        v.Machine.outputs s.Machine.outputs;
+      Alcotest.(check (list int))
+        (w.Workload.name ^ ": reference outputs")
+        w.Workload.expected_outputs s.Machine.outputs;
+      Alcotest.(check string)
+        (w.Workload.name ^ ": identical text output")
+        v.Machine.output_text s.Machine.output_text;
+      Alcotest.(check bool)
+        (w.Workload.name ^ ": same outcome")
+        true
+        (v.Machine.outcome = s.Machine.outcome))
+    [
+      Sofia.Workloads.Adpcm.workload ~samples:96 ();
+      Sofia.Workloads.Kernels.crc32 ~bytes:96 ();
+      Sofia.Workloads.Kernels.fir ~samples:64 ();
+      Sofia.Workloads.Kernels.matmul ~dim:5 ();
+      Sofia.Workloads.Kernels.sort ~elements:20 ();
+      Sofia.Workloads.Kernels.sieve ~limit:300 ();
+      Sofia.Workloads.Kernels.fibonacci ~n:30 ();
+      Sofia.Workloads.Kernels.strsearch ~haystack:150 ();
+      Sofia.Workloads.Kernels.dispatch ~commands:48 ();
+    ]
+
+let test_cross_version_replay_fails () =
+  (* two versions of the same program differ only in ω; splicing one
+     version's blocks into the other must be detected (paper §II-A:
+     "the nonce ω needs to be unique across different program
+     versions") *)
+  let src = "start:\n  li a0, 1\n  li a0, 2\n  halt\n" in
+  let program = Sofia.Asm.Assembler.assemble src in
+  let keys = Sofia.Crypto.Keys.generate ~seed:77L in
+  let v1 = Sofia.Transform.Transform.protect_exn ~keys ~nonce:1 program in
+  let v2 = Sofia.Transform.Transform.protect_exn ~keys ~nonce:2 program in
+  (* replay v1's first block inside v2 *)
+  let spliced = ref v2 in
+  for i = 0 to 7 do
+    spliced :=
+      Image.with_tampered_word !spliced
+        ~address:(v2.Image.text_base + (4 * i))
+        ~value:v1.Image.cipher.(i)
+  done;
+  let r = Sofia.Cpu.Sofia_runner.run ~keys !spliced in
+  match r.Machine.outcome with
+  | Machine.Cpu_reset (Machine.Mac_mismatch _) -> ()
+  | o -> Alcotest.fail (Format.asprintf "unexpected %a" Machine.pp_outcome o)
+
+let test_block_swap_detected () =
+  (* swapping two encrypted blocks of the same binary is a classic
+     relocation attack; the PC-bound keystream kills it *)
+  let w = Sofia.Workloads.Kernels.fibonacci ~n:20 () in
+  let p = Sofia.Protect.protect_source_exn w.Workload.source in
+  let image = p.Sofia.Protect.image in
+  let nblocks = Array.length image.Image.blocks in
+  Alcotest.(check bool) "needs two blocks" true (nblocks >= 2);
+  let swapped = ref image in
+  for i = 0 to 7 do
+    let a = image.Image.text_base + (4 * i) in
+    let b = image.Image.text_base + 32 + (4 * i) in
+    let wa = Option.get (Image.fetch image a) in
+    let wb = Option.get (Image.fetch image b) in
+    swapped := Image.with_tampered_word !swapped ~address:a ~value:wb;
+    swapped := Image.with_tampered_word !swapped ~address:b ~value:wa
+  done;
+  let r = Sofia.Cpu.Sofia_runner.run ~keys:p.Sofia.Protect.keys !swapped in
+  match r.Machine.outcome with
+  | Machine.Cpu_reset _ -> ()
+  | o -> Alcotest.fail (Format.asprintf "unexpected %a" Machine.pp_outcome o)
+
+let test_overhead_report () =
+  let o = Sofia.Report.overhead_of_workload (Sofia.Workloads.Kernels.fibonacci ~n:50 ()) in
+  Alcotest.(check bool) "outputs ok" true o.Sofia.Report.outputs_ok;
+  Alcotest.(check bool) "expansion sane" true
+    (o.Sofia.Report.expansion >= 1.0 && o.Sofia.Report.expansion < 8.0);
+  Alcotest.(check bool) "cycle overhead positive" true (o.Sofia.Report.cycle_overhead_pct > 0.0);
+  Alcotest.(check bool) "total overhead exceeds cycle overhead" true
+    (o.Sofia.Report.total_time_overhead_pct > o.Sofia.Report.cycle_overhead_pct);
+  let rendered = Format.asprintf "%a" Sofia.Report.pp_overhead o in
+  Alcotest.(check bool) "renders" true (String.length rendered > 20)
+
+let test_paper_shape_e1_e3 () =
+  (* E1/E2/E3 of DESIGN.md: ADPCM text expansion in the paper's band;
+     total-time overhead dominated by the clock ratio *)
+  let o = Sofia.Report.overhead_of_workload (Sofia.Workloads.Adpcm.workload ~samples:512 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "text expansion %.2f in [2.0, 2.8] (paper 2.41)" o.Sofia.Report.expansion)
+    true
+    (o.Sofia.Report.expansion > 2.0 && o.Sofia.Report.expansion < 2.8);
+  Alcotest.(check bool)
+    (Printf.sprintf "clock ratio %.2f ~ paper 1.84" o.Sofia.Report.clock_ratio)
+    true
+    (o.Sofia.Report.clock_ratio > 1.75 && o.Sofia.Report.clock_ratio < 1.95);
+  Alcotest.(check bool) "SOFIA loses in cycles, as in the paper" true
+    (o.Sofia.Report.cycle_overhead_pct > 0.0)
+
+let test_entry_port_and_stack () =
+  (* programs that use the stack immediately still work protected *)
+  let p =
+    Sofia.Protect.protect_source_exn
+      "start:\n  addi sp, sp, -16\n  li a0, 11\n  st a0, 0(sp)\n  ld a1, 0(sp)\n  li a2, 0xFFFF0000\n  st a1, 0(a2)\n  halt\n"
+  in
+  let _, s = Sofia.Run.both p in
+  Alcotest.(check (list int)) "stack roundtrip" [ 11 ] s.Machine.outputs
+
+let test_deep_recursion () =
+  let src =
+    "start:\n  li a0, 40\n  call fib_like\n  li a1, 0xFFFF0000\n  st a0, 0(a1)\n  halt\n\
+     fib_like:\n  beqz a0, base\n  addi sp, sp, -8\n  st ra, 0(sp)\n  st a0, 4(sp)\n  addi a0, a0, -1\n  call fib_like\n  ld a2, 4(sp)\n  add a0, a0, a2\n  ld ra, 0(sp)\n  addi sp, sp, 8\n  ret\nbase:\n  li a0, 0\n  ret\n"
+  in
+  let p = Sofia.Protect.protect_source_exn src in
+  let v, s = Sofia.Run.both p in
+  (* sum 40..1 = 820 *)
+  Alcotest.(check (list int)) "vanilla recursion" [ 820 ] v.Machine.outputs;
+  Alcotest.(check (list int)) "sofia recursion" [ 820 ] s.Machine.outputs
+
+let test_version () =
+  check_int "version string" 3 (List.length (String.split_on_char '.' Sofia.version))
+
+let suite =
+  [
+    Alcotest.test_case "facade quickstart" `Quick test_facade_quickstart;
+    Alcotest.test_case "facade reports layout errors" `Quick test_facade_reports_layout_errors;
+    Alcotest.test_case "semantic preservation across workloads" `Slow
+      test_semantic_preservation;
+    Alcotest.test_case "cross-version replay fails" `Quick test_cross_version_replay_fails;
+    Alcotest.test_case "block swap detected" `Quick test_block_swap_detected;
+    Alcotest.test_case "overhead report" `Quick test_overhead_report;
+    Alcotest.test_case "paper shape (E1-E3)" `Quick test_paper_shape_e1_e3;
+    Alcotest.test_case "stack usage" `Quick test_entry_port_and_stack;
+    Alcotest.test_case "recursion" `Quick test_deep_recursion;
+    Alcotest.test_case "version" `Quick test_version;
+  ]

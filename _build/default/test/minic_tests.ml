@@ -1,0 +1,324 @@
+(* Tests for the MiniC front-end: parsing, code generation semantics
+   (checked by running compiled programs), error reporting, and a
+   differential property test against an OCaml expression evaluator. *)
+
+module Compile = Sofia.Minic.Compile
+module Parser = Sofia.Minic.Parser
+module Ast = Sofia.Minic.Ast
+module Machine = Sofia.Cpu.Machine
+module Word = Sofia.Util.Word
+
+let run_outputs src =
+  let program = Compile.to_program_exn src in
+  let r = Sofia.Cpu.Vanilla.run program in
+  match r.Machine.outcome with
+  | Machine.Halted _ -> r.Machine.outputs
+  | o -> Alcotest.fail (Format.asprintf "program did not halt: %a" Machine.pp_outcome o)
+
+let check_program name src expected =
+  Alcotest.(check (list int)) name expected (run_outputs src)
+
+let test_arithmetic () =
+  check_program "precedence" "int main() { out(2 + 3 * 4); return 0; }" [ 14 ];
+  check_program "parens" "int main() { out((2 + 3) * 4); return 0; }" [ 20 ];
+  check_program "division" "int main() { out(17 / 5); out(17 % 5); return 0; }" [ 3; 2 ];
+  check_program "negative division" "int main() { out(-17 / 5); return 0; }"
+    [ Word.u32 (-3) ];
+  check_program "unary" "int main() { out(-(3 - 10)); out(~0); out(!5); out(!0); return 0; }"
+    [ 7; Word.u32 (-1); 0; 1 ];
+  check_program "shifts" "int main() { out(1 << 10); out(-16 >> 2); return 0; }"
+    [ 1024; Word.u32 (-4) ];
+  check_program "bitwise" "int main() { out(0xF0 & 0x3C); out(0xF0 | 0x0F); out(0xFF ^ 0x0F); return 0; }"
+    [ 0x30; 0xFF; 0xF0 ];
+  check_program "hex and char" "int main() { out(0xDEAD); out('A'); out('\\n'); return 0; }"
+    [ 0xDEAD; 65; 10 ]
+
+let test_comparisons () =
+  check_program "relational"
+    "int main() { out(3 < 5); out(5 < 3); out(3 <= 3); out(4 > 5); out(5 >= 5); out(-1 < 0); return 0; }"
+    [ 1; 0; 1; 0; 1; 1 ];
+  check_program "equality" "int main() { out(7 == 7); out(7 != 7); out(-1 == 0xFFFFFFFF + 0); return 0; }"
+    [ 1; 0; 1 ]
+
+let test_short_circuit () =
+  (* the right operand must not evaluate when short-circuited: make it
+     a call with a visible side effect *)
+  let src =
+    {|
+int hits = 0;
+int probe() { hits = hits + 1; return 1; }
+int main() {
+  out(0 && probe());
+  out(hits);
+  out(1 || probe());
+  out(hits);
+  out(1 && probe());
+  out(hits);
+  return 0;
+}
+|}
+  in
+  check_program "short circuit" src [ 0; 0; 1; 0; 1; 1 ]
+
+let test_control_flow () =
+  check_program "if/else"
+    "int main() { int x = 7; if (x > 5) { out(1); } else { out(2); } if (x > 9) { out(3); } return 0; }"
+    [ 1 ];
+  check_program "else if"
+    "int main() { int x = 2; if (x == 1) { out(1); } else if (x == 2) { out(2); } else { out(3); } return 0; }"
+    [ 2 ];
+  check_program "while"
+    "int main() { int i = 0; int s = 0; while (i < 5) { s = s + i; i = i + 1; } out(s); return 0; }"
+    [ 10 ];
+  check_program "for"
+    "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) { s = s + i; } out(s); return 0; }"
+    [ 55 ]
+
+let test_break_continue () =
+  check_program "break"
+    "int main() { int s = 0; for (int i = 0; i < 100; i = i + 1) { if (i == 5) { break; } s = s + i; } out(s); return 0; }"
+    [ 10 ];
+  check_program "continue"
+    "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % 2) { continue; } s = s + i; } out(s); return 0; }"
+    [ 20 ];
+  check_program "while break/continue"
+    "int main() { int i = 0; int s = 0; while (1) { i = i + 1; if (i > 8) { break; } if (i == 3) { continue; } s = s + i; } out(s); return 0; }"
+    [ 33 ];
+  (* continue in a for loop still runs the step *)
+  check_program "for continue runs step"
+    "int main() { int n = 0; for (int i = 0; i < 4; i = i + 1) { continue; } out(n); return 0; }"
+    [ 0 ]
+
+let test_functions () =
+  check_program "args and returns"
+    "int add3(int a, int b, int c) { return a + b + c; }\nint main() { out(add3(1, 2, 3)); return 0; }"
+    [ 6 ];
+  check_program "six args"
+    "int f(int a, int b, int c, int d, int e, int g) { return a + 2*b + 3*c + 4*d + 5*e + 6*g; }\n\
+     int main() { out(f(1, 1, 1, 1, 1, 1)); return 0; }"
+    [ 21 ];
+  check_program "recursion"
+    "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+     int main() { out(fib(15)); return 0; }"
+    [ 610 ];
+  check_program "mutual recursion"
+    "int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }\n\
+     int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }\n\
+     int main() { out(is_even(10)); out(is_odd(10)); return 0; }"
+    [ 1; 0 ];
+  check_program "fall-off returns zero" "int f() { }\nint main() { out(f() + 5); return 0; }"
+    [ 5 ]
+
+let test_globals_and_arrays () =
+  check_program "globals"
+    "int g = 41;\nint bump() { g = g + 1; return g; }\nint main() { out(bump()); out(g); return 0; }"
+    [ 42; 42 ];
+  check_program "array init"
+    "int t[5] = { 10, 20, 30 };\nint main() { out(t[0] + t[1] + t[2] + t[3] + t[4]); return 0; }"
+    [ 60 ];
+  check_program "array store"
+    "int a[8];\nint main() { for (int i = 0; i < 8; i = i + 1) { a[i] = i * i; } out(a[7]); return 0; }"
+    [ 49 ];
+  check_program "computed index"
+    "int a[4] = { 5, 6, 7, 8 };\nint main() { int i = 1; out(a[i + 2] - a[i]); return 0; }"
+    [ 2 ]
+
+let test_function_tables () =
+  (* one call site dispatching over a table: the paper-II-D
+     function-pointer construct, exercised through the compiler. The
+     loop index selects the entry so a single site covers all three
+     targets. *)
+  let src =
+    {|
+int ops[] = { op_add, op_sub, op_xor };
+int results[3];
+int op_add(int a, int b) { return a + b; }
+int op_sub(int a, int b) { return a - b; }
+int op_xor(int a, int b) { return a ^ b; }
+int main() {
+  for (int i = 0; i < 3; i = i + 1) { results[i] = ops[i](10, 3); }
+  out(results[0]);
+  out(results[1]);
+  out(results[2]);
+  return 0;
+}
+|}
+  in
+  check_program "dispatch over a table" src [ 13; 7; 9 ];
+  (* the compiled program survives protection (mux tree + funnel) *)
+  let p =
+    Sofia.Protect.protect_source_exn (Result.get_ok (Compile.to_assembly src))
+  in
+  let v, s = Sofia.Run.both p in
+  Alcotest.(check (list int)) "protected dispatch" v.Machine.outputs s.Machine.outputs
+
+let test_locals_scoping () =
+  (* locals are frame slots: recursion gets fresh ones *)
+  check_program "recursion-local isolation"
+    "int f(int n) { int local = n * 10; if (n > 0) { f(n - 1); } return local; }\n\
+     int main() { out(f(3)); return 0; }"
+    [ 30 ]
+
+let test_expression_stack_depth () =
+  (* deeply nested expression: exercises temporary spilling *)
+  check_program "deep nesting"
+    "int main() { out(((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) * 2) + (9 % 4)); return 0; }"
+    [ (((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8)) * 1) * 2 + 1 ]
+
+let expect_error src =
+  match Compile.to_program src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail ("accepted: " ^ src)
+
+let test_function_table_errors () =
+  expect_error "int t[] = { nope };\nint main() { out(t[0]()); return 0; }";
+  expect_error
+    "int t[] = { f, g };\nint f(int a) { return a; }\nint g() { return 0; }\nint main() { out(t[0](1)); return 0; }";
+  (* two call sites on one table: cannot assign unique ports *)
+  expect_error
+    "int t[] = { f };\nint f() { return 1; }\nint main() { out(t[0]()); out(t[0]()); return 0; }";
+  (* arity mismatch at the call site *)
+  expect_error
+    "int t[] = { f };\nint f(int a) { return a; }\nint main() { out(t[0]()); return 0; }"
+
+
+let test_errors () =
+  expect_error "int main() { out(x); return 0; }";
+  expect_error "int main() { f(); return 0; }";
+  expect_error "int f(int a) { return a; }\nint main() { out(f(1, 2)); return 0; }";
+  expect_error "int f() { return 0; }";
+  expect_error "int main(int x) { return 0; }";
+  expect_error "int main() { return 0 }";
+  expect_error "int g; int g; int main() { return 0; }";
+  expect_error "int main() { int x = 1; int x = 2; return 0; }";
+  expect_error "int a[3];\nint main() { out(a); return 0; }";
+  expect_error "int x;\nint main() { out(x[0]); return 0; }";
+  expect_error "int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }\nint main() { return 0; }";
+  expect_error "int main() { out(1 +); return 0; }";
+  expect_error "/* unterminated\nint main() { return 0; }";
+  expect_error "int main() { break; return 0; }";
+  expect_error "int main() { continue; return 0; }"
+
+let test_sofia_pipeline () =
+  (* the compiled program survives protection and behaves identically *)
+  let src =
+    "int acc = 0;\nint step(int x) { acc = acc + x * x; return acc; }\n\
+     int main() { for (int i = 1; i < 20; i = i + 1) { step(i); } out(acc); return 0; }"
+  in
+  let p = Sofia.Protect.protect_source_exn (Result.get_ok (Compile.to_assembly src)) in
+  let v, s = Sofia.Run.both p in
+  Alcotest.(check (list int)) "compiled+protected" v.Machine.outputs s.Machine.outputs;
+  Alcotest.(check (list int)) "value" [ 2470 ] s.Machine.outputs
+
+(* differential property: random expression trees evaluate like the
+   reference evaluator (32-bit wrap-around semantics) *)
+let rec reference_eval (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int v -> Word.u32 v
+  | Ast.Var _ | Ast.Index _ | Ast.Call _ | Ast.Call_indirect _ -> assert false
+  | Ast.Unop (op, i) -> (
+    let v = reference_eval i in
+    match op with
+    | Ast.Neg -> Word.u32 (-v)
+    | Ast.BNot -> Word.u32 (lnot v)
+    | Ast.LNot -> if v = 0 then 1 else 0)
+  | Ast.Binop (op, l, r) -> (
+    match op with
+    | Ast.LAnd -> if reference_eval l = 0 then 0 else if reference_eval r <> 0 then 1 else 0
+    | Ast.LOr -> if reference_eval l <> 0 then 1 else if reference_eval r <> 0 then 1 else 0
+    | _ -> (
+      let a = reference_eval l and b = reference_eval r in
+      let sa = Word.signed32 a and sb = Word.signed32 b in
+      match op with
+      | Ast.Add -> Word.add32 a b
+      | Ast.Sub -> Word.sub32 a b
+      | Ast.Mul -> Word.mul32 a b
+      | Ast.Div -> if sb = 0 then Word.mask32 else Word.u32 (sa / sb)
+      | Ast.Mod -> if sb = 0 then a else Word.u32 (sa mod sb)
+      | Ast.BAnd -> a land b
+      | Ast.BOr -> a lor b
+      | Ast.BXor -> a lxor b
+      | Ast.Shl -> Word.u32 (a lsl (b land 31))
+      | Ast.Shr -> Word.u32 (sa asr (b land 31))
+      | Ast.Eq -> if a = b then 1 else 0
+      | Ast.Ne -> if a <> b then 1 else 0
+      | Ast.Lt -> if sa < sb then 1 else 0
+      | Ast.Le -> if sa <= sb then 1 else 0
+      | Ast.Gt -> if sa > sb then 1 else 0
+      | Ast.Ge -> if sa >= sb then 1 else 0
+      | Ast.LAnd | Ast.LOr -> assert false))
+
+let pos = { Ast.line = 0; col = 0 }
+
+let rec render (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int v -> if v < 0 then Printf.sprintf "(0 - %d)" (-v) else string_of_int v
+  | Ast.Unop (op, i) ->
+    Printf.sprintf "(%s%s)"
+      (match op with Ast.Neg -> "-" | Ast.BNot -> "~" | Ast.LNot -> "!")
+      (render i)
+  | Ast.Binop (op, l, r) ->
+    Printf.sprintf "(%s %s %s)" (render l) (Format.asprintf "%a" Ast.pp_binop op) (render r)
+  | Ast.Var _ | Ast.Index _ | Ast.Call _ | Ast.Call_indirect _ -> assert false
+
+let gen_expr_tree =
+  let open QCheck.Gen in
+  let leaf = map (fun v -> { Ast.desc = Ast.Int v; pos }) (int_range (-1000) 1000) in
+  let binops =
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.BAnd; Ast.BOr; Ast.BXor; Ast.Eq;
+      Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.LAnd; Ast.LOr ]
+  in
+  let unops = [ Ast.Neg; Ast.BNot; Ast.LNot ] in
+  sized (fun n ->
+    fix
+      (fun self n ->
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (1, leaf);
+              ( 3,
+                map3
+                  (fun op l r -> { Ast.desc = Ast.Binop (op, l, r); pos })
+                  (oneofl binops) (self (n / 2)) (self (n / 2)) );
+              (1, map2 (fun op i -> { Ast.desc = Ast.Unop (op, i); pos }) (oneofl unops) (self (n - 1)));
+              ( 1,
+                map3
+                  (fun sh l r ->
+                    {
+                      Ast.desc =
+                        Ast.Binop
+                          ( sh,
+                            l,
+                            { Ast.desc = Ast.Binop (Ast.BAnd, r, { Ast.desc = Ast.Int 31; pos }); pos } );
+                      pos;
+                    })
+                  (oneofl [ Ast.Shl; Ast.Shr ]) (self (n / 2)) (self (n / 2)) );
+            ])
+      (min n 8))
+
+let prop_compiled_expressions_match_reference =
+  QCheck.Test.make ~count:120 ~name:"compiled expressions match the reference evaluator"
+    (QCheck.make ~print:render gen_expr_tree)
+    (fun e ->
+      let expected = reference_eval e in
+      let src = Printf.sprintf "int main() { out(%s); return 0; }" (render e) in
+      run_outputs src = [ expected ])
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "short-circuit evaluation" `Quick test_short_circuit;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "break and continue" `Quick test_break_continue;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "globals and arrays" `Quick test_globals_and_arrays;
+    Alcotest.test_case "function tables" `Quick test_function_tables;
+    Alcotest.test_case "function table errors" `Quick test_function_table_errors;
+    Alcotest.test_case "locals under recursion" `Quick test_locals_scoping;
+    Alcotest.test_case "expression spilling" `Quick test_expression_stack_depth;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "compiled code through SOFIA" `Quick test_sofia_pipeline;
+    QCheck_alcotest.to_alcotest prop_compiled_expressions_match_reference;
+  ]

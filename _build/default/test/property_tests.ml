@@ -1,0 +1,207 @@
+(* Property-based tests over randomly generated programs: the SOFIA
+   transformation preserves semantics exactly, maintains its structural
+   invariants, and random tampering is always detected. *)
+
+module Assembler = Sofia.Asm.Assembler
+module Machine = Sofia.Cpu.Machine
+module Image = Sofia.Transform.Image
+module Layout = Sofia.Transform.Layout
+module Block = Sofia.Transform.Block
+module Insn = Sofia.Isa.Insn
+module Prng = Sofia.Util.Prng
+
+let keys = Sofia.Crypto.Keys.generate ~seed:0x9999L
+
+(* ------------------------------------------------------------------ *)
+(* Random structured program generator.                                *)
+(*                                                                     *)
+(* Shape: a prologue seeding registers, [nseg] segments of random ALU  *)
+(* and scratch-memory work with forward-only conditional branches,     *)
+(* bounded counted loops, calls to a few leaf functions and an         *)
+(* optional indirect dispatch, then an epilogue dumping registers to   *)
+(* the MMIO port. Forward branches, down-counted loops and leaf calls  *)
+(* guarantee termination by construction.                              *)
+(* ------------------------------------------------------------------ *)
+
+let generate_program ~seed =
+  let rng = Prng.create ~seed in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let areg () = Printf.sprintf "a%d" (Prng.int_below rng 8) in
+  let nseg = Prng.int_in rng ~lo:3 ~hi:10 in
+  let nfun = Prng.int_in rng ~lo:1 ~hi:3 in
+  let with_dispatch = Prng.int_below rng 3 = 0 in
+  line ".equ OUT, 0xFFFF0000";
+  line "start:";
+  for i = 0 to 7 do
+    line "  li a%d, %d" i (Prng.int_in rng ~lo:(-1000) ~hi:1000)
+  done;
+  line "  la s0, scratch";
+  let random_op () =
+    match Prng.int_below rng 8 with
+    | 0 -> line "  add %s, %s, %s" (areg ()) (areg ()) (areg ())
+    | 1 -> line "  sub %s, %s, %s" (areg ()) (areg ()) (areg ())
+    | 2 -> line "  xor %s, %s, %s" (areg ()) (areg ()) (areg ())
+    | 3 -> line "  mul %s, %s, %s" (areg ()) (areg ()) (areg ())
+    | 4 -> line "  addi %s, %s, %d" (areg ()) (areg ()) (Prng.int_in rng ~lo:(-200) ~hi:200)
+    | 5 -> line "  slli %s, %s, %d" (areg ()) (areg ()) (Prng.int_below rng 8)
+    | 6 -> line "  st %s, %d(s0)" (areg ()) (4 * Prng.int_below rng 16)
+    | _ -> line "  ld %s, %d(s0)" (areg ()) (4 * Prng.int_below rng 16)
+  in
+  for seg = 0 to nseg - 1 do
+    line "seg%d:" seg;
+    let nops = Prng.int_in rng ~lo:1 ~hi:7 in
+    for _ = 1 to nops do random_op () done;
+    (* bounded counted loop: s1 counts down, so it always terminates *)
+    if Prng.int_below rng 10 < 3 then begin
+      line "  li s1, %d" (Prng.int_in rng ~lo:1 ~hi:9);
+      line "seg%d_loop:" seg;
+      let body = Prng.int_in rng ~lo:1 ~hi:4 in
+      for _ = 1 to body do random_op () done;
+      line "  addi s1, s1, -1";
+      line "  bnez s1, seg%d_loop" seg
+    end;
+    (* forward-only branch keeps the rest of the CFG acyclic *)
+    if seg < nseg - 1 && Prng.int_below rng 10 < 4 then begin
+      let target = Prng.int_in rng ~lo:(seg + 1) ~hi:(nseg - 1) in
+      let cond = List.nth [ "beq"; "bne"; "blt"; "bge" ] (Prng.int_below rng 4) in
+      line "  %s %s, %s, seg%d" cond (areg ()) (areg ()) target
+    end;
+    if Prng.int_below rng 10 < 3 then line "  call f%d" (Prng.int_below rng nfun);
+    (* indirect dispatch through a function-pointer table *)
+    if with_dispatch && seg = nseg - 1 then begin
+      line "  la s2, table";
+      line "  andi s3, a0, %d" (if nfun = 1 then 0 else 1);
+      line "  slli s3, s3, 2";
+      line "  add  s2, s2, s3";
+      line "  ld   s3, 0(s2)";
+      line "  .targets %s"
+        (String.concat ", " (List.init (min 2 nfun) (Printf.sprintf "f%d")));
+      line "  jalr s3"
+    end
+  done;
+  line "  li s1, OUT";
+  for i = 0 to 7 do
+    line "  st a%d, 0(s1)" i
+  done;
+  line "  halt";
+  for f = 0 to nfun - 1 do
+    line "f%d:" f;
+    let nops = Prng.int_in rng ~lo:1 ~hi:4 in
+    for _ = 1 to nops do
+      match Prng.int_below rng 3 with
+      | 0 -> line "  addi a0, a0, %d" (Prng.int_in rng ~lo:(-50) ~hi:50)
+      | 1 -> line "  xor a1, a1, a2"
+      | _ -> line "  add a%d, a%d, a0" (Prng.int_below rng 8) (Prng.int_below rng 8)
+    done;
+    line "  ret"
+  done;
+  line ".data";
+  line "scratch: .space 64";
+  if with_dispatch then
+    line "table: .word %s"
+      (String.concat ", " (List.init (min 2 nfun) (Printf.sprintf "f%d")));
+  Buffer.contents buf
+
+let protect_seed seed =
+  let src = generate_program ~seed in
+  let program = Assembler.assemble src in
+  let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce:(Int64.to_int seed land 0xFF) program in
+  (program, image)
+
+(* semantic preservation *)
+let prop_transform_preserves_semantics =
+  QCheck.Test.make ~count:60 ~name:"protected image behaves exactly like the plaintext program"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let program, image = protect_seed (Int64.of_int seed) in
+      let v = Sofia.Cpu.Vanilla.run program in
+      let s = Sofia.Cpu.Sofia_runner.run ~keys image in
+      v.Machine.outcome = s.Machine.outcome
+      && v.Machine.outputs = s.Machine.outputs
+      && String.equal v.Machine.output_text s.Machine.output_text)
+
+(* structural invariants of the layout *)
+let prop_layout_invariants =
+  QCheck.Test.make ~count:60 ~name:"layout invariants on random programs"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let src = generate_program ~seed:(Int64.of_int seed) in
+      let l = Layout.layout_exn (Assembler.assemble src) in
+      Array.for_all
+        (fun (b : Layout.block) ->
+          let n = Array.length b.Layout.insns in
+          n = Block.insn_slots b.Layout.kind
+          && b.Layout.base mod 32 = 0
+          && List.length b.Layout.entry_prev_pcs
+             = (match b.Layout.kind with Block.Exec -> 1 | Block.Mux -> 2)
+          &&
+          let ok = ref true in
+          Array.iteri
+            (fun i insn ->
+              if i < n - 1 && Insn.is_control_flow insn then ok := false;
+              if Block.store_banned_slot b.Layout.kind i && Insn.is_store insn then ok := false)
+            b.Layout.insns;
+          !ok)
+        l.Layout.blocks)
+
+(* a tampered word is either never fetched (the run is bit-identical to
+   the clean one) or its block's fetch resets the core: SOFIA never
+   executes a tampered instruction (paper's SI claim) *)
+let prop_tamper_always_detected =
+  QCheck.Test.make ~count:40 ~name:"tampered words never execute"
+    QCheck.(pair (int_range 1 100_000) (int_range 0 10_000))
+    (fun (seed, tamper) ->
+      let _, image = protect_seed (Int64.of_int seed) in
+      let clean = Sofia.Cpu.Sofia_runner.run ~keys image in
+      let words = Image.word_count image in
+      let idx = tamper mod words in
+      let addr = image.Image.text_base + (4 * idx) in
+      let old = Option.get (Image.fetch image addr) in
+      let tampered = Image.with_tampered_word image ~address:addr ~value:(old lxor 0x10000) in
+      let r = Sofia.Cpu.Sofia_runner.run ~keys tampered in
+      match r.Machine.outcome with
+      | Machine.Cpu_reset _ -> true
+      | Machine.Halted _ ->
+        (* the tampered block was never reached: behaviour must be
+           bit-identical to the clean run *)
+        r.Machine.outcome = clean.Machine.outcome && r.Machine.outputs = clean.Machine.outputs
+      | Machine.Out_of_fuel -> false)
+
+(* CTR keystreams never collide across the edges of one program *)
+let prop_keystream_uniqueness =
+  QCheck.Test.make ~count:20 ~name:"keystream counters are unique per word"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let _, image = protect_seed (Int64.of_int seed) in
+      let seen = Hashtbl.create 256 in
+      let ok = ref true in
+      Array.iter
+        (fun (b : Image.block) ->
+          Array.iteri
+            (fun i _ ->
+              let pc = b.Image.base + (4 * i) in
+              if Hashtbl.mem seen pc then ok := false;
+              Hashtbl.replace seen pc ())
+            b.Image.cipher_words)
+        image.Image.blocks;
+      !ok)
+
+(* the generator itself must emit valid programs *)
+let prop_generator_assembles =
+  QCheck.Test.make ~count:100 ~name:"generated programs assemble and halt"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let src = generate_program ~seed:(Int64.of_int seed) in
+      let r = Sofia.Cpu.Vanilla.run (Assembler.assemble src) in
+      match r.Machine.outcome with Machine.Halted _ -> true | _ -> false)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_generator_assembles;
+      prop_transform_preserves_semantics;
+      prop_layout_invariants;
+      prop_tamper_always_detected;
+      prop_keystream_uniqueness;
+    ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "sofia"
+    [
+      ("util", Util_tests.suite);
+      ("isa", Isa_tests.suite);
+      ("asm", Asm_tests.suite);
+      ("cfg", Cfg_tests.suite);
+      ("crypto", Crypto_tests.suite);
+      ("transform", Transform_tests.suite);
+      ("verify", Verify_tests.suite);
+      ("cpu", Cpu_tests.suite);
+      ("attack", Attack_tests.suite);
+      ("baseline", Baseline_tests.suite);
+      ("hwmodel", Hwmodel_tests.suite);
+      ("workloads", Workload_tests.suite);
+      ("minic", Minic_tests.suite);
+      ("minic-random", Minic_random_tests.suite);
+      ("provision", Provision_tests.suite);
+      ("integration", Integration_tests.suite);
+      ("properties", Property_tests.suite);
+    ]

@@ -1,0 +1,133 @@
+(* Unit tests for Sofia_util: word helpers, PRNG, statistics. *)
+
+module Word = Sofia.Util.Word
+module Prng = Sofia.Util.Prng
+module Stats = Sofia.Util.Stats
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_masking () =
+  check_int "u32 of -1" 0xFFFF_FFFF (Word.u32 (-1));
+  check_int "u32 of 2^32" 0 (Word.u32 0x1_0000_0000);
+  check_int "u16" 0xFFFF (Word.u16 (-1));
+  check_int "u8" 0xAB (Word.u8 0x1AB);
+  check_int "add32 wraps" 0 (Word.add32 0xFFFF_FFFF 1);
+  check_int "sub32 wraps" 0xFFFF_FFFF (Word.sub32 0 1);
+  check_int "mul32 wraps" (Word.u32 (0xFFFF_FFFF * 2)) (Word.mul32 0xFFFF_FFFF 2)
+
+let test_signed32 () =
+  check_int "positive" 5 (Word.signed32 5);
+  check_int "minus one" (-1) (Word.signed32 0xFFFF_FFFF);
+  check_int "int_min" (-0x8000_0000) (Word.signed32 0x8000_0000);
+  check_int "int_max" 0x7FFF_FFFF (Word.signed32 0x7FFF_FFFF)
+
+let test_sign_extend () =
+  check_int "16-bit neg" (-1) (Word.sign_extend ~bits:16 0xFFFF);
+  check_int "16-bit pos" 0x7FFF (Word.sign_extend ~bits:16 0x7FFF);
+  check_int "12-bit neg" (-2048) (Word.sign_extend ~bits:12 0x800);
+  check_int "ignores high bits" (-1) (Word.sign_extend ~bits:8 0xABFF)
+
+let test_bit_fields () =
+  check_int "bits mid" 0xB (Word.bits ~lo:4 ~width:4 0xAB3);
+  check_int "bits top" 0xA (Word.bits ~lo:8 ~width:4 0xAB3);
+  check_int "set_bits" 0xA53 (Word.set_bits ~lo:4 ~width:4 ~value:5 0xAB3);
+  check_int "set_bits truncates value" 0xA53 (Word.set_bits ~lo:4 ~width:4 ~value:0xF5 0xAB3)
+
+let test_rotations () =
+  check_int "rotl16 by 1" 0x0001 (Word.rotl16 0x8000 1);
+  check_int "rotl16 by 0" 0x1234 (Word.rotl16 0x1234 0);
+  check_int "rotl16 by 16" 0x1234 (Word.rotl16 0x1234 16);
+  check_int "rotl16 by 12" ((0x1234 lsl 12) land 0xFFFF lor (0x1234 lsr 4)) (Word.rotl16 0x1234 12);
+  check_int "rotl32 by 1" 1 (Word.rotl32 0x8000_0000 1);
+  check_int "rotl32 by 8" 0x3456_7812 (Word.rotl32 0x1234_5678 8)
+
+let test_popcount () =
+  check_int "zero" 0 (Word.popcount 0);
+  check_int "all 32" 32 (Word.popcount 0xFFFF_FFFF);
+  check_int "alternating" 16 (Word.popcount 0x5555_5555);
+  check_int "popcount64 all" 64 (Word.popcount64 (-1L));
+  check_int "popcount64 one" 1 (Word.popcount64 0x8000_0000_0000_0000L)
+
+let test_hex () =
+  Alcotest.(check string) "hex32" "0xdeadbeef" (Word.hex32 0xDEAD_BEEF);
+  Alcotest.(check string) "hex64" "0x00000000deadbeef" (Word.hex64 0xDEAD_BEEFL)
+
+let test_bytes_roundtrip () =
+  let b = Word.bytes_of_word32_le 0x1234_5678 in
+  check_int "byte 0 is LSB" 0x78 (Bytes.get_uint8 b 0);
+  check_int "byte 3 is MSB" 0x12 (Bytes.get_uint8 b 3);
+  check_int "roundtrip" 0x1234_5678 (Word.word32_of_bytes_le b 0)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next64 a) (Prng.next64 b)
+  done;
+  let c = Prng.create ~seed:43L in
+  Alcotest.(check bool) "different seed differs" true
+    (not (Int64.equal (Prng.next64 a) (Prng.next64 c)))
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:7L in
+  ignore (Prng.next64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next64 a) (Prng.next64 b)
+
+let test_prng_ranges () =
+  let rng = Prng.create ~seed:1L in
+  for _ = 1 to 1000 do
+    let v = Prng.int_below rng 10 in
+    Alcotest.(check bool) "int_below in range" true (v >= 0 && v < 10);
+    let w = Prng.int_in rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "int_in in range" true (w >= -5 && w <= 5);
+    let f = Prng.float rng in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_shuffle_is_permutation () =
+  let rng = Prng.create ~seed:3L in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:9L in
+  let child = Prng.split a in
+  Alcotest.(check bool) "child differs from parent" true
+    (not (Int64.equal (Prng.next64 child) (Prng.next64 a)))
+
+let test_stats_basic () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean []);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  check_float "stddev constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "overhead" 50.0 (Stats.percent_overhead ~baseline:100.0 ~measured:150.0)
+
+let test_stats_fit () =
+  let a, b = Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  check_float "slope" 2.0 a;
+  check_float "intercept" 1.0 b
+
+let suite =
+  [
+    Alcotest.test_case "word masking and wrap-around" `Quick test_masking;
+    Alcotest.test_case "signed32 reinterpretation" `Quick test_signed32;
+    Alcotest.test_case "sign extension" `Quick test_sign_extend;
+    Alcotest.test_case "bit field extract/insert" `Quick test_bit_fields;
+    Alcotest.test_case "rotations" `Quick test_rotations;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "hex formatting" `Quick test_hex;
+    Alcotest.test_case "little-endian byte round trip" `Quick test_bytes_roundtrip;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "prng shuffle is a permutation" `Quick test_prng_shuffle_is_permutation;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
+    Alcotest.test_case "statistics basics" `Quick test_stats_basic;
+    Alcotest.test_case "least-squares fit" `Quick test_stats_fit;
+  ]

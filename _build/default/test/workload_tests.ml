@@ -1,0 +1,169 @@
+(* Tests for the workload library: references against known values and
+   simulator-vs-reference equality. *)
+
+module Workload = Sofia.Workloads.Workload
+module Adpcm = Sofia.Workloads.Adpcm
+module Kernels = Sofia.Workloads.Kernels
+module Registry = Sofia.Workloads.Registry
+module Vanilla = Sofia.Cpu.Vanilla
+module Machine = Sofia.Cpu.Machine
+
+let check_int = Alcotest.(check int)
+
+let test_checksum () =
+  check_int "empty" 0 (Workload.checksum_list []);
+  check_int "single" 7 (Workload.checksum_list [ 7 ]);
+  check_int "two" ((7 * 31) + 5) (Workload.checksum_list [ 7; 5 ]);
+  check_int "wraps" (Sofia.Util.Word.u32 ((0xFFFF_FFFF * 31) + 1))
+    (Workload.checksum_list [ 0xFFFF_FFFF; 1 ])
+
+let test_triangle_samples () =
+  let s = Workload.triangle_noise_samples ~n:500 ~seed:1L in
+  check_int "length" 500 (List.length s);
+  List.iter
+    (fun v -> Alcotest.(check bool) "16-bit range" true (v >= -32768 && v <= 32767))
+    s;
+  let s' = Workload.triangle_noise_samples ~n:500 ~seed:1L in
+  Alcotest.(check bool) "deterministic" true (s = s')
+
+let test_adpcm_tables () =
+  check_int "step table size" 89 (Array.length Adpcm.step_table);
+  check_int "first step" 7 Adpcm.step_table.(0);
+  check_int "last step" 32767 Adpcm.step_table.(88);
+  (* monotone non-decreasing *)
+  for i = 1 to 88 do
+    Alcotest.(check bool) "monotone" true (Adpcm.step_table.(i) >= Adpcm.step_table.(i - 1))
+  done;
+  check_int "index table size" 8 (Array.length Adpcm.index_table)
+
+let test_adpcm_reference_reconstruction () =
+  (* encode-then-decode must track a slowly varying signal closely once
+     the predictor has adapted *)
+  let samples = List.init 400 (fun i -> 1000 + (10 * (i mod 50))) in
+  let enc = Adpcm.initial_state () in
+  let codes = List.map (Adpcm.encode_sample enc) samples in
+  let dec = Adpcm.initial_state () in
+  let decoded = List.map (Adpcm.decode_sample dec) codes in
+  let errors =
+    List.filteri (fun i _ -> i > 100) (List.map2 (fun a b -> abs (a - b)) samples decoded)
+  in
+  (* 4-bit ADPCM needs a few samples to recover after the sawtooth
+     discontinuity, so bound the mean tightly and the max loosely *)
+  let max_err = List.fold_left max 0 errors in
+  let mean_err = Sofia.Util.Stats.mean (List.map float_of_int errors) in
+  Alcotest.(check bool)
+    (Printf.sprintf "max reconstruction error %d bounded" max_err)
+    true (max_err < 600);
+  Alcotest.(check bool)
+    (Printf.sprintf "mean reconstruction error %.1f small" mean_err)
+    true (mean_err < 50.0);
+  (* all codes are 4-bit *)
+  List.iter (fun c -> Alcotest.(check bool) "nibble" true (c >= 0 && c <= 15)) codes
+
+let test_adpcm_variants_share_reference () =
+  let a = Adpcm.workload ~samples:64 ~variant:Adpcm.Branchy () in
+  let b = Adpcm.workload ~samples:64 ~variant:Adpcm.Compiled () in
+  let c = Adpcm.workload ~samples:64 ~variant:Adpcm.Scheduled () in
+  Alcotest.(check (list int)) "branchy = compiled" a.Workload.expected_outputs
+    b.Workload.expected_outputs;
+  Alcotest.(check (list int)) "compiled = scheduled" b.Workload.expected_outputs
+    c.Workload.expected_outputs
+
+let test_crc32_known_vector () =
+  (* the classic CRC-32 check value: "123456789" -> 0xCBF43926 *)
+  let digits = List.init 9 (fun i -> Char.code '1' + i) in
+  check_int "check vector" 0xCBF43926 (Kernels.crc32_reference digits)
+
+let test_sieve_reference () =
+  (* 303 primes below 2000 *)
+  match Kernels.sieve_reference 2000 with
+  | [ count; _sum ] -> check_int "prime count" 303 count
+  | _ -> Alcotest.fail "shape"
+
+let test_fibonacci_reference () =
+  Alcotest.(check (list int)) "fib 12" [ 144 ] (Kernels.fibonacci_reference 12);
+  Alcotest.(check (list int)) "fib 1" [ 1 ] (Kernels.fibonacci_reference 1);
+  Alcotest.(check (list int)) "fib 0" [ 0 ] (Kernels.fibonacci_reference 0)
+
+let test_dispatch_reference () =
+  Alcotest.(check (list int)) "empty" [ 0x1234 ] (Kernels.dispatch_reference []);
+  Alcotest.(check (list int)) "add" [ 0x1234 + 1237 ] (Kernels.dispatch_reference [ 0 ])
+
+let test_compiled_match_handwritten () =
+  (* the MiniC ports and the hand-written kernels agree on the same
+     references *)
+  let same (a : Workload.t) (b : Workload.t) =
+    Alcotest.(check (list int))
+      (a.Workload.name ^ " = " ^ b.Workload.name)
+      a.Workload.expected_outputs b.Workload.expected_outputs
+  in
+  same (Kernels.sieve ~limit:500 ()) (Sofia.Workloads.Compiled.sieve ~limit:500 ());
+  same (Kernels.matmul ~dim:7 ()) (Sofia.Workloads.Compiled.matmul ~dim:7 ());
+  same (Kernels.crc32 ~bytes:100 ()) (Sofia.Workloads.Compiled.crc32 ~bytes:100 ())
+
+let test_registry () =
+  let names = Registry.names () in
+  check_int "suite size" 11 (List.length names);
+  Alcotest.(check bool) "has adpcm" true (List.mem "adpcm" names);
+  Alcotest.(check bool) "lookup works" true (Registry.by_name "crc32" <> None);
+  Alcotest.(check bool) "lookup misses" true (Registry.by_name "nope" = None)
+
+(* Each workload (small scale) runs on the vanilla model and matches
+   its reference exactly. *)
+let small_workloads () =
+  [
+    Adpcm.workload ~samples:128 ();
+    Adpcm.workload ~samples:128 ~variant:Adpcm.Branchy ();
+    Adpcm.workload ~samples:128 ~variant:Adpcm.Scheduled ();
+    Kernels.crc32 ~bytes:128 ();
+    Kernels.fir ~samples:96 ();
+    Kernels.matmul ~dim:6 ();
+    Kernels.sort ~elements:24 ();
+    Kernels.sieve ~limit:500 ();
+    Kernels.fibonacci ~n:40 ();
+    Kernels.strsearch ~haystack:200 ();
+    Kernels.dispatch ~commands:64 ();
+    Sofia.Workloads.Compiled.sieve ~limit:300 ();
+    Sofia.Workloads.Compiled.fibonacci_recursive ~n:12 ();
+    Sofia.Workloads.Compiled.matmul ~dim:5 ();
+    Sofia.Workloads.Compiled.crc32 ~bytes:64 ();
+    Sofia.Workloads.Compiled.synthetic ~iterations:16 ();
+  ]
+
+let test_vanilla_matches_reference () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let r = Vanilla.run (Workload.assemble w) in
+      (match r.Machine.outcome with
+       | Machine.Halted _ -> ()
+       | o ->
+         Alcotest.fail (Format.asprintf "%s: unexpected outcome %a" w.Workload.name
+                          Machine.pp_outcome o));
+      Alcotest.(check (list int)) (w.Workload.name ^ " outputs") w.Workload.expected_outputs
+        r.Machine.outputs)
+    (small_workloads ())
+
+let test_scales_change_work () =
+  let small = Vanilla.run (Workload.assemble (Kernels.crc32 ~bytes:64 ())) in
+  let large = Vanilla.run (Workload.assemble (Kernels.crc32 ~bytes:256 ())) in
+  Alcotest.(check bool) "bigger input, more cycles" true
+    (large.Machine.stats.Machine.cycles > 3 * small.Machine.stats.Machine.cycles)
+
+let suite =
+  [
+    Alcotest.test_case "checksum accumulator" `Quick test_checksum;
+    Alcotest.test_case "synthetic PCM" `Quick test_triangle_samples;
+    Alcotest.test_case "ADPCM tables" `Quick test_adpcm_tables;
+    Alcotest.test_case "ADPCM reconstruction quality" `Quick test_adpcm_reference_reconstruction;
+    Alcotest.test_case "ADPCM variants share results" `Quick test_adpcm_variants_share_reference;
+    Alcotest.test_case "CRC-32 known vector" `Quick test_crc32_known_vector;
+    Alcotest.test_case "sieve prime count" `Quick test_sieve_reference;
+    Alcotest.test_case "fibonacci reference" `Quick test_fibonacci_reference;
+    Alcotest.test_case "dispatch reference" `Quick test_dispatch_reference;
+    Alcotest.test_case "compiled ports match hand-written kernels" `Quick
+      test_compiled_match_handwritten;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "every workload matches its reference" `Quick
+      test_vanilla_matches_reference;
+    Alcotest.test_case "scaling sanity" `Quick test_scales_change_work;
+  ]
