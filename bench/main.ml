@@ -1,8 +1,11 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation plus the extension studies listed in DESIGN.md.
 
-     dune exec bench/main.exe             run everything
-     dune exec bench/main.exe -- ID ...   run selected experiments
+     dune exec bench/main.exe                  run everything
+     dune exec bench/main.exe -- ID ...        run selected experiments
+     dune exec bench/main.exe -- --json FILE   also write a machine-readable
+                                               report (micro, e2-cycles and
+                                               x1-workloads with obs counters)
 
    Experiment ids: table1 e1-codesize e2-cycles e3-exectime s1-forgery
    s2-cfi fig1-pipeline fig2-cfi fig3-6-si fig7-8-mux fig9-tree
@@ -477,8 +480,7 @@ let x6_toolchain () =
 (* micro: Bechamel microbenchmarks (X4)                                *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
-  section "micro" "microbenchmarks of the implementation itself (Bechamel)";
+let micro_rows () =
   let open Bechamel in
   let open Toolkit in
   let w = Adpcm.workload ~samples:256 () in
@@ -513,9 +515,127 @@ let micro () =
       let est = match Analyze.OLS.estimates o with Some [ t ] -> t | Some _ | None -> nan in
       rows := (name, est) :: !rows)
     results;
-  List.iter
-    (fun (name, est) -> Format.printf "  %-34s %14.1f ns/run@." name est)
-    (List.sort compare !rows)
+  List.sort compare !rows
+
+let micro () =
+  section "micro" "microbenchmarks of the implementation itself (Bechamel)";
+  List.iter (fun (name, est) -> Format.printf "  %-34s %14.1f ns/run@." name est) (micro_rows ())
+
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable benchmark report                           *)
+(* ------------------------------------------------------------------ *)
+
+module J = Sofia.Obs.Json
+module Metrics = Sofia.Obs.Metrics
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Overhead row with SOFIA-side obs counters attached. The metrics
+   handle rides only on the SOFIA run, so [obs] reports the protected
+   core's pipeline work (decryptions, MAC checks, memo behaviour). *)
+let observed_overhead w =
+  let m = Metrics.create () in
+  let obs = Sofia.Obs.Obs.create ~metrics:m () in
+  let o = Sofia.Report.overhead_of_workload ~sofia_obs:obs w in
+  (o, m)
+
+let overhead_json (o : Sofia.Report.overhead) (m : Metrics.t) =
+  J.Obj
+    [
+      ("name", J.Str o.Sofia.Report.name);
+      ("vanilla_cycles", J.Int o.Sofia.Report.vanilla_cycles);
+      ("sofia_cycles", J.Int o.Sofia.Report.sofia_cycles);
+      ("cycle_overhead_pct", J.Float o.Sofia.Report.cycle_overhead_pct);
+      ("text_bytes_vanilla", J.Int o.Sofia.Report.text_bytes_vanilla);
+      ("text_bytes_sofia", J.Int o.Sofia.Report.text_bytes_sofia);
+      ("expansion", J.Float o.Sofia.Report.expansion);
+      ("total_time_overhead_pct", J.Float o.Sofia.Report.total_time_overhead_pct);
+      ("outputs_ok", J.Bool o.Sofia.Report.outputs_ok);
+      ("obs", Metrics.to_json m);
+    ]
+
+let json_micro () =
+  let rows, wall = timed micro_rows in
+  Format.printf "  [json] micro: %d measurements in %.1f s@." (List.length rows) wall;
+  J.Obj
+    [
+      ("id", J.Str "micro");
+      ("wall_time_s", J.Float wall);
+      ( "results",
+        J.List
+          (List.map
+             (fun (name, ns) -> J.Obj [ ("name", J.Str name); ("ns_per_run", J.Float ns) ])
+             rows) );
+    ]
+
+let json_e2_cycles () =
+  let rows, wall =
+    timed (fun () ->
+        List.map
+          (fun (label, variant) ->
+            let o, m = observed_overhead (Adpcm.workload ~samples:4096 ~variant ()) in
+            (label, o, m))
+          [ ("compiled (default)", Adpcm.Compiled); ("if-converted", Adpcm.Scheduled);
+            ("naive branchy", Adpcm.Branchy) ])
+  in
+  Format.printf "  [json] e2-cycles: %d ADPCM variants in %.1f s@." (List.length rows) wall;
+  J.Obj
+    [
+      ("id", J.Str "e2-cycles");
+      ("wall_time_s", J.Float wall);
+      ( "rows",
+        J.List
+          (List.map
+             (fun (label, o, m) ->
+               match overhead_json o m with
+               | J.Obj fields -> J.Obj (("variant", J.Str label) :: fields)
+               | j -> j)
+             rows) );
+    ]
+
+let json_x1_workloads () =
+  let rows, wall =
+    timed (fun () ->
+        List.map observed_overhead (Sofia.Workloads.Registry.benchmark_suite ()))
+  in
+  Format.printf "  [json] x1-workloads: %d workloads in %.1f s@." (List.length rows) wall;
+  let geomean =
+    Sofia.Util.Stats.geomean
+      (List.map (fun (o, _) -> 1.0 +. (o.Sofia.Report.cycle_overhead_pct /. 100.0)) rows)
+  in
+  J.Obj
+    [
+      ("id", J.Str "x1-workloads");
+      ("wall_time_s", J.Float wall);
+      ("geomean_cycle_ratio", J.Float geomean);
+      ("rows", J.List (List.map (fun (o, m) -> overhead_json o m) rows));
+    ]
+
+(* The report always carries these three, whatever else was selected on
+   the command line, so downstream perf tracking has a stable schema. *)
+let json_experiments =
+  [ ("micro", json_micro); ("e2-cycles", json_e2_cycles); ("x1-workloads", json_x1_workloads) ]
+
+let write_json path =
+  section "json" (Printf.sprintf "machine-readable benchmark report -> %s" path);
+  let experiments = List.map (fun (_, f) -> f ()) json_experiments in
+  let report =
+    J.Obj
+      [
+        ("schema", J.Str "sofia-bench/1");
+        ("version", J.Str Sofia.version);
+        ("created_unix", J.Float (Unix.time ()));
+        ("experiments", J.List experiments);
+      ]
+  in
+  let oc = open_out path in
+  J.output oc report;
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 
@@ -543,8 +663,24 @@ let all_experiments =
   ]
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  let rec parse ids json = function
+    | [] -> (List.rev ids, json)
+    | "--json" :: file :: rest -> parse ids (Some file) rest
+    | [ "--json" ] ->
+      Format.eprintf "--json requires a file argument@.";
+      exit 1
+    | id :: rest -> parse (id :: ids) json rest
+  in
+  let args, json_path = parse [] None (Array.to_list Sys.argv |> List.tl) in
+  (* with --json, ids covered by the report are not re-run on the
+     console — the report run already prints a summary line for each *)
+  let args =
+    match json_path with
+    | None -> args
+    | Some _ -> List.filter (fun id -> not (List.mem_assoc id json_experiments)) args
+  in
+  (match args with
+  | [] when json_path <> None -> ()
   | [] ->
     (* compute the ADPCM rows once and share them across E1-E3 *)
     let rows = adpcm_rows () in
@@ -567,4 +703,5 @@ let () =
           Format.eprintf "unknown experiment %S; known: %s@." id
             (String.concat " " (List.map fst all_experiments));
           exit 1)
-      ids
+      ids);
+  match json_path with None -> () | Some path -> write_json path

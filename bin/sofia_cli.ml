@@ -171,26 +171,29 @@ let run_image_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run path sofia key_seed nonce trace =
+  let run path sofia key_seed nonce trace_insns trace_file metrics =
     let program = or_die (assemble_file path) in
     let traced = ref 0 in
     let on_retire =
-      if trace = 0 then None
+      if trace_insns = 0 then None
       else
         Some
           (fun ~pc ~insn ->
-            if !traced < trace then begin
+            if !traced < trace_insns then begin
               incr traced;
               Format.printf "  %08x: %a@." pc Sofia.Isa.Insn.pp insn
             end)
     in
+    let trace = Option.map (fun _ -> Sofia.Obs.Trace.create ()) trace_file in
+    let mx = if metrics then Some (Sofia.Obs.Metrics.create ()) else None in
+    let obs = Sofia.Obs.Obs.create ?trace ?metrics:mx () in
     let result =
       if sofia then begin
         let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
         let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce program in
-        Sofia.Cpu.Sofia_runner.run ?on_retire ~keys image
+        Sofia.Cpu.Sofia_runner.run ?on_retire ~obs ~keys image
       end
-      else Sofia.Cpu.Vanilla.run ?on_retire program
+      else Sofia.Cpu.Vanilla.run ?on_retire ~obs program
     in
     let open Sofia.Cpu.Machine in
     Format.printf "outcome: %a@." pp_outcome result.outcome;
@@ -201,15 +204,32 @@ let run_cmd =
     if sofia then
       Format.printf "blocks entered: %d  MAC words: %d@." result.stats.blocks_entered
         result.stats.mac_words_fetched;
+    (match (trace_file, trace) with
+     | Some out, Some t ->
+       Sofia.Obs.Trace.save_jsonl t ~path:out;
+       Format.printf "trace: %d events retained (%d emitted, %d dropped) -> %s@."
+         (Sofia.Obs.Trace.length t) (Sofia.Obs.Trace.total t) (Sofia.Obs.Trace.dropped t) out
+     | _ -> ());
+    (match mx with Some m -> Format.printf "%a" Sofia.Obs.Metrics.pp m | None -> ());
     match result.outcome with Halted 0 -> () | Halted c -> exit (min c 127) | _ -> exit 125
   in
   let sofia = Arg.(value & flag & info [ "sofia" ] ~doc:"Protect and run on the SOFIA core.") in
-  let trace =
-    Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N"
+  let trace_insns =
+    Arg.(value & opt int 0 & info [ "trace-insns" ] ~docv:"N"
            ~doc:"Print the first N retired instructions.")
   in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the pipeline event stream (block fetches, edge decrypts, MAC \
+                 verdicts, retires, violations) and write it to $(docv) as JSON lines. \
+                 The ring keeps the last 4096 events.")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Collect pipeline counters during the run and print them after the result.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a program on the vanilla or SOFIA processor model")
-    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace)
+    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace_insns $ trace_file $ metrics)
 
 (* ---- compile ---- *)
 

@@ -64,4 +64,21 @@ let () =
     c.Diversion.coarse_accepted;
   Format.printf "SOFIA accepts       : %d  (instruction-level edges only)@."
     c.Diversion.sofia_accepted;
+
+  (* what the pipeline saw: flip one bit of ciphertext, trace the run.
+     A small ring keeps exactly the window that led up to the reset —
+     the forensic record a deployed SOFIA device would log. *)
+  let module Image = Sofia.Transform.Image in
+  let module Trace = Sofia.Obs.Trace in
+  let addr = image.Image.text_base + 64 in
+  let old = Option.get (Image.fetch image addr) in
+  let tampered = Image.with_tampered_word image ~address:addr ~value:(old lxor 0x10) in
+  let trace = Trace.create ~capacity:12 () in
+  let obs = Sofia.Obs.Obs.create ~trace () in
+  let r = Sofia.Cpu.Sofia_runner.run ~obs ~keys tampered in
+  Format.printf "@.--- the violation event stream (one bit of ciphertext at 0x%08x flipped) ---@."
+    addr;
+  Format.printf "outcome: %a; last %d of %d pipeline events:@." Machine.pp_outcome
+    r.Machine.outcome (Trace.length trace) (Trace.total trace);
+  Format.printf "%a" Trace.pp trace;
   Format.printf "@.done.@."

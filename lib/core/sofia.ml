@@ -20,6 +20,7 @@
     [examples/quickstart.ml]. *)
 
 module Util = Sofia_util
+module Obs = Sofia_obs
 module Isa = Sofia_isa
 module Asm = Sofia_asm
 module Cfg = Sofia_cfg
@@ -59,12 +60,15 @@ module Protect = struct
     | Error e -> invalid_arg (Format.asprintf "Sofia.Protect: %a" Sofia_transform.Layout.pp_error e)
 end
 
-(** Running programs on the two processor models. *)
+(** Running programs on the two processor models. [obs] attaches
+    {!Sofia_obs} tracing/metrics sinks — purely observational, free
+    when absent. *)
 module Run = struct
-  let vanilla ?config ?args program = Sofia_cpu.Vanilla.run ?config ?args program
+  let vanilla ?config ?args ?obs ?on_finish program =
+    Sofia_cpu.Vanilla.run ?config ?args ?obs ?on_finish program
 
-  let sofia ?config ?args (p : Protect.protected) =
-    Sofia_cpu.Sofia_runner.run ?config ?args ~keys:p.Protect.keys p.Protect.image
+  let sofia ?config ?args ?obs ?on_finish (p : Protect.protected) =
+    Sofia_cpu.Sofia_runner.run ?config ?args ?obs ?on_finish ~keys:p.Protect.keys p.Protect.image
 
   (** Run both models and check that outputs agree (they must, for an
       untampered image). *)
@@ -89,13 +93,13 @@ module Report = struct
     outputs_ok : bool;
   }
 
-  let overhead_of_workload ?config ?(key_seed = 0xBE7CL) ?(nonce = 1)
+  let overhead_of_workload ?config ?(key_seed = 0xBE7CL) ?(nonce = 1) ?vanilla_obs ?sofia_obs
       (w : Sofia_workloads.Workload.t) =
     let program = Sofia_workloads.Workload.assemble w in
     let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
     let image = Sofia_transform.Transform.protect_exn ~keys ~nonce program in
-    let rv = Sofia_cpu.Vanilla.run ?config program in
-    let rs = Sofia_cpu.Sofia_runner.run ?config ~keys image in
+    let rv = Sofia_cpu.Vanilla.run ?config ?obs:vanilla_obs program in
+    let rs = Sofia_cpu.Sofia_runner.run ?config ?obs:sofia_obs ~keys image in
     let cycle_ratio =
       float_of_int rs.Sofia_cpu.Machine.stats.Sofia_cpu.Machine.cycles
       /. float_of_int rv.Sofia_cpu.Machine.stats.Sofia_cpu.Machine.cycles

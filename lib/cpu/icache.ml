@@ -7,12 +7,13 @@ type t = {
   lines : int array;  (* tag per set; -1 = invalid *)
   mutable n_access : int;
   mutable n_miss : int;
+  probe : (addr:int -> hit:bool -> unit) option;
 }
 
-let create config =
+let create ?probe config =
   let nsets = config.size_bytes / config.line_bytes in
   assert (nsets > 0);
-  { config; lines = Array.make nsets (-1); n_access = 0; n_miss = 0 }
+  { config; lines = Array.make nsets (-1); n_access = 0; n_miss = 0; probe }
 
 let access t addr =
   let line_addr = addr / t.config.line_bytes in
@@ -20,12 +21,16 @@ let access t addr =
   let set = line_addr mod nsets in
   let tag = line_addr / nsets in
   t.n_access <- t.n_access + 1;
-  if t.lines.(set) = tag then true
-  else begin
-    t.n_miss <- t.n_miss + 1;
-    t.lines.(set) <- tag;
-    false
-  end
+  let hit =
+    if t.lines.(set) = tag then true
+    else begin
+      t.n_miss <- t.n_miss + 1;
+      t.lines.(set) <- tag;
+      false
+    end
+  in
+  (match t.probe with Some f -> f ~addr ~hit | None -> ());
+  hit
 
 let accesses t = t.n_access
 let misses t = t.n_miss

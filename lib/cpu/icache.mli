@@ -11,7 +11,9 @@ val default : config
 
 type t
 
-val create : config -> t
+val create : ?probe:(addr:int -> hit:bool -> unit) -> config -> t
+(** [probe] (observability hook) fires on every access with the
+    hit/miss outcome; absent by default and free when absent. *)
 
 val access : t -> int -> bool
 (** [access t addr] touches the line containing [addr]; returns [true]

@@ -45,6 +45,36 @@ let pp_violation fmt = function
   | Landing_pad_violation { address } ->
     Format.fprintf fmt "indirect transfer to non-landing-pad 0x%08x" address
 
+let violation_label = function
+  | Mac_mismatch _ -> "mac_mismatch"
+  | Store_in_banned_slot _ -> "store_in_banned_slot"
+  | Invalid_opcode _ -> "invalid_opcode"
+  | Bus_fault _ -> "bus_fault"
+  | Misaligned_entry _ -> "misaligned_entry"
+  | Shadow_stack_mismatch _ -> "shadow_stack_mismatch"
+  | Landing_pad_violation _ -> "landing_pad_violation"
+
+let violation_address = function
+  | Mac_mismatch { block_base } -> block_base
+  | Store_in_banned_slot { address }
+  | Invalid_opcode { address; _ }
+  | Bus_fault { address }
+  | Misaligned_entry { address }
+  | Landing_pad_violation { address } -> address
+  | Shadow_stack_mismatch { got; _ } -> got
+
+let stats_counters s =
+  [
+    ("cycles", s.cycles);
+    ("instructions", s.instructions);
+    ("mac_words_fetched", s.mac_words_fetched);
+    ("blocks_entered", s.blocks_entered);
+    ("redirects", s.redirects);
+    ("icache_accesses", s.icache_accesses);
+    ("icache_misses", s.icache_misses);
+    ("load_use_stalls", s.load_use_stalls);
+  ]
+
 let pp_outcome fmt = function
   | Halted code -> Format.fprintf fmt "halted(%d)" code
   | Cpu_reset v -> Format.fprintf fmt "reset: %a" pp_violation v

@@ -46,6 +46,18 @@ type run_result = {
 val pp_violation : Format.formatter -> violation -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val violation_label : violation -> string
+(** Stable snake_case tag for machine-readable sinks (trace events,
+    metrics, bench JSON). *)
+
+val violation_address : violation -> int
+(** The address the violation reports (block base, faulting address, or
+    the offending return target). *)
+
+val stats_counters : run_stats -> (string * int) list
+(** Every stats field with a stable name, for machine-readable
+    emission. *)
+
 type t
 (** Register file + PC + accounting. *)
 

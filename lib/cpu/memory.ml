@@ -20,6 +20,10 @@ let create ?(size_bytes = 1 lsl 20) () =
 
 let size_bytes t = Bytes.length t.ram
 
+let read_range t ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.ram then raise (Bus_error addr);
+  Bytes.sub t.ram addr len
+
 let load_bytes t ~addr b =
   if addr < 0 || addr + Bytes.length b > Bytes.length t.ram then raise (Bus_error addr);
   Bytes.blit b 0 t.ram addr (Bytes.length b)

@@ -23,6 +23,11 @@ val size_bytes : t -> int
 val load_bytes : t -> addr:int -> Bytes.t -> unit
 (** Copy an initialised section (e.g. the data image) into RAM. *)
 
+val read_range : t -> addr:int -> len:int -> Bytes.t
+(** Copy of RAM [\[addr, addr+len)] — for post-run state comparison
+    (e.g. the SOFIA-vs-vanilla differential tests).
+    @raise Bus_error when the range leaves RAM. *)
+
 val read32 : t -> int -> int
 val write32 : t -> int -> int -> unit
 val read8 : t -> int -> int

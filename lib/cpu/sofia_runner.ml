@@ -6,6 +6,9 @@ module Ctr = Sofia_crypto.Ctr
 module Cbc_mac = Sofia_crypto.Cbc_mac
 module Image = Sofia_transform.Image
 module Block = Sofia_transform.Block
+module Obs = Sofia_obs.Obs
+module Event = Sofia_obs.Event
+module Metrics = Sofia_obs.Metrics
 
 type fetch_outcome =
   | Block_ok of { base : int; kind : Block.kind; insns : Insn.t array }
@@ -20,7 +23,7 @@ let classify ~text_base target =
   else if rel >= 0 && rel mod Block.size_bytes = 8 then (Mux_path2, target - 8)
   else (Exec_entry, target)
 
-let fetch_block ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
+let fetch_block_observed ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
   if target land 3 <> 0 then Fetch_violation (Machine.Misaligned_entry { address = target })
   else begin
     let style, base = classify ~text_base:image.Image.text_base target in
@@ -29,7 +32,21 @@ let fetch_block ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
       | Some w -> Some w
       | None -> None
     in
-    let keystream ~prev ~pc = Ctr.keystream32 keys.Keys.k1 ~nonce:image.Image.nonce ~prev_pc:prev ~pc in
+    (* one probe per keystream word: the unit of decrypt-pipeline work *)
+    let words_decrypted = ref 0 in
+    let ks_probe =
+      if Obs.live obs then
+        Some
+          (fun () ->
+            incr words_decrypted;
+            match obs.Obs.metrics with
+            | Some m -> m.Metrics.words_decrypted <- m.Metrics.words_decrypted + 1
+            | None -> ())
+      else None
+    in
+    let keystream ~prev ~pc =
+      Ctr.keystream32 ?probe:ks_probe keys.Keys.k1 ~nonce:image.Image.nonce ~prev_pc:prev ~pc
+    in
     (* addresses used as counters must stay in range; out-of-range
        (attacker-chosen wild) values are a bus fault, like hardware
        fetching outside program memory *)
@@ -37,6 +54,16 @@ let fetch_block ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
     if not (in_counter_range base && in_counter_range prev_pc) then
       Fetch_violation (Machine.Bus_fault { address = base })
     else begin
+      (match style with
+       | Exec_entry -> ()
+       | Mux_path1 | Mux_path2 ->
+         let path = match style with Mux_path1 -> 1 | _ -> 2 in
+         (match obs.Obs.metrics with
+          | Some m ->
+            if path = 1 then m.Metrics.mux_path1 <- m.Metrics.mux_path1 + 1
+            else m.Metrics.mux_path2 <- m.Metrics.mux_path2 + 1
+          | None -> ());
+         if Obs.tracing obs then Obs.emit obs (Event.Mux_select { block_base = base; path }));
       let fail_bus off = Fetch_violation (Machine.Bus_fault { address = base + off }) in
       let decrypt ~prev ~off =
         match word off with
@@ -46,9 +73,22 @@ let fetch_block ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
       (* interior chain: word at offset o has prevPC = o - 4 *)
       let interior off = decrypt ~prev:(base + off - 4) ~off in
       let check_and_build ~kind ~m1 ~m2 ~insn_words ~first_off =
+        if Obs.tracing obs then
+          Obs.emit obs (Event.Edge_decrypt { target; prev_pc; words = !words_decrypted });
         let mac_key = match kind with Block.Exec -> keys.Keys.k2 | Block.Mux -> keys.Keys.k3 in
-        if not (Cbc_mac.verify_words mac_key insn_words ~m1 ~m2) then
-          Fetch_violation (Machine.Mac_mismatch { block_base = base })
+        let mac_ok = Cbc_mac.verify_words mac_key insn_words ~m1 ~m2 in
+        (match obs.Obs.metrics with
+         | Some m ->
+           m.Metrics.mac_verifies <- m.Metrics.mac_verifies + 1;
+           if not mac_ok then m.Metrics.mac_failures <- m.Metrics.mac_failures + 1
+         | None -> ());
+        if Obs.tracing obs then
+          Obs.emit obs
+            (Event.Mac_verify
+               { block_base = base;
+                 kind = (match kind with Block.Exec -> Event.Exec_mac | Block.Mux -> Event.Mux_mac);
+                 ok = mac_ok });
+        if not mac_ok then Fetch_violation (Machine.Mac_mismatch { block_base = base })
         else begin
           let n = Array.length insn_words in
           let insns = Array.make n Insn.nop in
@@ -98,12 +138,27 @@ let fetch_block ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
     end
   end
 
-let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : Keys.t) (image : Image.t) =
+let fetch_block ~keys ~image ~target ~prev_pc =
+  fetch_block_observed ~obs:Obs.none ~keys ~image ~target ~prev_pc
+
+let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Obs.none) ?on_finish
+    ~(keys : Keys.t) (image : Image.t) =
   let mem = Memory.create ~size_bytes:config.Run_config.mem_size () in
   Memory.load_bytes mem ~addr:image.Image.data_base image.Image.data;
   let machine = Machine.create ~entry:image.Image.entry ~sp:(Run_config.initial_sp config) in
   List.iteri (fun i v -> if i < 8 then Machine.write_reg machine (Reg.a i) v) args;
-  let icache = Icache.create config.Run_config.icache in
+  let tracing = Obs.tracing obs in
+  let mx = obs.Obs.metrics in
+  let icache_probe =
+    match mx with
+    | Some m ->
+      Some
+        (fun ~addr:_ ~hit ->
+          if hit then m.Metrics.icache_hits <- m.Metrics.icache_hits + 1
+          else m.Metrics.icache_misses <- m.Metrics.icache_misses + 1)
+    | None -> None
+  in
+  let icache = Icache.create ?probe:icache_probe config.Run_config.icache in
   let timing = config.Run_config.timing in
   let cycles = ref 0 in
   let instructions = ref 0 in
@@ -117,6 +172,8 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : K
   let fetch_count = ref 0 in
   let fetch ~target ~prev_pc =
     incr fetch_count;
+    (match mx with Some m -> m.Metrics.block_fetches <- m.Metrics.block_fetches + 1 | None -> ());
+    if tracing then Obs.emit obs (Event.Block_fetch { target; prev_pc });
     match fault with
     | Some (n, bit) when !fetch_count = n ->
       (* transient fetch-path fault: one bit of this fetch group flips;
@@ -128,17 +185,33 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : K
          let faulted =
            Image.with_tampered_word image ~address ~value:(w lxor (1 lsl (bit mod 32)))
          in
-         fetch_block ~keys ~image:faulted ~target ~prev_pc
-       | None -> fetch_block ~keys ~image ~target ~prev_pc)
+         fetch_block_observed ~obs ~keys ~image:faulted ~target ~prev_pc
+       | None -> fetch_block_observed ~obs ~keys ~image ~target ~prev_pc)
     | Some _ | None ->
       (match Hashtbl.find_opt fetch_cache (target, prev_pc) with
-       | Some r -> r
+       | Some r ->
+         (match mx with Some m -> m.Metrics.memo_hits <- m.Metrics.memo_hits + 1 | None -> ());
+         if tracing then Obs.emit obs (Event.Memo_hit { target; prev_pc });
+         r
        | None ->
-         let r = fetch_block ~keys ~image ~target ~prev_pc in
+         (match mx with Some m -> m.Metrics.memo_misses <- m.Metrics.memo_misses + 1 | None -> ());
+         if tracing then Obs.emit obs (Event.Memo_miss { target; prev_pc });
+         let r = fetch_block_observed ~obs ~keys ~image ~target ~prev_pc in
          Hashtbl.replace fetch_cache (target, prev_pc) r;
          r)
   in
   let finish outcome =
+    (match outcome with
+     | Machine.Cpu_reset v ->
+       (match mx with Some m -> m.Metrics.resets <- m.Metrics.resets + 1 | None -> ());
+       if tracing then
+         Obs.emit obs
+           (Event.Reset
+              { kind = Machine.violation_label v; address = Machine.violation_address v })
+     | Machine.Halted code ->
+       if tracing then Obs.emit obs (Event.Halt { code })
+     | Machine.Out_of_fuel -> if tracing then Obs.emit obs Event.Fuel_exhausted);
+    (match on_finish with Some f -> f ~machine ~mem | None -> ());
     {
       Machine.outcome;
       stats =
@@ -156,14 +229,25 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : K
       output_text = Memory.output_text mem;
     }
   in
+  let violation v =
+    (match mx with Some m -> m.Metrics.violations <- m.Metrics.violations + 1 | None -> ());
+    if tracing then
+      Obs.emit obs
+        (Event.Violation { kind = Machine.violation_label v; address = Machine.violation_address v });
+    finish (Machine.Cpu_reset v)
+  in
   let rec run_block ~target ~prev_pc ~redirected =
     if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
     else
       match fetch ~target ~prev_pc with
-      | Fetch_violation v -> finish (Machine.Cpu_reset v)
+      | Fetch_violation v -> violation v
       | Block_ok { base; kind; insns } ->
         incr blocks;
+        (match mx with
+         | Some m -> m.Metrics.blocks_entered <- m.Metrics.blocks_entered + 1
+         | None -> ());
         let missed = not (Icache.access icache base) in
+        if tracing then Obs.emit obs (Event.Block_enter { base; icache_hit = not missed });
         if redirected then incr redirects;
         (* MAC words per visit: 2 (a multiplexor path skips one of the
            three). They are absorbed by the verify unit; their cost is
@@ -176,6 +260,7 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : K
            decoupled frontend's fetch floor when the block completes *)
         let bcost = ref 0 in
         let finalize () =
+          let c0 = !cycles in
           (match timing.Timing.frontend with
            | Timing.Decoupled ->
              let floor = Timing.block_fetch_floor timing ~words_fetched in
@@ -185,7 +270,10 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : K
                 words cost their nop slots on top of the instructions *)
              cycles := !cycles + !bcost + (2 * timing.Timing.mac_word_cycle));
           if missed then cycles := !cycles + timing.Timing.icache_miss_penalty;
-          if redirected then cycles := !cycles + timing.Timing.decrypt_redirect_extra
+          if redirected then cycles := !cycles + timing.Timing.decrypt_redirect_extra;
+          match mx with
+          | Some m -> Metrics.hist_observe m.Metrics.block_cycles (!cycles - c0)
+          | None -> ()
         in
         let rec exec_slot i =
           if i >= Array.length insns then begin
@@ -203,6 +291,8 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : K
             let pc = base + first_off + (4 * i) in
             Machine.set_pc machine pc;
             incr instructions;
+            (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
+            if tracing then Obs.emit obs (Event.Retire { pc });
             (match on_retire with Some f -> f ~pc ~insn | None -> ());
             bcost := !bcost + Timing.insn_cost timing insn;
             (match !pending_load with
@@ -214,7 +304,7 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ~(keys : K
             match Machine.execute machine mem insn with
             | exception Memory.Bus_error address ->
               finalize ();
-              finish (Machine.Cpu_reset (Machine.Bus_fault { address }))
+              violation (Machine.Bus_fault { address })
             | Machine.Next -> exec_slot (i + 1)
             | Machine.Redirect tgt ->
               bcost := !bcost + timing.Timing.taken_branch_penalty;

@@ -24,6 +24,8 @@ val run :
   ?args:int list ->
   ?fault:int * int ->
   ?on_retire:(pc:int -> insn:Sofia_isa.Insn.t -> unit) ->
+  ?obs:Sofia_obs.Obs.t ->
+  ?on_finish:(machine:Machine.t -> mem:Memory.t -> unit) ->
   keys:Sofia_crypto.Keys.t ->
   Sofia_transform.Image.t ->
   Machine.run_result
@@ -35,7 +37,22 @@ val run :
     8-word group reads flipped — a glitch on the memory bus or in the
     instruction cache, the threat the paper's conclusion lists as
     future work. The stored image is unchanged (the fault is
-    transient). *)
+    transient).
+
+    [obs] (default {!Sofia_obs.Obs.none}) attaches tracing/metrics
+    sinks to the fetch → decrypt → MAC-verify → execute → reset path.
+    Instrumentation is strictly observational: the returned
+    {!Machine.run_result} is bit-identical with and without it, and
+    with [Obs.none] no hook allocates.
+
+    Memoisation caveat: hardware re-decrypts every fetch, the simulator
+    memoises per (target, prevPC) edge — so [Memo_hit] counts fetches
+    hardware would re-decrypt, and decrypt/MAC events fire only on the
+    first fetch of each edge.
+
+    [on_finish] runs after the outcome is decided, with the final
+    machine and memory — post-run architectural state inspection for
+    differential tests. *)
 
 type fetch_outcome =
   | Block_ok of {
@@ -54,3 +71,15 @@ val fetch_block :
 (** One frontend fetch-decrypt-verify cycle, exposed for unit tests and
     for the attack analyzer (e.g. to ask "would this diverted edge have
     been accepted?" without running the machine). *)
+
+val fetch_block_observed :
+  obs:Sofia_obs.Obs.t ->
+  keys:Sofia_crypto.Keys.t ->
+  image:Sofia_transform.Image.t ->
+  target:int ->
+  prev_pc:int ->
+  fetch_outcome
+(** {!fetch_block} with the observability sinks attached: emits
+    edge-decrypt, MAC-verify and multiplexor-path events and bumps the
+    decrypt/MAC counters. [fetch_block] is this with
+    {!Sofia_obs.Obs.none}. *)

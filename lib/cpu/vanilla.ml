@@ -20,13 +20,28 @@ let dest (insn : Insn.t) =
   | Insn.Load (_, rd, _, _) | Insn.Jal (rd, _) | Insn.Jalr (rd, _, _) -> Some rd
   | Insn.Store _ | Insn.Branch _ | Insn.Halt _ -> None
 
-let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ~text ~text_base ~entry
-    ~data ~data_base () =
+module Obs = Sofia_obs.Obs
+module Event = Sofia_obs.Event
+module Metrics = Sofia_obs.Metrics
+
+let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ?(obs = Obs.none)
+    ?on_finish ~text ~text_base ~entry ~data ~data_base () =
   let mem = Memory.create ~size_bytes:config.Run_config.mem_size () in
   Memory.load_bytes mem ~addr:data_base data;
   let machine = Machine.create ~entry ~sp:(Run_config.initial_sp config) in
   List.iteri (fun i v -> if i < 8 then Machine.write_reg machine (Reg.a i) v) args;
-  let icache = Icache.create config.Run_config.icache in
+  let tracing = Obs.tracing obs in
+  let mx = obs.Obs.metrics in
+  let icache_probe =
+    match mx with
+    | Some m ->
+      Some
+        (fun ~addr:_ ~hit ->
+          if hit then m.Metrics.icache_hits <- m.Metrics.icache_hits + 1
+          else m.Metrics.icache_misses <- m.Metrics.icache_misses + 1)
+    | None -> None
+  in
+  let icache = Icache.create ?probe:icache_probe config.Run_config.icache in
   let timing = config.Run_config.timing in
   let n = Array.length text in
   let decoded = Array.make n None in
@@ -44,6 +59,23 @@ let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ~text ~te
   let load_use = ref 0 in
   let pending_load : Reg.t option ref = ref None in
   let finish outcome =
+    (match outcome with
+     | Machine.Cpu_reset v ->
+       (match mx with
+        | Some m ->
+          m.Metrics.violations <- m.Metrics.violations + 1;
+          m.Metrics.resets <- m.Metrics.resets + 1
+        | None -> ());
+       if tracing then begin
+         Obs.emit obs
+           (Event.Violation
+              { kind = Machine.violation_label v; address = Machine.violation_address v });
+         Obs.emit obs
+           (Event.Reset { kind = Machine.violation_label v; address = Machine.violation_address v })
+       end
+     | Machine.Halted code -> if tracing then Obs.emit obs (Event.Halt { code })
+     | Machine.Out_of_fuel -> if tracing then Obs.emit obs Event.Fuel_exhausted);
+    (match on_finish with Some f -> f ~machine ~mem | None -> ());
     {
       Machine.outcome;
       stats =
@@ -76,6 +108,8 @@ let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ~text ~te
           finish (Machine.Cpu_reset (Machine.Invalid_opcode { address = pc; word = text.(i) }))
         | Some insn ->
           incr instructions;
+          (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
+          if tracing then Obs.emit obs (Event.Retire { pc });
           (match on_retire with Some f -> f ~pc ~insn | None -> ());
           cycles := !cycles + Timing.insn_cost timing insn;
           (match !pending_load with
@@ -102,7 +136,7 @@ let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ~text ~te
   in
   step ()
 
-let run ?config ?args ?on_retire (program : Program.t) =
-  run_encoded ?config ?args ?on_retire ~text:(Program.encoded_text program)
+let run ?config ?args ?on_retire ?obs ?on_finish (program : Program.t) =
+  run_encoded ?config ?args ?on_retire ?obs ?on_finish ~text:(Program.encoded_text program)
     ~text_base:program.Program.text_base ~entry:program.Program.entry
     ~data:program.Program.data ~data_base:program.Program.data_base ()

@@ -16,16 +16,23 @@ val run :
   ?config:Run_config.t ->
   ?args:int list ->
   ?on_retire:(pc:int -> insn:Sofia_isa.Insn.t -> unit) ->
+  ?obs:Sofia_obs.Obs.t ->
+  ?on_finish:(machine:Machine.t -> mem:Memory.t -> unit) ->
   Sofia_asm.Program.t ->
   Machine.run_result
 (** Assemble-and-go: runs from the program's entry point until [halt],
     a fault, or fuel exhaustion. [args] preloads [a0], [a1], …;
-    [on_retire] observes every retired instruction (tracing). *)
+    [on_retire] observes every retired instruction (tracing); [obs]
+    attaches the observability sinks (retire/halt/reset events, icache
+    and retire counters — the vanilla core has no decrypt/MAC stages to
+    observe); [on_finish] sees the final machine and memory. *)
 
 val run_encoded :
   ?config:Run_config.t ->
   ?args:int list ->
   ?on_retire:(pc:int -> insn:Sofia_isa.Insn.t -> unit) ->
+  ?obs:Sofia_obs.Obs.t ->
+  ?on_finish:(machine:Machine.t -> mem:Memory.t -> unit) ->
   text:int array ->
   text_base:int ->
   entry:int ->

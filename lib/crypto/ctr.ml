@@ -12,9 +12,10 @@ let counter ~nonce ~prev_pc ~pc =
     (Int64.shift_left (Int64.of_int nonce) 56)
     (Int64.logor (Int64.shift_left (Int64.of_int p) 28) (Int64.of_int c))
 
-let keystream32 key ~nonce ~prev_pc ~pc =
+let keystream32 ?probe key ~nonce ~prev_pc ~pc =
+  (match probe with Some f -> f () | None -> ());
   let o = Rectangle.encrypt key (counter ~nonce ~prev_pc ~pc) in
   Int64.to_int (Int64.logand o 0xFFFF_FFFFL)
 
-let crypt_word key ~nonce ~prev_pc ~pc w =
-  Word.u32 (w lxor keystream32 key ~nonce ~prev_pc ~pc)
+let crypt_word ?probe key ~nonce ~prev_pc ~pc w =
+  Word.u32 (w lxor keystream32 ?probe key ~nonce ~prev_pc ~pc)

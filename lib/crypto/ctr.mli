@@ -17,9 +17,13 @@ val counter : nonce:int -> prev_pc:int -> pc:int -> int64
     addresses must be word-aligned and below 2^30.
     @raise Invalid_argument otherwise. *)
 
-val keystream32 : Rectangle.key -> nonce:int -> prev_pc:int -> pc:int -> int
-(** Low 32 bits of [E_k1(counter)]. *)
+val keystream32 : ?probe:(unit -> unit) -> Rectangle.key -> nonce:int -> prev_pc:int -> pc:int -> int
+(** Low 32 bits of [E_k1(counter)]. [probe] (observability hook) is
+    called once per keystream word generated — the unit the decrypt
+    pipeline's throughput is measured in; absent by default and free
+    when absent. *)
 
-val crypt_word : Rectangle.key -> nonce:int -> prev_pc:int -> pc:int -> int -> int
+val crypt_word :
+  ?probe:(unit -> unit) -> Rectangle.key -> nonce:int -> prev_pc:int -> pc:int -> int -> int
 (** XOR a 32-bit word with the keystream; its own inverse, so it both
     encrypts and decrypts. *)

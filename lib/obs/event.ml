@@ -1,0 +1,86 @@
+type mac_kind = Exec_mac | Mux_mac
+
+type t =
+  | Block_fetch of { target : int; prev_pc : int }
+  | Memo_hit of { target : int; prev_pc : int }
+  | Memo_miss of { target : int; prev_pc : int }
+  | Edge_decrypt of { target : int; prev_pc : int; words : int }
+  | Mac_verify of { block_base : int; kind : mac_kind; ok : bool }
+  | Mux_select of { block_base : int; path : int }
+  | Block_enter of { base : int; icache_hit : bool }
+  | Retire of { pc : int }
+  | Violation of { kind : string; address : int }
+  | Reset of { kind : string; address : int }
+  | Halt of { code : int }
+  | Fuel_exhausted
+  | Custom of { name : string; value : int }
+
+let name = function
+  | Block_fetch _ -> "block_fetch"
+  | Memo_hit _ -> "memo_hit"
+  | Memo_miss _ -> "memo_miss"
+  | Edge_decrypt _ -> "edge_decrypt"
+  | Mac_verify _ -> "mac_verify"
+  | Mux_select _ -> "mux_select"
+  | Block_enter _ -> "block_enter"
+  | Retire _ -> "retire"
+  | Violation _ -> "violation"
+  | Reset _ -> "reset"
+  | Halt _ -> "halt"
+  | Fuel_exhausted -> "fuel_exhausted"
+  | Custom _ -> "custom"
+
+let mac_kind_name = function Exec_mac -> "exec" | Mux_mac -> "mux"
+
+let fields = function
+  | Block_fetch { target; prev_pc } | Memo_hit { target; prev_pc } | Memo_miss { target; prev_pc }
+    -> [ ("target", Json.Int target); ("prev_pc", Json.Int prev_pc) ]
+  | Edge_decrypt { target; prev_pc; words } ->
+    [ ("target", Json.Int target); ("prev_pc", Json.Int prev_pc); ("words", Json.Int words) ]
+  | Mac_verify { block_base; kind; ok } ->
+    [ ("base", Json.Int block_base); ("kind", Json.Str (mac_kind_name kind));
+      ("ok", Json.Bool ok) ]
+  | Mux_select { block_base; path } ->
+    [ ("base", Json.Int block_base); ("path", Json.Int path) ]
+  | Block_enter { base; icache_hit } ->
+    [ ("base", Json.Int base); ("icache_hit", Json.Bool icache_hit) ]
+  | Retire { pc } -> [ ("pc", Json.Int pc) ]
+  | Violation { kind; address } | Reset { kind; address } ->
+    [ ("kind", Json.Str kind); ("address", Json.Int address) ]
+  | Halt { code } -> [ ("code", Json.Int code) ]
+  | Fuel_exhausted -> []
+  | Custom { name; value } -> [ ("name", Json.Str name); ("value", Json.Int value) ]
+
+let to_json ?seq t =
+  Json.Obj
+    ((match seq with Some n -> [ ("seq", Json.Int n) ] | None -> [])
+    @ (("ev", Json.Str (name t)) :: fields t))
+
+let to_jsonl ?seq t = Json.to_string (to_json ?seq t)
+
+let pp fmt t =
+  match t with
+  | Block_fetch { target; prev_pc } ->
+    Format.fprintf fmt "block-fetch    target=0x%08x prevPC=0x%08x" target prev_pc
+  | Memo_hit { target; prev_pc } ->
+    Format.fprintf fmt "memo-hit       target=0x%08x prevPC=0x%08x" target prev_pc
+  | Memo_miss { target; prev_pc } ->
+    Format.fprintf fmt "memo-miss      target=0x%08x prevPC=0x%08x" target prev_pc
+  | Edge_decrypt { target; prev_pc; words } ->
+    Format.fprintf fmt "edge-decrypt   target=0x%08x prevPC=0x%08x words=%d" target prev_pc words
+  | Mac_verify { block_base; kind; ok } ->
+    Format.fprintf fmt "mac-verify     base=0x%08x kind=%s %s" block_base (mac_kind_name kind)
+      (if ok then "PASS" else "FAIL")
+  | Mux_select { block_base; path } ->
+    Format.fprintf fmt "mux-select     base=0x%08x path=%d" block_base path
+  | Block_enter { base; icache_hit } ->
+    Format.fprintf fmt "block-enter    base=0x%08x icache=%s" base
+      (if icache_hit then "hit" else "miss")
+  | Retire { pc } -> Format.fprintf fmt "retire         pc=0x%08x" pc
+  | Violation { kind; address } ->
+    Format.fprintf fmt "VIOLATION      kind=%s address=0x%08x" kind address
+  | Reset { kind; address } ->
+    Format.fprintf fmt "CPU-RESET      kind=%s address=0x%08x" kind address
+  | Halt { code } -> Format.fprintf fmt "halt           code=%d" code
+  | Fuel_exhausted -> Format.fprintf fmt "fuel-exhausted"
+  | Custom { name; value } -> Format.fprintf fmt "custom         %s=%d" name value

@@ -1,0 +1,50 @@
+(** Structured events of the SOFIA frontend/backend pipeline.
+
+    One event per architecturally meaningful step of the
+    fetch → decrypt → MAC-verify → execute → reset path (paper
+    Figs. 1–6), designed so a trace of a detected attack reads as the
+    pipeline's own story: the fetch of the tampered edge, the failing
+    MAC verification, the violation, and the reset.
+
+    Events carry plain integers (addresses, counts) so this library
+    stays a leaf: the CPU, crypto and transform layers depend on it,
+    never the other way around. Violation kinds are the stable strings
+    produced by [Sofia_cpu.Machine.violation_label]. *)
+
+type mac_kind = Exec_mac | Mux_mac
+
+type t =
+  | Block_fetch of { target : int; prev_pc : int }
+      (** the frontend starts fetching the block entered at [target]
+          along the control-flow edge from [prev_pc] *)
+  | Memo_hit of { target : int; prev_pc : int }
+      (** the simulator's decrypt memo already holds this edge
+          (hardware would re-decrypt; see {!Sofia_cpu.Sofia_runner}) *)
+  | Memo_miss of { target : int; prev_pc : int }
+  | Edge_decrypt of { target : int; prev_pc : int; words : int }
+      (** [words] CTR keystream words were generated for this edge *)
+  | Mac_verify of { block_base : int; kind : mac_kind; ok : bool }
+  | Mux_select of { block_base : int; path : int }
+      (** a multiplexor block entry chose control-flow path 1 or 2 *)
+  | Block_enter of { base : int; icache_hit : bool }
+      (** a verified block starts executing *)
+  | Retire of { pc : int }
+  | Violation of { kind : string; address : int }
+  | Reset of { kind : string; address : int }
+      (** the reset line fired (every [Violation] is followed by one) *)
+  | Halt of { code : int }
+  | Fuel_exhausted
+  | Custom of { name : string; value : int }
+      (** escape hatch for tools layered on top (verifier, bench) *)
+
+val name : t -> string
+(** Stable snake_case tag, also the JSONL ["ev"] field. *)
+
+val to_json : ?seq:int -> t -> Json.t
+
+val to_jsonl : ?seq:int -> t -> string
+(** One JSON object per event, e.g.
+    [{"seq":17,"ev":"mac_verify","base":64,"kind":"exec","ok":false}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable single line (used by [examples/attack_demo]). *)

@@ -1,0 +1,17 @@
+(** Minimal dependency-free JSON builder for the observability sinks
+    (event lines, metrics snapshots, benchmark reports). Emission only
+    — the repo never needs to parse JSON, so there is no reader. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats serialise as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialisation with full string escaping. *)
+
+val output : out_channel -> t -> unit

@@ -1,0 +1,10 @@
+type t = { trace : Trace.t option; metrics : Metrics.t option }
+
+let none = { trace = None; metrics = None }
+
+let create ?trace ?metrics () = { trace; metrics }
+
+let tracing t = match t.trace with Some _ -> true | None -> false
+let live t = match t with { trace = None; metrics = None } -> false | _ -> true
+
+let emit t ev = match t.trace with Some tr -> Trace.emit tr ev | None -> ()

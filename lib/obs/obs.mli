@@ -1,0 +1,27 @@
+(** The observability handle threaded through the simulators.
+
+    A pair of optional sinks. [none] (the default everywhere) is the
+    no-op handle: every hook site reduces to a pattern match on an
+    immediate [None] — no closure, no event construction, no
+    allocation — so instrumentation is free when disabled. Hot paths
+    must guard event {e construction} behind {!tracing}:
+
+    {[
+      if Obs.tracing obs then Obs.emit obs (Event.Retire { pc })
+    ]} *)
+
+type t = { trace : Trace.t option; metrics : Metrics.t option }
+
+val none : t
+(** Both sinks absent; the default for every [?obs] parameter. *)
+
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+
+val tracing : t -> bool
+
+val live : t -> bool
+(** Either sink present. *)
+
+val emit : t -> Event.t -> unit
+(** Emit to the trace sink if present. Call only behind a {!tracing}
+    guard when the event payload would otherwise allocate. *)

@@ -1,0 +1,54 @@
+type t = {
+  buf : Event.t array;
+  capacity : int;
+  mutable next : int;  (* write cursor into [buf] *)
+  mutable total : int;  (* events ever emitted *)
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity Event.Fuel_exhausted; capacity; next = 0; total = 0 }
+
+let capacity t = t.capacity
+
+let emit t ev =
+  t.buf.(t.next) <- ev;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let total t = t.total
+let length t = min t.total t.capacity
+let dropped t = t.total - length t
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0
+
+(* oldest retained event first; [f seq ev] with [seq] the global
+   0-based emission index *)
+let iteri t f =
+  let n = length t in
+  let first_seq = t.total - n in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  for i = 0 to n - 1 do
+    f (first_seq + i) t.buf.((start + i) mod t.capacity)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iteri t (fun _ ev -> acc := ev :: !acc);
+  List.rev !acc
+
+let write_jsonl t oc =
+  iteri t (fun seq ev ->
+    output_string oc (Event.to_jsonl ~seq ev);
+    output_char oc '\n')
+
+let save_jsonl t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write_jsonl t oc)
+
+let pp fmt t =
+  iteri t (fun seq ev -> Format.fprintf fmt "%6d  %a@." seq Event.pp ev)

@@ -1,0 +1,45 @@
+(** Ring-buffered structured event trace.
+
+    A fixed-capacity ring: emission is O(1), never allocates, never
+    grows, so tracing a multi-hundred-million-instruction run retains
+    the {e last} [capacity] events — exactly the window that matters
+    when the question is "what led up to this reset?". The global
+    emission index ([seq] in the JSONL output) survives wrap-around, so
+    a consumer can tell how much history was dropped. *)
+
+type t
+
+val default_capacity : int
+(** 4096 events. *)
+
+val create : ?capacity:int -> unit -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val emit : t -> Event.t -> unit
+
+val total : t -> int
+(** Events ever emitted (including overwritten ones). *)
+
+val length : t -> int
+(** Events currently retained ([min total capacity]). *)
+
+val dropped : t -> int
+(** [total - length]: events lost to wrap-around. *)
+
+val clear : t -> unit
+
+val iteri : t -> (int -> Event.t -> unit) -> unit
+(** Oldest retained first; the [int] is the global emission index. *)
+
+val to_list : t -> Event.t list
+
+val write_jsonl : t -> out_channel -> unit
+(** One JSON object per line, oldest retained first, each carrying its
+    global [seq]. *)
+
+val save_jsonl : t -> path:string -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump, one line per event. *)

@@ -42,9 +42,18 @@ let pp_issue fmt = function
   | Instruction_changed { orig_index; address } ->
     Format.fprintf fmt "source instruction #%d was altered at 0x%08x" orig_index address
 
-let check ~(keys : Keys.t) (image : Image.t) =
+module Obs = Sofia_obs.Obs
+module Event = Sofia_obs.Event
+module Metrics = Sofia_obs.Metrics
+
+let check ?(obs = Obs.none) ~(keys : Keys.t) (image : Image.t) =
   let issues = ref [] in
-  let issue i = issues := i :: !issues in
+  let issue i =
+    (match obs.Obs.metrics with
+     | Some m -> m.Metrics.verify_issues <- m.Metrics.verify_issues + 1
+     | None -> ());
+    issues := i :: !issues
+  in
   (* valid exit addresses of the image, for linkage checking *)
   let exits = Hashtbl.create 64 in
   Array.iter
@@ -53,6 +62,9 @@ let check ~(keys : Keys.t) (image : Image.t) =
   Array.iter
     (fun (b : Image.block) ->
       let base = b.Image.base in
+      (match obs.Obs.metrics with
+       | Some m -> m.Metrics.verify_checks <- m.Metrics.verify_checks + 1
+       | None -> ());
       if (base - image.Image.text_base) mod Block.size_bytes <> 0 then
         issue (Misaligned_block { base });
       let expected_slots = Block.insn_slots b.Image.kind in
@@ -90,6 +102,17 @@ let check ~(keys : Keys.t) (image : Image.t) =
           && b.Image.plain_words.(2) = m2
           && Array.for_all2 ( = ) insn_words (Array.sub b.Image.plain_words 3 5)
       in
+      (match obs.Obs.metrics with
+       | Some m ->
+         m.Metrics.mac_verifies <- m.Metrics.mac_verifies + 1;
+         if not macs_ok then m.Metrics.mac_failures <- m.Metrics.mac_failures + 1
+       | None -> ());
+      if Obs.tracing obs then
+        Obs.emit obs
+          (Event.Mac_verify
+             { block_base = base;
+               kind = (match b.Image.kind with Block.Exec -> Event.Exec_mac | Block.Mux -> Event.Mux_mac);
+               ok = macs_ok });
       if not macs_ok then issue (Mac_words_wrong { base });
       (* ciphertext: re-derive each word's keystream from the declared
          entry edges and the in-block chain *)
@@ -125,9 +148,14 @@ let semantic_shape (insn : Insn.t) =
   | Insn.Alu_i (Or, rd, rs, _) when Sofia_isa.Reg.equal rd rs -> Insn.Alu_i (Or, rd, rs, 0)
   | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Load _ | Insn.Store _ | Insn.Jalr _ | Insn.Halt _ -> insn
 
-let check_against_source ~keys (program : Program.t) (image : Image.t) =
-  let issues = ref (check ~keys image) in
-  let issue i = issues := !issues @ [ i ] in
+let check_against_source ?(obs = Obs.none) ~keys (program : Program.t) (image : Image.t) =
+  let issues = ref (check ~obs ~keys image) in
+  let issue i =
+    (match obs.Obs.metrics with
+     | Some m -> m.Metrics.verify_issues <- m.Metrics.verify_issues + 1
+     | None -> ());
+    issues := !issues @ [ i ]
+  in
   (match Cfg.build program with
    | Error _ -> () (* the transformation would have refused this program *)
    | Ok cfg ->

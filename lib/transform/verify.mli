@@ -36,9 +36,22 @@ type issue =
 
 val pp_issue : Format.formatter -> issue -> unit
 
-val check : keys:Sofia_crypto.Keys.t -> Image.t -> issue list
-(** Structure + cryptography + linkage. *)
+val check : ?obs:Sofia_obs.Obs.t -> keys:Sofia_crypto.Keys.t -> Image.t -> issue list
+(** Structure + cryptography + linkage. [obs] counts blocks checked,
+    re-derived MAC verifications and issues found, and emits a
+    [Mac_verify] event per block — so a release-signing pipeline can
+    expose the verifier's work the same way the simulator exposes the
+    frontend's. *)
 
 val check_against_source :
+  ?obs:Sofia_obs.Obs.t ->
   keys:Sofia_crypto.Keys.t -> Sofia_asm.Program.t -> Image.t -> issue list
 (** Everything in {!check} plus source coverage. *)
+
+val semantic_shape : Sofia_isa.Insn.t -> Sofia_isa.Insn.t
+(** Blank exactly the instruction fields a legitimate transformation
+    may rewrite (branch/jal retarget offsets, [lui]/[or]-self
+    code-pointer rematerialisation immediates), keeping everything that
+    must stay identical. Two instructions are "the same work" iff their
+    shapes are equal — the normalisation the differential tests use to
+    compare retired-instruction streams across the two cores. *)

@@ -1,0 +1,170 @@
+(* PRNG-driven fuzz battery over the representation layers.
+
+   Three round-trip targets — Encoding (insn -> word -> insn and
+   word -> insn -> word), Disasm (word stream -> entries), and the CTR
+   keystream (crypt is an involution; any change to the control-flow
+   edge changes the stream) — each driven by a full-width instruction
+   generator that covers every constructor, every ALU op with an
+   immediate form, every condition and both access widths, with
+   immediates drawn across their entire legal ranges. 10k trials per
+   property keeps the whole battery under a second. *)
+
+module Insn = Sofia.Isa.Insn
+module Reg = Sofia.Isa.Reg
+module Encoding = Sofia.Isa.Encoding
+module Disasm = Sofia.Asm.Disasm
+module Ctr = Sofia.Crypto.Ctr
+module Keys = Sofia.Crypto.Keys
+module Prng = Sofia.Util.Prng
+
+let trials = 10_000
+
+let random_reg rng = Reg.of_int (Prng.int_below rng 32)
+
+let alu_r_ops =
+  [| Insn.Add; Insn.Sub; Insn.And; Insn.Or; Insn.Xor; Insn.Sll; Insn.Srl; Insn.Sra; Insn.Mul;
+     Insn.Div; Insn.Rem; Insn.Slt; Insn.Sltu |]
+
+let conds =
+  [| Insn.Eq; Insn.Ne; Insn.Lt; Insn.Ge; Insn.Ltu; Insn.Geu; Insn.Gt; Insn.Le; Insn.Gtu;
+     Insn.Leu |]
+
+let random_insn rng =
+  let reg () = random_reg rng in
+  let simm16 () = Prng.int_in rng ~lo:(-32768) ~hi:32767 in
+  let uimm16 () = Prng.int_below rng 65536 in
+  let width () = if Prng.bool rng then Insn.W32 else Insn.W8 in
+  match Prng.int_below rng 10 with
+  | 0 ->
+    let op = alu_r_ops.(Prng.int_below rng (Array.length alu_r_ops)) in
+    Insn.Alu_r (op, reg (), reg (), reg ())
+  | 1 ->
+    (* every op with an immediate form, immediate in that op's range *)
+    let op =
+      let ops = Array.to_list alu_r_ops |> List.filter Insn.has_imm_form |> Array.of_list in
+      ops.(Prng.int_below rng (Array.length ops))
+    in
+    let imm =
+      match op with
+      | Insn.Add | Insn.Slt -> simm16 ()
+      | Insn.Sll | Insn.Srl | Insn.Sra -> Prng.int_below rng 32
+      | _ -> uimm16 ()
+    in
+    Insn.Alu_i (op, reg (), reg (), imm)
+  | 2 -> Insn.Lui (reg (), uimm16 ())
+  | 3 -> Insn.Load (width (), reg (), reg (), simm16 ())
+  | 4 -> Insn.Store (width (), reg (), reg (), simm16 ())
+  | 5 ->
+    let c = conds.(Prng.int_below rng (Array.length conds)) in
+    Insn.Branch (c, reg (), reg (), Prng.int_in rng ~lo:(-2048) ~hi:2047)
+  | 6 -> Insn.Jal (reg (), Prng.int_in rng ~lo:(-(1 lsl 20)) ~hi:((1 lsl 20) - 1))
+  | 7 -> Insn.Jalr (reg (), reg (), simm16 ())
+  | 8 -> Insn.Halt (Prng.int_below rng (1 lsl 26))
+  | _ -> Insn.nop
+
+let test_encode_decode_encode () =
+  let rng = Prng.create ~seed:0xF0221L in
+  for i = 1 to trials do
+    let insn = random_insn rng in
+    let word = Encoding.encode insn in
+    match Encoding.decode word with
+    | None -> Alcotest.failf "trial %d: %s encoded to undecodable %08x" i (Insn.to_string insn) word
+    | Some insn' ->
+      if not (Insn.equal insn insn') then
+        Alcotest.failf "trial %d: %s -> %08x -> %s" i (Insn.to_string insn) word
+          (Insn.to_string insn');
+      let word' = Encoding.encode insn' in
+      if word' <> word then
+        Alcotest.failf "trial %d: re-encode %08x <> %08x for %s" i word' word (Insn.to_string insn)
+  done
+
+let test_decode_canonical () =
+  let rng = Prng.create ~seed:0xF0222L in
+  let valid = ref 0 in
+  for i = 1 to trials do
+    let word = Prng.next32 rng in
+    match Encoding.decode word with
+    | None -> ()
+    | Some insn ->
+      incr valid;
+      let word' = Encoding.encode insn in
+      if word' <> word then
+        Alcotest.failf "trial %d: decode %08x = %s, but it re-encodes to %08x" i word
+          (Insn.to_string insn) word'
+  done;
+  (* ~28% of random words decode; far fewer would mean the generator or
+     decoder broke *)
+  Alcotest.(check bool)
+    (Printf.sprintf "plausible valid fraction (%d/%d)" !valid trials)
+    true
+    (!valid > trials / 5 && !valid < trials * 2 / 5)
+
+let test_disasm_roundtrip () =
+  let rng = Prng.create ~seed:0xF0223L in
+  for batch = 1 to 100 do
+    let insns = Array.init 100 (fun _ -> random_insn rng) in
+    let words = Array.map Encoding.encode insns in
+    let base = 4 * Prng.int_below rng 0x1000 in
+    let entries = Disasm.disassemble ~base words in
+    Alcotest.(check int) "entry count" (Array.length words) (List.length entries);
+    List.iteri
+      (fun i (e : Disasm.entry) ->
+        if e.Disasm.address <> base + (4 * i) then
+          Alcotest.failf "batch %d: entry %d address %08x" batch i e.Disasm.address;
+        match e.Disasm.insn with
+        | Some insn when Insn.equal insn insns.(i) -> ()
+        | Some insn ->
+          Alcotest.failf "batch %d: entry %d disassembled %s, wrote %s" batch i
+            (Insn.to_string insn) (Insn.to_string insns.(i))
+        | None -> Alcotest.failf "batch %d: entry %d failed to disassemble" batch i)
+      entries
+  done
+
+let keys = Keys.generate ~seed:0xF0224L
+
+let random_edge rng =
+  (* word-aligned addresses below 2^30, as Ctr.counter requires *)
+  let addr () = 4 * Prng.int_below rng (1 lsl 28) in
+  (Prng.int_below rng 256, addr (), addr ())
+
+let test_ctr_involution () =
+  let rng = Prng.create ~seed:0xF0225L in
+  for i = 1 to trials do
+    let nonce, prev_pc, pc = random_edge rng in
+    let word = Prng.next32 rng in
+    let crypt w = Ctr.crypt_word keys.Keys.k1 ~nonce ~prev_pc ~pc w in
+    let once = crypt word in
+    if crypt once <> word then Alcotest.failf "trial %d: crypt not an involution" i;
+    if Ctr.keystream32 keys.Keys.k1 ~nonce ~prev_pc ~pc <> word lxor once then
+      Alcotest.failf "trial %d: crypt is not XOR with the keystream" i
+  done
+
+(* Flipping any component of the counter (nonce, prevPC, PC) must
+   change the 32-bit keystream. The cipher permutes 64-bit blocks, so
+   distinct counters give distinct 64-bit outputs; truncation to 32
+   bits can collide with probability 2^-32 per pair — a handful of
+   collisions in 3*10k pairs would already mean structural trouble. *)
+let test_ctr_edge_sensitivity () =
+  let rng = Prng.create ~seed:0xF0226L in
+  let collisions = ref 0 in
+  for _ = 1 to trials do
+    let nonce, prev_pc, pc = random_edge rng in
+    let ks = Ctr.keystream32 keys.Keys.k1 ~nonce ~prev_pc ~pc in
+    let prev_pc' = prev_pc lxor (4 lsl Prng.int_below rng 26) in
+    let pc' = pc lxor (4 lsl Prng.int_below rng 26) in
+    let nonce' = nonce lxor (1 lsl Prng.int_below rng 8) in
+    if Ctr.keystream32 keys.Keys.k1 ~nonce ~prev_pc:prev_pc' ~pc = ks then incr collisions;
+    if Ctr.keystream32 keys.Keys.k1 ~nonce ~prev_pc ~pc:pc' = ks then incr collisions;
+    if Ctr.keystream32 keys.Keys.k1 ~nonce:nonce' ~prev_pc ~pc = ks then incr collisions
+  done;
+  if !collisions > 2 then
+    Alcotest.failf "%d keystream collisions under single-component edge changes" !collisions
+
+let suite =
+  [
+    Alcotest.test_case "encode-decode-encode (10k)" `Quick test_encode_decode_encode;
+    Alcotest.test_case "decode canonicality (10k words)" `Quick test_decode_canonical;
+    Alcotest.test_case "disasm round trip (10k insns)" `Quick test_disasm_roundtrip;
+    Alcotest.test_case "ctr involution (10k edges)" `Quick test_ctr_involution;
+    Alcotest.test_case "ctr edge sensitivity (30k pairs)" `Quick test_ctr_edge_sensitivity;
+  ]

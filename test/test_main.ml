@@ -18,4 +18,8 @@ let () =
       ("provision", Provision_tests.suite);
       ("integration", Integration_tests.suite);
       ("properties", Property_tests.suite);
+      ("obs", Obs_tests.suite);
+      ("kat", Kat_tests.suite);
+      ("fuzz", Fuzz_tests.suite);
+      ("differential", Differential_tests.suite);
     ]

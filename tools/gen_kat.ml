@@ -1,0 +1,39 @@
+(* Regenerates test/vectors/rectangle_kat.txt, the pinned RECTANGLE-80
+   known-answer vectors.
+
+     dune exec tools/gen_kat.exe > test/vectors/rectangle_kat.txt
+
+   No official RECTANGLE test vectors ship offline (see
+   lib/crypto/rectangle.mli), so the committed file pins the *current*
+   implementation: the KAT test replays it on every run and any future
+   change to the S-box, ShiftRow, key schedule or packing shows up as a
+   mismatch against history. The first vectors use degenerate keys and
+   blocks (all-zero, all-ones, single bits) where a packing or
+   endianness bug is most visible; the rest are splitmix64-driven. *)
+
+module Rectangle = Sofia.Crypto.Rectangle
+module Prng = Sofia.Util.Prng
+
+let key_hex_of_prng rng = String.init 20 (fun _ -> "0123456789abcdef".[Prng.int_below rng 16])
+
+let () =
+  print_string
+    "# RECTANGLE-80 known-answer vectors (pinned from this implementation).\n\
+     # Regenerate with: dune exec tools/gen_kat.exe > test/vectors/rectangle_kat.txt\n\
+     # Format: <key: 20 hex digits> <plaintext: 16 hex digits> <ciphertext: 16 hex digits>\n";
+  let emit key_hex plain =
+    let key = Rectangle.key_of_hex key_hex in
+    Printf.printf "%s %016Lx %016Lx\n" key_hex plain (Rectangle.encrypt key plain)
+  in
+  (* structured corner cases *)
+  let zero_key = String.make 20 '0' and ones_key = String.make 20 'f' in
+  List.iter (emit zero_key) [ 0L; Int64.minus_one; 1L; Int64.min_int ];
+  List.iter (emit ones_key) [ 0L; Int64.minus_one; 0x0123456789abcdefL ];
+  for bit = 0 to 7 do
+    emit zero_key (Int64.shift_left 1L (bit * 9))
+  done;
+  (* pseudo-random bulk *)
+  let rng = Prng.create ~seed:0x4B47L in
+  for _ = 1 to 49 do
+    emit (key_hex_of_prng rng) (Prng.next64 rng)
+  done
