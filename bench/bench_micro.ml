@@ -1,0 +1,62 @@
+(* The micro-benchmark suite, as a library so both the bench harness
+   (bench/main.ml) and the regression gate (tools/bench_compare.ml)
+   run the *same* measurements. Names are a stable interface: perf
+   baselines (BENCH_*.json) and CI compare by name, so renaming or
+   removing a row invalidates history — add rows instead. *)
+
+module Keys = Sofia.Crypto.Keys
+module Transform = Sofia.Transform.Transform
+module Workload = Sofia.Workloads.Workload
+
+let keys = Keys.generate ~seed:0xBE9C4L
+
+(* [rows ()] runs every micro benchmark for ~0.5 s each and returns
+   [(name, ns_per_run)] sorted by name. *)
+let rows () =
+  let open Bechamel in
+  let open Toolkit in
+  let w = Sofia.Workloads.Adpcm.workload ~samples:256 () in
+  let program = Workload.assemble w in
+  let image = Transform.protect_exn ~keys ~nonce:6 program in
+  let block = 0x0123_4567_89AB_CDEFL in
+  let words = Array.init 6 (fun i -> i * 77) in
+  let tests =
+    Test.make_grouped ~name:"sofia"
+      [
+        Test.make ~name:"rectangle-encrypt"
+          (Staged.stage (fun () -> ignore (Sofia.Crypto.Rectangle.encrypt keys.Keys.k1 block)));
+        Test.make ~name:"rectangle-encrypt-ref"
+          (* the kept straight-from-the-paper oracle, as the speedup denominator *)
+          (let ref_key = Sofia.Crypto.Rectangle_ref.key_of_hex "2026bead5c0ffee00042" in
+           Staged.stage (fun () -> ignore (Sofia.Crypto.Rectangle_ref.encrypt ref_key block)));
+        Test.make ~name:"cbc-mac-6-words"
+          (Staged.stage (fun () -> ignore (Sofia.Crypto.Cbc_mac.mac_words keys.Keys.k2 words)));
+        Test.make ~name:"assemble-adpcm" (Staged.stage (fun () -> ignore (Workload.assemble w)));
+        Test.make ~name:"protect-adpcm"
+          (Staged.stage (fun () -> ignore (Transform.protect_exn ~keys ~nonce:6 program)));
+        Test.make ~name:"protect-adpcm-par"
+          (let domains = min 4 (Sofia.Util.Par.recommended ()) in
+           Staged.stage (fun () -> ignore (Transform.protect_exn ~domains ~keys ~nonce:6 program)));
+        Test.make ~name:"simulate-adpcm-vanilla"
+          (Staged.stage (fun () -> ignore (Sofia.Cpu.Vanilla.run program)));
+        Test.make ~name:"simulate-adpcm-sofia"
+          (Staged.stage (fun () -> ignore (Sofia.Cpu.Sofia_runner.run ~keys image)));
+        Test.make ~name:"simulate-adpcm-sofia-kscache"
+          (let config =
+             { Sofia.Cpu.Run_config.default with Sofia.Cpu.Run_config.ks_cache_slots = Some 1024 }
+           in
+           Staged.stage (fun () -> ignore (Sofia.Cpu.Sofia_runner.run ~config ~keys image)));
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name o ->
+      let est = match Analyze.OLS.estimates o with Some [ t ] -> t | Some _ | None -> nan in
+      rows := (name, est) :: !rows)
+    results;
+  List.sort compare !rows

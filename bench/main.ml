@@ -480,42 +480,7 @@ let x6_toolchain () =
 (* micro: Bechamel microbenchmarks (X4)                                *)
 (* ------------------------------------------------------------------ *)
 
-let micro_rows () =
-  let open Bechamel in
-  let open Toolkit in
-  let w = Adpcm.workload ~samples:256 () in
-  let program = Workload.assemble w in
-  let image = Transform.protect_exn ~keys ~nonce:6 program in
-  let block = 0x0123_4567_89AB_CDEFL in
-  let words = Array.init 6 (fun i -> i * 77) in
-  let tests =
-    Test.make_grouped ~name:"sofia"
-      [
-        Test.make ~name:"rectangle-encrypt"
-          (Staged.stage (fun () -> ignore (Sofia.Crypto.Rectangle.encrypt keys.Keys.k1 block)));
-        Test.make ~name:"cbc-mac-6-words"
-          (Staged.stage (fun () -> ignore (Sofia.Crypto.Cbc_mac.mac_words keys.Keys.k2 words)));
-        Test.make ~name:"assemble-adpcm" (Staged.stage (fun () -> ignore (Workload.assemble w)));
-        Test.make ~name:"protect-adpcm"
-          (Staged.stage (fun () -> ignore (Transform.protect_exn ~keys ~nonce:6 program)));
-        Test.make ~name:"simulate-adpcm-vanilla"
-          (Staged.stage (fun () -> ignore (Sofia.Cpu.Vanilla.run program)));
-        Test.make ~name:"simulate-adpcm-sofia"
-          (Staged.stage (fun () -> ignore (Sofia.Cpu.Sofia_runner.run ~keys image)));
-      ]
-  in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name o ->
-      let est = match Analyze.OLS.estimates o with Some [ t ] -> t | Some _ | None -> nan in
-      rows := (name, est) :: !rows)
-    results;
-  List.sort compare !rows
+let micro_rows () = Sofia_benchlib.Bench_micro.rows ()
 
 let micro () =
   section "micro" "microbenchmarks of the implementation itself (Bechamel)";
@@ -619,15 +584,27 @@ let json_x1_workloads () =
 let json_experiments =
   [ ("micro", json_micro); ("e2-cycles", json_e2_cycles); ("x1-workloads", json_x1_workloads) ]
 
+(* Best-effort commit id for report provenance; "unknown" outside a
+   work tree (e.g. a release tarball). *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    match (Unix.close_process_in ic, rev) with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 let write_json path =
   section "json" (Printf.sprintf "machine-readable benchmark report -> %s" path);
   let experiments = List.map (fun (_, f) -> f ()) json_experiments in
   let report =
     J.Obj
       [
-        ("schema", J.Str "sofia-bench/1");
+        ("schema", J.Str "sofia-bench/2");
         ("version", J.Str Sofia.version);
-        ("created_unix", J.Float (Unix.time ()));
+        ("created_unix", J.Int (int_of_float (Unix.time ())));
+        ("git_rev", J.Str (git_rev ()));
         ("experiments", J.List experiments);
       ]
   in

@@ -68,11 +68,24 @@ let cfg_cmd =
 
 (* ---- protect ---- *)
 
+(* --domains N: fan per-block work over N OCaml domains (0 = one per
+   available core). Output is byte-identical whatever the value. *)
+let domains_arg =
+  let doc =
+    "Fan the per-block work out over $(docv) OCaml domains (0 = one per available core). \
+     The result is byte-identical to the sequential path."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let resolve_domains = function 0 -> Sofia.Util.Par.recommended () | n -> n
+
 let protect_cmd =
-  let run path key_seed nonce verbose output =
+  let run path key_seed nonce verbose output domains =
     let program = or_die (assemble_file path) in
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
-    match Sofia.Transform.Transform.protect ~keys ~nonce program with
+    match
+      Sofia.Transform.Transform.protect ~domains:(resolve_domains domains) ~keys ~nonce program
+    with
     | Error e ->
       Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
       exit 1
@@ -115,20 +128,21 @@ let protect_cmd =
            ~doc:"Write the protected image to a .sfi container.")
   in
   Cmd.v (Cmd.info "protect" ~doc:"Apply the SOFIA transformation and report statistics")
-    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ verbose $ output)
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ verbose $ output $ domains_arg)
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run path key_seed nonce =
+  let run path key_seed nonce domains =
+    let domains = resolve_domains domains in
     let program = or_die (assemble_file path) in
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
-    match Sofia.Transform.Transform.protect ~keys ~nonce program with
+    match Sofia.Transform.Transform.protect ~domains ~keys ~nonce program with
     | Error e ->
       Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
       exit 1
     | Ok image ->
-      (match Sofia.Transform.Verify.check_against_source ~keys program image with
+      (match Sofia.Transform.Verify.check_against_source ~domains ~keys program image with
        | [] -> Format.printf "image verifies: structure, MACs, keystreams, source coverage@."
        | issues ->
          List.iter (fun i -> Format.eprintf "issue: %a@." Sofia.Transform.Verify.pp_issue i) issues;
@@ -137,7 +151,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Protect a program and independently verify the resulting image")
-    Term.(const run $ file_arg $ seed_arg $ nonce_arg)
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ domains_arg)
 
 (* ---- run-image ---- *)
 
@@ -171,7 +185,9 @@ let run_image_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run path sofia key_seed nonce trace_insns trace_file metrics =
+  let run path sofia key_seed nonce trace_insns trace_file metrics ks_cache =
+    if ks_cache < 0 then
+      or_die (Error (Printf.sprintf "--ks-cache must be >= 0 (got %d)" ks_cache));
     let program = or_die (assemble_file path) in
     let traced = ref 0 in
     let on_retire =
@@ -191,7 +207,12 @@ let run_cmd =
       if sofia then begin
         let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
         let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce program in
-        Sofia.Cpu.Sofia_runner.run ?on_retire ~obs ~keys image
+        let config =
+          { Sofia.Cpu.Run_config.default with
+            Sofia.Cpu.Run_config.ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache)
+          }
+        in
+        Sofia.Cpu.Sofia_runner.run ~config ?on_retire ~obs ~keys image
       end
       else Sofia.Cpu.Vanilla.run ?on_retire ~obs program
     in
@@ -228,8 +249,16 @@ let run_cmd =
     Arg.(value & flag & info [ "metrics" ]
            ~doc:"Collect pipeline counters during the run and print them after the result.")
   in
+  let ks_cache =
+    Arg.(value & opt int 0 & info [ "ks-cache" ] ~docv:"SLOTS"
+           ~doc:"With --sofia: enable the frontend's per-edge keystream cache with $(docv) \
+                 slots (rounded up to a power of two; 0 = disabled). Purely a simulation \
+                 speed knob — runs are bit-identical either way; pair with --metrics to \
+                 see hit/miss/eviction counters.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a program on the vanilla or SOFIA processor model")
-    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace_insns $ trace_file $ metrics)
+    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace_insns $ trace_file
+          $ metrics $ ks_cache)
 
 (* ---- compile ---- *)
 

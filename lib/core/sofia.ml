@@ -43,19 +43,21 @@ module Protect = struct
     nonce : int;
   }
 
-  let protect_program ?(key_seed = 0x50F1AL) ?(nonce = 1) program =
+  (* [domains] fans per-block MAC-then-Encrypt over OCaml domains; the
+     image is byte-identical whatever the value (see Sofia_util.Par). *)
+  let protect_program ?(key_seed = 0x50F1AL) ?(nonce = 1) ?domains program =
     let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
     Result.map
       (fun image -> { program; image; keys; nonce })
-      (Sofia_transform.Transform.protect ~keys ~nonce program)
+      (Sofia_transform.Transform.protect ?domains ~keys ~nonce program)
 
   (** Assemble a source string and protect it.
       @raise Sofia_asm.Assembler.Error on assembly errors. *)
-  let protect_source ?key_seed ?nonce source =
-    protect_program ?key_seed ?nonce (Sofia_asm.Assembler.assemble source)
+  let protect_source ?key_seed ?nonce ?domains source =
+    protect_program ?key_seed ?nonce ?domains (Sofia_asm.Assembler.assemble source)
 
-  let protect_source_exn ?key_seed ?nonce source =
-    match protect_source ?key_seed ?nonce source with
+  let protect_source_exn ?key_seed ?nonce ?domains source =
+    match protect_source ?key_seed ?nonce ?domains source with
     | Ok p -> p
     | Error e -> invalid_arg (Format.asprintf "Sofia.Protect: %a" Sofia_transform.Layout.pp_error e)
 end

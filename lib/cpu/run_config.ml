@@ -1,4 +1,10 @@
-type t = { timing : Timing.t; icache : Icache.config; mem_size : int; fuel : int }
+type t = {
+  timing : Timing.t;
+  icache : Icache.config;
+  mem_size : int;
+  fuel : int;
+  ks_cache_slots : int option;
+}
 
 let default =
   {
@@ -6,6 +12,7 @@ let default =
     icache = Icache.default;
     mem_size = 1 lsl 20;
     fuel = 400_000_000;
+    ks_cache_slots = None;
   }
 
 let initial_sp t = (t.mem_size - 16) land lnot 15

@@ -5,11 +5,16 @@ type t = {
   icache : Icache.config;
   mem_size : int;  (** RAM bytes *)
   fuel : int;  (** maximum retired instructions before [Out_of_fuel] *)
+  ks_cache_slots : int option;
+      (** [Some n]: the SOFIA frontend keeps a bounded per-edge
+          keystream cache of [n] slots (see {!Sofia_crypto.Ctr.Cache});
+          [None] (the default) disables it. Purely a performance knob —
+          runs are bit-identical either way. *)
 }
 
 val default : t
 (** LEON3-class timing, 4 KiB I-cache, 1 MiB RAM, 400 M-instruction
-    fuel. *)
+    fuel, keystream cache off. *)
 
 val initial_sp : t -> int
 (** Stack pointer at reset: top of RAM, 16-byte aligned. *)

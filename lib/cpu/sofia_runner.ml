@@ -23,7 +23,7 @@ let classify ~text_base target =
   else if rel >= 0 && rel mod Block.size_bytes = 8 then (Mux_path2, target - 8)
   else (Exec_entry, target)
 
-let fetch_block_observed ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
+let fetch_block_observed ?ks_cache ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc () =
   if target land 3 <> 0 then Fetch_violation (Machine.Misaligned_entry { address = target })
   else begin
     let style, base = classify ~text_base:image.Image.text_base target in
@@ -45,7 +45,8 @@ let fetch_block_observed ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_
       else None
     in
     let keystream ~prev ~pc =
-      Ctr.keystream32 ?probe:ks_probe keys.Keys.k1 ~nonce:image.Image.nonce ~prev_pc:prev ~pc
+      Ctr.keystream32 ?probe:ks_probe ?cache:ks_cache keys.Keys.k1 ~nonce:image.Image.nonce
+        ~prev_pc:prev ~pc
     in
     (* addresses used as counters must stay in range; out-of-range
        (attacker-chosen wild) values are a bus fault, like hardware
@@ -139,7 +140,22 @@ let fetch_block_observed ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_
   end
 
 let fetch_block ~keys ~image ~target ~prev_pc =
-  fetch_block_observed ~obs:Obs.none ~keys ~image ~target ~prev_pc
+  fetch_block_observed ~obs:Obs.none ~keys ~image ~target ~prev_pc ()
+
+(* Decrypt outcomes are memoised per control-flow edge; the key packs
+   (target, prevPC) into one immediate int so the hot lookup neither
+   allocates a tuple nor runs the polymorphic hash. [target] is any
+   32-bit address the machine may redirect to; [prev_pc] is always a
+   structurally valid in-image address (< 2^30) or [Block.reset_prev_pc]
+   (also < 2^30), so 32 + 31 bits pack injectively into an OCaml int. *)
+module Edge_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash k = (k * 0x9E3779B97F4A7C1) lsr 32
+end)
+
+let edge_key ~target ~prev_pc = ((target land 0xFFFF_FFFF) lsl 31) lor (prev_pc land 0x7FFF_FFFF)
 
 let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Obs.none) ?on_finish
     ~(keys : Keys.t) (image : Image.t) =
@@ -159,6 +175,11 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
     | None -> None
   in
   let icache = Icache.create ?probe:icache_probe config.Run_config.icache in
+  let ks_cache =
+    match config.Run_config.ks_cache_slots with
+    | Some slots -> Some (Ctr.Cache.create ~slots ())
+    | None -> None
+  in
   let timing = config.Run_config.timing in
   let cycles = ref 0 in
   let instructions = ref 0 in
@@ -168,7 +189,7 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
   let load_use = ref 0 in
   let pending_load : Reg.t option ref = ref None in
   (* memoised frontend: decryption is deterministic per (target, prevPC) *)
-  let fetch_cache : (int * int, fetch_outcome) Hashtbl.t = Hashtbl.create 1024 in
+  let fetch_cache : fetch_outcome Edge_tbl.t = Edge_tbl.create 1024 in
   let fetch_count = ref 0 in
   let fetch ~target ~prev_pc =
     incr fetch_count;
@@ -185,10 +206,11 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
          let faulted =
            Image.with_tampered_word image ~address ~value:(w lxor (1 lsl (bit mod 32)))
          in
-         fetch_block_observed ~obs ~keys ~image:faulted ~target ~prev_pc
-       | None -> fetch_block_observed ~obs ~keys ~image ~target ~prev_pc)
+         fetch_block_observed ?ks_cache ~obs ~keys ~image:faulted ~target ~prev_pc ()
+       | None -> fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ())
     | Some _ | None ->
-      (match Hashtbl.find_opt fetch_cache (target, prev_pc) with
+      let key = edge_key ~target ~prev_pc in
+      (match Edge_tbl.find_opt fetch_cache key with
        | Some r ->
          (match mx with Some m -> m.Metrics.memo_hits <- m.Metrics.memo_hits + 1 | None -> ());
          if tracing then Obs.emit obs (Event.Memo_hit { target; prev_pc });
@@ -196,8 +218,8 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
        | None ->
          (match mx with Some m -> m.Metrics.memo_misses <- m.Metrics.memo_misses + 1 | None -> ());
          if tracing then Obs.emit obs (Event.Memo_miss { target; prev_pc });
-         let r = fetch_block_observed ~obs ~keys ~image ~target ~prev_pc in
-         Hashtbl.replace fetch_cache (target, prev_pc) r;
+         let r = fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc () in
+         Edge_tbl.replace fetch_cache key r;
          r)
   in
   let finish outcome =
@@ -211,6 +233,12 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
      | Machine.Halted code ->
        if tracing then Obs.emit obs (Event.Halt { code })
      | Machine.Out_of_fuel -> if tracing then Obs.emit obs Event.Fuel_exhausted);
+    (match (ks_cache, mx) with
+     | Some c, Some m ->
+       m.Metrics.ks_cache_hits <- m.Metrics.ks_cache_hits + Ctr.Cache.hits c;
+       m.Metrics.ks_cache_misses <- m.Metrics.ks_cache_misses + Ctr.Cache.misses c;
+       m.Metrics.ks_cache_evictions <- m.Metrics.ks_cache_evictions + Ctr.Cache.evictions c
+     | _ -> ());
     (match on_finish with Some f -> f ~machine ~mem | None -> ());
     {
       Machine.outcome;
@@ -296,7 +324,7 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
             (match on_retire with Some f -> f ~pc ~insn | None -> ());
             bcost := !bcost + Timing.insn_cost timing insn;
             (match !pending_load with
-             | Some rd when List.exists (Reg.equal rd) (Vanilla.reads insn) ->
+             | Some rd when Vanilla.reads_reg insn rd ->
                bcost := !bcost + timing.Timing.load_use_stall;
                incr load_use
              | Some _ | None -> ());

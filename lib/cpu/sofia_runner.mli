@@ -73,13 +73,17 @@ val fetch_block :
     been accepted?" without running the machine). *)
 
 val fetch_block_observed :
+  ?ks_cache:Sofia_crypto.Ctr.Cache.t ->
   obs:Sofia_obs.Obs.t ->
   keys:Sofia_crypto.Keys.t ->
   image:Sofia_transform.Image.t ->
   target:int ->
   prev_pc:int ->
+  unit ->
   fetch_outcome
 (** {!fetch_block} with the observability sinks attached: emits
     edge-decrypt, MAC-verify and multiplexor-path events and bumps the
     decrypt/MAC counters. [fetch_block] is this with
-    {!Sofia_obs.Obs.none}. *)
+    {!Sofia_obs.Obs.none}. [ks_cache] memoises per-edge keystream words
+    across fetches (see {!Sofia_crypto.Ctr.Cache}); runs are
+    bit-identical with or without it. *)

@@ -14,6 +14,18 @@ let reads (insn : Insn.t) =
   | Insn.Branch (_, rs1, rs2, _) -> [ rs1; rs2 ]
   | Insn.Jalr (_, rs1, _) -> [ rs1 ]
 
+(* Non-allocating [List.exists (Reg.equal rd) (reads insn)]: the
+   load-use check runs once per retired instruction on both cores. *)
+let reads_reg (insn : Insn.t) rd =
+  match insn with
+  | Insn.Alu_r (_, _, rs1, rs2) -> Reg.equal rd rs1 || Reg.equal rd rs2
+  | Insn.Alu_i (_, _, rs1, _) -> Reg.equal rd rs1
+  | Insn.Lui _ | Insn.Jal _ | Insn.Halt _ -> false
+  | Insn.Load (_, _, base, _) -> Reg.equal rd base
+  | Insn.Store (_, src, base, _) -> Reg.equal rd src || Reg.equal rd base
+  | Insn.Branch (_, rs1, rs2, _) -> Reg.equal rd rs1 || Reg.equal rd rs2
+  | Insn.Jalr (_, rs1, _) -> Reg.equal rd rs1
+
 let dest (insn : Insn.t) =
   match insn with
   | Insn.Alu_r (_, rd, _, _) | Insn.Alu_i (_, rd, _, _) | Insn.Lui (rd, _)
@@ -113,7 +125,7 @@ let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ?(obs = O
           (match on_retire with Some f -> f ~pc ~insn | None -> ());
           cycles := !cycles + Timing.insn_cost timing insn;
           (match !pending_load with
-           | Some rd when List.exists (Reg.equal rd) (reads insn) ->
+           | Some rd when reads_reg insn rd ->
              cycles := !cycles + timing.Timing.load_use_stall;
              incr load_use
            | Some _ | None -> ());

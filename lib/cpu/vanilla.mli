@@ -9,6 +9,11 @@
 val reads : Sofia_isa.Insn.t -> Sofia_isa.Reg.t list
 (** Source registers (used for load-use stall detection). *)
 
+val reads_reg : Sofia_isa.Insn.t -> Sofia_isa.Reg.t -> bool
+(** [reads_reg insn rd] iff [rd] is a source register of [insn] —
+    allocation-free equivalent of [List.mem rd (reads insn)] for the
+    per-retire load-use check. *)
+
 val dest : Sofia_isa.Insn.t -> Sofia_isa.Reg.t option
 (** Destination register, if any. *)
 

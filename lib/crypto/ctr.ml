@@ -1,21 +1,95 @@
 open Sofia_util
 
+let widx name a =
+  if a < 0 || a mod 4 <> 0 || a / 4 >= 1 lsl 28 then
+    invalid_arg (Printf.sprintf "Ctr.counter: bad %s address 0x%x" name a);
+  a / 4
+
 let counter ~nonce ~prev_pc ~pc =
   if nonce < 0 || nonce > 0xFF then invalid_arg "Ctr.counter: nonce must be 8-bit";
-  let widx name a =
-    if a < 0 || a mod 4 <> 0 || a / 4 >= 1 lsl 28 then
-      invalid_arg (Printf.sprintf "Ctr.counter: bad %s address 0x%x" name a);
-    a / 4
-  in
   let p = widx "prev_pc" prev_pc and c = widx "pc" pc in
   Int64.logor
     (Int64.shift_left (Int64.of_int nonce) 56)
     (Int64.logor (Int64.shift_left (Int64.of_int p) 28) (Int64.of_int c))
 
-let keystream32 ?probe key ~nonce ~prev_pc ~pc =
-  (match probe with Some f -> f () | None -> ());
-  let o = Rectangle.encrypt key (counter ~nonce ~prev_pc ~pc) in
-  Int64.to_int (Int64.logand o 0xFFFF_FFFFL)
+module Cache = struct
+  type t = {
+    (* direct-mapped, hardware-style: one slot per index, overwrite on
+       collision. The 64-bit edge identity {ω ‖ prevPC/4 ‖ PC/4} does
+       not fit one tagged OCaml int, so it is split over two parallel
+       tag arrays; [tag2 = -1] marks an empty slot. *)
+    tag1 : int array;  (* ω(8) ‖ PC/4 (28) *)
+    tag2 : int array;  (* prevPC/4 (28) *)
+    data : int array;  (* cached 32-bit keystream word *)
+    mask : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
 
-let crypt_word ?probe key ~nonce ~prev_pc ~pc w =
-  Word.u32 (w lxor keystream32 ?probe key ~nonce ~prev_pc ~pc)
+  let create ?(slots = 1024) () =
+    if slots <= 0 then invalid_arg "Ctr.Cache.create: slots must be positive";
+    let n = ref 1 in
+    while !n < slots do
+      n := !n * 2
+    done;
+    let n = !n in
+    {
+      tag1 = Array.make n 0;
+      tag2 = Array.make n (-1);
+      data = Array.make n 0;
+      mask = n - 1;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let slots t = Array.length t.data
+  let hits t = t.hits
+  let misses t = t.misses
+  let evictions t = t.evictions
+
+  let reset t =
+    Array.fill t.tag1 0 (Array.length t.tag1) 0;
+    Array.fill t.tag2 0 (Array.length t.tag2) (-1);
+    Array.fill t.data 0 (Array.length t.data) 0;
+    t.hits <- 0;
+    t.misses <- 0;
+    t.evictions <- 0
+
+  let[@inline] index t tag1 tag2 = ((tag1 * 0x9E3779B1) lxor (tag2 * 0x85EBCA77)) land t.mask
+end
+
+let[@inline] generate ?probe key ctr =
+  (match probe with Some f -> f () | None -> ());
+  Int64.to_int (Int64.logand (Rectangle.encrypt key ctr) 0xFFFF_FFFFL)
+
+let keystream32 ?probe ?cache key ~nonce ~prev_pc ~pc =
+  match cache with
+  | None -> generate ?probe key (counter ~nonce ~prev_pc ~pc)
+  | Some c ->
+    if nonce < 0 || nonce > 0xFF then invalid_arg "Ctr.counter: nonce must be 8-bit";
+    let p = widx "prev_pc" prev_pc and w = widx "pc" pc in
+    let tag1 = (nonce lsl 28) lor w and tag2 = p in
+    let i = Cache.index c tag1 tag2 in
+    if c.Cache.tag1.(i) = tag1 && c.Cache.tag2.(i) = tag2 then begin
+      c.Cache.hits <- c.Cache.hits + 1;
+      c.Cache.data.(i)
+    end
+    else begin
+      c.Cache.misses <- c.Cache.misses + 1;
+      if c.Cache.tag2.(i) >= 0 then c.Cache.evictions <- c.Cache.evictions + 1;
+      let ks =
+        generate ?probe key
+          (Int64.logor
+             (Int64.shift_left (Int64.of_int nonce) 56)
+             (Int64.logor (Int64.shift_left (Int64.of_int p) 28) (Int64.of_int w)))
+      in
+      c.Cache.tag1.(i) <- tag1;
+      c.Cache.tag2.(i) <- tag2;
+      c.Cache.data.(i) <- ks;
+      ks
+    end
+
+let crypt_word ?probe ?cache key ~nonce ~prev_pc ~pc w =
+  Word.u32 (w lxor keystream32 ?probe ?cache key ~nonce ~prev_pc ~pc)

@@ -9,30 +9,51 @@ let sbox_inv =
   Array.iteri (fun i s -> inv.(s) <- i) sbox;
   inv
 
-(* Apply a 4-bit S-box to the 16 columns of a 4-row state, row 0
-   holding the least-significant bit of each column nibble. *)
-let apply_sbox_columns table st =
-  let r0 = ref 0 and r1 = ref 0 and r2 = ref 0 and r3 = ref 0 in
-  for j = 0 to 15 do
-    let nib =
-      ((st.(0) lsr j) land 1)
-      lor (((st.(1) lsr j) land 1) lsl 1)
-      lor (((st.(2) lsr j) land 1) lsl 2)
-      lor (((st.(3) lsr j) land 1) lsl 3)
-    in
-    let s = table.(nib) in
-    r0 := !r0 lor ((s land 1) lsl j);
-    r1 := !r1 lor (((s lsr 1) land 1) lsl j);
-    r2 := !r2 lor (((s lsr 2) land 1) lsl j);
-    r3 := !r3 lor (((s lsr 3) land 1) lsl j)
-  done;
-  st.(0) <- !r0;
-  st.(1) <- !r1;
-  st.(2) <- !r2;
-  st.(3) <- !r3
+(* --------------------------------------------------------------- *)
+(* Bitsliced S-layer                                                *)
+(* --------------------------------------------------------------- *)
 
-let sub_column st = apply_sbox_columns sbox st
-let inv_sub_column st = apply_sbox_columns sbox_inv st
+(* The S-box applied to all 16 columns at once as boolean operations
+   on the four 16-bit rows — the 12-instruction circuit from the
+   RECTANGLE paper (ePrint 2014/084, §"bit-slice implementation").
+   Inputs a0..a3 are rows 0..3 (row 0 = least-significant bit of each
+   column nibble); outputs likewise. The circuit is pinned against the
+   table both by the KAT replay and by the structural test that checks
+   it against [sbox] on all 16 single-column values. *)
+let[@inline] sub_bits a0 a1 a2 a3 =
+  let t1 = a1 lxor 0xFFFF in
+  let t2 = a0 land t1 in
+  let t3 = a2 lxor a3 in
+  let b0 = t2 lxor t3 in
+  let t5 = a3 lor t1 in
+  let t6 = a0 lxor t5 in
+  let b1 = a2 lxor t6 in
+  let t8 = a1 lxor a2 in
+  let b3 = t8 lxor (t3 land t6) in
+  let b2 = t6 lxor (b0 lor t8) in
+  (b0, b1, b2, b3)
+
+(* Inverse S-box as its algebraic normal form (Möbius transform of
+   [sbox_inv]); only the decrypt direction uses it, which is off the
+   hot path (the SOFIA pipeline and the MAC only ever encrypt). *)
+let[@inline] inv_sub_bits a0 a1 a2 a3 =
+  let a01 = a0 land a1 and a02 = a0 land a2 and a03 = a0 land a3 in
+  let a12 = a1 land a2 and a13 = a1 land a3 and a23 = a2 land a3 in
+  let b0 = 0xFFFF lxor a0 lxor a2 lxor (a01 land a2) lxor a3 lxor a13 lxor a23 in
+  let b1 = a1 lxor a2 lxor a02 lxor a03 in
+  let b2 = a0 lxor a1 lxor a2 lxor a3 lxor a03 in
+  let b3 = 0xFFFF lxor a0 lxor a01 lxor a12 lxor a13 lxor (a01 land a3) lxor a23 in
+  (b0, b1, b2, b3)
+
+let apply_bits f st =
+  let r0, r1, r2, r3 = f st.(0) st.(1) st.(2) st.(3) in
+  st.(0) <- r0;
+  st.(1) <- r1;
+  st.(2) <- r2;
+  st.(3) <- r3
+
+let sub_column st = apply_bits sub_bits st
+let inv_sub_column st = apply_bits inv_sub_bits st
 
 let shift_row st =
   st.(1) <- Word.rotl16 st.(1) 1;
@@ -71,7 +92,12 @@ let round_constants =
   done;
   rc
 
-type key = { subkeys : int64 array }
+type key = {
+  subkeys : int64 array;
+  (* the same 26 subkeys pre-split into rows, flat: rk.(4*r + i) is
+     row i of subkey r — so the round loop never unpacks an int64 *)
+  rk : int array;
+}
 
 (* 80-bit key schedule over a 5x16 key state. *)
 let expand rows5 =
@@ -80,28 +106,13 @@ let expand rows5 =
   let extract () = block_of_rows [| v.(0); v.(1); v.(2); v.(3) |] in
   for r = 0 to rounds - 1 do
     subkeys.(r) <- extract ();
-    (* S-box on the 4 low columns of the 4 low rows. *)
-    let low = [| v.(0) land 0xF; v.(1) land 0xF; v.(2) land 0xF; v.(3) land 0xF |] in
-    let st = [| low.(0); low.(1); low.(2); low.(3) |] in
-    (* reuse the column S-box on a 4-column slice *)
-    let r0 = ref 0 and r1 = ref 0 and r2 = ref 0 and r3 = ref 0 in
-    for j = 0 to 3 do
-      let nib =
-        ((st.(0) lsr j) land 1)
-        lor (((st.(1) lsr j) land 1) lsl 1)
-        lor (((st.(2) lsr j) land 1) lsl 2)
-        lor (((st.(3) lsr j) land 1) lsl 3)
-      in
-      let s = sbox.(nib) in
-      r0 := !r0 lor ((s land 1) lsl j);
-      r1 := !r1 lor (((s lsr 1) land 1) lsl j);
-      r2 := !r2 lor (((s lsr 2) land 1) lsl j);
-      r3 := !r3 lor (((s lsr 3) land 1) lsl j)
-    done;
-    v.(0) <- (v.(0) land 0xFFF0) lor !r0;
-    v.(1) <- (v.(1) land 0xFFF0) lor !r1;
-    v.(2) <- (v.(2) land 0xFFF0) lor !r2;
-    v.(3) <- (v.(3) land 0xFFF0) lor !r3;
+    (* S-box on the 4 low columns of the 4 low rows: the bitsliced
+       circuit on the low nibbles, high 12 bits kept *)
+    let s0, s1, s2, s3 = sub_bits (v.(0) land 0xF) (v.(1) land 0xF) (v.(2) land 0xF) (v.(3) land 0xF) in
+    v.(0) <- (v.(0) land 0xFFF0) lor (s0 land 0xF);
+    v.(1) <- (v.(1) land 0xFFF0) lor (s1 land 0xF);
+    v.(2) <- (v.(2) land 0xFFF0) lor (s2 land 0xF);
+    v.(3) <- (v.(3) land 0xFFF0) lor (s3 land 0xF);
     (* Generalized Feistel row mix. *)
     let v0 = v.(0) and v1 = v.(1) and v2 = v.(2) and v3 = v.(3) and v4 = v.(4) in
     v.(0) <- Word.rotl16 v0 8 lxor v1;
@@ -113,7 +124,16 @@ let expand rows5 =
     v.(0) <- v.(0) lxor round_constants.(r)
   done;
   subkeys.(rounds) <- extract ();
-  { subkeys }
+  let rk = Array.make (4 * (rounds + 1)) 0 in
+  Array.iteri
+    (fun r sk ->
+      let rows = rows_of_block sk in
+      rk.(4 * r) <- rows.(0);
+      rk.((4 * r) + 1) <- rows.(1);
+      rk.((4 * r) + 2) <- rows.(2);
+      rk.((4 * r) + 3) <- rows.(3))
+    subkeys;
+  { subkeys; rk }
 
 let key_of_rows rows =
   if Array.length rows <> 5 then invalid_arg "Rectangle.key_of_rows: need 5 rows";
@@ -153,39 +173,62 @@ let key_fingerprint k =
 
 let subkeys k = Array.copy k.subkeys
 
+(* The round loop works on four 16-bit rows held in locals; the only
+   allocation per call is the boxed int64 result. *)
 let encrypt k block =
-  let st = rows_of_block block in
-  let add_key r =
-    let kr = rows_of_block k.subkeys.(r) in
-    st.(0) <- st.(0) lxor kr.(0);
-    st.(1) <- st.(1) lxor kr.(1);
-    st.(2) <- st.(2) lxor kr.(2);
-    st.(3) <- st.(3) lxor kr.(3)
-  in
+  let rk = k.rk in
+  let b = Int64.to_int (Int64.logand block 0xFFFF_FFFF_FFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical block 48) in
+  let r0 = ref (b land 0xFFFF)
+  and r1 = ref ((b lsr 16) land 0xFFFF)
+  and r2 = ref ((b lsr 32) land 0xFFFF)
+  and r3 = ref hi in
   for r = 0 to rounds - 1 do
-    add_key r;
-    sub_column st;
-    shift_row st
+    let i = 4 * r in
+    let a0 = !r0 lxor rk.(i)
+    and a1 = !r1 lxor rk.(i + 1)
+    and a2 = !r2 lxor rk.(i + 2)
+    and a3 = !r3 lxor rk.(i + 3) in
+    let b0, b1, b2, b3 = sub_bits a0 a1 a2 a3 in
+    r0 := b0 land 0xFFFF;
+    r1 := ((b1 lsl 1) lor (b1 lsr 15)) land 0xFFFF;
+    r2 := ((b2 lsl 12) lor (b2 lsr 4)) land 0xFFFF;
+    r3 := ((b3 lsl 13) lor (b3 lsr 3)) land 0xFFFF
   done;
-  add_key rounds;
-  block_of_rows st
+  let i = 4 * rounds in
+  let f0 = !r0 lxor rk.(i)
+  and f1 = !r1 lxor rk.(i + 1)
+  and f2 = !r2 lxor rk.(i + 2)
+  and f3 = !r3 lxor rk.(i + 3) in
+  Int64.logor
+    (Int64.of_int (f0 lor (f1 lsl 16) lor (f2 lsl 32)))
+    (Int64.shift_left (Int64.of_int f3) 48)
 
 let decrypt k block =
-  let st = rows_of_block block in
-  let add_key r =
-    let kr = rows_of_block k.subkeys.(r) in
-    st.(0) <- st.(0) lxor kr.(0);
-    st.(1) <- st.(1) lxor kr.(1);
-    st.(2) <- st.(2) lxor kr.(2);
-    st.(3) <- st.(3) lxor kr.(3)
-  in
-  add_key rounds;
+  let rk = k.rk in
+  let b = Int64.to_int (Int64.logand block 0xFFFF_FFFF_FFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical block 48) in
+  let i = 4 * rounds in
+  let r0 = ref ((b land 0xFFFF) lxor rk.(i))
+  and r1 = ref (((b lsr 16) land 0xFFFF) lxor rk.(i + 1))
+  and r2 = ref (((b lsr 32) land 0xFFFF) lxor rk.(i + 2))
+  and r3 = ref (hi lxor rk.(i + 3)) in
   for r = rounds - 1 downto 0 do
-    inv_shift_row st;
-    inv_sub_column st;
-    add_key r
+    (* inverse ShiftRow: rotations by 0, 15, 4, 3 *)
+    let a0 = !r0
+    and a1 = ((!r1 lsr 1) lor (!r1 lsl 15)) land 0xFFFF
+    and a2 = ((!r2 lsr 12) lor (!r2 lsl 4)) land 0xFFFF
+    and a3 = ((!r3 lsr 13) lor (!r3 lsl 3)) land 0xFFFF in
+    let b0, b1, b2, b3 = inv_sub_bits a0 a1 a2 a3 in
+    let i = 4 * r in
+    r0 := (b0 land 0xFFFF) lxor rk.(i);
+    r1 := (b1 land 0xFFFF) lxor rk.(i + 1);
+    r2 := (b2 land 0xFFFF) lxor rk.(i + 2);
+    r3 := (b3 land 0xFFFF) lxor rk.(i + 3)
   done;
-  block_of_rows st
+  Int64.logor
+    (Int64.of_int (!r0 lor (!r1 lsl 16) lor (!r2 lsl 32)))
+    (Int64.shift_left (Int64.of_int !r3) 48)
 
 module Internal = struct
   let sbox = sbox

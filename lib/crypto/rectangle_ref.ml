@@ -1,0 +1,200 @@
+open Sofia_util
+
+let rounds = 25
+
+let sbox = [| 0x6; 0x5; 0xC; 0xA; 0x1; 0xE; 0x7; 0x9; 0xB; 0x0; 0x3; 0xD; 0x8; 0xF; 0x4; 0x2 |]
+
+let sbox_inv =
+  let inv = Array.make 16 0 in
+  Array.iteri (fun i s -> inv.(s) <- i) sbox;
+  inv
+
+(* Apply a 4-bit S-box to the 16 columns of a 4-row state, row 0
+   holding the least-significant bit of each column nibble. *)
+let apply_sbox_columns table st =
+  let r0 = ref 0 and r1 = ref 0 and r2 = ref 0 and r3 = ref 0 in
+  for j = 0 to 15 do
+    let nib =
+      ((st.(0) lsr j) land 1)
+      lor (((st.(1) lsr j) land 1) lsl 1)
+      lor (((st.(2) lsr j) land 1) lsl 2)
+      lor (((st.(3) lsr j) land 1) lsl 3)
+    in
+    let s = table.(nib) in
+    r0 := !r0 lor ((s land 1) lsl j);
+    r1 := !r1 lor (((s lsr 1) land 1) lsl j);
+    r2 := !r2 lor (((s lsr 2) land 1) lsl j);
+    r3 := !r3 lor (((s lsr 3) land 1) lsl j)
+  done;
+  st.(0) <- !r0;
+  st.(1) <- !r1;
+  st.(2) <- !r2;
+  st.(3) <- !r3
+
+let sub_column st = apply_sbox_columns sbox st
+let inv_sub_column st = apply_sbox_columns sbox_inv st
+
+let shift_row st =
+  st.(1) <- Word.rotl16 st.(1) 1;
+  st.(2) <- Word.rotl16 st.(2) 12;
+  st.(3) <- Word.rotl16 st.(3) 13
+
+let inv_shift_row st =
+  st.(1) <- Word.rotl16 st.(1) 15;
+  st.(2) <- Word.rotl16 st.(2) 4;
+  st.(3) <- Word.rotl16 st.(3) 3
+
+let rows_of_block b =
+  [| Int64.to_int (Int64.logand b 0xFFFFL);
+     Int64.to_int (Int64.logand (Int64.shift_right_logical b 16) 0xFFFFL);
+     Int64.to_int (Int64.logand (Int64.shift_right_logical b 32) 0xFFFFL);
+     Int64.to_int (Int64.logand (Int64.shift_right_logical b 48) 0xFFFFL) |]
+
+let block_of_rows st =
+  Int64.logor
+    (Int64.of_int st.(0))
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int st.(1)) 16)
+       (Int64.logor
+          (Int64.shift_left (Int64.of_int st.(2)) 32)
+          (Int64.shift_left (Int64.of_int st.(3)) 48)))
+
+(* 5-bit LFSR round constants: RC[0] = 0b00001; shift left, feedback
+   bit = rc4 xor rc2. *)
+let round_constants =
+  let rc = Array.make rounds 0 in
+  let state = ref 1 in
+  for i = 0 to rounds - 1 do
+    rc.(i) <- !state;
+    let fb = ((!state lsr 4) lxor (!state lsr 2)) land 1 in
+    state := ((!state lsl 1) lor fb) land 0x1F
+  done;
+  rc
+
+type key = { subkeys : int64 array }
+
+(* 80-bit key schedule over a 5x16 key state. *)
+let expand rows5 =
+  let v = Array.copy rows5 in
+  let subkeys = Array.make (rounds + 1) 0L in
+  let extract () = block_of_rows [| v.(0); v.(1); v.(2); v.(3) |] in
+  for r = 0 to rounds - 1 do
+    subkeys.(r) <- extract ();
+    (* S-box on the 4 low columns of the 4 low rows. *)
+    let low = [| v.(0) land 0xF; v.(1) land 0xF; v.(2) land 0xF; v.(3) land 0xF |] in
+    let st = [| low.(0); low.(1); low.(2); low.(3) |] in
+    (* reuse the column S-box on a 4-column slice *)
+    let r0 = ref 0 and r1 = ref 0 and r2 = ref 0 and r3 = ref 0 in
+    for j = 0 to 3 do
+      let nib =
+        ((st.(0) lsr j) land 1)
+        lor (((st.(1) lsr j) land 1) lsl 1)
+        lor (((st.(2) lsr j) land 1) lsl 2)
+        lor (((st.(3) lsr j) land 1) lsl 3)
+      in
+      let s = sbox.(nib) in
+      r0 := !r0 lor ((s land 1) lsl j);
+      r1 := !r1 lor (((s lsr 1) land 1) lsl j);
+      r2 := !r2 lor (((s lsr 2) land 1) lsl j);
+      r3 := !r3 lor (((s lsr 3) land 1) lsl j)
+    done;
+    v.(0) <- (v.(0) land 0xFFF0) lor !r0;
+    v.(1) <- (v.(1) land 0xFFF0) lor !r1;
+    v.(2) <- (v.(2) land 0xFFF0) lor !r2;
+    v.(3) <- (v.(3) land 0xFFF0) lor !r3;
+    (* Generalized Feistel row mix. *)
+    let v0 = v.(0) and v1 = v.(1) and v2 = v.(2) and v3 = v.(3) and v4 = v.(4) in
+    v.(0) <- Word.rotl16 v0 8 lxor v1;
+    v.(1) <- v2;
+    v.(2) <- v3;
+    v.(3) <- Word.rotl16 v3 12 lxor v4;
+    v.(4) <- v0;
+    (* Round constant into the low 5 bits of row 0. *)
+    v.(0) <- v.(0) lxor round_constants.(r)
+  done;
+  subkeys.(rounds) <- extract ();
+  { subkeys }
+
+let key_of_rows rows =
+  if Array.length rows <> 5 then invalid_arg "Rectangle_ref.key_of_rows: need 5 rows";
+  Array.iter
+    (fun r -> if r < 0 || r > 0xFFFF then invalid_arg "Rectangle_ref.key_of_rows: row out of range")
+    rows;
+  expand rows
+
+let key_of_bytes b =
+  if Bytes.length b <> 10 then invalid_arg "Rectangle_ref.key_of_bytes: need 10 bytes";
+  (* big-endian: byte 0 is the most-significant byte of row 4 *)
+  let row i =
+    (* row 0 = least-significant 16 bits = last two bytes *)
+    let hi = Bytes.get_uint8 b (8 - (2 * i)) in
+    let lo = Bytes.get_uint8 b (9 - (2 * i)) in
+    (hi lsl 8) lor lo
+  in
+  key_of_rows [| row 0; row 1; row 2; row 3; row 4 |]
+
+let key_of_hex s =
+  if String.length s <> 20 then invalid_arg "Rectangle_ref.key_of_hex: need 20 hex digits";
+  let b = Bytes.create 10 in
+  for i = 0 to 9 do
+    let byte = int_of_string ("0x" ^ String.sub s (2 * i) 2) in
+    Bytes.set_uint8 b i byte
+  done;
+  key_of_bytes b
+
+let random_key rng =
+  key_of_rows (Array.init 5 (fun _ -> Prng.next32 rng land 0xFFFF))
+
+let key_fingerprint k =
+  (* hash of the first and last subkeys; stable and key-dependent but
+     does not reveal the schedule *)
+  let mix = Int64.logxor k.subkeys.(0) (Int64.mul k.subkeys.(rounds) 0x9E3779B97F4A7C15L) in
+  Printf.sprintf "%08Lx" (Int64.logand mix 0xFFFF_FFFFL)
+
+let subkeys k = Array.copy k.subkeys
+
+let encrypt k block =
+  let st = rows_of_block block in
+  let add_key r =
+    let kr = rows_of_block k.subkeys.(r) in
+    st.(0) <- st.(0) lxor kr.(0);
+    st.(1) <- st.(1) lxor kr.(1);
+    st.(2) <- st.(2) lxor kr.(2);
+    st.(3) <- st.(3) lxor kr.(3)
+  in
+  for r = 0 to rounds - 1 do
+    add_key r;
+    sub_column st;
+    shift_row st
+  done;
+  add_key rounds;
+  block_of_rows st
+
+let decrypt k block =
+  let st = rows_of_block block in
+  let add_key r =
+    let kr = rows_of_block k.subkeys.(r) in
+    st.(0) <- st.(0) lxor kr.(0);
+    st.(1) <- st.(1) lxor kr.(1);
+    st.(2) <- st.(2) lxor kr.(2);
+    st.(3) <- st.(3) lxor kr.(3)
+  in
+  add_key rounds;
+  for r = rounds - 1 downto 0 do
+    inv_shift_row st;
+    inv_sub_column st;
+    add_key r
+  done;
+  block_of_rows st
+
+module Internal = struct
+  let sbox = sbox
+  let sbox_inv = sbox_inv
+  let sub_column = sub_column
+  let inv_sub_column = inv_sub_column
+  let shift_row = shift_row
+  let inv_shift_row = inv_shift_row
+  let rows_of_block = rows_of_block
+  let block_of_rows = block_of_rows
+  let round_constants = round_constants
+end

@@ -1,0 +1,55 @@
+(** Reference RECTANGLE-80: the original straight-line, column-by-column
+    implementation, kept verbatim as the differential-testing oracle for
+    the optimised {!Rectangle}.
+
+    This module is intentionally boring: it applies the 4-bit S-box one
+    column at a time and re-unpacks every subkey per round, exactly as
+    the cipher is specified on paper. The fast implementation must agree
+    with it on every (key, block) pair — see the differential battery in
+    [test/rectangle_diff_tests.ml] — so any optimisation bug shows up as
+    a divergence from this module, not as a silent behaviour change. *)
+
+type key
+(** An expanded 80-bit key (subkeys precomputed). *)
+
+val rounds : int
+(** 25. *)
+
+val key_of_rows : int array -> key
+(** [key_of_rows rows] expands a key given as 5 16-bit rows
+    (row 0 = least significant).
+    @raise Invalid_argument on wrong length or out-of-range rows. *)
+
+val key_of_hex : string -> key
+(** 20 hex digits, most-significant first.
+    @raise Invalid_argument on malformed input. *)
+
+val key_of_bytes : bytes -> key
+(** 10 bytes, big-endian. *)
+
+val random_key : Sofia_util.Prng.t -> key
+
+val key_fingerprint : key -> string
+(** Short stable identifier (for logs/tests); not the key material. *)
+
+val encrypt : key -> int64 -> int64
+val decrypt : key -> int64 -> int64
+
+val subkeys : key -> int64 array
+(** The 26 round subkeys (exposed for unit tests of the schedule). *)
+
+(** Internals exposed for white-box testing. *)
+module Internal : sig
+  val sbox : int array
+  val sbox_inv : int array
+  val sub_column : int array -> unit
+  (** In-place on a 4-row state. *)
+
+  val inv_sub_column : int array -> unit
+  val shift_row : int array -> unit
+  val inv_shift_row : int array -> unit
+  val rows_of_block : int64 -> int array
+  val block_of_rows : int array -> int64
+  val round_constants : int array
+  (** RC[0..24]. *)
+end

@@ -1,6 +1,7 @@
-(** Minimal dependency-free JSON builder for the observability sinks
-    (event lines, metrics snapshots, benchmark reports). Emission only
-    — the repo never needs to parse JSON, so there is no reader. *)
+(** Minimal dependency-free JSON builder/reader for the observability
+    sinks (event lines, metrics snapshots, benchmark reports) and the
+    tools that consume them (e.g. [tools/bench_compare], which diffs a
+    fresh bench report against the committed baseline). *)
 
 type t =
   | Null
@@ -15,3 +16,17 @@ val to_string : t -> string
 (** Compact (single-line) serialisation with full string escaping. *)
 
 val output : out_channel -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one complete JSON value (the subset {!to_string} emits; any
+    standard JSON number/string also parses — integral numbers that fit
+    an [int] load as [Int], everything else as [Float]).
+    @raise Parse_error on malformed input or trailing characters. *)
+
+val parse_opt : string -> t option
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the value bound to [key], if any;
+    [None] on non-objects. *)

@@ -61,6 +61,9 @@ type t = {
   mutable resets : int;
   mutable icache_hits : int;
   mutable icache_misses : int;
+  mutable ks_cache_hits : int;
+  mutable ks_cache_misses : int;
+  mutable ks_cache_evictions : int;
   mutable verify_checks : int;
   mutable verify_issues : int;
   block_cycles : histogram;
@@ -82,6 +85,9 @@ let create () =
     resets = 0;
     icache_hits = 0;
     icache_misses = 0;
+    ks_cache_hits = 0;
+    ks_cache_misses = 0;
+    ks_cache_evictions = 0;
     verify_checks = 0;
     verify_issues = 0;
     block_cycles = hist_create ();
@@ -102,6 +108,9 @@ let reset t =
   t.resets <- 0;
   t.icache_hits <- 0;
   t.icache_misses <- 0;
+  t.ks_cache_hits <- 0;
+  t.ks_cache_misses <- 0;
+  t.ks_cache_evictions <- 0;
   t.verify_checks <- 0;
   t.verify_issues <- 0;
   hist_reset t.block_cycles
@@ -122,6 +131,9 @@ let counters t =
     ("resets", t.resets);
     ("icache_hits", t.icache_hits);
     ("icache_misses", t.icache_misses);
+    ("ks_cache_hits", t.ks_cache_hits);
+    ("ks_cache_misses", t.ks_cache_misses);
+    ("ks_cache_evictions", t.ks_cache_evictions);
     ("verify_checks", t.verify_checks);
     ("verify_issues", t.verify_issues);
   ]

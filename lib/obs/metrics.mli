@@ -38,6 +38,9 @@ type t = {
   mutable resets : int;
   mutable icache_hits : int;
   mutable icache_misses : int;
+  mutable ks_cache_hits : int;  (** per-edge keystream cache (when enabled) *)
+  mutable ks_cache_misses : int;
+  mutable ks_cache_evictions : int;
   mutable verify_checks : int;  (** offline image-verifier block checks *)
   mutable verify_issues : int;
   block_cycles : histogram;  (** cycle cost per executed block visit *)

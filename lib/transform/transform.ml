@@ -44,8 +44,13 @@ let encrypt_block ~(keys : Keys.t) ~nonce (b : Layout.block) : Image.block =
     orig_indices = b.Layout.orig_indices;
   }
 
-let encrypt_layout ~keys ~nonce (l : Layout.t) : Image.t =
-  let blocks = Array.map (encrypt_block ~keys ~nonce) l.Layout.blocks in
+let encrypt_layout ?(domains = 1) ~keys ~nonce (l : Layout.t) : Image.t =
+  (* per-block signing/encryption is embarrassingly parallel: every
+     block's MAC and keystream depend only on the (immutable) keys,
+     nonce and that block's own layout, and Par.map preserves index
+     order — so the parallel image is bit-identical to the sequential
+     one *)
+  let blocks = Sofia_util.Par.map ~domains (encrypt_block ~keys ~nonce) l.Layout.blocks in
   let cipher =
     Array.concat (Array.to_list (Array.map (fun b -> b.Image.cipher_words) blocks))
   in
@@ -61,12 +66,12 @@ let encrypt_layout ~keys ~nonce (l : Layout.t) : Image.t =
     stats = l.Layout.stats;
   }
 
-let protect ~keys ~nonce program =
+let protect ?domains ~keys ~nonce program =
   if nonce < 0 || nonce > 0xFF then invalid_arg "Transform.protect: nonce must be 8-bit";
-  Result.map (encrypt_layout ~keys ~nonce) (Layout.layout program)
+  Result.map (encrypt_layout ?domains ~keys ~nonce) (Layout.layout program)
 
-let protect_exn ~keys ~nonce program =
-  match protect ~keys ~nonce program with
+let protect_exn ?domains ~keys ~nonce program =
+  match protect ?domains ~keys ~nonce program with
   | Ok image -> image
   | Error e -> invalid_arg (Format.asprintf "Transform.protect: %a" Layout.pp_error e)
 

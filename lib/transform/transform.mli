@@ -15,18 +15,25 @@
       (Fig. 8). *)
 
 val protect :
+  ?domains:int ->
   keys:Sofia_crypto.Keys.t ->
   nonce:int ->
   Sofia_asm.Program.t ->
   (Image.t, Layout.error) result
 (** Transform and encrypt an assembled program. [nonce] is ω, the
-    8-bit program-version nonce stored with the binary. *)
+    8-bit program-version nonce stored with the binary.
+
+    [domains] (default 1) fans the per-block MAC-then-Encrypt work out
+    over that many OCaml domains; block signing is independent per
+    block, so the produced image is byte-identical to the sequential
+    one (see the determinism battery in [test/parallel_tests.ml]). *)
 
 val protect_exn :
-  keys:Sofia_crypto.Keys.t -> nonce:int -> Sofia_asm.Program.t -> Image.t
+  ?domains:int -> keys:Sofia_crypto.Keys.t -> nonce:int -> Sofia_asm.Program.t -> Image.t
 (** @raise Invalid_argument on transformation errors. *)
 
-val encrypt_layout : keys:Sofia_crypto.Keys.t -> nonce:int -> Layout.t -> Image.t
+val encrypt_layout :
+  ?domains:int -> keys:Sofia_crypto.Keys.t -> nonce:int -> Layout.t -> Image.t
 (** Encrypt an already-computed layout (exposed so tests can inspect
     the plaintext layout and its encryption separately). *)
 

@@ -46,97 +46,102 @@ module Obs = Sofia_obs.Obs
 module Event = Sofia_obs.Event
 module Metrics = Sofia_obs.Metrics
 
-let check ?(obs = Obs.none) ~(keys : Keys.t) (image : Image.t) =
+(* Pure per-block check: no obs, no shared mutable state — safe to fan
+   out over domains. Returns the block's issues (in discovery order)
+   and whether its stored MAC words matched. *)
+let check_block ~(keys : Keys.t) ~(image : Image.t) ~exits (b : Image.block) =
   let issues = ref [] in
-  let issue i =
-    (match obs.Obs.metrics with
-     | Some m -> m.Metrics.verify_issues <- m.Metrics.verify_issues + 1
-     | None -> ());
-    issues := i :: !issues
+  let issue i = issues := i :: !issues in
+  let base = b.Image.base in
+  if (base - image.Image.text_base) mod Block.size_bytes <> 0 then issue (Misaligned_block { base });
+  let expected_slots = Block.insn_slots b.Image.kind in
+  let got = Array.length b.Image.insns in
+  if got <> expected_slots then issue (Wrong_slot_count { base; expected = expected_slots; got });
+  let first = Block.first_insn_offset b.Image.kind in
+  Array.iteri
+    (fun i insn ->
+      let address = base + first + (4 * i) in
+      if i < got - 1 && Insn.is_control_flow insn then issue (Mid_block_control_flow { address });
+      if Block.store_banned_slot b.Image.kind i && Insn.is_store insn then
+        issue (Banned_store { address }))
+    b.Image.insns;
+  (* entry ports *)
+  let nports = List.length (Block.port_offsets b.Image.kind) in
+  let nentries = List.length b.Image.entry_prev_pcs in
+  if nentries <> nports then issue (Wrong_entry_count { base; got = nentries });
+  List.iter
+    (fun prev ->
+      if prev <> Block.reset_prev_pc && not (Hashtbl.mem exits prev) then
+        issue (Unknown_predecessor { base; prev_pc = prev }))
+    b.Image.entry_prev_pcs;
+  (* MAC words in the plaintext block *)
+  let insn_words = Array.map Encoding.encode b.Image.insns in
+  let mac_key = match b.Image.kind with Block.Exec -> keys.Keys.k2 | Block.Mux -> keys.Keys.k3 in
+  let m1, m2 = Cbc_mac.split_tag (Cbc_mac.mac_words mac_key insn_words) in
+  let macs_ok =
+    match b.Image.kind with
+    | Block.Exec ->
+      b.Image.plain_words.(0) = m1 && b.Image.plain_words.(1) = m2
+      && Array.for_all2 ( = ) insn_words (Array.sub b.Image.plain_words 2 6)
+    | Block.Mux ->
+      b.Image.plain_words.(0) = m1 && b.Image.plain_words.(1) = m1
+      && b.Image.plain_words.(2) = m2
+      && Array.for_all2 ( = ) insn_words (Array.sub b.Image.plain_words 3 5)
   in
-  (* valid exit addresses of the image, for linkage checking *)
+  if not macs_ok then issue (Mac_words_wrong { base });
+  (* ciphertext: re-derive each word's keystream from the declared
+     entry edges and the in-block chain *)
+  let prev_of_word i =
+    match (b.Image.kind, i) with
+    | Block.Exec, 0 -> [ List.nth b.Image.entry_prev_pcs 0 ]
+    | Block.Mux, 0 -> [ List.nth b.Image.entry_prev_pcs 0 ]
+    | Block.Mux, 1 -> [ List.nth b.Image.entry_prev_pcs 1 ]
+    | _, i -> [ base + (4 * (i - 1)) ]
+  in
+  Array.iteri
+    (fun i cipher ->
+      let pc = base + (4 * i) in
+      let ok =
+        List.exists
+          (fun prev ->
+            Ctr.crypt_word keys.Keys.k1 ~nonce:image.Image.nonce ~prev_pc:prev ~pc cipher
+            = b.Image.plain_words.(i))
+          (prev_of_word i)
+      in
+      if not ok then issue (Ciphertext_mismatch { address = pc }))
+    b.Image.cipher_words;
+  (List.rev !issues, macs_ok)
+
+let check ?(obs = Obs.none) ?domains ~(keys : Keys.t) (image : Image.t) =
+  (* valid exit addresses of the image, for linkage checking; built
+     before the fan-out and only read afterwards *)
   let exits = Hashtbl.create 64 in
   Array.iter
     (fun (b : Image.block) -> Hashtbl.replace exits (b.Image.base + Block.exit_offset) ())
     image.Image.blocks;
-  Array.iter
-    (fun (b : Image.block) ->
-      let base = b.Image.base in
-      (match obs.Obs.metrics with
-       | Some m -> m.Metrics.verify_checks <- m.Metrics.verify_checks + 1
-       | None -> ());
-      if (base - image.Image.text_base) mod Block.size_bytes <> 0 then
-        issue (Misaligned_block { base });
-      let expected_slots = Block.insn_slots b.Image.kind in
-      let got = Array.length b.Image.insns in
-      if got <> expected_slots then issue (Wrong_slot_count { base; expected = expected_slots; got });
-      let first = Block.first_insn_offset b.Image.kind in
-      Array.iteri
-        (fun i insn ->
-          let address = base + first + (4 * i) in
-          if i < got - 1 && Insn.is_control_flow insn then
-            issue (Mid_block_control_flow { address });
-          if Block.store_banned_slot b.Image.kind i && Insn.is_store insn then
-            issue (Banned_store { address }))
-        b.Image.insns;
-      (* entry ports *)
-      let nports = List.length (Block.port_offsets b.Image.kind) in
-      let nentries = List.length b.Image.entry_prev_pcs in
-      if nentries <> nports then issue (Wrong_entry_count { base; got = nentries });
-      List.iter
-        (fun prev ->
-          if prev <> Block.reset_prev_pc && not (Hashtbl.mem exits prev) then
-            issue (Unknown_predecessor { base; prev_pc = prev }))
-        b.Image.entry_prev_pcs;
-      (* MAC words in the plaintext block *)
-      let insn_words = Array.map Encoding.encode b.Image.insns in
-      let mac_key = match b.Image.kind with Block.Exec -> keys.Keys.k2 | Block.Mux -> keys.Keys.k3 in
-      let m1, m2 = Cbc_mac.split_tag (Cbc_mac.mac_words mac_key insn_words) in
-      let macs_ok =
-        match b.Image.kind with
-        | Block.Exec ->
-          b.Image.plain_words.(0) = m1 && b.Image.plain_words.(1) = m2
-          && Array.for_all2 ( = ) insn_words (Array.sub b.Image.plain_words 2 6)
-        | Block.Mux ->
-          b.Image.plain_words.(0) = m1 && b.Image.plain_words.(1) = m1
-          && b.Image.plain_words.(2) = m2
-          && Array.for_all2 ( = ) insn_words (Array.sub b.Image.plain_words 3 5)
-      in
+  let results = Sofia_util.Par.map ?domains (check_block ~keys ~image ~exits) image.Image.blocks in
+  (* obs accounting runs on the caller's domain, in block order, off the
+     per-block results — identical counters and event stream whether the
+     checks themselves ran on 1 domain or 8 *)
+  Array.iteri
+    (fun i (issues, macs_ok) ->
+      let b = image.Image.blocks.(i) in
       (match obs.Obs.metrics with
        | Some m ->
+         m.Metrics.verify_checks <- m.Metrics.verify_checks + 1;
          m.Metrics.mac_verifies <- m.Metrics.mac_verifies + 1;
-         if not macs_ok then m.Metrics.mac_failures <- m.Metrics.mac_failures + 1
+         if not macs_ok then m.Metrics.mac_failures <- m.Metrics.mac_failures + 1;
+         m.Metrics.verify_issues <- m.Metrics.verify_issues + List.length issues
        | None -> ());
       if Obs.tracing obs then
         Obs.emit obs
           (Event.Mac_verify
-             { block_base = base;
-               kind = (match b.Image.kind with Block.Exec -> Event.Exec_mac | Block.Mux -> Event.Mux_mac);
-               ok = macs_ok });
-      if not macs_ok then issue (Mac_words_wrong { base });
-      (* ciphertext: re-derive each word's keystream from the declared
-         entry edges and the in-block chain *)
-      let prev_of_word i =
-        match (b.Image.kind, i) with
-        | Block.Exec, 0 -> [ List.nth b.Image.entry_prev_pcs 0 ]
-        | Block.Mux, 0 -> [ List.nth b.Image.entry_prev_pcs 0 ]
-        | Block.Mux, 1 -> [ List.nth b.Image.entry_prev_pcs 1 ]
-        | _, i -> [ base + (4 * (i - 1)) ]
-      in
-      Array.iteri
-        (fun i cipher ->
-          let pc = base + (4 * i) in
-          let ok =
-            List.exists
-              (fun prev ->
-                Ctr.crypt_word keys.Keys.k1 ~nonce:image.Image.nonce ~prev_pc:prev ~pc cipher
-                = b.Image.plain_words.(i))
-              (prev_of_word i)
-          in
-          if not ok then issue (Ciphertext_mismatch { address = pc }))
-        b.Image.cipher_words)
-    image.Image.blocks;
-  List.rev !issues
+             { block_base = b.Image.base;
+               kind =
+                 (match b.Image.kind with Block.Exec -> Event.Exec_mac | Block.Mux -> Event.Mux_mac);
+               ok = macs_ok }))
+    results;
+  List.concat_map fst (Array.to_list results)
 
 (* Strip the fields a legitimate retarget/rematerialisation may change,
    keeping everything that must stay identical. *)
@@ -148,8 +153,8 @@ let semantic_shape (insn : Insn.t) =
   | Insn.Alu_i (Or, rd, rs, _) when Sofia_isa.Reg.equal rd rs -> Insn.Alu_i (Or, rd, rs, 0)
   | Insn.Alu_r _ | Insn.Alu_i _ | Insn.Load _ | Insn.Store _ | Insn.Jalr _ | Insn.Halt _ -> insn
 
-let check_against_source ?(obs = Obs.none) ~keys (program : Program.t) (image : Image.t) =
-  let issues = ref (check ~obs ~keys image) in
+let check_against_source ?(obs = Obs.none) ?domains ~keys (program : Program.t) (image : Image.t) =
+  let issues = ref (check ~obs ?domains ~keys image) in
   let issue i =
     (match obs.Obs.metrics with
      | Some m -> m.Metrics.verify_issues <- m.Metrics.verify_issues + 1

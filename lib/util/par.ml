@@ -1,0 +1,18 @@
+let recommended () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ?(domains = 1) f a =
+  let n = Array.length a in
+  let d = max 1 (min domains n) in
+  if d = 1 then Array.map f a
+  else begin
+    (* contiguous chunks, chunk i = [lo i, lo (i+1)); the caller's
+       domain takes chunk 0 while d-1 spawned domains take the rest, and
+       chunks are re-concatenated in index order — the result is the
+       same array [Array.map f a] builds, whatever the schedule *)
+    let lo i = i * n / d in
+    let worker i () = Array.init (lo (i + 1) - lo i) (fun j -> f a.(lo i + j)) in
+    let spawned = Array.init (d - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    let first = worker 0 () in
+    let chunks = first :: Array.to_list (Array.map Domain.join spawned) in
+    Array.concat chunks
+  end

@@ -1,0 +1,19 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    [map ~domains f a] is extensionally [Array.map f a]: elements are
+    partitioned into [domains] contiguous chunks, each chunk mapped in
+    its own domain, and the results concatenated in index order — so
+    the output is independent of scheduling. [f] must be safe to call
+    concurrently with itself (no shared mutable state); element order
+    {e within} a chunk is preserved and [f] is called exactly once per
+    element.
+
+    [domains <= 1] (the default) degrades to a plain sequential
+    [Array.map] with no domain spawned. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val recommended : unit -> int
+(** Domains worth using for compute-bound fan-out on this machine:
+    [Domain.recommended_domain_count () - 1] (the caller's domain works
+    too), at least 1. *)

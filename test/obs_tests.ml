@@ -165,11 +165,51 @@ let test_obs_handles () =
   Alcotest.(check bool) "metrics-only: live but not tracing" true
     (Obs.live om && not (Obs.tracing om))
 
+(* emit -> parse must be the identity on everything the repo writes
+   (bench reports, metric snapshots, event lines); [bench_compare]
+   relies on it to read committed baselines back *)
+let test_json_parse_roundtrip () =
+  let values =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 1.5;
+      Json.Str "a\"b\\c\nd\te";
+      Json.List [ Json.Int 1; Json.List []; Json.Obj [] ];
+      Json.Obj
+        [
+          ("schema", Json.Str "sofia-bench/2");
+          ("created_unix", Json.Int 1786000000);
+          ("rows", Json.List [ Json.Obj [ ("name", Json.Str "x"); ("ns", Json.Float 17.25) ] ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      Alcotest.(check bool) ("roundtrip " ^ s) true (Json.parse s = v))
+    values;
+  (* whitespace tolerance and member lookup *)
+  let v = Json.parse " { \"a\" : [ 1 , 2.5 ] , \"b\" : null } " in
+  Alcotest.(check bool) "member a" true
+    (Json.member "a" v = Some (Json.List [ Json.Int 1; Json.Float 2.5 ]));
+  Alcotest.(check bool) "member missing" true (Json.member "zz" v = None)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true (Json.parse_opt s = None))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
 let suite =
   [
     Alcotest.test_case "json scalars" `Quick test_json_scalars;
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
     Alcotest.test_case "json nesting" `Quick test_json_nesting;
+    Alcotest.test_case "json parse roundtrip" `Quick test_json_parse_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
     Alcotest.test_case "trace basics" `Quick test_trace_basics;
     Alcotest.test_case "trace wrap-around" `Quick test_trace_wraparound;
     Alcotest.test_case "trace jsonl" `Quick test_trace_jsonl;

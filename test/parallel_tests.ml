@@ -1,0 +1,102 @@
+(* Determinism battery for the Domain-parallel transform pipeline.
+
+   [Transform.protect ~domains] and [Verify.check ~domains] fan
+   per-block work out over OCaml 5 domains. Parallelism must be a pure
+   latency knob: for every registry workload the protected image must
+   be *byte-identical* across 1, 2 and 4 domains, the verifier must
+   accept every variant, and the parallel verifier must report exactly
+   the sequential verifier's issues — including on a deliberately
+   tampered image, where the issue *list* (order and all) is the
+   observable. *)
+
+module Transform = Sofia.Transform.Transform
+module Verify = Sofia.Transform.Verify
+module Image = Sofia.Transform.Image
+module Workload = Sofia.Workloads.Workload
+module Keys = Sofia.Crypto.Keys
+module Obs = Sofia.Obs.Obs
+module Metrics = Sofia.Obs.Metrics
+
+let keys = Keys.generate ~seed:0xD03A_1415L
+
+let protect ?domains w =
+  Transform.protect_exn ?domains ~keys ~nonce:0x66 (Workload.assemble w)
+
+(* Flip one bit of one mid-image ciphertext word, rebuilding the image
+   functionally (blocks share nothing with the original). *)
+let tamper (image : Image.t) =
+  let bi = Array.length image.Image.blocks / 2 in
+  let blocks =
+    Array.mapi
+      (fun i (b : Image.block) ->
+        if i <> bi then b
+        else
+          let cipher_words = Array.copy b.Image.cipher_words in
+          cipher_words.(3) <- cipher_words.(3) lxor 0x10000;
+          { b with Image.cipher_words })
+      image.Image.blocks
+  in
+  let cipher = Array.concat (Array.to_list (Array.map (fun b -> b.Image.cipher_words) blocks)) in
+  { image with Image.blocks; cipher }
+
+let test_protect_deterministic (w : Workload.t) () =
+  let name = w.Workload.name in
+  let seq = protect w in
+  List.iter
+    (fun domains ->
+      let par = protect ~domains w in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: image byte-identical at %d domains" name domains)
+        true (seq = par);
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: verifier accepts the %d-domain image" name domains)
+        []
+        (List.map (Format.asprintf "%a" Verify.pp_issue) (Verify.check ~keys par)))
+    [ 2; 4 ]
+
+let test_verify_deterministic (w : Workload.t) () =
+  let name = w.Workload.name in
+  let image = protect w in
+  let broken = tamper image in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: parallel verify (clean, %d domains) = sequential" name domains)
+        true
+        (Verify.check ~keys image = Verify.check ~domains ~keys image);
+      let seq_issues = Verify.check ~keys broken in
+      Alcotest.(check bool) (name ^ ": tampered image is rejected") true (seq_issues <> []);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: parallel verify (tampered, %d domains) = sequential" name domains)
+        true
+        (seq_issues = Verify.check ~domains ~keys broken))
+    [ 2; 4 ]
+
+(* The verifier's obs accounting happens post-join on the caller's
+   domain: counters and the Mac_verify event stream must be identical
+   whatever [domains] is. *)
+let test_verify_obs_deterministic () =
+  let w = Option.get (Sofia.Workloads.Registry.by_name "sort") in
+  let broken = tamper (protect w) in
+  let run domains =
+    let trace = Sofia.Obs.Trace.create ~capacity:4096 () in
+    let metrics = Metrics.create () in
+    let issues = Verify.check ~obs:(Obs.create ~trace ~metrics ()) ?domains ~keys broken in
+    (issues, Metrics.counters metrics, Sofia.Obs.Trace.to_list trace)
+  in
+  let seq = run None in
+  Alcotest.(check bool) "verify obs identical at 2 domains" true (seq = run (Some 2));
+  Alcotest.(check bool) "verify obs identical at 4 domains" true (seq = run (Some 4))
+
+let suite =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case ("protect-deterministic: " ^ w.Workload.name) `Quick
+        (test_protect_deterministic w))
+    (Sofia.Workloads.Registry.benchmark_suite ())
+  @ List.map
+      (fun (w : Workload.t) ->
+        Alcotest.test_case ("verify-deterministic: " ^ w.Workload.name) `Quick
+          (test_verify_deterministic w))
+      (Sofia.Workloads.Registry.benchmark_suite ())
+  @ [ Alcotest.test_case "verify-obs-deterministic" `Quick test_verify_obs_deterministic ]

@@ -20,6 +20,9 @@ let () =
       ("properties", Property_tests.suite);
       ("obs", Obs_tests.suite);
       ("kat", Kat_tests.suite);
+      ("rectangle-diff", Rectangle_diff_tests.suite);
+      ("ks-cache", Ks_cache_tests.suite);
+      ("parallel", Parallel_tests.suite);
       ("fuzz", Fuzz_tests.suite);
       ("differential", Differential_tests.suite);
     ]

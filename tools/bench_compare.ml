@@ -1,0 +1,175 @@
+(* Compare a fresh micro-benchmark run against a committed baseline
+   report (BENCH_*.json) and fail on regressions.
+
+     dune exec tools/bench_compare.exe -- BASELINE.json
+       [--runs N]        fresh samples per benchmark (default 3; the
+                         per-benchmark median is compared)
+       [--tolerance PCT] allowed slowdown per benchmark (default 25)
+       [--normalize]     scale the fresh medians by the geometric-mean
+                         fresh/baseline ratio before comparing
+
+   The gate is deliberately generous: Bechamel medians are stable to a
+   few percent on an idle machine, so a 25% per-benchmark budget only
+   fires on real regressions (an accidentally-deoptimised cipher, a
+   new allocation on the simulator hot path), not scheduler noise.
+
+   [--normalize] makes the gate portable across machines: dividing
+   every fresh median by the run's geomean ratio cancels a uniform
+   hardware speed difference, leaving only *relative* shifts between
+   benchmarks — a single benchmark regressing against its peers still
+   fails, a uniformly slower CI box does not. A benchmark present only
+   on one side is reported but never fails the gate (new benchmarks
+   must be able to land before the baseline is refreshed). *)
+
+module J = Sofia.Obs.Json
+
+let usage () =
+  prerr_endline
+    "usage: bench_compare BASELINE.json [--runs N] [--tolerance PCT] [--normalize]";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* name -> ns/run of the "micro" experiment of a sofia-bench report *)
+let micro_rows_of_report json =
+  let experiments =
+    match J.member "experiments" json with
+    | Some (J.List l) -> l
+    | _ -> failwith "report has no experiments list"
+  in
+  let micro =
+    match
+      List.find_opt (fun e -> J.member "id" e = Some (J.Str "micro")) experiments
+    with
+    | Some e -> e
+    | None -> failwith "report has no micro experiment"
+  in
+  let rows = match J.member "results" micro with Some (J.List l) -> l | _ -> [] in
+  List.filter_map
+    (fun row ->
+      match (J.member "name" row, J.member "ns_per_run" row) with
+      | Some (J.Str name), Some (J.Float ns) -> Some (name, ns)
+      | Some (J.Str name), Some (J.Int ns) -> Some (name, float_of_int ns)
+      | _ -> None)
+    rows
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let () =
+  let baseline_path = ref None
+  and runs = ref 3
+  and tolerance = ref 25.0
+  and normalize = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--runs" :: n :: rest ->
+      runs := int_of_string n;
+      parse rest
+    | "--tolerance" :: p :: rest ->
+      tolerance := float_of_string p;
+      parse rest
+    | "--normalize" :: rest ->
+      normalize := true;
+      parse rest
+    | path :: rest when !baseline_path = None ->
+      baseline_path := Some path;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path = match !baseline_path with Some p -> p | None -> usage () in
+  let baseline_text =
+    try read_file baseline_path
+    with Sys_error m ->
+      prerr_endline ("bench_compare: cannot read baseline: " ^ m);
+      exit 2
+  in
+  let baseline_json =
+    match J.parse_opt baseline_text with
+    | Some j -> j
+    | None ->
+      prerr_endline ("bench_compare: " ^ baseline_path ^ " is not valid JSON");
+      exit 2
+  in
+  (match J.member "schema" baseline_json with
+   | Some (J.Str ("sofia-bench/1" | "sofia-bench/2")) -> ()
+   | Some (J.Str s) -> failwith (Printf.sprintf "unsupported baseline schema %S" s)
+   | _ -> failwith "baseline has no schema field");
+  let baseline = micro_rows_of_report baseline_json in
+  Printf.printf "baseline %s: %d micro benchmarks\n%!" baseline_path (List.length baseline);
+  (* [runs] fresh micro passes; compare per-benchmark medians *)
+  let samples =
+    List.init !runs (fun i ->
+        Printf.printf "fresh run %d/%d...\n%!" (i + 1) !runs;
+        Sofia_benchlib.Bench_micro.rows ())
+  in
+  let fresh =
+    match samples with
+    | [] -> []
+    | first :: _ ->
+      List.map
+        (fun (name, _) ->
+          (name, median (List.filter_map (List.assoc_opt name) samples)))
+        first
+  in
+  let paired =
+    List.filter_map
+      (fun (name, base_ns) ->
+        Option.map (fun fresh_ns -> (name, base_ns, fresh_ns)) (List.assoc_opt name fresh))
+      baseline
+  in
+  let scale =
+    if not !normalize then 1.0
+    else begin
+      let ratios = List.map (fun (_, b, f) -> f /. b) paired in
+      let geomean =
+        exp (List.fold_left (fun acc r -> acc +. log r) 0.0 ratios
+             /. float_of_int (List.length ratios))
+      in
+      Printf.printf "normalizing by geomean fresh/baseline ratio %.3f\n" geomean;
+      1.0 /. geomean
+    end
+  in
+  let failed = ref [] in
+  Printf.printf "\n  %-34s %12s %12s %9s\n" "benchmark" "baseline" "fresh" "delta";
+  List.iter
+    (fun (name, base_ns, fresh_ns) ->
+      let adj = fresh_ns *. scale in
+      let delta_pct = ((adj /. base_ns) -. 1.0) *. 100.0 in
+      let verdict =
+        if delta_pct > !tolerance then begin
+          failed := name :: !failed;
+          "  REGRESSION"
+        end
+        else ""
+      in
+      Printf.printf "  %-34s %10.1fns %10.1fns %+8.1f%%%s\n" name base_ns adj delta_pct verdict)
+    paired;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name fresh) then
+        Printf.printf "  %-34s dropped from fresh run (not gated)\n" name)
+    baseline;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "  %-34s new benchmark, no baseline (not gated)\n" name)
+    fresh;
+  match !failed with
+  | [] -> Printf.printf "\nOK: no benchmark regressed more than %.0f%%\n" !tolerance
+  | names ->
+    Printf.printf "\nFAIL: %d benchmark(s) regressed more than %.0f%%: %s\n" (List.length names)
+      !tolerance
+      (String.concat ", " (List.rev names));
+    exit 1

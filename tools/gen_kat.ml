@@ -1,22 +1,53 @@
-(* Regenerates test/vectors/rectangle_kat.txt, the pinned RECTANGLE-80
-   known-answer vectors.
+(* Regenerates the pinned RECTANGLE-80 known-answer vectors:
 
      dune exec tools/gen_kat.exe > test/vectors/rectangle_kat.txt
+     dune exec tools/gen_kat.exe -- --schedule \
+       > test/vectors/rectangle_keyschedule.txt
 
    No official RECTANGLE test vectors ship offline (see
-   lib/crypto/rectangle.mli), so the committed file pins the *current*
-   implementation: the KAT test replays it on every run and any future
-   change to the S-box, ShiftRow, key schedule or packing shows up as a
-   mismatch against history. The first vectors use degenerate keys and
-   blocks (all-zero, all-ones, single bits) where a packing or
-   endianness bug is most visible; the rest are splitmix64-driven. *)
+   lib/crypto/rectangle.mli), so the committed files pin the *current*
+   implementation: the KAT test replays them on every run and any
+   future change to the S-box, ShiftRow, key schedule or packing shows
+   up as a mismatch against history. The first vectors use degenerate
+   keys and blocks (all-zero, all-ones, single bits) where a packing or
+   endianness bug is most visible; the rest are splitmix64-driven.
+
+   [--schedule] pins the key expansion alone (all 26 round subkeys per
+   key), so a bug confined to the schedule precomputation is caught by
+   name rather than as an opaque encrypt mismatch. *)
 
 module Rectangle = Sofia.Crypto.Rectangle
 module Prng = Sofia.Util.Prng
 
 let key_hex_of_prng rng = String.init 20 (fun _ -> "0123456789abcdef".[Prng.int_below rng 16])
 
-let () =
+let corner_keys = [ String.make 20 '0'; String.make 20 'f' ]
+
+let gen_schedule () =
+  print_string
+    "# RECTANGLE-80 key-schedule vectors (pinned from this implementation).\n\
+     # Regenerate with: dune exec tools/gen_kat.exe -- --schedule > \
+     test/vectors/rectangle_keyschedule.txt\n\
+     # Format: <key: 20 hex digits> <26 round subkeys: 16 hex digits each>\n";
+  let emit key_hex =
+    let sk = Rectangle.subkeys (Rectangle.key_of_hex key_hex) in
+    print_string key_hex;
+    Array.iter (fun k -> Printf.printf " %016Lx" k) sk;
+    print_newline ()
+  in
+  List.iter emit corner_keys;
+  (* single-bit keys, sampled every 7th of the 80 key bits — few enough
+     to keep the file small, spread enough to cross every key row *)
+  for i = 0 to 11 do
+    let bit = i * 7 in
+    emit (String.init 20 (fun j -> if 19 - j = bit / 4 then "1248".[bit mod 4] else '0'))
+  done;
+  let rng = Prng.create ~seed:0x4B53L in
+  for _ = 1 to 16 do
+    emit (key_hex_of_prng rng)
+  done
+
+let gen_kat () =
   print_string
     "# RECTANGLE-80 known-answer vectors (pinned from this implementation).\n\
      # Regenerate with: dune exec tools/gen_kat.exe > test/vectors/rectangle_kat.txt\n\
@@ -37,3 +68,11 @@ let () =
   for _ = 1 to 49 do
     emit (key_hex_of_prng rng) (Prng.next64 rng)
   done
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> gen_kat ()
+  | [| _; "--schedule" |] -> gen_schedule ()
+  | _ ->
+    prerr_endline "usage: gen_kat [--schedule]";
+    exit 2
