@@ -1,0 +1,150 @@
+(* Service-layer load benchmark: the registry job mix (see
+   Sofia.Service_load) run two ways —
+
+     sequential: every job through Engine.execute_oneshot, the
+       cold-start one-shot CLI pipeline (no store, no keystream cache);
+     batch: the same list through Engine.run_batch, i.e. what
+       [sofia_cli batch @registry] does.
+
+   The batch path must be byte-identical (we compare the .sfi
+   fingerprints job by job) and substantially faster: the
+   content-addressed store shares one protect across the duplicate
+   client requests and feeds verify/attest/simulate from the same
+   entry. The [service-throughput] and [service-p99] rows land in the
+   bench JSON and are gated by tools/bench_compare. *)
+
+module Engine = Sofia.Service.Engine
+module Job = Sofia.Service.Job
+module J = Sofia.Obs.Json
+
+type measurement = {
+  jobs : int;
+  workers : int;
+  clients : int;
+  seq_s : float;
+  batch_s : float;
+  seq_jobs_per_s : float;
+  batch_jobs_per_s : float;
+  speedup : float;
+  all_done : bool;
+  identical_images : bool;
+  per_op : (string * float * float) list;  (** op, p50 ms, p99 ms (batch run) *)
+  metrics : J.t;  (** Engine.metrics_json of the batch engine *)
+}
+
+let digest_of_status = function
+  | Job.Done (Job.Protected { digest; _ }) -> Some digest
+  | Job.Done (Job.Attested { digest; _ }) -> Some digest
+  | _ -> None
+
+let is_done = function Job.Done _ -> true | _ -> false
+
+let percentile p xs =
+  match xs with
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let i = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) i))
+
+let measure ?(clients = 64) ?(workers = 4) () =
+  let jobs = Sofia.Service_load.registry_jobs ~clients () in
+  let n = List.length jobs in
+  let t0 = Unix.gettimeofday () in
+  let seq_statuses = List.map Engine.execute_oneshot jobs in
+  let seq_s = Unix.gettimeofday () -. t0 in
+  let config = { Engine.default_config with Engine.workers; queue_capacity = max 64 n } in
+  let t0 = Unix.gettimeofday () in
+  let responses, engine = Engine.run_batch config jobs in
+  let batch_s = Unix.gettimeofday () -. t0 in
+  let all_done =
+    List.for_all is_done seq_statuses
+    && List.for_all (fun (r : Job.response) -> is_done r.Job.status) responses
+  in
+  (* pairwise: the store/parallel path must hand back the same bytes
+     the cold pipeline produces (responses come back in seq order) *)
+  let identical_images =
+    List.length responses = n
+    && List.for_all2
+         (fun s (r : Job.response) ->
+           match (digest_of_status s, digest_of_status r.Job.status) with
+           | Some a, Some b -> String.equal a b
+           | None, None -> true
+           | _ -> false)
+         seq_statuses responses
+  in
+  let per_op =
+    List.map
+      (fun op ->
+        let ls =
+          List.filter_map
+            (fun (r : Job.response) -> if r.Job.op = op then Some r.Job.latency_ms else None)
+            responses
+        in
+        (op, percentile 50.0 ls, percentile 99.0 ls))
+      [ "protect"; "verify"; "simulate"; "attest" ]
+  in
+  {
+    jobs = n;
+    workers;
+    clients;
+    seq_s;
+    batch_s;
+    seq_jobs_per_s = float_of_int n /. seq_s;
+    batch_jobs_per_s = float_of_int n /. batch_s;
+    speedup = seq_s /. batch_s;
+    all_done;
+    identical_images;
+    per_op;
+    metrics = Engine.metrics_json engine;
+  }
+
+let to_json (m : measurement) =
+  J.Obj
+    [
+      ( "rows",
+        J.List
+          [
+            J.Obj
+              [
+                ("name", J.Str "service-throughput");
+                ("jobs", J.Int m.jobs);
+                ("workers", J.Int m.workers);
+                ("clients", J.Int m.clients);
+                ("seq_s", J.Float m.seq_s);
+                ("batch_s", J.Float m.batch_s);
+                ("seq_jobs_per_s", J.Float m.seq_jobs_per_s);
+                ("batch_jobs_per_s", J.Float m.batch_jobs_per_s);
+                ("speedup", J.Float m.speedup);
+                ("all_done", J.Bool m.all_done);
+                ("identical_images", J.Bool m.identical_images);
+              ];
+            J.Obj
+              [
+                ("name", J.Str "service-p99");
+                ( "per_op",
+                  J.List
+                    (List.map
+                       (fun (op, p50, p99) ->
+                         J.Obj
+                           [ ("op", J.Str op); ("p50_ms", J.Float p50); ("p99_ms", J.Float p99) ])
+                       m.per_op) );
+              ];
+          ] );
+      ("service_metrics", m.metrics);
+    ]
+
+let pp fmt (m : measurement) =
+  Format.fprintf fmt
+    "  %d jobs (%d clients/workload), %d workers@.\
+    \  sequential one-shot: %6.3f s  (%6.1f jobs/s)@.\
+    \  batch engine:        %6.3f s  (%6.1f jobs/s)@.\
+    \  speedup: %.2fx   all done: %b   byte-identical images: %b@."
+    m.jobs m.clients m.workers m.seq_s m.seq_jobs_per_s m.batch_s m.batch_jobs_per_s m.speedup
+    m.all_done m.identical_images;
+  List.iter
+    (fun (op, p50, p99) ->
+      Format.fprintf fmt "  %-10s p50 %7.3f ms   p99 %7.3f ms@." op p50 p99)
+    m.per_op

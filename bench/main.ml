@@ -9,7 +9,7 @@
 
    Experiment ids: table1 e1-codesize e2-cycles e3-exectime s1-forgery
    s2-cfi fig1-pipeline fig2-cfi fig3-6-si fig7-8-mux fig9-tree
-   x1-workloads x2-unroll x3-attacks micro *)
+   x1-workloads x2-unroll x3-attacks micro service *)
 
 module H = Sofia.Hwmodel.Hwmodel
 module Machine = Sofia.Cpu.Machine
@@ -487,6 +487,15 @@ let micro () =
   List.iter (fun (name, est) -> Format.printf "  %-34s %14.1f ns/run@." name est) (micro_rows ())
 
 (* ------------------------------------------------------------------ *)
+(* service: the lib/service load generator                             *)
+(* ------------------------------------------------------------------ *)
+
+let service () =
+  section "service" "serving-layer throughput: batch engine vs sequential one-shot";
+  let m = Sofia_benchlib.Bench_service.measure () in
+  Format.printf "%a" Sofia_benchlib.Bench_service.pp m
+
+(* ------------------------------------------------------------------ *)
 (* --json: machine-readable benchmark report                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -579,10 +588,19 @@ let json_x1_workloads () =
       ("rows", J.List (List.map (fun (o, m) -> overhead_json o m) rows));
     ]
 
-(* The report always carries these three, whatever else was selected on
+let json_service () =
+  let m, wall = timed (fun () -> Sofia_benchlib.Bench_service.measure ()) in
+  Format.printf "  [json] service: %d jobs, %.2fx batch speedup, in %.1f s@."
+    m.Sofia_benchlib.Bench_service.jobs m.Sofia_benchlib.Bench_service.speedup wall;
+  match Sofia_benchlib.Bench_service.to_json m with
+  | J.Obj fields -> J.Obj (("id", J.Str "service") :: ("wall_time_s", J.Float wall) :: fields)
+  | j -> j
+
+(* The report always carries these four, whatever else was selected on
    the command line, so downstream perf tracking has a stable schema. *)
 let json_experiments =
-  [ ("micro", json_micro); ("e2-cycles", json_e2_cycles); ("x1-workloads", json_x1_workloads) ]
+  [ ("micro", json_micro); ("e2-cycles", json_e2_cycles); ("x1-workloads", json_x1_workloads);
+    ("service", json_service) ]
 
 (* Best-effort commit id for report provenance; "unknown" outside a
    work tree (e.g. a release tarball). *)
@@ -637,6 +655,7 @@ let all_experiments =
     ("x6-toolchain", x6_toolchain);
     ("x7-gadgets", x7_gadgets);
     ("micro", micro);
+    ("service", service);
   ]
 
 let () =

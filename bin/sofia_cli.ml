@@ -1,4 +1,4 @@
-(* sofia_cli: assemble, inspect, protect and run SLEON-32 programs.
+(* sofia_cli: assemble, inspect, protect, run and serve SLEON-32 programs.
 
      sofia_cli assemble prog.s          print the resolved listing
      sofia_cli cfg prog.s               emit the instruction-level CFG (dot)
@@ -7,6 +7,9 @@
      sofia_cli run prog.s               run on the vanilla model
      sofia_cli run --sofia prog.s       protect, then run on the SOFIA model
      sofia_cli run-image img.sfi        run a saved protected image
+     sofia_cli serve --stdin            NDJSON job service over a pipe
+     sofia_cli serve --socket PATH      ... or a Unix-domain socket
+     sofia_cli batch FILE|@registry     offline bulk mode over a job file
      sofia_cli table1                   print the hardware model's Table I *)
 
 open Cmdliner
@@ -153,112 +156,139 @@ let verify_cmd =
        ~doc:"Protect a program and independently verify the resulting image")
     Term.(const run $ file_arg $ seed_arg $ nonce_arg $ domains_arg)
 
+(* ---- shared runner flags (run / run-image; serve/batch reuse the
+   ks-cache and metrics knobs) ---- *)
+
+let trace_insns_arg =
+  Arg.(value & opt int 0 & info [ "trace-insns" ] ~docv:"N"
+         ~doc:"Print the first N retired instructions.")
+
+let trace_file_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record the pipeline event stream (block fetches, edge decrypts, MAC \
+               verdicts, retires, violations) and write it to $(docv) as JSON lines. \
+               The ring keeps the last 4096 events.")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Collect pipeline counters during the run and print them after the result.")
+
+let ks_cache_arg =
+  Arg.(value & opt int 0 & info [ "ks-cache" ] ~docv:"SLOTS"
+         ~doc:"On the SOFIA core: enable the frontend's per-edge keystream cache with \
+               $(docv) slots (rounded up to a power of two; 0 = disabled). Purely a \
+               simulation speed knob — runs are bit-identical either way; pair with \
+               --metrics to see hit/miss/eviction counters.")
+
+(* One observability/runtime bundle for every runner-style command, so
+   run and run-image cannot drift apart again. *)
+type runner_opts = {
+  on_retire : (pc:int -> insn:Sofia.Isa.Insn.t -> unit) option;
+  trace : Sofia.Obs.Trace.t option;
+  mx : Sofia.Obs.Metrics.t option;
+  obs : Sofia.Obs.Obs.t;
+  config : Sofia.Cpu.Run_config.t;
+  trace_file : string option;
+}
+
+let make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache =
+  if ks_cache < 0 then
+    or_die (Error (Printf.sprintf "--ks-cache must be >= 0 (got %d)" ks_cache));
+  let traced = ref 0 in
+  let on_retire =
+    if trace_insns = 0 then None
+    else
+      Some
+        (fun ~pc ~insn ->
+          if !traced < trace_insns then begin
+            incr traced;
+            Format.printf "  %08x: %a@." pc Sofia.Isa.Insn.pp insn
+          end)
+  in
+  let trace = Option.map (fun _ -> Sofia.Obs.Trace.create ()) trace_file in
+  let mx = if metrics then Some (Sofia.Obs.Metrics.create ()) else None in
+  let obs = Sofia.Obs.Obs.create ?trace ?metrics:mx () in
+  let config =
+    { Sofia.Cpu.Run_config.default with
+      Sofia.Cpu.Run_config.ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache)
+    }
+  in
+  { on_retire; trace; mx; obs; config; trace_file }
+
+(* Shared result reporting + sink flushing + exit-code mapping. *)
+let finish_runner_run ~sofia opts (result : Sofia.Cpu.Machine.run_result) =
+  let open Sofia.Cpu.Machine in
+  Format.printf "outcome: %a@." pp_outcome result.outcome;
+  List.iter (fun v -> Format.printf "output: %d (0x%x)@." v v) result.outputs;
+  if result.output_text <> "" then Format.printf "text output: %s@." result.output_text;
+  Format.printf "cycles: %d  instructions: %d  cpi: %.2f@." result.stats.cycles
+    result.stats.instructions (cpi result);
+  if sofia then
+    Format.printf "blocks entered: %d  MAC words: %d@." result.stats.blocks_entered
+      result.stats.mac_words_fetched;
+  (match (opts.trace_file, opts.trace) with
+   | Some out, Some t ->
+     Sofia.Obs.Trace.save_jsonl t ~path:out;
+     Format.printf "trace: %d events retained (%d emitted, %d dropped) -> %s@."
+       (Sofia.Obs.Trace.length t) (Sofia.Obs.Trace.total t) (Sofia.Obs.Trace.dropped t) out
+   | _ -> ());
+  (match opts.mx with Some m -> Format.printf "%a" Sofia.Obs.Metrics.pp m | None -> ());
+  match result.outcome with Halted 0 -> () | Halted c -> exit (min c 127) | _ -> exit 125
+
 (* ---- run-image ---- *)
 
 let run_image_cmd =
-  let run path key_seed =
+  let run path key_seed trace_insns trace_file metrics ks_cache =
+    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache in
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
-    match Sofia.Transform.Binary_format.load ~path with
-    | Error e ->
-      Format.eprintf "error: %a@." Sofia.Transform.Binary_format.pp_error e;
-      exit 1
-    | Ok loaded ->
-      let image = Sofia.Transform.Binary_format.image_of_loaded loaded in
-      let result = Sofia.Cpu.Sofia_runner.run ~keys image in
-      let open Sofia.Cpu.Machine in
-      Format.printf "outcome: %a@." pp_outcome result.outcome;
-      List.iter (fun v -> Format.printf "output: %d (0x%x)@." v v) result.outputs;
-      if result.output_text <> "" then Format.printf "text output: %s@." result.output_text;
-      Format.printf "cycles: %d  instructions: %d@." result.stats.cycles
-        result.stats.instructions;
-      (match result.outcome with
-       | Halted 0 -> ()
-       | Halted c -> exit (min c 127)
-       | Cpu_reset _ | Out_of_fuel -> exit 125)
+    (* A malformed or truncated .sfi must end in a structured
+       diagnostic and a nonzero exit, never a backtrace. *)
+    let loaded =
+      match
+        (try Ok (Sofia.Transform.Binary_format.load ~path) with
+         | Sys_error m -> Error m)
+      with
+      | Error m -> or_die (Error (Printf.sprintf "cannot read image %s: %s" path m))
+      | Ok (Error e) ->
+        or_die
+          (Error (Format.asprintf "bad image %s: %a" path Sofia.Transform.Binary_format.pp_error e))
+      | Ok (Ok loaded) -> loaded
+    in
+    let image = Sofia.Transform.Binary_format.image_of_loaded loaded in
+    let result =
+      Sofia.Cpu.Sofia_runner.run ~config:opts.config ?on_retire:opts.on_retire ~obs:opts.obs
+        ~keys image
+    in
+    finish_runner_run ~sofia:true opts result
   in
   let image_file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"Protected .sfi image.")
   in
   Cmd.v (Cmd.info "run-image" ~doc:"Run a saved protected image on the SOFIA core")
-    Term.(const run $ image_file $ seed_arg)
+    Term.(const run $ image_file $ seed_arg $ trace_insns_arg $ trace_file_arg $ metrics_arg
+          $ ks_cache_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let run path sofia key_seed nonce trace_insns trace_file metrics ks_cache =
-    if ks_cache < 0 then
-      or_die (Error (Printf.sprintf "--ks-cache must be >= 0 (got %d)" ks_cache));
+    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache in
     let program = or_die (assemble_file path) in
-    let traced = ref 0 in
-    let on_retire =
-      if trace_insns = 0 then None
-      else
-        Some
-          (fun ~pc ~insn ->
-            if !traced < trace_insns then begin
-              incr traced;
-              Format.printf "  %08x: %a@." pc Sofia.Isa.Insn.pp insn
-            end)
-    in
-    let trace = Option.map (fun _ -> Sofia.Obs.Trace.create ()) trace_file in
-    let mx = if metrics then Some (Sofia.Obs.Metrics.create ()) else None in
-    let obs = Sofia.Obs.Obs.create ?trace ?metrics:mx () in
     let result =
       if sofia then begin
         let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
         let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce program in
-        let config =
-          { Sofia.Cpu.Run_config.default with
-            Sofia.Cpu.Run_config.ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache)
-          }
-        in
-        Sofia.Cpu.Sofia_runner.run ~config ?on_retire ~obs ~keys image
+        Sofia.Cpu.Sofia_runner.run ~config:opts.config ?on_retire:opts.on_retire ~obs:opts.obs
+          ~keys image
       end
-      else Sofia.Cpu.Vanilla.run ?on_retire ~obs program
+      else Sofia.Cpu.Vanilla.run ?on_retire:opts.on_retire ~obs:opts.obs program
     in
-    let open Sofia.Cpu.Machine in
-    Format.printf "outcome: %a@." pp_outcome result.outcome;
-    List.iter (fun v -> Format.printf "output: %d (0x%x)@." v v) result.outputs;
-    if result.output_text <> "" then Format.printf "text output: %s@." result.output_text;
-    Format.printf "cycles: %d  instructions: %d  cpi: %.2f@." result.stats.cycles
-      result.stats.instructions (cpi result);
-    if sofia then
-      Format.printf "blocks entered: %d  MAC words: %d@." result.stats.blocks_entered
-        result.stats.mac_words_fetched;
-    (match (trace_file, trace) with
-     | Some out, Some t ->
-       Sofia.Obs.Trace.save_jsonl t ~path:out;
-       Format.printf "trace: %d events retained (%d emitted, %d dropped) -> %s@."
-         (Sofia.Obs.Trace.length t) (Sofia.Obs.Trace.total t) (Sofia.Obs.Trace.dropped t) out
-     | _ -> ());
-    (match mx with Some m -> Format.printf "%a" Sofia.Obs.Metrics.pp m | None -> ());
-    match result.outcome with Halted 0 -> () | Halted c -> exit (min c 127) | _ -> exit 125
+    finish_runner_run ~sofia opts result
   in
   let sofia = Arg.(value & flag & info [ "sofia" ] ~doc:"Protect and run on the SOFIA core.") in
-  let trace_insns =
-    Arg.(value & opt int 0 & info [ "trace-insns" ] ~docv:"N"
-           ~doc:"Print the first N retired instructions.")
-  in
-  let trace_file =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Record the pipeline event stream (block fetches, edge decrypts, MAC \
-                 verdicts, retires, violations) and write it to $(docv) as JSON lines. \
-                 The ring keeps the last 4096 events.")
-  in
-  let metrics =
-    Arg.(value & flag & info [ "metrics" ]
-           ~doc:"Collect pipeline counters during the run and print them after the result.")
-  in
-  let ks_cache =
-    Arg.(value & opt int 0 & info [ "ks-cache" ] ~docv:"SLOTS"
-           ~doc:"With --sofia: enable the frontend's per-edge keystream cache with $(docv) \
-                 slots (rounded up to a power of two; 0 = disabled). Purely a simulation \
-                 speed knob — runs are bit-identical either way; pair with --metrics to \
-                 see hit/miss/eviction counters.")
-  in
   Cmd.v (Cmd.info "run" ~doc:"Run a program on the vanilla or SOFIA processor model")
-    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace_insns $ trace_file
-          $ metrics $ ks_cache)
+    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace_insns_arg
+          $ trace_file_arg $ metrics_arg $ ks_cache_arg)
 
 (* ---- compile ---- *)
 
@@ -340,6 +370,166 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc:"Run a transient fault-injection campaign against a program")
     Term.(const run $ file_arg $ seed_arg $ nonce_arg $ trials)
 
+(* ---- serve / batch: the lib/service front-ends ---- *)
+
+module Engine = Sofia.Service.Engine
+module Wire = Sofia.Service.Wire
+module Job = Sofia.Service.Job
+
+let workers_arg =
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker domains (0 = one per available core).")
+
+let queue_arg =
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"Admission queue capacity.")
+
+let backpressure_arg =
+  let policy = Arg.enum [ ("block", Engine.Block); ("reject", Engine.Reject) ] in
+  Arg.(value & opt policy Engine.Block & info [ "backpressure" ] ~docv:"POLICY"
+         ~doc:"What a full queue does to a new request: $(b,block) the submitter or \
+               $(b,reject) the job immediately.")
+
+let store_arg =
+  Arg.(value & opt int 256 & info [ "store" ] ~docv:"SLOTS"
+         ~doc:"Content-addressed protected-image store capacity (LRU; 0 disables caching).")
+
+let retries_arg =
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Maximum execution attempts per job (>= 1); transient faults are retried \
+               up to $(docv) times, then the job fails.")
+
+let deadline_arg =
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Default per-job deadline for requests that carry none. Deadlines are \
+               checked at dispatch and between retries.")
+
+let json_out_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the service metrics document (counters, latency histograms, store \
+               and queue gauges) to $(docv) as JSON.")
+
+let service_config workers queue backpressure store retries deadline ks_cache =
+  if queue < 1 then or_die (Error (Printf.sprintf "--queue must be >= 1 (got %d)" queue));
+  if retries < 1 then or_die (Error (Printf.sprintf "--retries must be >= 1 (got %d)" retries));
+  if ks_cache < 0 then
+    or_die (Error (Printf.sprintf "--ks-cache must be >= 0 (got %d)" ks_cache));
+  { Engine.default_config with
+    Engine.workers;
+    queue_capacity = queue;
+    backpressure;
+    store_slots = store;
+    max_attempts = retries;
+    default_deadline_ms = deadline;
+    ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache)
+  }
+
+let emit_service_metrics engine ~metrics ~json_out =
+  let doc = Engine.metrics_json engine in
+  (match json_out with
+   | Some path ->
+     let oc = open_out path in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> Sofia.Obs.Json.output oc doc)
+   | None -> ());
+  if metrics then prerr_endline (Sofia.Obs.Json.to_string doc)
+
+let serve_cmd =
+  let run use_stdin socket once workers queue backpressure store retries deadline ks_cache
+      metrics json_out =
+    let config = service_config workers queue backpressure store retries deadline ks_cache in
+    let stats, engine =
+      match (use_stdin, socket) with
+      | true, Some _ | false, None ->
+        or_die (Error "pick exactly one of --stdin and --socket PATH")
+      | true, None -> Wire.serve_channels ~config stdin stdout
+      | false, Some path -> Wire.serve_socket ~config ~path ~once ()
+    in
+    Format.eprintf
+      "serve: %d received (%d malformed), %d done, %d rejected, %d timed out, %d failed@."
+      stats.Wire.received stats.Wire.malformed stats.Wire.completed stats.Wire.rejected
+      stats.Wire.timed_out stats.Wire.failed;
+    emit_service_metrics engine ~metrics ~json_out;
+    if not (Wire.ok stats) then exit 1
+  in
+  let use_stdin =
+    Arg.(value & flag & info [ "stdin" ]
+           ~doc:"Pipe mode: read NDJSON requests from standard input, stream responses to \
+                 standard output, exit at EOF.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv); one connection at a time, a \
+                 fresh engine per connection.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"With --socket: exit after serving the first connection.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve protect/verify/simulate/attest jobs over newline-delimited JSON")
+    Term.(const run $ use_stdin $ socket $ once $ workers_arg $ queue_arg $ backpressure_arg
+          $ store_arg $ retries_arg $ deadline_arg $ ks_cache_arg $ metrics_arg $ json_out_arg)
+
+let batch_cmd =
+  let run file clients workers queue backpressure store retries deadline ks_cache metrics
+      json_out =
+    let config = service_config workers queue backpressure store retries deadline ks_cache in
+    let malformed = ref 0 in
+    let jobs =
+      if file = "@registry" then Sofia.Service_load.registry_jobs ~clients ()
+      else begin
+        let text = try read_file file with Sys_error m -> or_die (Error m) in
+        let lines = String.split_on_char '\n' text in
+        List.concat
+          (List.mapi
+             (fun i line ->
+               if String.trim line = "" then []
+               else
+                 match Job.request_of_line line with
+                 | Ok req -> [ req ]
+                 | Error msg ->
+                   incr malformed;
+                   Format.eprintf "error: %s:%d: %s@." file (i + 1) msg;
+                   [])
+             lines)
+      end
+    in
+    if jobs = [] then or_die (Error (file ^ ": no valid jobs"));
+    let t0 = Unix.gettimeofday () in
+    let responses, engine = Engine.run_batch config jobs in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter (fun r -> print_endline (Job.response_to_line r)) responses;
+    let m = Engine.metrics engine in
+    let st = Engine.store engine in
+    Format.eprintf
+      "batch: %d jobs in %.3fs (%.1f jobs/s), %d done, %d rejected, %d timed out, %d failed; \
+       store %d hits / %d misses@."
+      (List.length responses) dt
+      (float_of_int (List.length responses) /. dt)
+      m.Sofia.Service.Svc_metrics.completed m.Sofia.Service.Svc_metrics.rejected
+      m.Sofia.Service.Svc_metrics.timed_out m.Sofia.Service.Svc_metrics.failed
+      (Sofia.Service.Store.hits st) (Sofia.Service.Store.misses st);
+    emit_service_metrics engine ~metrics ~json_out;
+    if !malformed > 0 || m.Sofia.Service.Svc_metrics.completed <> List.length responses then
+      exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"NDJSON job file (one request per line), or $(b,@registry) for the \
+                 built-in workload-registry load mix.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"With @registry: number of duplicate protect requests per workload \
+                 (models a fleet re-requesting the same release image).")
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Run a job file through the service engine and print responses")
+    Term.(const run $ file $ clients $ workers_arg $ queue_arg $ backpressure_arg $ store_arg
+          $ retries_arg $ deadline_arg $ ks_cache_arg $ metrics_arg $ json_out_arg)
+
 (* ---- table1 ---- *)
 
 let table1_cmd =
@@ -360,4 +550,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "sofia_cli" ~doc)
           [ assemble_cmd; cfg_cmd; compile_cmd; protect_cmd; verify_cmd; run_cmd; run_image_cmd;
-            gadgets_cmd; faults_cmd; table1_cmd ]))
+            serve_cmd; batch_cmd; gadgets_cmd; faults_cmd; table1_cmd ]))

@@ -13,7 +13,10 @@
     - {!Attack}: tampering, code-reuse and forgery campaigns;
     - {!Hwmodel}: the Table-I FPGA area / clock model;
     - {!Workloads}: ADPCM and the other benchmark kernels;
-    - {!Minic}: the C-like toolchain front-end (source → assembly).
+    - {!Minic}: the C-like toolchain front-end (source → assembly);
+    - {!Service}: the concurrent protection/attestation serving layer
+      (job queue, Domain worker pool, content-addressed image store,
+      NDJSON wire protocol — [sofia_cli serve]/[batch]).
 
     The {!Protect}, {!Run} and {!Report} modules below are the
     high-level API a downstream user starts from; see
@@ -32,6 +35,7 @@ module Hwmodel = Sofia_hwmodel
 module Workloads = Sofia_workloads
 module Minic = Sofia_minic
 module Provision = Provision
+module Service = Sofia_service
 
 (** One-stop protection pipeline: assemble → CFG → transform →
     MAC-then-Encrypt. *)
@@ -128,6 +132,32 @@ module Report = struct
       o.name o.text_bytes_vanilla o.text_bytes_sofia o.expansion o.vanilla_cycles o.sofia_cycles
       o.cycle_overhead_pct o.total_time_overhead_pct
       (if o.outputs_ok then "" else "  [OUTPUT MISMATCH]")
+end
+
+(** The serving layer's standard load: the full workload registry as a
+    mixed provisioning job list. Per workload, [clients] protect
+    requests (a fleet re-requesting the same release image — the store's
+    cache-hit case), one independent verification, one release
+    attestation and one QA simulation on the SOFIA core. The same list
+    drives [sofia_cli batch @registry] and the [service-throughput] /
+    [service-p99] bench rows, so CLI results and committed bench numbers
+    are directly comparable. *)
+module Service_load = struct
+  module Job = Sofia_service.Job
+
+  let registry_jobs ?(clients = 4) () =
+    List.concat_map
+      (fun (w : Sofia_workloads.Workload.t) ->
+        let source = w.Sofia_workloads.Workload.source in
+        let name = w.Sofia_workloads.Workload.name in
+        List.init clients (fun i ->
+            Job.make ~id:(Printf.sprintf "protect:%s#%d" name i) (Job.Protect { source }))
+        @ [
+            Job.make ~id:("verify:" ^ name) (Job.Verify { source });
+            Job.make ~id:("attest:" ^ name) (Job.Attest { source });
+            Job.make ~id:("simulate:" ^ name) (Job.Simulate { source; sofia = true });
+          ])
+      (Sofia_workloads.Registry.all ())
 end
 
 let version = "1.0.0"

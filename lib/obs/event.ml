@@ -13,6 +13,7 @@ type t =
   | Reset of { kind : string; address : int }
   | Halt of { code : int }
   | Fuel_exhausted
+  | Service_error of { kind : string; detail : string }
   | Custom of { name : string; value : int }
 
 let name = function
@@ -28,6 +29,7 @@ let name = function
   | Reset _ -> "reset"
   | Halt _ -> "halt"
   | Fuel_exhausted -> "fuel_exhausted"
+  | Service_error _ -> "service_error"
   | Custom _ -> "custom"
 
 let mac_kind_name = function Exec_mac -> "exec" | Mux_mac -> "mux"
@@ -49,6 +51,8 @@ let fields = function
     [ ("kind", Json.Str kind); ("address", Json.Int address) ]
   | Halt { code } -> [ ("code", Json.Int code) ]
   | Fuel_exhausted -> []
+  | Service_error { kind; detail } ->
+    [ ("kind", Json.Str kind); ("detail", Json.Str detail) ]
   | Custom { name; value } -> [ ("name", Json.Str name); ("value", Json.Int value) ]
 
 let to_json ?seq t =
@@ -83,4 +87,6 @@ let pp fmt t =
     Format.fprintf fmt "CPU-RESET      kind=%s address=0x%08x" kind address
   | Halt { code } -> Format.fprintf fmt "halt           code=%d" code
   | Fuel_exhausted -> Format.fprintf fmt "fuel-exhausted"
+  | Service_error { kind; detail } ->
+    Format.fprintf fmt "SERVICE-ERROR  kind=%s detail=%s" kind detail
   | Custom { name; value } -> Format.fprintf fmt "custom         %s=%d" name value

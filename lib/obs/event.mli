@@ -34,6 +34,11 @@ type t =
       (** the reset line fired (every [Violation] is followed by one) *)
   | Halt of { code : int }
   | Fuel_exhausted
+  | Service_error of { kind : string; detail : string }
+      (** the serving layer rejected bad input instead of crashing: a
+          malformed JSON request, an unloadable [.sfi] image, a job
+          whose executor raised — [kind] is a stable snake_case tag
+          ([bad_request], [bad_image], [job_failed]) *)
   | Custom of { name : string; value : int }
       (** escape hatch for tools layered on top (verifier, bench) *)
 

@@ -1,0 +1,385 @@
+module Machine = Sofia_cpu.Machine
+module Obs = Sofia_obs.Obs
+module Event = Sofia_obs.Event
+
+type backpressure = Block | Reject
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  backpressure : backpressure;
+  store_slots : int;
+  max_attempts : int;
+  ks_cache_slots : int option;
+  default_deadline_ms : int option;
+  fault : (Job.request -> attempt:int -> unit) option;
+}
+
+let default_config =
+  {
+    workers = 0;
+    queue_capacity = 64;
+    backpressure = Block;
+    store_slots = 256;
+    max_attempts = 3;
+    ks_cache_slots = Some 1024;
+    default_deadline_ms = None;
+    fault = None;
+  }
+
+type pending = { req : Job.request; seq : int; submitted_at : float }
+
+type t = {
+  cfg : config;
+  queue : pending Jobq.t;
+  store : Store.t;
+  m : Mutex.t;  (* guards responses, metrics, completion counter *)
+  settled : Condition.t;
+  mutable responses : Job.response list;  (* newest first *)
+  mutable terminal : int;
+  mutable next_seq : int;
+  mutable domains : unit Domain.t list;
+  mutable started : bool;
+  metrics : Svc_metrics.t;
+  obs : Obs.t;
+  on_response : (Job.response -> unit) option;
+}
+
+let outcome_label = function
+  | Machine.Halted c -> Printf.sprintf "halted:%d" c
+  | Machine.Cpu_reset v -> "cpu_reset:" ^ Machine.violation_label v
+  | Machine.Out_of_fuel -> "out_of_fuel"
+
+(* ------------------------------------------------------------------ *)
+(* Job execution (pure of engine state except the shared store)        *)
+(* ------------------------------------------------------------------ *)
+
+exception Permanent of string
+(* structured executor failure; becomes a [Failed] response *)
+
+let assemble_or_fail source =
+  try Sofia_asm.Assembler.assemble source with
+  | Sofia_asm.Assembler.Error { line; message } ->
+    raise (Permanent (Printf.sprintf "assembly error at line %d: %s" line message))
+
+let protect_entry ~store ~(req : Job.request) source =
+  let key = Store.key ~source ~key_seed:req.key_seed ~nonce:req.nonce in
+  Store.find_or_build store ~key ~build:(fun () ->
+      let program = assemble_or_fail source in
+      let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
+      match Sofia_transform.Transform.protect ~keys ~nonce:req.nonce program with
+      | Error e -> raise (Permanent (Format.asprintf "transform error: %a" Sofia_transform.Layout.pp_error e))
+      | Ok image ->
+        let bytes = Sofia_transform.Binary_format.serialize image in
+        {
+          Store.bytes;
+          image;
+          digest = Store.fingerprint bytes;
+          text_bytes = Sofia_transform.Image.text_size_bytes image;
+          expansion = Sofia_transform.Transform.expansion_ratio image;
+          blocks = Array.length image.Sofia_transform.Image.blocks;
+          issues = None;
+          mac = None;
+        })
+
+let verify_issues ~(req : Job.request) source (entry : Store.entry) =
+  Store.fill_issues entry (fun () ->
+      let program = assemble_or_fail source in
+      let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
+      List.length
+        (Sofia_transform.Verify.check_against_source ~keys program entry.Store.image))
+
+let mac_digest ~(req : Job.request) (entry : Store.entry) =
+  Store.fill_mac entry (fun () ->
+      let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
+      let tag =
+        Sofia_crypto.Cbc_mac.mac_words keys.Sofia_crypto.Keys.k2
+          entry.Store.image.Sofia_transform.Image.cipher
+      in
+      Printf.sprintf "%016Lx" tag)
+
+let run_config ks_cache_slots =
+  match ks_cache_slots with
+  | None -> None
+  | Some _ ->
+    Some { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.ks_cache_slots }
+
+let simulated_of_result ~cached (r : Machine.run_result) =
+  Job.Simulated
+    {
+      outcome = outcome_label r.Machine.outcome;
+      outputs = r.Machine.outputs;
+      cycles = r.Machine.stats.Machine.cycles;
+      instructions = r.Machine.stats.Machine.instructions;
+      cached;
+    }
+
+let execute ~store ~ks_cache_slots (req : Job.request) =
+  match req.Job.spec with
+  | Job.Protect { source } ->
+    let entry, cached = protect_entry ~store ~req source in
+    Job.Protected
+      {
+        text_bytes = entry.Store.text_bytes;
+        expansion = entry.Store.expansion;
+        blocks = entry.Store.blocks;
+        digest = entry.Store.digest;
+        cached;
+      }
+  | Job.Verify { source } ->
+    let entry, cached = protect_entry ~store ~req source in
+    Job.Verified { issues = verify_issues ~req source entry; cached }
+  | Job.Attest { source } ->
+    let entry, cached = protect_entry ~store ~req source in
+    let issues = verify_issues ~req source entry in
+    Job.Attested { digest = entry.Store.digest; mac = mac_digest ~req entry; issues; cached }
+  | Job.Simulate { source; sofia } ->
+    if sofia then begin
+      let entry, cached = protect_entry ~store ~req source in
+      let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
+      let r =
+        Sofia_cpu.Sofia_runner.run ?config:(run_config ks_cache_slots) ~keys
+          entry.Store.image
+      in
+      simulated_of_result ~cached r
+    end
+    else begin
+      let program = assemble_or_fail source in
+      simulated_of_result ~cached:false (Sofia_cpu.Vanilla.run program)
+    end
+  | Job.Run_image { path } ->
+    let loaded =
+      match
+        (try Sofia_transform.Binary_format.load ~path with
+         | Sys_error m -> raise (Permanent ("cannot read image: " ^ m)))
+      with
+      | Error e ->
+        raise
+          (Permanent
+             (Format.asprintf "bad image %s: %a" path Sofia_transform.Binary_format.pp_error e))
+      | Ok loaded -> loaded
+    in
+    let image = Sofia_transform.Binary_format.image_of_loaded loaded in
+    let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
+    let r = Sofia_cpu.Sofia_runner.run ?config:(run_config ks_cache_slots) ~keys image in
+    Job.Ran
+      {
+        outcome = outcome_label r.Machine.outcome;
+        outputs = r.Machine.outputs;
+        cycles = r.Machine.stats.Machine.cycles;
+        instructions = r.Machine.stats.Machine.instructions;
+      }
+
+let execute_oneshot req =
+  let store = Store.create ~slots:0 in
+  try Job.Done (execute ~store ~ks_cache_slots:None req) with
+  | Permanent m -> Job.Failed m
+  | Job.Transient m -> Job.Failed ("transient: " ^ m)
+  | e -> Job.Failed (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(obs = Obs.none) ?on_response cfg =
+  let cfg = { cfg with max_attempts = max 1 cfg.max_attempts } in
+  {
+    cfg;
+    queue = Jobq.create ~capacity:cfg.queue_capacity;
+    store = Store.create ~slots:cfg.store_slots;
+    m = Mutex.create ();
+    settled = Condition.create ();
+    responses = [];
+    terminal = 0;
+    next_seq = 0;
+    domains = [];
+    started = false;
+    metrics = Svc_metrics.create ();
+    obs;
+    on_response;
+  }
+
+let now () = Unix.gettimeofday ()
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Record the single terminal response of a job: completion index,
+   status counter, latency histogram, stream callback — all under the
+   one lock so the completion order is total. *)
+let settle t ~(req : Job.request) ~seq ~submitted_at ~attempts ~worker status =
+  let latency_ms = (now () -. submitted_at) *. 1000.0 in
+  let op = Job.op_name req.Job.spec in
+  with_lock t (fun () ->
+      let resp =
+        {
+          Job.id = req.Job.id;
+          op;
+          seq;
+          completion = t.terminal;
+          attempts;
+          worker;
+          latency_ms;
+          status;
+        }
+      in
+      t.responses <- resp :: t.responses;
+      t.terminal <- t.terminal + 1;
+      (match status with
+       | Job.Done _ -> t.metrics.Svc_metrics.completed <- t.metrics.Svc_metrics.completed + 1
+       | Job.Rejected _ -> t.metrics.Svc_metrics.rejected <- t.metrics.Svc_metrics.rejected + 1
+       | Job.Timed_out -> t.metrics.Svc_metrics.timed_out <- t.metrics.Svc_metrics.timed_out + 1
+       | Job.Failed detail ->
+         t.metrics.Svc_metrics.failed <- t.metrics.Svc_metrics.failed + 1;
+         if Obs.tracing t.obs then
+           Obs.emit t.obs (Event.Service_error { kind = "job_failed"; detail }));
+      Svc_metrics.observe_latency t.metrics ~op
+        ~us:(int_of_float (latency_ms *. 1000.0));
+      (match t.on_response with Some f -> f resp | None -> ());
+      Condition.broadcast t.settled)
+
+let deadline_of t (req : Job.request) =
+  match req.Job.deadline_ms with Some d -> Some d | None -> t.cfg.default_deadline_ms
+
+let expired t (req : Job.request) ~submitted_at =
+  match deadline_of t req with
+  | None -> false
+  | Some d -> (now () -. submitted_at) *. 1000.0 >= float_of_int d
+
+let process t ~worker (p : pending) =
+  let { req; seq; submitted_at } = p in
+  if expired t req ~submitted_at then
+    settle t ~req ~seq ~submitted_at ~attempts:0 ~worker Job.Timed_out
+  else begin
+    let rec attempt n =
+      match
+        (match t.cfg.fault with Some f -> f req ~attempt:n | None -> ());
+        Job.Done (execute ~store:t.store ~ks_cache_slots:t.cfg.ks_cache_slots req)
+      with
+      | status -> (status, n)
+      | exception Job.Transient m ->
+        if n >= t.cfg.max_attempts then
+          (Job.Failed (Printf.sprintf "transient (%d attempts): %s" n m), n)
+        else if expired t req ~submitted_at then (Job.Timed_out, n)
+        else begin
+          with_lock t (fun () ->
+              t.metrics.Svc_metrics.retries <- t.metrics.Svc_metrics.retries + 1);
+          attempt (n + 1)
+        end
+      | exception Permanent m -> (Job.Failed m, n)
+      | exception e -> (Job.Failed (Printexc.to_string e), n)
+    in
+    let status, attempts = attempt 1 in
+    settle t ~req ~seq ~submitted_at ~attempts ~worker status
+  end
+
+let worker_loop t ~worker =
+  let rec loop () =
+    match Jobq.pop t.queue with
+    | None -> ()
+    | Some p ->
+      process t ~worker p;
+      loop ()
+  in
+  loop ()
+
+(* The pool never oversubscribes the host: every runnable domain beyond
+   the spare cores makes each stop-the-world minor GC pay a scheduler
+   timeslice of latency, so extra domains are strictly slower (measured
+   ~3x on a single-core host). [workers] is therefore a cap, not a
+   demand; the effective count is reported next to the requested one in
+   {!metrics_json}. *)
+let resolved_workers t =
+  let avail = Sofia_util.Par.recommended () in
+  if t.cfg.workers > 0 then max 1 (min t.cfg.workers avail) else avail
+
+let start t =
+  with_lock t (fun () ->
+      if not t.started then begin
+        t.started <- true;
+        t.domains <-
+          List.init (resolved_workers t) (fun worker ->
+              Domain.spawn (fun () -> worker_loop t ~worker))
+      end)
+
+let submit t req =
+  let submitted_at = now () in
+  let seq =
+    with_lock t (fun () ->
+        t.metrics.Svc_metrics.submitted <- t.metrics.Svc_metrics.submitted + 1;
+        let s = t.next_seq in
+        t.next_seq <- s + 1;
+        s)
+  in
+  let p = { req; seq; submitted_at } in
+  let verdict =
+    match t.cfg.backpressure with
+    | Reject -> Jobq.try_push t.queue p
+    | Block -> (Jobq.push t.queue p :> [ `Ok | `Full | `Closed ])
+  in
+  match verdict with
+  | `Ok -> ()
+  | `Full ->
+    settle t ~req ~seq ~submitted_at ~attempts:0 ~worker:(-1)
+      (Job.Rejected "queue full")
+  | `Closed ->
+    settle t ~req ~seq ~submitted_at ~attempts:0 ~worker:(-1)
+      (Job.Rejected "engine shut down")
+
+let drain t =
+  with_lock t (fun () ->
+      while t.terminal < t.next_seq do
+        Condition.wait t.settled t.m
+      done);
+  with_lock t (fun () ->
+      List.sort (fun a b -> compare a.Job.seq b.Job.seq) t.responses)
+
+let shutdown t =
+  Jobq.close t.queue;
+  let ds =
+    with_lock t (fun () ->
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join ds
+
+let metrics t = t.metrics
+let store t = t.store
+let queue_depth t = Jobq.length t.queue
+let queue_depth_max t = Jobq.depth_max t.queue
+
+let metrics_json t =
+  let module J = Sofia_obs.Json in
+  match Svc_metrics.to_json t.metrics with
+  | J.Obj fields ->
+    J.Obj
+      (fields
+      @ [
+          ( "store",
+            J.Obj
+              [ ("hits", J.Int (Store.hits t.store));
+                ("misses", J.Int (Store.misses t.store));
+                ("evictions", J.Int (Store.evictions t.store));
+                ("entries", J.Int (Store.length t.store)) ] );
+          ( "queue",
+            J.Obj
+              [ ("capacity", J.Int (Jobq.capacity t.queue));
+                ("depth", J.Int (Jobq.length t.queue));
+                ("depth_max", J.Int (Jobq.depth_max t.queue)) ] );
+          ("workers", J.Int (resolved_workers t));
+          ("workers_requested", J.Int t.cfg.workers);
+        ])
+  | j -> j
+
+let responses t =
+  with_lock t (fun () -> List.sort (fun a b -> compare a.Job.seq b.Job.seq) t.responses)
+
+let run_batch ?obs ?on_response cfg reqs =
+  let t = create ?obs ?on_response cfg in
+  start t;
+  List.iter (submit t) reqs;
+  let rs = drain t in
+  shutdown t;
+  (rs, t)

@@ -1,0 +1,112 @@
+(** The concurrent protection/attestation engine: a bounded admission
+    queue in front of a pool of OCaml-domain workers sharing one
+    content-addressed image store.
+
+    Job lifecycle (every submitted job traverses exactly one path):
+
+    {v
+    submit ──▶ queue ──▶ worker ──▶ attempt 1..max_attempts ──▶ Done
+       │         │          │                     │
+       │         │          └─ deadline expired ──┴──▶ Timed_out
+       │         └─ (Reject policy, queue full) ──────▶ Rejected
+       └─ (engine shut down) ─────────────────────────▶ Rejected
+    v}
+
+    so after {!drain} the terminal counters sum to the submission
+    count ({!Svc_metrics.terminal_sum}) — no job is ever silently
+    dropped. Responses are delivered twice: streamed through the
+    [on_response] callback as they complete (wire mode), and collected
+    by {!drain} in admission order (batch mode).
+
+    Deadlines are enforced at dispatch and between retry attempts: a
+    pure CPU-bound job cannot be preempted mid-run, so a job that
+    {e starts} before its deadline runs to completion (documented
+    serving semantics; DESIGN.md §9). A [deadline_ms] of [0] therefore
+    deterministically times out — the tests' lever.
+
+    Retries: an attempt that raises {!Job.Transient} is retried (same
+    worker, immediately) until [max_attempts] is exhausted; any other
+    exception is a permanent, structured [Failed] — exceptions never
+    escape a worker. *)
+
+type backpressure = Block | Reject
+
+type config = {
+  workers : int;
+      (** requested pool size; 0 = {!Sofia_util.Par.recommended}. The
+          engine treats this as a {e cap}: it never spawns more domains
+          than the host has spare cores, because every runnable domain
+          beyond that makes each stop-the-world minor GC pay a scheduler
+          timeslice (measured ~3x slower on a 1-core host). The
+          effective count is reported in {!metrics_json}. *)
+  queue_capacity : int;
+  backpressure : backpressure;
+  store_slots : int;  (** content-addressed image store cap; 0 disables *)
+  max_attempts : int;  (** >= 1; retries = attempts - 1 *)
+  ks_cache_slots : int option;  (** keystream cache for [Simulate]/[Run_image] jobs *)
+  default_deadline_ms : int option;  (** for requests that carry none *)
+  fault : (Job.request -> attempt:int -> unit) option;
+      (** chaos hook, called before each execution attempt; raise
+          {!Job.Transient} to model a transient worker fault *)
+}
+
+val default_config : config
+(** 0 workers (auto), 64-deep queue, [Block], 256 store slots, 3
+    attempts, keystream cache on (1024 slots), no default deadline, no
+    fault injection. *)
+
+type t
+
+val create : ?obs:Sofia_obs.Obs.t -> ?on_response:(Job.response -> unit) -> config -> t
+(** No worker is spawned yet: submissions queue up (or get rejected)
+    until {!start}. [on_response] is called once per terminal response,
+    under the engine's result lock (callbacks are serialised; keep them
+    short). [obs] receives [service_error] events for failed jobs. *)
+
+val start : t -> unit
+(** Spawn the worker domains. Idempotent. *)
+
+val submit : t -> Job.request -> unit
+(** Admit one job. With [Reject] backpressure and a full queue — or an
+    engine already shut down — the job terminates immediately as
+    [Rejected] (the response is recorded and streamed like any other).
+    With [Block], blocks until a slot frees. *)
+
+val drain : t -> Job.response list
+(** Wait until every submitted job has a terminal response; responses
+    in admission ([seq]) order. Requires {!start} (or nothing pending). *)
+
+val shutdown : t -> unit
+(** Graceful: close admission, let workers drain the queue, join them.
+    Idempotent. Jobs still queued are executed, not dropped. *)
+
+val metrics : t -> Svc_metrics.t
+val store : t -> Store.t
+val queue_depth : t -> int
+val queue_depth_max : t -> int
+
+val metrics_json : t -> Sofia_obs.Json.t
+(** The full serving-metrics document: {!Svc_metrics.to_json} plus the
+    store's hit/miss/eviction/entry counters and the queue-depth
+    gauge/high-water mark — the ["service_metrics"] object of the
+    bench JSON schema. *)
+
+val responses : t -> Job.response list
+(** Terminal responses so far, admission order (snapshot). *)
+
+val run_batch :
+  ?obs:Sofia_obs.Obs.t ->
+  ?on_response:(Job.response -> unit) ->
+  config ->
+  Job.request list ->
+  Job.response list * t
+(** Create, start, submit everything, drain, shut down; the engine is
+    returned for its metrics/store counters. *)
+
+val execute_oneshot : Job.request -> Job.status
+(** Run one job the way a one-shot CLI invocation would: no queue, no
+    worker pool, no store, no keystream cache — the sequential baseline
+    the load-generator bench compares the engine against. *)
+
+val outcome_label : Sofia_cpu.Machine.outcome -> string
+(** Stable wire form: [halted:N], [cpu_reset:<violation>], [out_of_fuel]. *)

@@ -1,0 +1,112 @@
+(** The typed job API of the SOFIA serving layer, and its
+    newline-delimited JSON wire form.
+
+    A job is what a software provider's provisioning service is asked
+    to do with one program: encrypt it ({!spec.Protect}), independently
+    re-check a protected image ({!spec.Verify}), run it on one of the
+    two processor models ({!spec.Simulate}, {!spec.Run_image}), or the
+    full release gate — protect, verify and emit a keyed MAC digest of
+    the ciphertext ({!spec.Attest}).
+
+    Requests and responses each serialise to exactly one JSON line
+    (the [source] field's newlines are escaped by the encoder), so the
+    wire protocol works over a pipe, a Unix-domain socket, or a batch
+    file without framing. Request schema:
+
+    {v
+    {"id":"r1","op":"protect","source":"start:\n  halt\n",
+     "key_seed":1,"nonce":1,"deadline_ms":500}
+    v}
+
+    [op] is one of [protect], [verify], [simulate] (optional
+    ["sofia":false] for the vanilla core), [attest], [run_image]
+    (with ["path"] instead of ["source"]). [key_seed], [nonce] and
+    [deadline_ms] are optional. Responses carry the request [id], the
+    ordering metadata ([seq] = admission order, [completion] =
+    completion order), the terminal [status] ([done], [rejected],
+    [timed_out], [failed]) and the per-op payload fields. *)
+
+exception Transient of string
+(** A worker-side failure worth retrying (the chaos hook in
+    {!Engine.config} raises it; a real deployment would map I/O errors
+    here). Anything else a job raises is permanent and becomes a
+    [Failed] response. *)
+
+type spec =
+  | Protect of { source : string }
+  | Verify of { source : string }
+  | Simulate of { source : string; sofia : bool }
+  | Attest of { source : string }
+  | Run_image of { path : string }
+
+type request = {
+  id : string;
+  key_seed : int64;  (** device key seed (default [0x50F1A]) *)
+  nonce : int;  (** program-version nonce ω (default 1) *)
+  deadline_ms : int option;
+      (** total time budget from admission; a job still queued (or
+          about to be retried) past its deadline reports [Timed_out] *)
+  spec : spec;
+}
+
+val make :
+  ?key_seed:int64 -> ?nonce:int -> ?deadline_ms:int -> id:string -> spec -> request
+
+val op_name : spec -> string
+(** Stable wire tag: [protect], [verify], [simulate], [attest],
+    [run_image]. *)
+
+type payload =
+  | Protected of {
+      text_bytes : int;
+      expansion : float;
+      blocks : int;
+      digest : string;  (** fingerprint of the serialised [.sfi] bytes *)
+      cached : bool;  (** image came from the content-addressed store *)
+    }
+  | Verified of { issues : int; cached : bool }
+  | Simulated of {
+      outcome : string;
+      outputs : int list;
+      cycles : int;
+      instructions : int;
+      cached : bool;
+    }
+  | Attested of { digest : string; mac : string; issues : int; cached : bool }
+  | Ran of { outcome : string; outputs : int list; cycles : int; instructions : int }
+
+type status =
+  | Done of payload
+  | Rejected of string  (** backpressure turned the job away at admission *)
+  | Timed_out
+  | Failed of string  (** structured executor failure — never a backtrace *)
+
+type response = {
+  id : string;
+  op : string;
+  seq : int;  (** admission order (0-based) *)
+  completion : int;  (** completion order (0-based, over all terminal responses) *)
+  attempts : int;  (** execution attempts consumed (0 if never dispatched) *)
+  worker : int;  (** worker index, [-1] if never dispatched *)
+  latency_ms : float;  (** admission -> terminal response *)
+  status : status;
+}
+
+val status_name : status -> string
+(** [done], [rejected], [timed_out] or [failed]. *)
+
+val request_to_json : request -> Sofia_obs.Json.t
+val request_of_json : Sofia_obs.Json.t -> (request, string) result
+
+val request_of_line : string -> (request, string) result
+(** Parse one NDJSON line. Never raises: malformed JSON, a missing
+    field or an unknown [op] come back as [Error] with a rendered
+    diagnostic. *)
+
+val response_to_json : response -> Sofia_obs.Json.t
+
+val response_to_line : response -> string
+
+val error_line : id:string option -> string -> string
+(** The wire form of a request that never became a job (unparseable
+    line): [{"id":...,"status":"error","error":...}]. *)

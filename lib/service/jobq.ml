@@ -1,0 +1,72 @@
+type 'a t = {
+  buf : 'a Queue.t;
+  cap : int;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+  mutable hwm : int;  (* high-water mark of Queue.length buf *)
+}
+
+let create ~capacity =
+  {
+    buf = Queue.create ();
+    cap = max 1 capacity;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false;
+    hwm = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let enqueue t v =
+  Queue.push v t.buf;
+  let d = Queue.length t.buf in
+  if d > t.hwm then t.hwm <- d;
+  Condition.signal t.not_empty
+
+let try_push t v =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.buf >= t.cap then `Full
+      else begin
+        enqueue t v;
+        `Ok
+      end)
+
+let push t v =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.buf >= t.cap do
+        Condition.wait t.not_full t.m
+      done;
+      if t.closed then `Closed
+      else begin
+        enqueue t v;
+        `Ok
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.is_empty t.buf do
+        Condition.wait t.not_empty t.m
+      done;
+      if Queue.is_empty t.buf then None (* closed and drained *)
+      else begin
+        let v = Queue.pop t.buf in
+        Condition.signal t.not_full;
+        Some v
+      end)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full)
+
+let length t = with_lock t (fun () -> Queue.length t.buf)
+let depth_max t = with_lock t (fun () -> t.hwm)
+let capacity t = t.cap

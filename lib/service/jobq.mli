@@ -1,0 +1,42 @@
+(** Bounded multi-producer / multi-consumer job queue — the admission
+    stage of the serving layer.
+
+    A classic mutex + two-condition bounded buffer, safe across OCaml 5
+    domains. The two admission disciplines the engine's backpressure
+    policies need are both first-class:
+
+    - {!try_push} never blocks: a full queue answers [`Full]
+      immediately (the reject-with-429 policy);
+    - {!push} blocks the producer until a slot frees up (the blocking
+      policy), so a saturated queue slows the client down instead of
+      growing without bound.
+
+    {!close} starts the graceful drain: producers are turned away with
+    [`Closed] but consumers keep draining until the buffer is empty,
+    after which {!pop} answers [None] — the worker-exit signal. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val push : 'a t -> 'a -> [ `Ok | `Closed ]
+(** Blocks while the queue is full. Closing the queue wakes blocked
+    producers with [`Closed]. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while the queue is empty. [None] iff the queue is closed
+    {e and} drained. *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes every blocked producer and consumer. *)
+
+val length : 'a t -> int
+(** Current depth (the queue-depth gauge). *)
+
+val depth_max : 'a t -> int
+(** High-water mark of {!length} over the queue's lifetime. *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,113 @@
+type entry = {
+  bytes : Bytes.t;
+  image : Sofia_transform.Image.t;
+  digest : string;
+  text_bytes : int;
+  expansion : float;
+  blocks : int;
+  mutable issues : int option;
+  mutable mac : string option;
+}
+
+type slot = { entry : entry; mutable last_used : int }
+
+type t = {
+  slots : int;
+  tbl : (int64, slot) Hashtbl.t;
+  m : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~slots =
+  { slots; tbl = Hashtbl.create 64; m = Mutex.create (); tick = 0; hits = 0; misses = 0;
+    evictions = 0 }
+
+(* FNV-1a, 64-bit *)
+let hash_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let fingerprint b =
+  let h = hash_string (Bytes.unsafe_to_string b) in
+  Printf.sprintf "%016Lx" h
+
+let key ~source ~key_seed ~nonce =
+  Int64.logxor (Int64.logxor (hash_string source) key_seed) (Int64.of_int nonce)
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let lookup t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some s ->
+        t.tick <- t.tick + 1;
+        s.last_used <- t.tick;
+        t.hits <- t.hits + 1;
+        Some s.entry
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let evict_lru t =
+  (* called under the lock; the table is small (<= slots) *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k s ->
+      match !victim with
+      | Some (_, age) when age <= s.last_used -> ()
+      | _ -> victim := Some (k, s.last_used))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let insert t key entry =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some s -> s.entry (* a racing worker got there first: its entry wins *)
+      | None ->
+        while Hashtbl.length t.tbl >= t.slots do
+          evict_lru t
+        done;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl key { entry; last_used = t.tick };
+        entry)
+
+let find_or_build t ~key ~build =
+  if t.slots <= 0 then (build (), false)
+  else
+    match lookup t key with
+    | Some e -> (e, true)
+    | None -> (insert t key (build ()), false)
+
+let fill_issues e compute =
+  match e.issues with
+  | Some i -> i
+  | None ->
+    let i = compute () in
+    e.issues <- Some i;
+    i
+
+let fill_mac e compute =
+  match e.mac with
+  | Some m -> m
+  | None ->
+    let m = compute () in
+    e.mac <- Some m;
+    m
+
+let length t = with_lock t (fun () -> Hashtbl.length t.tbl)
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+let evictions t = with_lock t (fun () -> t.evictions)

@@ -1,0 +1,65 @@
+(** Content-addressed protected-image store with an LRU cap.
+
+    The serving-layer observation behind it: a provisioning service is
+    asked for the {e same} image over and over (fleet re-provisioning,
+    OTA re-delivery, the verify/attest/simulate jobs of one release all
+    needing the protect result), and the SOFIA transformation is
+    deterministic — same program text, same device key seed, same
+    nonce ω, byte-identical image. So images are addressed purely by
+    content: {!key} hashes the program text and folds in the key seed
+    and nonce ([hash(text) ⊕ seed ⊕ ω]); two requests that agree on all
+    three share one entry, and a cache hit returns the {e identical}
+    serialised bytes the cold path produced (asserted by
+    [test/service_tests.ml]).
+
+    An entry carries the serialised [.sfi] container plus the derived
+    facts the job types need; the expensive derivations only an attest
+    or verify job wants (independent verification, ciphertext MAC
+    digest) are filled lazily by {!fill_issues} / {!fill_mac} so a
+    protect-only workload never pays for them — and a verify job after
+    an attest (or vice versa) reuses them.
+
+    Thread-safety: lookup/insert/touch are mutex-protected; builders
+    run {e outside} the lock so a slow protect does not stall unrelated
+    workers, and the first finished insert wins if two workers race on
+    the same key. *)
+
+type entry = {
+  bytes : Bytes.t;  (** serialised [.sfi] container (canonical form) *)
+  image : Sofia_transform.Image.t;
+  digest : string;  (** {!fingerprint} of [bytes] *)
+  text_bytes : int;
+  expansion : float;
+  blocks : int;
+  mutable issues : int option;  (** independent-verifier issue count, lazily filled *)
+  mutable mac : string option;  (** ciphertext CBC-MAC digest, lazily filled *)
+}
+
+type t
+
+val create : slots:int -> t
+(** [slots <= 0] disables caching: every {!find_or_build} builds. *)
+
+val key : source:string -> key_seed:int64 -> nonce:int -> int64
+
+val find_or_build : t -> key:int64 -> build:(unit -> entry) -> entry * bool
+(** The returned flag is [true] on a cache hit. A disabled store always
+    builds and answers [false]. *)
+
+val fill_issues : entry -> (unit -> int) -> int
+(** Memoised read of {!entry.issues} (idempotent under racing fills:
+    the computation is deterministic). *)
+
+val fill_mac : entry -> (unit -> string) -> string
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val fingerprint : Bytes.t -> string
+(** 64-bit FNV-1a of the bytes, as 16 hex digits — the image identity
+    the wire protocol reports (collision-resistance is not a goal;
+    equality of deterministic outputs is). *)
+
+val hash_string : string -> int64

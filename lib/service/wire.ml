@@ -1,0 +1,98 @@
+module J = Sofia_obs.Json
+module Obs = Sofia_obs.Obs
+module Event = Sofia_obs.Event
+
+type stats = {
+  received : int;
+  malformed : int;
+  completed : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+}
+
+let ok s = s.malformed = 0 && s.rejected = 0 && s.timed_out = 0 && s.failed = 0
+
+(* id of an unparseable request, when the line is at least JSON *)
+let salvage_id line =
+  match J.parse_opt line with
+  | Some j -> (match J.member "id" j with Some (J.Str id) -> Some id | _ -> None)
+  | None -> None
+
+let serve_channels ?(obs = Obs.none) ~config ic oc =
+  (* Workers stream responses and the reader loop answers malformed
+     lines; one mutex serialises the interleaved writes. *)
+  let out_m = Mutex.create () in
+  let write_line line =
+    Mutex.lock out_m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock out_m)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+  in
+  let engine =
+    Engine.create ~obs ~on_response:(fun r -> write_line (Job.response_to_line r)) config
+  in
+  Engine.start engine;
+  let received = ref 0 and malformed = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr received;
+         match Job.request_of_line line with
+         | Ok req -> Engine.submit engine req
+         | Error msg ->
+           incr malformed;
+           let m = Engine.metrics engine in
+           m.Svc_metrics.service_errors <- m.Svc_metrics.service_errors + 1;
+           if Obs.tracing obs then
+             Obs.emit obs (Event.Service_error { kind = "bad_request"; detail = msg });
+           write_line (Job.error_line ~id:(salvage_id line) msg)
+       end
+     done
+   with End_of_file -> ());
+  ignore (Engine.drain engine);
+  Engine.shutdown engine;
+  let m = Engine.metrics engine in
+  ( {
+      received = !received;
+      malformed = !malformed;
+      completed = m.Svc_metrics.completed;
+      rejected = m.Svc_metrics.rejected;
+      timed_out = m.Svc_metrics.timed_out;
+      failed = m.Svc_metrics.failed;
+    },
+    engine )
+
+let serve_socket ?obs ~config ~path ~once () =
+  (if Sys.file_exists path then try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let serve_one () =
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let stats =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> serve_channels ?obs ~config ic oc)
+    in
+    stats
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      if once then serve_one ()
+      else begin
+        let last = ref (serve_one ()) in
+        while true do
+          last := serve_one ()
+        done;
+        !last
+      end)

@@ -1,0 +1,47 @@
+(** Newline-delimited JSON transport for the engine: pipe mode (stdin →
+    stdout, the CI-friendly form) and a Unix-domain socket accept loop.
+
+    One request per input line; responses are streamed back one line
+    each, {e in completion order} (the [seq]/[completion] fields let
+    the client reorder). A line that fails to parse never crashes the
+    server: it is answered immediately with
+    [{"id":...,"status":"error","error":...}], counted in
+    [service_errors], and reported as a [service_error] obs event —
+    the serving layer's no-backtrace guarantee. *)
+
+type stats = {
+  received : int;  (** input lines (blank lines skipped) *)
+  malformed : int;  (** lines that never became a job *)
+  completed : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+}
+
+val ok : stats -> bool
+(** No malformed line and no failed/rejected/timed-out job — the
+    CLI's exit-code criterion. *)
+
+val serve_channels :
+  ?obs:Sofia_obs.Obs.t ->
+  config:Engine.config ->
+  in_channel ->
+  out_channel ->
+  stats * Engine.t
+(** Read requests until EOF, stream responses, then drain and shut the
+    engine down. Output writes are serialised across worker domains.
+    The (shut-down) engine is returned for its metrics and store
+    counters. *)
+
+val serve_socket :
+  ?obs:Sofia_obs.Obs.t ->
+  config:Engine.config ->
+  path:string ->
+  once:bool ->
+  unit ->
+  stats * Engine.t
+(** Bind a Unix-domain socket at [path] (replacing a stale one), accept
+    connections one at a time, and speak the same protocol per
+    connection (a fresh engine each). [once] returns after the first
+    connection — the testable form; otherwise loops forever and the
+    returned stats are those of the last connection. *)

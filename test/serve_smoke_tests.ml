@@ -1,0 +1,99 @@
+(* End-to-end smoke test of the serving pipeline: a 200-request mixed
+   batch pushed through a real [sofia_cli serve --stdin --workers 4]
+   child process. Every request id must be answered exactly once, [seq]
+   must equal the submission order, and the [completion] indices must be
+   a permutation of 0..n-1 — the "no request silently dropped"
+   guarantee, exercised over the actual wire. *)
+
+module Job = Sofia.Service.Job
+module Json = Sofia.Obs.Json
+
+let cli = "../bin/sofia_cli.exe"
+
+let sources =
+  [|
+    ".equ OUT, 0xFFFF0000\nmain:\n  addi t0, zero, 1\n  la a6, OUT\n  st t0, 0(a6)\n  halt\n";
+    ".equ OUT, 0xFFFF0000\nmain:\n  addi t0, zero, 2\n  la a6, OUT\n  st t0, 0(a6)\n  halt\n";
+    "start:\n  mv a0, a1\n  j target\ntarget:\n  mv a1, a2\n  halt\n";
+    "start:\n  call f\n  call f\n  halt\nf:\n  addi a0, a0, 1\n  ret\n";
+  |]
+
+let request i =
+  let source = sources.(i mod Array.length sources) in
+  let id = Printf.sprintf "req-%03d" i in
+  match i mod 4 with
+  | 0 -> Job.make ~id (Job.Protect { source })
+  | 1 -> Job.make ~id (Job.Verify { source })
+  | 2 -> Job.make ~id (Job.Attest { source })
+  | _ -> Job.make ~id (Job.Simulate { source; sofia = true })
+
+let test_pipe_mode_200 () =
+  if not (Sys.file_exists cli) then
+    Alcotest.skip ()
+  else begin
+    let n = 200 in
+    let req_path = Filename.temp_file "sofia_smoke" ".ndjson" in
+    let oc = open_out req_path in
+    for i = 0 to n - 1 do
+      output_string oc (Json.to_string (Job.request_to_json (request i)));
+      output_char oc '\n'
+    done;
+    close_out oc;
+    let cmd =
+      Printf.sprintf "%s serve --stdin --workers 4 < %s 2>/dev/null" (Filename.quote cli)
+        (Filename.quote req_path)
+    in
+    let ic = Unix.open_process_in cmd in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    let status = Unix.close_process_in ic in
+    Sys.remove req_path;
+    Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0);
+    let lines = List.rev !lines in
+    Alcotest.(check int) "one response per request" n (List.length lines);
+    let parse line =
+      match Json.parse_opt line with
+      | None -> Alcotest.failf "response is not JSON: %s" line
+      | Some j ->
+        let str name =
+          match Json.member name j with
+          | Some (Json.Str s) -> s
+          | _ -> Alcotest.failf "response lacks %S: %s" name line
+        in
+        let int name =
+          match Json.member name j with
+          | Some (Json.Int v) -> v
+          | _ -> Alcotest.failf "response lacks %S: %s" name line
+        in
+        (str "id", str "status", int "seq", int "completion")
+    in
+    let parsed = List.map parse lines in
+    (* every id answered exactly once *)
+    let seen = Hashtbl.create n in
+    List.iter
+      (fun (id, _, _, _) ->
+        if Hashtbl.mem seen id then Alcotest.failf "id %s answered twice" id;
+        Hashtbl.add seen id ())
+      parsed;
+    for i = 0 to n - 1 do
+      let id = Printf.sprintf "req-%03d" i in
+      if not (Hashtbl.mem seen id) then Alcotest.failf "id %s never answered" id
+    done;
+    (* all terminal states are done; seq matches the submission index *)
+    List.iter
+      (fun (id, status, seq, _) ->
+        Alcotest.(check string) (id ^ " status") "done" status;
+        Alcotest.(check int) (id ^ " seq") (int_of_string (String.sub id 4 3)) seq)
+      parsed;
+    (* completion order is a permutation of 0..n-1 *)
+    let completions = List.map (fun (_, _, _, c) -> c) parsed in
+    let sorted = List.sort compare completions in
+    Alcotest.(check bool) "completion is a permutation" true
+      (sorted = List.init n (fun i -> i))
+  end
+
+let suite = [ Alcotest.test_case "pipe mode, 200 mixed requests" `Slow test_pipe_mode_200 ]

@@ -1,0 +1,440 @@
+(* Unit tests for the serving layer: the bounded job queue, the wire
+   codec, the engine's terminal-state invariant (every submission ends
+   in exactly one of done/rejected/timed_out/failed), deadline and
+   retry semantics, and the content-addressed image store. *)
+
+module Jobq = Sofia.Service.Jobq
+module Job = Sofia.Service.Job
+module Store = Sofia.Service.Store
+module Engine = Sofia.Service.Engine
+module Svc_metrics = Sofia.Service.Svc_metrics
+module Wire = Sofia.Service.Wire
+module Json = Sofia.Obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let tiny_source =
+  ".equ OUT, 0xFFFF0000\nmain:\n  addi t0, zero, 7\n  la a6, OUT\n  st t0, 0(a6)\n  halt\n"
+
+let tiny_source2 =
+  ".equ OUT, 0xFFFF0000\nmain:\n  addi t0, zero, 9\n  la a6, OUT\n  st t0, 0(a6)\n  halt\n"
+
+let tiny_source3 = "start:\n  mv a0, a1\n  j target\ntarget:\n  mv a1, a2\n  halt\n"
+
+let protect_req ?deadline_ms ?(source = tiny_source) id =
+  Job.make ?deadline_ms ~id (Job.Protect { source })
+
+(* After drain, the terminal counters must sum to the submissions —
+   the "no job silently dropped" invariant the engine guarantees. *)
+let check_conservation m =
+  check_int "terminal sum = submitted" m.Svc_metrics.submitted (Svc_metrics.terminal_sum m)
+
+(* ---- bounded queue ---- *)
+
+let test_jobq_fifo () =
+  let q = Jobq.create ~capacity:4 in
+  check_int "capacity" 4 (Jobq.capacity q);
+  List.iter (fun i -> Alcotest.(check bool) "push" true (Jobq.push q i = `Ok)) [ 1; 2; 3 ];
+  check_int "length" 3 (Jobq.length q);
+  check_int "fifo 1" 1 (Option.get (Jobq.pop q));
+  check_int "fifo 2" 2 (Option.get (Jobq.pop q));
+  Jobq.close q;
+  check_int "drains after close" 3 (Option.get (Jobq.pop q));
+  check_bool "empty after close" true (Jobq.pop q = None);
+  check_bool "push after close" true (Jobq.push q 9 = `Closed)
+
+let test_jobq_try_push_full () =
+  let q = Jobq.create ~capacity:2 in
+  check_bool "1" true (Jobq.try_push q 1 = `Ok);
+  check_bool "2" true (Jobq.try_push q 2 = `Ok);
+  check_bool "full" true (Jobq.try_push q 3 = `Full);
+  check_int "high-water" 2 (Jobq.depth_max q);
+  ignore (Jobq.pop q);
+  check_bool "slot freed" true (Jobq.try_push q 3 = `Ok)
+
+(* ---- wire codec ---- *)
+
+let test_request_roundtrip () =
+  let req =
+    Job.make ~key_seed:0xABCL ~nonce:7 ~deadline_ms:250 ~id:"r1"
+      (Job.Simulate { source = tiny_source; sofia = false })
+  in
+  let line = Json.to_string (Job.request_to_json req) in
+  match Job.request_of_line line with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok r ->
+    check_str "id" "r1" r.Job.id;
+    check_int "nonce" 7 r.Job.nonce;
+    check_bool "deadline" true (r.Job.deadline_ms = Some 250);
+    check_bool "spec" true (r.Job.spec = req.Job.spec)
+
+let test_request_malformed () =
+  List.iter
+    (fun line ->
+      match Job.request_of_line line with
+      | Ok _ -> Alcotest.failf "accepted malformed line %S" line
+      | Error _ -> ())
+    [
+      "";  (* not JSON *)
+      "{\"id\":\"x\"";  (* truncated JSON *)
+      "{\"id\":\"x\",\"op\":\"frobnicate\",\"source\":\"halt\"}";  (* unknown op *)
+      "{\"id\":\"x\",\"op\":\"protect\"}";  (* missing source *)
+      "{\"op\":\"protect\",\"source\":\"halt\"}";  (* missing id *)
+      "{\"id\":\"x\",\"op\":\"protect\",\"source\":\"halt\",\"nonce\":999}";  (* nonce range *)
+      "[1,2,3]";  (* not an object *)
+    ]
+
+(* ---- backpressure ---- *)
+
+(* With Reject policy and no worker started, admission is fully
+   deterministic: the first [capacity] jobs queue, the rest bounce. *)
+let test_reject_saturation () =
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 1;
+      queue_capacity = 4;
+      backpressure = Engine.Reject
+    }
+  in
+  let t = Engine.create cfg in
+  for i = 1 to 10 do
+    Engine.submit t (protect_req (Printf.sprintf "j%d" i))
+  done;
+  let m = Engine.metrics t in
+  check_int "rejected before start" 6 m.Svc_metrics.rejected;
+  Engine.start t;
+  let responses = Engine.drain t in
+  Engine.shutdown t;
+  check_int "all answered" 10 (List.length responses);
+  check_int "completed" 4 m.Svc_metrics.completed;
+  check_int "rejected" 6 m.Svc_metrics.rejected;
+  check_conservation m;
+  (* rejected responses carry the reason and never ran *)
+  List.iter
+    (fun (r : Job.response) ->
+      match r.Job.status with
+      | Job.Rejected reason ->
+        check_str "reason" "queue full" reason;
+        check_int "no attempts" 0 r.Job.attempts
+      | _ -> ())
+    responses
+
+let test_block_policy () =
+  let cfg = { Engine.default_config with Engine.workers = 2; queue_capacity = 8 } in
+  let t = Engine.create cfg in
+  Engine.start t;
+  for i = 1 to 50 do
+    Engine.submit t (protect_req (Printf.sprintf "j%d" i))
+  done;
+  let responses = Engine.drain t in
+  Engine.shutdown t;
+  let m = Engine.metrics t in
+  check_int "all done" 50 m.Svc_metrics.completed;
+  check_conservation m;
+  check_bool "bounded queue held" true (Engine.queue_depth_max t <= 8);
+  (* seq is the admission order and every seq is answered exactly once *)
+  List.iteri (fun i (r : Job.response) -> check_int "seq" i r.Job.seq) responses
+
+let test_submit_after_shutdown () =
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let t = Engine.create cfg in
+  Engine.start t;
+  Engine.shutdown t;
+  Engine.submit t (protect_req "late");
+  let m = Engine.metrics t in
+  check_int "late submit rejected" 1 m.Svc_metrics.rejected;
+  check_conservation m
+
+(* ---- deadlines ---- *)
+
+let test_deadline_expired () =
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let t = Engine.create cfg in
+  (* deadline 0: already expired when a worker picks it up *)
+  Engine.submit t (protect_req ~deadline_ms:0 "doomed");
+  Engine.start t;
+  let responses = Engine.drain t in
+  Engine.shutdown t;
+  let m = Engine.metrics t in
+  check_int "timed out" 1 m.Svc_metrics.timed_out;
+  check_conservation m;
+  match responses with
+  | [ r ] -> check_bool "status" true (r.Job.status = Job.Timed_out)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+let test_default_deadline () =
+  let cfg =
+    { Engine.default_config with Engine.workers = 1; default_deadline_ms = Some 0 }
+  in
+  let responses, t = Engine.run_batch cfg [ protect_req "d1"; protect_req "d2" ] in
+  let m = Engine.metrics t in
+  check_int "both timed out" 2 m.Svc_metrics.timed_out;
+  check_conservation m;
+  check_int "answered" 2 (List.length responses)
+
+(* ---- chaos: transient faults and retries ---- *)
+
+let test_transient_retries_succeed () =
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 2;
+      max_attempts = 3;
+      fault =
+        Some
+          (fun _req ~attempt -> if attempt = 1 then raise (Job.Transient "injected fault"));
+    }
+  in
+  let jobs = List.init 12 (fun i -> protect_req (Printf.sprintf "flaky%d" i)) in
+  let responses, t = Engine.run_batch cfg jobs in
+  let m = Engine.metrics t in
+  check_int "all recovered" 12 m.Svc_metrics.completed;
+  check_int "one retry each" 12 m.Svc_metrics.retries;
+  check_conservation m;
+  List.iter (fun (r : Job.response) -> check_int "attempts" 2 r.Job.attempts) responses
+
+let test_transient_exhaustion () =
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 1;
+      max_attempts = 3;
+      fault = Some (fun _req ~attempt:_ -> raise (Job.Transient "always down"));
+    }
+  in
+  let responses, t = Engine.run_batch cfg [ protect_req "hopeless" ] in
+  let m = Engine.metrics t in
+  check_int "failed" 1 m.Svc_metrics.failed;
+  check_int "retries consumed" 2 m.Svc_metrics.retries;
+  check_conservation m;
+  match responses with
+  | [ r ] -> (
+    check_int "attempts" 3 r.Job.attempts;
+    match r.Job.status with
+    | Job.Failed msg ->
+      check_bool "structured message" true
+        (String.length msg > 0 && String.sub msg 0 9 = "transient")
+    | _ -> Alcotest.fail "expected Failed")
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+(* a permanent executor failure (bad assembly) is a structured Failed,
+   never an escaping exception *)
+let test_bad_source_fails_structured () =
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let responses, t =
+    Engine.run_batch cfg [ Job.make ~id:"bad" (Job.Protect { source = "main:\n  frob x\n" }) ]
+  in
+  let m = Engine.metrics t in
+  check_int "failed" 1 m.Svc_metrics.failed;
+  check_conservation m;
+  match responses with
+  | [ { Job.status = Job.Failed msg; _ } ] ->
+    check_bool "assembly diagnostic" true
+      (String.length msg >= 8 && String.sub msg 0 8 = "assembly")
+  | _ -> Alcotest.fail "expected a Failed response"
+
+let test_bad_image_fails_structured () =
+  let path = Filename.temp_file "sofia_svc" ".sfi" in
+  let oc = open_out_bin path in
+  output_string oc "not an image at all";
+  close_out oc;
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let responses, t = Engine.run_batch cfg [ Job.make ~id:"img" (Job.Run_image { path }) ] in
+  Sys.remove path;
+  let m = Engine.metrics t in
+  check_int "failed" 1 m.Svc_metrics.failed;
+  check_conservation m;
+  match responses with
+  | [ { Job.status = Job.Failed msg; _ } ] ->
+    check_bool "bad-image diagnostic" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "bad image")
+  | _ -> Alcotest.fail "expected a Failed response"
+
+(* ---- content-addressed store ---- *)
+
+let digest_of (r : Job.response) =
+  match r.Job.status with
+  | Job.Done (Job.Protected { digest; _ }) -> digest
+  | _ -> Alcotest.fail "expected a Protected payload"
+
+let cached_of (r : Job.response) =
+  match r.Job.status with
+  | Job.Done (Job.Protected { cached; _ }) -> cached
+  | _ -> Alcotest.fail "expected a Protected payload"
+
+(* the store's warm path must hand back the same bytes the cold
+   pipeline produces: compare fingerprints against a direct
+   assemble -> protect -> serialize run *)
+let test_store_hit_byte_identical () =
+  let expected =
+    let program = Sofia.Asm.Assembler.assemble tiny_source in
+    let keys = Sofia.Crypto.Keys.generate ~seed:0x50F1AL in
+    let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce:1 program in
+    Store.fingerprint (Sofia.Transform.Binary_format.serialize image)
+  in
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let responses, t = Engine.run_batch cfg [ protect_req "cold"; protect_req "warm" ] in
+  match responses with
+  | [ cold; warm ] ->
+    check_str "cold digest" expected (digest_of cold);
+    check_str "warm digest" expected (digest_of warm);
+    check_bool "cold is a miss" false (cached_of cold);
+    check_bool "warm is a hit" true (cached_of warm);
+    check_int "one store entry" 1 (Store.length (Engine.store t))
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs)
+
+(* same source, different key/nonce: distinct store keys, distinct images *)
+let test_store_key_separates_versions () =
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let responses, _ =
+    Engine.run_batch cfg
+      [
+        Job.make ~id:"v1" ~nonce:1 (Job.Protect { source = tiny_source });
+        Job.make ~id:"v2" ~nonce:2 (Job.Protect { source = tiny_source });
+        Job.make ~id:"k2" ~key_seed:0xDEADL (Job.Protect { source = tiny_source });
+      ]
+  in
+  match List.map digest_of responses with
+  | [ d1; d2; d3 ] ->
+    check_bool "nonce separates" true (d1 <> d2);
+    check_bool "key separates" true (d1 <> d3)
+  | _ -> Alcotest.fail "expected 3 digests"
+
+let test_store_lru_eviction () =
+  let cfg = { Engine.default_config with Engine.workers = 1; store_slots = 2 } in
+  let sources = [ tiny_source; tiny_source2; tiny_source3 ] in
+  let jobs =
+    List.concat_map
+      (fun i ->
+        List.mapi (fun j s -> Job.make ~id:(Printf.sprintf "r%d-%d" i j) (Job.Protect { source = s })) sources)
+      [ 0; 1 ]
+  in
+  let _, t = Engine.run_batch cfg jobs in
+  let st = Engine.store t in
+  check_bool "evictions happened" true (Store.evictions st > 0);
+  check_bool "capacity held" true (Store.length st <= 2);
+  check_int "all jobs accounted" 6 (Svc_metrics.terminal_sum (Engine.metrics t))
+
+(* verify/attest/simulate share the protect entry: one miss, then hits *)
+let test_store_shared_across_ops () =
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let responses, t =
+    Engine.run_batch cfg
+      [
+        Job.make ~id:"p" (Job.Protect { source = tiny_source });
+        Job.make ~id:"v" (Job.Verify { source = tiny_source });
+        Job.make ~id:"a" (Job.Attest { source = tiny_source });
+        Job.make ~id:"s" (Job.Simulate { source = tiny_source; sofia = true });
+      ]
+  in
+  let st = Engine.store t in
+  check_int "one build" 1 (Store.misses st);
+  check_int "three hits" 3 (Store.hits st);
+  List.iter
+    (fun (r : Job.response) ->
+      match r.Job.status with
+      | Job.Done (Job.Attested { issues; mac; _ }) ->
+        check_int "no verify issues" 0 issues;
+        check_int "mac is 16 hex chars" 16 (String.length mac)
+      | Job.Done (Job.Simulated { outcome; outputs; _ }) ->
+        check_str "simulated outcome" "halted:0" outcome;
+        check_bool "simulated output" true (outputs = [ 7 ])
+      | Job.Done _ -> ()
+      | _ -> Alcotest.fail "expected Done")
+    responses
+
+(* ---- wire: serve_channels over real channels ---- *)
+
+let test_serve_channels () =
+  let in_path = Filename.temp_file "sofia_svc" ".in" in
+  let out_path = Filename.temp_file "sofia_svc" ".out" in
+  let oc = open_out in_path in
+  let req id =
+    Json.to_string (Job.request_to_json (protect_req id))
+  in
+  output_string oc (req "w1" ^ "\n");
+  output_string oc "this is not json\n";
+  output_string oc "\n";  (* blank: skipped, not an error *)
+  output_string oc (req "w2" ^ "\n");
+  close_out oc;
+  let ic = open_in in_path in
+  let out = open_out out_path in
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let stats, _engine = Wire.serve_channels ~config:cfg ic out in
+  close_in ic;
+  close_out out;
+  check_int "received" 3 stats.Wire.received;
+  check_int "malformed" 1 stats.Wire.malformed;
+  check_int "completed" 2 stats.Wire.completed;
+  check_bool "not ok with malformed input" false (Wire.ok stats);
+  (* every line written back is itself valid JSON with a status *)
+  let ic = open_in out_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  let lines = List.rev !lines in
+  check_int "three response lines" 3 (List.length lines);
+  let statuses =
+    List.filter_map
+      (fun l ->
+        match Json.parse_opt l with
+        | Some j -> (
+          match Json.member "status" j with Some (Json.Str s) -> Some s | _ -> None)
+        | None -> None)
+      lines
+  in
+  check_int "every line has a status" 3 (List.length statuses);
+  check_int "error lines" 1 (List.length (List.filter (( = ) "error") statuses));
+  check_int "done lines" 2 (List.length (List.filter (( = ) "done") statuses))
+
+(* ---- metrics document ---- *)
+
+let test_metrics_json_shape () =
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let _, t = Engine.run_batch cfg [ protect_req "m1"; protect_req "m2" ] in
+  let j = Engine.metrics_json t in
+  let field name =
+    match Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "metrics document lacks %S" name
+  in
+  check_bool "submitted" true (field "submitted" = Json.Int 2);
+  check_bool "completed" true (field "completed" = Json.Int 2);
+  (match field "store" with
+   | Json.Obj _ -> ()
+   | _ -> Alcotest.fail "store must be an object");
+  (match field "queue" with
+   | Json.Obj _ -> ()
+   | _ -> Alcotest.fail "queue must be an object");
+  match field "protect_latency_us" with
+  | Json.Obj fields -> check_bool "histogram count" true (List.mem_assoc "count" fields)
+  | _ -> Alcotest.fail "latency histogram must be an object"
+
+let suite =
+  [
+    Alcotest.test_case "jobq fifo and close" `Quick test_jobq_fifo;
+    Alcotest.test_case "jobq try_push full" `Quick test_jobq_try_push_full;
+    Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request malformed" `Quick test_request_malformed;
+    Alcotest.test_case "reject saturation" `Quick test_reject_saturation;
+    Alcotest.test_case "block policy bounded" `Quick test_block_policy;
+    Alcotest.test_case "submit after shutdown" `Quick test_submit_after_shutdown;
+    Alcotest.test_case "deadline expired" `Quick test_deadline_expired;
+    Alcotest.test_case "default deadline" `Quick test_default_deadline;
+    Alcotest.test_case "transient retries succeed" `Quick test_transient_retries_succeed;
+    Alcotest.test_case "transient exhaustion" `Quick test_transient_exhaustion;
+    Alcotest.test_case "bad source structured failure" `Quick test_bad_source_fails_structured;
+    Alcotest.test_case "bad image structured failure" `Quick test_bad_image_fails_structured;
+    Alcotest.test_case "store hit byte-identical" `Quick test_store_hit_byte_identical;
+    Alcotest.test_case "store key separates versions" `Quick test_store_key_separates_versions;
+    Alcotest.test_case "store lru eviction" `Quick test_store_lru_eviction;
+    Alcotest.test_case "store shared across ops" `Quick test_store_shared_across_ops;
+    Alcotest.test_case "serve_channels" `Quick test_serve_channels;
+    Alcotest.test_case "metrics json shape" `Quick test_metrics_json_shape;
+  ]

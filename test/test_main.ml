@@ -25,4 +25,6 @@ let () =
       ("parallel", Parallel_tests.suite);
       ("fuzz", Fuzz_tests.suite);
       ("differential", Differential_tests.suite);
+      ("service", Service_tests.suite);
+      ("serve-smoke", Serve_smoke_tests.suite);
     ]
