@@ -78,6 +78,7 @@ let protect_entry ~store ~(req : Job.request) source =
           text_bytes = Sofia_transform.Image.text_size_bytes image;
           expansion = Sofia_transform.Transform.expansion_ratio image;
           blocks = Array.length image.Sofia_transform.Image.blocks;
+          memo_m = Mutex.create ();
           issues = None;
           mac = None;
         })
@@ -205,39 +206,47 @@ let with_lock t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
-(* Record the single terminal response of a job: completion index,
-   status counter, latency histogram, stream callback — all under the
-   one lock so the completion order is total. *)
+(* Record the single terminal response of a job. Completion index,
+   status counter, latency histogram and response list are updated
+   under the one lock, so the completion order is total — but the
+   stream callback runs OUTSIDE it. The callback does client I/O (wire
+   mode writes to a socket), and a client that stops reading must stall
+   only its own worker, never submit/drain/other settles; a callback
+   that re-enters the engine must not deadlock. Stream consumers that
+   need the total order have the [completion] index on the response. *)
 let settle t ~(req : Job.request) ~seq ~submitted_at ~attempts ~worker status =
   let latency_ms = (now () -. submitted_at) *. 1000.0 in
   let op = Job.op_name req.Job.spec in
-  with_lock t (fun () ->
-      let resp =
-        {
-          Job.id = req.Job.id;
-          op;
-          seq;
-          completion = t.terminal;
-          attempts;
-          worker;
-          latency_ms;
-          status;
-        }
-      in
-      t.responses <- resp :: t.responses;
-      t.terminal <- t.terminal + 1;
-      (match status with
-       | Job.Done _ -> t.metrics.Svc_metrics.completed <- t.metrics.Svc_metrics.completed + 1
-       | Job.Rejected _ -> t.metrics.Svc_metrics.rejected <- t.metrics.Svc_metrics.rejected + 1
-       | Job.Timed_out -> t.metrics.Svc_metrics.timed_out <- t.metrics.Svc_metrics.timed_out + 1
-       | Job.Failed detail ->
-         t.metrics.Svc_metrics.failed <- t.metrics.Svc_metrics.failed + 1;
-         if Obs.tracing t.obs then
-           Obs.emit t.obs (Event.Service_error { kind = "job_failed"; detail }));
-      Svc_metrics.observe_latency t.metrics ~op
-        ~us:(int_of_float (latency_ms *. 1000.0));
-      (match t.on_response with Some f -> f resp | None -> ());
-      Condition.broadcast t.settled)
+  let resp =
+    with_lock t (fun () ->
+        let resp =
+          {
+            Job.id = req.Job.id;
+            op;
+            seq;
+            completion = t.terminal;
+            attempts;
+            worker;
+            latency_ms;
+            status;
+          }
+        in
+        t.responses <- resp :: t.responses;
+        t.terminal <- t.terminal + 1;
+        (match status with
+         | Job.Done _ -> t.metrics.Svc_metrics.completed <- t.metrics.Svc_metrics.completed + 1
+         | Job.Rejected _ -> t.metrics.Svc_metrics.rejected <- t.metrics.Svc_metrics.rejected + 1
+         | Job.Timed_out -> t.metrics.Svc_metrics.timed_out <- t.metrics.Svc_metrics.timed_out + 1
+         | Job.Failed detail ->
+           t.metrics.Svc_metrics.failed <- t.metrics.Svc_metrics.failed + 1;
+           if Obs.tracing t.obs then
+             Obs.emit t.obs (Event.Service_error { kind = "job_failed"; detail }));
+        Svc_metrics.observe_latency t.metrics ~op
+          ~us:(int_of_float (latency_ms *. 1000.0));
+        Condition.broadcast t.settled;
+        resp)
+  in
+  match t.on_response with Some f -> f resp | None -> ()
 
 let deadline_of t (req : Job.request) =
   match req.Job.deadline_ms with Some d -> Some d | None -> t.cfg.default_deadline_ms

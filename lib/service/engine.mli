@@ -60,8 +60,13 @@ type t
 val create : ?obs:Sofia_obs.Obs.t -> ?on_response:(Job.response -> unit) -> config -> t
 (** No worker is spawned yet: submissions queue up (or get rejected)
     until {!start}. [on_response] is called once per terminal response,
-    under the engine's result lock (callbacks are serialised; keep them
-    short). [obs] receives [service_error] events for failed jobs. *)
+    {e outside} the engine lock — a slow consumer stalls only the
+    calling worker, never admission, other settles or {!drain} — so
+    concurrent calls are possible; serialise externally if needed
+    (wire mode uses its own output mutex) and use the response's
+    [completion] index to recover the total completion order. Every
+    callback has returned by the time {!shutdown} joins the workers.
+    [obs] receives [service_error] events for failed jobs. *)
 
 val start : t -> unit
 (** Spawn the worker domains. Idempotent. *)

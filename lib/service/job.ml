@@ -70,9 +70,12 @@ let status_name = function
 (* ---- encoding ---- *)
 
 let request_to_json (r : request) =
+  (* key_seed travels as a hex string: OCaml's int is 63-bit, so a
+     JSON integer cannot carry bit 63 of the seed and an int-encoded
+     request would re-decode under a different key. *)
   let base =
     [ ("id", J.Str r.id); ("op", J.Str (op_name r.spec));
-      ("key_seed", J.Int (Int64.to_int r.key_seed)); ("nonce", J.Int r.nonce) ]
+      ("key_seed", J.Str (Printf.sprintf "0x%Lx" r.key_seed)); ("nonce", J.Int r.nonce) ]
   in
   let deadline =
     match r.deadline_ms with Some d -> [ ("deadline_ms", J.Int d) ] | None -> []
@@ -146,6 +149,18 @@ let bool_field_opt j name ~default =
   | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
   | None -> Ok default
 
+(* symmetric with the encoder (hex string), plus plain JSON integers
+   for hand-written requests *)
+let key_seed_field j =
+  match J.member "key_seed" j with
+  | None -> Ok default_key_seed
+  | Some (J.Int n) -> Ok (Int64.of_int n)
+  | Some (J.Str s) -> (
+    match Int64.of_string_opt (String.trim s) with
+    | Some v -> Ok v
+    | None -> Error "field \"key_seed\" must be an integer or a 0x-hex/decimal string")
+  | Some _ -> Error "field \"key_seed\" must be an integer or a 0x-hex/decimal string"
+
 let ( let* ) = Result.bind
 
 let request_of_json j =
@@ -153,10 +168,7 @@ let request_of_json j =
   | J.Obj _ ->
     let* id = str_field j "id" in
     let* op = str_field j "op" in
-    let* key_seed = int_field_opt j "key_seed" in
-    let key_seed =
-      match key_seed with Some n -> Int64.of_int n | None -> default_key_seed
-    in
+    let* key_seed = key_seed_field j in
     let* nonce = int_field_opt j "nonce" in
     let nonce = Option.value nonce ~default:1 in
     let* deadline_ms = int_field_opt j "deadline_ms" in

@@ -15,13 +15,16 @@
 
     {v
     {"id":"r1","op":"protect","source":"start:\n  halt\n",
-     "key_seed":1,"nonce":1,"deadline_ms":500}
+     "key_seed":"0x50f1a","nonce":1,"deadline_ms":500}
     v}
 
     [op] is one of [protect], [verify], [simulate] (optional
     ["sofia":false] for the vanilla core), [attest], [run_image]
     (with ["path"] instead of ["source"]). [key_seed], [nonce] and
-    [deadline_ms] are optional. Responses carry the request [id], the
+    [deadline_ms] are optional. [key_seed] is a 0x-hex or decimal
+    {e string} (the encoder always emits hex so all 64 bits of the
+    seed round-trip — a JSON/OCaml int cannot carry bit 63); a plain
+    JSON integer is also accepted for hand-written requests. Responses carry the request [id], the
     ordering metadata ([seq] = admission order, [completion] =
     completion order), the terminal [status] ([done], [rejected],
     [timed_out], [failed]) and the per-op payload fields. *)

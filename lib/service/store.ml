@@ -5,15 +5,25 @@ type entry = {
   text_bytes : int;
   expansion : float;
   blocks : int;
+  memo_m : Mutex.t;
   mutable issues : int option;
   mutable mac : string option;
 }
+
+(* The full addressing triple. The table is keyed on this record —
+   Hashtbl's structural hashing and equality cover the whole source
+   text — so a hit is only ever served to a request that agrees on all
+   three fields. A folded 64-bit digest is NOT a safe key here: XOR
+   aliasing (seed ⊕ ω collisions) or a hash collision on
+   attacker-chosen source would silently hand one client an image
+   built under another's keys. *)
+type key = { source : string; key_seed : int64; nonce : int }
 
 type slot = { entry : entry; mutable last_used : int }
 
 type t = {
   slots : int;
-  tbl : (int64, slot) Hashtbl.t;
+  tbl : (key, slot) Hashtbl.t;
   m : Mutex.t;
   mutable tick : int;
   mutable hits : int;
@@ -25,7 +35,7 @@ let create ~slots =
   { slots; tbl = Hashtbl.create 64; m = Mutex.create (); tick = 0; hits = 0; misses = 0;
     evictions = 0 }
 
-(* FNV-1a, 64-bit *)
+(* FNV-1a, 64-bit — display-only image identity, never a cache key *)
 let hash_string s =
   let h = ref 0xCBF29CE484222325L in
   String.iter
@@ -38,8 +48,7 @@ let fingerprint b =
   let h = hash_string (Bytes.unsafe_to_string b) in
   Printf.sprintf "%016Lx" h
 
-let key ~source ~key_seed ~nonce =
-  Int64.logxor (Int64.logxor (hash_string source) key_seed) (Int64.of_int nonce)
+let key ~source ~key_seed ~nonce = { source; key_seed; nonce }
 
 let with_lock t f =
   Mutex.lock t.m;
@@ -91,21 +100,32 @@ let find_or_build t ~key ~build =
     | Some e -> (e, true)
     | None -> (insert t key (build ()), false)
 
+(* The memoised fields are read and written from every worker domain;
+   the per-entry mutex makes check-compute-publish race-free (and
+   serialises racing fills of the same entry, so the deterministic
+   computation runs once). Held only around this entry's memo, never
+   the store lock, so there is no lock-order hazard. *)
+let with_memo e f =
+  Mutex.lock e.memo_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.memo_m) f
+
 let fill_issues e compute =
-  match e.issues with
-  | Some i -> i
-  | None ->
-    let i = compute () in
-    e.issues <- Some i;
-    i
+  with_memo e (fun () ->
+      match e.issues with
+      | Some i -> i
+      | None ->
+        let i = compute () in
+        e.issues <- Some i;
+        i)
 
 let fill_mac e compute =
-  match e.mac with
-  | Some m -> m
-  | None ->
-    let m = compute () in
-    e.mac <- Some m;
-    m
+  with_memo e (fun () ->
+      match e.mac with
+      | Some m -> m
+      | None ->
+        let m = compute () in
+        e.mac <- Some m;
+        m)
 
 let length t = with_lock t (fun () -> Hashtbl.length t.tbl)
 let hits t = with_lock t (fun () -> t.hits)

@@ -6,11 +6,14 @@
     needing the protect result), and the SOFIA transformation is
     deterministic — same program text, same device key seed, same
     nonce ω, byte-identical image. So images are addressed purely by
-    content: {!key} hashes the program text and folds in the key seed
-    and nonce ([hash(text) ⊕ seed ⊕ ω]); two requests that agree on all
-    three share one entry, and a cache hit returns the {e identical}
+    content: {!key} is the full [(text, seed, ω)] triple and the table
+    compares it structurally on lookup, so a hit is only ever served to
+    a request that agrees on all three — and returns the {e identical}
     serialised bytes the cold path produced (asserted by
-    [test/service_tests.ml]).
+    [test/service_tests.ml]). A folded 64-bit digest is deliberately
+    {e not} the key: XOR aliasing ([seed ⊕ ω] collisions) or an FNV
+    collision on chosen source text would silently serve an image built
+    under the wrong keys. {!fingerprint} is display-only.
 
     An entry carries the serialised [.sfi] container plus the derived
     facts the job types need; the expensive derivations only an attest
@@ -22,7 +25,8 @@
     Thread-safety: lookup/insert/touch are mutex-protected; builders
     run {e outside} the lock so a slow protect does not stall unrelated
     workers, and the first finished insert wins if two workers race on
-    the same key. *)
+    the same key. The lazily-memoised fields are guarded by a per-entry
+    mutex ({!fill_issues}/{!fill_mac}), never the store lock. *)
 
 type entry = {
   bytes : Bytes.t;  (** serialised [.sfi] container (canonical form) *)
@@ -31,24 +35,28 @@ type entry = {
   text_bytes : int;
   expansion : float;
   blocks : int;
+  memo_m : Mutex.t;  (** guards the two memoised fields below *)
   mutable issues : int option;  (** independent-verifier issue count, lazily filled *)
   mutable mac : string option;  (** ciphertext CBC-MAC digest, lazily filled *)
 }
+
+type key
+(** The full [(source, key_seed, nonce)] addressing triple. *)
 
 type t
 
 val create : slots:int -> t
 (** [slots <= 0] disables caching: every {!find_or_build} builds. *)
 
-val key : source:string -> key_seed:int64 -> nonce:int -> int64
+val key : source:string -> key_seed:int64 -> nonce:int -> key
 
-val find_or_build : t -> key:int64 -> build:(unit -> entry) -> entry * bool
+val find_or_build : t -> key:key -> build:(unit -> entry) -> entry * bool
 (** The returned flag is [true] on a cache hit. A disabled store always
     builds and answers [false]. *)
 
 val fill_issues : entry -> (unit -> int) -> int
-(** Memoised read of {!entry.issues} (idempotent under racing fills:
-    the computation is deterministic). *)
+(** Memoised read of {!entry.issues}, race-free under the entry's
+    memo mutex (racing fills serialise; the winner's value is shared). *)
 
 val fill_mac : entry -> (unit -> string) -> string
 

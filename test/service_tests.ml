@@ -66,9 +66,30 @@ let test_request_roundtrip () =
   | Error e -> Alcotest.failf "roundtrip failed: %s" e
   | Ok r ->
     check_str "id" "r1" r.Job.id;
+    check_bool "key_seed" true (Int64.equal r.Job.key_seed 0xABCL);
     check_int "nonce" 7 r.Job.nonce;
     check_bool "deadline" true (r.Job.deadline_ms = Some 250);
     check_bool "spec" true (r.Job.spec = req.Job.spec)
+
+(* regression: the encoder must carry all 64 seed bits — an int-encoded
+   seed with bit 63 set used to wrap and re-decode under different keys *)
+let test_key_seed_full_range_roundtrip () =
+  List.iter
+    (fun seed ->
+      let req = Job.make ~key_seed:seed ~id:"s" (Job.Protect { source = tiny_source }) in
+      let line = Json.to_string (Job.request_to_json req) in
+      match Job.request_of_line line with
+      | Error e -> Alcotest.failf "seed %Lx failed to roundtrip: %s" seed e
+      | Ok r ->
+        Alcotest.(check int64) (Printf.sprintf "seed %Lx" seed) seed r.Job.key_seed)
+    [ 0L; 1L; 0x50F1AL; -1L; Int64.min_int; Int64.max_int; 0x8000000000000001L ];
+  (* hand-written requests may still pass a plain JSON integer *)
+  match
+    Job.request_of_line
+      "{\"id\":\"x\",\"op\":\"protect\",\"source\":\"halt\",\"key_seed\":42}"
+  with
+  | Ok r -> Alcotest.(check int64) "int form accepted" 42L r.Job.key_seed
+  | Error e -> Alcotest.failf "int key_seed rejected: %s" e
 
 let test_request_malformed () =
   List.iter
@@ -300,6 +321,27 @@ let test_store_key_separates_versions () =
     check_bool "key separates" true (d1 <> d3)
   | _ -> Alcotest.fail "expected 3 digests"
 
+(* regression: a folded hash(text) ⊕ seed ⊕ nonce key aliased any two
+   requests with equal seed ⊕ nonce (0x50F1A ⊕ 1 = 0x50F1B ⊕ 0) and
+   served the second client an image built under the first's keys *)
+let test_store_no_xor_aliasing () =
+  let cfg = { Engine.default_config with Engine.workers = 1 } in
+  let responses, t =
+    Engine.run_batch cfg
+      [
+        Job.make ~id:"a" ~key_seed:0x50F1AL ~nonce:1 (Job.Protect { source = tiny_source });
+        Job.make ~id:"b" ~key_seed:0x50F1BL ~nonce:0 (Job.Protect { source = tiny_source });
+      ]
+  in
+  let st = Engine.store t in
+  check_int "no false hit" 0 (Store.hits st);
+  check_int "two distinct entries" 2 (Store.length st);
+  check_bool "second is not served from cache" false
+    (List.exists cached_of responses);
+  match List.map digest_of responses with
+  | [ d1; d2 ] -> check_bool "distinct images" true (d1 <> d2)
+  | _ -> Alcotest.fail "expected 2 digests"
+
 let test_store_lru_eviction () =
   let cfg = { Engine.default_config with Engine.workers = 1; store_slots = 2 } in
   let sources = [ tiny_source; tiny_source2; tiny_source3 ] in
@@ -421,6 +463,8 @@ let suite =
     Alcotest.test_case "jobq fifo and close" `Quick test_jobq_fifo;
     Alcotest.test_case "jobq try_push full" `Quick test_jobq_try_push_full;
     Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "key_seed full 64-bit roundtrip" `Quick
+      test_key_seed_full_range_roundtrip;
     Alcotest.test_case "request malformed" `Quick test_request_malformed;
     Alcotest.test_case "reject saturation" `Quick test_reject_saturation;
     Alcotest.test_case "block policy bounded" `Quick test_block_policy;
@@ -433,6 +477,7 @@ let suite =
     Alcotest.test_case "bad image structured failure" `Quick test_bad_image_fails_structured;
     Alcotest.test_case "store hit byte-identical" `Quick test_store_hit_byte_identical;
     Alcotest.test_case "store key separates versions" `Quick test_store_key_separates_versions;
+    Alcotest.test_case "store key xor-aliasing regression" `Quick test_store_no_xor_aliasing;
     Alcotest.test_case "store lru eviction" `Quick test_store_lru_eviction;
     Alcotest.test_case "store shared across ops" `Quick test_store_shared_across_ops;
     Alcotest.test_case "serve_channels" `Quick test_serve_channels;
