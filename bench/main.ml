@@ -9,7 +9,7 @@
 
    Experiment ids: table1 e1-codesize e2-cycles e3-exectime s1-forgery
    s2-cfi fig1-pipeline fig2-cfi fig3-6-si fig7-8-mux fig9-tree
-   x1-workloads x2-unroll x3-attacks micro service *)
+   x1-workloads x2-unroll x3-attacks micro service fault *)
 
 module H = Sofia.Hwmodel.Hwmodel
 module Machine = Sofia.Cpu.Machine
@@ -496,6 +496,18 @@ let service () =
   Format.printf "%a" Sofia_benchlib.Bench_service.pp m
 
 (* ------------------------------------------------------------------ *)
+(* fault: the lib/fault campaign (detection coverage + recovery)       *)
+(* ------------------------------------------------------------------ *)
+
+let fault_trials = 5
+let fault_seed = 0xF417AL
+
+let fault () =
+  section "fault" "fault-injection campaign: detection coverage + supervised recovery";
+  Format.printf "%a" Sofia.Fault.Campaign.pp
+    (Sofia.Fault.Campaign.run ~trials:fault_trials ~seed:fault_seed ())
+
+(* ------------------------------------------------------------------ *)
 (* --json: machine-readable benchmark report                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -588,6 +600,52 @@ let json_x1_workloads () =
       ("rows", J.List (List.map (fun (o, m) -> overhead_json o m) rows));
     ]
 
+let json_fault () =
+  let module C = Sofia.Fault.Campaign in
+  let module S = Sofia.Fault.Site in
+  let r, wall = timed (fun () -> C.run ~trials:fault_trials ~seed:fault_seed ()) in
+  let d, t = C.in_model_trials r in
+  Format.printf "  [json] fault: %d/%d in-model detected, %d escape(s), service %s, in %.1f s@."
+    d t (C.in_model_escapes r)
+    (if C.service_ok r then "ok" else "FAILED")
+    wall;
+  J.Obj
+    [
+      ("id", J.Str "fault");
+      ("wall_time_s", J.Float wall);
+      ("seed", J.Str (Printf.sprintf "0x%Lx" fault_seed));
+      ("trials_per_cell", J.Int fault_trials);
+      ("in_model_trials", J.Int t);
+      ("in_model_detected", J.Int d);
+      ("in_model_escapes", J.Int (C.in_model_escapes r));
+      ("service_ok", J.Bool (C.service_ok r));
+      ( "rows",
+        J.List
+          (List.map
+             (fun (c : C.cell) ->
+               J.Obj
+                 [
+                   ("class", J.Str (S.name c.C.clazz));
+                   ("in_model", J.Bool (S.in_model c.C.clazz));
+                   ("trials", J.Int c.C.trials);
+                   ("detected", J.Int c.C.detected);
+                   ( "detection_rate",
+                     J.Float
+                       (if c.C.trials = 0 then 1.0
+                        else float_of_int c.C.detected /. float_of_int c.C.trials) );
+                   ("latency_max_insns", J.Int c.C.lat_max);
+                 ])
+             (C.by_class r)) );
+      ( "service",
+        J.List
+          (List.map
+             (fun (s : C.service_check) ->
+               J.Obj
+                 [ ("name", J.Str s.C.name); ("ok", J.Bool s.C.ok);
+                   ("detail", J.Str s.C.detail) ])
+             r.C.service) );
+    ]
+
 let json_service () =
   let m, wall = timed (fun () -> Sofia_benchlib.Bench_service.measure ()) in
   Format.printf "  [json] service: %d jobs, %.2fx batch speedup, in %.1f s@."
@@ -596,11 +654,11 @@ let json_service () =
   | J.Obj fields -> J.Obj (("id", J.Str "service") :: ("wall_time_s", J.Float wall) :: fields)
   | j -> j
 
-(* The report always carries these four, whatever else was selected on
+(* The report always carries these five, whatever else was selected on
    the command line, so downstream perf tracking has a stable schema. *)
 let json_experiments =
   [ ("micro", json_micro); ("e2-cycles", json_e2_cycles); ("x1-workloads", json_x1_workloads);
-    ("service", json_service) ]
+    ("service", json_service); ("fault", json_fault) ]
 
 (* Best-effort commit id for report provenance; "unknown" outside a
    work tree (e.g. a release tarball). *)
@@ -656,6 +714,7 @@ let all_experiments =
     ("x7-gadgets", x7_gadgets);
     ("micro", micro);
     ("service", service);
+    ("fault", fault);
   ]
 
 let () =

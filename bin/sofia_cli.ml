@@ -10,6 +10,7 @@
      sofia_cli serve --stdin            NDJSON job service over a pipe
      sofia_cli serve --socket PATH      ... or a Unix-domain socket
      sofia_cli batch FILE|@registry     offline bulk mode over a job file
+     sofia_cli campaign                 fault-injection coverage sweep
      sofia_cli table1                   print the hardware model's Table I *)
 
 open Cmdliner
@@ -438,18 +439,27 @@ let serve_cmd =
   let run use_stdin socket once workers queue backpressure store retries deadline ks_cache
       metrics json_out =
     let config = service_config workers queue backpressure store retries deadline ks_cache in
+    (* a client vanishing mid-response must reach us as EPIPE, not kill
+       the process mid-write *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let stats, engine =
       match (use_stdin, socket) with
       | true, Some _ | false, None ->
         or_die (Error "pick exactly one of --stdin and --socket PATH")
-      | true, None -> Wire.serve_channels ~config stdin stdout
-      | false, Some path -> Wire.serve_socket ~config ~path ~once ()
+      | true, None -> Wire.serve_channels ~signals:true ~config stdin stdout
+      | false, Some path -> (
+        try Wire.serve_socket ~signals:true ~config ~path ~once ()
+        with Wire.Bind_error m -> or_die (Error m))
     in
     Format.eprintf
-      "serve: %d received (%d malformed), %d done, %d rejected, %d timed out, %d failed@."
+      "serve: %d received (%d malformed), %d done, %d rejected, %d timed out, %d failed%s@."
       stats.Wire.received stats.Wire.malformed stats.Wire.completed stats.Wire.rejected
-      stats.Wire.timed_out stats.Wire.failed;
+      stats.Wire.timed_out stats.Wire.failed
+      (if stats.Wire.interrupted then "; drained after signal" else "");
     emit_service_metrics engine ~metrics ~json_out;
+    (* a signal-initiated drain that settled every admitted job is a
+       clean exit, whatever the jobs' outcomes were *)
+    if stats.Wire.interrupted then exit 0;
     if not (Wire.ok stats) then exit 1
   in
   let use_stdin =
@@ -530,6 +540,88 @@ let batch_cmd =
     Term.(const run $ file $ clients $ workers_arg $ queue_arg $ backpressure_arg $ store_arg
           $ retries_arg $ deadline_arg $ ks_cache_arg $ metrics_arg $ json_out_arg)
 
+(* ---- campaign: the full-pipeline fault-injection sweep ---- *)
+
+let campaign_cmd =
+  let run trials seed workloads classes no_service json_out =
+    let module C = Sofia.Fault.Campaign in
+    let module S = Sofia.Fault.Site in
+    if trials < 1 then or_die (Error (Printf.sprintf "--trials must be >= 1 (got %d)" trials));
+    let classes =
+      match classes with
+      | [] -> S.all
+      | names ->
+        List.map
+          (fun n ->
+            match S.of_name n with
+            | Some c -> c
+            | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "unknown fault class %s (known: %s)" n
+                      (String.concat ", " (List.map S.name S.all)))))
+          names
+    in
+    let workloads =
+      match workloads with
+      | [] -> None
+      | names ->
+        Some
+          (List.map
+             (fun n ->
+               match Sofia.Workloads.Registry.by_name n with
+               | Some w -> w
+               | None ->
+                 or_die
+                   (Error
+                      (Printf.sprintf "unknown workload %s (known: %s)" n
+                         (String.concat ", " (Sofia.Workloads.Registry.names ())))))
+             names)
+    in
+    let report =
+      C.run ~classes ~with_service:(not no_service) ?workloads ~trials ~seed ()
+    in
+    Format.printf "%a" C.pp report;
+    (match json_out with
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> Sofia.Obs.Json.output oc (C.to_json report))
+     | None -> ());
+    if not (C.passed report) then begin
+      Format.eprintf "campaign: %d in-model escape(s), service %s@." (C.in_model_escapes report)
+        (if C.service_ok report then "ok" else "FAILED");
+      exit 1
+    end
+  in
+  let trials =
+    Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N"
+           ~doc:"Sampled fault sites per (class, workload) cell.")
+  in
+  let seed =
+    Arg.(value & opt int64 0xF417AL & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign PRNG seed; the whole matrix is reproducible from it.")
+  in
+  let workloads =
+    Arg.(value & opt_all string [] & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Restrict to this registry workload (repeatable; default: all).")
+  in
+  let classes =
+    Arg.(value & opt_all string [] & info [ "class" ] ~docv:"CLASS"
+           ~doc:"Restrict to this fault class (repeatable; default: all).")
+  in
+  let no_service =
+    Arg.(value & flag & info [ "no-service" ]
+           ~doc:"Skip the service-level fault scenarios (worker crash/hang, clock skew, \
+                 wire corruption, store tamper, circuit breaker).")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Sweep seeded faults over every layer and print the detection-coverage matrix; \
+             exits nonzero if any in-model tamper escapes or a recovery scenario fails")
+    Term.(const run $ trials $ seed $ workloads $ classes $ no_service $ json_out_arg)
+
 (* ---- table1 ---- *)
 
 let table1_cmd =
@@ -550,4 +642,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "sofia_cli" ~doc)
           [ assemble_cmd; cfg_cmd; compile_cmd; protect_cmd; verify_cmd; run_cmd; run_image_cmd;
-            serve_cmd; batch_cmd; gadgets_cmd; faults_cmd; table1_cmd ]))
+            serve_cmd; batch_cmd; gadgets_cmd; faults_cmd; campaign_cmd; table1_cmd ]))

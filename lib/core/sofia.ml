@@ -16,7 +16,10 @@
     - {!Minic}: the C-like toolchain front-end (source → assembly);
     - {!Service}: the concurrent protection/attestation serving layer
       (job queue, Domain worker pool, content-addressed image store,
-      NDJSON wire protocol — [sofia_cli serve]/[batch]).
+      NDJSON wire protocol — [sofia_cli serve]/[batch]);
+    - {!Fault}: the seeded fault-injection campaign (typed fault sites
+      across every layer, detection-coverage matrix, service-level
+      fault scenarios — [sofia_cli campaign]).
 
     The {!Protect}, {!Run} and {!Report} modules below are the
     high-level API a downstream user starts from; see
@@ -36,6 +39,7 @@ module Workloads = Sofia_workloads
 module Minic = Sofia_minic
 module Provision = Provision
 module Service = Sofia_service
+module Fault = Sofia_fault
 
 (** One-stop protection pipeline: assemble → CFG → transform →
     MAC-then-Encrypt. *)

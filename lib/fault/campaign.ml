@@ -1,0 +1,701 @@
+module Machine = Sofia_cpu.Machine
+module Runner = Sofia_cpu.Sofia_runner
+module Image = Sofia_transform.Image
+module Block = Sofia_transform.Block
+module Obs = Sofia_obs.Obs
+module Event = Sofia_obs.Event
+module Trace = Sofia_obs.Trace
+module J = Sofia_obs.Json
+module Prng = Sofia_util.Prng
+module W = Sofia_workloads.Workload
+module Engine = Sofia_service.Engine
+module Job = Sofia_service.Job
+module Store = Sofia_service.Store
+module Wire = Sofia_service.Wire
+module Svc_metrics = Sofia_service.Svc_metrics
+
+type verdict = Detected | Masked | Corrupted | Hung
+
+let verdict_name = function
+  | Detected -> "detected"
+  | Masked -> "masked"
+  | Corrupted -> "corrupted"
+  | Hung -> "hung"
+
+type cell = {
+  clazz : Site.clazz;
+  workload : string;
+  trials : int;
+  detected : int;
+  masked : int;
+  corrupted : int;
+  hung : int;
+  lat_measured : int;
+  lat_total : int;
+  lat_max : int;
+}
+
+type service_check = { name : string; ok : bool; detail : string }
+
+type report = {
+  seed : int64;
+  trials_per_cell : int;
+  fuel : int;
+  cells : cell list;
+  service : service_check list;
+}
+
+let default_fuel = 2_000_000
+
+let bounded_config fuel =
+  { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.fuel }
+
+(* ------------------------------------------------------------------ *)
+(* Clean-run profile: faults are only injected into state the clean    *)
+(* execution actually consumed, so every trial exercises the detection *)
+(* path and an escape is real — never a fault parked in dead code.     *)
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  keys : Sofia_crypto.Keys.t;
+  image : Image.t;
+  clean : Machine.run_result;
+  visited : Image.block array;  (* blocks retired from, in first-entry order *)
+  visited_mux : Image.block array;
+  legit : (int * int, unit) Hashtbl.t;  (* static (prev_pc, entry port) edges *)
+}
+
+let profile ~config ~key_seed (w : W.t) =
+  let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
+  let image = Sofia_transform.Transform.protect_exn ~keys ~nonce:1 (W.assemble w) in
+  let text_base = image.Image.text_base in
+  let seen = Hashtbl.create 64 in
+  let bases = ref [] in
+  let on_retire ~pc ~insn:_ =
+    let base = pc - ((pc - text_base) mod Block.size_bytes) in
+    if not (Hashtbl.mem seen base) then begin
+      Hashtbl.add seen base ();
+      bases := base :: !bases
+    end
+  in
+  let clean = Runner.run ~config ~on_retire ~keys image in
+  let visited =
+    Array.of_list (List.filter_map (Image.block_of_address image) (List.rev !bases))
+  in
+  let visited_mux =
+    Array.of_list
+      (List.filter (fun b -> b.Image.kind = Block.Mux) (Array.to_list visited))
+  in
+  let legit = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Image.block) ->
+      let ports = Block.port_offsets b.Image.kind in
+      List.iteri
+        (fun i prev -> Hashtbl.replace legit (prev, b.Image.base + List.nth ports i) ())
+        b.Image.entry_prev_pcs)
+    image.Image.blocks;
+  { keys; image; clean; visited; visited_mux; legit }
+
+let classify ~(clean : Machine.run_result) (r : Machine.run_result) =
+  match r.Machine.outcome with
+  | Machine.Cpu_reset _ -> Detected
+  | Machine.Out_of_fuel -> Hung
+  | Machine.Halted _ ->
+    if
+      r.Machine.outcome = clean.Machine.outcome
+      && r.Machine.outputs = clean.Machine.outputs
+      && String.equal r.Machine.output_text clean.Machine.output_text
+    then Masked
+    else Corrupted
+
+(* Detection latency in retired instructions: walk the tampered run's
+   trace tail back from the Reset event to the Block_fetch that
+   consumed the fault, counting Retire events in between. SOFIA's
+   headline guarantee — verification before the Memory-Access stage —
+   means this must be 0 for every in-model detection. [None] when the
+   ring wrapped past the fetch (cannot happen for latency-0 resets). *)
+let detection_latency trace =
+  let evs = Array.of_list (Trace.to_list trace) in
+  let reset = ref None in
+  Array.iteri (fun i e -> match e with Event.Reset _ -> reset := Some i | _ -> ()) evs;
+  match !reset with
+  | None -> None
+  | Some ri ->
+    let rec back i acc =
+      if i < 0 then if Trace.dropped trace > 0 then None else Some acc
+      else
+        match evs.(i) with
+        | Event.Block_fetch _ -> Some acc
+        | Event.Retire _ -> back (i - 1) (acc + 1)
+        | _ -> back (i - 1) acc
+    in
+    back (ri - 1) 0
+
+(* ------------------------------------------------------------------ *)
+(* One trial                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let offsets_for clazz (kind : Block.kind) =
+  let range lo hi = List.init (((hi - lo) / 4) + 1) (fun i -> lo + (4 * i)) in
+  match clazz with
+  | Site.Insn_flip -> range (Block.first_insn_offset kind) Block.exit_offset
+  | Site.Mac_flip -> (
+    (* a Mux block's M1 copies belong to one path each; only the shared
+       M2 word is MAC-consumed by every entry *)
+    match kind with Block.Exec -> [ 0; 4 ] | Block.Mux -> [ 8 ])
+  | Site.Keystream -> (
+    match kind with
+    | Block.Exec -> range 0 Block.exit_offset
+    | Block.Mux -> range 8 Block.exit_offset)
+  | _ -> invalid_arg "offsets_for"
+
+let image_trial ~config ~(p : profile) site =
+  let tampered = Site.apply p.image site in
+  let trace = Trace.create () in
+  let obs = Obs.create ~trace () in
+  let r = Runner.run ~config ~obs ~keys:p.keys tampered in
+  let v = classify ~clean:p.clean r in
+  let lat = if v = Detected then detection_latency trace else None in
+  (site, v, lat)
+
+(* [None] = the class has no applicable site in this workload (e.g. no
+   multiplexor block on the executed path) — recorded as zero trials,
+   never as an escape. *)
+let one_trial ~config ~rng ~(p : profile) clazz =
+  match clazz with
+  | (Site.Insn_flip | Site.Mac_flip | Site.Keystream) as cz ->
+    if Array.length p.visited = 0 then None
+    else begin
+      let b = p.visited.(Prng.int_below rng (Array.length p.visited)) in
+      let offs = offsets_for cz b.Image.kind in
+      let off = List.nth offs (Prng.int_below rng (List.length offs)) in
+      let address = b.Image.base + off in
+      let mask =
+        match cz with
+        | Site.Keystream ->
+          let rec nz () =
+            let m = Prng.next32 rng in
+            if m = 0 then nz () else m
+          in
+          nz ()
+        | _ -> 1 lsl Prng.int_below rng 32
+      in
+      Some (image_trial ~config ~p (Site.Word_xor { address; mask }))
+    end
+  | Site.Mux_swap ->
+    if Array.length p.visited_mux = 0 then None
+    else begin
+      let b = p.visited_mux.(Prng.int_below rng (Array.length p.visited_mux)) in
+      Some
+        (image_trial ~config ~p
+           (Site.Word_swap { a = b.Image.base; b = b.Image.base + 4 }))
+    end
+  | Site.Edge_redirect ->
+    if Array.length p.visited = 0 then None
+    else begin
+      let nblocks = Array.length p.image.Image.blocks in
+      let rec pick k =
+        if k <= 0 then None
+        else begin
+          let src = p.visited.(Prng.int_below rng (Array.length p.visited)) in
+          let from_exit = src.Image.base + Block.exit_offset in
+          let tgt = p.image.Image.blocks.(Prng.int_below rng nblocks) in
+          let target = tgt.Image.base + (4 * Prng.int_below rng 8) in
+          if Hashtbl.mem p.legit (from_exit, target) then pick (k - 1)
+          else Some (from_exit, target)
+        end
+      in
+      match pick 64 with
+      | None -> None
+      | Some (from_exit, target) ->
+        let site = Site.Redirect { from_exit; target } in
+        (match
+           Runner.fetch_block ~keys:p.keys ~image:p.image ~target ~prev_pc:from_exit
+         with
+         | Runner.Fetch_violation _ ->
+           (* rejected in the frontend: nothing ever retires *)
+           Some (site, Detected, Some 0)
+         | Runner.Block_ok _ -> Some (site, Corrupted, None))
+    end
+  | Site.Fetch_transient ->
+    let fetches = p.clean.Machine.stats.Machine.blocks_entered in
+    let fetch = Prng.int_in rng ~lo:1 ~hi:(max 1 fetches) in
+    let bit = Prng.int_below rng 256 in
+    let site = Site.Transient { fetch; bit } in
+    let trace = Trace.create () in
+    let obs = Obs.create ~trace () in
+    let r = Runner.run ~config ~obs ~fault:(fetch, bit) ~keys:p.keys p.image in
+    let v = classify ~clean:p.clean r in
+    let lat = if v = Detected then detection_latency trace else None in
+    Some (site, v, lat)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let zero_cell clazz workload =
+  { clazz; workload; trials = 0; detected = 0; masked = 0; corrupted = 0; hung = 0;
+    lat_measured = 0; lat_total = 0; lat_max = 0 }
+
+let add_cell c v lat =
+  let c = { c with trials = c.trials + 1 } in
+  let c =
+    match v with
+    | Detected -> { c with detected = c.detected + 1 }
+    | Masked -> { c with masked = c.masked + 1 }
+    | Corrupted -> { c with corrupted = c.corrupted + 1 }
+    | Hung -> { c with hung = c.hung + 1 }
+  in
+  match lat with
+  | Some l ->
+    { c with lat_measured = c.lat_measured + 1; lat_total = c.lat_total + l;
+      lat_max = max c.lat_max l }
+  | None -> c
+
+let run_cell ~config ~rng ~obs ~p ~workload clazz ~trials =
+  let c = ref (zero_cell clazz workload) in
+  for _ = 1 to trials do
+    match one_trial ~config ~rng ~p clazz with
+    | None -> ()
+    | Some (_site, v, lat) ->
+      c := add_cell !c v lat;
+      if Obs.tracing obs then
+        Obs.emit obs
+          (Event.Custom
+             {
+               name =
+                 Printf.sprintf "fault:%s:%s:%s" workload (Site.name clazz)
+                   (verdict_name v);
+               value = (match lat with Some l -> l | None -> -1);
+             })
+  done;
+  !c
+
+(* ------------------------------------------------------------------ *)
+(* Service-level fault scenarios                                       *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let is_crash_id (r : Job.request) = starts_with "crash" r.Job.id
+
+let conserved m = m.Svc_metrics.submitted = Svc_metrics.terminal_sum m
+
+let sc_worker_crash source =
+  let cfg =
+    {
+      Engine.default_config with
+      workers = 2;
+      max_attempts = 1;
+      fault =
+        Some (fun req ~attempt:_ -> if is_crash_id req then raise (Job.Crash "injected"));
+    }
+  in
+  let jobs =
+    List.init 12 (fun i -> Job.make ~id:(Printf.sprintf "ok-%d" i) (Job.Protect { source }))
+    @ List.init 3 (fun i ->
+          Job.make ~id:(Printf.sprintf "crash-%d" i) (Job.Protect { source }))
+  in
+  let rs, t = Engine.run_batch cfg jobs in
+  let m = Engine.metrics t in
+  let victims_failed =
+    List.for_all
+      (fun (r : Job.response) ->
+        (not (starts_with "crash" r.Job.id))
+        ||
+        match r.Job.status with
+        | Job.Failed msg -> starts_with "worker crashed" msg
+        | _ -> false)
+      rs
+  in
+  let others_done =
+    List.for_all
+      (fun (r : Job.response) ->
+        starts_with "crash" r.Job.id
+        || match r.Job.status with Job.Done _ -> true | _ -> false)
+      rs
+  in
+  let ok =
+    conserved m && victims_failed && others_done
+    && m.Svc_metrics.worker_crashes = 3
+    && m.Svc_metrics.worker_restarts >= 3
+  in
+  {
+    name = "worker_crash";
+    ok;
+    detail =
+      Printf.sprintf
+        "crashes=%d restarts=%d victims_failed=%b others_done=%b conserved=%b"
+        m.Svc_metrics.worker_crashes m.Svc_metrics.worker_restarts victims_failed
+        others_done (conserved m);
+  }
+
+let sc_worker_hang source =
+  let cfg =
+    {
+      Engine.default_config with
+      workers = 2;
+      max_attempts = 1;
+      hang_timeout_ms = Some 120;
+      fault =
+        Some
+          (fun req ~attempt:_ ->
+            if String.equal req.Job.id "hang-0" then Unix.sleepf 0.5);
+    }
+  in
+  let jobs =
+    Job.make ~id:"hang-0" (Job.Protect { source })
+    :: List.init 6 (fun i ->
+           Job.make ~id:(Printf.sprintf "ok-%d" i) (Job.Protect { source }))
+  in
+  let rs, t = Engine.run_batch cfg jobs in
+  let m = Engine.metrics t in
+  let hang_failed =
+    List.exists
+      (fun (r : Job.response) ->
+        String.equal r.Job.id "hang-0"
+        &&
+        match r.Job.status with
+        | Job.Failed msg -> starts_with "worker hung" msg
+        | _ -> false)
+      rs
+  in
+  let others_done =
+    List.for_all
+      (fun (r : Job.response) ->
+        String.equal r.Job.id "hang-0"
+        || match r.Job.status with Job.Done _ -> true | _ -> false)
+      rs
+  in
+  let ok =
+    conserved m && hang_failed && others_done
+    && m.Svc_metrics.worker_hangs >= 1
+    && m.Svc_metrics.worker_restarts >= 1
+  in
+  {
+    name = "worker_hang";
+    ok;
+    detail =
+      Printf.sprintf "hangs=%d restarts=%d victim_failed=%b others_done=%b conserved=%b"
+        m.Svc_metrics.worker_hangs m.Svc_metrics.worker_restarts hang_failed others_done
+        (conserved m);
+  }
+
+let sc_clock_skew source =
+  (* The reported wall clock jumps by half-days on every read; with
+     monotonic deadline arithmetic none of the generous deadlines may
+     fire. Before the monotonic-clock fix this scenario timed every
+     job out (or immortalized it, depending on the jump's sign). *)
+  let step = ref 0 in
+  let skewed () =
+    incr step;
+    1.0e9 +. (float_of_int !step *. if !step mod 2 = 0 then 86_400.0 else -43_200.0)
+  in
+  let cfg =
+    {
+      Engine.default_config with
+      workers = 2;
+      default_deadline_ms = Some 60_000;
+      wall_clock = Some skewed;
+    }
+  in
+  let jobs =
+    List.init 10 (fun i -> Job.make ~id:(Printf.sprintf "skew-%d" i) (Job.Protect { source }))
+  in
+  let rs, t = Engine.run_batch cfg jobs in
+  let m = Engine.metrics t in
+  let all_done =
+    List.for_all
+      (fun (r : Job.response) ->
+        match r.Job.status with Job.Done _ -> true | _ -> false)
+      rs
+  in
+  let ts_injected =
+    List.for_all (fun (r : Job.response) -> r.Job.ts > 9.0e8) rs
+  in
+  let ok = all_done && m.Svc_metrics.timed_out = 0 && conserved m && ts_injected in
+  {
+    name = "deadline_clock_skew";
+    ok;
+    detail =
+      Printf.sprintf "all_done=%b timed_out=%d ts_injected=%b conserved=%b" all_done
+        m.Svc_metrics.timed_out ts_injected (conserved m);
+  }
+
+let sc_wire_corrupt source =
+  let valid i = J.to_string (Job.request_to_json (Job.make ~id:(Printf.sprintf "w-%d" i) (Job.Protect { source }))) in
+  let lines =
+    [
+      "this is not JSON at all";
+      "{\"id\":\"trunc\",\"op\":\"prot";  (* torn mid-line *)
+      J.to_string
+        (J.Obj [ ("id", J.Str "badop"); ("op", J.Str "detonate"); ("source", J.Str source) ]);
+      J.to_string (J.Obj [ ("op", J.Str "protect"); ("source", J.Str source) ]);
+      (* missing id *)
+    ]
+    @ List.init 6 valid
+  in
+  let in_path = Filename.temp_file "sofia_fault" ".ndjson" in
+  let out_path = Filename.temp_file "sofia_fault" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove in_path with Sys_error _ -> ());
+      try Sys.remove out_path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+      close_out oc;
+      let ic = open_in in_path in
+      let out = open_out out_path in
+      let stats, _t =
+        Wire.serve_channels ~config:{ Engine.default_config with workers = 2 } ic out
+      in
+      close_in ic;
+      close_out out;
+      let answered = ref 0 in
+      let ic = open_in out_path in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr answered
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let ok =
+        stats.Wire.received = 10 && stats.Wire.malformed = 4
+        && stats.Wire.completed = 6 && stats.Wire.failed = 0
+        && !answered = 10
+      in
+      {
+        name = "wire_corrupt";
+        ok;
+        detail =
+          Printf.sprintf "received=%d malformed=%d completed=%d answered=%d"
+            stats.Wire.received stats.Wire.malformed stats.Wire.completed !answered;
+      })
+
+let sc_store_tamper source =
+  let cfg = { Engine.default_config with workers = 1 } in
+  let _rs, t = Engine.run_batch cfg [ Job.make ~id:"s-0" (Job.Protect { source }) ] in
+  let store = Engine.store t in
+  match Store.entries store with
+  | [] -> { name = "store_tamper"; ok = false; detail = "no entry cached" }
+  | (e : Store.entry) :: _ ->
+    let clean_before = Store.audit store = [] in
+    let i = Bytes.length e.Store.bytes / 2 in
+    Bytes.set e.Store.bytes i
+      (Char.chr (Char.code (Bytes.get e.Store.bytes i) lxor 0x20));
+    let caught = match Store.audit store with [ _ ] -> true | _ -> false in
+    {
+      name = "store_tamper";
+      ok = clean_before && caught;
+      detail = Printf.sprintf "clean_before=%b corruption_caught=%b" clean_before caught;
+    }
+
+let sc_breaker source =
+  let cfg =
+    {
+      Engine.default_config with
+      workers = 1;
+      max_attempts = 1;
+      breaker_threshold = 2;
+      breaker_cooldown_ms = 5_000;
+      fault =
+        Some (fun req ~attempt:_ -> if is_crash_id req then raise (Job.Crash "injected"));
+    }
+  in
+  let t = Engine.create cfg in
+  Engine.start t;
+  List.iter (Engine.submit t)
+    (List.init 3 (fun i -> Job.make ~id:(Printf.sprintf "crash-%d" i) (Job.Protect { source })));
+  ignore (Engine.drain t);
+  let tripped = Engine.breaker_open t in
+  Engine.submit t (Job.make ~id:"after" (Job.Protect { source }));
+  let rs = Engine.drain t in
+  Engine.shutdown t;
+  let m = Engine.metrics t in
+  let shed =
+    List.exists
+      (fun (r : Job.response) ->
+        String.equal r.Job.id "after"
+        &&
+        match r.Job.status with
+        | Job.Rejected msg -> starts_with "circuit open" msg
+        | _ -> false)
+      rs
+  in
+  let ok = tripped && shed && m.Svc_metrics.breaker_trips >= 1 && conserved m in
+  {
+    name = "circuit_breaker";
+    ok;
+    detail =
+      Printf.sprintf "tripped=%b shed=%b trips=%d conserved=%b" tripped shed
+        m.Svc_metrics.breaker_trips (conserved m);
+  }
+
+let service_checks workloads =
+  match workloads with
+  | [] -> []
+  | (w0 : W.t) :: _ ->
+    let source = w0.W.source in
+    [
+      sc_worker_crash source;
+      sc_worker_hang source;
+      sc_clock_skew source;
+      sc_wire_corrupt source;
+      sc_store_tamper source;
+      sc_breaker source;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver, summaries, serialisation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
+    ?(with_service = true) ?workloads ~trials ~seed () =
+  let workloads =
+    match workloads with Some ws -> ws | None -> Sofia_workloads.Registry.all ()
+  in
+  let config = bounded_config fuel in
+  let rng = Prng.create ~seed in
+  let cells =
+    List.concat_map
+      (fun (w : W.t) ->
+        let key_seed = Int64.logxor seed (Store.hash_string w.W.name) in
+        let p = profile ~config ~key_seed w in
+        List.map
+          (fun clazz -> run_cell ~config ~rng ~obs ~p ~workload:w.W.name clazz ~trials)
+          classes)
+      workloads
+  in
+  let service = if with_service then service_checks workloads else [] in
+  { seed; trials_per_cell = trials; fuel; cells; service }
+
+(* one aggregated cell per class, over every workload *)
+let by_class r =
+  List.filter_map
+    (fun clazz ->
+      let cs = List.filter (fun c -> c.clazz = clazz) r.cells in
+      if cs = [] then None
+      else
+        Some
+          (List.fold_left
+             (fun acc c ->
+               {
+                 acc with
+                 trials = acc.trials + c.trials;
+                 detected = acc.detected + c.detected;
+                 masked = acc.masked + c.masked;
+                 corrupted = acc.corrupted + c.corrupted;
+                 hung = acc.hung + c.hung;
+                 lat_measured = acc.lat_measured + c.lat_measured;
+                 lat_total = acc.lat_total + c.lat_total;
+                 lat_max = max acc.lat_max c.lat_max;
+               })
+             (zero_cell clazz "*") cs))
+    Site.all
+
+let in_model_escapes r =
+  List.fold_left
+    (fun acc c ->
+      if Site.in_model c.clazz then acc + c.masked + c.corrupted + c.hung else acc)
+    0 r.cells
+
+let in_model_trials r =
+  List.fold_left
+    (fun (d, t) c ->
+      if Site.in_model c.clazz then (d + c.detected, t + c.trials) else (d, t))
+    (0, 0) r.cells
+
+let service_ok r = List.for_all (fun s -> s.ok) r.service
+
+let passed r = in_model_escapes r = 0 && service_ok r
+
+let lat_mean c =
+  if c.lat_measured = 0 then 0.0
+  else float_of_int c.lat_total /. float_of_int c.lat_measured
+
+let cell_json c =
+  J.Obj
+    [
+      ("class", J.Str (Site.name c.clazz));
+      ("workload", J.Str c.workload);
+      ("in_model", J.Bool (Site.in_model c.clazz));
+      ("trials", J.Int c.trials);
+      ("detected", J.Int c.detected);
+      ("masked", J.Int c.masked);
+      ("corrupted", J.Int c.corrupted);
+      ("hung", J.Int c.hung);
+      ( "latency_insns",
+        J.Obj
+          [
+            ("measured", J.Int c.lat_measured);
+            ("mean", J.Float (lat_mean c));
+            ("max", J.Int c.lat_max);
+          ] );
+    ]
+
+let to_json r =
+  let d, t = in_model_trials r in
+  J.Obj
+    [
+      ("schema", J.Str "sofia-fault-campaign/1");
+      ("seed", J.Str (Printf.sprintf "0x%Lx" r.seed));
+      ("trials_per_cell", J.Int r.trials_per_cell);
+      ("fuel", J.Int r.fuel);
+      ( "classes",
+        J.List
+          (List.map
+             (fun c ->
+               J.Obj
+                 [
+                   ("name", J.Str (Site.name c));
+                   ("in_model", J.Bool (Site.in_model c));
+                   ("description", J.Str (Site.describe c));
+                 ])
+             Site.all) );
+      ("matrix", J.List (List.map cell_json r.cells));
+      ("by_class", J.List (List.map cell_json (by_class r)));
+      ( "summary",
+        J.Obj
+          [
+            ("in_model_trials", J.Int t);
+            ("in_model_detected", J.Int d);
+            ( "in_model_detection_rate",
+              J.Float (if t = 0 then 1.0 else float_of_int d /. float_of_int t) );
+            ("in_model_escapes", J.Int (in_model_escapes r));
+            ("service_ok", J.Bool (service_ok r));
+            ("passed", J.Bool (passed r));
+          ] );
+      ( "service",
+        J.List
+          (List.map
+             (fun s ->
+               J.Obj
+                 [ ("name", J.Str s.name); ("ok", J.Bool s.ok);
+                   ("detail", J.Str s.detail) ])
+             r.service) );
+    ]
+
+let pp fmt r =
+  let d, t = in_model_trials r in
+  Format.fprintf fmt "fault campaign  seed=0x%Lx  trials/cell=%d@." r.seed
+    r.trials_per_cell;
+  Format.fprintf fmt "%-16s %8s %9s %7s %10s %6s %12s %8s@." "class" "trials"
+    "detected" "masked" "corrupted" "hung" "latency-mean" "lat-max";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-16s %8d %9d %7d %10d %6d %12.2f %8d%s@."
+        (Site.name c.clazz) c.trials c.detected c.masked c.corrupted c.hung
+        (lat_mean c) c.lat_max
+        (if Site.in_model c.clazz then "" else "  [out of model]"))
+    (by_class r);
+  Format.fprintf fmt "in-model: %d/%d detected, %d escape(s)@." d t (in_model_escapes r);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "service %-20s %s  %s@." s.name
+        (if s.ok then "OK " else "FAIL")
+        s.detail)
+    r.service

@@ -1,0 +1,110 @@
+(** The fault-injection campaign: a deterministic, seeded sweep of
+    (fault class × workload × trial) over the whole pipeline, plus six
+    scripted service-level fault scenarios, producing the
+    detection-coverage matrix that CI gates on.
+
+    {b Method.} For each workload the campaign first runs a bounded
+    {e clean} execution and profiles it: which blocks retired
+    instructions, which of them are multiplexor blocks, how many block
+    fetches happened, and the static legitimate-edge set. Fault sites
+    are then sampled (from one {!Sofia_util.Prng} stream seeded by the
+    campaign seed, so the whole matrix is reproducible from [--seed])
+    only against that consumed state — a fault parked in dead code
+    would be undetectable {e and} harmless, and counting it as a trial
+    would launder the coverage number.
+
+    {b Verdicts} compare the faulted run against the clean one:
+    [Detected] (CPU reset fired), [Masked] (identical outcome and
+    outputs), [Corrupted] (ran to completion with wrong results),
+    [Hung] (fuel exhausted). For every detection the {e latency} is
+    measured from the run's trace — retired instructions between the
+    fetch that consumed the fault and the reset. SOFIA verifies the
+    MAC before the Memory-Access stage, so in-model latency must be 0.
+
+    {b The gate.} {!in_model_escapes} counts Masked + Corrupted + Hung
+    over the in-model classes ({!Site.in_model}); the acceptance
+    criterion (CI, [sofia campaign]) is exactly 0 escapes plus every
+    {!service_check} passing. [Fetch_transient] rates are reported but
+    never gated. *)
+
+type verdict = Detected | Masked | Corrupted | Hung
+
+val verdict_name : verdict -> string
+
+(** One (class × workload) cell of the coverage matrix. [trials] may be
+    less than the requested trial count when the class has no
+    applicable site in the workload (e.g. [Mux_swap] with no
+    multiplexor block on the executed path) — recorded as skipped
+    trials, never as escapes. *)
+type cell = {
+  clazz : Site.clazz;
+  workload : string;
+  trials : int;
+  detected : int;
+  masked : int;
+  corrupted : int;
+  hung : int;
+  lat_measured : int;  (** detections with a measurable latency *)
+  lat_total : int;  (** sum of latencies, in retired instructions *)
+  lat_max : int;
+}
+
+(** Result of one scripted service-level fault scenario (worker crash,
+    worker hang, deadline clock skew, wire corruption, store tamper,
+    circuit breaker). *)
+type service_check = { name : string; ok : bool; detail : string }
+
+type report = {
+  seed : int64;
+  trials_per_cell : int;
+  fuel : int;
+  cells : cell list;
+  service : service_check list;
+}
+
+val default_fuel : int
+(** Clean-run/faulted-run instruction budget (2 M): bounds a faulted
+    run that would otherwise spin, and is far above any registry
+    workload's clean instruction count. *)
+
+val run :
+  ?obs:Sofia_obs.Obs.t ->
+  ?fuel:int ->
+  ?classes:Site.clazz list ->
+  ?with_service:bool ->
+  ?workloads:Sofia_workloads.Workload.t list ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  report
+(** Sweep [classes] (default {!Site.all}) × [workloads] (default the
+    full registry) with [trials] sampled sites per cell. [obs], when
+    tracing, receives one [Custom] event per trial
+    ([fault:<workload>:<class>:<verdict>], value = latency or -1).
+    [with_service] (default [true]) appends the six service scenarios,
+    which spawn real worker domains and take ~1 s of wall time. *)
+
+val by_class : report -> cell list
+(** The matrix aggregated to one cell per class (workload ["*"]), in
+    {!Site.all} order; classes absent from the report are omitted. *)
+
+val in_model_escapes : report -> int
+(** Masked + Corrupted + Hung over the in-model classes — the number
+    CI requires to be exactly 0. *)
+
+val in_model_trials : report -> int * int
+(** [(detected, trials)] over the in-model classes. *)
+
+val service_ok : report -> bool
+
+val passed : report -> bool
+(** [in_model_escapes = 0 && service_ok] — the campaign exit
+    criterion. *)
+
+val to_json : report -> Sofia_obs.Json.t
+(** Schema [sofia-fault-campaign/1]: seed, the class taxonomy, the
+    full matrix, the per-class aggregation, the summary (detection
+    rate, escapes, [passed]) and the service-check results. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable coverage table (per-class rows) + service lines. *)

@@ -1,33 +1,58 @@
 (** The concurrent protection/attestation engine: a bounded admission
-    queue in front of a pool of OCaml-domain workers sharing one
-    content-addressed image store.
+    queue in front of a supervised pool of OCaml-domain workers sharing
+    one content-addressed image store.
 
     Job lifecycle (every submitted job traverses exactly one path):
 
     {v
     submit ──▶ queue ──▶ worker ──▶ attempt 1..max_attempts ──▶ Done
        │         │          │                     │
-       │         │          └─ deadline expired ──┴──▶ Timed_out
-       │         └─ (Reject policy, queue full) ──────▶ Rejected
+       │         │          ├─ deadline expired ──┴──▶ Timed_out
+       │         │          └─ worker crash/hang ─────▶ Failed
+       │         ├─ (Reject policy, queue full) ──────▶ Rejected
+       │         └─ (circuit breaker open) ───────────▶ Rejected
        └─ (engine shut down) ─────────────────────────▶ Rejected
     v}
 
     so after {!drain} the terminal counters sum to the submission
     count ({!Svc_metrics.terminal_sum}) — no job is ever silently
-    dropped. Responses are delivered twice: streamed through the
-    [on_response] callback as they complete (wire mode), and collected
-    by {!drain} in admission order (batch mode).
+    dropped, {e including} the victims of supervision: a settle-once
+    latch per job guarantees exactly one terminal response even when
+    the watchdog and a zombie worker race to settle it. Responses are
+    delivered twice: streamed through the [on_response] callback as
+    they complete (wire mode), and collected by {!drain} in admission
+    order (batch mode).
+
+    {b Clocks.} Deadlines, retry budgets, the watchdog and the breaker
+    cooldown all read the {e monotonic} clock ({!Sofia_util.Clock}): a
+    wall-clock step cannot expire or immortalize queued jobs. Wall time
+    appears only in the reported [ts] response field and is injectable
+    ([wall_clock]) so tests can skew it and assert timing is unaffected.
+
+    {b Supervision.} A worker that raises {!Job.Crash} dies: its
+    in-flight job settles [Failed ("worker crashed: ...")], a
+    replacement domain is spawned, and throughput recovers without a
+    process restart. With [hang_timeout_ms] set, a watchdog domain
+    additionally abandons any worker whose job exceeds the timeout
+    (OCaml domains cannot be killed, so the zombie is left to run out
+    and is never joined), fails the job on its behalf, and spawns a
+    replacement. [breaker_threshold] consecutive deaths with no
+    completed job in between open a circuit breaker: submissions are
+    shed ([Rejected]) until [breaker_cooldown_ms] has passed, after
+    which the breaker half-opens (the next death re-trips it, the next
+    success resets it).
 
     Deadlines are enforced at dispatch and between retry attempts: a
     pure CPU-bound job cannot be preempted mid-run, so a job that
     {e starts} before its deadline runs to completion (documented
-    serving semantics; DESIGN.md §9). A [deadline_ms] of [0] therefore
-    deterministically times out — the tests' lever.
+    serving semantics; DESIGN.md §9) — unless the watchdog reaps it.
+    A [deadline_ms] of [0] deterministically times out — the tests'
+    lever.
 
     Retries: an attempt that raises {!Job.Transient} is retried (same
     worker, immediately) until [max_attempts] is exhausted; any other
-    exception is a permanent, structured [Failed] — exceptions never
-    escape a worker. *)
+    exception except {!Job.Crash} is a permanent, structured [Failed] —
+    only [Crash] ever escapes a worker. *)
 
 type backpressure = Block | Reject
 
@@ -47,13 +72,27 @@ type config = {
   default_deadline_ms : int option;  (** for requests that carry none *)
   fault : (Job.request -> attempt:int -> unit) option;
       (** chaos hook, called before each execution attempt; raise
-          {!Job.Transient} to model a transient worker fault *)
+          {!Job.Transient} to model a transient worker fault,
+          {!Job.Crash} to kill the worker domain itself *)
+  hang_timeout_ms : int option;
+      (** [Some ms]: a watchdog domain abandons any worker whose
+          in-flight job exceeds [ms], fails the job and spawns a
+          replacement; [None] (default) disables hang detection *)
+  breaker_threshold : int;
+      (** consecutive worker deaths (crash or hang) that open the
+          circuit breaker; 0 (default) disables it *)
+  breaker_cooldown_ms : int;  (** how long an open breaker sheds load *)
+  wall_clock : (unit -> float) option;
+      (** reported-timestamp source ([ts] on responses); [None] =
+          [Unix.gettimeofday]. Never used for deadlines — that is the
+          point: tests inject a skewed clock here and assert that
+          deadline/retry behaviour is unchanged. *)
 }
 
 val default_config : config
 (** 0 workers (auto), 64-deep queue, [Block], 256 store slots, 3
     attempts, keystream cache on (1024 slots), no default deadline, no
-    fault injection. *)
+    fault injection, no watchdog, breaker disabled, real wall clock. *)
 
 type t
 
@@ -66,23 +105,29 @@ val create : ?obs:Sofia_obs.Obs.t -> ?on_response:(Job.response -> unit) -> conf
     (wire mode uses its own output mutex) and use the response's
     [completion] index to recover the total completion order. Every
     callback has returned by the time {!shutdown} joins the workers.
-    [obs] receives [service_error] events for failed jobs. *)
+    [obs] receives [service_error] events for failed jobs, worker
+    crashes/hangs and breaker trips. *)
 
 val start : t -> unit
-(** Spawn the worker domains. Idempotent. *)
+(** Spawn the worker domains (and the watchdog, if configured).
+    Idempotent. *)
 
 val submit : t -> Job.request -> unit
 (** Admit one job. With [Reject] backpressure and a full queue — or an
-    engine already shut down — the job terminates immediately as
-    [Rejected] (the response is recorded and streamed like any other).
-    With [Block], blocks until a slot frees. *)
+    engine already shut down, or an open circuit breaker — the job
+    terminates immediately as [Rejected] (the response is recorded and
+    streamed like any other). With [Block], blocks until a slot frees. *)
 
 val drain : t -> Job.response list
 (** Wait until every submitted job has a terminal response; responses
-    in admission ([seq]) order. Requires {!start} (or nothing pending). *)
+    in admission ([seq]) order. Requires {!start} (or nothing pending).
+    Supervision keeps this live: crashed and hung workers' jobs are
+    settled by the supervisor, so drain cannot wedge on a dead domain. *)
 
 val shutdown : t -> unit
-(** Graceful: close admission, let workers drain the queue, join them.
+(** Graceful: close admission, let workers drain the queue, join them
+    (including any replacements spawned mid-shutdown; abandoned hung
+    domains are skipped — they cannot be joined), stop the watchdog.
     Idempotent. Jobs still queued are executed, not dropped. *)
 
 val metrics : t -> Svc_metrics.t
@@ -90,11 +135,17 @@ val store : t -> Store.t
 val queue_depth : t -> int
 val queue_depth_max : t -> int
 
+val live_workers : t -> int
+(** Workers currently considered alive (not joined, not abandoned). *)
+
+val breaker_open : t -> bool
+(** Whether the circuit breaker is currently shedding load. *)
+
 val metrics_json : t -> Sofia_obs.Json.t
 (** The full serving-metrics document: {!Svc_metrics.to_json} plus the
-    store's hit/miss/eviction/entry counters and the queue-depth
-    gauge/high-water mark — the ["service_metrics"] object of the
-    bench JSON schema. *)
+    store's hit/miss/eviction/entry counters, the queue-depth
+    gauge/high-water mark, worker-pool gauges and the breaker state —
+    the ["service_metrics"] object of the bench JSON schema. *)
 
 val responses : t -> Job.response list
 (** Terminal responses so far, admission order (snapshot). *)

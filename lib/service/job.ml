@@ -1,6 +1,7 @@
 module J = Sofia_obs.Json
 
 exception Transient of string
+exception Crash of string
 
 type spec =
   | Protect of { source : string }
@@ -58,6 +59,7 @@ type response = {
   attempts : int;
   worker : int;
   latency_ms : float;
+  ts : float;
   status : status;
 }
 
@@ -118,7 +120,7 @@ let response_to_json r =
     ([ ("id", J.Str r.id); ("op", J.Str r.op); ("status", J.Str (status_name r.status));
        ("seq", J.Int r.seq); ("completion", J.Int r.completion);
        ("attempts", J.Int r.attempts); ("worker", J.Int r.worker);
-       ("latency_ms", J.Float r.latency_ms) ]
+       ("latency_ms", J.Float r.latency_ms); ("ts_unix", J.Float r.ts) ]
     @ status_fields)
 
 let response_to_line r = J.to_string (response_to_json r)

@@ -35,6 +35,13 @@ exception Transient of string
     here). Anything else a job raises is permanent and becomes a
     [Failed] response. *)
 
+exception Crash of string
+(** A fatal worker fault: unlike any other exception, it is {e not}
+    converted into a [Failed] attempt — it escapes the attempt loop and
+    kills the worker domain, modelling a crash (segfault, OOM-kill) the
+    engine's supervisor must recover from. The fault-injection hook
+    raises it; nothing else should. *)
+
 type spec =
   | Protect of { source : string }
   | Verify of { source : string }
@@ -91,7 +98,9 @@ type response = {
   completion : int;  (** completion order (0-based, over all terminal responses) *)
   attempts : int;  (** execution attempts consumed (0 if never dispatched) *)
   worker : int;  (** worker index, [-1] if never dispatched *)
-  latency_ms : float;  (** admission -> terminal response *)
+  latency_ms : float;  (** admission -> terminal response (monotonic clock) *)
+  ts : float;  (** wall-clock completion timestamp ([ts_unix] on the wire) —
+                   reporting only, never used for deadline arithmetic *)
   status : status;
 }
 

@@ -127,6 +127,14 @@ let fill_mac e compute =
         e.mac <- Some m;
         m)
 
+let entries t = with_lock t (fun () -> Hashtbl.fold (fun _ s acc -> s.entry :: acc) t.tbl [])
+
+(* An entry's [digest] was fingerprinted at build time; re-fingerprinting
+   the live bytes exposes any later in-memory corruption (the serving
+   layer's store-tamper fault class). *)
+let audit t =
+  List.filter (fun e -> not (String.equal (fingerprint e.bytes) e.digest)) (entries t)
+
 let length t = with_lock t (fun () -> Hashtbl.length t.tbl)
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)

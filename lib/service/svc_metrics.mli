@@ -24,6 +24,10 @@ type t = {
   mutable failed : int;
   mutable retries : int;
   mutable service_errors : int;
+  mutable worker_crashes : int;  (** worker domains killed by {!Job.Crash} *)
+  mutable worker_hangs : int;  (** workers abandoned by the hang watchdog *)
+  mutable worker_restarts : int;  (** replacement domains spawned by supervision *)
+  mutable breaker_trips : int;  (** closed->open transitions of the circuit breaker *)
   protect_latency_us : Sofia_obs.Metrics.histogram;
   verify_latency_us : Sofia_obs.Metrics.histogram;
   simulate_latency_us : Sofia_obs.Metrics.histogram;

@@ -96,4 +96,145 @@ let test_pipe_mode_200 () =
       (sorted = List.init n (fun i -> i))
   end
 
-let suite = [ Alcotest.test_case "pipe mode, 200 mixed requests" `Slow test_pipe_mode_200 ]
+(* ---- socket mode ---- *)
+
+let wait_for pred =
+  let deadline = Sofia.Util.Clock.mono_s () +. 10.0 in
+  let rec loop () =
+    if pred () then true
+    else if Sofia.Util.Clock.mono_s () > deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
+let start_socket_server path =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; path; "--once"; "--workers"; "2" |]
+      Unix.stdin Unix.stdout null
+  in
+  Unix.close null;
+  if not (wait_for (fun () -> Sys.file_exists path)) then
+    Alcotest.failf "server never bound %s" path;
+  pid
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> Alcotest.failf "server killed by signal %d" s
+
+(* The socket transport must deliver exactly what pipe mode and the
+   one-shot executor deliver: 50 mixed jobs over a real AF_UNIX
+   connection, every payload field equal to Engine.execute_oneshot's
+   answer for the same request, then a clean shutdown that removes the
+   socket file. *)
+let test_socket_mode_50 () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let path = Filename.temp_file "sofia_sock" ".sock" in
+    Sys.remove path;
+    let pid = start_socket_server path in
+    let fd = connect path in
+    let n = 50 in
+    let oc = Unix.out_channel_of_descr fd in
+    for i = 0 to n - 1 do
+      output_string oc (Json.to_string (Job.request_to_json (request i)));
+      output_char oc '\n'
+    done;
+    flush oc;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let ic = Unix.in_channel_of_descr fd in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    Unix.close fd;
+    let code = reap pid in
+    Alcotest.(check int) "server exit code" 0 code;
+    Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+    let lines = List.rev !lines in
+    Alcotest.(check int) "one response per request" n (List.length lines);
+    (* byte-level equivalence with the sequential one-shot executor:
+       the op payload fields must match exactly (the scheduling
+       metadata — seq/completion/latency/ts — legitimately differs) *)
+    let payload_keys = function
+      | Job.Protect _ -> [ "digest"; "text_bytes"; "blocks"; "status" ]
+      | Job.Verify _ -> [ "ok"; "issues"; "status" ]
+      | Job.Attest _ -> [ "digest"; "mac"; "ok"; "status" ]
+      | Job.Simulate _ -> [ "outcome"; "outputs"; "cycles"; "instructions"; "status" ]
+      | Job.Run_image _ -> [ "outcome"; "status" ]
+    in
+    List.iter
+      (fun line ->
+        let j =
+          match Json.parse_opt line with
+          | Some j -> j
+          | None -> Alcotest.failf "response is not JSON: %s" line
+        in
+        let id =
+          match Json.member "id" j with
+          | Some (Json.Str s) -> s
+          | _ -> Alcotest.failf "response lacks id: %s" line
+        in
+        let i = int_of_string (String.sub id 4 3) in
+        let req = request i in
+        let oneshot =
+          { Job.id; op = Job.op_name req.Job.spec; status = Sofia.Service.Engine.execute_oneshot req;
+            seq = 0; completion = 0; attempts = 1; worker = 0; latency_ms = 0.0; ts = 0.0 }
+        in
+        let expected = Job.response_to_json oneshot in
+        List.iter
+          (fun key ->
+            let pick doc = Json.member key doc in
+            if pick j <> pick expected then
+              Alcotest.failf "%s: field %S differs from one-shot (%s)" id key line)
+          (payload_keys req.Job.spec))
+      lines
+  end
+
+(* A client that vanishes mid-stream must not crash the server or leave
+   jobs unsettled: the connection's jobs all reach a terminal state and
+   the server exits cleanly. *)
+let test_socket_client_disconnect () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let path = Filename.temp_file "sofia_sock" ".sock" in
+    Sys.remove path;
+    let pid = start_socket_server path in
+    let fd = connect path in
+    let oc = Unix.out_channel_of_descr fd in
+    for i = 0 to 19 do
+      output_string oc (Json.to_string (Job.request_to_json (request i)));
+      output_char oc '\n'
+    done;
+    flush oc;
+    (* read a single response to be sure the engine is mid-stream, then
+       slam the connection shut without consuming the rest *)
+    let ic = Unix.in_channel_of_descr fd in
+    (match input_line ic with
+     | line -> Alcotest.(check bool) "first response is JSON" true (Json.parse_opt line <> None)
+     | exception End_of_file -> Alcotest.fail "no response before disconnect");
+    Unix.close fd;
+    let code = reap pid in
+    Alcotest.(check int) "server survives the disconnect" 0 code;
+    Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "pipe mode, 200 mixed requests" `Slow test_pipe_mode_200;
+    Alcotest.test_case "socket mode, 50 mixed requests" `Slow test_socket_mode_50;
+    Alcotest.test_case "socket client disconnect mid-stream" `Slow
+      test_socket_client_disconnect;
+  ]

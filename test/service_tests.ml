@@ -238,6 +238,191 @@ let test_transient_exhaustion () =
     | _ -> Alcotest.fail "expected Failed")
   | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
 
+(* ---- supervision: worker crash, hang watchdog, circuit breaker,
+   clock skew ---- *)
+
+let crash_on id_prefix =
+  let n = String.length id_prefix in
+  Some
+    (fun (req : Job.request) ~attempt:_ ->
+      if String.length req.Job.id >= n && String.sub req.Job.id 0 n = id_prefix then
+        raise (Job.Crash "kaboom"))
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Acceptance criterion of the robustness PR: a worker crash restarts
+   the worker, the victim terminates Failed, the counters stay
+   conserved, and throughput recovers without a process restart (the
+   jobs admitted after the crash all complete). *)
+let test_worker_crash_recovery () =
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 2;
+      max_attempts = 1;
+      fault = crash_on "boom";
+    }
+  in
+  let jobs =
+    protect_req "pre"
+    :: Job.make ~id:"boom" (Job.Protect { source = tiny_source2 })
+    :: List.init 8 (fun i -> protect_req ~source:tiny_source3 (Printf.sprintf "post%d" i))
+  in
+  let responses, t = Engine.run_batch cfg jobs in
+  let m = Engine.metrics t in
+  check_conservation m;
+  check_int "one crash" 1 m.Svc_metrics.worker_crashes;
+  check_bool "worker restarted" true (m.Svc_metrics.worker_restarts >= 1);
+  List.iter
+    (fun (r : Job.response) ->
+      if r.Job.id = "boom" then
+        match r.Job.status with
+        | Job.Failed msg ->
+          check_bool "victim carries the crash diagnostic" true
+            (has_prefix "worker crashed" msg)
+        | _ -> Alcotest.failf "victim ended %s, expected failed" (Job.status_name r.Job.status)
+      else
+        check_bool (r.Job.id ^ " done after recovery") true
+          (match r.Job.status with Job.Done _ -> true | _ -> false))
+    responses;
+  check_int "victim + 9 successes" 10 (List.length responses);
+  check_int "throughput recovered" 9 m.Svc_metrics.completed
+
+let test_hang_watchdog () =
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 2;
+      max_attempts = 1;
+      hang_timeout_ms = Some 120;
+      fault =
+        Some
+          (fun (req : Job.request) ~attempt:_ ->
+            if req.Job.id = "zzz" then Unix.sleepf 0.6);
+    }
+  in
+  let jobs =
+    Job.make ~id:"zzz" (Job.Protect { source = tiny_source })
+    :: List.init 5 (fun i -> protect_req ~source:tiny_source2 (Printf.sprintf "ok%d" i))
+  in
+  let responses, t = Engine.run_batch cfg jobs in
+  let m = Engine.metrics t in
+  check_conservation m;
+  check_bool "watchdog fired" true (m.Svc_metrics.worker_hangs >= 1);
+  check_bool "replacement spawned" true (m.Svc_metrics.worker_restarts >= 1);
+  List.iter
+    (fun (r : Job.response) ->
+      if r.Job.id = "zzz" then
+        match r.Job.status with
+        | Job.Failed msg ->
+          check_bool "victim carries the hang diagnostic" true (has_prefix "worker hung" msg)
+        | _ -> Alcotest.failf "victim ended %s, expected failed" (Job.status_name r.Job.status)
+      else
+        check_bool (r.Job.id ^ " done despite the hang") true
+          (match r.Job.status with Job.Done _ -> true | _ -> false))
+    responses
+
+let test_circuit_breaker_trips_and_sheds () =
+  (* a 60 s cooldown keeps the breaker deterministically open for the
+     whole trip/shed phase, however loaded the test machine is *)
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 1;
+      max_attempts = 1;
+      breaker_threshold = 2;
+      breaker_cooldown_ms = 60_000;
+      fault = crash_on "boom";
+    }
+  in
+  let t = Engine.create cfg in
+  Engine.start t;
+  List.iter (Engine.submit t)
+    [ Job.make ~id:"boom1" (Job.Protect { source = tiny_source });
+      Job.make ~id:"boom2" (Job.Protect { source = tiny_source2 }) ];
+  ignore (Engine.drain t);
+  check_bool "breaker open after threshold deaths" true (Engine.breaker_open t);
+  Engine.submit t (protect_req "shed");
+  let shed_rs = Engine.drain t in
+  check_bool "submission shed while open" true
+    (List.exists
+       (fun (r : Job.response) ->
+         r.Job.id = "shed"
+         &&
+         match r.Job.status with
+         | Job.Rejected msg -> has_prefix "circuit open" msg
+         | _ -> false)
+       shed_rs);
+  let m = Engine.metrics t in
+  check_bool "trip counted" true (m.Svc_metrics.breaker_trips >= 1);
+  Engine.shutdown t;
+  check_conservation (Engine.metrics t)
+
+let test_circuit_breaker_half_open_recovery () =
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 1;
+      max_attempts = 1;
+      breaker_threshold = 2;
+      breaker_cooldown_ms = 150;
+      fault = crash_on "boom";
+    }
+  in
+  let t = Engine.create cfg in
+  Engine.start t;
+  List.iter (Engine.submit t)
+    [ Job.make ~id:"boomA" (Job.Protect { source = tiny_source });
+      Job.make ~id:"boomB" (Job.Protect { source = tiny_source2 }) ];
+  ignore (Engine.drain t);
+  let m = Engine.metrics t in
+  check_int "tripped once" 1 m.Svc_metrics.breaker_trips;
+  (* past the cooldown the breaker is half-open: the probe is admitted,
+     and its success resets the consecutive-death count *)
+  Unix.sleepf 0.4;
+  Engine.submit t (protect_req ~source:tiny_source3 "probe");
+  let rs = Engine.drain t in
+  check_bool "half-open probe completed" true
+    (List.exists
+       (fun (r : Job.response) ->
+         r.Job.id = "probe"
+         && match r.Job.status with Job.Done _ -> true | _ -> false)
+       rs);
+  check_bool "breaker closed after success" false (Engine.breaker_open t);
+  (* one more death after the success must NOT re-trip: the success
+     reset the streak, and a single death is below the threshold *)
+  Engine.submit t (Job.make ~id:"boomC" (Job.Protect { source = tiny_source }));
+  ignore (Engine.drain t);
+  let m = Engine.metrics t in
+  check_int "no re-trip below threshold" 1 m.Svc_metrics.breaker_trips;
+  check_bool "breaker still closed" false (Engine.breaker_open t);
+  Engine.shutdown t;
+  check_conservation (Engine.metrics t)
+
+(* Deadline arithmetic must ride the monotonic clock: a reported-time
+   source jumping back and forth by half a day per read can neither
+   expire nor immortalize jobs with generous deadlines. *)
+let test_wall_clock_skew_harmless () =
+  let step = ref 0 in
+  let skewed () =
+    incr step;
+    1.0e9 +. (float_of_int !step *. if !step mod 2 = 0 then 86_400.0 else -43_200.0)
+  in
+  let cfg =
+    { Engine.default_config with
+      Engine.workers = 2;
+      default_deadline_ms = Some 60_000;
+      wall_clock = Some skewed;
+    }
+  in
+  let responses, t =
+    Engine.run_batch cfg (List.init 8 (fun i -> protect_req (Printf.sprintf "skew%d" i)))
+  in
+  let m = Engine.metrics t in
+  check_int "nothing timed out" 0 m.Svc_metrics.timed_out;
+  check_int "all done" 8 m.Svc_metrics.completed;
+  check_conservation m;
+  List.iter
+    (fun (r : Job.response) ->
+      check_bool "ts comes from the injected wall clock" true (r.Job.ts > 9.0e8))
+    responses
+
 (* a permanent executor failure (bad assembly) is a structured Failed,
    never an escaping exception *)
 let test_bad_source_fails_structured () =
@@ -473,6 +658,13 @@ let suite =
     Alcotest.test_case "default deadline" `Quick test_default_deadline;
     Alcotest.test_case "transient retries succeed" `Quick test_transient_retries_succeed;
     Alcotest.test_case "transient exhaustion" `Quick test_transient_exhaustion;
+    Alcotest.test_case "worker crash recovery" `Quick test_worker_crash_recovery;
+    Alcotest.test_case "hang watchdog" `Slow test_hang_watchdog;
+    Alcotest.test_case "circuit breaker trips and sheds" `Quick
+      test_circuit_breaker_trips_and_sheds;
+    Alcotest.test_case "circuit breaker half-open recovery" `Slow
+      test_circuit_breaker_half_open_recovery;
+    Alcotest.test_case "wall-clock skew harmless" `Quick test_wall_clock_skew_harmless;
     Alcotest.test_case "bad source structured failure" `Quick test_bad_source_fails_structured;
     Alcotest.test_case "bad image structured failure" `Quick test_bad_image_fails_structured;
     Alcotest.test_case "store hit byte-identical" `Quick test_store_hit_byte_identical;

@@ -27,4 +27,5 @@ let () =
       ("differential", Differential_tests.suite);
       ("service", Service_tests.suite);
       ("serve-smoke", Serve_smoke_tests.suite);
+      ("fault", Fault_tests.suite);
     ]

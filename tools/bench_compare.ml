@@ -166,10 +166,35 @@ let () =
       if not (List.mem_assoc name baseline) then
         Printf.printf "  %-34s new benchmark, no baseline (not gated)\n" name)
     fresh;
-  match !failed with
-  | [] -> Printf.printf "\nOK: no benchmark regressed more than %.0f%%\n" !tolerance
-  | names ->
-    Printf.printf "\nFAIL: %d benchmark(s) regressed more than %.0f%%: %s\n" (List.length names)
-      !tolerance
-      (String.concat ", " (List.rev names));
-    exit 1
+  (* Fault-coverage gate: a fresh pinned-seed campaign must detect
+     100% of the in-model tamper classes with zero detection latency —
+     a perf-motivated change that weakens the frontend (say, a MAC
+     check moved after Memory-Access) fails here even if every micro
+     row got faster. Baselines that predate the fault experiment
+     simply have nothing to compare against; the absolute gate still
+     applies to the fresh run. *)
+  let module C = Sofia.Fault.Campaign in
+  let module S = Sofia.Fault.Site in
+  Printf.printf "\nfault coverage gate (pinned seed 0xf417a, 3 trials/cell):\n%!";
+  let fr = C.run ~trials:3 ~seed:0xF417AL ~with_service:false () in
+  let fault_failed = ref false in
+  List.iter
+    (fun (c : C.cell) ->
+      let gated = S.in_model c.C.clazz in
+      let ok = (not gated) || (c.C.detected = c.C.trials && c.C.lat_max = 0) in
+      if not ok then fault_failed := true;
+      Printf.printf "  %-16s %3d/%-3d detected, latency max %d%s\n" (S.name c.C.clazz)
+        c.C.detected c.C.trials c.C.lat_max
+        (if not gated then "  (out of model, not gated)"
+         else if ok then ""
+         else "  ESCAPE"))
+    (C.by_class fr);
+  (match !failed with
+   | [] -> Printf.printf "\nOK: no benchmark regressed more than %.0f%%\n" !tolerance
+   | names ->
+     Printf.printf "\nFAIL: %d benchmark(s) regressed more than %.0f%%: %s\n"
+       (List.length names) !tolerance
+       (String.concat ", " (List.rev names)));
+  if !fault_failed then
+    Printf.printf "FAIL: an in-model tamper class escaped detection or detected late\n";
+  if !failed <> [] || !fault_failed then exit 1
