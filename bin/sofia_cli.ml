@@ -181,6 +181,17 @@ let ks_cache_arg =
                simulation speed knob — runs are bit-identical either way; pair with \
                --metrics to see hit/miss/eviction counters.")
 
+let engine_conv =
+  Arg.enum [ ("fast", Sofia.Cpu.Run_config.Fast); ("ref", Sofia.Cpu.Run_config.Ref) ]
+
+let engine_arg =
+  Arg.(value & opt engine_conv Sofia.Cpu.Run_config.Fast & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Execution engine: $(b,fast) (default) runs verified blocks from a \
+               pre-decoded cache; $(b,ref) is the original per-instruction interpreter, \
+               kept as the oracle for A/B and differential testing. Results, traces and \
+               counters are bit-identical between the two (modulo the engine's own \
+               hit/miss counters).")
+
 (* One observability/runtime bundle for every runner-style command, so
    run and run-image cannot drift apart again. *)
 type runner_opts = {
@@ -192,7 +203,7 @@ type runner_opts = {
   trace_file : string option;
 }
 
-let make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache =
+let make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine =
   if ks_cache < 0 then
     or_die (Error (Printf.sprintf "--ks-cache must be >= 0 (got %d)" ks_cache));
   let traced = ref 0 in
@@ -211,7 +222,8 @@ let make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache =
   let obs = Sofia.Obs.Obs.create ?trace ?metrics:mx () in
   let config =
     { Sofia.Cpu.Run_config.default with
-      Sofia.Cpu.Run_config.ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache)
+      Sofia.Cpu.Run_config.ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache);
+      engine
     }
   in
   { on_retire; trace; mx; obs; config; trace_file }
@@ -239,8 +251,8 @@ let finish_runner_run ~sofia opts (result : Sofia.Cpu.Machine.run_result) =
 (* ---- run-image ---- *)
 
 let run_image_cmd =
-  let run path key_seed trace_insns trace_file metrics ks_cache =
-    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache in
+  let run path key_seed trace_insns trace_file metrics ks_cache engine =
+    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine in
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
     (* A malformed or truncated .sfi must end in a structured
        diagnostic and a nonzero exit, never a backtrace. *)
@@ -267,13 +279,13 @@ let run_image_cmd =
   in
   Cmd.v (Cmd.info "run-image" ~doc:"Run a saved protected image on the SOFIA core")
     Term.(const run $ image_file $ seed_arg $ trace_insns_arg $ trace_file_arg $ metrics_arg
-          $ ks_cache_arg)
+          $ ks_cache_arg $ engine_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run path sofia key_seed nonce trace_insns trace_file metrics ks_cache =
-    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache in
+  let run path sofia key_seed nonce trace_insns trace_file metrics ks_cache engine =
+    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine in
     let program = or_die (assemble_file path) in
     let result =
       if sofia then begin
@@ -282,14 +294,16 @@ let run_cmd =
         Sofia.Cpu.Sofia_runner.run ~config:opts.config ?on_retire:opts.on_retire ~obs:opts.obs
           ~keys image
       end
-      else Sofia.Cpu.Vanilla.run ?on_retire:opts.on_retire ~obs:opts.obs program
+      else
+        Sofia.Cpu.Vanilla.run ~config:opts.config ?on_retire:opts.on_retire ~obs:opts.obs
+          program
     in
     finish_runner_run ~sofia opts result
   in
   let sofia = Arg.(value & flag & info [ "sofia" ] ~doc:"Protect and run on the SOFIA core.") in
   Cmd.v (Cmd.info "run" ~doc:"Run a program on the vanilla or SOFIA processor model")
     Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace_insns_arg
-          $ trace_file_arg $ metrics_arg $ ks_cache_arg)
+          $ trace_file_arg $ metrics_arg $ ks_cache_arg $ engine_arg)
 
 (* ---- compile ---- *)
 
@@ -409,7 +423,7 @@ let json_out_arg =
          ~doc:"Write the service metrics document (counters, latency histograms, store \
                and queue gauges) to $(docv) as JSON.")
 
-let service_config workers queue backpressure store retries deadline ks_cache =
+let service_config workers queue backpressure store retries deadline ks_cache engine =
   if queue < 1 then or_die (Error (Printf.sprintf "--queue must be >= 1 (got %d)" queue));
   if retries < 1 then or_die (Error (Printf.sprintf "--retries must be >= 1 (got %d)" retries));
   if ks_cache < 0 then
@@ -421,7 +435,8 @@ let service_config workers queue backpressure store retries deadline ks_cache =
     store_slots = store;
     max_attempts = retries;
     default_deadline_ms = deadline;
-    ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache)
+    ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache);
+    engine
   }
 
 let emit_service_metrics engine ~metrics ~json_out =
@@ -437,8 +452,10 @@ let emit_service_metrics engine ~metrics ~json_out =
 
 let serve_cmd =
   let run use_stdin socket once workers queue backpressure store retries deadline ks_cache
-      metrics json_out =
-    let config = service_config workers queue backpressure store retries deadline ks_cache in
+      engine metrics json_out =
+    let config =
+      service_config workers queue backpressure store retries deadline ks_cache engine
+    in
     (* a client vanishing mid-response must reach us as EPIPE, not kill
        the process mid-write *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -480,12 +497,15 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve protect/verify/simulate/attest jobs over newline-delimited JSON")
     Term.(const run $ use_stdin $ socket $ once $ workers_arg $ queue_arg $ backpressure_arg
-          $ store_arg $ retries_arg $ deadline_arg $ ks_cache_arg $ metrics_arg $ json_out_arg)
+          $ store_arg $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg
+          $ json_out_arg)
 
 let batch_cmd =
-  let run file clients workers queue backpressure store retries deadline ks_cache metrics
-      json_out =
-    let config = service_config workers queue backpressure store retries deadline ks_cache in
+  let run file clients workers queue backpressure store retries deadline ks_cache engine
+      metrics json_out =
+    let config =
+      service_config workers queue backpressure store retries deadline ks_cache engine
+    in
     let malformed = ref 0 in
     let jobs =
       if file = "@registry" then Sofia.Service_load.registry_jobs ~clients ()
@@ -538,12 +558,12 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a job file through the service engine and print responses")
     Term.(const run $ file $ clients $ workers_arg $ queue_arg $ backpressure_arg $ store_arg
-          $ retries_arg $ deadline_arg $ ks_cache_arg $ metrics_arg $ json_out_arg)
+          $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg $ json_out_arg)
 
 (* ---- campaign: the full-pipeline fault-injection sweep ---- *)
 
 let campaign_cmd =
-  let run trials seed workloads classes no_service json_out =
+  let run trials seed workloads classes no_service engine json_out =
     let module C = Sofia.Fault.Campaign in
     let module S = Sofia.Fault.Site in
     if trials < 1 then or_die (Error (Printf.sprintf "--trials must be >= 1 (got %d)" trials));
@@ -579,7 +599,7 @@ let campaign_cmd =
              names)
     in
     let report =
-      C.run ~classes ~with_service:(not no_service) ?workloads ~trials ~seed ()
+      C.run ~classes ~with_service:(not no_service) ?workloads ~engine ~trials ~seed ()
     in
     Format.printf "%a" C.pp report;
     (match json_out with
@@ -620,7 +640,8 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:"Sweep seeded faults over every layer and print the detection-coverage matrix; \
              exits nonzero if any in-model tamper escapes or a recovery scenario fails")
-    Term.(const run $ trials $ seed $ workloads $ classes $ no_service $ json_out_arg)
+    Term.(const run $ trials $ seed $ workloads $ classes $ no_service $ engine_arg
+          $ json_out_arg)
 
 (* ---- table1 ---- *)
 

@@ -1,0 +1,71 @@
+(** Pre-decoded, flattened instruction blocks: the fast engine's
+    execution representation.
+
+    The reference interpreter re-derives everything per retired
+    instruction from the boxed {!Sofia_isa.Insn.t} — operands, cycle
+    cost, the load-use source/destination sets. [Decoded.t] computes
+    all of it once, packing each instruction into immediate ints in
+    flat arrays, so the hot loop does array loads, an int-dispatch
+    jump table, and nothing else: no [Option] cells, no per-step
+    {!Sofia_isa.Encoding.decode}, no allocation.
+
+    {!exec} is semantics-preserving by construction against
+    {!Machine.execute}: identical u32 masking, identical division /
+    shift edge cases, the same {!Memory} entry points (so
+    [Memory.Bus_error] propagates from the same accesses). The engine
+    differential battery ([test/engine_tests.ml]) holds the two to
+    bit-identical architectural streams. *)
+
+type t = {
+  ops : int array;  (** packed op/operand/read-set words (see decoded.ml) *)
+  imms : int array;  (** pre-normalised immediates (u32-masked or byte-scaled) *)
+  costs : int array;  (** precomputed {!Timing.insn_cost} per slot *)
+  insns : Sofia_isa.Insn.t array;
+      (** original instructions — only touched by the [on_retire] slow
+          path *)
+}
+
+val unresolved : int
+(** Whole-word [ops] sentinel: slot not yet compiled (lazy tables). *)
+
+val invalid : int
+(** Whole-word [ops] sentinel: the slot's word does not decode. *)
+
+val no_load : int
+(** Value of {!loaded_dest} for a slot that is not a load; doubles as
+    the "no pending load" latch value, so the latch assignment is
+    branch-free. *)
+
+val read1 : int -> int
+val read2 : int -> int
+(** The packed word's source registers (0-31), or a sentinel that
+    matches no latch value — comparing both against the pending-load
+    latch is exactly [Vanilla.reads_reg insn rd]. *)
+
+val loaded_dest : int -> int
+(** Destination register if the packed word is a load, else
+    {!no_load}. *)
+
+val create : int -> t
+(** [create n] is an [n]-slot table with every slot {!unresolved} —
+    the lazily-compiled form the vanilla core fills on first
+    execution. *)
+
+val set : t -> timing:Timing.t -> int -> Sofia_isa.Insn.t -> unit
+(** Compile one instruction into slot [i]. *)
+
+val compile : timing:Timing.t -> Sofia_isa.Insn.t array -> t
+(** Compile a whole verified block eagerly (the SOFIA engine compiles
+    at MAC-verify time, never before). *)
+
+val res_next : int
+(** {!exec} result: fall through to the next slot. *)
+
+val halt_code : int -> int
+(** Decode the halt code out of a negative {!exec} result [<= -2]. *)
+
+val exec : w:int -> imm:int -> regs:int array -> mem:Memory.t -> pc:int -> int
+(** Execute one packed instruction against the machine's register
+    file and memory. Returns {!res_next}, a non-negative redirect
+    target, or [-2 - code] for [halt code].
+    @raise Memory.Bus_error exactly where {!Machine.execute} would. *)

@@ -90,6 +90,8 @@ let create ~entry ~sp =
 let pc t = t.pc
 let set_pc t v = t.pc <- v
 
+let regs t = t.regs
+
 let read_reg t r = t.regs.(Reg.to_int r)
 
 let write_reg t r v =

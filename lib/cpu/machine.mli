@@ -68,6 +68,11 @@ val set_pc : t -> int -> unit
 val read_reg : t -> Sofia_isa.Reg.t -> int
 val write_reg : t -> Sofia_isa.Reg.t -> int -> unit
 
+val regs : t -> int array
+(** The raw register file, for the pre-decoded execution engine
+    ({!Decoded.exec}) only. Invariants to uphold: index 0 stays 0 and
+    every value stays u32-masked (what {!write_reg} enforces). *)
+
 type action =
   | Next  (** fall through to pc + 4 *)
   | Redirect of int  (** taken control transfer to the given address *)

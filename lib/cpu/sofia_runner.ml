@@ -157,6 +157,31 @@ end)
 
 let edge_key ~target ~prev_pc = ((target land 0xFFFF_FFFF) lsl 31) lor (prev_pc land 0x7FFF_FFFF)
 
+(* The fast engine's per-edge cache entry: the fetch outcome with the
+   verified block compiled to its pre-decoded form. Compilation
+   happens only in the [Block_ok] arm — i.e. strictly after the MAC
+   verdict — so a MAC-failed (or otherwise violating) block can never
+   acquire, let alone serve, a pre-decoded body.
+
+   [cb_fall] / [cb_last_key]+[cb_last] chain a block to its fetched
+   successors (the fallthrough edge is fixed; redirects keep the most
+   recent (target, prevPC) edge), so the steady-state loop bypasses
+   even the hashtable. A chained serve performs exactly the accounting
+   of a memo hit — the chain is an L0 in front of the memo, not a
+   different cache — and is consulted only when the memo is enabled
+   and no transient fault is armed for the fetch. *)
+type cblock = {
+  cb_base : int;
+  cb_first : int;  (* address of slot 0 *)
+  cb_floor : int;  (* decoupled-frontend fetch floor for this kind *)
+  cb_dec : Decoded.t;
+  mutable cb_fall : compiled;
+  mutable cb_last_key : int;  (* packed edge key of [cb_last], or min_int *)
+  mutable cb_last : compiled;
+}
+
+and compiled = C_none | C_ok of cblock | C_violation of Machine.violation
+
 let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Obs.none) ?on_finish
     ~(keys : Keys.t) (image : Image.t) =
   let mem = Memory.create ~size_bytes:config.Run_config.mem_size () in
@@ -181,46 +206,37 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
     | None -> None
   in
   let timing = config.Run_config.timing in
+  let memoise = config.Run_config.edge_memo in
   let cycles = ref 0 in
   let instructions = ref 0 in
   let mac_words = ref 0 in
   let blocks = ref 0 in
   let redirects = ref 0 in
   let load_use = ref 0 in
-  let pending_load : Reg.t option ref = ref None in
-  (* memoised frontend: decryption is deterministic per (target, prevPC) *)
-  let fetch_cache : fetch_outcome Edge_tbl.t = Edge_tbl.create 1024 in
   let fetch_count = ref 0 in
-  let fetch ~target ~prev_pc =
+  (* shared pre-memo fetch accounting: every frontend fetch request,
+     whichever engine and whether or not a cache will serve it *)
+  let count_fetch ~target ~prev_pc =
     incr fetch_count;
     (match mx with Some m -> m.Metrics.block_fetches <- m.Metrics.block_fetches + 1 | None -> ());
-    if tracing then Obs.emit obs (Event.Block_fetch { target; prev_pc });
-    match fault with
-    | Some (n, bit) when !fetch_count = n ->
-      (* transient fetch-path fault: one bit of this fetch group flips;
-         bypass the memo in both directions *)
-      let _, base = classify ~text_base:image.Image.text_base target in
-      let address = base + (4 * (bit / 32 mod Block.words_per_block)) in
-      (match Image.fetch image address with
-       | Some w ->
-         let faulted =
-           Image.with_tampered_word image ~address ~value:(w lxor (1 lsl (bit mod 32)))
-         in
-         fetch_block_observed ?ks_cache ~obs ~keys ~image:faulted ~target ~prev_pc ()
-       | None -> fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ())
-    | Some _ | None ->
-      let key = edge_key ~target ~prev_pc in
-      (match Edge_tbl.find_opt fetch_cache key with
-       | Some r ->
-         (match mx with Some m -> m.Metrics.memo_hits <- m.Metrics.memo_hits + 1 | None -> ());
-         if tracing then Obs.emit obs (Event.Memo_hit { target; prev_pc });
-         r
-       | None ->
-         (match mx with Some m -> m.Metrics.memo_misses <- m.Metrics.memo_misses + 1 | None -> ());
-         if tracing then Obs.emit obs (Event.Memo_miss { target; prev_pc });
-         let r = fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc () in
-         Edge_tbl.replace fetch_cache key r;
-         r)
+    if tracing then Obs.emit obs (Event.Block_fetch { target; prev_pc })
+  in
+  (* the transient fetch-path fault, when armed for this fetch: one bit
+     of the fetched 8-word group flips; caches are bypassed in both
+     directions (the fault must neither be served from nor poison any
+     memo) *)
+  let fault_armed () = match fault with Some (n, _) -> !fetch_count = n | None -> false in
+  let faulted_fetch ~target ~prev_pc =
+    let bit = match fault with Some (_, b) -> b | None -> 0 in
+    let _, base = classify ~text_base:image.Image.text_base target in
+    let address = base + (4 * (bit / 32 mod Block.words_per_block)) in
+    match Image.fetch image address with
+    | Some w ->
+      let faulted =
+        Image.with_tampered_word image ~address ~value:(w lxor (1 lsl (bit mod 32)))
+      in
+      fetch_block_observed ?ks_cache ~obs ~keys ~image:faulted ~target ~prev_pc ()
+    | None -> fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ()
   in
   let finish outcome =
     (match outcome with
@@ -264,85 +280,331 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
         (Event.Violation { kind = Machine.violation_label v; address = Machine.violation_address v });
     finish (Machine.Cpu_reset v)
   in
-  let rec run_block ~target ~prev_pc ~redirected =
-    if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
-    else
-      match fetch ~target ~prev_pc with
-      | Fetch_violation v -> violation v
+  (* ---- the reference engine: the original per-instruction
+     interpreter, kept as the differential oracle ---- *)
+  let run_ref () =
+    let pending_load : Reg.t option ref = ref None in
+    (* memoised frontend: decryption is deterministic per (target, prevPC) *)
+    let fetch_cache : fetch_outcome Edge_tbl.t = Edge_tbl.create 1024 in
+    let fetch ~target ~prev_pc =
+      count_fetch ~target ~prev_pc;
+      if fault_armed () then faulted_fetch ~target ~prev_pc
+      else if not memoise then fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ()
+      else begin
+        let key = edge_key ~target ~prev_pc in
+        match Edge_tbl.find_opt fetch_cache key with
+        | Some r ->
+          (match mx with Some m -> m.Metrics.memo_hits <- m.Metrics.memo_hits + 1 | None -> ());
+          if tracing then Obs.emit obs (Event.Memo_hit { target; prev_pc });
+          r
+        | None ->
+          (match mx with Some m -> m.Metrics.memo_misses <- m.Metrics.memo_misses + 1 | None -> ());
+          if tracing then Obs.emit obs (Event.Memo_miss { target; prev_pc });
+          let r = fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc () in
+          Edge_tbl.replace fetch_cache key r;
+          r
+      end
+    in
+    let rec run_block ~target ~prev_pc ~redirected =
+      if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
+      else
+        match fetch ~target ~prev_pc with
+        | Fetch_violation v -> violation v
+        | Block_ok { base; kind; insns } ->
+          incr blocks;
+          (match mx with
+           | Some m -> m.Metrics.blocks_entered <- m.Metrics.blocks_entered + 1
+           | None -> ());
+          let missed = not (Icache.access icache base) in
+          if tracing then Obs.emit obs (Event.Block_enter { base; icache_hit = not missed });
+          if redirected then incr redirects;
+          (* MAC words per visit: 2 (a multiplexor path skips one of the
+             three). They are absorbed by the verify unit; their cost is
+             the fetch-bandwidth floor below. *)
+          mac_words := !mac_words + 2;
+          pending_load := None;
+          let first_off = Block.first_insn_offset kind in
+          let words_fetched = Block.words_per_block - (Block.mac_words kind - 2) in
+          (* execution cycles of this block visit, compared against the
+             decoupled frontend's fetch floor when the block completes *)
+          let bcost = ref 0 in
+          let finalize () =
+            let c0 = !cycles in
+            (match timing.Timing.frontend with
+             | Timing.Decoupled ->
+               let floor = Timing.block_fetch_floor timing ~words_fetched in
+               cycles := !cycles + max !bcost floor
+             | Timing.In_order ->
+               (* every fetched word is a pipeline slot: the two MAC
+                  words cost their nop slots on top of the instructions *)
+               cycles := !cycles + !bcost + (2 * timing.Timing.mac_word_cycle));
+            if missed then cycles := !cycles + timing.Timing.icache_miss_penalty;
+            if redirected then cycles := !cycles + timing.Timing.decrypt_redirect_extra;
+            match mx with
+            | Some m -> Metrics.hist_observe m.Metrics.block_cycles (!cycles - c0)
+            | None -> ()
+          in
+          let rec exec_slot i =
+            if i >= Array.length insns then begin
+              (* fall through to the next block *)
+              finalize ();
+              let exit_addr = base + Block.exit_offset in
+              run_block ~target:(base + Block.size_bytes) ~prev_pc:exit_addr ~redirected:false
+            end
+            else if !instructions >= config.Run_config.fuel then begin
+              finalize ();
+              finish Machine.Out_of_fuel
+            end
+            else begin
+              let insn = insns.(i) in
+              let pc = base + first_off + (4 * i) in
+              Machine.set_pc machine pc;
+              incr instructions;
+              (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
+              if tracing then Obs.emit obs (Event.Retire { pc });
+              (match on_retire with Some f -> f ~pc ~insn | None -> ());
+              bcost := !bcost + Timing.insn_cost timing insn;
+              (match !pending_load with
+               | Some rd when Vanilla.reads_reg insn rd ->
+                 bcost := !bcost + timing.Timing.load_use_stall;
+                 incr load_use
+               | Some _ | None -> ());
+              pending_load := (if Insn.is_load insn then Vanilla.dest insn else None);
+              match Machine.execute machine mem insn with
+              | exception Memory.Bus_error address ->
+                finalize ();
+                violation (Machine.Bus_fault { address })
+              | Machine.Next -> exec_slot (i + 1)
+              | Machine.Redirect tgt ->
+                bcost := !bcost + timing.Timing.taken_branch_penalty;
+                finalize ();
+                run_block ~target:tgt ~prev_pc:pc ~redirected:true
+              | Machine.Halt code ->
+                finalize ();
+                finish (Machine.Halted code)
+            end
+          in
+          exec_slot 0
+    in
+    run_block ~target:image.Image.entry ~prev_pc:Block.reset_prev_pc ~redirected:true
+  in
+  (* ---- the fast engine: verified blocks execute from a per-edge
+     cache of pre-decoded bodies ({!Decoded}); the cache key is the
+     same packed (target, prevPC) edge as the reference memo, entries
+     are compiled only after the MAC verdict, transient-fault fetches
+     bypass the cache in both directions, and the whole cache is
+     flushed on any violation. Every trace event and shared metric is
+     emitted exactly as the reference engine does; only the
+     engine_hits / engine_misses / engine_invalidations counters are
+     specific to this path. ---- *)
+  let run_fast () =
+    let regs = Machine.regs machine in
+    let pending = ref Decoded.no_load in
+    let bcost = ref 0 in
+    let ctable : compiled Edge_tbl.t = Edge_tbl.create 1024 in
+    let fuel = config.Run_config.fuel in
+    let decoupled = timing.Timing.frontend = Timing.Decoupled in
+    let mac2 = 2 * timing.Timing.mac_word_cycle in
+    let miss_penalty = timing.Timing.icache_miss_penalty in
+    let redirect_extra = timing.Timing.decrypt_redirect_extra in
+    let stall = timing.Timing.load_use_stall in
+    let branch_penalty = timing.Timing.taken_branch_penalty in
+    let compile_outcome = function
       | Block_ok { base; kind; insns } ->
-        incr blocks;
         (match mx with
-         | Some m -> m.Metrics.blocks_entered <- m.Metrics.blocks_entered + 1
+         | Some m -> m.Metrics.engine_misses <- m.Metrics.engine_misses + 1
          | None -> ());
-        let missed = not (Icache.access icache base) in
-        if tracing then Obs.emit obs (Event.Block_enter { base; icache_hit = not missed });
-        if redirected then incr redirects;
-        (* MAC words per visit: 2 (a multiplexor path skips one of the
-           three). They are absorbed by the verify unit; their cost is
-           the fetch-bandwidth floor below. *)
-        mac_words := !mac_words + 2;
-        pending_load := None;
-        let first_off = Block.first_insn_offset kind in
         let words_fetched = Block.words_per_block - (Block.mac_words kind - 2) in
-        (* execution cycles of this block visit, compared against the
-           decoupled frontend's fetch floor when the block completes *)
-        let bcost = ref 0 in
-        let finalize () =
-          let c0 = !cycles in
-          (match timing.Timing.frontend with
-           | Timing.Decoupled ->
-             let floor = Timing.block_fetch_floor timing ~words_fetched in
-             cycles := !cycles + max !bcost floor
-           | Timing.In_order ->
-             (* every fetched word is a pipeline slot: the two MAC
-                words cost their nop slots on top of the instructions *)
-             cycles := !cycles + !bcost + (2 * timing.Timing.mac_word_cycle));
-          if missed then cycles := !cycles + timing.Timing.icache_miss_penalty;
-          if redirected then cycles := !cycles + timing.Timing.decrypt_redirect_extra;
-          match mx with
-          | Some m -> Metrics.hist_observe m.Metrics.block_cycles (!cycles - c0)
-          | None -> ()
+        C_ok
+          {
+            cb_base = base;
+            cb_first = base + Block.first_insn_offset kind;
+            cb_floor = Timing.block_fetch_floor timing ~words_fetched;
+            cb_dec = Decoded.compile ~timing insns;
+            cb_fall = C_none;
+            cb_last_key = min_int;
+            cb_last = C_none;
+          }
+      | Fetch_violation v -> C_violation v
+    in
+    (* accounting of a fetch served without re-decrypting — identical
+       whether it comes from the hashtable or a chain pointer *)
+    let memo_hit ~target ~prev_pc c =
+      (match mx with
+       | Some m ->
+         m.Metrics.memo_hits <- m.Metrics.memo_hits + 1;
+         (match c with
+          | C_ok _ -> m.Metrics.engine_hits <- m.Metrics.engine_hits + 1
+          | C_violation _ | C_none -> ())
+       | None -> ());
+      if tracing then Obs.emit obs (Event.Memo_hit { target; prev_pc })
+    in
+    (* the memoised fetch body; runs after [count_fetch], never when a
+       fault is armed for this fetch *)
+    let fetch_memo ~target ~prev_pc =
+      let key = edge_key ~target ~prev_pc in
+      match Edge_tbl.find ctable key with
+      | c ->
+        memo_hit ~target ~prev_pc c;
+        c
+      | exception Not_found ->
+        (match mx with Some m -> m.Metrics.memo_misses <- m.Metrics.memo_misses + 1 | None -> ());
+        if tracing then Obs.emit obs (Event.Memo_miss { target; prev_pc });
+        let c =
+          compile_outcome (fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ())
         in
-        let rec exec_slot i =
-          if i >= Array.length insns then begin
-            (* fall through to the next block *)
-            finalize ();
-            let exit_addr = base + Block.exit_offset in
-            run_block ~target:(base + Block.size_bytes) ~prev_pc:exit_addr ~redirected:false
-          end
-          else if !instructions >= config.Run_config.fuel then begin
-            finalize ();
-            finish Machine.Out_of_fuel
+        Edge_tbl.replace ctable key c;
+        c
+    in
+    let fetch ~target ~prev_pc =
+      count_fetch ~target ~prev_pc;
+      if fault_armed () then compile_outcome (faulted_fetch ~target ~prev_pc)
+      else if not memoise then
+        compile_outcome (fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ())
+      else fetch_memo ~target ~prev_pc
+    in
+    (* a violation ends the run in a CPU reset: drop every pre-decoded
+       body with it, so nothing compiled can outlive the verdict that
+       justified it *)
+    let violation_invalidate v =
+      Edge_tbl.reset ctable;
+      (match mx with
+       | Some m -> m.Metrics.engine_invalidations <- m.Metrics.engine_invalidations + 1
+       | None -> ());
+      violation v
+    in
+    let rec exec_c c ~redirected =
+      match c with
+      | C_violation v -> violation_invalidate v
+      | C_ok r -> exec_block r ~redirected
+      | C_none -> assert false
+    (* block-to-block transitions: fuel first (as at entry), then the
+       per-fetch accounting, the armed-fault bypass, and only then the
+       chain / memo / cold fetch *)
+    and continue_fall r =
+      let target = r.cb_base + Block.size_bytes in
+      let prev_pc = r.cb_base + Block.exit_offset in
+      if !instructions >= fuel then finish Machine.Out_of_fuel
+      else begin
+        count_fetch ~target ~prev_pc;
+        if fault_armed () then
+          exec_c (compile_outcome (faulted_fetch ~target ~prev_pc)) ~redirected:false
+        else if not memoise then
+          exec_c
+            (compile_outcome (fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ()))
+            ~redirected:false
+        else begin
+          match r.cb_fall with
+          | C_none ->
+            let c = fetch_memo ~target ~prev_pc in
+            r.cb_fall <- c;
+            exec_c c ~redirected:false
+          | c ->
+            memo_hit ~target ~prev_pc c;
+            exec_c c ~redirected:false
+        end
+      end
+    and continue_redirect r ~target ~prev_pc =
+      if !instructions >= fuel then finish Machine.Out_of_fuel
+      else begin
+        count_fetch ~target ~prev_pc;
+        if fault_armed () then
+          exec_c (compile_outcome (faulted_fetch ~target ~prev_pc)) ~redirected:true
+        else if not memoise then
+          exec_c
+            (compile_outcome (fetch_block_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ()))
+            ~redirected:true
+        else begin
+          let key = edge_key ~target ~prev_pc in
+          if r.cb_last_key = key then begin
+            let c = r.cb_last in
+            memo_hit ~target ~prev_pc c;
+            exec_c c ~redirected:true
           end
           else begin
-            let insn = insns.(i) in
-            let pc = base + first_off + (4 * i) in
-            Machine.set_pc machine pc;
-            incr instructions;
-            (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
-            if tracing then Obs.emit obs (Event.Retire { pc });
-            (match on_retire with Some f -> f ~pc ~insn | None -> ());
-            bcost := !bcost + Timing.insn_cost timing insn;
-            (match !pending_load with
-             | Some rd when Vanilla.reads_reg insn rd ->
-               bcost := !bcost + timing.Timing.load_use_stall;
-               incr load_use
-             | Some _ | None -> ());
-            pending_load := (if Insn.is_load insn then Vanilla.dest insn else None);
-            match Machine.execute machine mem insn with
-            | exception Memory.Bus_error address ->
-              finalize ();
-              violation (Machine.Bus_fault { address })
-            | Machine.Next -> exec_slot (i + 1)
-            | Machine.Redirect tgt ->
-              bcost := !bcost + timing.Timing.taken_branch_penalty;
-              finalize ();
-              run_block ~target:tgt ~prev_pc:pc ~redirected:true
-            | Machine.Halt code ->
-              finalize ();
-              finish (Machine.Halted code)
+            let c = fetch_memo ~target ~prev_pc in
+            r.cb_last_key <- key;
+            r.cb_last <- c;
+            exec_c c ~redirected:true
           end
-        in
-        exec_slot 0
+        end
+      end
+    (* [bcost] is hoisted (and the slot walk takes its state as
+       arguments) so a block visit allocates nothing *)
+    and finalize_block (r : cblock) ~(missed : bool) ~(redirected : bool) =
+      let c0 = !cycles in
+      if decoupled then cycles := !cycles + (if !bcost > r.cb_floor then !bcost else r.cb_floor)
+      else cycles := !cycles + !bcost + mac2;
+      if missed then cycles := !cycles + miss_penalty;
+      if redirected then cycles := !cycles + redirect_extra;
+      match mx with
+      | Some m -> Metrics.hist_observe m.Metrics.block_cycles (!cycles - c0)
+      | None -> ()
+    and exec_block r ~redirected =
+      incr blocks;
+      (match mx with
+       | Some m -> m.Metrics.blocks_entered <- m.Metrics.blocks_entered + 1
+       | None -> ());
+      let base = r.cb_base in
+      let missed = not (Icache.access icache base) in
+      if tracing then Obs.emit obs (Event.Block_enter { base; icache_hit = not missed });
+      if redirected then incr redirects;
+      mac_words := !mac_words + 2;
+      pending := Decoded.no_load;
+      bcost := 0;
+      let dec = r.cb_dec in
+      exec_slots r dec.Decoded.ops dec.Decoded.imms dec.Decoded.costs
+        (Array.length dec.Decoded.ops) r.cb_first missed redirected 0
+    and exec_slots (r : cblock) (ops : int array) (imms : int array) (costs : int array)
+        (n : int) (first : int) (missed : bool) (redirected : bool) (i : int) =
+      if i >= n then begin
+        finalize_block r ~missed ~redirected;
+        continue_fall r
+      end
+      else if !instructions >= fuel then begin
+        finalize_block r ~missed ~redirected;
+        finish Machine.Out_of_fuel
+      end
+      else begin
+        let w = Array.unsafe_get ops i in
+        let pc = first + (4 * i) in
+        Machine.set_pc machine pc;
+        incr instructions;
+        (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
+        if tracing then Obs.emit obs (Event.Retire { pc });
+        (match on_retire with
+         | Some f -> f ~pc ~insn:(Array.unsafe_get r.cb_dec.Decoded.insns i)
+         | None -> ());
+        bcost := !bcost + Array.unsafe_get costs i;
+        let p = !pending in
+        if Decoded.read1 w = p || Decoded.read2 w = p then begin
+          bcost := !bcost + stall;
+          incr load_use
+        end;
+        pending := Decoded.loaded_dest w;
+        match Decoded.exec ~w ~imm:(Array.unsafe_get imms i) ~regs ~mem ~pc with
+        | exception Memory.Bus_error address ->
+          finalize_block r ~missed ~redirected;
+          violation_invalidate (Machine.Bus_fault { address })
+        | res ->
+          if res = Decoded.res_next then exec_slots r ops imms costs n first missed redirected (i + 1)
+          else if res >= 0 then begin
+            bcost := !bcost + branch_penalty;
+            finalize_block r ~missed ~redirected;
+            continue_redirect r ~target:res ~prev_pc:pc
+          end
+          else begin
+            finalize_block r ~missed ~redirected;
+            finish (Machine.Halted (Decoded.halt_code res))
+          end
+      end
+    in
+    if !instructions >= fuel then finish Machine.Out_of_fuel
+    else
+      exec_c
+        (fetch ~target:image.Image.entry ~prev_pc:Block.reset_prev_pc)
+        ~redirected:true
   in
-  run_block ~target:image.Image.entry ~prev_pc:Block.reset_prev_pc ~redirected:true
+  match config.Run_config.engine with
+  | Run_config.Fast -> run_fast ()
+  | Run_config.Ref -> run_ref ()

@@ -17,7 +17,17 @@
 
     Decryption results are memoised per (target, prevPC) edge: hardware
     re-decrypts every fetch in a 2-cycle pipelined unit (modelled in
-    {!Timing}); the memo only removes redundant {e simulation} work. *)
+    {!Timing}); the memo only removes redundant {e simulation} work
+    ([Run_config.edge_memo] disables it to model a cold frontend).
+
+    Two execution engines are selectable via [Run_config.engine]: the
+    reference interpreter ([Ref], the original loop, kept as the
+    differential oracle) and the default pre-decoded engine ([Fast]),
+    which caches a flattened {!Decoded} form of each block per verified
+    edge — strictly after the MAC verdict, never serving a block the
+    comparator rejected — and invalidates the cache on violation. Both
+    produce bit-identical results, traces and counters (modulo the
+    [engine_*] counters); [test/engine_tests.ml] pins the equivalence. *)
 
 val run :
   ?config:Run_config.t ->

@@ -56,20 +56,10 @@ let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ?(obs = O
   let icache = Icache.create ?probe:icache_probe config.Run_config.icache in
   let timing = config.Run_config.timing in
   let n = Array.length text in
-  let decoded = Array.make n None in
-  let decode i =
-    match decoded.(i) with
-    | Some d -> d
-    | None ->
-      let d = Encoding.decode text.(i) in
-      decoded.(i) <- Some d;
-      d
-  in
   let cycles = ref 0 in
   let instructions = ref 0 in
   let redirects = ref 0 in
   let load_use = ref 0 in
-  let pending_load : Reg.t option ref = ref None in
   let finish outcome =
     (match outcome with
      | Machine.Cpu_reset v ->
@@ -105,48 +95,145 @@ let run_encoded ?(config = Run_config.default) ?(args = []) ?on_retire ?(obs = O
       output_text = Memory.output_text mem;
     }
   in
-  let rec step () =
-    if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
-    else begin
-      let pc = Machine.pc machine in
-      let rel = pc - text_base in
-      if rel < 0 || rel mod 4 <> 0 || rel / 4 >= n then
-        finish (Machine.Cpu_reset (Machine.Bus_fault { address = pc }))
+  (* ---- reference engine: per-step [Encoding.decode] (cached per
+     index) and the boxed [Machine.execute] interpreter ---- *)
+  let run_ref () =
+    let decoded = Array.make n None in
+    let decode i =
+      match decoded.(i) with
+      | Some d -> d
+      | None ->
+        let d = Encoding.decode text.(i) in
+        decoded.(i) <- Some d;
+        d
+    in
+    let pending_load : Reg.t option ref = ref None in
+    let rec step () =
+      if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
       else begin
-        let i = rel / 4 in
-        if not (Icache.access icache pc) then cycles := !cycles + timing.Timing.icache_miss_penalty;
-        match decode i with
-        | None ->
-          finish (Machine.Cpu_reset (Machine.Invalid_opcode { address = pc; word = text.(i) }))
-        | Some insn ->
-          incr instructions;
-          (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
-          if tracing then Obs.emit obs (Event.Retire { pc });
-          (match on_retire with Some f -> f ~pc ~insn | None -> ());
-          cycles := !cycles + Timing.insn_cost timing insn;
-          (match !pending_load with
-           | Some rd when reads_reg insn rd ->
-             cycles := !cycles + timing.Timing.load_use_stall;
-             incr load_use
-           | Some _ | None -> ());
-          pending_load := (if Insn.is_load insn then dest insn else None);
-          (match Machine.execute machine mem insn with
-           | exception Memory.Bus_error address ->
-             finish (Machine.Cpu_reset (Machine.Bus_fault { address }))
-           | Machine.Next ->
-             Machine.set_pc machine (pc + 4);
-             step ()
-           | Machine.Redirect target ->
-             incr redirects;
-             cycles := !cycles + timing.Timing.taken_branch_penalty;
-             pending_load := None;
-             Machine.set_pc machine target;
-             step ()
-           | Machine.Halt code -> finish (Machine.Halted code))
+        let pc = Machine.pc machine in
+        let rel = pc - text_base in
+        if rel < 0 || rel mod 4 <> 0 || rel / 4 >= n then
+          finish (Machine.Cpu_reset (Machine.Bus_fault { address = pc }))
+        else begin
+          let i = rel / 4 in
+          if not (Icache.access icache pc) then
+            cycles := !cycles + timing.Timing.icache_miss_penalty;
+          match decode i with
+          | None ->
+            finish (Machine.Cpu_reset (Machine.Invalid_opcode { address = pc; word = text.(i) }))
+          | Some insn ->
+            incr instructions;
+            (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
+            if tracing then Obs.emit obs (Event.Retire { pc });
+            (match on_retire with Some f -> f ~pc ~insn | None -> ());
+            cycles := !cycles + Timing.insn_cost timing insn;
+            (match !pending_load with
+             | Some rd when reads_reg insn rd ->
+               cycles := !cycles + timing.Timing.load_use_stall;
+               incr load_use
+             | Some _ | None -> ());
+            pending_load := (if Insn.is_load insn then dest insn else None);
+            (match Machine.execute machine mem insn with
+             | exception Memory.Bus_error address ->
+               finish (Machine.Cpu_reset (Machine.Bus_fault { address }))
+             | Machine.Next ->
+               Machine.set_pc machine (pc + 4);
+               step ()
+             | Machine.Redirect target ->
+               incr redirects;
+               cycles := !cycles + timing.Timing.taken_branch_penalty;
+               pending_load := None;
+               Machine.set_pc machine target;
+               step ()
+             | Machine.Halt code -> finish (Machine.Halted code))
+        end
       end
-    end
+    in
+    step ()
   in
-  step ()
+  (* ---- fast engine: the text is compiled index-by-index on first
+     execution into a pre-decoded table ({!Decoded}); every revisit
+     runs from flat int arrays. Same event/metric stream as the
+     reference loop modulo the engine_* counters. ---- *)
+  let run_fast () =
+    let regs = Machine.regs machine in
+    let dec = Decoded.create n in
+    let ops = dec.Decoded.ops in
+    let imms = dec.Decoded.imms in
+    let costs = dec.Decoded.costs in
+    let pending = ref Decoded.no_load in
+    let rec step () =
+      if !instructions >= config.Run_config.fuel then finish Machine.Out_of_fuel
+      else begin
+        let pc = Machine.pc machine in
+        let rel = pc - text_base in
+        if rel < 0 || rel mod 4 <> 0 || rel / 4 >= n then
+          finish (Machine.Cpu_reset (Machine.Bus_fault { address = pc }))
+        else begin
+          let i = rel / 4 in
+          if not (Icache.access icache pc) then
+            cycles := !cycles + timing.Timing.icache_miss_penalty;
+          let w0 = Array.unsafe_get ops i in
+          let w =
+            if w0 >= 0 then begin
+              (match mx with
+               | Some m -> m.Metrics.engine_hits <- m.Metrics.engine_hits + 1
+               | None -> ());
+              w0
+            end
+            else if w0 = Decoded.unresolved then begin
+              (match Encoding.decode text.(i) with
+               | Some insn -> Decoded.set dec ~timing i insn
+               | None -> dec.Decoded.ops.(i) <- Decoded.invalid);
+              (match mx with
+               | Some m -> m.Metrics.engine_misses <- m.Metrics.engine_misses + 1
+               | None -> ());
+              Array.unsafe_get ops i
+            end
+            else w0
+          in
+          if w < 0 then
+            finish (Machine.Cpu_reset (Machine.Invalid_opcode { address = pc; word = text.(i) }))
+          else begin
+            incr instructions;
+            (match mx with Some m -> m.Metrics.retires <- m.Metrics.retires + 1 | None -> ());
+            if tracing then Obs.emit obs (Event.Retire { pc });
+            (match on_retire with
+             | Some f -> f ~pc ~insn:(Array.unsafe_get dec.Decoded.insns i)
+             | None -> ());
+            cycles := !cycles + Array.unsafe_get costs i;
+            let p = !pending in
+            if Decoded.read1 w = p || Decoded.read2 w = p then begin
+              cycles := !cycles + timing.Timing.load_use_stall;
+              incr load_use
+            end;
+            pending := Decoded.loaded_dest w;
+            match Decoded.exec ~w ~imm:(Array.unsafe_get imms i) ~regs ~mem ~pc with
+            | exception Memory.Bus_error address ->
+              finish (Machine.Cpu_reset (Machine.Bus_fault { address }))
+            | r ->
+              if r = Decoded.res_next then begin
+                Machine.set_pc machine (pc + 4);
+                step ()
+              end
+              else if r >= 0 then begin
+                incr redirects;
+                cycles := !cycles + timing.Timing.taken_branch_penalty;
+                pending := Decoded.no_load;
+                Machine.set_pc machine r;
+                step ()
+              end
+              else finish (Machine.Halted (Decoded.halt_code r))
+          end
+        end
+      end
+    in
+    step ()
+  in
+  match config.Run_config.engine with
+  | Run_config.Fast -> run_fast ()
+  | Run_config.Ref -> run_ref ()
 
 let run ?config ?args ?on_retire ?obs ?on_finish (program : Program.t) =
   run_encoded ?config ?args ?on_retire ?obs ?on_finish ~text:(Program.encoded_text program)

@@ -554,11 +554,11 @@ let service_checks workloads =
 (* ------------------------------------------------------------------ *)
 
 let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
-    ?(with_service = true) ?workloads ~trials ~seed () =
+    ?(with_service = true) ?workloads ?(engine = Sofia_cpu.Run_config.Fast) ~trials ~seed () =
   let workloads =
     match workloads with Some ws -> ws | None -> Sofia_workloads.Registry.all ()
   in
-  let config = bounded_config fuel in
+  let config = { (bounded_config fuel) with Sofia_cpu.Run_config.engine } in
   let rng = Prng.create ~seed in
   let cells =
     List.concat_map

@@ -73,6 +73,7 @@ val run :
   ?classes:Site.clazz list ->
   ?with_service:bool ->
   ?workloads:Sofia_workloads.Workload.t list ->
+  ?engine:Sofia_cpu.Run_config.engine ->
   trials:int ->
   seed:int64 ->
   unit ->
@@ -82,7 +83,9 @@ val run :
     tracing, receives one [Custom] event per trial
     ([fault:<workload>:<class>:<verdict>], value = latency or -1).
     [with_service] (default [true]) appends the six service scenarios,
-    which spawn real worker domains and take ~1 s of wall time. *)
+    which spawn real worker domains and take ~1 s of wall time.
+    [engine] (default [Fast]) selects the execution engine for every
+    simulated run; reports are byte-identical between engines. *)
 
 val by_class : report -> cell list
 (** The matrix aggregated to one cell per class (workload ["*"]), in

@@ -64,6 +64,9 @@ type t = {
   mutable ks_cache_hits : int;
   mutable ks_cache_misses : int;
   mutable ks_cache_evictions : int;
+  mutable engine_hits : int;
+  mutable engine_misses : int;
+  mutable engine_invalidations : int;
   mutable verify_checks : int;
   mutable verify_issues : int;
   block_cycles : histogram;
@@ -88,6 +91,9 @@ let create () =
     ks_cache_hits = 0;
     ks_cache_misses = 0;
     ks_cache_evictions = 0;
+    engine_hits = 0;
+    engine_misses = 0;
+    engine_invalidations = 0;
     verify_checks = 0;
     verify_issues = 0;
     block_cycles = hist_create ();
@@ -111,6 +117,9 @@ let reset t =
   t.ks_cache_hits <- 0;
   t.ks_cache_misses <- 0;
   t.ks_cache_evictions <- 0;
+  t.engine_hits <- 0;
+  t.engine_misses <- 0;
+  t.engine_invalidations <- 0;
   t.verify_checks <- 0;
   t.verify_issues <- 0;
   hist_reset t.block_cycles
@@ -134,6 +143,9 @@ let counters t =
     ("ks_cache_hits", t.ks_cache_hits);
     ("ks_cache_misses", t.ks_cache_misses);
     ("ks_cache_evictions", t.ks_cache_evictions);
+    ("engine_hits", t.engine_hits);
+    ("engine_misses", t.engine_misses);
+    ("engine_invalidations", t.engine_invalidations);
     ("verify_checks", t.verify_checks);
     ("verify_issues", t.verify_issues);
   ]

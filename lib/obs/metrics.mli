@@ -41,6 +41,12 @@ type t = {
   mutable ks_cache_hits : int;  (** per-edge keystream cache (when enabled) *)
   mutable ks_cache_misses : int;
   mutable ks_cache_evictions : int;
+  mutable engine_hits : int;
+      (** fast engine: verified-block visits served from the
+          pre-decoded cache *)
+  mutable engine_misses : int;  (** fast engine: block compilations *)
+  mutable engine_invalidations : int;
+      (** fast engine: pre-decoded cache flushes (violation/reset) *)
   mutable verify_checks : int;  (** offline image-verifier block checks *)
   mutable verify_issues : int;
   block_cycles : histogram;  (** cycle cost per executed block visit *)

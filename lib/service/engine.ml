@@ -12,6 +12,7 @@ type config = {
   store_slots : int;
   max_attempts : int;
   ks_cache_slots : int option;
+  engine : Sofia_cpu.Run_config.engine;
   default_deadline_ms : int option;
   fault : (Job.request -> attempt:int -> unit) option;
   hang_timeout_ms : int option;
@@ -28,6 +29,7 @@ let default_config =
     store_slots = 256;
     max_attempts = 3;
     ks_cache_slots = Some 1024;
+    engine = Sofia_cpu.Run_config.Fast;
     default_deadline_ms = None;
     fault = None;
     hang_timeout_ms = None;
@@ -133,11 +135,8 @@ let mac_digest ~(req : Job.request) (entry : Store.entry) =
       in
       Printf.sprintf "%016Lx" tag)
 
-let run_config ks_cache_slots =
-  match ks_cache_slots with
-  | None -> None
-  | Some _ ->
-    Some { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.ks_cache_slots }
+let run_config ~engine ks_cache_slots =
+  { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.ks_cache_slots; engine }
 
 let simulated_of_result ~cached (r : Machine.run_result) =
   Job.Simulated
@@ -149,7 +148,7 @@ let simulated_of_result ~cached (r : Machine.run_result) =
       cached;
     }
 
-let execute ~store ~ks_cache_slots (req : Job.request) =
+let execute ~store ~ks_cache_slots ~engine (req : Job.request) =
   match req.Job.spec with
   | Job.Protect { source } ->
     let entry, cached = protect_entry ~store ~req source in
@@ -173,14 +172,15 @@ let execute ~store ~ks_cache_slots (req : Job.request) =
       let entry, cached = protect_entry ~store ~req source in
       let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
       let r =
-        Sofia_cpu.Sofia_runner.run ?config:(run_config ks_cache_slots) ~keys
+        Sofia_cpu.Sofia_runner.run ~config:(run_config ~engine ks_cache_slots) ~keys
           entry.Store.image
       in
       simulated_of_result ~cached r
     end
     else begin
       let program = assemble_or_fail source in
-      simulated_of_result ~cached:false (Sofia_cpu.Vanilla.run program)
+      simulated_of_result ~cached:false
+        (Sofia_cpu.Vanilla.run ~config:(run_config ~engine None) program)
     end
   | Job.Run_image { path } ->
     let loaded =
@@ -196,7 +196,7 @@ let execute ~store ~ks_cache_slots (req : Job.request) =
     in
     let image = Sofia_transform.Binary_format.image_of_loaded loaded in
     let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
-    let r = Sofia_cpu.Sofia_runner.run ?config:(run_config ks_cache_slots) ~keys image in
+    let r = Sofia_cpu.Sofia_runner.run ~config:(run_config ~engine ks_cache_slots) ~keys image in
     Job.Ran
       {
         outcome = outcome_label r.Machine.outcome;
@@ -207,7 +207,7 @@ let execute ~store ~ks_cache_slots (req : Job.request) =
 
 let execute_oneshot req =
   let store = Store.create ~slots:0 in
-  try Job.Done (execute ~store ~ks_cache_slots:None req) with
+  try Job.Done (execute ~store ~ks_cache_slots:None ~engine:Sofia_cpu.Run_config.Fast req) with
   | Permanent m -> Job.Failed m
   | Job.Transient m -> Job.Failed ("transient: " ^ m)
   | e -> Job.Failed (Printexc.to_string e)
@@ -320,7 +320,9 @@ let process t ~worker (p : pending) =
     let rec attempt n =
       match
         (match t.cfg.fault with Some f -> f p.req ~attempt:n | None -> ());
-        Job.Done (execute ~store:t.store ~ks_cache_slots:t.cfg.ks_cache_slots p.req)
+        Job.Done
+          (execute ~store:t.store ~ks_cache_slots:t.cfg.ks_cache_slots ~engine:t.cfg.engine
+             p.req)
       with
       | status -> (status, n)
       | exception (Job.Crash _ as e) -> raise e (* fatal: kills the worker domain *)

@@ -69,6 +69,9 @@ type config = {
   store_slots : int;  (** content-addressed image store cap; 0 disables *)
   max_attempts : int;  (** >= 1; retries = attempts - 1 *)
   ks_cache_slots : int option;  (** keystream cache for [Simulate]/[Run_image] jobs *)
+  engine : Sofia_cpu.Run_config.engine;
+      (** execution engine for simulation jobs (default [Fast]); job
+          results are bit-identical between engines *)
   default_deadline_ms : int option;  (** for requests that carry none *)
   fault : (Job.request -> attempt:int -> unit) option;
       (** chaos hook, called before each execution attempt; raise
@@ -91,8 +94,9 @@ type config = {
 
 val default_config : config
 (** 0 workers (auto), 64-deep queue, [Block], 256 store slots, 3
-    attempts, keystream cache on (1024 slots), no default deadline, no
-    fault injection, no watchdog, breaker disabled, real wall clock. *)
+    attempts, keystream cache on (1024 slots), fast engine, no default
+    deadline, no fault injection, no watchdog, breaker disabled, real
+    wall clock. *)
 
 type t
 

@@ -1,0 +1,260 @@
+(* Fast-vs-ref execution-engine differential battery.
+
+   PR 5's verified-block engine claims *exact* equivalence with the
+   reference interpreter: same architectural results, same retired
+   stream, same trace events, same counters (modulo its own
+   engine_hits / engine_misses / engine_invalidations), violations at
+   the same instruction index, and byte-identical fault-campaign
+   reports. Unlike the SOFIA-vs-vanilla battery, nothing here is
+   normalised: both engines run the *same* image, so every pc, every
+   register, every byte of RAM — stack included — must match
+   bit-for-bit. *)
+
+module Machine = Sofia.Cpu.Machine
+module Memory = Sofia.Cpu.Memory
+module Run_config = Sofia.Cpu.Run_config
+module Image = Sofia.Transform.Image
+module Block = Sofia.Transform.Block
+module Insn = Sofia.Isa.Insn
+module Reg = Sofia.Isa.Reg
+module Workload = Sofia.Workloads.Workload
+module Keys = Sofia.Crypto.Keys
+module Obs = Sofia.Obs.Obs
+module Trace = Sofia.Obs.Trace
+module Metrics = Sofia.Obs.Metrics
+module Event = Sofia.Obs.Event
+
+let keys = Keys.generate ~seed:0xD1FF_2026L
+let nonce = 0x2A
+
+let fast = { Run_config.default with Run_config.engine = Run_config.Fast }
+let refc = { Run_config.default with Run_config.engine = Run_config.Ref }
+
+type capture = {
+  result : Machine.run_result;
+  stream : (int * Insn.t) list;  (* retired (pc, insn), in order *)
+  regs : int array;  (* final register file + pc at index 32 *)
+  mem : Bytes.t;  (* the whole RAM *)
+}
+
+let run_sofia ?config ?fault image =
+  let stream = ref [] in
+  let state = ref None in
+  let result =
+    Sofia.Cpu.Sofia_runner.run ?config ?fault
+      ~on_retire:(fun ~pc ~insn -> stream := (pc, insn) :: !stream)
+      ~on_finish:(fun ~machine ~mem -> state := Some (machine, mem))
+      ~keys image
+  in
+  let machine, mem = Option.get !state in
+  let regs = Array.init 33 (fun i -> if i = 32 then Machine.pc machine else Machine.read_reg machine (Reg.of_int i)) in
+  { result; stream = List.rev !stream; regs;
+    mem = Memory.read_range mem ~addr:0 ~len:(Memory.size_bytes mem) }
+
+let run_vanilla ?config program =
+  let stream = ref [] in
+  let state = ref None in
+  let result =
+    Sofia.Cpu.Vanilla.run ?config
+      ~on_retire:(fun ~pc ~insn -> stream := (pc, insn) :: !stream)
+      ~on_finish:(fun ~machine ~mem -> state := Some (machine, mem))
+      program
+  in
+  let machine, mem = Option.get !state in
+  let regs = Array.init 33 (fun i -> if i = 32 then Machine.pc machine else Machine.read_reg machine (Reg.of_int i)) in
+  { result; stream = List.rev !stream; regs;
+    mem = Memory.read_range mem ~addr:0 ~len:(Memory.size_bytes mem) }
+
+let outcome_t = Alcotest.testable Machine.pp_outcome ( = )
+
+(* Bit-identity of two captures of the same image/program. *)
+let check_captures name (f : capture) (r : capture) =
+  Alcotest.check outcome_t (name ^ ": outcome") r.result.Machine.outcome f.result.Machine.outcome;
+  Alcotest.(check bool) (name ^ ": run_result bit-identical") true (f.result = r.result);
+  let nf = List.length f.stream and nr = List.length r.stream in
+  if nf <> nr then Alcotest.failf "%s: retired stream lengths differ: fast %d, ref %d" name nf nr;
+  List.iteri
+    (fun i ((fpc, fi), (rpc, ri)) ->
+      if fpc <> rpc || not (Insn.equal fi ri) then
+        Alcotest.failf "%s: retired streams diverge at index %d: fast 0x%08x %s, ref 0x%08x %s"
+          name i fpc (Insn.to_string fi) rpc (Insn.to_string ri))
+    (List.combine f.stream r.stream);
+  Array.iteri
+    (fun i fv ->
+      if fv <> r.regs.(i) then
+        Alcotest.failf "%s: %s differs: fast 0x%08x, ref 0x%08x" name
+          (if i = 32 then "pc" else Reg.name (Reg.of_int i))
+          fv r.regs.(i))
+    f.regs;
+  if not (Bytes.equal f.mem r.mem) then begin
+    let i = ref 0 in
+    while Bytes.get f.mem !i = Bytes.get r.mem !i do incr i done;
+    Alcotest.failf "%s: memory differs at 0x%08x: fast %02x, ref %02x" name !i
+      (Char.code (Bytes.get f.mem !i))
+      (Char.code (Bytes.get r.mem !i))
+  end
+
+let protect w = Sofia.Transform.Transform.protect_exn ~keys ~nonce (Workload.assemble w)
+
+(* ---- every registry workload, clean, both cores ---- *)
+
+let test_workload (w : Workload.t) () =
+  let name = w.Workload.name in
+  let image = protect w in
+  check_captures (name ^ " (sofia)")
+    (run_sofia ~config:fast image)
+    (run_sofia ~config:refc image);
+  let program = Workload.assemble w in
+  check_captures (name ^ " (vanilla)")
+    (run_vanilla ~config:fast program)
+    (run_vanilla ~config:refc program)
+
+(* ---- tampered images: violations at the same instruction index ---- *)
+
+(* One tamper per violation flavour: an instruction word (MAC
+   mismatch), a MAC word itself, and a wild jump target at run time is
+   covered by the fault battery below. *)
+let tamper_addrs (image : Image.t) =
+  let b = image.Image.blocks.(Array.length image.Image.blocks / 2) in
+  let first = Block.first_insn_offset b.Image.kind in
+  [ ("insn-word", b.Image.base + first); ("mac-word", b.Image.base) ]
+
+let test_tampered () =
+  let w = List.hd (Sofia.Workloads.Registry.benchmark_suite ()) in
+  let image = protect w in
+  List.iter
+    (fun (label, address) ->
+      let value =
+        match Image.fetch image address with
+        | Some v -> v lxor 0x10
+        | None -> Alcotest.failf "tamper address 0x%08x outside image" address
+      in
+      let tampered = Image.with_tampered_word image ~address ~value in
+      let f = run_sofia ~config:fast tampered and r = run_sofia ~config:refc tampered in
+      check_captures ("tamper " ^ label) f r;
+      (match f.result.Machine.outcome with
+       | Machine.Cpu_reset _ -> ()
+       | o -> Alcotest.failf "tamper %s: expected a reset, got %a" label Machine.pp_outcome o);
+      Alcotest.(check int)
+        ("tamper " ^ label ^ ": same violation instruction index")
+        r.result.Machine.stats.Machine.instructions f.result.Machine.stats.Machine.instructions)
+    (tamper_addrs image)
+
+(* ---- transient fetch faults: detected identically ---- *)
+
+let test_transient_faults () =
+  let w = List.hd (Sofia.Workloads.Registry.benchmark_suite ()) in
+  let image = protect w in
+  List.iter
+    (fun (n, bit) ->
+      let label = Printf.sprintf "fault(%d,%d)" n bit in
+      check_captures label
+        (run_sofia ~config:fast ~fault:(n, bit) image)
+        (run_sofia ~config:refc ~fault:(n, bit) image))
+    [ (1, 3); (2, 64); (5, 200); (40, 97) ]
+
+(* ---- obs equality: same events, same counters modulo engine_* ---- *)
+
+let engine_counter name =
+  name = "engine_hits" || name = "engine_misses" || name = "engine_invalidations"
+
+let observed config image =
+  let trace = Trace.create ~capacity:4096 () in
+  let metrics = Metrics.create () in
+  let obs = Obs.create ~trace ~metrics () in
+  let r = Sofia.Cpu.Sofia_runner.run ~config ~obs ~keys image in
+  (r, Trace.to_list trace, Metrics.counters metrics)
+
+let test_obs_equality () =
+  let w = List.hd (Sofia.Workloads.Registry.benchmark_suite ()) in
+  let image = protect w in
+  let rf, ef, cf = observed fast image in
+  let rr, er, cr = observed refc image in
+  Alcotest.(check bool) "traced run_result bit-identical" true (rf = rr);
+  Alcotest.(check int) "same event count" (List.length er) (List.length ef);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "event streams diverge at seq %d: fast %s, ref %s" i
+          (Sofia.Obs.Json.to_string (Event.to_json ~seq:i a))
+          (Sofia.Obs.Json.to_string (Event.to_json ~seq:i b)))
+    (List.combine ef er);
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check string) "counter order" n1 n2;
+      if not (engine_counter n1) then
+        Alcotest.(check int) ("counter " ^ n1) v2 v1)
+    cf cr
+
+(* ---- engine counters: do what they say ---- *)
+
+let test_engine_counters () =
+  let w = List.hd (Sofia.Workloads.Registry.benchmark_suite ()) in
+  let image = protect w in
+  let _, _, cf = observed fast image in
+  let _, _, cr = observed refc image in
+  let get cs n = List.assoc n cs in
+  (* fast: every block compiles once, revisits run from the cache *)
+  Alcotest.(check bool) "fast: engine_misses > 0" true (get cf "engine_misses" > 0);
+  Alcotest.(check bool) "fast: engine_hits > 0" true (get cf "engine_hits" > 0);
+  Alcotest.(check int) "fast: memo_hits = engine_hits (clean run)" (get cf "memo_hits")
+    (get cf "engine_hits");
+  Alcotest.(check int) "fast: no invalidation on a clean run" 0 (get cf "engine_invalidations");
+  (* ref: the pre-decoded cache does not exist *)
+  List.iter
+    (fun n -> Alcotest.(check int) ("ref: " ^ n ^ " = 0") 0 (get cr n))
+    [ "engine_hits"; "engine_misses"; "engine_invalidations" ];
+  (* a violating run flushes the compiled cache exactly once *)
+  let b = image.Image.blocks.(0) in
+  let address = b.Image.base + Block.first_insn_offset b.Image.kind in
+  let value = match Image.fetch image address with Some v -> v lxor 4 | None -> 0 in
+  let tampered = Image.with_tampered_word image ~address ~value in
+  let _, _, cv = observed fast tampered in
+  Alcotest.(check int) "fast: violation invalidates once" 1 (get cv "engine_invalidations")
+
+(* ---- the cold frontend (edge_memo = false) ---- *)
+
+let test_cold_frontend () =
+  let w = List.hd (Sofia.Workloads.Registry.benchmark_suite ()) in
+  let image = protect w in
+  let cold e = { Run_config.default with Run_config.engine = e; edge_memo = false } in
+  (* bit-identical across engines with the memo off, and against the
+     memoised run *)
+  let f = run_sofia ~config:(cold Run_config.Fast) image in
+  check_captures "cold frontend" f (run_sofia ~config:(cold Run_config.Ref) image);
+  Alcotest.(check bool) "memoised result = cold result" true
+    ((run_sofia ~config:fast image).result = f.result);
+  (* with the memo off the keystream cache finally carries load *)
+  let m = Metrics.create () in
+  let obs = Obs.create ~metrics:m () in
+  let ks = { (cold Run_config.Fast) with Run_config.ks_cache_slots = Some 256 } in
+  let rks = Sofia.Cpu.Sofia_runner.run ~config:ks ~obs ~keys image in
+  Alcotest.(check bool) "cold run result unchanged by ks cache" true (rks = f.result);
+  Alcotest.(check bool) "cold frontend exercises the ks cache" true
+    (m.Metrics.ks_cache_hits > 0);
+  Alcotest.(check int) "cold frontend: no memo hits" 0 m.Metrics.memo_hits
+
+(* ---- campaign reports: byte-identical JSON between engines ---- *)
+
+let test_campaign_identical () =
+  let module C = Sofia.Fault.Campaign in
+  let report e =
+    Sofia.Obs.Json.to_string
+      (C.to_json (C.run ~with_service:false ~engine:e ~trials:2 ~seed:0x5EED_0005L ()))
+  in
+  let jf = report Run_config.Fast and jr = report Run_config.Ref in
+  Alcotest.(check string) "campaign JSON byte-identical between engines" jr jf
+
+let suite =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case ("fast=ref: " ^ w.Workload.name) `Quick (test_workload w))
+    (Sofia.Workloads.Registry.all ())
+  @ [
+      Alcotest.test_case "tampered images" `Quick test_tampered;
+      Alcotest.test_case "transient fetch faults" `Quick test_transient_faults;
+      Alcotest.test_case "trace events and counters" `Quick test_obs_equality;
+      Alcotest.test_case "engine counters" `Quick test_engine_counters;
+      Alcotest.test_case "cold frontend (edge_memo off)" `Quick test_cold_frontend;
+      Alcotest.test_case "campaign JSON identical" `Slow test_campaign_identical;
+    ]

@@ -28,4 +28,5 @@ let () =
       ("service", Service_tests.suite);
       ("serve-smoke", Serve_smoke_tests.suite);
       ("fault", Fault_tests.suite);
+      ("engine", Engine_tests.suite);
     ]

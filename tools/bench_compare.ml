@@ -7,6 +7,9 @@
        [--tolerance PCT] allowed slowdown per benchmark (default 25)
        [--normalize]     scale the fresh medians by the geometric-mean
                          fresh/baseline ratio before comparing
+       [--floor NAME:RATIO]
+                         require benchmark NAME to run at least RATIO
+                         times *faster* than the baseline (repeatable)
 
    The gate is deliberately generous: Bechamel medians are stable to a
    few percent on an idle machine, so a 25% per-benchmark budget only
@@ -19,13 +22,21 @@
    benchmarks — a single benchmark regressing against its peers still
    fails, a uniformly slower CI box does not. A benchmark present only
    on one side is reported but never fails the gate (new benchmarks
-   must be able to land before the baseline is refreshed). *)
+   must be able to land before the baseline is refreshed).
+
+   [--floor] gates a *speedup*: a perf PR pins its claimed improvement
+   (e.g. simulate-adpcm-sofia:1.8) so a later change cannot silently
+   give it back. Floors always compare unnormalized medians: the
+   geomean scaling would partially cancel the very speedup being
+   gated (a large win drags the geomean itself, so the normalized
+   ratio understates it). *)
 
 module J = Sofia.Obs.Json
 
 let usage () =
   prerr_endline
-    "usage: bench_compare BASELINE.json [--runs N] [--tolerance PCT] [--normalize]";
+    "usage: bench_compare BASELINE.json [--runs N] [--tolerance PCT] [--normalize] \
+     [--floor NAME:RATIO]...";
   exit 2
 
 let read_file path =
@@ -70,7 +81,8 @@ let () =
   let baseline_path = ref None
   and runs = ref 3
   and tolerance = ref 25.0
-  and normalize = ref false in
+  and normalize = ref false
+  and floors = ref [] in
   let rec parse = function
     | [] -> ()
     | "--runs" :: n :: rest ->
@@ -81,6 +93,14 @@ let () =
       parse rest
     | "--normalize" :: rest ->
       normalize := true;
+      parse rest
+    | "--floor" :: spec :: rest ->
+      (match String.rindex_opt spec ':' with
+       | Some i ->
+         let name = String.sub spec 0 i in
+         let ratio = float_of_string (String.sub spec (i + 1) (String.length spec - i - 1)) in
+         floors := (name, ratio) :: !floors
+       | None -> usage ());
       parse rest
     | path :: rest when !baseline_path = None ->
       baseline_path := Some path;
@@ -166,6 +186,27 @@ let () =
       if not (List.mem_assoc name baseline) then
         Printf.printf "  %-34s new benchmark, no baseline (not gated)\n" name)
     fresh;
+  (* Speedup floors: checked on the raw medians (see header) *)
+  let floor_failed = ref false in
+  if !floors <> [] then begin
+    Printf.printf "\nspeedup floors (unnormalized medians):\n";
+    List.iter
+      (fun (name, ratio) ->
+        match (List.assoc_opt name baseline, List.assoc_opt name fresh) with
+        | Some b, Some f ->
+          let speedup = b /. f in
+          let ok = speedup >= ratio in
+          if not ok then floor_failed := true;
+          Printf.printf "  %-34s %.2fx (floor %.2fx)%s\n" name speedup ratio
+            (if ok then "" else "  TOO SLOW");
+        | None, _ ->
+          floor_failed := true;
+          Printf.printf "  %-34s missing from baseline\n" name
+        | _, None ->
+          floor_failed := true;
+          Printf.printf "  %-34s missing from fresh run\n" name)
+      (List.rev !floors)
+  end;
   (* Fault-coverage gate: a fresh pinned-seed campaign must detect
      100% of the in-model tamper classes with zero detection latency —
      a perf-motivated change that weakens the frontend (say, a MAC
@@ -195,6 +236,8 @@ let () =
      Printf.printf "\nFAIL: %d benchmark(s) regressed more than %.0f%%: %s\n"
        (List.length names) !tolerance
        (String.concat ", " (List.rev names)));
+  if !floor_failed then
+    Printf.printf "FAIL: a benchmark missed its speedup floor\n";
   if !fault_failed then
     Printf.printf "FAIL: an in-model tamper class escaped detection or detected late\n";
-  if !failed <> [] || !fault_failed then exit 1
+  if !failed <> [] || !floor_failed || !fault_failed then exit 1

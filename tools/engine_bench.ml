@@ -1,0 +1,41 @@
+(* Quick A/B timer for the execution engines, outside Bechamel: runs
+   the ADPCM image N times per configuration against a monotonic clock
+   and prints ns/run. For development and perf triage; the regression
+   gate uses tools/bench_compare.ml. *)
+
+module Keys = Sofia.Crypto.Keys
+module Transform = Sofia.Transform.Transform
+module Workload = Sofia.Workloads.Workload
+module Run_config = Sofia.Cpu.Run_config
+
+let () =
+  let runs = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200 in
+  let keys = Keys.generate ~seed:0xBE9C4L in
+  let w = Sofia.Workloads.Adpcm.workload ~samples:256 () in
+  let program = Workload.assemble w in
+  let image = Transform.protect_exn ~keys ~nonce:6 program in
+  let time name f =
+    (* one warmup, then the timed loop *)
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to runs do
+      ignore (f ())
+    done;
+    let t1 = Unix.gettimeofday () in
+    Printf.printf "  %-32s %12.1f ns/run\n%!" name ((t1 -. t0) *. 1e9 /. float_of_int runs)
+  in
+  let cfg engine ks edge_memo =
+    { Run_config.default with Run_config.engine; ks_cache_slots = ks; edge_memo }
+  in
+  time "sofia-fast" (fun () -> Sofia.Cpu.Sofia_runner.run ~config:(cfg Run_config.Fast None true) ~keys image);
+  time "sofia-ref" (fun () -> Sofia.Cpu.Sofia_runner.run ~config:(cfg Run_config.Ref None true) ~keys image);
+  time "sofia-fast-kscache" (fun () ->
+      Sofia.Cpu.Sofia_runner.run ~config:(cfg Run_config.Fast (Some 1024) true) ~keys image);
+  time "sofia-fast-nomemo" (fun () ->
+      Sofia.Cpu.Sofia_runner.run ~config:(cfg Run_config.Fast None false) ~keys image);
+  time "sofia-fast-nomemo-kscache" (fun () ->
+      Sofia.Cpu.Sofia_runner.run ~config:(cfg Run_config.Fast (Some 1024) false) ~keys image);
+  time "vanilla-fast" (fun () ->
+      Sofia.Cpu.Vanilla.run ~config:(cfg Run_config.Fast None true) program);
+  time "vanilla-ref" (fun () ->
+      Sofia.Cpu.Vanilla.run ~config:(cfg Run_config.Ref None true) program)
