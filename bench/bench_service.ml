@@ -101,12 +101,126 @@ let measure ?(clients = 64) ?(workers = 4) () =
     metrics = Engine.metrics_json engine;
   }
 
-let to_json (m : measurement) =
+(* ---- warm restart over the persistent store (PR 6) ---- *)
+
+type restart = {
+  r_jobs : int;
+  r_workers : int;
+  r_clients : int;
+  cold_s : float;
+  warm_s : float;
+  restart_speedup : float;
+  disk_hits : int;
+  disk_misses : int;
+  disk_corrupt : int;
+  r_all_done : bool;
+  r_identical : bool;  (** warm payloads byte-identical to the cold process's *)
+}
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* [cached] legitimately flips between a cold and warm process *)
+let strip_cached = function
+  | Job.Done (Job.Protected { text_bytes; expansion; blocks; digest; cached = _ }) ->
+    Job.Done (Job.Protected { text_bytes; expansion; blocks; digest; cached = false })
+  | Job.Done (Job.Verified { issues; cached = _ }) ->
+    Job.Done (Job.Verified { issues; cached = false })
+  | Job.Done (Job.Simulated { outcome; outputs; cycles; instructions; cached = _ }) ->
+    Job.Done (Job.Simulated { outcome; outputs; cycles; instructions; cached = false })
+  | Job.Done (Job.Attested { digest; mac; issues; cached = _ }) ->
+    Job.Done (Job.Attested { digest; mac; issues; cached = false })
+  | s -> s
+
+(* The registry mix through two engines sharing one --store-dir: the
+   second ("restarted process") must skip every re-protect — nonzero
+   disk hits, zero corrupt — and answer each job with the identical
+   payload. The [serve-warm-restart] bench row; gated by
+   tools/bench_compare --warm-floor. *)
+let measure_restart ?(clients = 64) ?(workers = 4) () =
+  let dir = Filename.temp_file "sofia_bench_store" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let jobs = Sofia.Service_load.registry_jobs ~clients () in
+      let n = List.length jobs in
+      let config =
+        { Engine.default_config with
+          Engine.workers;
+          queue_capacity = max 64 n;
+          store_dir = Some dir }
+      in
+      let t0 = Unix.gettimeofday () in
+      let cold, _ = Engine.run_batch config jobs in
+      let cold_s = Unix.gettimeofday () -. t0 in
+      let t0 = Unix.gettimeofday () in
+      let warm, warm_engine = Engine.run_batch config jobs in
+      let warm_s = Unix.gettimeofday () -. t0 in
+      let module Fs = Sofia.Store_fs.Store_fs in
+      let disk = Option.get (Engine.disk_store warm_engine) in
+      let r_all_done =
+        List.for_all (fun (r : Job.response) -> is_done r.Job.status) cold
+        && List.for_all (fun (r : Job.response) -> is_done r.Job.status) warm
+      in
+      let r_identical =
+        List.length warm = n
+        && List.for_all2
+             (fun (a : Job.response) (b : Job.response) ->
+               String.equal a.Job.id b.Job.id
+               && String.equal a.Job.op b.Job.op
+               && strip_cached a.Job.status = strip_cached b.Job.status)
+             cold warm
+      in
+      {
+        r_jobs = n;
+        r_workers = workers;
+        r_clients = clients;
+        cold_s;
+        warm_s;
+        restart_speedup = cold_s /. warm_s;
+        disk_hits = Fs.hits disk;
+        disk_misses = Fs.misses disk;
+        disk_corrupt = Fs.corrupt disk;
+        r_all_done;
+        r_identical;
+      })
+
+let restart_row (r : restart) =
+  J.Obj
+    [
+      ("name", J.Str "serve-warm-restart");
+      ("jobs", J.Int r.r_jobs);
+      ("workers", J.Int r.r_workers);
+      ("clients", J.Int r.r_clients);
+      ("cold_s", J.Float r.cold_s);
+      ("warm_s", J.Float r.warm_s);
+      ("speedup", J.Float r.restart_speedup);
+      ("disk_hits", J.Int r.disk_hits);
+      ("disk_misses", J.Int r.disk_misses);
+      ("disk_corrupt", J.Int r.disk_corrupt);
+      ("all_done", J.Bool r.r_all_done);
+      ("identical", J.Bool r.r_identical);
+    ]
+
+let pp_restart fmt (r : restart) =
+  Format.fprintf fmt
+    "  warm restart (%d jobs, %d workers, shared store dir)@.\
+    \  cold process: %6.3f s    warm process: %6.3f s    speedup: %.2fx@.\
+    \  disk: %d hits / %d misses / %d corrupt   all done: %b   identical: %b@."
+    r.r_jobs r.r_workers r.cold_s r.warm_s r.restart_speedup r.disk_hits r.disk_misses
+    r.disk_corrupt r.r_all_done r.r_identical
+
+let to_json ?restart (m : measurement) =
   J.Obj
     [
       ( "rows",
         J.List
-          [
+          ([
             J.Obj
               [
                 ("name", J.Str "service-throughput");
@@ -132,7 +246,8 @@ let to_json (m : measurement) =
                            [ ("op", J.Str op); ("p50_ms", J.Float p50); ("p99_ms", J.Float p99) ])
                        m.per_op) );
               ];
-          ] );
+          ]
+          @ match restart with Some r -> [ restart_row r ] | None -> []) );
       ("service_metrics", m.metrics);
     ]
 

@@ -493,7 +493,9 @@ let micro () =
 let service () =
   section "service" "serving-layer throughput: batch engine vs sequential one-shot";
   let m = Sofia_benchlib.Bench_service.measure () in
-  Format.printf "%a" Sofia_benchlib.Bench_service.pp m
+  Format.printf "%a" Sofia_benchlib.Bench_service.pp m;
+  let r = Sofia_benchlib.Bench_service.measure_restart () in
+  Format.printf "%a" Sofia_benchlib.Bench_service.pp_restart r
 
 (* ------------------------------------------------------------------ *)
 (* fault: the lib/fault campaign (detection coverage + recovery)       *)
@@ -650,7 +652,12 @@ let json_service () =
   let m, wall = timed (fun () -> Sofia_benchlib.Bench_service.measure ()) in
   Format.printf "  [json] service: %d jobs, %.2fx batch speedup, in %.1f s@."
     m.Sofia_benchlib.Bench_service.jobs m.Sofia_benchlib.Bench_service.speedup wall;
-  match Sofia_benchlib.Bench_service.to_json m with
+  let r, rwall = timed (fun () -> Sofia_benchlib.Bench_service.measure_restart ()) in
+  Format.printf
+    "  [json] warm restart: %.2fx over cold, %d disk hits / %d corrupt, in %.1f s@."
+    r.Sofia_benchlib.Bench_service.restart_speedup r.Sofia_benchlib.Bench_service.disk_hits
+    r.Sofia_benchlib.Bench_service.disk_corrupt rwall;
+  match Sofia_benchlib.Bench_service.to_json ~restart:r m with
   | J.Obj fields -> J.Obj (("id", J.Str "service") :: ("wall_time_s", J.Float wall) :: fields)
   | j -> j
 

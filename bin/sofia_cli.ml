@@ -83,10 +83,60 @@ let domains_arg =
 
 let resolve_domains = function 0 -> Sofia.Util.Par.recommended () | n -> n
 
+let store_dir_arg =
+  Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR"
+         ~doc:"Persistent content-addressed artifact store. Protected images (and their \
+               verified block tables) are cached in $(docv) across processes; every load \
+               re-checks the sealed envelope and re-derives the MAC verdict, so a torn or \
+               tampered file is a cache miss, never served code.")
+
+let store_budget_arg =
+  Arg.(value & opt int 0 & info [ "store-budget" ] ~docv:"BYTES"
+         ~doc:"On-disk store size budget; least-recently-used entries are evicted past it \
+               (0 = unlimited).")
+
+let write_bytes_to path bytes =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc bytes)
+
 let protect_cmd =
-  let run path key_seed nonce verbose output domains =
-    let program = or_die (assemble_file path) in
+  let run path key_seed nonce verbose output domains store_dir store_budget =
+    let source = try read_file path with Sys_error m -> or_die (Error m) in
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
+    let disk =
+      Option.map
+        (fun dir ->
+          Sofia.Store_fs.Store_fs.open_store ~dir ~budget_bytes:store_budget ())
+        store_dir
+    in
+    let warm =
+      Option.bind disk (fun d ->
+          Sofia.Store_fs.Store_fs.load_artifact d ~keys ~nonce ~source)
+    in
+    match warm with
+    | Some a ->
+      (* served from the persistent tier: the envelope verified and the
+         MAC verdict was re-derived; the summary reports what the
+         ciphertext-only reconstruction knows *)
+      let img = a.Sofia.Store_fs.Store_fs.image in
+      Format.printf
+        "store hit: %d bytes of protected text (x%.2f), %d blocks, mac %s@.entry: 0x%08x  \
+         nonce: 0x%02x  keys: %s@."
+        (Sofia.Transform.Image.text_size_bytes img)
+        a.Sofia.Store_fs.Store_fs.expansion
+        (Array.length img.Sofia.Transform.Image.blocks)
+        a.Sofia.Store_fs.Store_fs.mac img.Sofia.Transform.Image.entry
+        img.Sofia.Transform.Image.nonce
+        (Sofia.Crypto.Keys.fingerprint keys);
+      (match output with
+       | Some path ->
+         write_bytes_to path a.Sofia.Store_fs.Store_fs.sfi;
+         Format.printf "image written to %s@." path
+       | None -> ())
+    | None ->
+    let program = or_die (assemble_file path) in
     match
       Sofia.Transform.Transform.protect ~domains:(resolve_domains domains) ~keys ~nonce program
     with
@@ -94,6 +144,13 @@ let protect_cmd =
       Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
       exit 1
     | Ok image ->
+      (match disk with
+       | Some d ->
+         let sfi = Sofia.Transform.Binary_format.serialize image in
+         ignore
+           (Sofia.Service.Engine.persist_image d ~keys ~nonce ~source ~image ~sfi
+              ~issues:None)
+       | None -> ());
       let st = image.Sofia.Transform.Image.stats in
       Format.printf
         "text: %d -> %d bytes (x%.2f)@.blocks: %d exec, %d mux (%d bridges, %d shims, %d \
@@ -132,7 +189,8 @@ let protect_cmd =
            ~doc:"Write the protected image to a .sfi container.")
   in
   Cmd.v (Cmd.info "protect" ~doc:"Apply the SOFIA transformation and report statistics")
-    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ verbose $ output $ domains_arg)
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ verbose $ output $ domains_arg
+          $ store_dir_arg $ store_budget_arg)
 
 (* ---- verify ---- *)
 
@@ -423,11 +481,14 @@ let json_out_arg =
          ~doc:"Write the service metrics document (counters, latency histograms, store \
                and queue gauges) to $(docv) as JSON.")
 
-let service_config workers queue backpressure store retries deadline ks_cache engine =
+let service_config workers queue backpressure store retries deadline ks_cache engine
+    store_dir store_budget =
   if queue < 1 then or_die (Error (Printf.sprintf "--queue must be >= 1 (got %d)" queue));
   if retries < 1 then or_die (Error (Printf.sprintf "--retries must be >= 1 (got %d)" retries));
   if ks_cache < 0 then
     or_die (Error (Printf.sprintf "--ks-cache must be >= 0 (got %d)" ks_cache));
+  if store_budget < 0 then
+    or_die (Error (Printf.sprintf "--store-budget must be >= 0 (got %d)" store_budget));
   { Engine.default_config with
     Engine.workers;
     queue_capacity = queue;
@@ -436,7 +497,9 @@ let service_config workers queue backpressure store retries deadline ks_cache en
     max_attempts = retries;
     default_deadline_ms = deadline;
     ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache);
-    engine
+    engine;
+    store_dir;
+    store_budget
   }
 
 let emit_service_metrics engine ~metrics ~json_out =
@@ -452,9 +515,10 @@ let emit_service_metrics engine ~metrics ~json_out =
 
 let serve_cmd =
   let run use_stdin socket once workers queue backpressure store retries deadline ks_cache
-      engine metrics json_out =
+      engine metrics json_out store_dir store_budget =
     let config =
       service_config workers queue backpressure store retries deadline ks_cache engine
+        store_dir store_budget
     in
     (* a client vanishing mid-response must reach us as EPIPE, not kill
        the process mid-write *)
@@ -498,13 +562,14 @@ let serve_cmd =
        ~doc:"Serve protect/verify/simulate/attest jobs over newline-delimited JSON")
     Term.(const run $ use_stdin $ socket $ once $ workers_arg $ queue_arg $ backpressure_arg
           $ store_arg $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg
-          $ json_out_arg)
+          $ json_out_arg $ store_dir_arg $ store_budget_arg)
 
 let batch_cmd =
   let run file clients workers queue backpressure store retries deadline ks_cache engine
-      metrics json_out =
+      metrics json_out store_dir store_budget =
     let config =
       service_config workers queue backpressure store retries deadline ks_cache engine
+        store_dir store_budget
     in
     let malformed = ref 0 in
     let jobs =
@@ -541,6 +606,12 @@ let batch_cmd =
       m.Sofia.Service.Svc_metrics.completed m.Sofia.Service.Svc_metrics.rejected
       m.Sofia.Service.Svc_metrics.timed_out m.Sofia.Service.Svc_metrics.failed
       (Sofia.Service.Store.hits st) (Sofia.Service.Store.misses st);
+    (match Engine.disk_store engine with
+     | Some d ->
+       let module Fs = Sofia.Store_fs.Store_fs in
+       Format.eprintf "disk store: %d hits / %d misses / %d evictions / %d corrupt@."
+         (Fs.hits d) (Fs.misses d) (Fs.evictions d) (Fs.corrupt d)
+     | None -> ());
     emit_service_metrics engine ~metrics ~json_out;
     if !malformed > 0 || m.Sofia.Service.Svc_metrics.completed <> List.length responses then
       exit 1
@@ -558,7 +629,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a job file through the service engine and print responses")
     Term.(const run $ file $ clients $ workers_arg $ queue_arg $ backpressure_arg $ store_arg
-          $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg $ json_out_arg)
+          $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg $ json_out_arg
+          $ store_dir_arg $ store_budget_arg)
 
 (* ---- campaign: the full-pipeline fault-injection sweep ---- *)
 

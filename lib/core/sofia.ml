@@ -39,6 +39,7 @@ module Workloads = Sofia_workloads
 module Minic = Sofia_minic
 module Provision = Provision
 module Service = Sofia_service
+module Store_fs = Sofia_store_fs
 module Fault = Sofia_fault
 
 (** One-stop protection pipeline: assemble → CFG → transform →

@@ -1,0 +1,162 @@
+(* A serialisable table of *verified* control-flow edges and their
+   block bodies — the persistable face of the fast engine's pre-decoded
+   cache.
+
+   The soundness rule (DESIGN §11 across the serialisation boundary):
+   an edge may enter the table only if the frontend's full
+   fetch-decrypt-MAC-verify pipeline accepted it at build time. The
+   builder therefore takes the verdict as a callback ([~verify], wired
+   to [Sofia_runner.fetch_block] by the service layer) and records
+   exactly the edges it blesses: statically enumerating
+   entry_prev_pcs × ports and seeding bodies unverified would convert
+   a runtime MAC violation into successful execution. The callback
+   inversion also keeps this module below [Sofia_runner] in the
+   dependency order, which needs {!t} for its [?prefill] parameter.
+
+   A loaded table is still only a hint: {!decode_entry} re-validates
+   slot counts, instruction encodings and the banned-store rule, and
+   the runner seeds only edges absent from its live cache, flushing
+   everything (prefilled included) on any violation. A table that fails
+   {!of_bytes} is [None] — a miss, never an exception. *)
+
+module Insn = Sofia_isa.Insn
+module Encoding = Sofia_isa.Encoding
+module Block = Sofia_transform.Block
+module Image = Sofia_transform.Image
+open Sofia_util
+
+let codec_version = 1
+
+type entry = {
+  target : int;  (** the entry port address fetched *)
+  prev_pc : int;  (** the edge's origin *)
+  base : int;  (** block base address *)
+  kind : Block.kind;
+  words : int array;  (** the verified instruction slots, re-encoded *)
+}
+
+type t = entry array
+
+let length = Array.length
+
+let of_image ~verify (image : Image.t) =
+  let seen = Hashtbl.create 64 in
+  let entries = ref [] in
+  Array.iter
+    (fun (b : Image.block) ->
+      List.iter
+        (fun prev_pc ->
+          List.iter
+            (fun off ->
+              let target = b.Image.base + off in
+              if not (Hashtbl.mem seen (target, prev_pc)) then begin
+                Hashtbl.add seen (target, prev_pc) ();
+                match verify ~target ~prev_pc with
+                | None -> ()
+                | Some (kind, insns) ->
+                  entries :=
+                    {
+                      target;
+                      prev_pc;
+                      base = b.Image.base;
+                      kind;
+                      words = Array.map Encoding.encode insns;
+                    }
+                    :: !entries
+              end)
+            (Block.port_offsets b.Image.kind))
+        b.Image.entry_prev_pcs)
+    image.Image.blocks;
+  Array.of_list (List.rev !entries)
+
+let decode_entry e =
+  let n = Array.length e.words in
+  if n <> Block.insn_slots e.kind then None
+  else begin
+    let insns = Array.make n Insn.nop in
+    let ok = ref true in
+    Array.iteri
+      (fun i w ->
+        match Encoding.decode w with
+        | None -> ok := false
+        | Some insn ->
+          if Block.store_banned_slot e.kind i && Insn.is_store insn then ok := false
+          else insns.(i) <- insn)
+      e.words;
+    if !ok then Some insns else None
+  end
+
+(* ---- wire form: flat little-endian u32s ----
+
+   count, then per entry: target, prev_pc, base, kind tag, nwords,
+   nwords instruction words. [of_bytes] is total and paranoid — the
+   envelope already authenticated the bytes, but a stale-codec blob
+   that slipped a version bump must still fail closed. *)
+
+let kind_tag = function Block.Exec -> 1 | Block.Mux -> 2
+let kind_of_tag = function 1 -> Some Block.Exec | 2 -> Some Block.Mux | _ -> None
+
+let to_bytes (t : t) =
+  let words_total = Array.fold_left (fun acc e -> acc + Array.length e.words) 0 t in
+  let total = 4 * (1 + (5 * Array.length t) + words_total) in
+  let b = Bytes.make total '\000' in
+  let off = ref 0 in
+  let put v =
+    Bytes.blit (Word.bytes_of_word32_le v) 0 b !off 4;
+    off := !off + 4
+  in
+  put (Array.length t);
+  Array.iter
+    (fun e ->
+      put e.target;
+      put e.prev_pc;
+      put e.base;
+      put (kind_tag e.kind);
+      put (Array.length e.words);
+      Array.iter put e.words)
+    t;
+  b
+
+let max_addr = 0x4000_0000
+
+let of_bytes b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  let take () =
+    if !off + 4 > len then None
+    else begin
+      let w = Word.word32_of_bytes_le b !off in
+      off := !off + 4;
+      Some w
+    end
+  in
+  match take () with
+  | None -> None
+  | Some count ->
+    if count < 0 || count > len / 20 then None
+    else begin
+      let out = ref [] in
+      let ok = ref true in
+      (try
+         for _ = 1 to count do
+           match (take (), take (), take (), take (), take ()) with
+           | Some target, Some prev_pc, Some base, Some ktag, Some nwords ->
+             (match kind_of_tag ktag with
+              | None -> raise Exit
+              | Some kind ->
+                if
+                  nwords < 0 || nwords > Block.words_per_block || target < 0
+                  || target >= max_addr || prev_pc < 0 || prev_pc >= max_addr || base < 0
+                  || base >= max_addr
+                then raise Exit;
+                let words = Array.make nwords 0 in
+                for i = 0 to nwords - 1 do
+                  match take () with Some w -> words.(i) <- w | None -> raise Exit
+                done;
+                out := { target; prev_pc; base; kind; words } :: !out)
+           | _ -> raise Exit
+         done
+       with Exit -> ok := false);
+      (* exact-length: trailing garbage means this is not our blob *)
+      if !ok && !off = len then Some (Array.of_list (List.rev !out)) else None
+    end

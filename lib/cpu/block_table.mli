@@ -1,0 +1,49 @@
+(** A serialisable table of {e verified} control-flow edges with their
+    pre-decoded block bodies — what the persistent store keeps so a
+    warm restart can seed the fast engine's edge cache without
+    re-decrypting every block.
+
+    Soundness: {!of_image} records only edges its [~verify] callback
+    (the real frontend fetch-decrypt-MAC-verify pipeline) accepts, so
+    the table can never teach a runner an edge the comparator would
+    reject — the MAC-gating invariant (DESIGN §11/§12) holds across
+    serialisation because the verdict was earned per edge, not assumed
+    from block structure. *)
+
+val codec_version : int
+(** Bumped whenever the wire form {e or} the fast engine's decoded
+    semantics change; the store keys table files on it, so stale blobs
+    miss instead of deserialising wrongly. *)
+
+type entry = {
+  target : int;
+  prev_pc : int;
+  base : int;
+  kind : Sofia_transform.Block.kind;
+  words : int array;
+}
+
+type t = entry array
+
+val length : t -> int
+
+val of_image :
+  verify:
+    (target:int ->
+    prev_pc:int ->
+    (Sofia_transform.Block.kind * Sofia_isa.Insn.t array) option) ->
+  Sofia_transform.Image.t ->
+  t
+(** Enumerate every candidate edge of the image (each block's recorded
+    predecessors × its entry ports) and keep exactly those [~verify]
+    accepts. *)
+
+val decode_entry : entry -> Sofia_isa.Insn.t array option
+(** Re-validate one entry: slot count for its kind, decodable words,
+    no store in a banned slot. [None] = do not seed this edge. *)
+
+val to_bytes : t -> Bytes.t
+
+val of_bytes : Bytes.t -> t option
+(** Total parse with exact-length and per-field range checks; [None]
+    on anything that is not precisely a {!to_bytes} image. *)

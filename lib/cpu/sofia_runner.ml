@@ -183,7 +183,7 @@ type cblock = {
 and compiled = C_none | C_ok of cblock | C_violation of Machine.violation
 
 let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Obs.none) ?on_finish
-    ~(keys : Keys.t) (image : Image.t) =
+    ?prefill ~(keys : Keys.t) (image : Image.t) =
   let mem = Memory.create ~size_bytes:config.Run_config.mem_size () in
   Memory.load_bytes mem ~addr:image.Image.data_base image.Image.data;
   let machine = Machine.create ~entry:image.Image.entry ~sp:(Run_config.initial_sp config) in
@@ -402,6 +402,40 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
     let pending = ref Decoded.no_load in
     let bcost = ref 0 in
     let ctable : compiled Edge_tbl.t = Edge_tbl.create 1024 in
+    (* Warm-start seeding from a persisted {!Block_table}: every entry
+       was individually MAC-verified when the table was built and the
+       store re-derived the artifact's MAC verdict on load, so seeding
+       preserves the compiled-strictly-after-verdict invariant. Each
+       entry is re-validated ({!Block_table.decode_entry}) and built
+       inline rather than through [compile_outcome] — a prefilled edge
+       is neither an engine miss nor a hit until the machine actually
+       fetches it. Violations still flush the whole table, prefilled
+       entries included. *)
+    (match prefill with
+     | Some tbl when memoise ->
+       Array.iter
+         (fun (e : Block_table.entry) ->
+           match Block_table.decode_entry e with
+           | None -> ()
+           | Some insns ->
+             let kind = e.Block_table.kind in
+             let words_fetched = Block.words_per_block - (Block.mac_words kind - 2) in
+             let c =
+               C_ok
+                 {
+                   cb_base = e.Block_table.base;
+                   cb_first = e.Block_table.base + Block.first_insn_offset kind;
+                   cb_floor = Timing.block_fetch_floor timing ~words_fetched;
+                   cb_dec = Decoded.compile ~timing insns;
+                   cb_fall = C_none;
+                   cb_last_key = min_int;
+                   cb_last = C_none;
+                 }
+             in
+             let key = edge_key ~target:e.Block_table.target ~prev_pc:e.Block_table.prev_pc in
+             if not (Edge_tbl.mem ctable key) then Edge_tbl.replace ctable key c)
+         tbl
+     | _ -> ());
     let fuel = config.Run_config.fuel in
     let decoupled = timing.Timing.frontend = Timing.Decoupled in
     let mac2 = 2 * timing.Timing.mac_word_cycle in

@@ -36,11 +36,20 @@ val run :
   ?on_retire:(pc:int -> insn:Sofia_isa.Insn.t -> unit) ->
   ?obs:Sofia_obs.Obs.t ->
   ?on_finish:(machine:Machine.t -> mem:Memory.t -> unit) ->
+  ?prefill:Block_table.t ->
   keys:Sofia_crypto.Keys.t ->
   Sofia_transform.Image.t ->
   Machine.run_result
 (** Run a protected image from its entry port until [halt], a
     SOFIA reset, or fuel exhaustion.
+
+    [prefill] seeds the fast engine's per-edge cache from a persisted
+    {!Block_table} (every entry MAC-verified at build time and
+    re-validated here; see [block_table.mli]) — a warm restart skips
+    the first decrypt of each seeded edge. Semantically inert: results,
+    traces and the architectural counters are bit-identical with and
+    without it (only the [memo_*]/[engine_*] simulator-cache counters
+    shift); the reference engine ignores it.
 
     [fault = (n, bit)] injects a transient fetch-path fault: during the
     [n]-th block fetch (1-based), bit [bit mod 256] of the fetched

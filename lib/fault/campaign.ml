@@ -494,6 +494,107 @@ let sc_store_tamper source =
       detail = Printf.sprintf "clean_before=%b corruption_caught=%b" clean_before caught;
     }
 
+(* The persistent tier under fire (PR 6): protect once through an
+   engine with a store directory, then tamper the on-disk artifact and
+   table between "processes" (fresh engines over the same directory).
+   Gate: every tampered read is a *detected* corrupt miss (the corrupt
+   counter moves), and every round still completes with the cold run's
+   digest — the store self-repairs by re-protecting, and no tampered
+   bytes are ever served. *)
+let sc_disk_store_tamper source =
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_file "sofia_fault_store" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let cfg = { Engine.default_config with workers = 1; store_dir = Some dir } in
+      let run_protect () =
+        let rs, t = Engine.run_batch cfg [ Job.make ~id:"d-0" (Job.Protect { source }) ] in
+        let digest =
+          match rs with
+          | [ { Job.status = Job.Done (Job.Protected { digest; _ }); _ } ] -> Some digest
+          | _ -> None
+        in
+        (digest, Option.get (Engine.disk_store t))
+      in
+      let d0, _ = run_protect () in
+      let entry suffix =
+        match
+          List.find_opt
+            (fun n -> Filename.check_suffix n suffix)
+            (Array.to_list (Sys.readdir dir))
+        with
+        | Some n -> Some (Filename.concat dir n)
+        | None -> None
+      in
+      match (d0, entry ".k1.sfc", entry ".k2.sfc") with
+      | None, _, _ | _, None, _ | _, _, None ->
+        { name = "disk_store_tamper"; ok = false; detail = "cold protect left no entry" }
+      | Some d0, Some artifact_file, Some table_file ->
+        let read p =
+          let ic = open_in_bin p in
+          let b = Bytes.create (in_channel_length ic) in
+          really_input ic b 0 (Bytes.length b);
+          close_in ic;
+          b
+        in
+        let write p b =
+          let oc = open_out_bin p in
+          output_bytes oc b;
+          close_out oc
+        in
+        let pristine_a = read artifact_file and pristine_t = read table_file in
+        (* a clean warm restart must actually hit the disk *)
+        let clean_digest, clean_store = run_protect () in
+        let clean_warm =
+          clean_digest = Some d0
+          && Sofia_store_fs.Store_fs.hits clean_store > 0
+          && Sofia_store_fs.Store_fs.corrupt clean_store = 0
+        in
+        let flip p frac =
+          let b = read p in
+          let i = min (Bytes.length b - 1) (frac * Bytes.length b / 100) in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+          write p b
+        in
+        let rounds =
+          [
+            (fun () -> flip artifact_file 10);  (* header *)
+            (fun () -> flip artifact_file 50);  (* body *)
+            (fun () -> flip artifact_file 93);  (* near the tail *)
+            (fun () ->
+              let b = read artifact_file in
+              write artifact_file (Bytes.sub b 0 (Bytes.length b / 2)));  (* torn *)
+            (fun () -> flip table_file 50);  (* pre-decoded table *)
+          ]
+        in
+        let detected = ref 0 and stable = ref 0 in
+        List.iter
+          (fun tamper ->
+            write artifact_file pristine_a;
+            write table_file pristine_t;
+            tamper ();
+            let digest, store = run_protect () in
+            if Sofia_store_fs.Store_fs.corrupt store > 0 then incr detected;
+            if digest = Some d0 then incr stable)
+          rounds;
+        let n = List.length rounds in
+        let ok = clean_warm && !detected = n && !stable = n in
+        {
+          name = "disk_store_tamper";
+          ok;
+          detail =
+            Printf.sprintf "clean_warm=%b detected=%d/%d digest_stable=%d/%d" clean_warm
+              !detected n !stable n;
+        })
+
 let sc_breaker source =
   let cfg =
     {
@@ -546,6 +647,7 @@ let service_checks workloads =
       sc_clock_skew source;
       sc_wire_corrupt source;
       sc_store_tamper source;
+      sc_disk_store_tamper source;
       sc_breaker source;
     ]
 

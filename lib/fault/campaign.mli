@@ -1,5 +1,5 @@
 (** The fault-injection campaign: a deterministic, seeded sweep of
-    (fault class × workload × trial) over the whole pipeline, plus six
+    (fault class × workload × trial) over the whole pipeline, plus seven
     scripted service-level fault scenarios, producing the
     detection-coverage matrix that CI gates on.
 
@@ -50,8 +50,8 @@ type cell = {
 }
 
 (** Result of one scripted service-level fault scenario (worker crash,
-    worker hang, deadline clock skew, wire corruption, store tamper,
-    circuit breaker). *)
+    worker hang, deadline clock skew, wire corruption, in-memory store
+    tamper, on-disk store tamper, circuit breaker). *)
 type service_check = { name : string; ok : bool; detail : string }
 
 type report = {
@@ -82,7 +82,7 @@ val run :
     full registry) with [trials] sampled sites per cell. [obs], when
     tracing, receives one [Custom] event per trial
     ([fault:<workload>:<class>:<verdict>], value = latency or -1).
-    [with_service] (default [true]) appends the six service scenarios,
+    [with_service] (default [true]) appends the seven service scenarios,
     which spawn real worker domains and take ~1 s of wall time.
     [engine] (default [Fast]) selects the execution engine for every
     simulated run; reports are byte-identical between engines. *)

@@ -90,6 +90,15 @@ type config = {
           [Unix.gettimeofday]. Never used for deadlines — that is the
           point: tests inject a skewed clock here and assert that
           deadline/retry behaviour is unchanged. *)
+  store_dir : string option;
+      (** persistent content-addressed artifact tier under the
+          in-memory store ({!Sofia_store_fs.Store_fs}; DESIGN.md §12).
+          [None] (default) disables it. Every load is zero-trust:
+          envelope checks plus a re-derived ciphertext MAC verdict, so
+          a torn/tampered/stale file is a miss, never served code. *)
+  store_budget : int;
+      (** on-disk byte budget; over it the store GCs least-recently
+          used entries first. 0 (default) = unlimited. *)
 }
 
 val default_config : config
@@ -136,6 +145,25 @@ val shutdown : t -> unit
 
 val metrics : t -> Svc_metrics.t
 val store : t -> Store.t
+
+val disk_store : t -> Sofia_store_fs.Store_fs.t option
+(** The persistent tier, when [store_dir] was configured — exposed for
+    its hit/miss/evict/corrupt counters (bench, campaign, CLI). *)
+
+val persist_image :
+  Sofia_store_fs.Store_fs.t ->
+  keys:Sofia_crypto.Keys.t ->
+  nonce:int ->
+  source:string ->
+  image:Sofia_transform.Image.t ->
+  sfi:Bytes.t ->
+  issues:int option ->
+  int64 * Sofia_cpu.Block_table.t
+(** Store a freshly protected image (artifact + verified-edge block
+    table) the way the engine's cold path does; returns the ciphertext
+    MAC tag and the table. Shared with the one-shot [protect] CLI so
+    both populate the store identically. *)
+
 val queue_depth : t -> int
 val queue_depth_max : t -> int
 

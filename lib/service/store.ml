@@ -8,6 +8,8 @@ type entry = {
   memo_m : Mutex.t;
   mutable issues : int option;
   mutable mac : string option;
+  from_disk : bool;
+  mutable table : Sofia_cpu.Block_table.t option;
 }
 
 (* The full addressing triple. The table is keyed on this record —

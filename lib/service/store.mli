@@ -38,6 +38,14 @@ type entry = {
   memo_m : Mutex.t;  (** guards the two memoised fields below *)
   mutable issues : int option;  (** independent-verifier issue count, lazily filled *)
   mutable mac : string option;  (** ciphertext CBC-MAC digest, lazily filled *)
+  from_disk : bool;
+      (** rebuilt from the persistent tier: [image] is a
+          ciphertext-only reconstruction (no plaintext block views), so
+          derivations that need the source re-protect it first *)
+  mutable table : Sofia_cpu.Block_table.t option;
+      (** verified pre-decoded edge table, when the persistent tier
+          had (or the cold build produced) one — seeds the fast
+          engine's cache for simulate jobs *)
 }
 
 type key

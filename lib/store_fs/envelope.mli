@@ -1,0 +1,67 @@
+(** The sealed container every persistent-store entry lives in.
+
+    Three independent guards checked in order on every load — structure
+    (magic/version/kind/exact length arithmetic), integrity (CRC-32
+    over the body) and authenticity (CBC-MAC under the request's k2
+    over the whole file with the tag field zeroed, then a byte-for-byte
+    compare of the embedded source against the request's). A failure is
+    a typed {!failure}, never an exception and never partial payload
+    bytes: a bad envelope is a cache miss. See the layout comment in
+    [envelope.ml] and DESIGN.md §12. *)
+
+type kind = Artifact | Table
+
+val kind_tag : kind -> int
+val version : int
+val header_bytes : int
+
+type failure =
+  | Short
+  | Bad_magic
+  | Stale_envelope of int
+  | Bad_kind
+  | Stale_codec of int
+  | Nonce_mismatch
+  | Key_mismatch
+  | Length_mismatch
+  | Crc_mismatch
+  | Tag_mismatch
+  | Source_mismatch
+
+val failure_name : failure -> string
+
+val is_corrupt : failure -> bool
+(** [true] for failures that mean the file does not parse as anything
+    we ever wrote (torn, truncated, tampered); [false] for expected
+    operational misses (stale versions, aliasing). *)
+
+val fnv64 : ?basis:int64 -> string -> int64
+(** 64-bit FNV-1a; exposed for the store's filename derivation. *)
+
+val key_fp32 : Sofia_crypto.Keys.t -> int
+
+val encode :
+  ?envelope_version:int ->
+  kind:kind ->
+  codec_version:int ->
+  nonce:int ->
+  keys:Sofia_crypto.Keys.t ->
+  source:string ->
+  meta:Bytes.t ->
+  payload:Bytes.t ->
+  unit ->
+  Bytes.t
+(** [?envelope_version] exists solely so tests can mint stale-version
+    envelopes; production callers never pass it. *)
+
+type ok = { meta : Bytes.t; payload : Bytes.t }
+
+val decode :
+  kind:kind ->
+  codec_version:int ->
+  nonce:int ->
+  keys:Sofia_crypto.Keys.t ->
+  source:string ->
+  Bytes.t ->
+  (ok, failure) result
+(** Total: never raises, whatever the input bytes. *)

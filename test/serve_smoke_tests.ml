@@ -96,6 +96,16 @@ let test_pipe_mode_200 () =
       (sorted = List.init n (fun i -> i))
   end
 
+(* the op payload fields that must be equal across transports and
+   across processes (the scheduling metadata — seq/completion/
+   latency/ts — legitimately differs) *)
+let payload_keys = function
+  | Job.Protect _ -> [ "digest"; "text_bytes"; "blocks"; "status" ]
+  | Job.Verify _ -> [ "ok"; "issues"; "status" ]
+  | Job.Attest _ -> [ "digest"; "mac"; "ok"; "status" ]
+  | Job.Simulate _ -> [ "outcome"; "outputs"; "cycles"; "instructions"; "status" ]
+  | Job.Run_image _ -> [ "outcome"; "status" ]
+
 (* ---- socket mode ---- *)
 
 let wait_for pred =
@@ -165,16 +175,7 @@ let test_socket_mode_50 () =
     Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
     let lines = List.rev !lines in
     Alcotest.(check int) "one response per request" n (List.length lines);
-    (* byte-level equivalence with the sequential one-shot executor:
-       the op payload fields must match exactly (the scheduling
-       metadata — seq/completion/latency/ts — legitimately differs) *)
-    let payload_keys = function
-      | Job.Protect _ -> [ "digest"; "text_bytes"; "blocks"; "status" ]
-      | Job.Verify _ -> [ "ok"; "issues"; "status" ]
-      | Job.Attest _ -> [ "digest"; "mac"; "ok"; "status" ]
-      | Job.Simulate _ -> [ "outcome"; "outputs"; "cycles"; "instructions"; "status" ]
-      | Job.Run_image _ -> [ "outcome"; "status" ]
-    in
+    (* byte-level equivalence with the sequential one-shot executor *)
     List.iter
       (fun line ->
         let j =
@@ -231,9 +232,114 @@ let test_socket_client_disconnect () =
     Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
   end
 
+(* ---- cross-process warm restart over the persistent store ---- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* The same job mix through two *separate* server processes sharing one
+   --store-dir: run 2 must answer every request with identical payload
+   fields (the persistent tier re-verifies everything it serves) and
+   must report nonzero disk hits and zero corrupt entries in its
+   metrics document — a real warm start, not a silent re-protect. *)
+let test_warm_restart_across_processes () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let n = 40 in
+    let store_dir = Filename.temp_file "sofia_warm_store" "" in
+    Sys.remove store_dir;
+    let req_path = Filename.temp_file "sofia_warm" ".ndjson" in
+    let metrics1 = Filename.temp_file "sofia_warm_m1" ".json" in
+    let metrics2 = Filename.temp_file "sofia_warm_m2" ".json" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          [ req_path; metrics1; metrics2 ];
+        if Sys.file_exists store_dir then rm_rf store_dir)
+      (fun () ->
+        let oc = open_out req_path in
+        for i = 0 to n - 1 do
+          output_string oc (Json.to_string (Job.request_to_json (request i)));
+          output_char oc '\n'
+        done;
+        close_out oc;
+        let run_once metrics_path =
+          let cmd =
+            Printf.sprintf
+              "%s serve --stdin --workers 2 --store-dir %s --json %s < %s 2>/dev/null"
+              (Filename.quote cli) (Filename.quote store_dir) (Filename.quote metrics_path)
+              (Filename.quote req_path)
+          in
+          let ic = Unix.open_process_in cmd in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> ());
+          let status = Unix.close_process_in ic in
+          Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0);
+          List.rev !lines
+        in
+        let pick_fields line =
+          match Json.parse_opt line with
+          | None -> Alcotest.failf "response is not JSON: %s" line
+          | Some j ->
+            let id =
+              match Json.member "id" j with
+              | Some (Json.Str s) -> s
+              | _ -> Alcotest.failf "response lacks id: %s" line
+            in
+            let req = request (int_of_string (String.sub id 4 3)) in
+            (id, List.map (fun k -> (k, Json.member k j)) (payload_keys req.Job.spec))
+        in
+        let cold = run_once metrics1 in
+        let warm = run_once metrics2 in
+        Alcotest.(check int) "cold answered all" n (List.length cold);
+        Alcotest.(check int) "warm answered all" n (List.length warm);
+        let by_id = Hashtbl.create n in
+        List.iter
+          (fun line ->
+            let id, fields = pick_fields line in
+            Hashtbl.replace by_id id fields)
+          cold;
+        List.iter
+          (fun line ->
+            let id, fields = pick_fields line in
+            match Hashtbl.find_opt by_id id with
+            | None -> Alcotest.failf "warm run answered unknown id %s" id
+            | Some cold_fields ->
+              if fields <> cold_fields then
+                Alcotest.failf "%s: warm payload differs from cold run" id)
+          warm;
+        (* the warm process must have actually served from disk *)
+        let metrics_doc =
+          let ic = open_in metrics2 in
+          let s = In_channel.input_all ic in
+          close_in ic;
+          match Json.parse_opt s with
+          | Some j -> j
+          | None -> Alcotest.fail "warm metrics document is not JSON"
+        in
+        let disk_counter name =
+          match Option.bind (Json.member "disk" metrics_doc) (Json.member name) with
+          | Some (Json.Int v) -> v
+          | _ -> Alcotest.failf "warm metrics lack disk.%s" name
+        in
+        Alcotest.(check bool) "warm run hit the disk store" true (disk_counter "hits" > 0);
+        Alcotest.(check int) "no corrupt entries" 0 (disk_counter "corrupt"))
+  end
+
 let suite =
   [
     Alcotest.test_case "pipe mode, 200 mixed requests" `Slow test_pipe_mode_200;
+    Alcotest.test_case "warm restart across processes" `Slow
+      test_warm_restart_across_processes;
     Alcotest.test_case "socket mode, 50 mixed requests" `Slow test_socket_mode_50;
     Alcotest.test_case "socket client disconnect mid-stream" `Slow
       test_socket_client_disconnect;

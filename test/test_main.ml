@@ -29,4 +29,5 @@ let () =
       ("serve-smoke", Serve_smoke_tests.suite);
       ("fault", Fault_tests.suite);
       ("engine", Engine_tests.suite);
+      ("store-fs", Store_fs_tests.suite);
     ]

@@ -10,6 +10,12 @@
        [--floor NAME:RATIO]
                          require benchmark NAME to run at least RATIO
                          times *faster* than the baseline (repeatable)
+       [--warm-floor RATIO]
+                         validate the baseline's serve-warm-restart row
+                         (identical, all jobs done, nonzero disk hits,
+                         zero corrupt entries) and re-run a small warm
+                         restart live, requiring a warm/cold speedup of
+                         at least RATIO
 
    The gate is deliberately generous: Bechamel medians are stable to a
    few percent on an idle machine, so a 25% per-benchmark budget only
@@ -36,7 +42,7 @@ module J = Sofia.Obs.Json
 let usage () =
   prerr_endline
     "usage: bench_compare BASELINE.json [--runs N] [--tolerance PCT] [--normalize] \
-     [--floor NAME:RATIO]...";
+     [--floor NAME:RATIO]... [--warm-floor RATIO]";
   exit 2
 
 let read_file path =
@@ -82,7 +88,8 @@ let () =
   and runs = ref 3
   and tolerance = ref 25.0
   and normalize = ref false
-  and floors = ref [] in
+  and floors = ref []
+  and warm_floor = ref None in
   let rec parse = function
     | [] -> ()
     | "--runs" :: n :: rest ->
@@ -93,6 +100,9 @@ let () =
       parse rest
     | "--normalize" :: rest ->
       normalize := true;
+      parse rest
+    | "--warm-floor" :: r :: rest ->
+      warm_floor := Some (float_of_string r);
       parse rest
     | "--floor" :: spec :: rest ->
       (match String.rindex_opt spec ':' with
@@ -207,6 +217,60 @@ let () =
           Printf.printf "  %-34s missing from fresh run\n" name)
       (List.rev !floors)
   end;
+  (* Warm-restart gate (PR 6): the committed serve-warm-restart row
+     must claim a correct warm start (byte-identical responses, all
+     jobs done, the disk tier actually hit, nothing corrupt), and a
+     small fresh cold-vs-warm pair over one store directory must
+     reproduce at least the floored speedup. Catches both a stale
+     baseline and a persistent tier that quietly stopped serving. *)
+  let warm_failed = ref false in
+  (match !warm_floor with
+   | None -> ()
+   | Some ratio ->
+     Printf.printf "\nwarm-restart gate (floor %.2fx):\n%!" ratio;
+     let baseline_row =
+       let open J in
+       let experiments =
+         match member "experiments" baseline_json with Some (List l) -> l | _ -> []
+       in
+       match
+         List.find_opt (fun e -> member "id" e = Some (Str "service")) experiments
+       with
+       | None -> None
+       | Some svc ->
+         let rows = match member "rows" svc with Some (List l) -> l | _ -> [] in
+         List.find_opt (fun r -> member "name" r = Some (Str "serve-warm-restart")) rows
+     in
+     (match baseline_row with
+      | None ->
+        warm_failed := true;
+        Printf.printf "  baseline has no serve-warm-restart row\n"
+      | Some row ->
+        let bool_field n = J.member n row = Some (J.Bool true) in
+        let int_field n = match J.member n row with Some (J.Int v) -> v | _ -> 0 in
+        let row_ok =
+          bool_field "identical" && bool_field "all_done"
+          && int_field "disk_hits" > 0
+          && int_field "disk_corrupt" = 0
+        in
+        if not row_ok then warm_failed := true;
+        Printf.printf
+          "  baseline row: identical=%b all_done=%b disk_hits=%d disk_corrupt=%d%s\n"
+          (bool_field "identical") (bool_field "all_done") (int_field "disk_hits")
+          (int_field "disk_corrupt")
+          (if row_ok then "" else "  INVALID"));
+     let r = Sofia_benchlib.Bench_service.measure_restart ~clients:8 ~workers:2 () in
+     let open Sofia_benchlib.Bench_service in
+     let fresh_ok =
+       r.restart_speedup >= ratio && r.disk_hits > 0 && r.disk_corrupt = 0
+       && r.r_identical && r.r_all_done
+     in
+     if not fresh_ok then warm_failed := true;
+     Printf.printf
+       "  fresh restart: %.2fx (floor %.2fx), disk %d hits / %d corrupt, identical=%b \
+        all_done=%b%s\n"
+       r.restart_speedup ratio r.disk_hits r.disk_corrupt r.r_identical r.r_all_done
+       (if fresh_ok then "" else "  TOO SLOW OR INCORRECT"));
   (* Fault-coverage gate: a fresh pinned-seed campaign must detect
      100% of the in-model tamper classes with zero detection latency —
      a perf-motivated change that weakens the frontend (say, a MAC
@@ -238,6 +302,9 @@ let () =
        (String.concat ", " (List.rev names)));
   if !floor_failed then
     Printf.printf "FAIL: a benchmark missed its speedup floor\n";
+  if !warm_failed then
+    Printf.printf "FAIL: the warm-restart gate failed (stale baseline row or slow/incorrect \
+                   fresh restart)\n";
   if !fault_failed then
     Printf.printf "FAIL: an in-model tamper class escaped detection or detected late\n";
-  if !failed <> [] || !floor_failed || !fault_failed then exit 1
+  if !failed <> [] || !floor_failed || !fault_failed || !warm_failed then exit 1
