@@ -215,7 +215,273 @@ let pp_restart fmt (r : restart) =
     r.r_jobs r.r_workers r.cold_s r.warm_s r.restart_speedup r.disk_hits r.disk_misses
     r.disk_corrupt r.r_all_done r.r_identical
 
-let to_json ?restart (m : measurement) =
+(* ---- fleet mode: sharded multi-process serving (PR 7) ---- *)
+
+type shard_lat = { sh_shard : int; sh_jobs : int; sh_p50_ms : float; sh_p99_ms : float }
+
+type fleet = {
+  fl_jobs : int;
+  fl_children : int;
+  fl_serve_cold_s : float;  (** single-process [serve --stdin], first pass *)
+  fl_fleet_cold_s : float;  (** [fleet --stdin], same mix, first pass *)
+  fl_cold_ratio : float;
+  fl_serve_s : float;  (** serve, second pass: store warm — steady state *)
+  fl_fleet_s : float;  (** fleet, second pass: replay cache warm — steady state *)
+  fl_ratio : float;  (** steady-state serve_s / fleet_s — the gated floor *)
+  fl_all_done : bool;
+  fl_identical : bool;  (** fleet payloads byte-identical to serve's, both passes *)
+  fl_open_rate : float;  (** offered open-loop arrival rate, jobs/s *)
+  fl_open_done : bool;
+  fl_per_shard : shard_lat list;  (** open-loop latency split by serving shard *)
+}
+
+let mono = Sofia.Util.Clock.mono_s
+
+(* cloexec: the child must not inherit the parent ends, or it holds the
+   write side of its own stdin pipe and never sees EOF at shutdown *)
+let spawn_pipe cli args =
+  let r0, w0 = Unix.pipe ~cloexec:true () in
+  let r1, w1 = Unix.pipe ~cloexec:true () in
+  let pid = Unix.create_process cli (Array.of_list (cli :: args)) r0 w1 Unix.stderr in
+  Unix.close r0;
+  Unix.close w1;
+  (pid, Unix.out_channel_of_descr w0, Unix.in_channel_of_descr r1)
+
+(* One burst of the whole mix: a writer domain feeds while we drain, so
+   the pipe can never deadlock. Returns (response lines, seconds). The
+   caller pings first (see [measure_fleet]) so process/fleet start-up
+   never lands inside a measured burst. *)
+let run_mix ~oc ~ic lines =
+  let n = List.length lines in
+  let t0 = mono () in
+  let writer =
+    Domain.spawn (fun () ->
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines;
+        flush oc)
+  in
+  let responses = ref [] in
+  for _ = 1 to n do
+    responses := input_line ic :: !responses
+  done;
+  let dt = mono () -. t0 in
+  Domain.join writer;
+  (List.rev !responses, dt)
+
+(* id -> everything except scheduling metadata; what must agree between
+   single-process serve and the fleet, byte for byte *)
+let payload_map lines =
+  let volatile =
+    [ "seq"; "completion"; "attempts"; "worker"; "latency_ms"; "ts_unix"; "cached" ]
+  in
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun line ->
+      match J.parse_opt line with
+      | Some (J.Obj fields) ->
+        let id =
+          match List.assoc_opt "id" fields with Some (J.Str s) -> s | _ -> "?"
+        in
+        let kept = List.filter (fun (k, _) -> not (List.mem k volatile)) fields in
+        Hashtbl.replace tbl id (J.to_string (J.Obj kept))
+      | _ -> ())
+    lines;
+  tbl
+
+let maps_equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun id v ok -> ok && Hashtbl.find_opt b id = Some v)
+       a true
+
+let all_done_lines lines =
+  lines <> []
+  && List.for_all
+       (fun l ->
+         match Option.bind (J.parse_opt l) (J.member "status") with
+         | Some (J.Str "done") -> true
+         | _ -> false)
+       lines
+
+(* Open-loop arrival phase against the (already warm) fleet: requests
+   are paced at a fixed offered rate regardless of completion — the
+   arrival process a real provisioning front-end sees — and latency is
+   measured per response and attributed to the shard that served it
+   (the [worker] field of a fleet response is the shard id). *)
+let open_loop ~oc ~ic ~rate jobs_lines =
+  let n = List.length jobs_lines in
+  let send_t = Hashtbl.create (2 * n) in
+  let reader =
+    Domain.spawn (fun () -> List.init n (fun _ -> (mono (), input_line ic)))
+  in
+  let interval = 1.0 /. rate in
+  let start = mono () in
+  List.iteri
+    (fun i (id, line) ->
+      let target = start +. (float_of_int i *. interval) in
+      let now = mono () in
+      if target > now then Unix.sleepf (target -. now);
+      Hashtbl.replace send_t id (mono ());
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)
+    jobs_lines;
+  let received = Domain.join reader in
+  let per_shard = Hashtbl.create 8 in
+  let complete = ref 0 in
+  List.iter
+    (fun (t_recv, line) ->
+      match J.parse_opt line with
+      | Some (J.Obj fields) -> (
+        let id = match List.assoc_opt "id" fields with Some (J.Str s) -> s | _ -> "?" in
+        let shard =
+          match List.assoc_opt "worker" fields with Some (J.Int w) -> w | _ -> -1
+        in
+        (match List.assoc_opt "status" fields with
+         | Some (J.Str "done") -> incr complete
+         | _ -> ());
+        match Hashtbl.find_opt send_t id with
+        | Some t_send ->
+          let lat = (t_recv -. t_send) *. 1000.0 in
+          Hashtbl.replace per_shard shard
+            (lat :: Option.value ~default:[] (Hashtbl.find_opt per_shard shard))
+        | None -> ())
+      | _ -> ())
+    received;
+  let shards =
+    Hashtbl.fold
+      (fun shard lats acc ->
+        {
+          sh_shard = shard;
+          sh_jobs = List.length lats;
+          sh_p50_ms = percentile 50.0 lats;
+          sh_p99_ms = percentile 99.0 lats;
+        }
+        :: acc)
+      per_shard []
+    |> List.sort (fun a b -> compare a.sh_shard b.sh_shard)
+  in
+  (!complete = n, shards)
+
+(* The fleet-throughput row: the 603-job registry mix through a real
+   single-process [serve --stdin] and a real [fleet --stdin] (router +
+   children as separate OS processes), payloads byte-identical, wall
+   time compared cold and warm. Each process gets a ping handshake
+   (start-up excluded), one cold pass (engines compute), and one warm
+   pass — the steady state a long-running provisioning front-end lives
+   in, and the number the [--fleet-floor] gate holds: on a one-core box
+   the fleet's edge is the router's content-addressed replay cache,
+   which answers a duplicate in microseconds without burning a child
+   round-trip, where single-process serve still pays the full
+   parse → queue → worker → store → serialize path per duplicate. *)
+let measure_fleet ?(clients = 64) ?(children = 3) () =
+  match Sofia.Fleet.Child.find_cli () with
+  | None -> None
+  | Some cli ->
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let jobs = Sofia.Service_load.registry_jobs ~clients () in
+    let n = List.length jobs in
+    let lines = List.map (fun r -> J.to_string (Job.request_to_json r)) jobs in
+    let run args =
+      let pid, oc, ic = spawn_pipe cli args in
+      output_string oc "{\"id\":\"bench-warm\",\"op\":\"ping\"}\n";
+      flush oc;
+      ignore (input_line ic);
+      let cold = run_mix ~oc ~ic lines in
+      let warm = run_mix ~oc ~ic lines in
+      (pid, oc, ic, cold, warm)
+    in
+    let s_pid, s_oc, s_ic, (serve_cold, serve_cold_s), (serve_warm, serve_s) =
+      run [ "serve"; "--stdin" ]
+    in
+    close_out_noerr s_oc;
+    (try while true do ignore (input_line s_ic) done with End_of_file -> ());
+    close_in_noerr s_ic;
+    ignore (Unix.waitpid [] s_pid);
+    let f_pid, f_oc, f_ic, (fleet_cold, fleet_cold_s), (fleet_warm, fleet_s) =
+      run [ "fleet"; "--stdin"; "--children"; string_of_int children ]
+    in
+    (* the fleet is warm now: open-loop arrivals at ~70% of its
+       measured burst throughput, latency attributed per shard *)
+    let rate = Float.max 50.0 (0.7 *. (float_of_int n /. fleet_s)) in
+    let ol_jobs =
+      List.map2 (fun (j : Job.request) l -> (j.Job.id, l)) jobs lines
+    in
+    let open_done, per_shard = open_loop ~oc:f_oc ~ic:f_ic ~rate ol_jobs in
+    close_out_noerr f_oc;
+    (try while true do ignore (input_line f_ic) done with End_of_file -> ());
+    close_in_noerr f_ic;
+    ignore (Unix.waitpid [] f_pid);
+    Some
+      {
+        fl_jobs = n;
+        fl_children = children;
+        fl_serve_cold_s = serve_cold_s;
+        fl_fleet_cold_s = fleet_cold_s;
+        fl_cold_ratio = serve_cold_s /. fleet_cold_s;
+        fl_serve_s = serve_s;
+        fl_fleet_s = fleet_s;
+        fl_ratio = serve_s /. fleet_s;
+        fl_all_done =
+          all_done_lines serve_cold && all_done_lines fleet_cold
+          && all_done_lines serve_warm && all_done_lines fleet_warm;
+        fl_identical =
+          maps_equal (payload_map serve_cold) (payload_map fleet_cold)
+          && maps_equal (payload_map serve_warm) (payload_map fleet_warm)
+          && maps_equal (payload_map serve_cold) (payload_map serve_warm);
+        fl_open_rate = rate;
+        fl_open_done = open_done;
+        fl_per_shard = per_shard;
+      }
+
+let fleet_row (f : fleet) =
+  J.Obj
+    [
+      ("name", J.Str "fleet-throughput");
+      ("jobs", J.Int f.fl_jobs);
+      ("children", J.Int f.fl_children);
+      ("serve_cold_s", J.Float f.fl_serve_cold_s);
+      ("fleet_cold_s", J.Float f.fl_fleet_cold_s);
+      ("cold_speedup", J.Float f.fl_cold_ratio);
+      ("serve_s", J.Float f.fl_serve_s);
+      ("fleet_s", J.Float f.fl_fleet_s);
+      ("speedup", J.Float f.fl_ratio);
+      ("all_done", J.Bool f.fl_all_done);
+      ("identical", J.Bool f.fl_identical);
+      ("open_loop_rate", J.Float f.fl_open_rate);
+      ("open_loop_done", J.Bool f.fl_open_done);
+      ( "per_shard",
+        J.List
+          (List.map
+             (fun s ->
+               J.Obj
+                 [
+                   ("shard", J.Int s.sh_shard);
+                   ("jobs", J.Int s.sh_jobs);
+                   ("p50_ms", J.Float s.sh_p50_ms);
+                   ("p99_ms", J.Float s.sh_p99_ms);
+                 ])
+             f.fl_per_shard) );
+    ]
+
+let pp_fleet fmt (f : fleet) =
+  Format.fprintf fmt
+    "  fleet (%d jobs, %d children, real processes)@.\
+    \  cold pass:  serve %6.3f s   fleet %6.3f s   speedup %.2fx@.\
+    \  warm pass:  serve %6.3f s   fleet %6.3f s   speedup %.2fx  (gated)@.\
+    \  all done: %b   byte-identical payloads: %b   open-loop %.0f jobs/s done: %b@."
+    f.fl_jobs f.fl_children f.fl_serve_cold_s f.fl_fleet_cold_s f.fl_cold_ratio f.fl_serve_s
+    f.fl_fleet_s f.fl_ratio f.fl_all_done f.fl_identical f.fl_open_rate f.fl_open_done;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  shard %2d: %4d jobs   p50 %7.3f ms   p99 %7.3f ms@." s.sh_shard
+        s.sh_jobs s.sh_p50_ms s.sh_p99_ms)
+    f.fl_per_shard
+
+let to_json ?restart ?fleet (m : measurement) =
   J.Obj
     [
       ( "rows",
@@ -247,7 +513,8 @@ let to_json ?restart (m : measurement) =
                        m.per_op) );
               ];
           ]
-          @ match restart with Some r -> [ restart_row r ] | None -> []) );
+          @ (match restart with Some r -> [ restart_row r ] | None -> [])
+          @ match fleet with Some f -> [ fleet_row f ] | None -> []) );
       ("service_metrics", m.metrics);
     ]
 

@@ -495,7 +495,10 @@ let service () =
   let m = Sofia_benchlib.Bench_service.measure () in
   Format.printf "%a" Sofia_benchlib.Bench_service.pp m;
   let r = Sofia_benchlib.Bench_service.measure_restart () in
-  Format.printf "%a" Sofia_benchlib.Bench_service.pp_restart r
+  Format.printf "%a" Sofia_benchlib.Bench_service.pp_restart r;
+  match Sofia_benchlib.Bench_service.measure_fleet () with
+  | Some f -> Format.printf "%a" Sofia_benchlib.Bench_service.pp_fleet f
+  | None -> Format.printf "  fleet: skipped (sofia_cli binary not found; set SOFIA_CLI)@."
 
 (* ------------------------------------------------------------------ *)
 (* fault: the lib/fault campaign (detection coverage + recovery)       *)
@@ -657,7 +660,13 @@ let json_service () =
     "  [json] warm restart: %.2fx over cold, %d disk hits / %d corrupt, in %.1f s@."
     r.Sofia_benchlib.Bench_service.restart_speedup r.Sofia_benchlib.Bench_service.disk_hits
     r.Sofia_benchlib.Bench_service.disk_corrupt rwall;
-  match Sofia_benchlib.Bench_service.to_json ~restart:r m with
+  let fleet, fwall = timed (fun () -> Sofia_benchlib.Bench_service.measure_fleet ()) in
+  (match fleet with
+  | Some f ->
+    Format.printf "  [json] fleet: %.2fx over single-process serve, in %.1f s@."
+      f.Sofia_benchlib.Bench_service.fl_ratio fwall
+  | None -> Format.printf "  [json] fleet: skipped (sofia_cli binary not found)@.");
+  match Sofia_benchlib.Bench_service.to_json ~restart:r ?fleet m with
   | J.Obj fields -> J.Obj (("id", J.Str "service") :: ("wall_time_s", J.Float wall) :: fields)
   | j -> j
 

@@ -502,6 +502,85 @@ let service_config workers queue backpressure store retries deadline ks_cache en
     store_budget
   }
 
+(* Test-only hooks behind the fleet fault campaign's compromised-child
+   scenarios: a child can be told to skew its wall clock, lie about
+   digests, or die on a poison job. All default off; the fleet router
+   passes them per shard via its child_extra_args hook. *)
+
+let shard_arg =
+  Arg.(value & opt int (-1) & info [ "shard" ] ~docv:"K"
+         ~doc:"Fleet shard id, reported in ping responses and metrics (set by the \
+               fleet router; -1 outside a fleet).")
+
+let test_wall_skew_arg =
+  Arg.(value & opt float 0.0 & info [ "test-wall-skew" ] ~docv:"SECONDS"
+         ~doc:"TEST HOOK: skew the engine's wall clock by $(docv). Deadlines use the \
+               monotonic clock, so jobs must still complete — the fleet fault campaign \
+               pins exactly that.")
+
+let test_flip_digest_arg =
+  Arg.(value & flag & info [ "test-flip-digest" ]
+         ~doc:"TEST HOOK: flip every hex digit of protect/attest digests — a child \
+               lying about content hashes. The fleet router's audit vote must catch \
+               and quarantine it.")
+
+let test_exit_arg =
+  Arg.(value & opt (some string) None & info [ "test-exit" ] ~docv:"MARKER"
+         ~doc:"TEST HOOK: exit(42) when a job's source contains $(docv) — a poison job \
+               that kills whichever child it is dispatched to.")
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  n > 0
+  &&
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let spec_text = function
+  | Job.Protect { source } | Job.Verify { source } | Job.Attest { source }
+  | Job.Simulate { source; _ } ->
+    source
+  | Job.Run_image { path } -> path
+  | Job.Ping -> ""
+
+let flip_hex s =
+  String.map
+    (function
+      | '0' .. '9' as c -> Char.chr (Char.code '9' - (Char.code c - Char.code '0'))
+      | 'a' .. 'f' as c -> Char.chr (Char.code 'f' - (Char.code c - Char.code 'a'))
+      | c -> c)
+    s
+
+let flip_digest_mangle (r : Job.response) =
+  match r.Job.status with
+  | Job.Done (Job.Protected { text_bytes; expansion; blocks; digest; cached }) ->
+    { r with
+      Job.status =
+        Job.Done
+          (Job.Protected
+             { text_bytes; expansion; blocks; digest = flip_hex digest; cached }) }
+  | Job.Done (Job.Attested { digest; mac; issues; cached }) ->
+    { r with
+      Job.status = Job.Done (Job.Attested { digest = flip_hex digest; mac; issues; cached })
+    }
+  | _ -> r
+
+let apply_test_hooks config ~shard ~wall_skew ~flip_digest ~exit_marker =
+  { config with
+    Engine.shard;
+    wall_clock =
+      (if wall_skew = 0.0 then config.Engine.wall_clock
+       else Some (fun () -> Unix.gettimeofday () +. wall_skew));
+    mangle = (if flip_digest then Some flip_digest_mangle else config.Engine.mangle);
+    fault =
+      (match exit_marker with
+       | None -> config.Engine.fault
+       | Some m ->
+         Some
+           (fun req ~attempt:_ ->
+             if contains ~needle:m (spec_text req.Job.spec) then exit 42))
+  }
+
 let emit_service_metrics engine ~metrics ~json_out =
   let doc = Engine.metrics_json engine in
   (match json_out with
@@ -515,11 +594,12 @@ let emit_service_metrics engine ~metrics ~json_out =
 
 let serve_cmd =
   let run use_stdin socket once workers queue backpressure store retries deadline ks_cache
-      engine metrics json_out store_dir store_budget =
+      engine metrics json_out store_dir store_budget shard wall_skew flip_digest exit_marker =
     let config =
       service_config workers queue backpressure store retries deadline ks_cache engine
         store_dir store_budget
     in
+    let config = apply_test_hooks config ~shard ~wall_skew ~flip_digest ~exit_marker in
     (* a client vanishing mid-response must reach us as EPIPE, not kill
        the process mid-write *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -562,10 +642,149 @@ let serve_cmd =
        ~doc:"Serve protect/verify/simulate/attest jobs over newline-delimited JSON")
     Term.(const run $ use_stdin $ socket $ once $ workers_arg $ queue_arg $ backpressure_arg
           $ store_arg $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg
-          $ json_out_arg $ store_dir_arg $ store_budget_arg)
+          $ json_out_arg $ store_dir_arg $ store_budget_arg $ shard_arg $ test_wall_skew_arg
+          $ test_flip_digest_arg $ test_exit_arg)
+
+(* ---- fleet: N serve children behind the sharding router ---- *)
+
+let fleet_cmd =
+  let module R = Sofia.Fleet.Router in
+  let run use_stdin socket children workers queue window audit_every no_replay
+      hang_timeout_ms breaker deadline engine store_dir store_budget socket_dir metrics
+      json_out =
+    if children < 1 then or_die (Error (Printf.sprintf "--children must be >= 1 (got %d)" children));
+    if queue < 1 then or_die (Error (Printf.sprintf "--queue must be >= 1 (got %d)" queue));
+    if window < 1 then or_die (Error (Printf.sprintf "--window must be >= 1 (got %d)" window));
+    let cfg =
+      { R.default_config with
+        R.children;
+        workers;
+        queue;
+        window = min window queue;
+        audit_every;
+        replay = not no_replay;
+        hang_timeout_ms;
+        breaker_threshold = breaker;
+        default_deadline_ms = deadline;
+        engine =
+          Some (match engine with Sofia.Cpu.Run_config.Fast -> "fast" | _ -> "ref");
+        store_dir;
+        store_budget;
+        socket_dir;
+        cli = Some Sys.executable_name;
+        on_event =
+          (* shard lifecycle on stderr: the fleet smoke and bench
+             harnesses parse these for readiness and for pids to kill *)
+          Some
+            (function
+              | R.Child_up (k, pid) -> Format.eprintf "fleet: shard %d up (pid %d)@." k pid
+              | R.Child_down (k, reason) ->
+                Format.eprintf "fleet: shard %d down: %s@." k reason
+              | R.Client_response _ -> ())
+      }
+    in
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let stats, doc =
+      match (use_stdin, socket) with
+      | true, Some _ | false, None ->
+        or_die (Error "pick exactly one of --stdin and --socket PATH")
+      | true, None -> R.run ~signals:true cfg ~client_in:Unix.stdin ~client_out:Unix.stdout
+      | false, Some path ->
+        (* one client connection at a time, like serve --socket --once *)
+        (try Wire.prepare_socket_path path with Wire.Bind_error m -> or_die (Error m));
+        let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind srv (Unix.ADDR_UNIX path);
+        Unix.listen srv 1;
+        Format.eprintf "fleet: listening on %s@." path;
+        let cfd, _ = Unix.accept srv in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close cfd with Unix.Unix_error _ -> ());
+            (try Unix.close srv with Unix.Unix_error _ -> ());
+            try Sys.remove path with Sys_error _ -> ())
+          (fun () -> R.run ~signals:true cfg ~client_in:cfd ~client_out:cfd)
+    in
+    Format.eprintf
+      "fleet: %d received (%d malformed), %d done, %d rejected, %d timed out, %d failed; \
+       %d replayed, %d audited, %d deaths, %d restarts, %d quarantined%s@."
+      stats.R.received stats.R.malformed stats.R.done_ stats.R.rejected stats.R.timed_out
+      stats.R.failed stats.R.replays stats.R.audits stats.R.deaths stats.R.restarts
+      stats.R.quarantines
+      (if stats.R.interrupted then "; drained after signal" else "");
+    (match json_out with
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> Sofia.Obs.Json.output oc doc)
+     | None -> ());
+    if metrics then prerr_endline (Sofia.Obs.Json.to_string doc);
+    if stats.R.interrupted then exit 0;
+    if
+      not
+        (R.conserved stats && stats.R.malformed = 0 && stats.R.rejected = 0
+        && stats.R.timed_out = 0 && stats.R.failed = 0)
+    then exit 1
+  in
+  let use_stdin =
+    Arg.(value & flag & info [ "stdin" ]
+           ~doc:"Pipe mode: NDJSON requests on standard input, responses on standard \
+                 output, graceful fleet drain at EOF.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) and serve one connection.")
+  in
+  let children =
+    Arg.(value & opt int 3 & info [ "children" ] ~docv:"N"
+           ~doc:"Shard children (each a real $(b,serve --socket --once) process).")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Engine worker domains per child.")
+  in
+  let window =
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"N"
+           ~doc:"Max in-flight jobs per child (clamped to the child queue capacity, so \
+                 the router can never deadlock against a full child).")
+  in
+  let audit_every =
+    Arg.(value & opt int 16 & info [ "audit-every" ] ~docv:"N"
+           ~doc:"Shadow-dispatch every $(docv)th distinct job to a second shard and \
+                 compare response content hashes; a child caught lying is quarantined \
+                 by majority vote. 0 disables auditing.")
+  in
+  let no_replay =
+    Arg.(value & flag & info [ "no-replay" ]
+           ~doc:"Disable the router's content-keyed response replay cache (every \
+                 duplicate job is dispatched to its shard).")
+  in
+  let hang_timeout =
+    Arg.(value & opt int 5000 & info [ "hang-timeout-ms" ] ~docv:"MS"
+           ~doc:"Watchdog: a child owing traffic but silent for $(docv) is killed and \
+                 restarted, its in-flight jobs redispatched. 0 disables.")
+  in
+  let breaker =
+    Arg.(value & opt int 3 & info [ "breaker" ] ~docv:"N"
+           ~doc:"Circuit breaker: quarantine a child after $(docv) consecutive deaths \
+                 and re-shed its traffic to healthy shards. 0 disables.")
+  in
+  let socket_dir =
+    Arg.(value & opt (some string) None & info [ "socket-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the child sockets (default: a fresh temp dir, removed \
+                 on exit).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Serve jobs through N serve child processes sharded by image content hash, \
+             with crash-restart, hang-kill, circuit-breaker and response-audit \
+             supervision at the router")
+    Term.(const run $ use_stdin $ socket $ children $ workers $ queue_arg $ window
+          $ audit_every $ no_replay $ hang_timeout $ breaker $ deadline_arg $ engine_arg
+          $ store_dir_arg $ store_budget_arg $ socket_dir $ metrics_arg $ json_out_arg)
 
 let batch_cmd =
-  let run file clients workers queue backpressure store retries deadline ks_cache engine
+  let run file clients dump workers queue backpressure store retries deadline ks_cache engine
       metrics json_out store_dir store_budget =
     let config =
       service_config workers queue backpressure store retries deadline ks_cache engine
@@ -592,6 +811,14 @@ let batch_cmd =
       end
     in
     if jobs = [] then or_die (Error (file ^ ": no valid jobs"));
+    if dump then begin
+      (* emit the resolved job list as NDJSON and stop: the standard way
+         to materialize @registry as a wire-ready input for serve/fleet *)
+      List.iter
+        (fun r -> print_endline (Sofia.Obs.Json.to_string (Job.request_to_json r)))
+        jobs;
+      exit 0
+    end;
     let t0 = Unix.gettimeofday () in
     let responses, engine = Engine.run_batch config jobs in
     let dt = Unix.gettimeofday () -. t0 in
@@ -626,16 +853,21 @@ let batch_cmd =
            ~doc:"With @registry: number of duplicate protect requests per workload \
                  (models a fleet re-requesting the same release image).")
   in
+  let dump =
+    Arg.(value & flag & info [ "dump" ]
+           ~doc:"Print the resolved job list as NDJSON requests (one per line) instead of \
+                 running it — pipe into $(b,serve --stdin) or $(b,fleet --stdin).")
+  in
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a job file through the service engine and print responses")
-    Term.(const run $ file $ clients $ workers_arg $ queue_arg $ backpressure_arg $ store_arg
+    Term.(const run $ file $ clients $ dump $ workers_arg $ queue_arg $ backpressure_arg $ store_arg
           $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg $ json_out_arg
           $ store_dir_arg $ store_budget_arg)
 
 (* ---- campaign: the full-pipeline fault-injection sweep ---- *)
 
 let campaign_cmd =
-  let run trials seed workloads classes no_service engine json_out =
+  let run trials seed workloads classes no_service no_fleet engine json_out =
     let module C = Sofia.Fault.Campaign in
     let module S = Sofia.Fault.Site in
     if trials < 1 then or_die (Error (Printf.sprintf "--trials must be >= 1 (got %d)" trials));
@@ -671,7 +903,8 @@ let campaign_cmd =
              names)
     in
     let report =
-      C.run ~classes ~with_service:(not no_service) ?workloads ~engine ~trials ~seed ()
+      C.run ~classes ~with_service:(not no_service) ~with_fleet:(not no_fleet) ?workloads
+        ~engine ~trials ~seed ()
     in
     Format.printf "%a" C.pp report;
     (match json_out with
@@ -708,12 +941,18 @@ let campaign_cmd =
            ~doc:"Skip the service-level fault scenarios (worker crash/hang, clock skew, \
                  wire corruption, store tamper, circuit breaker).")
   in
+  let no_fleet =
+    Arg.(value & flag & info [ "no-fleet" ]
+           ~doc:"Skip the fleet-scope fault scenarios (child kill/hang, per-shard clock \
+                 skew, router wire corruption, digest-lying child, process breaker, \
+                 shard store poison) — each spawns a real multi-process fleet.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Sweep seeded faults over every layer and print the detection-coverage matrix; \
              exits nonzero if any in-model tamper escapes or a recovery scenario fails")
-    Term.(const run $ trials $ seed $ workloads $ classes $ no_service $ engine_arg
-          $ json_out_arg)
+    Term.(const run $ trials $ seed $ workloads $ classes $ no_service $ no_fleet
+          $ engine_arg $ json_out_arg)
 
 (* ---- table1 ---- *)
 
@@ -735,4 +974,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "sofia_cli" ~doc)
           [ assemble_cmd; cfg_cmd; compile_cmd; protect_cmd; verify_cmd; run_cmd; run_image_cmd;
-            serve_cmd; batch_cmd; gadgets_cmd; faults_cmd; campaign_cmd; table1_cmd ]))
+            serve_cmd; fleet_cmd; batch_cmd; gadgets_cmd; faults_cmd; campaign_cmd;
+            table1_cmd ]))

@@ -41,6 +41,7 @@ module Provision = Provision
 module Service = Sofia_service
 module Store_fs = Sofia_store_fs
 module Fault = Sofia_fault
+module Fleet = Sofia_fleet
 
 (** One-stop protection pipeline: assemble → CFG → transform →
     MAC-then-Encrypt. *)

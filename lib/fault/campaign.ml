@@ -652,11 +652,500 @@ let service_checks workloads =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Fleet-scope scenarios (PR 7): the same failure wall, one level up.  *)
+(* Every scenario drives a REAL fleet — N sofia_cli serve child        *)
+(* processes behind the sharding router — and asserts the PR 4 service *)
+(* verdicts at process scope: detected, recovered, terminal counters   *)
+(* conserved across the whole fleet. Details are engine-independent    *)
+(* (booleans and exact-by-construction counts only), so the campaign   *)
+(* JSON stays byte-identical across --engine fast/ref.                 *)
+(* ------------------------------------------------------------------ *)
+
+module FR = Sofia_fleet.Router
+module FC = Sofia_fleet.Child
+module FS = Sofia_fleet.Shard
+
+(* Feed the router from a temp file and collect its responses in
+   another: no pipe-buffer write deadlock is possible at any job count,
+   and the output survives for line-level inspection. *)
+let fleet_run ?(children = 3) ?(window = 32) ?(audit_every = 0) ?(replay = true)
+    ?(probe_interval_ms = 100) ?(hang_timeout_ms = 5_000) ?(breaker = 3)
+    ?(redispatch_limit = 2) ?store_dir ?deadline_ms ?child_extra_args ?on_event ~cli
+    lines =
+  let in_path = Filename.temp_file "sofia_fleet" ".ndjson" in
+  let out_path = Filename.temp_file "sofia_fleet" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove in_path with Sys_error _ -> ());
+      try Sys.remove out_path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      let cin = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+      let cout = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let cfg =
+        {
+          FR.default_config with
+          FR.children;
+          window;
+          audit_every;
+          replay;
+          probe_interval_ms;
+          hang_timeout_ms;
+          breaker_threshold = breaker;
+          redispatch_limit;
+          store_dir;
+          default_deadline_ms = deadline_ms;
+          cli = Some cli;
+          child_extra_args;
+          on_event;
+        }
+      in
+      let stats, doc =
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close cin with Unix.Unix_error _ -> ());
+            try Unix.close cout with Unix.Unix_error _ -> ())
+          (fun () -> FR.run cfg ~client_in:cin ~client_out:cout)
+      in
+      let responses = ref [] in
+      let ic = open_in out_path in
+      (try
+         while true do
+           match J.parse_opt (input_line ic) with
+           | Some j -> responses := j :: !responses
+           | None -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (List.rev !responses, stats, doc))
+
+let r_str k j = match J.member k j with Some (J.Str s) -> Some s | _ -> None
+let r_status j = Option.value ~default:"?" (r_str "status" j)
+let fr_all_done rs = rs <> [] && List.for_all (fun j -> r_status j = "done") rs
+
+(* zero lost AND zero duplicated: every id answered exactly once *)
+let fr_ids_once ids rs =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun j ->
+      match r_str "id" j with
+      | Some id -> Hashtbl.replace seen id (1 + Option.value ~default:0 (Hashtbl.find_opt seen id))
+      | None -> ())
+    rs;
+  List.for_all (fun id -> Hashtbl.find_opt seen id = Some 1) ids
+  && Hashtbl.length seen = List.length ids
+
+let fr_protect_jobs ?(prefix = "f") source n =
+  List.init n (fun i ->
+      Job.make ~id:(Printf.sprintf "%s-%d" prefix i) ~nonce:(i + 1) (Job.Protect { source }))
+
+let fr_lines jobs = List.map (fun r -> J.to_string (Job.request_to_json r)) jobs
+
+(* build [want] jobs whose shard satisfies [pred], by scanning the
+   nonce space: the route is a pure function of the request content
+   (the id is excluded from the route key), so pinning a job to — or
+   away from — a shard is exact, not probabilistic. Disjoint
+   predicates over the same source draw from disjoint nonce sets, so
+   the content keys never collide. *)
+let fr_pinned_jobs ~children ~pred ~prefix source want =
+  let rec go acc n nonce =
+    if n = want || nonce > 254 then List.rev acc
+    else
+      let j =
+        Job.make ~id:(Printf.sprintf "%s-%d" prefix n) ~nonce (Job.Protect { source })
+      in
+      if pred (FS.route ~shards:children j) then go (j :: acc) (n + 1) (nonce + 1)
+      else go acc n (nonce + 1)
+  in
+  go [] 0 1
+
+(* the shard the routing map loads most, for a given job list *)
+let fr_busiest ~children jobs =
+  let counts = Array.make children 0 in
+  List.iter
+    (fun j ->
+      let k = FS.route ~shards:children j in
+      counts.(k) <- counts.(k) + 1)
+    jobs;
+  let best = ref 0 in
+  Array.iteri (fun k c -> if c > counts.(!best) then best := k) counts;
+  !best
+
+(* kill -9 a child mid-stream: the router must detect the death, spawn
+   a replacement, redispatch the orphans, and deliver every job exactly
+   once — fleet-scope sc_worker_crash. *)
+let fsc_child_kill cli source =
+  let children = 3 in
+  let jobs = fr_protect_jobs ~prefix:"fk" source 24 in
+  let victim = fr_busiest ~children jobs in
+  let pids = Array.make children (-1) in
+  let killed = ref false in
+  let on_event = function
+    | FR.Child_up (k, pid) -> pids.(k) <- pid
+    | FR.Client_response n ->
+      if n >= 2 && not !killed then begin
+        killed := true;
+        try Unix.kill pids.(victim) Sys.sigkill with Unix.Unix_error _ -> ()
+      end
+    | FR.Child_down _ -> ()
+  in
+  let rs, st, _ = fleet_run ~children ~window:4 ~on_event ~cli (fr_lines jobs) in
+  let once = fr_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs in
+  let ok =
+    !killed && fr_all_done rs && once && st.FR.deaths >= 1 && st.FR.restarts >= 1
+    && FR.conserved st
+  in
+  {
+    name = "fleet_child_kill";
+    ok;
+    detail =
+      Printf.sprintf
+        "killed=%b all_done=%b answered_once=%b death_detected=%b restarted=%b conserved=%b"
+        !killed (fr_all_done rs) once (st.FR.deaths >= 1) (st.FR.restarts >= 1)
+        (FR.conserved st);
+  }
+
+(* SIGSTOP a child past the watchdog: silence with traffic owed must be
+   diagnosed as a hang, the child killed and replaced, its jobs
+   redispatched — fleet-scope sc_worker_hang, except a hung process
+   (unlike a hung domain) really is killed. *)
+let fsc_child_hang cli source =
+  let children = 3 in
+  let victim = 0 in
+  (* pin most of the traffic to the victim so it is guaranteed to owe
+     work when the SIGSTOP lands — a lightly-loaded victim could drain
+     before the stop and the watchdog would rightly stay silent *)
+  let on_v =
+    fr_pinned_jobs ~children ~pred:(fun k -> k = victim) ~prefix:"fh" source 12
+  in
+  let off_v =
+    fr_pinned_jobs ~children ~pred:(fun k -> k <> victim) ~prefix:"fho" source 4
+  in
+  let jobs = on_v @ off_v in
+  let pids = Array.make children (-1) in
+  let stopped = ref false in
+  let on_event = function
+    | FR.Child_up (k, pid) -> pids.(k) <- pid
+    | FR.Client_response n ->
+      if n >= 1 && not !stopped then begin
+        stopped := true;
+        try Unix.kill pids.(victim) Sys.sigstop with Unix.Unix_error _ -> ()
+      end
+    | FR.Child_down _ -> ()
+  in
+  let rs, st, _ =
+    fleet_run ~children ~window:4 ~hang_timeout_ms:400 ~on_event ~cli (fr_lines jobs)
+  in
+  let once = fr_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs in
+  let ok =
+    !stopped && fr_all_done rs && once && st.FR.hangs >= 1 && st.FR.restarts >= 1
+    && FR.conserved st
+  in
+  {
+    name = "fleet_child_hang";
+    ok;
+    detail =
+      Printf.sprintf
+        "stopped=%b all_done=%b answered_once=%b hang_detected=%b restarted=%b conserved=%b"
+        !stopped (fr_all_done rs) once (st.FR.hangs >= 1) (st.FR.restarts >= 1)
+        (FR.conserved st);
+  }
+
+(* One child's wall clock lies by +12h. Deadlines are monotonic, so
+   nothing may time out; the skewed timestamps must still appear in the
+   responses (proof the hook was live) — fleet-scope sc_clock_skew. *)
+let fsc_clock_skew cli source =
+  let children = 3 in
+  let skewed = 1 in
+  let jobs = fr_protect_jobs ~prefix:"fs" source 16 in
+  let routed_to_skewed =
+    List.exists (fun j -> FS.route ~shards:children j = skewed) jobs
+  in
+  let extra k = if k = skewed then [ "--test-wall-skew"; "43200" ] else [] in
+  let rs, st, _ =
+    fleet_run ~children ~deadline_ms:60_000 ~child_extra_args:extra ~cli (fr_lines jobs)
+  in
+  let horizon = Unix.gettimeofday () +. 21_600.0 in
+  let skew_visible =
+    List.exists
+      (fun j -> match J.member "ts_unix" j with
+        | Some (J.Float ts) -> ts > horizon
+        | Some (J.Int ts) -> float_of_int ts > horizon
+        | _ -> false)
+      rs
+  in
+  let ok =
+    routed_to_skewed && fr_all_done rs && st.FR.timed_out = 0 && skew_visible
+    && FR.conserved st
+  in
+  {
+    name = "fleet_clock_skew";
+    ok;
+    detail =
+      Printf.sprintf "all_done=%b timed_out=%d skew_visible=%b conserved=%b"
+        (fr_all_done rs) st.FR.timed_out skew_visible (FR.conserved st);
+  }
+
+(* Garbage on the client wire is answered by the router itself; the
+   children never see a byte that failed to parse — fleet-scope
+   sc_wire_corrupt. *)
+let fsc_wire_corrupt cli source =
+  let bad =
+    [
+      "this is not JSON at all";
+      "{\"id\":\"trunc\",\"op\":\"prot";
+      J.to_string
+        (J.Obj [ ("id", J.Str "badop"); ("op", J.Str "detonate"); ("source", J.Str source) ]);
+      J.to_string (J.Obj [ ("op", J.Str "protect"); ("source", J.Str source) ]);
+    ]
+  in
+  let jobs = fr_protect_jobs ~prefix:"fw" source 6 in
+  let rs, st, _ = fleet_run ~cli (bad @ fr_lines jobs) in
+  let answered = List.length rs in
+  let ok =
+    st.FR.received = 10 && st.FR.malformed = 4 && st.FR.submitted = 6 && st.FR.done_ = 6
+    && st.FR.deaths = 0 && answered = 10 && FR.conserved st
+  in
+  {
+    name = "fleet_wire_corrupt";
+    ok;
+    detail =
+      Printf.sprintf "received=%d malformed=%d done=%d answered=%d children_untouched=%b"
+        st.FR.received st.FR.malformed st.FR.done_ answered (st.FR.deaths = 0);
+  }
+
+(* A compromised child lies about every digest. With auditing on every
+   distinct key, the router's second opinion catches the first lie, the
+   third-shard vote convicts the liar, and the client only ever sees
+   digests that match the single-process oracle — the §13 claim that a
+   poisoned child cannot serve a wrong image. *)
+let fsc_digest_quarantine cli source =
+  let children = 3 in
+  let liar = 2 in
+  let jobs = fr_protect_jobs ~prefix:"fq" source 18 in
+  let routed_to_liar = List.exists (fun j -> FS.route ~shards:children j = liar) jobs in
+  let oracle = Hashtbl.create 32 in
+  let ors, _ = Engine.run_batch { Engine.default_config with Engine.workers = 1 } jobs in
+  List.iter
+    (fun (r : Job.response) ->
+      match r.Job.status with
+      | Job.Done (Job.Protected { digest; _ }) -> Hashtbl.replace oracle r.Job.id digest
+      | _ -> ())
+    ors;
+  let extra k = if k = liar then [ "--test-flip-digest" ] else [] in
+  let rs, st, _ =
+    fleet_run ~children ~audit_every:1 ~child_extra_args:extra ~cli (fr_lines jobs)
+  in
+  let digests_honest =
+    rs <> []
+    && List.for_all
+         (fun j ->
+           match (r_str "id" j, r_str "digest" j) with
+           | Some id, Some d -> Hashtbl.find_opt oracle id = Some d
+           | _ -> false)
+         rs
+  in
+  let ok =
+    routed_to_liar && fr_all_done rs && digests_honest && st.FR.digest_conflicts >= 1
+    && st.FR.quarantines >= 1 && FR.conserved st
+  in
+  {
+    name = "fleet_digest_quarantine";
+    ok;
+    detail =
+      Printf.sprintf
+        "all_done=%b digests_honest=%b lie_caught=%b liar_quarantined=%b conserved=%b"
+        (fr_all_done rs) digests_honest
+        (st.FR.digest_conflicts >= 1)
+        (st.FR.quarantines >= 1)
+        (FR.conserved st);
+  }
+
+(* A poison job kills whichever child executes it. Route stability
+   sends it back to the same shard until its incarnation budget is
+   spent; the third consecutive death trips the process-scope breaker,
+   the shard is quarantined, and its healthy traffic re-sheds and
+   completes — fleet-scope sc_breaker. window=1 keeps the cascade
+   deterministic: the poison always dies alone. *)
+let fsc_breaker_reshed cli source =
+  let children = 3 in
+  let marker = "FLEET-POISON-7" in
+  let poison =
+    Job.make ~id:"poison" ~nonce:97 (Job.Protect { source = source ^ "\n" ^ marker })
+  in
+  let pshard = FS.route ~shards:children poison in
+  (* half the healthy traffic pinned onto the poison's shard (so the
+     quarantine has live work to re-shed), half pinned elsewhere (so
+     the rest of the fleet visibly keeps serving through the cascade) *)
+  let on_p =
+    fr_pinned_jobs ~children ~pred:(fun k -> k = pshard) ~prefix:"fb" source 6
+  in
+  let off_p =
+    fr_pinned_jobs ~children ~pred:(fun k -> k <> pshard) ~prefix:"fbo" source 6
+  in
+  let jobs = on_p @ off_p in
+  let shares_shard = on_p <> [] in
+  let extra _ = [ "--test-exit"; marker ] in
+  let rs, st, _ =
+    fleet_run ~children ~window:1 ~breaker:3 ~redispatch_limit:2 ~child_extra_args:extra
+      ~cli
+      (fr_lines (poison :: jobs))
+  in
+  let poison_failed =
+    List.exists
+      (fun j -> r_str "id" j = Some "poison" && r_status j = "failed")
+      rs
+  in
+  let healthy_done =
+    List.for_all
+      (fun j -> r_str "id" j = Some "poison" || r_status j = "done")
+      rs
+    && List.length rs = 13
+  in
+  let ok =
+    shares_shard && poison_failed && healthy_done && st.FR.quarantines >= 1
+    && st.FR.deaths = 3 && st.FR.resheds >= 1 && FR.conserved st
+  in
+  {
+    name = "fleet_breaker_reshed";
+    ok;
+    detail =
+      Printf.sprintf
+        "poison_failed=%b healthy_done=%b breaker_tripped=%b deaths=%d reshed=%b conserved=%b"
+        poison_failed healthy_done
+        (st.FR.quarantines >= 1)
+        st.FR.deaths (st.FR.resheds >= 1) (FR.conserved st);
+  }
+
+(* Poison one shard's persistent store between fleet runs: the fresh
+   fleet must detect every tampered artifact (the poisoned child's
+   disk-corrupt counter moves), self-repair by re-protecting, and serve
+   digests identical to the clean run — fleet-scope
+   sc_disk_store_tamper. *)
+let fsc_store_poison cli source =
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_file "sofia_fleet_store" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let children = 3 in
+      let poisoned = 1 in
+      let jobs = fr_protect_jobs ~prefix:"fp" source 12 in
+      let routed =
+        List.exists (fun j -> FS.route ~shards:children j = poisoned) jobs
+      in
+      let digests rs =
+        List.filter_map
+          (fun j ->
+            match (r_str "id" j, r_str "digest" j) with
+            | Some id, Some d -> Some (id, d)
+            | _ -> None)
+          rs
+        |> List.sort compare
+      in
+      let rs1, st1, _ = fleet_run ~children ~store_dir:dir ~cli (fr_lines jobs) in
+      let shard_dir = Filename.concat dir (Printf.sprintf "shard-%d" poisoned) in
+      let tampered = ref 0 in
+      (if Sys.file_exists shard_dir && Sys.is_directory shard_dir then
+         Array.iter
+           (fun n ->
+             let p = Filename.concat shard_dir n in
+             if not (Sys.is_directory p) then begin
+               let ic = open_in_bin p in
+               let b = Bytes.create (in_channel_length ic) in
+               really_input ic b 0 (Bytes.length b);
+               close_in ic;
+               if Bytes.length b > 0 then begin
+                 let i = Bytes.length b / 2 in
+                 Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+                 let oc = open_out_bin p in
+                 output_bytes oc b;
+                 close_out oc;
+                 incr tampered
+               end
+             end)
+           (Sys.readdir shard_dir));
+      let rs2, st2, doc2 = fleet_run ~children ~store_dir:dir ~cli (fr_lines jobs) in
+      let corrupt_detected =
+        match J.member "children_metrics" doc2 with
+        | Some (J.List kids) ->
+          List.exists
+            (fun kid ->
+              J.member "shard" kid = Some (J.Int poisoned)
+              &&
+              match
+                Option.bind (J.member "metrics" kid) (fun m ->
+                    Option.bind (J.member "disk" m) (J.member "corrupt"))
+              with
+              | Some (J.Int n) -> n > 0
+              | _ -> false)
+            kids
+        | _ -> false
+      in
+      let stable = digests rs1 <> [] && digests rs1 = digests rs2 in
+      let ok =
+        routed && !tampered > 0 && fr_all_done rs1 && fr_all_done rs2 && stable
+        && corrupt_detected && FR.conserved st1 && FR.conserved st2
+      in
+      {
+        name = "fleet_store_poison";
+        ok;
+        detail =
+          Printf.sprintf
+            "all_done=%b tampered_detected=%b digests_stable=%b conserved=%b"
+            (fr_all_done rs1 && fr_all_done rs2)
+            corrupt_detected stable
+            (FR.conserved st1 && FR.conserved st2);
+      })
+
+let fleet_checks workloads =
+  match workloads with
+  | [] -> []
+  | (w0 : W.t) :: _ -> (
+    let source = w0.W.source in
+    match FC.find_cli () with
+    | None ->
+      [
+        {
+          name = "fleet";
+          ok = true;
+          detail = "skipped: sofia_cli binary not found (set SOFIA_CLI)";
+        };
+      ]
+    | Some cli ->
+      [
+        fsc_child_kill cli source;
+        fsc_child_hang cli source;
+        fsc_clock_skew cli source;
+        fsc_wire_corrupt cli source;
+        fsc_digest_quarantine cli source;
+        fsc_breaker_reshed cli source;
+        fsc_store_poison cli source;
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver, summaries, serialisation                                    *)
 (* ------------------------------------------------------------------ *)
 
 let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
-    ?(with_service = true) ?workloads ?(engine = Sofia_cpu.Run_config.Fast) ~trials ~seed () =
+    ?(with_service = true) ?with_fleet ?workloads ?(engine = Sofia_cpu.Run_config.Fast)
+    ~trials ~seed () =
+  (* the fleet wall rides with the service wall unless asked otherwise *)
+  let with_fleet = Option.value ~default:with_service with_fleet in
   let workloads =
     match workloads with Some ws -> ws | None -> Sofia_workloads.Registry.all ()
   in
@@ -672,7 +1161,10 @@ let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
           classes)
       workloads
   in
-  let service = if with_service then service_checks workloads else [] in
+  let service =
+    (if with_service then service_checks workloads else [])
+    @ (if with_fleet then fleet_checks workloads else [])
+  in
   { seed; trials_per_cell = trials; fuel; cells; service }
 
 (* one aggregated cell per class, over every workload *)

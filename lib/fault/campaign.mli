@@ -72,6 +72,7 @@ val run :
   ?fuel:int ->
   ?classes:Site.clazz list ->
   ?with_service:bool ->
+  ?with_fleet:bool ->
   ?workloads:Sofia_workloads.Workload.t list ->
   ?engine:Sofia_cpu.Run_config.engine ->
   trials:int ->
@@ -84,8 +85,14 @@ val run :
     ([fault:<workload>:<class>:<verdict>], value = latency or -1).
     [with_service] (default [true]) appends the seven service scenarios,
     which spawn real worker domains and take ~1 s of wall time.
-    [engine] (default [Fast]) selects the execution engine for every
-    simulated run; reports are byte-identical between engines. *)
+    [with_fleet] (default: [with_service]) additionally re-runs the
+    failure wall at fleet scope — seven scenarios that each spawn a
+    real [sofia_cli fleet] of child processes (kill -9, SIGSTOP past
+    the watchdog, clock skew, wire garbage, a digest-lying child, a
+    poison job tripping the process breaker, a poisoned shard store) —
+    and is skipped with a passing note when no sofia_cli binary can be
+    found. [engine] (default [Fast]) selects the execution engine for
+    every simulated run; reports are byte-identical between engines. *)
 
 val by_class : report -> cell list
 (** The matrix aggregated to one cell per class (workload ["*"]), in

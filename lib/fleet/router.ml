@@ -1,0 +1,1236 @@
+(* The fleet router: N `sofia_cli serve --socket --once` children behind
+   one single-threaded select loop that shards jobs by image content
+   hash (Shard.route), with PR 4's supervision machinery promoted one
+   level up — watchdog, crash-restart, circuit breaker and graceful
+   drain now act on whole processes, which (unlike OCaml domains) can
+   actually be killed.
+
+   Trust model (DESIGN §13): children are untrusted-but-supervised.
+   The router never constructs a payload itself — every byte of a
+   client-visible payload was produced by a child behind the full
+   MAC-before-anything-runnable pipeline — but it does hold children to
+   account: deterministic ops are content-keyed, duplicate answers are
+   replayed from a router-side cache (so one shard's lie cannot fan
+   out past its first victim), and a configurable audit sample
+   re-dispatches jobs to a second shard and compares response content
+   hashes, with a third-shard majority vote deciding which child lied.
+   A lying child is quarantined — killed, never restarted, its traffic
+   re-shed to healthy shards. *)
+
+module Job = Sofia_service.Job
+module J = Sofia_obs.Json
+module Obs = Sofia_obs.Obs
+module Event = Sofia_obs.Event
+module Clock = Sofia_util.Clock
+
+type event =
+  | Client_response of int  (** running count of client-visible job responses *)
+  | Child_up of int * int  (** shard, pid *)
+  | Child_down of int * string  (** shard, reason *)
+
+type config = {
+  children : int;
+  workers : int;
+  queue : int;
+  cli : string option;
+  socket_dir : string option;
+  store_dir : string option;
+  store_budget : int;
+  engine : string option;
+  default_deadline_ms : int option;
+  window : int;
+  replay : bool;
+  audit_every : int;
+  probe_interval_ms : int;
+  hang_timeout_ms : int;
+  breaker_threshold : int;
+  redispatch_limit : int;
+  connect_timeout_s : float;
+  child_extra_args : (int -> string list) option;
+  on_event : (event -> unit) option;
+}
+
+let default_config =
+  {
+    children = 3;
+    workers = 1;
+    queue = 64;
+    cli = None;
+    socket_dir = None;
+    store_dir = None;
+    store_budget = 0;
+    engine = None;
+    default_deadline_ms = None;
+    window = 32;
+    replay = true;
+    audit_every = 16;
+    probe_interval_ms = 250;
+    hang_timeout_ms = 5_000;
+    breaker_threshold = 3;
+    redispatch_limit = 2;
+    connect_timeout_s = 10.0;
+    child_extra_args = None;
+    on_event = None;
+  }
+
+type shard_stats = {
+  ss_shard : int;
+  mutable ss_routed : int;  (* primary dispatches sent to this shard *)
+  mutable ss_done : int;  (* client-visible done responses it served *)
+  mutable ss_deaths : int;
+  mutable ss_restarts : int;
+  mutable ss_hangs : int;
+  mutable ss_quarantined : bool;
+  mutable ss_lat_ms : float list;  (* router-observed, newest first *)
+}
+
+type stats = {
+  mutable received : int;
+  mutable malformed : int;
+  mutable submitted : int;
+  mutable done_ : int;
+  mutable rejected : int;
+  mutable timed_out : int;
+  mutable failed : int;
+  mutable replays : int;
+  mutable coalesced : int;
+  mutable audits : int;
+  mutable digest_conflicts : int;
+  mutable deaths : int;
+  mutable restarts : int;
+  mutable hangs : int;
+  mutable quarantines : int;
+  mutable resheds : int;
+  mutable interrupted : bool;
+  shards : shard_stats array;
+}
+
+let conserved s = s.submitted = s.done_ + s.rejected + s.timed_out + s.failed
+
+type kind =
+  | Primary
+  | Audit of string  (* internal id of the audited primary *)
+  | Tiebreak of string
+  | Probe
+
+type dispatch = {
+  d_iid : string;  (* internal wire id — the router renames jobs on the child hop *)
+  d_req : Job.request;  (* original request, client id inside *)
+  d_key : string;  (* content key; "" when not replayable *)
+  d_seq : int;
+  d_admit : float;  (* mono *)
+  d_kind : kind;
+  mutable d_tries : int;  (* child incarnations consumed *)
+  mutable d_shard : int;
+}
+
+(* A duplicate of an in-flight content key, parked until the primary
+   settles. *)
+type waiter = { w_id : string; w_seq : int; w_admit : float }
+
+(* One audited primary: both responses stashed until the verdict. *)
+type audit_state = {
+  a_primary : dispatch;
+  mutable a_p_fields : (string * J.t) list option;  (* rewritten, unemitted *)
+  mutable a_p_fp : string option;
+  mutable a_a_shard : int;
+  mutable a_a_fp : string option;
+  mutable a_t_shard : int;  (* tiebreak shard, -1 until needed *)
+  mutable a_abandoned : bool;  (* the audit died with its child *)
+}
+
+(* A settled done-response, pre-rendered for replay: the payload tail
+   (the expensive part — it carries the image summary) is serialized
+   once at fill time, and each replay only renders the nine small
+   metadata scalars. Byte-compatible with Job.response_to_line's field
+   order. *)
+type cached = {
+  t_op : string;
+  t_status : string;
+  t_worker : int;  (* origin shard, surfaced on every replay *)
+  t_ts : J.t;  (* origin ts_unix, replays keep it (provenance, not schedule) *)
+  t_tail : string;  (* ",\"k\":v,..." — payload fields, rendered; "" if none *)
+}
+
+type child_state = {
+  c : Child.proc;
+  cs : shard_stats;
+  mutable c_outstanding : (string, dispatch) Hashtbl.t;
+  c_queue : dispatch Queue.t;
+  mutable c_last_rx : float;
+  mutable c_consec_deaths : int;
+  mutable c_probe_out : bool;
+  mutable c_args : string list;
+}
+
+type t = {
+  cfg : config;
+  cli : string;
+  dir : string;
+  dir_created : bool;
+  stats : stats;
+  obs : Obs.t;
+  kids : child_state array;
+  cache : (string, cached) Hashtbl.t;  (* content key -> rendered template *)
+  memo : (string, string) Hashtbl.t;  (* raw request tail -> content key *)
+  waiters : (string, waiter list ref) Hashtbl.t;  (* key -> parked duplicates *)
+  audits : (string, audit_state) Hashtbl.t;  (* primary iid -> state *)
+  mutable next_seq : int;
+  mutable next_iid : int;
+  mutable completion : int;
+  mutable distinct_keys : int;  (* drives the audit sampling cadence *)
+  mutable settled : int;  (* client-visible job responses emitted *)
+  mutable client_eof : bool;
+  mutable client_gone : bool;
+  mutable stop : bool;
+  client_out : Unix.file_descr;
+  client_buf : Buffer.t;
+}
+
+let fire t e = match t.cfg.on_event with Some f -> f e | None -> ()
+
+let emit_obs t kind detail =
+  if Obs.tracing t.obs then Obs.emit t.obs (Event.Service_error { kind; detail })
+
+(* ---- client output ------------------------------------------------ *)
+
+(* Single-threaded full write: our NDJSON can tear only if the client
+   never reads it. A vanished client flips [client_gone]; jobs keep
+   settling internally so the terminal counters still conserve. *)
+let write_client t line =
+  if not t.client_gone then begin
+    let data = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length data in
+    let rec push off =
+      if off < len then
+        match Unix.write t.client_out data off (len - off) with
+        | n -> push (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+    in
+    try push 0
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      t.client_gone <- true
+  end
+
+(* ---- response JSON plumbing --------------------------------------- *)
+
+let volatile_fields = [ "id"; "seq"; "completion"; "attempts"; "worker"; "latency_ms"; "ts_unix" ]
+
+(* The content fingerprint of a response: every field except scheduling
+   metadata and the store-provenance bit. Two honest children answering
+   the same content key MUST agree on this (determinism end to end);
+   this is what the audit vote compares. *)
+let payload_fp fields =
+  let keep (k, _) = not (List.mem k volatile_fields || k = "cached") in
+  J.to_string (J.Obj (List.filter keep fields))
+
+let set_field fields k v =
+  if List.mem_assoc k fields then
+    List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) fields
+  else fields @ [ (k, v) ]
+
+let get_str fields k =
+  match List.assoc_opt k fields with Some (J.Str s) -> Some s | _ -> None
+
+let count_status t ss status latency_ms =
+  (match status with
+   | "done" ->
+     t.stats.done_ <- t.stats.done_ + 1;
+     (match ss with Some s -> s.ss_done <- s.ss_done + 1 | None -> ())
+   | "rejected" -> t.stats.rejected <- t.stats.rejected + 1
+   | "timed_out" -> t.stats.timed_out <- t.stats.timed_out + 1
+   | _ -> t.stats.failed <- t.stats.failed + 1);
+  (match ss with Some s -> s.ss_lat_ms <- latency_ms :: s.ss_lat_ms | None -> ());
+  t.settled <- t.settled + 1;
+  fire t (Client_response t.settled)
+
+(* Emit one client-visible response from template fields, rewriting the
+   per-request metadata. [shard_stats] attributes done-counts/latency to
+   the serving shard (None for router-origin verdicts and replays). *)
+let emit_from_fields t ~id ~seq ~admit ~attempts ~worker ~shard_stats fields =
+  let lat = (Clock.mono_s () -. admit) *. 1000.0 in
+  let fields =
+    set_field
+      (set_field
+         (set_field
+            (set_field
+               (set_field (set_field fields "id" (J.Str id)) "seq" (J.Int seq))
+               "completion" (J.Int t.completion))
+            "attempts" (J.Int attempts))
+         "worker" (J.Int worker))
+      "latency_ms" (J.Float lat)
+  in
+  t.completion <- t.completion + 1;
+  let status = Option.value ~default:"failed" (get_str fields "status") in
+  count_status t shard_stats status lat;
+  write_client t (J.to_string (J.Obj fields))
+
+let metadata_fields =
+  [ "id"; "op"; "status"; "seq"; "completion"; "attempts"; "worker"; "latency_ms"; "ts_unix" ]
+
+let make_cached ~worker fields =
+  let payload = List.filter (fun (k, _) -> not (List.mem k metadata_fields)) fields in
+  let tail =
+    match payload with
+    | [] -> ""
+    | _ ->
+      let s = J.to_string (J.Obj payload) in
+      "," ^ String.sub s 1 (String.length s - 2)
+  in
+  {
+    t_op = Option.value ~default:"?" (get_str fields "op");
+    t_status = Option.value ~default:"done" (get_str fields "status");
+    t_worker = worker;
+    t_ts = Option.value ~default:(J.Float 0.0) (List.assoc_opt "ts_unix" fields);
+    t_tail = tail;
+  }
+
+(* The replay fast path: serialize only the metadata head and splice the
+   pre-rendered payload tail — a duplicate costs microseconds, which is
+   where the fleet's throughput edge over a single-process serve comes
+   from on duplicate-heavy mixes. *)
+let emit_replay t ~id ~seq ~admit (c : cached) =
+  let lat = (Clock.mono_s () -. admit) *. 1000.0 in
+  let head =
+    J.to_string
+      (J.Obj
+         [ ("id", J.Str id); ("op", J.Str c.t_op); ("status", J.Str c.t_status);
+           ("seq", J.Int seq); ("completion", J.Int t.completion); ("attempts", J.Int 0);
+           ("worker", J.Int c.t_worker); ("latency_ms", J.Float lat); ("ts_unix", c.t_ts) ])
+  in
+  t.completion <- t.completion + 1;
+  t.stats.replays <- t.stats.replays + 1;
+  count_status t None c.t_status lat;
+  write_client t (String.sub head 0 (String.length head - 1) ^ c.t_tail ^ "}")
+
+(* A verdict the router itself must hand down (no healthy shard, a job
+   that kills every child it touches, an unresolved integrity conflict).
+   Honest failure, standard wire schema. *)
+let emit_router_failure t ~id ~op ~seq ~admit msg =
+  let resp =
+    {
+      Job.id;
+      op;
+      seq;
+      completion = t.completion;
+      attempts = 0;
+      worker = -1;
+      latency_ms = (Clock.mono_s () -. admit) *. 1000.0;
+      ts = Clock.wall_s ();
+      status = Job.Failed msg;
+    }
+  in
+  t.completion <- t.completion + 1;
+  count_status t None "failed" resp.Job.latency_ms;
+  write_client t (Job.response_to_line resp)
+
+(* ---- shard selection ---------------------------------------------- *)
+
+let healthy t k = not t.kids.(k).cs.ss_quarantined
+
+let healthy_count t =
+  Array.fold_left (fun n k -> if k.cs.ss_quarantined then n else n + 1) 0 t.kids
+
+(* Content-hash routing with quarantine fallback: a quarantined home
+   shard re-sheds deterministically to the next healthy one (scanning
+   up), so even degraded routing stays a pure function of (request,
+   quarantine set). *)
+let effective_shard t req =
+  let n = Array.length t.kids in
+  let s0 = Shard.route ~shards:n req in
+  if healthy t s0 then Some s0
+  else begin
+    let rec scan i = if i = n then None
+      else if healthy t ((s0 + i) mod n) then Some ((s0 + i) mod n)
+      else scan (i + 1)
+    in
+    match scan 1 with
+    | Some s ->
+      t.stats.resheds <- t.stats.resheds + 1;
+      Some s
+    | None -> None
+  end
+
+let next_healthy_excluding t ~avoid =
+  let n = Array.length t.kids in
+  let rec scan i =
+    if i = n then None
+    else if (not (List.mem i avoid)) && healthy t i then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* ---- child spawn / args ------------------------------------------- *)
+
+let child_args t k =
+  let sock = Filename.concat t.dir (Printf.sprintf "shard-%d.sock" k) in
+  let base =
+    [
+      "serve"; "--socket"; sock; "--once"; "--shard"; string_of_int k;
+      "--workers"; string_of_int t.cfg.workers;
+      "--queue"; string_of_int t.cfg.queue;
+      "--json"; Filename.concat t.dir (Printf.sprintf "metrics-%d.json" k);
+    ]
+  in
+  let engine = match t.cfg.engine with Some e -> [ "--engine"; e ] | None -> [] in
+  let store =
+    match t.cfg.store_dir with
+    | Some d ->
+      [ "--store-dir"; Filename.concat d (Printf.sprintf "shard-%d" k) ]
+      @ (if t.cfg.store_budget > 0 then [ "--store-budget"; string_of_int t.cfg.store_budget ]
+         else [])
+    | None -> []
+  in
+  let deadline =
+    match t.cfg.default_deadline_ms with
+    | Some d -> [ "--deadline-ms"; string_of_int d ]
+    | None -> []
+  in
+  let extra = match t.cfg.child_extra_args with Some f -> f k | None -> [] in
+  (sock, base @ engine @ store @ deadline @ extra)
+
+(* ---- dispatch plumbing -------------------------------------------- *)
+
+let request_line d =
+  J.to_string (Job.request_to_json { d.d_req with Job.id = d.d_iid })
+
+let rec pump t k =
+  let ch = t.kids.(k) in
+  if
+    (not ch.cs.ss_quarantined)
+    && Hashtbl.length ch.c_outstanding < t.cfg.window
+    && not (Queue.is_empty ch.c_queue)
+  then begin
+    let d = Queue.pop ch.c_queue in
+    d.d_shard <- k;
+    Hashtbl.replace ch.c_outstanding d.d_iid d;
+    (match d.d_kind with
+     | Primary ->
+       ch.cs.ss_routed <- ch.cs.ss_routed + 1
+     | _ -> ());
+    if Child.send_line ch.c (request_line d) then pump t k
+    else handle_death t k "write failed"
+  end
+
+and enqueue t k d =
+  Queue.push d t.kids.(k).c_queue;
+  pump t k
+
+(* ---- supervision: death, hang, breaker, quarantine ---------------- *)
+
+(* A child died (EOF, failed write, or the watchdog killed it). Its
+   in-flight and queued work is accounted for exactly once: primaries
+   are re-dispatched to the replacement (or re-shed / failed once their
+   incarnation budget is gone), audits are abandoned in the primary's
+   favour, probes evaporate. Mirrors PR 4's worker-crash rule — record
+   the death and spawn the replacement BEFORE settling the victims — at
+   process scope. *)
+and handle_death t k reason =
+  let ch = t.kids.(k) in
+  if ch.c.Child.fd <> None || Child.alive ch.c.Child.pid then begin
+    let orphans = Hashtbl.fold (fun _ d acc -> d :: acc) ch.c_outstanding [] in
+    let parked = List.of_seq (Queue.to_seq ch.c_queue) in
+    Hashtbl.reset ch.c_outstanding;
+    Queue.clear ch.c_queue;
+    ch.c_probe_out <- false;
+    Child.kill ch.c;
+    t.stats.deaths <- t.stats.deaths + 1;
+    ch.cs.ss_deaths <- ch.cs.ss_deaths + 1;
+    ch.c_consec_deaths <- ch.c_consec_deaths + 1;
+    emit_obs t "fleet_child_death"
+      (Printf.sprintf "shard %d: %s (consecutive %d)" k reason ch.c_consec_deaths);
+    fire t (Child_down (k, reason));
+    let tripped =
+      t.cfg.breaker_threshold > 0 && ch.c_consec_deaths >= t.cfg.breaker_threshold
+    in
+    if tripped then quarantine t k "breaker: repeated child deaths"
+    else begin
+      (try
+         Child.restart ch.c ~cli:t.cli ~args:ch.c_args
+           ~connect_timeout_s:t.cfg.connect_timeout_s;
+         ch.c_last_rx <- Clock.mono_s ();
+         t.stats.restarts <- t.stats.restarts + 1;
+         ch.cs.ss_restarts <- ch.cs.ss_restarts + 1;
+         fire t (Child_up (k, ch.c.Child.pid))
+       with Child.Child_failed m ->
+         emit_obs t "fleet_child_restart_failed" m;
+         quarantine t k ("restart failed: " ^ m))
+    end;
+    (* settle the orphans only after the supervision state is updated;
+       orphans first so a killer job re-dispatches ahead of parked work
+       (keeping its deaths consecutive for the breaker), and only
+       orphans consume an incarnation try — a parked job never touched
+       the dead child *)
+    List.iter (redispatch t ~dispatched:true) (List.rev orphans);
+    List.iter (redispatch t ~dispatched:false) parked
+  end
+
+(* Permanent removal from service: the breaker at process scope, and
+   the only correct answer to a child caught lying about a content
+   hash. Kill it, never restart it, re-shed its traffic. *)
+and quarantine t k reason =
+  let ch = t.kids.(k) in
+  if not ch.cs.ss_quarantined then begin
+    ch.cs.ss_quarantined <- true;
+    t.stats.quarantines <- t.stats.quarantines + 1;
+    emit_obs t "fleet_quarantine" (Printf.sprintf "shard %d: %s" k reason);
+    fire t (Child_down (k, "quarantined: " ^ reason));
+    let orphans = Hashtbl.fold (fun _ d acc -> d :: acc) ch.c_outstanding [] in
+    let parked = List.of_seq (Queue.to_seq ch.c_queue) in
+    Hashtbl.reset ch.c_outstanding;
+    Queue.clear ch.c_queue;
+    Child.kill ch.c;
+    List.iter (redispatch t ~dispatched:true) (List.rev orphans);
+    List.iter (redispatch t ~dispatched:false) parked
+  end
+
+(* One orphaned dispatch of a dead/quarantined child. [dispatched]
+   distinguishes work the child actually held (counts against the job's
+   incarnation budget) from work merely parked in its queue. *)
+and redispatch t ~dispatched d =
+  match d.d_kind with
+  | Probe -> ()
+  | Audit p_iid -> (
+    (* the audit died with its child; resolve in the primary's favour
+       rather than wedging the held response *)
+    match Hashtbl.find_opt t.audits p_iid with
+    | Some st ->
+      st.a_abandoned <- true;
+      st.a_a_fp <- Some "";
+      st.a_a_shard <- -1;
+      conclude_audit t p_iid st
+    | None -> ())
+  | Tiebreak p_iid -> (
+    match Hashtbl.find_opt t.audits p_iid with
+    | Some st ->
+      Hashtbl.remove t.audits p_iid;
+      finalize_conflict_failure t st "integrity tiebreak lost its child"
+    | None -> ())
+  | Primary ->
+    if dispatched then d.d_tries <- d.d_tries + 1;
+    if d.d_tries > t.cfg.redispatch_limit then begin
+      (* a poison pill: it has now consumed its incarnation budget of
+         child processes — fail it rather than grind the fleet down
+         (the PR 4 rule that a crash loop is bounded by crashing jobs,
+         at process scope) *)
+      emit_router_failure t ~id:d.d_req.Job.id ~op:(Job.op_name d.d_req.Job.spec)
+        ~seq:d.d_seq ~admit:d.d_admit
+        (Printf.sprintf "job killed its shard child %d times" d.d_tries);
+      settle_key_failure t d
+        (Printf.sprintf "job killed its shard child %d times" d.d_tries)
+    end
+    else begin
+      match effective_shard t d.d_req with
+      | Some k -> enqueue t k d
+      | None ->
+        emit_router_failure t ~id:d.d_req.Job.id ~op:(Job.op_name d.d_req.Job.spec)
+          ~seq:d.d_seq ~admit:d.d_admit "no healthy shard available";
+        settle_key_failure t d "no healthy shard available"
+    end
+
+(* A primary that will never produce a child response: release its
+   parked duplicates with the same verdict (they are the same
+   computation — they share its fate). *)
+and settle_key_failure t d msg =
+  if d.d_key <> "" then begin
+    (match Hashtbl.find_opt t.waiters d.d_key with
+     | Some ws ->
+       List.iter
+         (fun w ->
+           emit_router_failure t ~id:w.w_id ~op:(Job.op_name d.d_req.Job.spec)
+             ~seq:w.w_seq ~admit:w.w_admit msg)
+         (List.rev !ws)
+     | None -> ());
+    Hashtbl.remove t.waiters d.d_key;
+    Hashtbl.remove t.audits d.d_iid
+  end
+
+(* ---- audit verdicts ----------------------------------------------- *)
+
+and finalize_conflict_failure t st msg =
+  let d = st.a_primary in
+  emit_router_failure t ~id:d.d_req.Job.id ~op:(Job.op_name d.d_req.Job.spec) ~seq:d.d_seq
+    ~admit:d.d_admit msg;
+  settle_key_failure t d msg
+
+(* Both the primary and the audit answered (or the audit was
+   abandoned). Agreement forwards the held primary; disagreement goes
+   to a third-shard majority vote. *)
+and conclude_audit t p_iid st =
+  match (st.a_p_fields, st.a_p_fp, st.a_a_fp) with
+  | Some fields, Some pfp, Some afp ->
+    if st.a_abandoned || String.equal pfp afp then begin
+      Hashtbl.remove t.audits p_iid;
+      finalize_primary t st.a_primary fields
+    end
+    else begin
+      t.stats.digest_conflicts <- t.stats.digest_conflicts + 1;
+      emit_obs t "fleet_digest_conflict"
+        (Printf.sprintf "shards %d vs %d disagree on %s" st.a_primary.d_shard
+           st.a_a_shard st.a_primary.d_req.Job.id);
+      match
+        next_healthy_excluding t ~avoid:[ st.a_primary.d_shard; st.a_a_shard ]
+      with
+      | Some third ->
+        st.a_t_shard <- third;
+        let d =
+          {
+            d_iid = Printf.sprintf "t%d" t.next_iid;
+            d_req = st.a_primary.d_req;
+            d_key = "";
+            d_seq = -1;
+            d_admit = Clock.mono_s ();
+            d_kind = Tiebreak p_iid;
+            d_tries = 0;
+            d_shard = third;
+          }
+        in
+        t.next_iid <- t.next_iid + 1;
+        enqueue t third d
+      | None ->
+        (* no quorum possible: fail closed — neither disputed answer is
+           served, both suspects are quarantined (quarantining second
+           first: quarantining can re-shed onto shards quarantined
+           later, so order by index descending to stay deterministic) *)
+        Hashtbl.remove t.audits p_iid;
+        let a, b = (st.a_primary.d_shard, st.a_a_shard) in
+        quarantine t (max a b) "unresolvable integrity conflict";
+        quarantine t (min a b) "unresolvable integrity conflict";
+        finalize_conflict_failure t st
+          "response integrity conflict with no healthy quorum"
+    end
+  | _ -> ()
+
+(* The tiebreak answered: majority wins, the odd one out is quarantined,
+   and the client receives the majority answer. *)
+and conclude_tiebreak t p_iid st ~t_fields ~t_fp =
+  Hashtbl.remove t.audits p_iid;
+  let pfp = Option.get st.a_p_fp and d = st.a_primary in
+  let afp = Option.get st.a_a_fp in
+  if String.equal t_fp pfp then begin
+    quarantine t st.a_a_shard "audit digest mismatch (outvoted 2-1)";
+    match st.a_p_fields with
+    | Some fields -> finalize_primary t d fields
+    | None -> finalize_conflict_failure t st "integrity vote lost the primary response"
+  end
+  else if String.equal t_fp afp then begin
+    quarantine t d.d_shard "served a wrong content hash (outvoted 2-1)";
+    (* the tiebreak child's answer is the agreed majority payload; serve
+       it under the client's identifiers *)
+    finalize_primary t d t_fields
+  end
+  else begin
+    quarantine t st.a_t_shard "integrity vote: three-way disagreement";
+    quarantine t (max d.d_shard st.a_a_shard) "integrity vote: three-way disagreement";
+    quarantine t (min d.d_shard st.a_a_shard) "integrity vote: three-way disagreement";
+    finalize_conflict_failure t st "response integrity conflict: three-way disagreement"
+  end
+
+(* ---- settling primaries ------------------------------------------- *)
+
+(* Forward one primary child response to the client, fill the replay
+   cache, and release every parked duplicate with the same template —
+   the byte-identical payload guarantee is this single code path. *)
+and finalize_primary t d fields =
+  let status = Option.value ~default:"failed" (get_str fields "status") in
+  let ss = if d.d_shard >= 0 then Some t.kids.(d.d_shard).cs else None in
+  emit_from_fields t ~id:d.d_req.Job.id ~seq:d.d_seq ~admit:d.d_admit
+    ~attempts:(match List.assoc_opt "attempts" fields with Some (J.Int n) -> n | _ -> 0)
+    ~worker:d.d_shard ~shard_stats:ss fields;
+  if d.d_key <> "" then begin
+    let c =
+      if status = "done" then begin
+        let c = make_cached ~worker:d.d_shard fields in
+        if t.cfg.replay then Hashtbl.replace t.cache d.d_key c;
+        Some c
+      end
+      else None
+    in
+    (match Hashtbl.find_opt t.waiters d.d_key with
+     | Some ws ->
+       List.iter
+         (fun w ->
+           match c with
+           | Some c -> emit_replay t ~id:w.w_id ~seq:w.w_seq ~admit:w.w_admit c
+           | None ->
+             t.stats.replays <- t.stats.replays + 1;
+             emit_from_fields t ~id:w.w_id ~seq:w.w_seq ~admit:w.w_admit ~attempts:0
+               ~worker:d.d_shard ~shard_stats:None fields)
+         (List.rev !ws)
+     | None -> ());
+    Hashtbl.remove t.waiters d.d_key
+  end
+
+(* ---- child traffic ------------------------------------------------ *)
+
+let handle_child_line t k line =
+  let ch = t.kids.(k) in
+  ch.c_last_rx <- Clock.mono_s ();
+  ch.c_consec_deaths <- 0;
+  match J.parse_opt line with
+  | Some (J.Obj fields) -> (
+    match get_str fields "id" with
+    | None -> emit_obs t "fleet_bad_child_line" (Printf.sprintf "shard %d: no id" k)
+    | Some iid -> (
+      match Hashtbl.find_opt ch.c_outstanding iid with
+      | None ->
+        (* stale: a response for a dispatch this incarnation no longer
+           owns (settled by redispatch machinery) — drop, never double
+           settle *)
+        emit_obs t "fleet_stale_response" (Printf.sprintf "shard %d: %s" k iid)
+      | Some d -> (
+        Hashtbl.remove ch.c_outstanding iid;
+        (match d.d_kind with
+         | Probe -> ch.c_probe_out <- false
+         | Primary -> (
+           let fields =
+             set_field fields "worker" (J.Int k)
+           in
+           match Hashtbl.find_opt t.audits iid with
+           | Some st ->
+             st.a_p_fields <- Some fields;
+             st.a_p_fp <- Some (payload_fp fields);
+             conclude_audit t iid st
+           | None -> finalize_primary t d fields)
+         | Audit p_iid -> (
+           match Hashtbl.find_opt t.audits p_iid with
+           | Some st ->
+             st.a_a_fp <- Some (payload_fp fields);
+             st.a_a_shard <- k;
+             conclude_audit t p_iid st
+           | None -> ())
+         | Tiebreak p_iid -> (
+           match Hashtbl.find_opt t.audits p_iid with
+           | Some st ->
+             conclude_tiebreak t p_iid st
+               ~t_fields:(set_field fields "worker" (J.Int k))
+               ~t_fp:(payload_fp fields)
+           | None -> ()));
+        pump t k)))
+  | _ ->
+    (* a torn or non-JSON line from a child is a protocol violation —
+       treat the child as compromised-or-dying *)
+    handle_death t k "torn NDJSON from child"
+
+(* ---- admission ---------------------------------------------------- *)
+
+let admit t (req : Job.request) =
+  t.stats.submitted <- t.stats.submitted + 1;
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let admit_t = Clock.mono_s () in
+  let key = if t.cfg.replay && Shard.replayable req then Shard.content_key req else "" in
+  if key <> "" && Hashtbl.mem t.cache key then
+    emit_replay t ~id:req.Job.id ~seq ~admit:admit_t (Hashtbl.find t.cache key)
+  else if key <> "" && Hashtbl.mem t.waiters key then begin
+    t.stats.coalesced <- t.stats.coalesced + 1;
+    let ws = Hashtbl.find t.waiters key in
+    ws := { w_id = req.Job.id; w_seq = seq; w_admit = admit_t } :: !ws
+  end
+  else begin
+    if key <> "" then begin
+      Hashtbl.replace t.waiters key (ref []);
+      t.distinct_keys <- t.distinct_keys + 1
+    end;
+    match effective_shard t req with
+    | None ->
+      emit_router_failure t ~id:req.Job.id ~op:(Job.op_name req.Job.spec) ~seq
+        ~admit:admit_t "no healthy shard available";
+      if key <> "" then Hashtbl.remove t.waiters key
+    | Some k ->
+      let iid = Printf.sprintf "j%d" t.next_iid in
+      t.next_iid <- t.next_iid + 1;
+      let d =
+        {
+          d_iid = iid;
+          d_req = req;
+          d_key = key;
+          d_seq = seq;
+          d_admit = admit_t;
+          d_kind = Primary;
+          d_tries = 0;
+          d_shard = k;
+        }
+      in
+      (* audit sampling: every Nth distinct content key is shadow-
+         dispatched to a second shard; the client response is held for
+         the verdict, so an audited lie never reaches a client at all *)
+      (if
+         t.cfg.audit_every > 0 && key <> ""
+         && t.distinct_keys mod t.cfg.audit_every = 0
+         && healthy_count t >= 2
+       then
+         match next_healthy_excluding t ~avoid:[ k ] with
+         | Some ak ->
+           t.stats.audits <- t.stats.audits + 1;
+           let a_iid = Printf.sprintf "a%d" t.next_iid in
+           t.next_iid <- t.next_iid + 1;
+           Hashtbl.replace t.audits iid
+             {
+               a_primary = d;
+               a_p_fields = None;
+               a_p_fp = None;
+               a_a_shard = ak;
+               a_a_fp = None;
+               a_t_shard = -1;
+               a_abandoned = false;
+             };
+           let ad =
+             {
+               d_iid = a_iid;
+               d_req = req;
+               d_key = "";
+               d_seq = -1;
+               d_admit = admit_t;
+               d_kind = Audit iid;
+               d_tries = 0;
+               d_shard = ak;
+             }
+           in
+           enqueue t ak ad
+         | None -> ());
+      enqueue t k d
+  end
+
+(* Textual id/tail split of a raw request line. Our own serializer puts
+   [id] first and the ids in every mix are escape-free; anything that
+   deviates simply takes the full parser. The tail (everything from the
+   id's closing quote on) identifies the request content: the semantic
+   content key is a pure function of it, so [t.memo] can map tails to
+   keys permanently. *)
+let split_id_tail line =
+  let pfx = {|{"id":"|} in
+  let pl = String.length pfx in
+  let n = String.length line in
+  if n > pl && String.sub line 0 pl = pfx then begin
+    let rec scan i =
+      if i >= n then None
+      else
+        match line.[i] with
+        | '\\' -> None
+        | '"' -> Some (String.sub line pl (i - pl), String.sub line i (n - i))
+        | _ -> scan (i + 1)
+    in
+    scan pl
+  end
+  else None
+
+(* The duplicate fast path: a request whose tail was seen before skips
+   JSON parsing entirely — the memoized content key either replays the
+   cached response or coalesces onto the in-flight primary. Everything
+   else (first occurrence, non-replayable op, unusual framing) goes
+   through the full parser, which also teaches the memo. *)
+let admit_line t line =
+  let fast =
+    if not t.cfg.replay then None
+    else
+      match split_id_tail line with
+      | None -> None
+      | Some (id, tail) -> (
+        match Hashtbl.find_opt t.memo tail with
+        | Some key when key <> "" -> (
+          match Hashtbl.find_opt t.cache key with
+          | Some c -> Some (`Replay (id, c))
+          | None -> (
+            match Hashtbl.find_opt t.waiters key with
+            | Some ws -> Some (`Coalesce (id, ws))
+            | None -> None))
+        | _ -> None)
+  in
+  match fast with
+  | Some action ->
+    t.stats.submitted <- t.stats.submitted + 1;
+    let seq = t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    let at = Clock.mono_s () in
+    (match action with
+     | `Replay (id, c) -> emit_replay t ~id ~seq ~admit:at c
+     | `Coalesce (id, ws) ->
+       t.stats.coalesced <- t.stats.coalesced + 1;
+       ws := { w_id = id; w_seq = seq; w_admit = at } :: !ws);
+    Ok ()
+  | None -> (
+    match Job.request_of_line line with
+    | Ok req ->
+      (match split_id_tail line with
+       | Some (_, tail) ->
+         Hashtbl.replace t.memo tail
+           (if Shard.replayable req then Shard.content_key req else "")
+       | None -> ());
+      admit t req;
+      Ok ()
+    | Error msg -> Error msg)
+
+let handle_client_line t line =
+  t.stats.received <- t.stats.received + 1;
+  if String.trim line <> "" then
+    match admit_line t line with
+    | Ok () -> ()
+    | Error msg ->
+      (* malformed lines are answered by the router itself; children
+         never see bytes that failed to parse *)
+      t.stats.malformed <- t.stats.malformed + 1;
+      let id = Option.bind (J.parse_opt line) (fun j ->
+          match J.member "id" j with Some (J.Str s) -> Some s | _ -> None)
+      in
+      write_client t (Job.error_line ~id msg)
+
+(* ---- housekeeping: probes + watchdog ------------------------------ *)
+
+let tick t =
+  let now = Clock.mono_s () in
+  let probe_s = float_of_int t.cfg.probe_interval_ms /. 1000.0 in
+  let hang_s = float_of_int t.cfg.hang_timeout_ms /. 1000.0 in
+  Array.iteri
+    (fun k ch ->
+      if (not ch.cs.ss_quarantined) && ch.c.Child.fd <> None then begin
+        (* watchdog: traffic owed (jobs or a probe in flight) and
+           nothing received for a whole hang timeout — the child is
+           wedged. Unlike a hung domain, a hung process can be killed;
+           handle_death redispatches its work. *)
+        if
+          t.cfg.hang_timeout_ms > 0
+          && (Hashtbl.length ch.c_outstanding > 0 || ch.c_probe_out)
+          && now -. ch.c_last_rx >= hang_s
+        then begin
+          t.stats.hangs <- t.stats.hangs + 1;
+          ch.cs.ss_hangs <- ch.cs.ss_hangs + 1;
+          emit_obs t "fleet_child_hang"
+            (Printf.sprintf "shard %d: no traffic for %dms" k t.cfg.hang_timeout_ms);
+          handle_death t k "watchdog: hang timeout"
+        end
+        else if
+          t.cfg.probe_interval_ms > 0
+          && (not ch.c_probe_out)
+          && now -. ch.c_last_rx >= probe_s
+        then begin
+          let iid = Printf.sprintf "p%d" t.next_iid in
+          t.next_iid <- t.next_iid + 1;
+          let d =
+            {
+              d_iid = iid;
+              d_req = Job.make ~id:iid Job.Ping;
+              d_key = "";
+              d_seq = -1;
+              d_admit = now;
+              d_kind = Probe;
+              d_tries = 0;
+              d_shard = k;
+            }
+          in
+          ch.c_probe_out <- true;
+          Hashtbl.replace ch.c_outstanding iid d;
+          if not (Child.send_line ch.c (request_line d)) then
+            handle_death t k "write failed (probe)"
+        end
+      end)
+    t.kids
+
+(* ---- metrics ------------------------------------------------------ *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n /. 100.0)) - 1))
+
+let shard_json (ch : child_state) =
+  let lat = Array.of_list ch.cs.ss_lat_ms in
+  Array.sort compare lat;
+  J.Obj
+    [
+      ("shard", J.Int ch.cs.ss_shard);
+      ("routed", J.Int ch.cs.ss_routed);
+      ("done", J.Int ch.cs.ss_done);
+      ("deaths", J.Int ch.cs.ss_deaths);
+      ("restarts", J.Int ch.cs.ss_restarts);
+      ("hangs", J.Int ch.cs.ss_hangs);
+      ("quarantined", J.Bool ch.cs.ss_quarantined);
+      ("p50_ms", J.Float (percentile lat 50.0));
+      ("p99_ms", J.Float (percentile lat 99.0));
+    ]
+
+let stats_json (s : stats) =
+  J.Obj
+    [
+      ("received", J.Int s.received);
+      ("malformed", J.Int s.malformed);
+      ("submitted", J.Int s.submitted);
+      ("done", J.Int s.done_);
+      ("rejected", J.Int s.rejected);
+      ("timed_out", J.Int s.timed_out);
+      ("failed", J.Int s.failed);
+      ("conserved", J.Bool (conserved s));
+      ("replays", J.Int s.replays);
+      ("coalesced", J.Int s.coalesced);
+      ("audits", J.Int s.audits);
+      ("digest_conflicts", J.Int s.digest_conflicts);
+      ("deaths", J.Int s.deaths);
+      ("restarts", J.Int s.restarts);
+      ("hangs", J.Int s.hangs);
+      ("quarantines", J.Int s.quarantines);
+      ("resheds", J.Int s.resheds);
+      ("interrupted", J.Bool s.interrupted);
+    ]
+
+(* The per-child serve metrics documents (written by `serve --json` at
+   child exit) — the fleet-wide view of disk-store hit/corrupt
+   counters etc. Collected after the children have stopped. *)
+let child_metrics_json t =
+  J.List
+    (List.filter_map
+       (fun k ->
+         let path = Filename.concat t.dir (Printf.sprintf "metrics-%d.json" k) in
+         if Sys.file_exists path then begin
+           let ic = open_in_bin path in
+           let n = in_channel_length ic in
+           let s = really_input_string ic n in
+           close_in_noerr ic;
+           Option.map
+             (fun j -> J.Obj [ ("shard", J.Int k); ("metrics", j) ])
+             (J.parse_opt s)
+         end
+         else None)
+       (List.init (Array.length t.kids) Fun.id))
+
+let metrics_json t =
+  J.Obj
+    [
+      ( "fleet",
+        J.Obj
+          [
+            ("children", J.Int t.cfg.children);
+            ("workers_per_child", J.Int t.cfg.workers);
+            ("window", J.Int t.cfg.window);
+            ("replay", J.Bool t.cfg.replay);
+            ("audit_every", J.Int t.cfg.audit_every);
+          ] );
+      ("router", stats_json t.stats);
+      ("shards", J.List (Array.to_list (Array.map shard_json t.kids)));
+      ("children_metrics", child_metrics_json t);
+    ]
+
+(* ---- main loop ---------------------------------------------------- *)
+
+let unsettled t = t.stats.submitted - (t.stats.done_ + t.stats.rejected + t.stats.timed_out + t.stats.failed)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sofia-fleet-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  mkdir_p d;
+  d
+
+let cleanup_dir t =
+  Array.iter
+    (fun ch ->
+      try Sys.remove ch.c.Child.socket_path with Sys_error _ -> ())
+    t.kids;
+  List.iter
+    (fun k ->
+      try Sys.remove (Filename.concat t.dir (Printf.sprintf "metrics-%d.json" k))
+      with Sys_error _ -> ())
+    (List.init (Array.length t.kids) Fun.id);
+  if t.dir_created then try Unix.rmdir t.dir with Unix.Unix_error _ -> ()
+
+let create ?(obs = Obs.none) cfg ~client_out =
+  if cfg.children < 1 then invalid_arg "Router: children must be >= 1";
+  let cli =
+    match cfg.cli with
+    | Some c -> c
+    | None -> (
+      match Child.find_cli () with
+      | Some c -> c
+      | None -> failwith "fleet: cannot locate the sofia_cli binary (set SOFIA_CLI)")
+  in
+  let dir, dir_created =
+    match cfg.socket_dir with
+    | Some d ->
+      mkdir_p d;
+      (d, false)
+    | None -> (fresh_dir (), true)
+  in
+  let stats =
+    {
+      received = 0; malformed = 0; submitted = 0;
+      done_ = 0; rejected = 0; timed_out = 0; failed = 0;
+      replays = 0; coalesced = 0; audits = 0; digest_conflicts = 0;
+      deaths = 0; restarts = 0; hangs = 0; quarantines = 0; resheds = 0;
+      interrupted = false;
+      shards =
+        Array.init cfg.children (fun k ->
+            {
+              ss_shard = k; ss_routed = 0; ss_done = 0; ss_deaths = 0;
+              ss_restarts = 0; ss_hangs = 0; ss_quarantined = false; ss_lat_ms = [];
+            });
+    }
+  in
+  let t0 =
+    {
+      cfg; cli; dir; dir_created; stats; obs;
+      kids = [||];
+      cache = Hashtbl.create 512;
+      memo = Hashtbl.create 512;
+      waiters = Hashtbl.create 64;
+      audits = Hashtbl.create 16;
+      next_seq = 0; next_iid = 0; completion = 0; distinct_keys = 0; settled = 0;
+      client_eof = false; client_gone = false; stop = false;
+      client_out;
+      client_buf = Buffer.create 4096;
+    }
+  in
+  let kids =
+    Array.init cfg.children (fun k ->
+        let sock, args = child_args t0 k in
+        (* a stale socket file from a previous fleet is the child's
+           problem: serve's prepare_socket_path probe-connects and
+           unlinks dead ones (PR 4) — the router just spawns *)
+        let c =
+          Child.start ~cli ~args ~shard:k ~socket_path:sock
+            ~connect_timeout_s:cfg.connect_timeout_s
+        in
+        {
+          c;
+          cs = stats.shards.(k);
+          c_outstanding = Hashtbl.create 64;
+          c_queue = Queue.create ();
+          c_last_rx = Clock.mono_s ();
+          c_consec_deaths = 0;
+          c_probe_out = false;
+          c_args = args;
+        })
+  in
+  let t = { t0 with kids } in
+  Array.iter (fun ch -> fire t (Child_up (ch.c.Child.shard, ch.c.Child.pid))) t.kids;
+  t
+
+let take_client_lines t =
+  let s = Buffer.contents t.client_buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some i ->
+    Buffer.clear t.client_buf;
+    Buffer.add_substring t.client_buf s (i + 1) (String.length s - i - 1);
+    String.split_on_char '\n' (String.sub s 0 i)
+
+let serve ?(signals = false) t ~client_in =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let signal_hits = ref 0 in
+  let saved = ref [] in
+  if signals then begin
+    let handler =
+      Sys.Signal_handle
+        (fun _ ->
+          incr signal_hits;
+          if !signal_hits >= 2 then begin
+            (* second signal: stop being graceful *)
+            Array.iter (fun ch -> Child.kill ch.c) t.kids;
+            exit 130
+          end)
+    in
+    List.iter
+      (fun s ->
+        match Sys.signal s handler with
+        | old -> saved := (s, old) :: !saved
+        | exception (Invalid_argument _ | Sys_error _) -> ())
+      [ Sys.sigint; Sys.sigterm ]
+  end;
+  let chunk = Bytes.create 65536 in
+  let finished () =
+    (t.client_eof || t.client_gone || t.stop) && unsettled t = 0
+  in
+  while not (finished ()) do
+    if (not t.stop) && !signal_hits > 0 then begin
+      t.stop <- true;
+      t.stats.interrupted <- true
+    end;
+    let child_fds =
+      Array.to_list t.kids
+      |> List.filter_map (fun ch ->
+             if ch.cs.ss_quarantined then None else ch.c.Child.fd)
+    in
+    let want_client =
+      (not (t.client_eof || t.client_gone || t.stop))
+      (* simple flow control: past ~4 windows of unsettled work per
+         shard, stop pulling client input and let the socket buffer
+         push back — bounds router memory under open-loop overload *)
+      && unsettled t < 4 * t.cfg.window * Array.length t.kids
+    in
+    let rset = (if want_client then [ client_in ] else []) @ child_fds in
+    let readable, _, _ =
+      try Unix.select rset [] [] 0.05
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (* children first: responses free windows before new admissions *)
+    Array.iteri
+      (fun k ch ->
+        match ch.c.Child.fd with
+        | Some fd when List.memq fd readable && not ch.cs.ss_quarantined -> (
+          match Child.drain_input ch.c with
+          | `Eof ->
+            if
+              (t.stop || t.client_eof) && Hashtbl.length ch.c_outstanding = 0
+              && Queue.is_empty ch.c_queue
+            then begin
+              (* orderly exit during drain (e.g. terminal-delivered
+                 SIGINT reached the whole process group) *)
+              Child.close_fd ch.c;
+              ignore (Child.reap ch.c ~timeout_s:2.0)
+            end
+            else handle_death t k "connection closed"
+          | `Lines lines -> List.iter (handle_child_line t k) lines)
+        | _ -> ())
+      t.kids;
+    if want_client && List.memq client_in readable then begin
+      match Unix.read client_in chunk 0 (Bytes.length chunk) with
+      | 0 -> t.client_eof <- true
+      | n ->
+        Buffer.add_subbytes t.client_buf chunk 0 n;
+        List.iter (handle_client_line t) (take_client_lines t)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        t.client_eof <- true
+    end;
+    (* a trailing unterminated line at EOF is still a request *)
+    if t.client_eof && Buffer.length t.client_buf > 0 then begin
+      let line = Buffer.contents t.client_buf in
+      Buffer.clear t.client_buf;
+      handle_client_line t line
+    end;
+    tick t
+  done;
+  (* graceful fleet shutdown: close our end, --once children drain and
+     exit; stragglers are killed. No child outlives the router. *)
+  Array.iter
+    (fun ch -> if not ch.cs.ss_quarantined then Child.stop_gently ch.c ~timeout_s:5.0)
+    t.kids;
+  t.stats
+
+(* One-call front: spawn the fleet, serve the client fds, stop the
+   children, return the stats and the fleet metrics document (which
+   needs the children stopped: their serve --json files are written at
+   child exit). *)
+let run ?obs ?signals cfg ~client_in ~client_out =
+  let t = create ?obs cfg ~client_out in
+  let cleanup_on_error e =
+    Array.iter (fun ch -> Child.kill ch.c) t.kids;
+    cleanup_dir t;
+    raise e
+  in
+  let stats = try serve ?signals t ~client_in with e -> cleanup_on_error e in
+  let doc = metrics_json t in
+  cleanup_dir t;
+  (stats, doc)

@@ -1,0 +1,107 @@
+(** The fleet router: [N] real [sofia_cli serve --socket --once] child
+    processes behind one single-threaded select loop.
+
+    Jobs shard deterministically by image content hash ({!Shard.route});
+    PR 4's supervision machinery — watchdog, crash-restart, circuit
+    breaker, graceful drain — is promoted one level up to supervise
+    whole processes, which (unlike OCaml domains) can actually be
+    killed.
+
+    Children are {e untrusted-but-supervised} (DESIGN §13): the router
+    never fabricates a payload, but it renames jobs on the child hop,
+    replays deterministic duplicates from a content-keyed cache, and
+    audit-samples distinct keys to a second shard, settling
+    disagreements by a third-shard majority vote and quarantining the
+    liar. The byte-identical payload guarantee of single-process
+    [serve] is preserved end to end. *)
+
+type event =
+  | Client_response of int
+      (** running count of client-visible job responses — the fault
+          campaign's "kill a child after K responses" trigger *)
+  | Child_up of int * int  (** shard, pid *)
+  | Child_down of int * string  (** shard, reason *)
+
+type config = {
+  children : int;  (** shard count (>= 1) *)
+  workers : int;  (** engine workers per child *)
+  queue : int;  (** per-child engine queue capacity *)
+  cli : string option;  (** sofia_cli path; [None] = {!Child.find_cli} *)
+  socket_dir : string option;  (** [None] = fresh temp dir, removed after *)
+  store_dir : string option;  (** parent dir; child [k] gets [shard-k/] *)
+  store_budget : int;
+  engine : string option;  (** [--engine] forwarded to children *)
+  default_deadline_ms : int option;
+  window : int;  (** max in-flight jobs per child (< child queue) *)
+  replay : bool;  (** serve duplicate deterministic jobs from cache *)
+  audit_every : int;  (** audit every Nth distinct content key; 0 = off *)
+  probe_interval_ms : int;  (** idle-child ping cadence; 0 = off *)
+  hang_timeout_ms : int;  (** silence-with-traffic-owed before SIGKILL *)
+  breaker_threshold : int;  (** consecutive deaths before quarantine *)
+  redispatch_limit : int;  (** child incarnations one job may consume *)
+  connect_timeout_s : float;
+  child_extra_args : (int -> string list) option;
+      (** per-shard extra serve flags (the fault campaign's skew /
+          digest-flip / poison-job hooks) *)
+  on_event : (event -> unit) option;
+}
+
+val default_config : config
+(** 3 children, 1 worker each, window 32, replay on, audit every 16th
+    distinct key, 250ms probes, 5s hang timeout, breaker at 3. *)
+
+type shard_stats = {
+  ss_shard : int;
+  mutable ss_routed : int;
+  mutable ss_done : int;
+  mutable ss_deaths : int;
+  mutable ss_restarts : int;
+  mutable ss_hangs : int;
+  mutable ss_quarantined : bool;
+  mutable ss_lat_ms : float list;  (** router-observed, newest first *)
+}
+
+type stats = {
+  mutable received : int;
+  mutable malformed : int;
+  mutable submitted : int;
+  mutable done_ : int;
+  mutable rejected : int;
+  mutable timed_out : int;
+  mutable failed : int;
+  mutable replays : int;  (** answered from the content-keyed cache *)
+  mutable coalesced : int;  (** duplicates parked behind an in-flight primary *)
+  mutable audits : int;
+  mutable digest_conflicts : int;  (** audit votes that caught a disagreement *)
+  mutable deaths : int;
+  mutable restarts : int;
+  mutable hangs : int;
+  mutable quarantines : int;
+  mutable resheds : int;  (** jobs routed off a quarantined home shard *)
+  mutable interrupted : bool;
+  shards : shard_stats array;
+}
+
+val conserved : stats -> bool
+(** [submitted = done + rejected + timed_out + failed] — the fleet-wide
+    terminal-counter conservation law. *)
+
+val stats_json : stats -> Sofia_obs.Json.t
+
+val run :
+  ?obs:Sofia_obs.Obs.t ->
+  ?signals:bool ->
+  config ->
+  client_in:Unix.file_descr ->
+  client_out:Unix.file_descr ->
+  stats * Sofia_obs.Json.t
+(** Spawn the fleet, serve NDJSON requests from [client_in] to
+    [client_out] until client EOF (or, with [signals:true], until
+    SIGINT/SIGTERM starts a graceful drain), then stop the children
+    ([--once] children drain and exit at EOF; stragglers are killed)
+    and return the router stats plus the fleet metrics document
+    (router counters, per-shard latency percentiles, and each child's
+    own [serve --json] metrics). No child outlives the call.
+
+    @raise Failure when no sofia_cli binary can be located.
+    @raise Child.Child_failed when a child never comes up at start. *)

@@ -23,6 +23,8 @@ type config = {
   wall_clock : (unit -> float) option;
   store_dir : string option;
   store_budget : int;
+  shard : int;
+  mangle : (Job.response -> Job.response) option;
 }
 
 let default_config =
@@ -42,6 +44,8 @@ let default_config =
     wall_clock = None;
     store_dir = None;
     store_budget = 0;
+    shard = -1;
+    mangle = None;
   }
 
 (* [settled] is the settle-once latch: supervision means a job can have
@@ -264,8 +268,10 @@ let simulated_of_result ~cached (r : Machine.run_result) =
       cached;
     }
 
-let execute ~disk ~store ~ks_cache_slots ~engine (req : Job.request) =
+let execute ?(shard = -1) ?(workers = 1) ~disk ~store ~ks_cache_slots ~engine
+    (req : Job.request) =
   match req.Job.spec with
+  | Job.Ping -> Job.Ponged { shard; workers }
   | Job.Protect { source } ->
     let entry, cached = protect_entry ~disk ~store ~req source in
     Job.Protected
@@ -409,6 +415,7 @@ let settle t (p : pending) ~attempts ~worker status =
               status;
             }
           in
+          let resp = match t.cfg.mangle with Some f -> f resp | None -> resp in
           t.responses <- resp :: t.responses;
           t.terminal <- t.terminal + 1;
           (match status with
@@ -427,7 +434,38 @@ let settle t (p : pending) ~attempts ~worker status =
           Some resp
         end)
   in
-  match (resp, t.on_response) with Some r, Some f -> f r | _ -> ()
+  (* The stream callback does client I/O. If the client is gone — the
+     fleet router closed our socket while this worker still held its
+     job — the write layer usually swallows the error, but nothing
+     guarantees a callback never raises. An escaping exception here
+     would kill the worker domain *after* the job settled, leaving the
+     pool short with no crash accounting and no replacement (the
+     supervisor only watches Job.Crash). Contain it: the job already
+     reached its terminal counter exactly once above; a broken consumer
+     costs a service_error, never a worker. *)
+  match (resp, t.on_response) with
+  | Some r, Some f -> (
+    try f r with
+    | e ->
+      with_lock t (fun () ->
+          t.metrics.Svc_metrics.service_errors <-
+            t.metrics.Svc_metrics.service_errors + 1;
+          if Obs.tracing t.obs then
+            Obs.emit t.obs
+              (Event.Service_error
+                 { kind = "callback_error"; detail = Printexc.to_string e })))
+  | _ -> ()
+
+(* The pool never oversubscribes the host: every runnable domain beyond
+   the spare cores makes each stop-the-world minor GC pay a scheduler
+   timeslice of latency, so extra domains are strictly slower (measured
+   ~3x on a single-core host). [workers] is therefore a cap, not a
+   demand; the effective count is reported next to the requested one in
+   {!metrics_json}. The watchdog domain is outside the cap — it sleeps
+   except for a few microseconds per tick. *)
+let resolved_workers t =
+  let avail = Sofia_util.Par.recommended () in
+  if t.cfg.workers > 0 then max 1 (min t.cfg.workers avail) else avail
 
 let deadline_of t (req : Job.request) =
   match req.Job.deadline_ms with Some d -> Some d | None -> t.cfg.default_deadline_ms
@@ -444,8 +482,9 @@ let process t ~worker (p : pending) =
       match
         (match t.cfg.fault with Some f -> f p.req ~attempt:n | None -> ());
         Job.Done
-          (execute ~disk:t.disk ~store:t.store ~ks_cache_slots:t.cfg.ks_cache_slots
-             ~engine:t.cfg.engine p.req)
+          (execute ~shard:t.cfg.shard ~workers:(resolved_workers t) ~disk:t.disk
+             ~store:t.store ~ks_cache_slots:t.cfg.ks_cache_slots ~engine:t.cfg.engine
+             p.req)
       with
       | status -> (status, n)
       | exception (Job.Crash _ as e) -> raise e (* fatal: kills the worker domain *)
@@ -492,17 +531,6 @@ let record_death_locked t =
 
 let breaker_open_locked t =
   t.cfg.breaker_threshold > 0 && mono () < t.breaker_until
-
-(* The pool never oversubscribes the host: every runnable domain beyond
-   the spare cores makes each stop-the-world minor GC pay a scheduler
-   timeslice of latency, so extra domains are strictly slower (measured
-   ~3x on a single-core host). [workers] is therefore a cap, not a
-   demand; the effective count is reported next to the requested one in
-   {!metrics_json}. The watchdog domain is outside the cap — it sleeps
-   except for a few microseconds per tick. *)
-let resolved_workers t =
-  let avail = Sofia_util.Par.recommended () in
-  if t.cfg.workers > 0 then max 1 (min t.cfg.workers avail) else avail
 
 (* Spawned under t.m so that a wstate is never visible without its
    domain handle — shutdown's join loop relies on that. *)

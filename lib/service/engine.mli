@@ -99,13 +99,22 @@ type config = {
   store_budget : int;
       (** on-disk byte budget; over it the store GCs least-recently
           used entries first. 0 (default) = unlimited. *)
+  shard : int;
+      (** fleet shard id this engine serves, [-1] (default) outside a
+          fleet. Reported in {!Job.payload.Ponged} probe answers and in
+          {!metrics_json}, so the router can tell its children apart. *)
+  mangle : (Job.response -> Job.response) option;
+      (** {b test-only} response-tamper hook, applied under the engine
+          lock before the response is recorded or streamed. The fleet
+          fault campaign uses it to model a compromised child that lies
+          about a digest; [None] (default) in any real deployment. *)
 }
 
 val default_config : config
 (** 0 workers (auto), 64-deep queue, [Block], 256 store slots, 3
     attempts, keystream cache on (1024 slots), fast engine, no default
     deadline, no fault injection, no watchdog, breaker disabled, real
-    wall clock. *)
+    wall clock, shard [-1], no response tampering. *)
 
 type t
 

@@ -9,6 +9,7 @@ type spec =
   | Simulate of { source : string; sofia : bool }
   | Attest of { source : string }
   | Run_image of { path : string }
+  | Ping
 
 type request = {
   id : string;
@@ -29,6 +30,7 @@ let op_name = function
   | Simulate _ -> "simulate"
   | Attest _ -> "attest"
   | Run_image _ -> "run_image"
+  | Ping -> "ping"
 
 type payload =
   | Protected of {
@@ -48,6 +50,7 @@ type payload =
     }
   | Attested of { digest : string; mac : string; issues : int; cached : bool }
   | Ran of { outcome : string; outputs : int list; cycles : int; instructions : int }
+  | Ponged of { shard : int; workers : int }
 
 type status = Done of payload | Rejected of string | Timed_out | Failed of string
 
@@ -88,6 +91,7 @@ let request_to_json (r : request) =
       [ ("source", J.Str source) ]
     | Simulate { source; sofia } -> [ ("source", J.Str source); ("sofia", J.Bool sofia) ]
     | Run_image { path } -> [ ("path", J.Str path) ]
+    | Ping -> []
   in
   J.Obj (base @ deadline @ spec)
 
@@ -107,6 +111,7 @@ let payload_fields = function
   | Ran { outcome; outputs; cycles; instructions } ->
     [ ("outcome", J.Str outcome); ("outputs", J.List (List.map (fun v -> J.Int v) outputs));
       ("cycles", J.Int cycles); ("instructions", J.Int instructions) ]
+  | Ponged { shard; workers } -> [ ("shard", J.Int shard); ("workers", J.Int workers) ]
 
 let response_to_json r =
   let status_fields =
@@ -192,10 +197,11 @@ let request_of_json j =
       | "run_image" ->
         let* path = str_field j "path" in
         Ok (Run_image { path })
+      | "ping" -> Ok Ping
       | other ->
         Error
           (Printf.sprintf
-             "unknown op %S (expected protect|verify|simulate|attest|run_image)" other)
+             "unknown op %S (expected protect|verify|simulate|attest|run_image|ping)" other)
     in
     if nonce < 0 || nonce > 0xFF then Error "nonce must be in [0, 255]"
     else Ok { id; key_seed; nonce; deadline_ms; spec }

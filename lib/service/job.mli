@@ -48,6 +48,9 @@ type spec =
   | Simulate of { source : string; sofia : bool }
   | Attest of { source : string }
   | Run_image of { path : string }
+  | Ping
+      (** Liveness probe, answered without touching the image store —
+          the fleet router's health check over the ordinary wire. *)
 
 type request = {
   id : string;
@@ -64,7 +67,7 @@ val make :
 
 val op_name : spec -> string
 (** Stable wire tag: [protect], [verify], [simulate], [attest],
-    [run_image]. *)
+    [run_image], [ping]. *)
 
 type payload =
   | Protected of {
@@ -84,6 +87,9 @@ type payload =
     }
   | Attested of { digest : string; mac : string; issues : int; cached : bool }
   | Ran of { outcome : string; outputs : int list; cycles : int; instructions : int }
+  | Ponged of { shard : int; workers : int }
+      (** Answer to {!spec.Ping}: the engine's shard id ([-1] outside a
+          fleet) and live worker count. *)
 
 type status =
   | Done of payload

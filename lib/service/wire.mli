@@ -48,6 +48,12 @@ exception Bind_error of string
     A {e stale} socket (probe refused) is unlinked and rebound
     silently — the crash-recovery path. *)
 
+val prepare_socket_path : string -> unit
+(** Make [path] safe to bind: probe-connect an existing socket file and
+    unlink it only if the probe is refused (stale leftover of a crash);
+    a live server or a non-socket file raises {!Bind_error}. Used by
+    {!serve_socket} and by the fleet router's listener. *)
+
 val serve_channels :
   ?obs:Sofia_obs.Obs.t ->
   ?signals:bool ->

@@ -1,0 +1,484 @@
+(* Fleet-mode battery: the deterministic shard map as a property, the
+   router's exactly-once delivery under child kill/breaker/drain, the
+   replay cache's byte-identity guarantee, and the child-engine fix the
+   fleet motivated (a raising response callback must never cost a
+   worker or a settle).
+
+   Everything multi-process here drives the *real* router
+   (Sofia.Fleet.Router.run) over real [sofia_cli serve --socket --once]
+   children — no mocks; the CLI binary is a declared test dep. *)
+
+module Job = Sofia.Service.Job
+module Json = Sofia.Obs.Json
+module Engine = Sofia.Service.Engine
+module FR = Sofia.Fleet.Router
+module FS = Sofia.Fleet.Shard
+
+let cli = "../bin/sofia_cli.exe"
+let have_cli () = Sys.file_exists cli
+
+let sources =
+  [|
+    ".equ OUT, 0xFFFF0000\nmain:\n  addi t0, zero, 1\n  la a6, OUT\n  st t0, 0(a6)\n  halt\n";
+    ".equ OUT, 0xFFFF0000\nmain:\n  addi t0, zero, 2\n  la a6, OUT\n  st t0, 0(a6)\n  halt\n";
+    "start:\n  mv a0, a1\n  j target\ntarget:\n  mv a1, a2\n  halt\n";
+    "start:\n  call f\n  call f\n  halt\nf:\n  addi a0, a0, 1\n  ret\n";
+  |]
+
+let mixed_request i =
+  let source = sources.(i mod Array.length sources) in
+  let id = Printf.sprintf "flt-%03d" i in
+  match i mod 4 with
+  | 0 -> Job.make ~id (Job.Protect { source })
+  | 1 -> Job.make ~id (Job.Verify { source })
+  | 2 -> Job.make ~id (Job.Attest { source })
+  | _ -> Job.make ~id (Job.Simulate { source; sofia = true })
+
+(* pin [want] jobs onto (or off) a shard by scanning the nonce space —
+   the route is a pure function of the request content, so this is
+   exact (campaign.ml uses the same trick for its fault scenarios) *)
+let pinned_jobs ~children ~pred ~prefix source want =
+  let rec go acc n nonce =
+    if n = want || nonce > 254 then List.rev acc
+    else
+      let j =
+        Job.make ~id:(Printf.sprintf "%s-%d" prefix n) ~nonce (Job.Protect { source })
+      in
+      if pred (FS.route ~shards:children j) then go (j :: acc) (n + 1) (nonce + 1)
+      else go acc n (nonce + 1)
+  in
+  go [] 0 1
+
+let lines_of jobs = List.map (fun r -> Json.to_string (Job.request_to_json r)) jobs
+
+(* Feed [lines] to an in-process router over temp files (the same
+   mechanism the fault campaign uses) and return (responses, stats). *)
+let fleet_run ?(tweak = fun (c : FR.config) -> c) lines =
+  let in_path = Filename.temp_file "sofia_fleet_in" ".ndjson" in
+  let out_path = Filename.temp_file "sofia_fleet_out" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ in_path; out_path ])
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      let cin = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+      let cout = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let cfg = tweak { FR.default_config with FR.cli = Some cli } in
+      let stats, _doc =
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close cin with Unix.Unix_error _ -> ());
+            try Unix.close cout with Unix.Unix_error _ -> ())
+          (fun () -> FR.run cfg ~client_in:cin ~client_out:cout)
+      in
+      let responses = ref [] in
+      let ic = open_in out_path in
+      (try
+         while true do
+           let line = input_line ic in
+           match Json.parse_opt line with
+           | Some j -> responses := j :: !responses
+           | None -> Alcotest.failf "router emitted a non-JSON line: %s" line
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (List.rev !responses, stats))
+
+let r_str k j = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+let r_status j = Option.value ~default:"?" (r_str "status" j)
+
+let check_ids_once ids rs =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun j ->
+      match r_str "id" j with
+      | Some id ->
+        Hashtbl.replace seen id (1 + Option.value ~default:0 (Hashtbl.find_opt seen id))
+      | None -> Alcotest.fail "response lacks an id")
+    rs;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt seen id with
+      | Some 1 -> ()
+      | Some n -> Alcotest.failf "id %s answered %d times" id n
+      | None -> Alcotest.failf "id %s never answered" id)
+    ids;
+  Alcotest.(check int) "no extra responses" (List.length ids) (Hashtbl.length seen)
+
+(* scheduling metadata legitimately differs across processes/runs *)
+let volatile = [ "id"; "seq"; "completion"; "attempts"; "worker"; "latency_ms"; "ts_unix"; "cached" ]
+
+let payload_fingerprint j =
+  match j with
+  | Json.Obj fields ->
+    Json.to_string (Json.Obj (List.filter (fun (k, _) -> not (List.mem k volatile)) fields))
+  | _ -> Alcotest.fail "response is not a JSON object"
+
+(* ---- the shard map, as properties ---- *)
+
+let prop_route_deterministic =
+  QCheck.Test.make ~count:300 ~name:"route: pure, in range, id-independent"
+    QCheck.(triple (int_range 1 8) (int_range 0 255) small_string)
+    (fun (shards, nonce, salt) ->
+      let source = sources.(nonce mod Array.length sources) ^ salt in
+      let j1 = Job.make ~id:"a" ~nonce (Job.Protect { source }) in
+      let j2 = Job.make ~id:"completely-different-id" ~nonce (Job.Protect { source }) in
+      let k = FS.route ~shards j1 in
+      k >= 0 && k < shards && FS.route ~shards j1 = k && FS.route ~shards j2 = k)
+
+let prop_route_op_affinity =
+  QCheck.Test.make ~count:200 ~name:"route: op-independent (store affinity)"
+    QCheck.(pair (int_range 1 8) (int_range 0 255))
+    (fun (shards, nonce) ->
+      let source = sources.(nonce mod Array.length sources) in
+      let mk spec = Job.make ~id:"x" ~nonce spec in
+      let k = FS.route ~shards (mk (Job.Protect { source })) in
+      FS.route ~shards (mk (Job.Verify { source })) = k
+      && FS.route ~shards (mk (Job.Attest { source })) = k
+      && FS.route ~shards (mk (Job.Simulate { source; sofia = true })) = k)
+
+let test_route_coverage () =
+  (* the map must actually spread load: over a modest nonce scan every
+     shard of a 3-way fleet sees traffic *)
+  let children = 3 in
+  let counts = Array.make children 0 in
+  for nonce = 1 to 64 do
+    let j = Job.make ~id:"c" ~nonce (Job.Protect { source = sources.(0) }) in
+    let k = FS.route ~shards:children j in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun k c ->
+      if c = 0 then Alcotest.failf "shard %d got no traffic over 64 nonces" k)
+    counts
+
+let test_content_key_vs_route_key () =
+  let source = sources.(0) in
+  let p = Job.make ~id:"x" (Job.Protect { source }) in
+  let v = Job.make ~id:"x" (Job.Verify { source }) in
+  Alcotest.(check string) "route_key ignores the op" (FS.route_key p) (FS.route_key v);
+  Alcotest.(check bool) "content_key separates ops" true
+    (FS.content_key p <> FS.content_key v);
+  Alcotest.(check bool) "protect is replayable" true (FS.replayable p);
+  Alcotest.(check bool) "ping is not replayable" false
+    (FS.replayable (Job.make ~id:"p" Job.Ping))
+
+(* ---- end-to-end through real children ---- *)
+
+let test_mix_matches_oneshot () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    let n = 24 in
+    let jobs = List.init n mixed_request in
+    let rs, st = fleet_run (lines_of jobs) in
+    check_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs;
+    Alcotest.(check bool) "conserved" true (FR.conserved st);
+    List.iter
+      (fun j ->
+        let id = Option.get (r_str "id" j) in
+        Alcotest.(check string) (id ^ " status") "done" (r_status j);
+        let i = int_of_string (String.sub id 4 3) in
+        let req = mixed_request i in
+        let oneshot =
+          Job.response_to_json
+            { Job.id; op = Job.op_name req.Job.spec;
+              status = Engine.execute_oneshot req;
+              seq = 0; completion = 0; attempts = 1; worker = 0;
+              latency_ms = 0.0; ts = 0.0 }
+        in
+        if payload_fingerprint j <> payload_fingerprint oneshot then
+          Alcotest.failf "%s: fleet payload differs from one-shot" id)
+      rs
+  end
+
+let test_replay_byte_identical () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    (* one distinct image requested under ten different ids: every
+       response must carry the same payload bytes, and at most one may
+       have been computed by a child *)
+    let jobs =
+      List.init 10 (fun i ->
+          Job.make ~id:(Printf.sprintf "dup-%d" i) ~nonce:7
+            (Job.Protect { source = sources.(0) }))
+    in
+    let rs, st = fleet_run (lines_of jobs) in
+    check_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs;
+    let prints = List.sort_uniq compare (List.map payload_fingerprint rs) in
+    Alcotest.(check int) "all ten payloads byte-identical" 1 (List.length prints);
+    Alcotest.(check bool) "replay cache actually served" true (st.FR.replays >= 1);
+    Alcotest.(check bool) "at most one dispatch reached a child" true
+      (st.FR.replays + st.FR.coalesced >= 9);
+    Alcotest.(check bool) "conserved" true (FR.conserved st)
+  end
+
+let test_child_kill_exactly_once () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    let children = 3 in
+    let victim = 0 in
+    let jobs =
+      pinned_jobs ~children ~pred:(fun k -> k = victim) ~prefix:"kv" sources.(2) 10
+      @ pinned_jobs ~children ~pred:(fun k -> k <> victim) ~prefix:"ko" sources.(2) 4
+    in
+    let pids = Array.make children (-1) in
+    let killed = ref false in
+    let on_event = function
+      | FR.Child_up (k, pid) -> pids.(k) <- pid
+      | FR.Client_response n ->
+        if n >= 2 && not !killed then begin
+          killed := true;
+          try Unix.kill pids.(victim) Sys.sigkill with Unix.Unix_error _ -> ()
+        end
+      | FR.Child_down _ -> ()
+    in
+    let rs, st =
+      fleet_run
+        ~tweak:(fun c -> { c with FR.children; window = 4; on_event = Some on_event })
+        (lines_of jobs)
+    in
+    Alcotest.(check bool) "a child was killed" true !killed;
+    check_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs;
+    List.iter (fun j -> Alcotest.(check string) "status" "done" (r_status j)) rs;
+    Alcotest.(check bool) "death detected" true (st.FR.deaths >= 1);
+    Alcotest.(check bool) "child restarted" true (st.FR.restarts >= 1);
+    Alcotest.(check bool) "conserved" true (FR.conserved st)
+  end
+
+let test_breaker_quarantine_and_reshed () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    let children = 3 in
+    let marker = "FLEET-TEST-POISON" in
+    let poison =
+      Job.make ~id:"poison" ~nonce:11 (Job.Protect { source = sources.(0) ^ "\n" ^ marker })
+    in
+    let pshard = FS.route ~shards:children poison in
+    let healthy =
+      pinned_jobs ~children ~pred:(fun k -> k = pshard) ~prefix:"hb" sources.(0) 4
+    in
+    let rs, st =
+      fleet_run
+        ~tweak:(fun c ->
+          { c with
+            FR.children; window = 1; breaker_threshold = 3; redispatch_limit = 2;
+            child_extra_args = Some (fun _ -> [ "--test-exit"; marker ]) })
+        (lines_of (poison :: healthy))
+    in
+    check_ids_once ("poison" :: List.map (fun (j : Job.request) -> j.Job.id) healthy) rs;
+    List.iter
+      (fun j ->
+        let id = Option.get (r_str "id" j) in
+        Alcotest.(check string) (id ^ " status")
+          (if id = "poison" then "failed" else "done")
+          (r_status j))
+      rs;
+    Alcotest.(check bool) "breaker quarantined the shard" true (st.FR.quarantines >= 1);
+    Alcotest.(check bool) "healthy traffic re-shed" true (st.FR.resheds >= 1);
+    Alcotest.(check bool) "conserved" true (FR.conserved st)
+  end
+
+let test_malformed_at_router () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    let good = List.init 4 mixed_request in
+    let lines =
+      [ "this is not json"; "{\"op\":\"protect\"}" ]
+      @ lines_of good
+      @ [ "{\"id\":\"bad-nonce\",\"op\":\"protect\",\"source\":\"halt\",\"nonce\":9999}" ]
+    in
+    let rs, st = fleet_run ~tweak:(fun c -> { c with FR.children = 2 }) lines in
+    (* every input line — including garbage — gets exactly one response
+       line, and the children never see the garbage *)
+    Alcotest.(check int) "one response per input line" (List.length lines)
+      (List.length rs);
+    Alcotest.(check int) "malformed counted" 3 st.FR.malformed;
+    Alcotest.(check int) "no child deaths" 0 st.FR.deaths;
+    List.iter
+      (fun j ->
+        match r_str "id" j with
+        | Some id when String.length id >= 4 && String.sub id 0 4 = "flt-" ->
+          Alcotest.(check string) (id ^ " status") "done" (r_status j)
+        | _ -> Alcotest.(check string) "garbage status" "error" (r_status j))
+      rs;
+    Alcotest.(check bool) "conserved" true (FR.conserved st)
+  end
+
+let test_ping_round_trip () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    let jobs = List.init 3 (fun i -> Job.make ~id:(Printf.sprintf "ping-%d" i) Job.Ping) in
+    let rs, st = fleet_run ~tweak:(fun c -> { c with FR.children = 2 }) (lines_of jobs) in
+    check_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs;
+    List.iter
+      (fun j ->
+        Alcotest.(check string) "pong" "done" (r_status j);
+        match Json.member "shard" j with
+        | Some (Json.Int k) when k >= 0 && k < 2 -> ()
+        | _ -> Alcotest.fail "pong lacks a valid shard id")
+      rs;
+    Alcotest.(check int) "pings are never replayed" 0 st.FR.replays
+  end
+
+let test_window_one_conservation () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    let n = 30 in
+    let jobs = List.init n mixed_request in
+    let rs, st =
+      fleet_run ~tweak:(fun c -> { c with FR.children = 2; window = 1 }) (lines_of jobs)
+    in
+    check_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs;
+    List.iter (fun j -> Alcotest.(check string) "status" "done" (r_status j)) rs;
+    Alcotest.(check int) "no deaths under backpressure" 0 st.FR.deaths;
+    Alcotest.(check bool) "conserved" true (FR.conserved st)
+  end
+
+let test_stale_socket_recovery () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    (* a previous fleet that died -9 leaves socket files behind; the
+       next fleet on the same --socket-dir must come up anyway *)
+    let dir = Filename.temp_file "sofia_fleet_sock" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Unix.rmdir dir)
+      (fun () ->
+        (* plant a bound-but-dead Unix socket on every shard path (a
+           plain file would — correctly — be refused, not replaced) *)
+        List.iter
+          (fun k ->
+            let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.bind dead
+              (Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "shard-%d.sock" k)));
+            Unix.close dead)
+          [ 0; 1 ];
+        let jobs = List.init 6 mixed_request in
+        let rs, st =
+          fleet_run
+            ~tweak:(fun c -> { c with FR.children = 2; socket_dir = Some dir })
+            (lines_of jobs)
+        in
+        check_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs;
+        List.iter (fun j -> Alcotest.(check string) "status" "done" (r_status j)) rs;
+        Alcotest.(check bool) "conserved" true (FR.conserved st))
+  end
+
+(* ---- graceful drain of the whole fleet process ---- *)
+
+let test_sigterm_drain_no_torn_output () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let req_r, req_w = Unix.pipe ~cloexec:true () in
+    let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+    let pid =
+      Unix.create_process cli
+        [| cli; "fleet"; "--stdin"; "--children"; "2" |]
+        req_r resp_w null
+    in
+    Unix.close null;
+    Unix.close req_r;
+    Unix.close resp_w;
+    let oc = Unix.out_channel_of_descr req_w in
+    let ic = Unix.in_channel_of_descr resp_r in
+    let n = 16 in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      (lines_of (List.init n mixed_request));
+    flush oc;
+    (* wait until the fleet is demonstrably mid-stream, then interrupt *)
+    let first =
+      match input_line ic with
+      | l -> l
+      | exception End_of_file -> Alcotest.fail "fleet produced no output"
+    in
+    Unix.kill pid Sys.sigterm;
+    let rest = ref [] in
+    (try
+       while true do
+         rest := input_line ic :: !rest
+       done
+     with End_of_file -> ());
+    close_out_noerr oc;
+    close_in_noerr ic;
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "fleet exited cleanly after SIGTERM" true
+      (status = Unix.WEXITED 0);
+    (* the drain guarantee: whatever was written is complete NDJSON —
+       every line parses; nothing is torn mid-record *)
+    List.iter
+      (fun line ->
+        if Json.parse_opt line = None then
+          Alcotest.failf "torn/garbled response line after SIGTERM: %s" line)
+      (first :: List.rev !rest)
+  end
+
+(* ---- the child-engine fix the fleet motivated ---- *)
+
+let test_raising_callback_never_loses_a_settle () =
+  (* The fleet router can close a child's client socket while workers
+     still hold jobs; nothing guarantees the on_response callback never
+     raises in that state. The engine must contain it: every job still
+     settles exactly once, terminal counters conserve, and the worker
+     pool survives to drain the rest. *)
+  let n = 20 in
+  let calls = ref 0 in
+  let eng =
+    Engine.create
+      ~on_response:(fun _ ->
+        incr calls;
+        if !calls mod 2 = 0 then failwith "client is gone")
+      { Engine.default_config with Engine.workers = 2 }
+  in
+  Engine.start eng;
+  List.iter (fun i -> Engine.submit eng (mixed_request i)) (List.init n Fun.id);
+  let rs = Engine.drain eng in
+  Engine.shutdown eng;
+  let m = Engine.metrics eng in
+  Alcotest.(check int) "every job settled exactly once" n (List.length rs);
+  Alcotest.(check int) "terminal counters conserve" n
+    (Sofia.Service.Svc_metrics.terminal_sum m);
+  Alcotest.(check int) "callback ran once per response" n !calls;
+  Alcotest.(check bool) "raises were accounted as service errors" true
+    (m.Sofia.Service.Svc_metrics.service_errors >= n / 2);
+  List.iter
+    (fun (r : Job.response) ->
+      match r.Job.status with
+      | Job.Done _ -> ()
+      | _ -> Alcotest.failf "%s did not complete" r.Job.id)
+    rs
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_route_deterministic;
+    QCheck_alcotest.to_alcotest prop_route_op_affinity;
+    Alcotest.test_case "route covers every shard" `Quick test_route_coverage;
+    Alcotest.test_case "content key vs route key" `Quick test_content_key_vs_route_key;
+    Alcotest.test_case "3-child mix matches one-shot payloads" `Slow
+      test_mix_matches_oneshot;
+    Alcotest.test_case "replay cache is byte-identical" `Slow test_replay_byte_identical;
+    Alcotest.test_case "child kill -9: zero lost, zero duplicated" `Slow
+      test_child_kill_exactly_once;
+    Alcotest.test_case "breaker quarantine + re-shed" `Slow
+      test_breaker_quarantine_and_reshed;
+    Alcotest.test_case "malformed lines die at the router" `Slow test_malformed_at_router;
+    Alcotest.test_case "ping round-trip, never replayed" `Slow test_ping_round_trip;
+    Alcotest.test_case "window=1 backpressure conserves" `Slow test_window_one_conservation;
+    Alcotest.test_case "stale sockets recovered at spawn" `Slow test_stale_socket_recovery;
+    Alcotest.test_case "SIGTERM drain: no torn NDJSON" `Slow
+      test_sigterm_drain_no_torn_output;
+    Alcotest.test_case "raising response callback loses nothing" `Quick
+      test_raising_callback_never_loses_a_settle;
+  ]

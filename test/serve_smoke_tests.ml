@@ -105,6 +105,7 @@ let payload_keys = function
   | Job.Attest _ -> [ "digest"; "mac"; "ok"; "status" ]
   | Job.Simulate _ -> [ "outcome"; "outputs"; "cycles"; "instructions"; "status" ]
   | Job.Run_image _ -> [ "outcome"; "status" ]
+  | Job.Ping -> [ "shard"; "workers"; "status" ]
 
 (* ---- socket mode ---- *)
 
@@ -335,9 +336,153 @@ let test_warm_restart_across_processes () =
         Alcotest.(check int) "no corrupt entries" 0 (disk_counter "corrupt"))
   end
 
+(* ---- fleet smoke: the full mix through a real 3-child fleet ---- *)
+
+(* 200 mixed jobs through [sofia_cli fleet --children 3], with one
+   child kill -9'd mid-mix (pid scraped from the router's stderr
+   lifecycle lines): every payload must be byte-identical to what a
+   single-process [serve] answers for the same request, every id
+   answered exactly once, and the fleet must still exit 0 — the
+   supervised-redispatch guarantee over the real wire. *)
+let test_fleet_mix_kill9_vs_serve () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let n = 200 in
+    let reqs = List.init n request in
+    let payload_of line =
+      match Json.parse_opt line with
+      | None -> Alcotest.failf "response is not JSON: %s" line
+      | Some j ->
+        let id =
+          match Json.member "id" j with
+          | Some (Json.Str s) -> s
+          | _ -> Alcotest.failf "response lacks id: %s" line
+        in
+        let req = request (int_of_string (String.sub id 4 3)) in
+        (id, List.map (fun k -> (k, Json.member k j)) (payload_keys req.Job.spec))
+    in
+    (* reference: the same mix through single-process serve *)
+    let req_path = Filename.temp_file "sofia_fleet_smoke" ".ndjson" in
+    let err_path = Filename.temp_file "sofia_fleet_smoke" ".stderr" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ req_path; err_path ])
+      (fun () ->
+        let oc = open_out req_path in
+        List.iter
+          (fun r ->
+            output_string oc (Json.to_string (Job.request_to_json r));
+            output_char oc '\n')
+          reqs;
+        close_out oc;
+        let cmd =
+          Printf.sprintf "%s serve --stdin --workers 2 < %s 2>/dev/null"
+            (Filename.quote cli) (Filename.quote req_path)
+        in
+        let ic = Unix.open_process_in cmd in
+        let serve_lines = ref [] in
+        (try
+           while true do
+             serve_lines := input_line ic :: !serve_lines
+           done
+         with End_of_file -> ());
+        (match Unix.close_process_in ic with
+         | Unix.WEXITED 0 -> ()
+         | _ -> Alcotest.fail "reference serve did not exit cleanly");
+        let reference = Hashtbl.create n in
+        List.iter
+          (fun line ->
+            let id, fields = payload_of line in
+            Hashtbl.replace reference id fields)
+          !serve_lines;
+        Alcotest.(check int) "serve answered all" n (Hashtbl.length reference);
+        (* the fleet, interactively, so we can kill a child mid-mix *)
+        let err_fd =
+          Unix.openfile err_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+        in
+        let req_r, req_w = Unix.pipe ~cloexec:true () in
+        let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+        let pid =
+          Unix.create_process cli
+            [| cli; "fleet"; "--stdin"; "--children"; "3"; "--workers"; "1" |]
+            req_r resp_w err_fd
+        in
+        Unix.close err_fd;
+        Unix.close req_r;
+        Unix.close resp_w;
+        let foc = Unix.out_channel_of_descr req_w in
+        let fic = Unix.in_channel_of_descr resp_r in
+        let send r =
+          output_string foc (Json.to_string (Job.request_to_json r));
+          output_char foc '\n'
+        in
+        let first, rest =
+          let rec split k acc = function
+            | l when k = 0 -> (List.rev acc, l)
+            | x :: tl -> split (k - 1) (x :: acc) tl
+            | [] -> (List.rev acc, [])
+          in
+          split (n / 2) [] reqs
+        in
+        List.iter send first;
+        flush foc;
+        (* wait for proof the fleet is mid-stream, then murder a child *)
+        let early =
+          match input_line fic with
+          | l -> l
+          | exception End_of_file -> Alcotest.fail "fleet produced no output"
+        in
+        let child_pids =
+          let ic = open_in err_path in
+          let pids = ref [] in
+          (try
+             while true do
+               let line = input_line ic in
+               (* sscanf raises End_of_file on a too-short line — keep
+                  it distinct from the channel's own End_of_file *)
+               try
+                 Scanf.sscanf line "fleet: shard %d up (pid %d)" (fun _ p ->
+                     pids := p :: !pids)
+               with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()
+             done
+           with End_of_file -> ());
+          close_in ic;
+          !pids
+        in
+        if child_pids = [] then Alcotest.fail "no child pids on fleet stderr";
+        Unix.kill (List.hd child_pids) Sys.sigkill;
+        List.iter send rest;
+        close_out foc;
+        let fleet_lines = ref [ early ] in
+        (try
+           while true do
+             fleet_lines := input_line fic :: !fleet_lines
+           done
+         with End_of_file -> ());
+        close_in_noerr fic;
+        let _, status = Unix.waitpid [] pid in
+        Alcotest.(check bool) "fleet exited 0 despite the kill" true
+          (status = Unix.WEXITED 0);
+        Alcotest.(check int) "fleet answered all" n (List.length !fleet_lines);
+        let seen = Hashtbl.create n in
+        List.iter
+          (fun line ->
+            let id, fields = payload_of line in
+            if Hashtbl.mem seen id then Alcotest.failf "fleet answered %s twice" id;
+            Hashtbl.add seen id ();
+            match Hashtbl.find_opt reference id with
+            | None -> Alcotest.failf "fleet answered unknown id %s" id
+            | Some ref_fields ->
+              if fields <> ref_fields then
+                Alcotest.failf "%s: fleet payload differs from single serve" id)
+          !fleet_lines)
+  end
+
 let suite =
   [
     Alcotest.test_case "pipe mode, 200 mixed requests" `Slow test_pipe_mode_200;
+    Alcotest.test_case "fleet mix + kill -9 vs single serve" `Slow
+      test_fleet_mix_kill9_vs_serve;
     Alcotest.test_case "warm restart across processes" `Slow
       test_warm_restart_across_processes;
     Alcotest.test_case "socket mode, 50 mixed requests" `Slow test_socket_mode_50;

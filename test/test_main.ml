@@ -30,4 +30,5 @@ let () =
       ("fault", Fault_tests.suite);
       ("engine", Engine_tests.suite);
       ("store-fs", Store_fs_tests.suite);
+      ("fleet", Fleet_tests.suite);
     ]

@@ -16,6 +16,13 @@
                          zero corrupt entries) and re-run a small warm
                          restart live, requiring a warm/cold speedup of
                          at least RATIO
+       [--fleet-floor RATIO]
+                         validate the baseline's fleet-throughput row
+                         (all jobs done, payloads byte-identical to
+                         single-process serve, open-loop phase complete)
+                         and re-run a small live fleet-vs-serve pair of
+                         real processes, requiring a steady-state fleet
+                         speedup of at least RATIO
 
    The gate is deliberately generous: Bechamel medians are stable to a
    few percent on an idle machine, so a 25% per-benchmark budget only
@@ -42,7 +49,7 @@ module J = Sofia.Obs.Json
 let usage () =
   prerr_endline
     "usage: bench_compare BASELINE.json [--runs N] [--tolerance PCT] [--normalize] \
-     [--floor NAME:RATIO]... [--warm-floor RATIO]";
+     [--floor NAME:RATIO]... [--warm-floor RATIO] [--fleet-floor RATIO]";
   exit 2
 
 let read_file path =
@@ -89,7 +96,8 @@ let () =
   and tolerance = ref 25.0
   and normalize = ref false
   and floors = ref []
-  and warm_floor = ref None in
+  and warm_floor = ref None
+  and fleet_floor = ref None in
   let rec parse = function
     | [] -> ()
     | "--runs" :: n :: rest ->
@@ -103,6 +111,9 @@ let () =
       parse rest
     | "--warm-floor" :: r :: rest ->
       warm_floor := Some (float_of_string r);
+      parse rest
+    | "--fleet-floor" :: r :: rest ->
+      fleet_floor := Some (float_of_string r);
       parse rest
     | "--floor" :: spec :: rest ->
       (match String.rindex_opt spec ':' with
@@ -271,6 +282,68 @@ let () =
         all_done=%b%s\n"
        r.restart_speedup ratio r.disk_hits r.disk_corrupt r.r_identical r.r_all_done
        (if fresh_ok then "" else "  TOO SLOW OR INCORRECT"));
+  (* Fleet gate (PR 7): the committed fleet-throughput row must claim a
+     correct fleet (every job done, payloads byte-identical to a
+     single-process serve, the open-loop phase completed), and a small
+     fresh serve-vs-fleet pair of real processes must reproduce at
+     least the floored steady-state speedup. Catches a stale baseline,
+     a router whose replay path quietly broke, and a fleet that stopped
+     being byte-faithful to the single-process engine. *)
+  let fleet_failed = ref false in
+  (match !fleet_floor with
+   | None -> ()
+   | Some ratio ->
+     Printf.printf "\nfleet gate (floor %.2fx steady-state):\n%!" ratio;
+     let baseline_row =
+       let open J in
+       let experiments =
+         match member "experiments" baseline_json with Some (List l) -> l | _ -> []
+       in
+       match
+         List.find_opt (fun e -> member "id" e = Some (Str "service")) experiments
+       with
+       | None -> None
+       | Some svc ->
+         let rows = match member "rows" svc with Some (List l) -> l | _ -> [] in
+         List.find_opt (fun r -> member "name" r = Some (Str "fleet-throughput")) rows
+     in
+     (match baseline_row with
+      | None ->
+        fleet_failed := true;
+        Printf.printf "  baseline has no fleet-throughput row\n"
+      | Some row ->
+        let bool_field n = J.member n row = Some (J.Bool true) in
+        let float_field n =
+          match J.member n row with
+          | Some (J.Float v) -> v
+          | Some (J.Int v) -> float_of_int v
+          | _ -> 0.0
+        in
+        let row_ok =
+          bool_field "identical" && bool_field "all_done" && bool_field "open_loop_done"
+          && float_field "speedup" >= ratio
+        in
+        if not row_ok then fleet_failed := true;
+        Printf.printf
+          "  baseline row: speedup=%.2fx identical=%b all_done=%b open_loop_done=%b%s\n"
+          (float_field "speedup") (bool_field "identical") (bool_field "all_done")
+          (bool_field "open_loop_done")
+          (if row_ok then "" else "  INVALID"));
+     (match Sofia_benchlib.Bench_service.measure_fleet ~clients:16 ~children:3 () with
+      | None ->
+        fleet_failed := true;
+        Printf.printf "  fresh fleet: sofia_cli binary not found (set SOFIA_CLI)\n"
+      | Some f ->
+        let open Sofia_benchlib.Bench_service in
+        let fresh_ok =
+          f.fl_ratio >= ratio && f.fl_identical && f.fl_all_done && f.fl_open_done
+        in
+        if not fresh_ok then fleet_failed := true;
+        Printf.printf
+          "  fresh fleet: %.2fx steady-state (floor %.2fx, cold %.2fx), identical=%b \
+           all_done=%b open_loop_done=%b%s\n"
+          f.fl_ratio ratio f.fl_cold_ratio f.fl_identical f.fl_all_done f.fl_open_done
+          (if fresh_ok then "" else "  TOO SLOW OR INCORRECT")));
   (* Fault-coverage gate: a fresh pinned-seed campaign must detect
      100% of the in-model tamper classes with zero detection latency —
      a perf-motivated change that weakens the frontend (say, a MAC
@@ -305,6 +378,10 @@ let () =
   if !warm_failed then
     Printf.printf "FAIL: the warm-restart gate failed (stale baseline row or slow/incorrect \
                    fresh restart)\n";
+  if !fleet_failed then
+    Printf.printf "FAIL: the fleet gate failed (stale baseline row or slow/incorrect fresh \
+                   fleet)\n";
   if !fault_failed then
     Printf.printf "FAIL: an in-model tamper class escaped detection or detected late\n";
-  if !failed <> [] || !floor_failed || !fault_failed || !warm_failed then exit 1
+  if !failed <> [] || !floor_failed || !fault_failed || !warm_failed || !fleet_failed then
+    exit 1
