@@ -18,6 +18,7 @@ module Job = Sofia.Service.Job
 module J = Sofia.Obs.Json
 
 type measurement = {
+  backend : string;  (** protection backend the job mix was built for *)
   jobs : int;
   workers : int;
   clients : int;
@@ -49,8 +50,9 @@ let percentile p xs =
     let i = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
     a.(max 0 (min (n - 1) i))
 
-let measure ?(clients = 64) ?(workers = 4) () =
-  let jobs = Sofia.Service_load.registry_jobs ~clients () in
+let measure ?(backend = Sofia.Transform.Backend_id.Sofia) ?(clients = 64) ?(workers = 4)
+    () =
+  let jobs = Sofia.Service_load.registry_jobs ~clients ~backend () in
   let n = List.length jobs in
   let t0 = Unix.gettimeofday () in
   let seq_statuses = List.map Engine.execute_oneshot jobs in
@@ -87,6 +89,7 @@ let measure ?(clients = 64) ?(workers = 4) () =
       [ "protect"; "verify"; "simulate"; "attest" ]
   in
   {
+    backend = Sofia.Transform.Backend_id.name backend;
     jobs = n;
     workers;
     clients;
@@ -481,26 +484,30 @@ let pp_fleet fmt (f : fleet) =
         s.sh_jobs s.sh_p50_ms s.sh_p99_ms)
     f.fl_per_shard
 
-let to_json ?restart ?fleet (m : measurement) =
+let throughput_row (m : measurement) =
+  J.Obj
+    [
+      ("name", J.Str "service-throughput");
+      ("backend", J.Str m.backend);
+      ("jobs", J.Int m.jobs);
+      ("workers", J.Int m.workers);
+      ("clients", J.Int m.clients);
+      ("seq_s", J.Float m.seq_s);
+      ("batch_s", J.Float m.batch_s);
+      ("seq_jobs_per_s", J.Float m.seq_jobs_per_s);
+      ("batch_jobs_per_s", J.Float m.batch_jobs_per_s);
+      ("speedup", J.Float m.speedup);
+      ("all_done", J.Bool m.all_done);
+      ("identical_images", J.Bool m.identical_images);
+    ]
+
+let to_json ?restart ?fleet ?(extra_rows = []) (m : measurement) =
   J.Obj
     [
       ( "rows",
         J.List
           ([
-            J.Obj
-              [
-                ("name", J.Str "service-throughput");
-                ("jobs", J.Int m.jobs);
-                ("workers", J.Int m.workers);
-                ("clients", J.Int m.clients);
-                ("seq_s", J.Float m.seq_s);
-                ("batch_s", J.Float m.batch_s);
-                ("seq_jobs_per_s", J.Float m.seq_jobs_per_s);
-                ("batch_jobs_per_s", J.Float m.batch_jobs_per_s);
-                ("speedup", J.Float m.speedup);
-                ("all_done", J.Bool m.all_done);
-                ("identical_images", J.Bool m.identical_images);
-              ];
+            throughput_row m;
             J.Obj
               [
                 ("name", J.Str "service-p99");
@@ -514,18 +521,19 @@ let to_json ?restart ?fleet (m : measurement) =
               ];
           ]
           @ (match restart with Some r -> [ restart_row r ] | None -> [])
-          @ match fleet with Some f -> [ fleet_row f ] | None -> []) );
+          @ (match fleet with Some f -> [ fleet_row f ] | None -> [])
+          @ extra_rows) );
       ("service_metrics", m.metrics);
     ]
 
 let pp fmt (m : measurement) =
   Format.fprintf fmt
-    "  %d jobs (%d clients/workload), %d workers@.\
+    "  %d jobs (%d clients/workload, %s backend), %d workers@.\
     \  sequential one-shot: %6.3f s  (%6.1f jobs/s)@.\
     \  batch engine:        %6.3f s  (%6.1f jobs/s)@.\
     \  speedup: %.2fx   all done: %b   byte-identical images: %b@."
-    m.jobs m.clients m.workers m.seq_s m.seq_jobs_per_s m.batch_s m.batch_jobs_per_s m.speedup
-    m.all_done m.identical_images;
+    m.jobs m.clients m.backend m.workers m.seq_s m.seq_jobs_per_s m.batch_s
+    m.batch_jobs_per_s m.speedup m.all_done m.identical_images;
   List.iter
     (fun (op, p50, p99) ->
       Format.fprintf fmt "  %-10s p50 %7.3f ms   p99 %7.3f ms@." op p50 p99)

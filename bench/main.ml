@@ -477,6 +477,16 @@ let x6_toolchain () =
     \   utilisation effect as the ADPCM kernel variants in E2.@."
 
 (* ------------------------------------------------------------------ *)
+(* backends: the protection-backend comparison (PR 8)                  *)
+(* ------------------------------------------------------------------ *)
+
+let backends_exp () =
+  section "backends"
+    "protection backends: detection coverage / cycle overhead / area per workload";
+  let rows = Sofia_benchlib.Bench_backend.rows () in
+  Format.printf "%a" Sofia_benchlib.Bench_backend.pp rows
+
+(* ------------------------------------------------------------------ *)
 (* micro: Bechamel microbenchmarks (X4)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -510,7 +520,8 @@ let fault_seed = 0xF417AL
 let fault () =
   section "fault" "fault-injection campaign: detection coverage + supervised recovery";
   Format.printf "%a" Sofia.Fault.Campaign.pp
-    (Sofia.Fault.Campaign.run ~trials:fault_trials ~seed:fault_seed ())
+    (Sofia.Fault.Campaign.run ~backends:Sofia.Transform.Backend_id.all
+       ~trials:fault_trials ~seed:fault_seed ())
 
 (* ------------------------------------------------------------------ *)
 (* --json: machine-readable benchmark report                           *)
@@ -537,6 +548,9 @@ let overhead_json (o : Sofia.Report.overhead) (m : Metrics.t) =
   J.Obj
     [
       ("name", J.Str o.Sofia.Report.name);
+      (* Report.overhead_of_workload runs the original SOFIA pipeline;
+         SCFP rows live in the "backends" experiment *)
+      ("backend", J.Str "sofia");
       ("vanilla_cycles", J.Int o.Sofia.Report.vanilla_cycles);
       ("sofia_cycles", J.Int o.Sofia.Report.sofia_cycles);
       ("cycle_overhead_pct", J.Float o.Sofia.Report.cycle_overhead_pct);
@@ -608,7 +622,11 @@ let json_x1_workloads () =
 let json_fault () =
   let module C = Sofia.Fault.Campaign in
   let module S = Sofia.Fault.Site in
-  let r, wall = timed (fun () -> C.run ~trials:fault_trials ~seed:fault_seed ()) in
+  let r, wall =
+    timed (fun () ->
+        C.run ~backends:Sofia.Transform.Backend_id.all ~trials:fault_trials
+          ~seed:fault_seed ())
+  in
   let d, t = C.in_model_trials r in
   Format.printf "  [json] fault: %d/%d in-model detected, %d escape(s), service %s, in %.1f s@."
     d t (C.in_model_escapes r)
@@ -631,7 +649,9 @@ let json_fault () =
                J.Obj
                  [
                    ("class", J.Str (S.name c.C.clazz));
+                   ("backend", J.Str (Sofia.Transform.Backend_id.name c.C.backend));
                    ("in_model", J.Bool (S.in_model c.C.clazz));
+                   ("applicable", J.Bool c.C.applicable);
                    ("trials", J.Int c.C.trials);
                    ("detected", J.Int c.C.detected);
                    ( "detection_rate",
@@ -655,6 +675,17 @@ let json_service () =
   let m, wall = timed (fun () -> Sofia_benchlib.Bench_service.measure ()) in
   Format.printf "  [json] service: %d jobs, %.2fx batch speedup, in %.1f s@."
     m.Sofia_benchlib.Bench_service.jobs m.Sofia_benchlib.Bench_service.speedup wall;
+  (* a second, smaller mix protected by the SCFP backend: the serving
+     layer must hold its batch speedup when every job re-keys a sponge
+     instead of a CTR keystream *)
+  let scfp_m, swall =
+    timed (fun () ->
+        Sofia_benchlib.Bench_service.measure ~backend:Sofia.Transform.Backend_id.Scfp
+          ~clients:16 ())
+  in
+  Format.printf "  [json] service (scfp): %d jobs, %.2fx batch speedup, in %.1f s@."
+    scfp_m.Sofia_benchlib.Bench_service.jobs scfp_m.Sofia_benchlib.Bench_service.speedup
+    swall;
   let r, rwall = timed (fun () -> Sofia_benchlib.Bench_service.measure_restart ()) in
   Format.printf
     "  [json] warm restart: %.2fx over cold, %d disk hits / %d corrupt, in %.1f s@."
@@ -666,15 +697,37 @@ let json_service () =
     Format.printf "  [json] fleet: %.2fx over single-process serve, in %.1f s@."
       f.Sofia_benchlib.Bench_service.fl_ratio fwall
   | None -> Format.printf "  [json] fleet: skipped (sofia_cli binary not found)@.");
-  match Sofia_benchlib.Bench_service.to_json ~restart:r ?fleet m with
+  match
+    Sofia_benchlib.Bench_service.to_json ~restart:r ?fleet
+      ~extra_rows:[ Sofia_benchlib.Bench_service.throughput_row scfp_m ]
+      m
+  with
   | J.Obj fields -> J.Obj (("id", J.Str "service") :: ("wall_time_s", J.Float wall) :: fields)
   | j -> j
 
-(* The report always carries these five, whatever else was selected on
+let json_backends () =
+  let rows, wall = timed (fun () -> Sofia_benchlib.Bench_backend.rows ()) in
+  Format.printf "  [json] backends: %d (backend x workload) rows in %.1f s@."
+    (List.length rows) wall;
+  J.Obj
+    [
+      ("id", J.Str "backends");
+      ("wall_time_s", J.Float wall);
+      ( "geomean_cycle_ratio",
+        J.Obj
+          (List.map
+             (fun b ->
+               ( Sofia.Transform.Backend_id.name b,
+                 J.Float (Sofia_benchlib.Bench_backend.geomean_cycle_ratio b rows) ))
+             Sofia.Transform.Backend_id.all) );
+      ("rows", J.List (List.map Sofia_benchlib.Bench_backend.row_json rows));
+    ]
+
+(* The report always carries these six, whatever else was selected on
    the command line, so downstream perf tracking has a stable schema. *)
 let json_experiments =
   [ ("micro", json_micro); ("e2-cycles", json_e2_cycles); ("x1-workloads", json_x1_workloads);
-    ("service", json_service); ("fault", json_fault) ]
+    ("service", json_service); ("fault", json_fault); ("backends", json_backends) ]
 
 (* Best-effort commit id for report provenance; "unknown" outside a
    work tree (e.g. a release tarball). *)
@@ -693,7 +746,7 @@ let write_json path =
   let report =
     J.Obj
       [
-        ("schema", J.Str "sofia-bench/2");
+        ("schema", J.Str "sofia-bench/3");
         ("version", J.Str Sofia.version);
         ("created_unix", J.Int (int_of_float (Unix.time ())));
         ("git_rev", J.Str (git_rev ()));
@@ -728,6 +781,7 @@ let all_experiments =
     ("x5-faults", x5_faults);
     ("x6-toolchain", x6_toolchain);
     ("x7-gadgets", x7_gadgets);
+    ("backends", backends_exp);
     ("micro", micro);
     ("service", service);
     ("fault", fault);

@@ -42,6 +42,18 @@ let seed_arg =
 let nonce_arg =
   Arg.(value & opt int 1 & info [ "nonce" ] ~docv:"N" ~doc:"Program version nonce (8-bit).")
 
+let backend_conv =
+  Arg.enum
+    (List.map (fun b -> (Sofia.Transform.Backend_id.name b, b)) Sofia.Transform.Backend_id.all)
+
+let backend_arg =
+  Arg.(value & opt backend_conv Sofia.Transform.Backend_id.Sofia
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Protection backend: $(b,sofia) (default: per-edge CTR keystreams plus \
+                 per-block CBC-MACs and multiplexor join blocks) or $(b,scfp) \
+                 (sponge-based authenticated decryption where the running sponge state \
+                 is the control-flow invariant; no mux blocks).")
+
 (* ---- assemble ---- *)
 
 let assemble_cmd =
@@ -102,7 +114,7 @@ let write_bytes_to path bytes =
     (fun () -> output_bytes oc bytes)
 
 let protect_cmd =
-  let run path key_seed nonce verbose output domains store_dir store_budget =
+  let run path key_seed nonce backend verbose output domains store_dir store_budget =
     let source = try read_file path with Sys_error m -> or_die (Error m) in
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
     let disk =
@@ -113,7 +125,7 @@ let protect_cmd =
     in
     let warm =
       Option.bind disk (fun d ->
-          Sofia.Store_fs.Store_fs.load_artifact d ~keys ~nonce ~source)
+          Sofia.Store_fs.Store_fs.load_artifact d ~backend ~keys ~nonce ~source)
     in
     match warm with
     | Some a ->
@@ -138,7 +150,8 @@ let protect_cmd =
     | None ->
     let program = or_die (assemble_file path) in
     match
-      Sofia.Transform.Transform.protect ~domains:(resolve_domains domains) ~keys ~nonce program
+      Sofia.Transform.Transform.protect ~domains:(resolve_domains domains) ~backend ~keys
+        ~nonce program
     with
     | Error e ->
       Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
@@ -188,24 +201,31 @@ let protect_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the protected image to a .sfi container.")
   in
-  Cmd.v (Cmd.info "protect" ~doc:"Apply the SOFIA transformation and report statistics")
-    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ verbose $ output $ domains_arg
-          $ store_dir_arg $ store_budget_arg)
+  Cmd.v
+    (Cmd.info "protect"
+       ~doc:"Apply the selected protection transformation and report statistics")
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ backend_arg $ verbose $ output
+          $ domains_arg $ store_dir_arg $ store_budget_arg)
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run path key_seed nonce domains =
+  let run path key_seed nonce backend domains =
     let domains = resolve_domains domains in
     let program = or_die (assemble_file path) in
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
-    match Sofia.Transform.Transform.protect ~domains ~keys ~nonce program with
+    (* go through the backend registry: this is the same dispatch
+       surface the service engine uses, so the CLI cannot drift from it *)
+    let b = Sofia.Protection.Registry.find backend in
+    match b.Sofia.Protection.Backend.protect ~domains ~keys ~nonce program with
     | Error e ->
       Format.eprintf "error: %a@." Sofia.Transform.Layout.pp_error e;
       exit 1
     | Ok image ->
-      (match Sofia.Transform.Verify.check_against_source ~domains ~keys program image with
-       | [] -> Format.printf "image verifies: structure, MACs, keystreams, source coverage@."
+      (match b.Sofia.Protection.Backend.verify_against_source ~domains ~keys program image with
+       | [] ->
+         Format.printf "image verifies (%s): structure, tags, keystreams, source coverage@."
+           (Sofia.Transform.Backend_id.name backend)
        | issues ->
          List.iter (fun i -> Format.eprintf "issue: %a@." Sofia.Transform.Verify.pp_issue i) issues;
          exit 1)
@@ -213,7 +233,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Protect a program and independently verify the resulting image")
-    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ domains_arg)
+    Term.(const run $ file_arg $ seed_arg $ nonce_arg $ backend_arg $ domains_arg)
 
 (* ---- shared runner flags (run / run-image; serve/batch reuse the
    ks-cache and metrics knobs) ---- *)
@@ -261,7 +281,7 @@ type runner_opts = {
   trace_file : string option;
 }
 
-let make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine =
+let make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine ~backend =
   if ks_cache < 0 then
     or_die (Error (Printf.sprintf "--ks-cache must be >= 0 (got %d)" ks_cache));
   let traced = ref 0 in
@@ -281,7 +301,8 @@ let make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine =
   let config =
     { Sofia.Cpu.Run_config.default with
       Sofia.Cpu.Run_config.ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache);
-      engine
+      engine;
+      backend
     }
   in
   { on_retire; trace; mx; obs; config; trace_file }
@@ -309,8 +330,7 @@ let finish_runner_run ~sofia opts (result : Sofia.Cpu.Machine.run_result) =
 (* ---- run-image ---- *)
 
 let run_image_cmd =
-  let run path key_seed trace_insns trace_file metrics ks_cache engine =
-    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine in
+  let run path key_seed backend trace_insns trace_file metrics ks_cache engine =
     let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
     (* A malformed or truncated .sfi must end in a structured
        diagnostic and a nonzero exit, never a backtrace. *)
@@ -326,6 +346,20 @@ let run_image_cmd =
       | Ok (Ok loaded) -> loaded
     in
     let image = Sofia.Transform.Binary_format.image_of_loaded loaded in
+    (* execution always follows the image's own backend tag; an explicit
+       --backend is an assertion about what the file should be *)
+    let tagged = image.Sofia.Transform.Image.backend in
+    (match backend with
+     | Some b when not (Sofia.Transform.Backend_id.equal b tagged) ->
+       or_die
+         (Error
+            (Printf.sprintf "%s is a %s-protected image (--backend %s given)" path
+               (Sofia.Transform.Backend_id.name tagged)
+               (Sofia.Transform.Backend_id.name b)))
+     | _ -> ());
+    let opts =
+      make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine ~backend:tagged
+    in
     let result =
       Sofia.Cpu.Sofia_runner.run ~config:opts.config ?on_retire:opts.on_retire ~obs:opts.obs
         ~keys image
@@ -335,20 +369,25 @@ let run_image_cmd =
   let image_file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"Protected .sfi image.")
   in
-  Cmd.v (Cmd.info "run-image" ~doc:"Run a saved protected image on the SOFIA core")
-    Term.(const run $ image_file $ seed_arg $ trace_insns_arg $ trace_file_arg $ metrics_arg
-          $ ks_cache_arg $ engine_arg)
+  let backend_assert =
+    Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Assert the image was protected by $(docv); fail before running if the \
+                 file's backend tag disagrees. Execution always follows the tag.")
+  in
+  Cmd.v (Cmd.info "run-image" ~doc:"Run a saved protected image on the protected core")
+    Term.(const run $ image_file $ seed_arg $ backend_assert $ trace_insns_arg
+          $ trace_file_arg $ metrics_arg $ ks_cache_arg $ engine_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run path sofia key_seed nonce trace_insns trace_file metrics ks_cache engine =
-    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine in
+  let run path sofia key_seed nonce backend trace_insns trace_file metrics ks_cache engine =
+    let opts = make_runner_opts ~trace_insns ~trace_file ~metrics ~ks_cache ~engine ~backend in
     let program = or_die (assemble_file path) in
     let result =
       if sofia then begin
         let keys = Sofia.Crypto.Keys.generate ~seed:(Int64.of_int key_seed) in
-        let image = Sofia.Transform.Transform.protect_exn ~keys ~nonce program in
+        let image = Sofia.Transform.Transform.protect_exn ~backend ~keys ~nonce program in
         Sofia.Cpu.Sofia_runner.run ~config:opts.config ?on_retire:opts.on_retire ~obs:opts.obs
           ~keys image
       end
@@ -358,9 +397,12 @@ let run_cmd =
     in
     finish_runner_run ~sofia opts result
   in
-  let sofia = Arg.(value & flag & info [ "sofia" ] ~doc:"Protect and run on the SOFIA core.") in
-  Cmd.v (Cmd.info "run" ~doc:"Run a program on the vanilla or SOFIA processor model")
-    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ trace_insns_arg
+  let sofia =
+    Arg.(value & flag & info [ "sofia" ]
+           ~doc:"Protect and run on the protected core (see --backend).")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a program on the vanilla or protected processor model")
+    Term.(const run $ file_arg $ sofia $ seed_arg $ nonce_arg $ backend_arg $ trace_insns_arg
           $ trace_file_arg $ metrics_arg $ ks_cache_arg $ engine_arg)
 
 (* ---- compile ---- *)
@@ -481,7 +523,7 @@ let json_out_arg =
          ~doc:"Write the service metrics document (counters, latency histograms, store \
                and queue gauges) to $(docv) as JSON.")
 
-let service_config workers queue backpressure store retries deadline ks_cache engine
+let service_config workers queue backpressure store retries deadline ks_cache engine backend
     store_dir store_budget =
   if queue < 1 then or_die (Error (Printf.sprintf "--queue must be >= 1 (got %d)" queue));
   if retries < 1 then or_die (Error (Printf.sprintf "--retries must be >= 1 (got %d)" retries));
@@ -498,6 +540,7 @@ let service_config workers queue backpressure store retries deadline ks_cache en
     default_deadline_ms = deadline;
     ks_cache_slots = (if ks_cache = 0 then None else Some ks_cache);
     engine;
+    backend;
     store_dir;
     store_budget
   }
@@ -594,10 +637,11 @@ let emit_service_metrics engine ~metrics ~json_out =
 
 let serve_cmd =
   let run use_stdin socket once workers queue backpressure store retries deadline ks_cache
-      engine metrics json_out store_dir store_budget shard wall_skew flip_digest exit_marker =
+      engine backend metrics json_out store_dir store_budget shard wall_skew flip_digest
+      exit_marker =
     let config =
       service_config workers queue backpressure store retries deadline ks_cache engine
-        store_dir store_budget
+        backend store_dir store_budget
     in
     let config = apply_test_hooks config ~shard ~wall_skew ~flip_digest ~exit_marker in
     (* a client vanishing mid-response must reach us as EPIPE, not kill
@@ -641,17 +685,17 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve protect/verify/simulate/attest jobs over newline-delimited JSON")
     Term.(const run $ use_stdin $ socket $ once $ workers_arg $ queue_arg $ backpressure_arg
-          $ store_arg $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg
-          $ json_out_arg $ store_dir_arg $ store_budget_arg $ shard_arg $ test_wall_skew_arg
-          $ test_flip_digest_arg $ test_exit_arg)
+          $ store_arg $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ backend_arg
+          $ metrics_arg $ json_out_arg $ store_dir_arg $ store_budget_arg $ shard_arg
+          $ test_wall_skew_arg $ test_flip_digest_arg $ test_exit_arg)
 
 (* ---- fleet: N serve children behind the sharding router ---- *)
 
 let fleet_cmd =
   let module R = Sofia.Fleet.Router in
   let run use_stdin socket children workers queue window audit_every no_replay
-      hang_timeout_ms breaker deadline engine store_dir store_budget socket_dir metrics
-      json_out =
+      hang_timeout_ms breaker deadline engine backend store_dir store_budget socket_dir
+      metrics json_out =
     if children < 1 then or_die (Error (Printf.sprintf "--children must be >= 1 (got %d)" children));
     if queue < 1 then or_die (Error (Printf.sprintf "--queue must be >= 1 (got %d)" queue));
     if window < 1 then or_die (Error (Printf.sprintf "--window must be >= 1 (got %d)" window));
@@ -668,6 +712,7 @@ let fleet_cmd =
         default_deadline_ms = deadline;
         engine =
           Some (match engine with Sofia.Cpu.Run_config.Fast -> "fast" | _ -> "ref");
+        backend;
         store_dir;
         store_budget;
         socket_dir;
@@ -781,18 +826,19 @@ let fleet_cmd =
              supervision at the router")
     Term.(const run $ use_stdin $ socket $ children $ workers $ queue_arg $ window
           $ audit_every $ no_replay $ hang_timeout $ breaker $ deadline_arg $ engine_arg
-          $ store_dir_arg $ store_budget_arg $ socket_dir $ metrics_arg $ json_out_arg)
+          $ backend_arg $ store_dir_arg $ store_budget_arg $ socket_dir $ metrics_arg
+          $ json_out_arg)
 
 let batch_cmd =
   let run file clients dump workers queue backpressure store retries deadline ks_cache engine
-      metrics json_out store_dir store_budget =
+      backend metrics json_out store_dir store_budget =
     let config =
       service_config workers queue backpressure store retries deadline ks_cache engine
-        store_dir store_budget
+        backend store_dir store_budget
     in
     let malformed = ref 0 in
     let jobs =
-      if file = "@registry" then Sofia.Service_load.registry_jobs ~clients ()
+      if file = "@registry" then Sofia.Service_load.registry_jobs ~clients ~backend ()
       else begin
         let text = try read_file file with Sys_error m -> or_die (Error m) in
         let lines = String.split_on_char '\n' text in
@@ -801,7 +847,7 @@ let batch_cmd =
              (fun i line ->
                if String.trim line = "" then []
                else
-                 match Job.request_of_line line with
+                 match Job.request_of_line ~default_backend:backend line with
                  | Ok req -> [ req ]
                  | Error msg ->
                    incr malformed;
@@ -861,13 +907,13 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a job file through the service engine and print responses")
     Term.(const run $ file $ clients $ dump $ workers_arg $ queue_arg $ backpressure_arg $ store_arg
-          $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ metrics_arg $ json_out_arg
-          $ store_dir_arg $ store_budget_arg)
+          $ retries_arg $ deadline_arg $ ks_cache_arg $ engine_arg $ backend_arg $ metrics_arg
+          $ json_out_arg $ store_dir_arg $ store_budget_arg)
 
 (* ---- campaign: the full-pipeline fault-injection sweep ---- *)
 
 let campaign_cmd =
-  let run trials seed workloads classes no_service no_fleet engine json_out =
+  let run trials seed workloads classes backends no_service no_fleet engine json_out =
     let module C = Sofia.Fault.Campaign in
     let module S = Sofia.Fault.Site in
     if trials < 1 then or_die (Error (Printf.sprintf "--trials must be >= 1 (got %d)" trials));
@@ -902,9 +948,10 @@ let campaign_cmd =
                          (String.concat ", " (Sofia.Workloads.Registry.names ())))))
              names)
     in
+    let backends = match backends with [] -> None | l -> Some l in
     let report =
-      C.run ~classes ~with_service:(not no_service) ~with_fleet:(not no_fleet) ?workloads
-        ~engine ~trials ~seed ()
+      C.run ~classes ?backends ~with_service:(not no_service) ~with_fleet:(not no_fleet)
+        ?workloads ~engine ~trials ~seed ()
     in
     Format.printf "%a" C.pp report;
     (match json_out with
@@ -936,6 +983,12 @@ let campaign_cmd =
     Arg.(value & opt_all string [] & info [ "class" ] ~docv:"CLASS"
            ~doc:"Restrict to this fault class (repeatable; default: all).")
   in
+  let backends =
+    Arg.(value & opt_all backend_conv [] & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Restrict to this protection backend (repeatable; default: all). Classes \
+                 that have no fault site under a backend — $(b,mux_swap) under \
+                 $(b,scfp), which builds no mux blocks — are reported as not applicable.")
+  in
   let no_service =
     Arg.(value & flag & info [ "no-service" ]
            ~doc:"Skip the service-level fault scenarios (worker crash/hang, clock skew, \
@@ -951,7 +1004,7 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:"Sweep seeded faults over every layer and print the detection-coverage matrix; \
              exits nonzero if any in-model tamper escapes or a recovery scenario fails")
-    Term.(const run $ trials $ seed $ workloads $ classes $ no_service $ no_fleet
+    Term.(const run $ trials $ seed $ workloads $ classes $ backends $ no_service $ no_fleet
           $ engine_arg $ json_out_arg)
 
 (* ---- table1 ---- *)

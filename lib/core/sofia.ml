@@ -37,6 +37,7 @@ module Attack = Sofia_attack
 module Hwmodel = Sofia_hwmodel
 module Workloads = Sofia_workloads
 module Minic = Sofia_minic
+module Protection = Sofia_protection
 module Provision = Provision
 module Service = Sofia_service
 module Store_fs = Sofia_store_fs
@@ -54,20 +55,21 @@ module Protect = struct
   }
 
   (* [domains] fans per-block MAC-then-Encrypt over OCaml domains; the
-     image is byte-identical whatever the value (see Sofia_util.Par). *)
-  let protect_program ?(key_seed = 0x50F1AL) ?(nonce = 1) ?domains program =
+     image is byte-identical whatever the value (see Sofia_util.Par).
+     [backend] selects the protection scheme (default SOFIA). *)
+  let protect_program ?(key_seed = 0x50F1AL) ?(nonce = 1) ?domains ?backend program =
     let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
     Result.map
       (fun image -> { program; image; keys; nonce })
-      (Sofia_transform.Transform.protect ?domains ~keys ~nonce program)
+      (Sofia_transform.Transform.protect ?domains ?backend ~keys ~nonce program)
 
   (** Assemble a source string and protect it.
       @raise Sofia_asm.Assembler.Error on assembly errors. *)
-  let protect_source ?key_seed ?nonce ?domains source =
-    protect_program ?key_seed ?nonce ?domains (Sofia_asm.Assembler.assemble source)
+  let protect_source ?key_seed ?nonce ?domains ?backend source =
+    protect_program ?key_seed ?nonce ?domains ?backend (Sofia_asm.Assembler.assemble source)
 
-  let protect_source_exn ?key_seed ?nonce ?domains source =
-    match protect_source ?key_seed ?nonce ?domains source with
+  let protect_source_exn ?key_seed ?nonce ?domains ?backend source =
+    match protect_source ?key_seed ?nonce ?domains ?backend source with
     | Ok p -> p
     | Error e -> invalid_arg (Format.asprintf "Sofia.Protect: %a" Sofia_transform.Layout.pp_error e)
 end
@@ -106,10 +108,10 @@ module Report = struct
   }
 
   let overhead_of_workload ?config ?(key_seed = 0xBE7CL) ?(nonce = 1) ?vanilla_obs ?sofia_obs
-      (w : Sofia_workloads.Workload.t) =
+      ?backend (w : Sofia_workloads.Workload.t) =
     let program = Sofia_workloads.Workload.assemble w in
     let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
-    let image = Sofia_transform.Transform.protect_exn ~keys ~nonce program in
+    let image = Sofia_transform.Transform.protect_exn ?backend ~keys ~nonce program in
     let rv = Sofia_cpu.Vanilla.run ?config ?obs:vanilla_obs program in
     let rs = Sofia_cpu.Sofia_runner.run ?config ?obs:sofia_obs ~keys image in
     let cycle_ratio =
@@ -151,17 +153,21 @@ end
 module Service_load = struct
   module Job = Sofia_service.Job
 
-  let registry_jobs ?(clients = 4) () =
+  (* [backend] stamps every request explicitly (default: the wire
+     default, SOFIA), so the same list is valid against any engine. *)
+  let registry_jobs ?(clients = 4) ?backend () =
     List.concat_map
       (fun (w : Sofia_workloads.Workload.t) ->
         let source = w.Sofia_workloads.Workload.source in
         let name = w.Sofia_workloads.Workload.name in
         List.init clients (fun i ->
-            Job.make ~id:(Printf.sprintf "protect:%s#%d" name i) (Job.Protect { source }))
+            Job.make ?backend
+              ~id:(Printf.sprintf "protect:%s#%d" name i)
+              (Job.Protect { source }))
         @ [
-            Job.make ~id:("verify:" ^ name) (Job.Verify { source });
-            Job.make ~id:("attest:" ^ name) (Job.Attest { source });
-            Job.make ~id:("simulate:" ^ name) (Job.Simulate { source; sofia = true });
+            Job.make ?backend ~id:("verify:" ^ name) (Job.Verify { source });
+            Job.make ?backend ~id:("attest:" ^ name) (Job.Attest { source });
+            Job.make ?backend ~id:("simulate:" ^ name) (Job.Simulate { source; sofia = true });
           ])
       (Sofia_workloads.Registry.all ())
 end

@@ -8,6 +8,7 @@ type violation =
   | Invalid_opcode of { address : int; word : int }
   | Bus_fault of { address : int }
   | Misaligned_entry of { address : int }
+  | State_divergence of { block_base : int }
   | Shadow_stack_mismatch of { expected : int; got : int }
   | Landing_pad_violation of { address : int }
 
@@ -40,6 +41,8 @@ let pp_violation fmt = function
   | Bus_fault { address } -> Format.fprintf fmt "bus fault at 0x%08x" address
   | Misaligned_entry { address } ->
     Format.fprintf fmt "control transfer to non-entry address 0x%08x" address
+  | State_divergence { block_base } ->
+    Format.fprintf fmt "sponge state divergence in block 0x%08x" block_base
   | Shadow_stack_mismatch { expected; got } ->
     Format.fprintf fmt "shadow-stack mismatch: return to 0x%08x, expected 0x%08x" got expected
   | Landing_pad_violation { address } ->
@@ -51,11 +54,12 @@ let violation_label = function
   | Invalid_opcode _ -> "invalid_opcode"
   | Bus_fault _ -> "bus_fault"
   | Misaligned_entry _ -> "misaligned_entry"
+  | State_divergence _ -> "state_divergence"
   | Shadow_stack_mismatch _ -> "shadow_stack_mismatch"
   | Landing_pad_violation _ -> "landing_pad_violation"
 
 let violation_address = function
-  | Mac_mismatch { block_base } -> block_base
+  | Mac_mismatch { block_base } | State_divergence { block_base } -> block_base
   | Store_in_banned_slot { address }
   | Invalid_opcode { address; _ }
   | Bus_fault { address }

@@ -12,6 +12,11 @@ type violation =
   | Misaligned_entry of { address : int }
       (** control transferred to an address that is no block entry port
           (reported by the frontend model when strict) *)
+  | State_divergence of { block_base : int }
+      (** SCFP backend: the rolling sponge state left the canonical
+          orbit — the squeezed tag did not match the stored tag words.
+          Tampered code, a tampered patch, or a control transfer no
+          patch was derived for all land here. *)
   | Shadow_stack_mismatch of { expected : int; got : int }
       (** baseline hardware-CFI core: a return does not match the
           hardware call stack *)

@@ -8,6 +8,7 @@ type t = {
   ks_cache_slots : int option;
   engine : engine;
   edge_memo : bool;
+  backend : Sofia_transform.Backend_id.t;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     ks_cache_slots = None;
     engine = Fast;
     edge_memo = true;
+    backend = Sofia_transform.Backend_id.Sofia;
   }
 
 let initial_sp t = (t.mem_size - 16) land lnot 15

@@ -35,6 +35,12 @@ type t = {
           The architectural result is bit-identical either way; memo
           trace events and decrypt/MAC counters reflect the chosen
           mode. *)
+  backend : Sofia_transform.Backend_id.t;
+      (** Which protection backend to build/load images with (default
+          [Sofia]). Execution itself always follows the image's own
+          backend tag; this field is the plumbing the service and CLI
+          layers use to carry the requested backend alongside the
+          other run parameters. *)
 }
 
 val default : t

@@ -6,6 +6,8 @@ module Ctr = Sofia_crypto.Ctr
 module Cbc_mac = Sofia_crypto.Cbc_mac
 module Image = Sofia_transform.Image
 module Block = Sofia_transform.Block
+module Backend_id = Sofia_transform.Backend_id
+module Scfp = Sofia_transform.Scfp
 module Obs = Sofia_obs.Obs
 module Event = Sofia_obs.Event
 module Metrics = Sofia_obs.Metrics
@@ -23,7 +25,159 @@ let classify ~text_base target =
   else if rel >= 0 && rel mod Block.size_bytes = 8 then (Mux_path2, target - 8)
   else (Exec_entry, target)
 
-let fetch_block_observed ?ks_cache ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc () =
+(* the block a redirect to [target] lands in — the SOFIA frontend's
+   port classification, or plain align-down under SCFP (one port per
+   block, offset 0) *)
+let block_base ~(image : Image.t) target =
+  match image.Image.backend with
+  | Backend_id.Sofia -> snd (classify ~text_base:image.Image.text_base target)
+  | Backend_id.Scfp ->
+    let rel = target - image.Image.text_base in
+    if rel >= 0 then target - (rel mod Block.size_bytes) else target
+
+(* decode the verified instruction words into a runnable block body —
+   shared post-verdict tail of both frontends *)
+let decode_block ~kind ~base ~first_off insn_words =
+  let n = Array.length insn_words in
+  let insns = Array.make n Insn.nop in
+  let violation = ref None in
+  Array.iteri
+    (fun i w ->
+      if !violation = None then
+        match Encoding.decode w with
+        | Some insn ->
+          if kind = Block.Exec && Block.store_banned_slot kind i && Insn.is_store insn then
+            violation := Some (Machine.Store_in_banned_slot { address = base + first_off + (4 * i) })
+          else insns.(i) <- insn
+        | None ->
+          violation := Some (Machine.Invalid_opcode { address = base + first_off + (4 * i); word = w }))
+    insn_words;
+  match !violation with
+  | Some v -> Fetch_violation v
+  | None -> Block_ok { base; kind; insns }
+
+(* ---- SCFP frontend: decrypt-and-absorb duplex fetch ----
+
+   The arriving sponge state is re-derived per edge instead of carried
+   in a register, so a fetch outcome is a pure function of
+   (target, prevPC, image bytes) — exactly the purity the per-edge
+   memo and the fast engine's compiled cache already assume. A
+   hardware SCFP core carries the rolling state forward; the
+   re-derivation agrees with it on every edge because a predecessor
+   block's bytes fully determine its exit state once its tag verified.
+
+   Arrival rule (mirrors the patch table built in
+   [Transform.scfp_encrypt_layout]):
+   - reset edge: only the image entry gets the canonical state;
+   - predecessor exits with a jalr: destination-indexed link patch,
+     which binds the unique legitimate source's exit state;
+   - fall-through to base+32: source-indexed [slot_fall] patch;
+   - anything else (taken branch / jal): source-indexed [slot_direct].
+   A transfer outside this rule XORs a filler or foreign patch into
+   the state, the target block's tag comparison fails, and the fetch
+   reports {!Machine.State_divergence} — detection latency 0, before
+   any instruction of the block can retire. *)
+let scfp_fetch ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc =
+  let tb = image.Image.text_base in
+  let nblocks = Array.length image.Image.cipher / Block.words_per_block in
+  let text_end = tb + (Block.size_bytes * nblocks) in
+  if Array.length image.Image.patches < nblocks * Scfp.patch_words_per_block then
+    (* malformed container: a patch table that cannot cover the text *)
+    Fetch_violation (Machine.Bus_fault { address = target })
+  else if target land 3 <> 0 then Fetch_violation (Machine.Misaligned_entry { address = target })
+  else if not (target >= tb && target < text_end) then
+    Fetch_violation (Machine.Bus_fault { address = target })
+  else if (target - tb) mod Block.size_bytes <> 0 then
+    Fetch_violation (Machine.Misaligned_entry { address = target })
+  else begin
+    let base = target in
+    let s0 = Scfp.init ~keys ~nonce:image.Image.nonce in
+    let block_index b = (b - tb) / Block.size_bytes in
+    let words_of b =
+      let w = Array.make Block.words_per_block 0 in
+      let ok = ref true in
+      for i = 0 to Block.words_per_block - 1 do
+        match Image.fetch image (b + (4 * i)) with
+        | Some v -> w.(i) <- v
+        | None -> ok := false
+      done;
+      if !ok then Some w else None
+    in
+    (* re-derive a predecessor's exit state from its live bytes,
+       re-checking its tag (a tampered predecessor is attributed at
+       its own base, as the hardware would have caught it there) *)
+    let exit_state_of pbase =
+      match words_of pbase with
+      | None -> Error (Machine.Bus_fault { address = pbase })
+      | Some w ->
+        let plain, (t0, t1), s_exit = Scfp.chain (Scfp.canonical ~s0 ~base:pbase) w 0 in
+        if w.(0) = t0 && w.(1) = t1 then Ok (plain, s_exit)
+        else Error (Machine.State_divergence { block_base = pbase })
+    in
+    let arriving =
+      if prev_pc = Block.reset_prev_pc then
+        if target = image.Image.entry then Ok (Scfp.canonical ~s0 ~base)
+        else Error (Machine.State_divergence { block_base = base })
+      else if
+        not (prev_pc >= tb && prev_pc < text_end
+            && (prev_pc - tb) mod Block.size_bytes = Block.exit_offset)
+      then
+        (* no exit state is defined at a non-exit prevPC: the transfer
+           cannot be patched onto the canonical orbit *)
+        Error (Machine.State_divergence { block_base = base })
+      else begin
+        let pbase = prev_pc - Block.exit_offset in
+        match exit_state_of pbase with
+        | Error v -> Error v
+        | Ok (pplain, s_exit) ->
+          let is_jalr =
+            match Encoding.decode pplain.(Scfp.insn_words - 1) with
+            | Some (Insn.Jalr _) -> true
+            | Some _ | None -> false
+          in
+          if is_jalr then
+            Ok
+              (Int64.logxor
+                 (Scfp.link_arrive ~s_exit ~target)
+                 (Scfp.patch_get image.Image.patches (block_index base) Scfp.slot_link))
+          else if target = pbase + Block.size_bytes then
+            Ok
+              (Int64.logxor s_exit
+                 (Scfp.patch_get image.Image.patches (block_index pbase) Scfp.slot_fall))
+          else
+            Ok
+              (Int64.logxor s_exit
+                 (Scfp.patch_get image.Image.patches (block_index pbase) Scfp.slot_direct))
+      end
+    in
+    match arriving with
+    | Error v -> Fetch_violation v
+    | Ok s_in ->
+      (match words_of base with
+       | None -> Fetch_violation (Machine.Bus_fault { address = base })
+       | Some w ->
+         (match obs.Obs.metrics with
+          | Some m -> m.Metrics.words_decrypted <- m.Metrics.words_decrypted + Scfp.insn_words
+          | None -> ());
+         if Obs.tracing obs then
+           Obs.emit obs (Event.Edge_decrypt { target; prev_pc; words = Scfp.insn_words });
+         let plain, (t0, t1), _ = Scfp.chain s_in w 0 in
+         let ok = w.(0) = t0 && w.(1) = t1 in
+         (match obs.Obs.metrics with
+          | Some m ->
+            m.Metrics.mac_verifies <- m.Metrics.mac_verifies + 1;
+            if not ok then m.Metrics.mac_failures <- m.Metrics.mac_failures + 1
+          | None -> ());
+         if Obs.tracing obs then
+           Obs.emit obs
+             (Event.Mac_verify { block_base = base; kind = Event.Exec_mac; ok });
+         if not ok then Fetch_violation (Machine.State_divergence { block_base = base })
+         else
+           decode_block ~kind:Block.Exec ~base
+             ~first_off:(Block.first_insn_offset Block.Exec) plain)
+  end
+
+let sofia_fetch_observed ?ks_cache ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc () =
   if target land 3 <> 0 then Fetch_violation (Machine.Misaligned_entry { address = target })
   else begin
     let style, base = classify ~text_base:image.Image.text_base target in
@@ -90,28 +244,7 @@ let fetch_block_observed ?ks_cache ~obs ~(keys : Keys.t) ~(image : Image.t) ~tar
                  kind = (match kind with Block.Exec -> Event.Exec_mac | Block.Mux -> Event.Mux_mac);
                  ok = mac_ok });
         if not mac_ok then Fetch_violation (Machine.Mac_mismatch { block_base = base })
-        else begin
-          let n = Array.length insn_words in
-          let insns = Array.make n Insn.nop in
-          let violation = ref None in
-          Array.iteri
-            (fun i w ->
-              if !violation = None then
-                match Encoding.decode w with
-                | Some insn ->
-                  if kind = Block.Exec && Block.store_banned_slot kind i && Insn.is_store insn
-                  then
-                    violation :=
-                      Some (Machine.Store_in_banned_slot { address = base + first_off + (4 * i) })
-                  else insns.(i) <- insn
-                | None ->
-                  violation :=
-                    Some (Machine.Invalid_opcode { address = base + first_off + (4 * i); word = w }))
-            insn_words;
-          match !violation with
-          | Some v -> Fetch_violation v
-          | None -> Block_ok { base; kind; insns }
-        end
+        else decode_block ~kind ~base ~first_off insn_words
       in
       match style with
       | Exec_entry ->
@@ -138,6 +271,14 @@ let fetch_block_observed ?ks_cache ~obs ~(keys : Keys.t) ~(image : Image.t) ~tar
          | _, _, _ -> fail_bus 0)
     end
   end
+
+(* frontend dispatch: the image's own backend tag selects the fetch
+   pipeline; both engines go through here, so the memo/compiled caches
+   are backend-correct by construction *)
+let fetch_block_observed ?ks_cache ~obs ~(keys : Keys.t) ~(image : Image.t) ~target ~prev_pc () =
+  match image.Image.backend with
+  | Backend_id.Sofia -> sofia_fetch_observed ?ks_cache ~obs ~keys ~image ~target ~prev_pc ()
+  | Backend_id.Scfp -> scfp_fetch ~obs ~keys ~image ~target ~prev_pc
 
 let fetch_block ~keys ~image ~target ~prev_pc =
   fetch_block_observed ~obs:Obs.none ~keys ~image ~target ~prev_pc ()
@@ -228,7 +369,7 @@ let run ?(config = Run_config.default) ?(args = []) ?fault ?on_retire ?(obs = Ob
   let fault_armed () = match fault with Some (n, _) -> !fetch_count = n | None -> false in
   let faulted_fetch ~target ~prev_pc =
     let bit = match fault with Some (_, b) -> b | None -> 0 in
-    let _, base = classify ~text_base:image.Image.text_base target in
+    let base = block_base ~image target in
     let address = base + (4 * (bit / 32 mod Block.words_per_block)) in
     match Image.fetch image address with
     | Some w ->

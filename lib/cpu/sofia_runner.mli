@@ -27,7 +27,16 @@
     edge — strictly after the MAC verdict, never serving a block the
     comparator rejected — and invalidates the cache on violation. Both
     produce bit-identical results, traces and counters (modulo the
-    [engine_*] counters); [test/engine_tests.ml] pins the equivalence. *)
+    [engine_*] counters); [test/engine_tests.ml] pins the equivalence.
+
+    The frontend dispatches on the image's backend tag
+    ({!Sofia_transform.Backend_id}): SOFIA images fetch through the
+    CTR-decrypt + CBC-MAC pipeline above; SCFP images fetch through
+    the decrypt-and-absorb sponge duplex ({!Sofia_transform.Scfp}),
+    where any tampering or illegitimate edge surfaces as
+    {!Machine.State_divergence} at the same point in the pipeline —
+    before anything from the block can retire. Both engines share the
+    dispatch, so their equivalence holds per backend. *)
 
 val run :
   ?config:Run_config.t ->
@@ -80,6 +89,13 @@ type fetch_outcome =
       insns : Sofia_isa.Insn.t array;
     }
   | Fetch_violation of Machine.violation
+
+val block_base :
+  image:Sofia_transform.Image.t -> int -> int
+(** The base of the block a transfer to the given address lands in:
+    SOFIA's port classification (offsets 0/4/8), or plain align-down
+    under SCFP (one port per block). Used by the fault campaign to aim
+    flips at the block a redirected edge fetches. *)
 
 val fetch_block :
   keys:Sofia_crypto.Keys.t ->

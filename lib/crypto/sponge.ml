@@ -1,0 +1,68 @@
+(* 64-bit ARX sponge permutation for the SCFP protection backend.
+
+   The SCFP mode (Werner et al., "Sponge-Based Control-Flow Protection
+   for IoT Devices") keeps a rolling sponge state in the fetch stage:
+   the low 32 bits are the rate (keystream for one instruction word),
+   the high 32 bits the capacity. Decrypt-and-absorb duplexing means
+   the state after a block is a function of every ciphertext word that
+   entered it, so a per-block tag comparison *is* the code-integrity
+   and CFI check — no separate MAC chain.
+
+   The permutation is a 12-round Speck-like ARX map over two 32-bit
+   halves with SHA-256-style round constants (fractional bits of the
+   cube roots of the first primes — nothing-up-my-sleeve). It is a
+   public permutation: all secrecy comes from the keyed initial state
+   (see Scfp in lib/transform), so invertibility is irrelevant and no
+   key schedule exists.
+
+   This is the production implementation: unboxed native-int halves,
+   Int64 only at the boundary. [Sponge_ref] is the independently
+   written oracle; the diff battery and the pinned KAT file
+   (test/vectors/sponge_kat.txt) hold the two to the same function. *)
+
+let rounds = 12
+
+(* fractional parts of cbrt(2..37), as in SHA-256's K table *)
+let round_constants =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+  |]
+
+let mask32 = 0xFFFF_FFFF
+let rotl32 x n = (x lsl n) lor (x lsr (32 - n)) land mask32
+let rotr32 x n = (x lsr n) lor ((x lsl (32 - n)) land mask32)
+
+(* one Speck-like round: add-rotate-xor with a round constant in place
+   of a round key *)
+let round r (a, b) =
+  let a = (rotr32 a 8 + b) land mask32 lxor round_constants.(r) in
+  let b = rotl32 b 3 lxor a in
+  (a, b)
+
+let halves_of_state s =
+  (Int64.to_int (Int64.shift_right_logical s 32), Int64.to_int s land mask32)
+
+let state_of_halves (a, b) =
+  Int64.logor (Int64.shift_left (Int64.of_int a) 32) (Int64.of_int b)
+
+let permute s =
+  let a = ref (Int64.to_int (Int64.shift_right_logical s 32)) in
+  let b = ref (Int64.to_int s land mask32) in
+  for r = 0 to rounds - 1 do
+    let a' = (rotr32 !a 8 + !b) land mask32 lxor round_constants.(r) in
+    b := rotl32 !b 3 lxor a';
+    a := a'
+  done;
+  state_of_halves (!a, !b)
+
+let rate s = Int64.to_int s land mask32
+let mix s m = permute (Int64.logxor s m)
+let absorb s w = mix s (Int64.of_int (w land mask32))
+
+module Internal = struct
+  let round_constants = round_constants
+  let round = round
+  let halves_of_state = halves_of_state
+  let state_of_halves = state_of_halves
+end

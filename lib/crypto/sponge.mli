@@ -1,0 +1,34 @@
+(* 64-bit ARX sponge permutation used by the SCFP protection backend.
+
+   Public (unkeyed) permutation over one 64-bit word: the low 32 bits
+   are the sponge rate, the high 32 bits the capacity. Secrecy lives
+   entirely in the keyed initial state derived by the transform layer.
+   [Sponge_ref] is an independently written oracle for the diff
+   battery; test/vectors/sponge_kat.txt pins the exact map. *)
+
+val rounds : int
+(** Number of ARX rounds (12). *)
+
+val permute : int64 -> int64
+(** The permutation P. *)
+
+val rate : int64 -> int
+(** Low 32 bits of the state — the keystream for one instruction
+    word. *)
+
+val mix : int64 -> int64 -> int64
+(** [mix s m] = [permute (s lxor m)] — inject a 64-bit value (address
+    pack, domain-separation constant) and permute. *)
+
+val absorb : int64 -> int -> int64
+(** [absorb s w] = [mix s (zext32 w)] — duplex one 32-bit ciphertext
+    word into the state. *)
+
+(** Whitebox access for differential tests (mirrors
+    {!Rectangle.Internal}). *)
+module Internal : sig
+  val round_constants : int array
+  val round : int -> int * int -> int * int
+  val halves_of_state : int64 -> int * int
+  val state_of_halves : int * int -> int64
+end

@@ -1,0 +1,47 @@
+(* Reference implementation of the SCFP sponge permutation.
+
+   Same map as [Sponge.permute], written independently in a different
+   style so the two can cross-check each other: everything here is
+   plain Int64 arithmetic on the packed 64-bit state (no native-int
+   halves, no mutation), with the round expressed as a fold over the
+   constant schedule. Deliberately shares no code with sponge.ml —
+   the constants are re-derived literals and the rotates are Int64
+   ops. Used by the sponge diff battery and the pinned KAT replay
+   (test/vectors/sponge_kat.txt). *)
+
+let rounds = 12
+
+(* SHA-256 K[0..11]: fractional bits of cbrt of the first 12 primes *)
+let schedule =
+  [|
+    0x428a2f98L; 0x71374491L; 0xb5c0fbcfL; 0xe9b5dba5L;
+    0x3956c25bL; 0x59f111f1L; 0x923f82a4L; 0xab1c5ed5L;
+    0xd807aa98L; 0x12835b01L; 0x243185beL; 0x550c7dc3L;
+  |]
+
+let lo32 = 0xFFFF_FFFFL
+let hi s = Int64.shift_right_logical s 32
+let lo s = Int64.logand s lo32
+
+let rotl w n =
+  Int64.logand lo32
+    (Int64.logor (Int64.shift_left w n) (Int64.shift_right_logical w (32 - n)))
+
+let rotr w n = rotl w (32 - n)
+
+(* one round on the packed state: hi half is the add-rotate lane, lo
+   half the xor-rotate lane *)
+let round_packed rc s =
+  let a = hi s and b = lo s in
+  let a = Int64.logxor (Int64.logand (Int64.add (rotr a 8) b) lo32) rc in
+  let b = Int64.logxor (rotl b 3) a in
+  Int64.logor (Int64.shift_left a 32) b
+
+let permute s = Array.fold_left (fun s rc -> round_packed rc s) s schedule
+
+module Internal = struct
+  let schedule = schedule
+  let round_packed = round_packed
+  let rotl = rotl
+  let rotr = rotr
+end

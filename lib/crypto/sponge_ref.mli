@@ -1,0 +1,13 @@
+(* Independent reference implementation of the SCFP sponge
+   permutation; oracle for the diff battery against [Sponge]. *)
+
+val rounds : int
+val permute : int64 -> int64
+
+(** Whitebox access for differential tests. *)
+module Internal : sig
+  val schedule : int64 array
+  val round_packed : int64 -> int64 -> int64
+  val rotl : int64 -> int -> int64
+  val rotr : int64 -> int -> int64
+end

@@ -24,7 +24,12 @@ let verdict_name = function
 
 type cell = {
   clazz : Site.clazz;
+  backend : Sofia_transform.Backend_id.t;
   workload : string;
+  applicable : bool;
+      (* false = the class has no site under this backend (Mux_swap
+         under SCFP); the cell is kept, with zero trials, so the JSON
+         matrix stays rectangular across backends *)
   trials : int;
   detected : int;
   masked : int;
@@ -41,6 +46,7 @@ type report = {
   seed : int64;
   trials_per_cell : int;
   fuel : int;
+  backends : Sofia_transform.Backend_id.t list;
   cells : cell list;
   service : service_check list;
 }
@@ -65,9 +71,9 @@ type profile = {
   legit : (int * int, unit) Hashtbl.t;  (* static (prev_pc, entry port) edges *)
 }
 
-let profile ~config ~key_seed (w : W.t) =
+let profile ~config ~backend ~key_seed (w : W.t) =
   let keys = Sofia_crypto.Keys.generate ~seed:key_seed in
-  let image = Sofia_transform.Transform.protect_exn ~keys ~nonce:1 (W.assemble w) in
+  let image = Sofia_transform.Transform.protect_exn ~backend ~keys ~nonce:1 (W.assemble w) in
   let text_base = image.Image.text_base in
   let seen = Hashtbl.create 64 in
   let bases = ref [] in
@@ -90,8 +96,15 @@ let profile ~config ~key_seed (w : W.t) =
   Array.iter
     (fun (b : Image.block) ->
       let ports = Block.port_offsets b.Image.kind in
+      (* under SCFP every join is an Exec block with one entry port, so
+         a block may have more predecessors than ports — they all enter
+         at the first (only) port *)
       List.iteri
-        (fun i prev -> Hashtbl.replace legit (prev, b.Image.base + List.nth ports i) ())
+        (fun i prev ->
+          let off =
+            match List.nth_opt ports i with Some o -> o | None -> List.hd ports
+          in
+          Hashtbl.replace legit (prev, b.Image.base + off) ())
         b.Image.entry_prev_pcs)
     image.Image.blocks;
   { keys; image; clean; visited; visited_mux; legit }
@@ -233,9 +246,10 @@ let one_trial ~config ~rng ~(p : profile) clazz =
 (* Campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let zero_cell clazz workload =
-  { clazz; workload; trials = 0; detected = 0; masked = 0; corrupted = 0; hung = 0;
-    lat_measured = 0; lat_total = 0; lat_max = 0 }
+let zero_cell ~backend clazz workload =
+  { clazz; backend; workload; applicable = Site.applicable clazz backend; trials = 0;
+    detected = 0; masked = 0; corrupted = 0; hung = 0; lat_measured = 0; lat_total = 0;
+    lat_max = 0 }
 
 let add_cell c v lat =
   let c = { c with trials = c.trials + 1 } in
@@ -252,23 +266,25 @@ let add_cell c v lat =
       lat_max = max c.lat_max l }
   | None -> c
 
-let run_cell ~config ~rng ~obs ~p ~workload clazz ~trials =
-  let c = ref (zero_cell clazz workload) in
-  for _ = 1 to trials do
-    match one_trial ~config ~rng ~p clazz with
-    | None -> ()
-    | Some (_site, v, lat) ->
-      c := add_cell !c v lat;
-      if Obs.tracing obs then
-        Obs.emit obs
-          (Event.Custom
-             {
-               name =
-                 Printf.sprintf "fault:%s:%s:%s" workload (Site.name clazz)
-                   (verdict_name v);
-               value = (match lat with Some l -> l | None -> -1);
-             })
-  done;
+let run_cell ~config ~rng ~obs ~p ~backend ~workload clazz ~trials =
+  let c = ref (zero_cell ~backend clazz workload) in
+  if !c.applicable then
+    for _ = 1 to trials do
+      match one_trial ~config ~rng ~p clazz with
+      | None -> ()
+      | Some (_site, v, lat) ->
+        c := add_cell !c v lat;
+        if Obs.tracing obs then
+          Obs.emit obs
+            (Event.Custom
+               {
+                 name =
+                   Printf.sprintf "fault:%s:%s:%s:%s"
+                     (Sofia_transform.Backend_id.name backend)
+                     workload (Site.name clazz) (verdict_name v);
+                 value = (match lat with Some l -> l | None -> -1);
+               })
+    done;
   !c
 
 (* ------------------------------------------------------------------ *)
@@ -1142,8 +1158,8 @@ let fleet_checks workloads =
 (* ------------------------------------------------------------------ *)
 
 let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
-    ?(with_service = true) ?with_fleet ?workloads ?(engine = Sofia_cpu.Run_config.Fast)
-    ~trials ~seed () =
+    ?(backends = [ Sofia_transform.Backend_id.Sofia ]) ?(with_service = true)
+    ?with_fleet ?workloads ?(engine = Sofia_cpu.Run_config.Fast) ~trials ~seed () =
   (* the fleet wall rides with the service wall unless asked otherwise *)
   let with_fleet = Option.value ~default:with_service with_fleet in
   let workloads =
@@ -1153,43 +1169,57 @@ let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
   let rng = Prng.create ~seed in
   let cells =
     List.concat_map
-      (fun (w : W.t) ->
-        let key_seed = Int64.logxor seed (Store.hash_string w.W.name) in
-        let p = profile ~config ~key_seed w in
-        List.map
-          (fun clazz -> run_cell ~config ~rng ~obs ~p ~workload:w.W.name clazz ~trials)
-          classes)
-      workloads
+      (fun backend ->
+        List.concat_map
+          (fun (w : W.t) ->
+            let key_seed = Int64.logxor seed (Store.hash_string w.W.name) in
+            let p = profile ~config ~backend ~key_seed w in
+            List.map
+              (fun clazz ->
+                run_cell ~config ~rng ~obs ~p ~backend ~workload:w.W.name clazz
+                  ~trials)
+              classes)
+          workloads)
+      backends
   in
+  (* the service/fleet walls exercise the wire and supervision layers,
+     which are backend-agnostic — run them once, not once per backend *)
   let service =
     (if with_service then service_checks workloads else [])
     @ (if with_fleet then fleet_checks workloads else [])
   in
-  { seed; trials_per_cell = trials; fuel; cells; service }
+  { seed; trials_per_cell = trials; fuel; backends; cells; service }
 
-(* one aggregated cell per class, over every workload *)
-let by_class r =
-  List.filter_map
-    (fun clazz ->
-      let cs = List.filter (fun c -> c.clazz = clazz) r.cells in
-      if cs = [] then None
-      else
-        Some
-          (List.fold_left
-             (fun acc c ->
-               {
-                 acc with
-                 trials = acc.trials + c.trials;
-                 detected = acc.detected + c.detected;
-                 masked = acc.masked + c.masked;
-                 corrupted = acc.corrupted + c.corrupted;
-                 hung = acc.hung + c.hung;
-                 lat_measured = acc.lat_measured + c.lat_measured;
-                 lat_total = acc.lat_total + c.lat_total;
-                 lat_max = max acc.lat_max c.lat_max;
-               })
-             (zero_cell clazz "*") cs))
-    Site.all
+(* one aggregated cell per (backend, class), over every workload *)
+let by_backend_class r =
+  List.concat_map
+    (fun backend ->
+      List.filter_map
+        (fun clazz ->
+          let cs =
+            List.filter (fun c -> c.clazz = clazz && c.backend = backend) r.cells
+          in
+          if cs = [] then None
+          else
+            Some
+              (List.fold_left
+                 (fun acc c ->
+                   {
+                     acc with
+                     trials = acc.trials + c.trials;
+                     detected = acc.detected + c.detected;
+                     masked = acc.masked + c.masked;
+                     corrupted = acc.corrupted + c.corrupted;
+                     hung = acc.hung + c.hung;
+                     lat_measured = acc.lat_measured + c.lat_measured;
+                     lat_total = acc.lat_total + c.lat_total;
+                     lat_max = max acc.lat_max c.lat_max;
+                   })
+                 (zero_cell ~backend clazz "*") cs))
+        Site.all)
+    r.backends
+
+let by_class = by_backend_class
 
 let in_model_escapes r =
   List.fold_left
@@ -1215,8 +1245,10 @@ let cell_json c =
   J.Obj
     [
       ("class", J.Str (Site.name c.clazz));
+      ("backend", J.Str (Sofia_transform.Backend_id.name c.backend));
       ("workload", J.Str c.workload);
       ("in_model", J.Bool (Site.in_model c.clazz));
+      ("applicable", J.Bool c.applicable);
       ("trials", J.Int c.trials);
       ("detected", J.Int c.detected);
       ("masked", J.Int c.masked);
@@ -1235,10 +1267,15 @@ let to_json r =
   let d, t = in_model_trials r in
   J.Obj
     [
-      ("schema", J.Str "sofia-fault-campaign/1");
+      ("schema", J.Str "sofia-fault-campaign/2");
       ("seed", J.Str (Printf.sprintf "0x%Lx" r.seed));
       ("trials_per_cell", J.Int r.trials_per_cell);
       ("fuel", J.Int r.fuel);
+      ( "backends",
+        J.List
+          (List.map
+             (fun b -> J.Str (Sofia_transform.Backend_id.name b))
+             r.backends) );
       ( "classes",
         J.List
           (List.map
@@ -1275,16 +1312,19 @@ let to_json r =
 
 let pp fmt r =
   let d, t = in_model_trials r in
-  Format.fprintf fmt "fault campaign  seed=0x%Lx  trials/cell=%d@." r.seed
-    r.trials_per_cell;
-  Format.fprintf fmt "%-16s %8s %9s %7s %10s %6s %12s %8s@." "class" "trials"
-    "detected" "masked" "corrupted" "hung" "latency-mean" "lat-max";
+  Format.fprintf fmt "fault campaign  seed=0x%Lx  trials/cell=%d  backends=%s@."
+    r.seed r.trials_per_cell
+    (String.concat "," (List.map Sofia_transform.Backend_id.name r.backends));
+  Format.fprintf fmt "%-7s %-16s %8s %9s %7s %10s %6s %12s %8s@." "backend" "class"
+    "trials" "detected" "masked" "corrupted" "hung" "latency-mean" "lat-max";
   List.iter
     (fun c ->
-      Format.fprintf fmt "%-16s %8d %9d %7d %10d %6d %12.2f %8d%s@."
+      Format.fprintf fmt "%-7s %-16s %8d %9d %7d %10d %6d %12.2f %8d%s%s@."
+        (Sofia_transform.Backend_id.name c.backend)
         (Site.name c.clazz) c.trials c.detected c.masked c.corrupted c.hung
         (lat_mean c) c.lat_max
-        (if Site.in_model c.clazz then "" else "  [out of model]"))
+        (if Site.in_model c.clazz then "" else "  [out of model]")
+        (if c.applicable then "" else "  [not applicable]"))
     (by_class r);
   Format.fprintf fmt "in-model: %d/%d detected, %d escape(s)@." d t (in_model_escapes r);
   List.iter

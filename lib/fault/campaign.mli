@@ -31,14 +31,19 @@ type verdict = Detected | Masked | Corrupted | Hung
 
 val verdict_name : verdict -> string
 
-(** One (class × workload) cell of the coverage matrix. [trials] may be
-    less than the requested trial count when the class has no
-    applicable site in the workload (e.g. [Mux_swap] with no
+(** One (backend × class × workload) cell of the coverage matrix.
+    [trials] may be less than the requested trial count when the class
+    has no applicable site in the workload (e.g. [Mux_swap] with no
     multiplexor block on the executed path) — recorded as skipped
-    trials, never as escapes. *)
+    trials, never as escapes. [applicable] is [false] when the class
+    is structurally absent under the backend ({!Site.applicable},
+    e.g. [Mux_swap] under SCFP): the cell is kept with zero trials so
+    the matrix stays rectangular across backends. *)
 type cell = {
   clazz : Site.clazz;
+  backend : Sofia_transform.Backend_id.t;
   workload : string;
+  applicable : bool;
   trials : int;
   detected : int;
   masked : int;
@@ -58,6 +63,7 @@ type report = {
   seed : int64;
   trials_per_cell : int;
   fuel : int;
+  backends : Sofia_transform.Backend_id.t list;
   cells : cell list;
   service : service_check list;
 }
@@ -71,6 +77,7 @@ val run :
   ?obs:Sofia_obs.Obs.t ->
   ?fuel:int ->
   ?classes:Site.clazz list ->
+  ?backends:Sofia_transform.Backend_id.t list ->
   ?with_service:bool ->
   ?with_fleet:bool ->
   ?workloads:Sofia_workloads.Workload.t list ->
@@ -79,10 +86,15 @@ val run :
   seed:int64 ->
   unit ->
   report
-(** Sweep [classes] (default {!Site.all}) × [workloads] (default the
-    full registry) with [trials] sampled sites per cell. [obs], when
-    tracing, receives one [Custom] event per trial
-    ([fault:<workload>:<class>:<verdict>], value = latency or -1).
+(** Sweep [backends] (default [[Sofia]]) × [classes] (default
+    {!Site.all}) × [workloads] (default the full registry) with
+    [trials] sampled sites per cell. Each backend protects every
+    workload through its own registry entry and is profiled and
+    faulted independently; classes a backend has no site for
+    ({!Site.applicable}) produce zero-trial not-applicable cells.
+    [obs], when tracing, receives one [Custom] event per trial
+    ([fault:<backend>:<workload>:<class>:<verdict>], value = latency
+    or -1).
     [with_service] (default [true]) appends the seven service scenarios,
     which spawn real worker domains and take ~1 s of wall time.
     [with_fleet] (default: [with_service]) additionally re-runs the
@@ -95,8 +107,9 @@ val run :
     every simulated run; reports are byte-identical between engines. *)
 
 val by_class : report -> cell list
-(** The matrix aggregated to one cell per class (workload ["*"]), in
-    {!Site.all} order; classes absent from the report are omitted. *)
+(** The matrix aggregated to one cell per (backend, class) pair
+    (workload ["*"]), backends in report order, classes in {!Site.all}
+    order; classes absent from the report are omitted. *)
 
 val in_model_escapes : report -> int
 (** Masked + Corrupted + Hung over the in-model classes — the number
@@ -112,9 +125,11 @@ val passed : report -> bool
     criterion. *)
 
 val to_json : report -> Sofia_obs.Json.t
-(** Schema [sofia-fault-campaign/1]: seed, the class taxonomy, the
-    full matrix, the per-class aggregation, the summary (detection
-    rate, escapes, [passed]) and the service-check results. *)
+(** Schema [sofia-fault-campaign/2]: seed, the backend list, the class
+    taxonomy, the full matrix (each cell tagged with its backend and
+    applicability), the per-(backend, class) aggregation, the summary
+    (detection rate, escapes, [passed]) and the service-check
+    results. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable coverage table (per-class rows) + service lines. *)

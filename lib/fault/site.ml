@@ -21,6 +21,16 @@ let in_model = function
   | Insn_flip | Mac_flip | Keystream | Edge_redirect | Mux_swap -> true
   | Fetch_transient -> false
 
+(* Whether a class has any site to sample under a backend. SCFP builds
+   no multiplexor blocks — every join re-keys the sponge instead of
+   funnelling through a mux tree — so [Mux_swap] is structurally
+   inapplicable there: reported as not-applicable, never as a skip and
+   never as an escape. *)
+let applicable clazz (backend : Sofia_transform.Backend_id.t) =
+  match (clazz, backend) with
+  | Mux_swap, Sofia_transform.Backend_id.Scfp -> false
+  | _ -> true
+
 let name = function
   | Insn_flip -> "insn_flip"
   | Mac_flip -> "mac_flip"

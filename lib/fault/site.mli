@@ -44,6 +44,12 @@ val in_model : clazz -> bool
 (** [true] for the classes SOFIA guarantees to detect; the CI coverage
     gate requires a 100% detection rate exactly on these. *)
 
+val applicable : clazz -> Sofia_transform.Backend_id.t -> bool
+(** Whether the class has any fault site under the backend. [Mux_swap]
+    is SOFIA-only: SCFP builds no multiplexor blocks (joins re-key the
+    sponge instead), so the class is structurally inapplicable there —
+    campaign cells record it as not-applicable, never as an escape. *)
+
 val name : clazz -> string
 (** Stable snake_case tag for JSON/CLI. *)
 

@@ -37,6 +37,7 @@ type config = {
   store_dir : string option;
   store_budget : int;
   engine : string option;
+  backend : Sofia_transform.Backend_id.t;
   default_deadline_ms : int option;
   window : int;
   replay : bool;
@@ -60,6 +61,7 @@ let default_config =
     store_dir = None;
     store_budget = 0;
     engine = None;
+    backend = Sofia_transform.Backend_id.Sofia;
     default_deadline_ms = None;
     window = 32;
     replay = true;
@@ -373,6 +375,13 @@ let child_args t k =
     ]
   in
   let engine = match t.cfg.engine with Some e -> [ "--engine"; e ] | None -> [] in
+  (* passed only when non-default, so an all-SOFIA fleet spawns its
+     children with the exact pre-backend command line *)
+  let backend =
+    match t.cfg.backend with
+    | Sofia_transform.Backend_id.Sofia -> []
+    | b -> [ "--backend"; Sofia_transform.Backend_id.name b ]
+  in
   let store =
     match t.cfg.store_dir with
     | Some d ->
@@ -387,7 +396,7 @@ let child_args t k =
     | None -> []
   in
   let extra = match t.cfg.child_extra_args with Some f -> f k | None -> [] in
-  (sock, base @ engine @ store @ deadline @ extra)
+  (sock, base @ engine @ backend @ store @ deadline @ extra)
 
 (* ---- dispatch plumbing -------------------------------------------- *)
 
@@ -850,7 +859,11 @@ let admit_line t line =
        ws := { w_id = id; w_seq = seq; w_admit = at } :: !ws);
     Ok ()
   | None -> (
-    match Job.request_of_line line with
+    (* parse with the fleet's own default backend: a request without a
+       ["backend"] field must get the same content key the children
+       will compute for it, or the replay cache would serve one
+       backend's payload for the other's key *)
+    match Job.request_of_line ~default_backend:t.cfg.backend line with
     | Ok req ->
       (match split_id_tail line with
        | Some (_, tail) ->

@@ -31,6 +31,13 @@ type config = {
   store_dir : string option;  (** parent dir; child [k] gets [shard-k/] *)
   store_budget : int;
   engine : string option;  (** [--engine] forwarded to children *)
+  backend : Sofia_transform.Backend_id.t;
+      (** fleet-default protection backend (default SOFIA). Forwarded
+          to children as [--backend] (omitted when SOFIA, so all-SOFIA
+          fleets spawn pre-backend command lines) and used to parse
+          client lines that carry no ["backend"] field — router and
+          children must agree on the default, or the replay cache
+          could alias one backend's payload under the other's key. *)
   default_deadline_ms : int option;
   window : int;  (** max in-flight jobs per child (< child queue) *)
   replay : bool;  (** serve duplicate deterministic jobs from cache *)

@@ -15,11 +15,14 @@ let fnv64 s =
     s;
   !h
 
-(* The routing key is the image content triple — (source, key seed,
-   ω/nonce) — NOT the op: a protect, verify, attest and simulate of the
-   same program land on the same shard, so exactly one child's
-   content-addressed store (memory and disk tier alike) ever builds
-   that image. Run_image routes by path; Ping is shardless. *)
+(* The routing key is the image content tuple — (source, key seed,
+   ω/nonce, backend) — NOT the op: a protect, verify, attest and
+   simulate of the same program land on the same shard, so exactly one
+   child's content-addressed store (memory and disk tier alike) ever
+   builds that image. Run_image routes by path; Ping is shardless. The
+   backend component is appended only when it is not SOFIA, so every
+   pre-PR-8 key (and therefore the shard map of an all-SOFIA fleet) is
+   byte-identical to before backends existed. *)
 let route_key (req : Job.request) =
   let body =
     match req.Job.spec with
@@ -29,7 +32,12 @@ let route_key (req : Job.request) =
     | Job.Run_image { path } -> path
     | Job.Ping -> ""
   in
-  Printf.sprintf "%s|%Lx|%d" body req.Job.key_seed req.Job.nonce
+  let backend =
+    match req.Job.backend with
+    | Sofia_transform.Backend_id.Sofia -> ""
+    | b -> "|" ^ Sofia_transform.Backend_id.name b
+  in
+  Printf.sprintf "%s|%Lx|%d%s" body req.Job.key_seed req.Job.nonce backend
 
 let route ~shards (req : Job.request) =
   if shards <= 1 then 0

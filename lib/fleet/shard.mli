@@ -1,9 +1,11 @@
 (** The fleet's deterministic shard map.
 
     Jobs are sharded by {e image content hash}: FNV-1a-64 over the
-    (source, key seed, ω/nonce) triple — the same triple that keys the
-    content-addressed image stores. Two consequences the fleet relies
-    on:
+    (source, key seed, ω/nonce, backend) tuple — the same tuple that
+    keys the content-addressed image stores (the backend component is
+    appended only when it is not SOFIA, keeping all-SOFIA shard maps
+    byte-identical to pre-backend routers). Two consequences the fleet
+    relies on:
 
     - {b determinism}: the map is a pure function of the request, so
       the same job routes to the same shard across router restarts
@@ -17,7 +19,8 @@
 val fnv64 : string -> int64
 
 val route_key : Sofia_service.Job.request -> string
-(** The (source|seed|ω) routing triple; ops deliberately excluded. *)
+(** The (source|seed|ω[|backend]) routing tuple; ops deliberately
+    excluded. *)
 
 val route : shards:int -> Sofia_service.Job.request -> int
 (** Shard index in [\[0, shards)]. Pure. *)

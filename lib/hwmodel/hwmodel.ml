@@ -58,6 +58,41 @@ let sofia_additions ~unroll =
     { name = "violation detect + reset line"; res = { luts = 80; ffs = 18 } };
   ]
 
+(* --- SCFP sponge-CFI additions ---
+
+   The sponge backend replaces most of the SOFIA machinery: the rolling
+   duplex state *is* the integrity invariant, so there is no CBC-MAC
+   chain, no CTR counter assembly and — because every block is an
+   execution block whose two tag words sit at fixed offsets — no
+   fetch-stage NOP-substitution mux trees and no multiplexor-path
+   next-PC sequencing. What remains is one ARX permutation datapath,
+   the 64-bit state register, the patch-word fetch/XOR, the tag
+   comparator, and a 1x (iterated) RECTANGLE kept solely for the keyed
+   state initialisation at reset — it is off the per-fetch path. *)
+
+let sponge_rounds_total = 12
+
+let cycles_per_permutation ~unroll =
+  assert (unroll >= 1 && unroll <= sponge_rounds_total);
+  (sponge_rounds_total + unroll - 1) / unroll
+
+(* One ARX round: a 32-bit carry-chain adder, the 32-bit feedback XOR
+   (rotations are wiring) and the round-constant XOR folded into the
+   adder LUTs where it fits. *)
+let arx_round_luts = 80
+
+let scfp_additions ~unroll =
+  [
+    { name = Printf.sprintf "sponge ARX datapath (%dx unrolled)" unroll;
+      res = { luts = arx_round_luts * unroll; ffs = 64 } };
+    { name = "64-bit duplex state register + rate XOR"; res = { luts = 96; ffs = 64 } };
+    { name = "RECTANGLE (1x, init only) + k2 storage"; res = { luts = round_luts + 78; ffs = 128 } };
+    { name = "patch fetch + 64-bit patch XOR"; res = { luts = 112; ffs = 16 } };
+    { name = "64-bit tag comparator"; res = { luts = 30; ffs = 2 } };
+    { name = "block sequencer / next-PC logic"; res = { luts = 180; ffs = 48 } };
+    { name = "violation detect + reset line"; res = { luts = 80; ffs = 18 } };
+  ]
+
 let total components =
   List.fold_left
     (fun (l, f) c -> (l + c.res.luts, f + c.res.ffs))
@@ -104,6 +139,24 @@ let synthesize_sofia ?(unroll = 13) () =
     critical_path_ns = path;
   }
 
+(* ARX path: the 32-bit carry chain dominates each unrolled round;
+   fixed overhead covers the absorb-input XOR and register setup. *)
+let arx_round_delay_ns = 1.6
+let sponge_overhead_ns = 2.5
+
+let synthesize_scfp ?(unroll = 6) () =
+  let add_luts, add_ffs = total (scfp_additions ~unroll) in
+  let luts = vanilla_luts + add_luts in
+  let sponge_path = (float_of_int unroll *. arx_round_delay_ns) +. sponge_overhead_ns in
+  let path = Float.max vanilla_path_ns sponge_path in
+  {
+    slices = slices_of_luts luts;
+    fmax_mhz = 1000.0 /. path;
+    luts;
+    ffs = vanilla_ffs + add_ffs;
+    critical_path_ns = path;
+  }
+
 let area_overhead_pct ?(unroll = 13) () =
   let v = synthesize_vanilla () and s = synthesize_sofia ~unroll () in
   Sofia_util.Stats.percent_overhead ~baseline:(float_of_int v.slices)
@@ -111,6 +164,15 @@ let area_overhead_pct ?(unroll = 13) () =
 
 let clock_ratio ?(unroll = 13) () =
   let v = synthesize_vanilla () and s = synthesize_sofia ~unroll () in
+  v.fmax_mhz /. s.fmax_mhz
+
+let scfp_area_overhead_pct ?(unroll = 6) () =
+  let v = synthesize_vanilla () and s = synthesize_scfp ~unroll () in
+  Sofia_util.Stats.percent_overhead ~baseline:(float_of_int v.slices)
+    ~measured:(float_of_int s.slices)
+
+let scfp_clock_ratio ?(unroll = 6) () =
+  let v = synthesize_vanilla () and s = synthesize_scfp ~unroll () in
   v.fmax_mhz /. s.fmax_mhz
 
 let sweep_unroll factors =

@@ -55,6 +55,14 @@ val sofia_additions : unroll:int -> component list
 (** The SOFIA core's additional logic for a given cipher unrolling
     factor (the prototype uses 13). *)
 
+val scfp_additions : unroll:int -> component list
+(** The SCFP sponge backend's additional logic for a given
+    ARX-permutation unrolling factor. Notably absent relative to
+    {!sofia_additions}: the CBC-MAC chain, the CTR counter assembly,
+    the fetch-stage NOP-substitution mux trees and the multiplexor
+    next-PC sequencing — the rolling duplex state replaces all of
+    them, which is where SCFP's area win comes from. *)
+
 val cipher_rounds_total : int
 (** 26 cipher cycles at unroll 1 (paper §III: "the published version of
     this cipher requires 26 cycles"). *)
@@ -67,6 +75,17 @@ val synthesize_vanilla : unit -> synthesis
 val synthesize_sofia : ?unroll:int -> unit -> synthesis
 (** Default unroll 13. *)
 
+val sponge_rounds_total : int
+(** 12 ARX rounds per sponge permutation. *)
+
+val cycles_per_permutation : unroll:int -> int
+(** ⌈12 / unroll⌉ — 2 at the default unroll factor of 6. *)
+
+val synthesize_scfp : ?unroll:int -> unit -> synthesis
+(** Default unroll 6: the permutation takes two cycles per absorbed
+    word and the ARX path stays close to the vanilla critical path,
+    so the clock degrades far less than under the 13x RECTANGLE. *)
+
 val area_overhead_pct : ?unroll:int -> unit -> float
 (** Model prediction of Table I's +28.2 %. *)
 
@@ -74,6 +93,12 @@ val clock_ratio : ?unroll:int -> unit -> float
 (** [vanilla fmax / SOFIA fmax] — the execution-time multiplier that
     §IV-B combines with the cycle overhead (92.3 / 50.1 ≈ 1.84; the
     paper words it as "the clock is 84.6 % slower"). *)
+
+val scfp_area_overhead_pct : ?unroll:int -> unit -> float
+(** SCFP slices over vanilla, default unroll 6. *)
+
+val scfp_clock_ratio : ?unroll:int -> unit -> float
+(** [vanilla fmax / SCFP fmax], default unroll 6. *)
 
 val sweep_unroll : int list -> (int * synthesis * int) list
 (** For each unrolling factor: synthesis result and cycles per cipher

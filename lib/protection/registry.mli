@@ -1,0 +1,19 @@
+(** The protection-backend registry.
+
+    SOFIA (re-registered over the previously hard-wired pipeline) and
+    SCFP are installed at module initialisation; {!find} is therefore
+    total over {!Sofia_transform.Backend_id}. {!register} replaces by
+    id, so an experiment can swap in a variant implementation without
+    touching the dispatch sites. *)
+
+val register : Backend.t -> unit
+
+val all : unit -> Backend.t list
+(** Registered backends in {!Sofia_transform.Backend_id.tag} order. *)
+
+val find : Sofia_transform.Backend_id.t -> Backend.t
+
+val of_name : string -> Backend.t option
+
+val sofia : Backend.t
+val scfp : Backend.t

@@ -4,6 +4,8 @@ module Fs = Sofia_store_fs.Store_fs
 module Obs = Sofia_obs.Obs
 module Event = Sofia_obs.Event
 module Clock = Sofia_util.Clock
+module Backend_id = Sofia_transform.Backend_id
+module Registry = Sofia_protection.Registry
 
 type backpressure = Block | Reject
 
@@ -15,6 +17,7 @@ type config = {
   max_attempts : int;
   ks_cache_slots : int option;
   engine : Sofia_cpu.Run_config.engine;
+  backend : Backend_id.t;
   default_deadline_ms : int option;
   fault : (Job.request -> attempt:int -> unit) option;
   hang_timeout_ms : int option;
@@ -36,6 +39,7 @@ let default_config =
     max_attempts = 3;
     ks_cache_slots = Some 1024;
     engine = Sofia_cpu.Run_config.Fast;
+    backend = Backend_id.Sofia;
     default_deadline_ms = None;
     fault = None;
     hang_timeout_ms = None;
@@ -116,11 +120,12 @@ let assemble_or_fail source =
    frontend pipeline accepts — [Block_table.of_image]'s soundness rule,
    with [Sofia_runner.fetch_block] as the verdict. *)
 let persist_image d ~keys ~nonce ~source ~(image : Sofia_transform.Image.t) ~sfi ~issues =
+  let backend = image.Sofia_transform.Image.backend in
   let tag =
     Sofia_crypto.Cbc_mac.mac_words keys.Sofia_crypto.Keys.k2
-      image.Sofia_transform.Image.cipher
+      (Sofia_transform.Image.authenticated_words image)
   in
-  Fs.store_artifact d ~keys ~nonce ~source ~sfi
+  Fs.store_artifact d ~backend ~keys ~nonce ~source ~sfi
     ~expansion:(Sofia_transform.Transform.expansion_ratio image) ~issues ~mac_tag:tag;
   let table =
     Block_table.of_image
@@ -130,19 +135,20 @@ let persist_image d ~keys ~nonce ~source ~(image : Sofia_transform.Image.t) ~sfi
         | Sofia_cpu.Sofia_runner.Fetch_violation _ -> None)
       image
   in
-  Fs.store_table d ~keys ~nonce ~source ~codec_version:Block_table.codec_version
+  Fs.store_table d ~backend ~keys ~nonce ~source ~codec_version:Block_table.codec_version
     ~artifact_fp:(Fs.fingerprint64 sfi) (Block_table.to_bytes table);
   (tag, table)
 
 let protect_entry ~disk ~store ~(req : Job.request) source =
-  let key = Store.key ~source ~key_seed:req.key_seed ~nonce:req.nonce in
+  let backend = req.Job.backend in
+  let key = Store.key ~source ~key_seed:req.key_seed ~nonce:req.nonce ~backend in
   Store.find_or_build store ~key ~build:(fun () ->
       let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
       let warm =
         match disk with
         | None -> None
         | Some d -> (
-          match Fs.load_artifact d ~keys ~nonce:req.nonce ~source with
+          match Fs.load_artifact d ~backend ~keys ~nonce:req.nonce ~source with
           | None -> None
           | Some a ->
             (* the envelope checked out and the MAC verdict was
@@ -150,7 +156,7 @@ let protect_entry ~disk ~store ~(req : Job.request) source =
                [load_artifact]; the table is optional sugar on top *)
             let table =
               Option.bind
-                (Fs.load_table d ~keys ~nonce:req.nonce ~source
+                (Fs.load_table d ~backend ~keys ~nonce:req.nonce ~source
                    ~codec_version:Block_table.codec_version
                    ~artifact_fp:(Fs.fingerprint64 a.Fs.sfi))
                 Block_table.of_bytes
@@ -174,7 +180,8 @@ let protect_entry ~disk ~store ~(req : Job.request) source =
       | Some entry -> entry
       | None -> (
         let program = assemble_or_fail source in
-        match Sofia_transform.Transform.protect ~keys ~nonce:req.nonce program with
+        let b = Registry.find backend in
+        match b.Sofia_protection.Backend.protect ~keys ~nonce:req.nonce program with
         | Error e ->
           raise
             (Permanent
@@ -206,6 +213,7 @@ let protect_entry ~disk ~store ~(req : Job.request) source =
           }))
 
 let verify_issues ~disk ~(req : Job.request) source (entry : Store.entry) =
+  let b = Registry.find req.Job.backend in
   let fresh = ref false in
   let issues =
     Store.fill_issues entry (fun () ->
@@ -217,7 +225,7 @@ let verify_issues ~disk ~(req : Job.request) source (entry : Store.entry) =
            (deterministic) protected image from the source *)
         let image =
           if entry.Store.from_disk then
-            match Sofia_transform.Transform.protect ~keys ~nonce:req.nonce program with
+            match b.Sofia_protection.Backend.protect ~keys ~nonce:req.nonce program with
             | Ok image -> image
             | Error e ->
               raise
@@ -226,7 +234,8 @@ let verify_issues ~disk ~(req : Job.request) source (entry : Store.entry) =
                       e))
           else entry.Store.image
         in
-        List.length (Sofia_transform.Verify.check_against_source ~keys program image))
+        List.length
+          (b.Sofia_protection.Backend.verify_against_source ~keys program image))
   in
   (* write the freshly earned verdict back to the artifact meta so the
      next process restart starts warm on verify/attest too (same sfi
@@ -239,10 +248,11 @@ let verify_issues ~disk ~(req : Job.request) source (entry : Store.entry) =
        | Some hex -> Int64.of_string ("0x" ^ hex)
        | None ->
          Sofia_crypto.Cbc_mac.mac_words keys.Sofia_crypto.Keys.k2
-           entry.Store.image.Sofia_transform.Image.cipher
+           (Sofia_transform.Image.authenticated_words entry.Store.image)
      in
-     Fs.store_artifact d ~keys ~nonce:req.nonce ~source ~sfi:entry.Store.bytes
-       ~expansion:entry.Store.expansion ~issues:(Some issues) ~mac_tag:tag
+     Fs.store_artifact d ~backend:req.Job.backend ~keys ~nonce:req.nonce ~source
+       ~sfi:entry.Store.bytes ~expansion:entry.Store.expansion ~issues:(Some issues)
+       ~mac_tag:tag
    | _ -> ());
   issues
 
@@ -251,12 +261,12 @@ let mac_digest ~(req : Job.request) (entry : Store.entry) =
       let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
       let tag =
         Sofia_crypto.Cbc_mac.mac_words keys.Sofia_crypto.Keys.k2
-          entry.Store.image.Sofia_transform.Image.cipher
+          (Sofia_transform.Image.authenticated_words entry.Store.image)
       in
       Printf.sprintf "%016Lx" tag)
 
-let run_config ~engine ks_cache_slots =
-  { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.ks_cache_slots; engine }
+let run_config ~engine ?(backend = Backend_id.Sofia) ks_cache_slots =
+  { Sofia_cpu.Run_config.default with Sofia_cpu.Run_config.ks_cache_slots; engine; backend }
 
 let simulated_of_result ~cached (r : Machine.run_result) =
   Job.Simulated
@@ -294,7 +304,8 @@ let execute ?(shard = -1) ?(workers = 1) ~disk ~store ~ks_cache_slots ~engine
       let entry, cached = protect_entry ~disk ~store ~req source in
       let keys = Sofia_crypto.Keys.generate ~seed:req.key_seed in
       let r =
-        Sofia_cpu.Sofia_runner.run ~config:(run_config ~engine ks_cache_slots)
+        Sofia_cpu.Sofia_runner.run
+          ~config:(run_config ~engine ~backend:req.Job.backend ks_cache_slots)
           ?prefill:entry.Store.table ~keys entry.Store.image
       in
       simulated_of_result ~cached r

@@ -72,6 +72,11 @@ type config = {
   engine : Sofia_cpu.Run_config.engine;
       (** execution engine for simulation jobs (default [Fast]); job
           results are bit-identical between engines *)
+  backend : Sofia_transform.Backend_id.t;
+      (** protection backend wire requests default to when they carry
+          no ["backend"] field (default SOFIA). Requests that do carry
+          one override it per job — the engine serves mixed-backend
+          traffic from one store, keyed so the backends never alias. *)
   default_deadline_ms : int option;  (** for requests that carry none *)
   fault : (Job.request -> attempt:int -> unit) option;
       (** chaos hook, called before each execution attempt; raise
@@ -112,9 +117,10 @@ type config = {
 
 val default_config : config
 (** 0 workers (auto), 64-deep queue, [Block], 256 store slots, 3
-    attempts, keystream cache on (1024 slots), fast engine, no default
-    deadline, no fault injection, no watchdog, breaker disabled, real
-    wall clock, shard [-1], no response tampering. *)
+    attempts, keystream cache on (1024 slots), fast engine, SOFIA
+    backend, no default deadline, no fault injection, no watchdog,
+    breaker disabled, real wall clock, shard [-1], no response
+    tampering. *)
 
 type t
 

@@ -1,4 +1,5 @@
 module J = Sofia_obs.Json
+module Backend_id = Sofia_transform.Backend_id
 
 exception Transient of string
 exception Crash of string
@@ -15,14 +16,16 @@ type request = {
   id : string;
   key_seed : int64;
   nonce : int;
+  backend : Backend_id.t;
   deadline_ms : int option;
   spec : spec;
 }
 
 let default_key_seed = 0x50F1AL
 
-let make ?(key_seed = default_key_seed) ?(nonce = 1) ?deadline_ms ~id spec =
-  { id; key_seed; nonce; deadline_ms; spec }
+let make ?(key_seed = default_key_seed) ?(nonce = 1) ?(backend = Backend_id.Sofia)
+    ?deadline_ms ~id spec =
+  { id; key_seed; nonce; backend; deadline_ms; spec }
 
 let op_name = function
   | Protect _ -> "protect"
@@ -82,6 +85,13 @@ let request_to_json (r : request) =
     [ ("id", J.Str r.id); ("op", J.Str (op_name r.spec));
       ("key_seed", J.Str (Printf.sprintf "0x%Lx" r.key_seed)); ("nonce", J.Int r.nonce) ]
   in
+  (* [backend] is omitted for SOFIA so every pre-PR-8 wire line (and
+     its golden-file replay) stays byte-identical *)
+  let backend =
+    match r.backend with
+    | Backend_id.Sofia -> []
+    | b -> [ ("backend", J.Str (Backend_id.name b)) ]
+  in
   let deadline =
     match r.deadline_ms with Some d -> [ ("deadline_ms", J.Int d) ] | None -> []
   in
@@ -93,7 +103,7 @@ let request_to_json (r : request) =
     | Run_image { path } -> [ ("path", J.Str path) ]
     | Ping -> []
   in
-  J.Obj (base @ deadline @ spec)
+  J.Obj (base @ backend @ deadline @ spec)
 
 let payload_fields = function
   | Protected { text_bytes; expansion; blocks; digest; cached } ->
@@ -170,7 +180,21 @@ let key_seed_field j =
 
 let ( let* ) = Result.bind
 
-let request_of_json j =
+(* absent field = the serving default (engine-configured in wire mode,
+   SOFIA otherwise), so existing request files keep their meaning *)
+let backend_field j ~default =
+  match J.member "backend" j with
+  | None -> Ok default
+  | Some (J.Str s) -> (
+    match Backend_id.of_name s with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (Printf.sprintf "unknown backend %S (expected %s)" s
+           (String.concat "|" (List.map Backend_id.name Backend_id.all))))
+  | Some _ -> Error "field \"backend\" must be a string"
+
+let request_of_json ?(default_backend = Backend_id.Sofia) j =
   match j with
   | J.Obj _ ->
     let* id = str_field j "id" in
@@ -178,6 +202,7 @@ let request_of_json j =
     let* key_seed = key_seed_field j in
     let* nonce = int_field_opt j "nonce" in
     let nonce = Option.value nonce ~default:1 in
+    let* backend = backend_field j ~default:default_backend in
     let* deadline_ms = int_field_opt j "deadline_ms" in
     let* spec =
       match op with
@@ -204,10 +229,10 @@ let request_of_json j =
              "unknown op %S (expected protect|verify|simulate|attest|run_image|ping)" other)
     in
     if nonce < 0 || nonce > 0xFF then Error "nonce must be in [0, 255]"
-    else Ok { id; key_seed; nonce; deadline_ms; spec }
+    else Ok { id; key_seed; nonce; backend; deadline_ms; spec }
   | _ -> Error "request must be a JSON object"
 
-let request_of_line line =
+let request_of_line ?default_backend line =
   match J.parse_opt line with
   | None -> Error "malformed JSON"
-  | Some j -> request_of_json j
+  | Some j -> request_of_json ?default_backend j

@@ -56,6 +56,14 @@ type request = {
   id : string;
   key_seed : int64;  (** device key seed (default [0x50F1A]) *)
   nonce : int;  (** program-version nonce ω (default 1) *)
+  backend : Sofia_transform.Backend_id.t;
+      (** protection backend the image-building jobs run under (default
+          SOFIA). Part of the image's content identity: it joins the
+          in-memory store key, the persistent envelope kind and the
+          fleet routing/replay keys, so the same source under two
+          backends can never alias in any cache tier. On the wire the
+          ["backend"] field is omitted for SOFIA (pre-PR-8 lines are
+          unchanged) and an absent field takes the serving default. *)
   deadline_ms : int option;
       (** total time budget from admission; a job still queued (or
           about to be retried) past its deadline reports [Timed_out] *)
@@ -63,7 +71,13 @@ type request = {
 }
 
 val make :
-  ?key_seed:int64 -> ?nonce:int -> ?deadline_ms:int -> id:string -> spec -> request
+  ?key_seed:int64 ->
+  ?nonce:int ->
+  ?backend:Sofia_transform.Backend_id.t ->
+  ?deadline_ms:int ->
+  id:string ->
+  spec ->
+  request
 
 val op_name : spec -> string
 (** Stable wire tag: [protect], [verify], [simulate], [attest],
@@ -114,12 +128,21 @@ val status_name : status -> string
 (** [done], [rejected], [timed_out] or [failed]. *)
 
 val request_to_json : request -> Sofia_obs.Json.t
-val request_of_json : Sofia_obs.Json.t -> (request, string) result
 
-val request_of_line : string -> (request, string) result
+val request_of_json :
+  ?default_backend:Sofia_transform.Backend_id.t ->
+  Sofia_obs.Json.t ->
+  (request, string) result
+
+val request_of_line :
+  ?default_backend:Sofia_transform.Backend_id.t ->
+  string ->
+  (request, string) result
 (** Parse one NDJSON line. Never raises: malformed JSON, a missing
-    field or an unknown [op] come back as [Error] with a rendered
-    diagnostic. *)
+    field, an unknown [op] or an unknown [backend] come back as
+    [Error] with a rendered diagnostic. [default_backend] (SOFIA if
+    omitted) fills an absent ["backend"] field — wire mode passes the
+    engine's configured backend. *)
 
 val response_to_json : response -> Sofia_obs.Json.t
 

@@ -12,14 +12,22 @@ type entry = {
   mutable table : Sofia_cpu.Block_table.t option;
 }
 
-(* The full addressing triple. The table is keyed on this record —
+(* The full addressing tuple. The table is keyed on this record —
    Hashtbl's structural hashing and equality cover the whole source
    text — so a hit is only ever served to a request that agrees on all
-   three fields. A folded 64-bit digest is NOT a safe key here: XOR
+   four fields. A folded 64-bit digest is NOT a safe key here: XOR
    aliasing (seed ⊕ ω collisions) or a hash collision on
    attacker-chosen source would silently hand one client an image
-   built under another's keys. *)
-type key = { source : string; key_seed : int64; nonce : int }
+   built under another's keys. The backend joins the key for the same
+   reason: the same (source, seed, ω) under SOFIA and SCFP are two
+   different images, and serving one for the other is cache
+   poisoning. *)
+type key = {
+  source : string;
+  key_seed : int64;
+  nonce : int;
+  backend : Sofia_transform.Backend_id.t;
+}
 
 type slot = { entry : entry; mutable last_used : int }
 
@@ -50,7 +58,7 @@ let fingerprint b =
   let h = hash_string (Bytes.unsafe_to_string b) in
   Printf.sprintf "%016Lx" h
 
-let key ~source ~key_seed ~nonce = { source; key_seed; nonce }
+let key ~source ~key_seed ~nonce ~backend = { source; key_seed; nonce; backend }
 
 let with_lock t f =
   Mutex.lock t.m;

@@ -49,14 +49,22 @@ type entry = {
 }
 
 type key
-(** The full [(source, key_seed, nonce)] addressing triple. *)
+(** The full [(source, key_seed, nonce, backend)] addressing tuple.
+    The backend is part of the image's content identity — the same
+    source under SOFIA and SCFP are different images, and a shared
+    store must never serve one for the other. *)
 
 type t
 
 val create : slots:int -> t
 (** [slots <= 0] disables caching: every {!find_or_build} builds. *)
 
-val key : source:string -> key_seed:int64 -> nonce:int -> key
+val key :
+  source:string ->
+  key_seed:int64 ->
+  nonce:int ->
+  backend:Sofia_transform.Backend_id.t ->
+  key
 
 val find_or_build : t -> key:key -> build:(unit -> entry) -> entry * bool
 (** The returned flag is [true] on a cache hit. A disabled store always

@@ -108,7 +108,7 @@ let serve_channels_intr ?(obs = Obs.none) ~(intr : intr) ~config ic oc =
   let handle line =
     if String.trim line <> "" then begin
       incr received;
-      match Job.request_of_line line with
+      match Job.request_of_line ~default_backend:config.Engine.backend line with
       | Ok req -> Engine.submit engine req
       | Error msg ->
         incr malformed;

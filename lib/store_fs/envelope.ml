@@ -44,7 +44,20 @@ module Cbc_mac = Sofia_crypto.Cbc_mac
 
 type kind = Artifact | Table
 
-let kind_tag = function Artifact -> 1 | Table -> 2
+(* The backend folds into the kind tag: a SOFIA artifact and an SCFP
+   artifact for the same (source, keys, ω) are different objects, and
+   the tag is checked before anything else is believed — a cross-
+   backend read dies as [Bad_kind] (a structural miss) rather than
+   handing one backend's ciphertext to the other's frontend. SOFIA
+   keeps the pre-PR-8 tags 1/2, so existing stores read back
+   unchanged; SCFP takes 3/4. The tag is also part of the filename
+   identity (see Store_fs.entry_name), so the two backends never even
+   share a file. *)
+let kind_tag ~backend k =
+  let base = match k with Artifact -> 1 | Table -> 2 in
+  match (backend : Sofia_transform.Backend_id.t) with
+  | Sofia_transform.Backend_id.Sofia -> base
+  | Sofia_transform.Backend_id.Scfp -> base + 2
 
 let magic = 0x53464341 (* "SFCA" *)
 let version = 1
@@ -111,8 +124,8 @@ let words_of_bytes b =
 
 let tag_of_buffer ~keys b = Cbc_mac.mac_words keys.Keys.k2 (words_of_bytes b)
 
-let encode ?(envelope_version = version) ~kind ~codec_version ~nonce ~keys ~source ~meta
-    ~payload () =
+let encode ?(envelope_version = version) ~backend ~kind ~codec_version ~nonce ~keys ~source
+    ~meta ~payload () =
   let slen = String.length source in
   let mlen = Bytes.length meta in
   let plen = Bytes.length payload in
@@ -124,7 +137,7 @@ let encode ?(envelope_version = version) ~kind ~codec_version ~nonce ~keys ~sour
   Bytes.blit payload 0 b (header_bytes + slen + mlen) plen;
   put 0x00 magic;
   put 0x04 envelope_version;
-  put 0x08 (kind_tag kind);
+  put 0x08 (kind_tag ~backend kind);
   put 0x0C codec_version;
   put 0x10 nonce;
   put 0x14 (key_fp32 keys);
@@ -140,14 +153,14 @@ let encode ?(envelope_version = version) ~kind ~codec_version ~nonce ~keys ~sour
 
 type ok = { meta : Bytes.t; payload : Bytes.t }
 
-let decode ~kind ~codec_version ~nonce ~keys ~source b =
+let decode ~backend ~kind ~codec_version ~nonce ~keys ~source b =
   let len = Bytes.length b in
   if len < header_bytes then Error Short
   else begin
     let get off = Word.word32_of_bytes_le b off in
     if get 0x00 <> magic then Error Bad_magic
     else if get 0x04 <> version then Error (Stale_envelope (get 0x04))
-    else if get 0x08 <> kind_tag kind then Error Bad_kind
+    else if get 0x08 <> kind_tag ~backend kind then Error Bad_kind
     else if get 0x0C <> codec_version then Error (Stale_codec (get 0x0C))
     else if get 0x10 <> nonce then Error Nonce_mismatch
     else if get 0x14 <> key_fp32 keys then Error Key_mismatch

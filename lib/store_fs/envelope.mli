@@ -11,7 +11,13 @@
 
 type kind = Artifact | Table
 
-val kind_tag : kind -> int
+val kind_tag : backend:Sofia_transform.Backend_id.t -> kind -> int
+(** The on-disk kind tag. The protection backend is folded in (SOFIA
+    artifact/table = 1/2, the pre-PR-8 values; SCFP = 3/4), so a
+    cross-backend read fails the structural check ([Bad_kind]) before
+    any payload byte is believed — the shared-store cache-poisoning
+    guard. *)
+
 val version : int
 val header_bytes : int
 
@@ -42,6 +48,7 @@ val key_fp32 : Sofia_crypto.Keys.t -> int
 
 val encode :
   ?envelope_version:int ->
+  backend:Sofia_transform.Backend_id.t ->
   kind:kind ->
   codec_version:int ->
   nonce:int ->
@@ -57,6 +64,7 @@ val encode :
 type ok = { meta : Bytes.t; payload : Bytes.t }
 
 val decode :
+  backend:Sofia_transform.Backend_id.t ->
   kind:kind ->
   codec_version:int ->
   nonce:int ->

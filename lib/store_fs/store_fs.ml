@@ -101,23 +101,28 @@ let open_store ?(obs = Obs.none) ~dir ?(budget_bytes = 0) () =
 (* Two independent hashes of the same identity string: 128 filename
    bits, so accidental collisions are out of the picture and even a
    deliberate FNV collision only costs a Source_mismatch miss. *)
-let entry_name ~kind ~codec_version ~nonce ~keys ~source =
+(* The backend reaches the identity string through the kind tag
+   (Envelope.kind_tag folds it in), so two backends' entries for the
+   same source can never share a filename — and even a forced filename
+   collision dies on the envelope's own kind check. *)
+let entry_name ~backend ~kind ~codec_version ~nonce ~keys ~source =
+  let tag = Envelope.kind_tag ~backend kind in
   let id =
     String.concat "\x00"
       [
         source;
         Keys.fingerprint keys;
         string_of_int nonce;
-        string_of_int (Envelope.kind_tag kind);
+        string_of_int tag;
         string_of_int codec_version;
       ]
   in
   let h1 = Envelope.fnv64 id in
   let h2 = Envelope.fnv64 ~basis:0x84222325CBF29CE4L id in
-  Printf.sprintf "%016Lx%016Lx.k%d%s" h1 h2 (Envelope.kind_tag kind) entry_suffix
+  Printf.sprintf "%016Lx%016Lx.k%d%s" h1 h2 tag entry_suffix
 
-let path t ~kind ~codec_version ~nonce ~keys ~source =
-  Filename.concat t.dir (entry_name ~kind ~codec_version ~nonce ~keys ~source)
+let path t ~backend ~kind ~codec_version ~nonce ~keys ~source =
+  Filename.concat t.dir (entry_name ~backend ~kind ~codec_version ~nonce ~keys ~source)
 
 let read_file path =
   match open_in_bin path with
@@ -130,14 +135,14 @@ let read_file path =
         | s -> Some (Bytes.unsafe_of_string s)
         | exception (Sys_error _ | End_of_file) -> None)
 
-let get t ~kind ~codec_version ~nonce ~keys ~source =
-  let p = path t ~kind ~codec_version ~nonce ~keys ~source in
+let get t ~backend ~kind ~codec_version ~nonce ~keys ~source =
+  let p = path t ~backend ~kind ~codec_version ~nonce ~keys ~source in
   match read_file p with
   | None ->
     locked t (fun () -> t.misses <- t.misses + 1);
     None
   | Some b -> (
-    match Envelope.decode ~kind ~codec_version ~nonce ~keys ~source b with
+    match Envelope.decode ~backend ~kind ~codec_version ~nonce ~keys ~source b with
     | Error f ->
       locked t (fun () ->
           t.misses <- t.misses + 1;
@@ -225,9 +230,11 @@ let write_atomic path bytes =
     in
     ok
 
-let put t ~kind ~codec_version ~nonce ~keys ~source ~meta ~payload =
-  let b = Envelope.encode ~kind ~codec_version ~nonce ~keys ~source ~meta ~payload () in
-  let p = path t ~kind ~codec_version ~nonce ~keys ~source in
+let put t ~backend ~kind ~codec_version ~nonce ~keys ~source ~meta ~payload =
+  let b =
+    Envelope.encode ~backend ~kind ~codec_version ~nonce ~keys ~source ~meta ~payload ()
+  in
+  let p = path t ~backend ~kind ~codec_version ~nonce ~keys ~source in
   let ok = write_atomic p b in
   locked t (fun () ->
       if ok then begin
@@ -270,19 +277,19 @@ let get_i64_le b off =
   done;
   !v
 
-let store_artifact t ~keys ~nonce ~source ~sfi ~expansion ~issues ~mac_tag =
+let store_artifact t ~backend ~keys ~nonce ~source ~sfi ~expansion ~issues ~mac_tag =
   let meta = Bytes.make artifact_meta_bytes '\000' in
   put_i64_le meta 0 (Int64.bits_of_float expansion);
   put_i64_le meta 8 mac_tag;
   Bytes.blit (Word.bytes_of_word32_le (match issues with None -> 0 | Some n -> n + 1)) 0
     meta 16 4;
-  put t ~kind:Envelope.Artifact ~codec_version:artifact_codec_version ~nonce ~keys ~source
-    ~meta ~payload:sfi
+  put t ~backend ~kind:Envelope.Artifact ~codec_version:artifact_codec_version ~nonce ~keys
+    ~source ~meta ~payload:sfi
 
-let load_artifact t ~keys ~nonce ~source =
+let load_artifact t ~backend ~keys ~nonce ~source =
   match
-    get t ~kind:Envelope.Artifact ~codec_version:artifact_codec_version ~nonce ~keys
-      ~source
+    get t ~backend ~kind:Envelope.Artifact ~codec_version:artifact_codec_version ~nonce
+      ~keys ~source
   with
   | None -> None
   | Some { Envelope.meta; payload } ->
@@ -299,15 +306,20 @@ let load_artifact t ~keys ~nonce ~source =
       | Error _ -> corrupt ()
       | Ok loaded ->
         let image = Binary_format.image_of_loaded loaded in
-        if image.Image.nonce <> nonce then corrupt ()
+        if image.Image.nonce <> nonce || image.Image.backend <> backend then corrupt ()
         else begin
           (* The load-bearing check: the MAC verdict is *re-derived*
-             over the deserialised ciphertext, never trusted from the
-             file. A tampered payload wrapped in a fresh (attacker
-             keyless) or stale envelope dies in Envelope.decode; a
-             payload/meta splice from two valid envelopes dies here. *)
+             over the deserialised ciphertext (plus the patch table
+             under SCFP — patches decide which edges the sponge
+             accepts, so they are as load-bearing as the code), never
+             trusted from the file. A tampered payload wrapped in a
+             fresh (attacker keyless) or stale envelope dies in
+             Envelope.decode; a payload/meta splice from two valid
+             envelopes dies here. *)
           let stored_tag = get_i64_le meta 8 in
-          let derived = Cbc_mac.mac_words keys.Keys.k2 image.Image.cipher in
+          let derived =
+            Cbc_mac.mac_words keys.Keys.k2 (Image.authenticated_words image)
+          in
           if not (Int64.equal derived stored_tag) then corrupt ()
           else begin
             let issues =
@@ -334,13 +346,13 @@ let load_artifact t ~keys ~nonce ~source =
 
 let table_meta_bytes = 8
 
-let store_table t ~keys ~nonce ~source ~codec_version ~artifact_fp payload =
+let store_table t ~backend ~keys ~nonce ~source ~codec_version ~artifact_fp payload =
   let meta = Bytes.make table_meta_bytes '\000' in
   put_i64_le meta 0 artifact_fp;
-  put t ~kind:Envelope.Table ~codec_version ~nonce ~keys ~source ~meta ~payload
+  put t ~backend ~kind:Envelope.Table ~codec_version ~nonce ~keys ~source ~meta ~payload
 
-let load_table t ~keys ~nonce ~source ~codec_version ~artifact_fp =
-  match get t ~kind:Envelope.Table ~codec_version ~nonce ~keys ~source with
+let load_table t ~backend ~keys ~nonce ~source ~codec_version ~artifact_fp =
+  match get t ~backend ~kind:Envelope.Table ~codec_version ~nonce ~keys ~source with
   | None -> None
   | Some { Envelope.meta; payload } ->
     if Bytes.length meta = table_meta_bytes && Int64.equal (get_i64_le meta 0) artifact_fp

@@ -29,6 +29,7 @@ val fingerprint64 : Bytes.t -> int64
 
 val get :
   t ->
+  backend:Sofia_transform.Backend_id.t ->
   kind:Envelope.kind ->
   codec_version:int ->
   nonce:int ->
@@ -41,6 +42,7 @@ val get :
 
 val put :
   t ->
+  backend:Sofia_transform.Backend_id.t ->
   kind:Envelope.kind ->
   codec_version:int ->
   nonce:int ->
@@ -67,6 +69,7 @@ type artifact = {
 
 val store_artifact :
   t ->
+  backend:Sofia_transform.Backend_id.t ->
   keys:Sofia_crypto.Keys.t ->
   nonce:int ->
   source:string ->
@@ -77,16 +80,24 @@ val store_artifact :
   unit
 
 val load_artifact :
-  t -> keys:Sofia_crypto.Keys.t -> nonce:int -> source:string -> artifact option
+  t ->
+  backend:Sofia_transform.Backend_id.t ->
+  keys:Sofia_crypto.Keys.t ->
+  nonce:int ->
+  source:string ->
+  artifact option
 (** The MAC-gating boundary: beyond the envelope checks, the returned
-    [mac] is {e re-derived} over the deserialised ciphertext and
-    compared against the stored tag — a mismatch is a corrupt miss, so
-    no unverified bytes ever reach a runner. *)
+    [mac] is {e re-derived} over the deserialised ciphertext (plus the
+    patch table under SCFP) and compared against the stored tag — a
+    mismatch is a corrupt miss, so no unverified bytes ever reach a
+    runner. An artifact whose deserialised backend tag disagrees with
+    [backend] is likewise a corrupt miss. *)
 
 (* ---- the pre-decoded-table codec ---- *)
 
 val store_table :
   t ->
+  backend:Sofia_transform.Backend_id.t ->
   keys:Sofia_crypto.Keys.t ->
   nonce:int ->
   source:string ->
@@ -97,6 +108,7 @@ val store_table :
 
 val load_table :
   t ->
+  backend:Sofia_transform.Backend_id.t ->
   keys:Sofia_crypto.Keys.t ->
   nonce:int ->
   source:string ->

@@ -1,0 +1,27 @@
+(* Identifier for a protection backend — the scheme that lays out,
+   encrypts and integrity-checks an image. Lives at the bottom of the
+   transform layer so every tier (transform, cpu, service, fleet,
+   fault, bench, CLI) can dispatch on it without depending on
+   lib/protection's registry. *)
+
+type t = Sofia | Scfp
+
+let all = [ Sofia; Scfp ]
+let name = function Sofia -> "sofia" | Scfp -> "scfp"
+
+let of_name = function
+  | "sofia" -> Some Sofia
+  | "scfp" -> Some Scfp
+  | _ -> None
+
+let of_name_exn s =
+  match of_name s with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Backend_id.of_name_exn: unknown backend %S" s)
+
+(* wire/envelope tag; 0 is reserved so absent-field defaults are
+   distinguishable in binary codecs *)
+let tag = function Sofia -> 1 | Scfp -> 2
+let of_tag = function 1 -> Some Sofia | 2 -> Some Scfp | _ -> None
+let equal (a : t) b = a = b
+let pp ppf b = Format.pp_print_string ppf (name b)

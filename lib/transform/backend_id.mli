@@ -1,0 +1,13 @@
+(** Identifier for a protection backend (see lib/protection for the
+    registry of implementations). *)
+
+type t = Sofia | Scfp
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+val of_name_exn : string -> t
+val tag : t -> int
+val of_tag : int -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

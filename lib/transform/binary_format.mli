@@ -20,6 +20,13 @@
     0x20  text base           0x24... encrypted text, then data
     v}
 
+    Version 1 is frozen: SOFIA images always serialize as v1,
+    bit-for-bit, so existing digests stay stable. Non-SOFIA backends
+    use version 2, which extends the header by two words —
+    0x24 backend tag, 0x28 patch word count — and inserts the SCFP
+    patch table between the text and the data (payload starts at
+    0x2C).
+
     Loading returns a {!Loaded.t}: enough to run on the SOFIA core.
     Plaintext-side metadata (per-block instruction views, statistics,
     source mapping) exists only in the in-memory {!Image.t} produced at
@@ -40,10 +47,12 @@ val crc32 : Bytes.t -> off:int -> len:int -> int
 
 module Loaded : sig
   type t = {
+    backend : Backend_id.t;
     nonce : int;
     entry : int;
     text_base : int;
     cipher : int array;
+    patches : int array;  (** SCFP patch table; empty for v1/SOFIA *)
     data : Bytes.t;
     data_base : int;
   }

@@ -11,19 +11,31 @@ type block = {
 }
 
 type t = {
+  backend : Backend_id.t;
   nonce : int;
   entry : int;
   text_base : int;
   blocks : block array;
   cipher : int array;
+  patches : int array;
   data : Bytes.t;
   data_base : int;
   addr_of_orig : int array;
   stats : Layout.stats;
 }
 
-let text_size_bytes t = 4 * Array.length t.cipher
+let text_size_bytes t = 4 * (Array.length t.cipher + Array.length t.patches)
+
+(* the words an artifact MAC must cover: under SCFP the patch table is
+   as load-bearing as the ciphertext (a tampered patch redirects an
+   edge), so it joins the authenticated span *)
+let authenticated_words t =
+  match t.backend with
+  | Backend_id.Sofia -> t.cipher
+  | Backend_id.Scfp -> Array.append t.cipher t.patches
 let word_count t = Array.length t.cipher
+
+let patch_base t = t.text_base + (4 * Array.length t.cipher)
 
 let fetch t addr =
   let rel = addr - t.text_base in

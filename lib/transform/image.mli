@@ -19,11 +19,15 @@ type block = {
 }
 
 type t = {
+  backend : Backend_id.t;  (** protection scheme this image was built for *)
   nonce : int;  (** ω — unique per program and program version (§II-A) *)
   entry : int;  (** entry port address *)
   text_base : int;
   blocks : block array;
   cipher : int array;  (** flat encrypted text, 8 words per block *)
+  patches : int array;
+      (** SCFP only: sponge patch table, [Scfp.patch_words_per_block]
+          words per block, laid out after the text; empty under SOFIA *)
   data : Bytes.t;
   data_base : int;
   addr_of_orig : int array;
@@ -31,8 +35,18 @@ type t = {
 }
 
 val text_size_bytes : t -> int
-(** Size of the transformed text in bytes — §IV-B's 16,816 B figure for
-    ADPCM. *)
+(** Size of the transformed text in bytes (patch table included under
+    SCFP) — §IV-B's 16,816 B figure for ADPCM under SOFIA. *)
+
+val authenticated_words : t -> int array
+(** The word span an artifact-level MAC must cover: [cipher] under
+    SOFIA, [cipher ++ patches] under SCFP — the patch table decides
+    which edges the sponge accepts, so a persistent store that left it
+    out of the authenticated span would hand tampered edge bindings to
+    a warm start. *)
+
+val patch_base : t -> int
+(** Address of the first patch word (SCFP): text_base + text bytes. *)
 
 val word_count : t -> int
 

@@ -43,6 +43,7 @@ type error =
   | Branch_out_of_range of { from_addr : int; to_addr : int }
   | Code_pointer_unresolved of string
   | Code_pointer_ambiguous of string
+  | Indirect_fanin_unsupported of { sites : int }
   | Empty_program
 
 let pp_error fmt = function
@@ -59,6 +60,10 @@ let pp_error fmt = function
     Format.fprintf fmt
       "code pointer to %S: several indirect sites target it, so one pointer value cannot name a \
        unique entry port" s
+  | Indirect_fanin_unsupported { sites } ->
+    Format.fprintf fmt
+      "SCFP layout: %d jalr-flavoured edges converge on one block; the destination link patch \
+       needs a unique indirect predecessor" sites
   | Empty_program -> Format.fprintf fmt "program has no instructions"
 
 exception Fail of error
@@ -122,8 +127,18 @@ let uf_union parent a b =
 
 (* ------------------------------------------------------------------ *)
 
-let layout (program : Program.t) =
+(* [backend] selects the layout profile. SOFIA (the default) answers
+   convergent control flow with multiplexor blocks: mux heads, bridges
+   for branch-falls into them, and trampoline trees reducing fan-in to
+   2. SCFP needs none of that — every block is Exec with its single
+   port at offset 0 and arbitrary fan-in, because the sponge patch
+   table (see scfp.ml) reconciles predecessors instead of the block
+   geometry. Funnels and return shims are kept under SCFP: they are
+   what make the jalr-predecessor of every return point unique, which
+   the destination-indexed link patch requires. *)
+let layout ?(backend = Backend_id.Sofia) (program : Program.t) =
   try
+    let scfp = backend = Backend_id.Scfp in
     let n = Array.length program.Program.text in
     if n = 0 then raise (Fail Empty_program);
     let cfg = match Cfg.build program with Ok c -> c | Error es -> raise (Fail (Cfg_errors es)) in
@@ -325,7 +340,7 @@ let layout (program : Program.t) =
       funnel_rps;
     Array.iteri (fun c r -> if r > 1 then assert false else ignore c) ret_in;
 
-    let head_is_mux c = indeg.(c) >= 2 in
+    let head_is_mux c = (not scfp) && indeg.(c) >= 2 in
     let needs_shim c = ret_in.(c) >= 1 && indeg.(c) >= 2 in
 
     (* ---- node construction ---- *)
@@ -460,7 +475,7 @@ let layout (program : Program.t) =
     List.iteri
       (fun k (_cls, members) ->
         let indeg = List.length members in
-        let kind = if indeg >= 2 then Block.Mux else Block.Exec in
+        let kind = if (not scfp) && indeg >= 2 then Block.Mux else Block.Exec in
         let cap = Block.insn_slots kind in
         let slots = Array.make cap S_pad in
         slots.(cap - 1) <- S_synth (Insn.Jalr (Reg.zero, Reg.ra, 0));
@@ -543,34 +558,47 @@ let layout (program : Program.t) =
       funnel_rps;
 
     (* ---- multiplexor trees: reduce every node to ≤ 2 in-edges ---- *)
-    let work = Queue.create () in
-    List.iter (fun nd -> Queue.add nd.n_id work) (List.rev !nodes);
-    while not (Queue.is_empty work) do
-      let id = Queue.pop work in
-      let nd = node_of id in
-      while List.length nd.n_in > 2 do
-        match nd.n_in with
-        | e1 :: e2 :: rest ->
-          let slots = Array.make 5 S_pad in
-          slots.(4) <- S_jump_out;
-          let tramp = new_node Block.Mux Trampoline slots in
-          e1.e_dst <- tramp.n_id;
-          e2.e_dst <- tramp.n_id;
-          tramp.n_in <- [ e1; e2 ];
-          let bridge_edge = { e_src = From tramp.n_id; e_dst = id; flavor = F_jump } in
-          tramp.n_out <- [ bridge_edge ];
-          nd.n_in <- rest @ [ bridge_edge ]
-        | _ -> assert false
+    if not scfp then begin
+      let work = Queue.create () in
+      List.iter (fun nd -> Queue.add nd.n_id work) (List.rev !nodes);
+      while not (Queue.is_empty work) do
+        let id = Queue.pop work in
+        let nd = node_of id in
+        while List.length nd.n_in > 2 do
+          match nd.n_in with
+          | e1 :: e2 :: rest ->
+            let slots = Array.make 5 S_pad in
+            slots.(4) <- S_jump_out;
+            let tramp = new_node Block.Mux Trampoline slots in
+            e1.e_dst <- tramp.n_id;
+            e2.e_dst <- tramp.n_id;
+            tramp.n_in <- [ e1; e2 ];
+            let bridge_edge = { e_src = From tramp.n_id; e_dst = id; flavor = F_jump } in
+            tramp.n_out <- [ bridge_edge ];
+            nd.n_in <- rest @ [ bridge_edge ]
+          | _ -> assert false
+        done
       done
-    done;
+    end;
 
     (* ---- kind consistency ---- *)
     List.iter
       (fun nd ->
         let d = List.length nd.n_in in
-        let expected = if d >= 2 then Block.Mux else Block.Exec in
-        assert (d >= 1 && d <= 2);
-        assert (nd.n_kind = expected))
+        if scfp then begin
+          assert (d >= 1);
+          assert (nd.n_kind = Block.Exec);
+          (* the destination link patch needs a unique jalr predecessor *)
+          let jalr_in =
+            List.length (List.filter (fun e -> e.flavor = F_ret || e.flavor = F_indirect) nd.n_in)
+          in
+          if jalr_in > 1 then raise (Fail (Indirect_fanin_unsupported { sites = jalr_in }))
+        end
+        else begin
+          let expected = if d >= 2 then Block.Mux else Block.Exec in
+          assert (d >= 1 && d <= 2);
+          assert (nd.n_kind = expected)
+        end)
       !nodes;
 
     (* ---- addresses and ports ---- *)
@@ -581,13 +609,16 @@ let layout (program : Program.t) =
     let exit_of id = base_of id + Block.exit_offset in
     let port_of_edge e =
       let dst = node_of e.e_dst in
-      let offsets = Block.port_offsets dst.n_kind in
-      let rec find k = function
-        | [] -> assert false
-        | e' :: rest -> if e' == e then k else find (k + 1) rest
-      in
-      let idx = find 0 dst.n_in in
-      base_of dst.n_id + List.nth offsets idx
+      if scfp then base_of dst.n_id (* single port at offset 0, any fan-in *)
+      else begin
+        let offsets = Block.port_offsets dst.n_kind in
+        let rec find k = function
+          | [] -> assert false
+          | e' :: rest -> if e' == e then k else find (k + 1) rest
+        in
+        let idx = find 0 dst.n_in in
+        base_of dst.n_id + List.nth offsets idx
+      end
     in
     let prev_pc_of_edge e =
       match e.e_src with Reset -> Block.reset_prev_pc | From s -> exit_of s
@@ -779,8 +810,8 @@ let layout (program : Program.t) =
       }
   with Fail e -> Result.Error e
 
-let layout_exn program =
-  match layout program with
+let layout_exn ?backend program =
+  match layout ?backend program with
   | Ok t -> t
   | Error e -> invalid_arg (Format.asprintf "Layout.layout: %a" pp_error e)
 

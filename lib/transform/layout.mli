@@ -75,13 +75,23 @@ type error =
   | Code_pointer_ambiguous of string
       (** text symbol targeted by more than one indirect site: the
           pointer value cannot select a unique entry port *)
+  | Indirect_fanin_unsupported of { sites : int }
+      (** SCFP profile: a block would receive more than one
+          jalr-flavoured (return/indirect) edge, so the
+          destination-indexed link patch has no unique source *)
   | Empty_program
 
 val pp_error : Format.formatter -> error -> unit
 
-val layout : Sofia_asm.Program.t -> (t, error) result
+val layout : ?backend:Backend_id.t -> Sofia_asm.Program.t -> (t, error) result
+(** [backend] (default [Sofia]) selects the layout profile. The SCFP
+    profile produces only execution blocks — a single entry port at
+    offset 0, arbitrary fan-in, no multiplexor heads, bridges or
+    trampolines — while keeping return funnels and shims, which give
+    every return point the unique jalr predecessor the sponge link
+    patch requires (see {!Scfp}). *)
 
-val layout_exn : Sofia_asm.Program.t -> t
+val layout_exn : ?backend:Backend_id.t -> Sofia_asm.Program.t -> t
 (** @raise Invalid_argument with the rendered error. *)
 
 val block_at : t -> int -> block option

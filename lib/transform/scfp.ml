@@ -1,0 +1,126 @@
+(* SCFP sponge-CFI mode primitives (Werner et al., "Sponge-Based
+   Control-Flow Protection for IoT Devices"), shared by the transform
+   (encrypt + patch table), the static verifier and the CPU frontends.
+
+   The scheme replaces SOFIA's CTR-keystream + CBC-MAC pair with one
+   rolling sponge state per hart:
+
+   - A keyed initial state S0 = E_k2("SCFP" ‖ ω) seeds everything;
+     the permutation itself is public (lib/crypto/sponge.ml).
+   - Every block has a *canonical* entry state, purely position-based:
+     S_B = P(S0 xor base/4). Convergent control flow needs no
+     multiplexor blocks — all legitimate predecessors are patched
+     (below) onto the same canonical state.
+   - Fetch decrypts and absorbs: for each of the 6 instruction words,
+     plain = cipher xor rate(S); S <- P(S xor cipher). After the 6th
+     word the squeezed 64-bit tag (rate(S6), rate(P(S6))) must equal
+     the two tag words stored in the clear at block offsets 0 and 4.
+     The state after the tag squeeze, domain-separated, is the
+     block's exit state S_exit = P(P(S6) xor 1).
+   - A patch table (8 words per block, appended after the text) turns
+     exit states into successor entry states; see [slot_fall] etc.
+     Fall-through and direct targets use source-indexed additive
+     patches S_exit(b) xor S_B(succ). Jalr edges (returns and indirect
+     jumps) use a destination-indexed patch that *binds the source*:
+     patch[t][slot_link] = P(S_exit(u) xor t/4) xor S_B(t) for the
+     unique jalr-predecessor u — so redirecting a return to a foreign
+     return point diverges the state even though both return points
+     have valid patches (the layout's funnel/shim invariants guarantee
+     the unique-u precondition, see layout.ml).
+
+   Tampering with any ciphertext word, tag word or patch word — or
+   traversing an edge no patch was derived for — leaves the rolling
+   state off the canonical orbit, and the very next tag comparison
+   fails: detection latency 0, same as SOFIA, with no MAC words, no
+   mux trees and arbitrary fan-in. *)
+
+module Keys = Sofia_crypto.Keys
+module Rectangle = Sofia_crypto.Rectangle
+module Sponge = Sofia_crypto.Sponge
+
+let insn_words = 6 (* block words 2..7, offsets 8..28 *)
+let tag_word_count = 2 (* block words 0..1, stored in the clear *)
+
+let patch_slots = 4
+let patch_words_per_block = 2 * patch_slots
+
+(* patch-slot roles *)
+let slot_fall = 0 (* source-indexed: fall-through to base+32 *)
+let slot_direct = 1 (* source-indexed: taken branch / jal target *)
+let slot_link = 2 (* destination-indexed: jalr (return/indirect) entry *)
+
+let mask32 = 0xFFFF_FFFF
+
+(* keyed initial state: "SCFP" tag ‖ ω under the MAC key *)
+let init ~(keys : Keys.t) ~nonce =
+  Rectangle.encrypt keys.Keys.k2
+    (Int64.logor 0x5343_4650_0000_0000L (Int64.of_int (nonce land 0xFF)))
+
+(* word-address pack, mirroring Ctr.widx's 28-bit domain *)
+let pack_addr a = Int64.of_int ((a lsr 2) land 0x0FFF_FFFF)
+
+(* canonical (position-based) entry state of the block at [base] *)
+let canonical ~s0 ~base = Sponge.mix s0 (pack_addr base)
+
+(* exit-state domain separation and junk-filler tags; all < 2^28 by
+   design but disjoint from any text word address in practice *)
+let exit_domain = 1L
+let filler_domain slot = Int64.of_int (0x11 + slot)
+
+(* filler for patch slots with no legitimate edge: derived, key- and
+   position-dependent junk so the table has no recognisable structure *)
+let filler ~s0 ~base ~slot = Sponge.mix (canonical ~s0 ~base) (filler_domain slot)
+
+(* Run the decrypt-and-absorb duplex over one block's 6 ciphertext
+   words starting from [state]; [cipher] is any array holding the
+   block's 8 words starting at [off] (tag words at off, off+1).
+   Returns (plain instruction words, squeezed tag, exit state). *)
+let chain state cipher off =
+  let plain = Array.make insn_words 0 in
+  let s = ref state in
+  for i = 0 to insn_words - 1 do
+    let c = cipher.(off + tag_word_count + i) land mask32 in
+    plain.(i) <- c lxor Sponge.rate !s;
+    s := Sponge.absorb !s c
+  done;
+  let t0 = Sponge.rate !s in
+  let s7 = Sponge.permute !s in
+  let t1 = Sponge.rate s7 in
+  (plain, (t0, t1), Sponge.mix s7 exit_domain)
+
+(* Encryption side of the same walk: driven by the 6 plaintext words,
+   produces the ciphertext words, tag and exit state. [chain] on the
+   result reproduces the plaintext exactly (duplex symmetry). *)
+let encrypt_chain state plain =
+  let cipher = Array.make insn_words 0 in
+  let s = ref state in
+  for i = 0 to insn_words - 1 do
+    let c = plain.(i) land mask32 lxor Sponge.rate !s in
+    cipher.(i) <- c;
+    s := Sponge.absorb !s c
+  done;
+  let t0 = Sponge.rate !s in
+  let s7 = Sponge.permute !s in
+  let t1 = Sponge.rate s7 in
+  (cipher, (t0, t1), Sponge.mix s7 exit_domain)
+
+(* link-patch arrival transform: P(S_exit(source) xor target/4) *)
+let link_arrive ~s_exit ~target = Sponge.mix s_exit (pack_addr target)
+
+(* 64-bit patches stored as two 32-bit words, low word first, in a
+   flat array of [patch_words_per_block] words per block *)
+let patch_get patches bi slot =
+  let k = (bi * patch_words_per_block) + (2 * slot) in
+  Int64.logor
+    (Int64.of_int (patches.(k) land mask32))
+    (Int64.shift_left (Int64.of_int (patches.(k + 1) land mask32)) 32)
+
+let patch_set patches bi slot v =
+  let k = (bi * patch_words_per_block) + (2 * slot) in
+  patches.(k) <- Int64.to_int (Int64.logand v 0xFFFF_FFFFL);
+  patches.(k + 1) <- Int64.to_int (Int64.shift_right_logical v 32)
+
+let pack_tag (t0, t1) =
+  Int64.logor
+    (Int64.of_int (t0 land mask32))
+    (Int64.shift_left (Int64.of_int (t1 land mask32)) 32)

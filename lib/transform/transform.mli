@@ -16,26 +16,42 @@
 
 val protect :
   ?domains:int ->
+  ?backend:Backend_id.t ->
   keys:Sofia_crypto.Keys.t ->
   nonce:int ->
   Sofia_asm.Program.t ->
   (Image.t, Layout.error) result
 (** Transform and encrypt an assembled program. [nonce] is ω, the
-    8-bit program-version nonce stored with the binary.
+    8-bit program-version nonce stored with the binary. [backend]
+    (default [Sofia]) selects the protection scheme: SOFIA's
+    CTR + CBC-MAC pipeline above, or SCFP's sponge duplex with a
+    patch table (see {!Scfp}).
 
-    [domains] (default 1) fans the per-block MAC-then-Encrypt work out
-    over that many OCaml domains; block signing is independent per
-    block, so the produced image is byte-identical to the sequential
-    one (see the determinism battery in [test/parallel_tests.ml]). *)
+    [domains] (default 1) fans the per-block work out over that many
+    OCaml domains; block signing is independent per block under both
+    backends, so the produced image is byte-identical to the
+    sequential one (see the determinism battery in
+    [test/parallel_tests.ml]). *)
 
 val protect_exn :
-  ?domains:int -> keys:Sofia_crypto.Keys.t -> nonce:int -> Sofia_asm.Program.t -> Image.t
+  ?domains:int ->
+  ?backend:Backend_id.t ->
+  keys:Sofia_crypto.Keys.t ->
+  nonce:int ->
+  Sofia_asm.Program.t ->
+  Image.t
 (** @raise Invalid_argument on transformation errors. *)
 
 val encrypt_layout :
   ?domains:int -> keys:Sofia_crypto.Keys.t -> nonce:int -> Layout.t -> Image.t
-(** Encrypt an already-computed layout (exposed so tests can inspect
-    the plaintext layout and its encryption separately). *)
+(** Encrypt an already-computed layout with the SOFIA pipeline
+    (exposed so tests can inspect the plaintext layout and its
+    encryption separately). *)
+
+val scfp_encrypt_layout :
+  ?domains:int -> keys:Sofia_crypto.Keys.t -> nonce:int -> Layout.t -> Image.t
+(** Encrypt an already-computed SCFP-profile layout with the sponge
+    duplex and build its patch table. *)
 
 val expansion_ratio : Image.t -> float
 (** Transformed text bytes / original text bytes (paper §IV-B:

@@ -15,6 +15,7 @@ type issue =
   | Mac_words_wrong of { base : int }
   | Ciphertext_mismatch of { address : int }
   | Unknown_predecessor of { base : int; prev_pc : int }
+  | Patch_mismatch of { base : int; slot : int }
   | Uncovered_instruction of { orig_index : int }
   | Duplicated_instruction of { orig_index : int }
   | Instruction_changed of { orig_index : int; address : int }
@@ -35,6 +36,8 @@ let pp_issue fmt = function
     Format.fprintf fmt "ciphertext word at 0x%08x does not decrypt to its plaintext" address
   | Unknown_predecessor { base; prev_pc } ->
     Format.fprintf fmt "block at 0x%08x declares unknown predecessor 0x%08x" base prev_pc
+  | Patch_mismatch { base; slot } ->
+    Format.fprintf fmt "sponge patch slot %d of block at 0x%08x does not re-derive" slot base
   | Uncovered_instruction { orig_index } ->
     Format.fprintf fmt "reachable source instruction #%d is not in the image" orig_index
   | Duplicated_instruction { orig_index } ->
@@ -112,6 +115,87 @@ let check_block ~(keys : Keys.t) ~(image : Image.t) ~exits (b : Image.block) =
     b.Image.cipher_words;
   (List.rev !issues, macs_ok)
 
+(* SCFP counterpart of [check_block]: re-derive the duplex walk from
+   the block's canonical entry state over the *stored* ciphertext, and
+   re-derive every patch slot from first principles — an image whose
+   patch table was doctored fails here even though the text itself
+   still absorbs cleanly. [s_exits] holds every block's exit state
+   (derived from stored bytes in a prior pass) because the link patch
+   of block t is a function of its jalr-predecessor's exit state. *)
+let scfp_check_block ~(image : Image.t) ~exits ~s0 ~s_exits i (b : Image.block) =
+  let issues = ref [] in
+  let issue x = issues := x :: !issues in
+  let base = b.Image.base in
+  if (base - image.Image.text_base) mod Block.size_bytes <> 0 then issue (Misaligned_block { base });
+  let got = Array.length b.Image.insns in
+  if got <> Scfp.insn_words then
+    issue (Wrong_slot_count { base; expected = Scfp.insn_words; got });
+  Array.iteri
+    (fun s insn ->
+      let address = base + (4 * Scfp.tag_word_count) + (4 * s) in
+      if s < got - 1 && Insn.is_control_flow insn then issue (Mid_block_control_flow { address });
+      if Block.store_banned_slot Block.Exec s && Insn.is_store insn then
+        issue (Banned_store { address }))
+    b.Image.insns;
+  (* entry ports: arbitrary fan-in, but a block nothing reaches is a
+     layout bug *)
+  let nentries = List.length b.Image.entry_prev_pcs in
+  if nentries = 0 then issue (Wrong_entry_count { base; got = nentries });
+  List.iter
+    (fun prev ->
+      if prev <> Block.reset_prev_pc && not (Hashtbl.mem exits prev) then
+        issue (Unknown_predecessor { base; prev_pc = prev }))
+    b.Image.entry_prev_pcs;
+  (* tag + ciphertext: one duplex walk from the canonical entry state *)
+  let plain6, (t0, t1), _ = Scfp.chain (Scfp.canonical ~s0 ~base) b.Image.cipher_words 0 in
+  let macs_ok = b.Image.cipher_words.(0) = t0 && b.Image.cipher_words.(1) = t1 in
+  if not macs_ok then issue (Mac_words_wrong { base });
+  Array.iteri
+    (fun s insn ->
+      if plain6.(s) <> Encoding.encode insn then
+        issue (Ciphertext_mismatch { address = base + (4 * Scfp.tag_word_count) + (4 * s) }))
+    b.Image.insns;
+  (* patch table: every slot must re-derive *)
+  let nblocks = Array.length image.Image.blocks in
+  let tb = image.Image.text_base in
+  let text_end = tb + (Block.size_bytes * nblocks) in
+  let block_aligned a = a >= tb && a < text_end && (a - tb) mod Block.size_bytes = 0 in
+  let canon_of tgt = Scfp.canonical ~s0 ~base:tgt in
+  let expect slot v =
+    if Scfp.patch_get image.Image.patches i slot <> v then issue (Patch_mismatch { base; slot })
+  in
+  let fill slot = expect slot (Scfp.filler ~s0 ~base ~slot) in
+  if i + 1 < nblocks then
+    expect Scfp.slot_fall (Int64.logxor s_exits.(i) (canon_of (base + Block.size_bytes)))
+  else fill Scfp.slot_fall;
+  let exit_pc = base + Block.exit_offset in
+  (match b.Image.insns.(got - 1) with
+  | Insn.Branch (_, _, _, woff) | Insn.Jal (_, woff)
+    when block_aligned (exit_pc + (4 * woff)) ->
+    expect Scfp.slot_direct (Int64.logxor s_exits.(i) (canon_of (exit_pc + (4 * woff))))
+  | _ -> fill Scfp.slot_direct);
+  let jalr_preds =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun p ->
+           let rel = p - tb in
+           if rel >= 0 && rel < text_end - tb && rel mod Block.size_bytes = Block.exit_offset then
+             let u = rel / Block.size_bytes in
+             match image.Image.blocks.(u).Image.insns with
+             | [||] -> None
+             | insns -> (
+               match insns.(Array.length insns - 1) with Insn.Jalr _ -> Some u | _ -> None)
+           else None)
+         b.Image.entry_prev_pcs)
+  in
+  (match jalr_preds with
+  | [ u ] ->
+    expect Scfp.slot_link
+      (Int64.logxor (Scfp.link_arrive ~s_exit:s_exits.(u) ~target:base) (canon_of base))
+  | [] | _ :: _ :: _ -> fill Scfp.slot_link);
+  fill 3;
+  (List.rev !issues, macs_ok)
+
 let check ?(obs = Obs.none) ?domains ~(keys : Keys.t) (image : Image.t) =
   (* valid exit addresses of the image, for linkage checking; built
      before the fan-out and only read afterwards *)
@@ -119,7 +203,25 @@ let check ?(obs = Obs.none) ?domains ~(keys : Keys.t) (image : Image.t) =
   Array.iter
     (fun (b : Image.block) -> Hashtbl.replace exits (b.Image.base + Block.exit_offset) ())
     image.Image.blocks;
-  let results = Sofia_util.Par.map ?domains (check_block ~keys ~image ~exits) image.Image.blocks in
+  let results =
+    match image.Image.backend with
+    | Backend_id.Sofia ->
+      Sofia_util.Par.map ?domains (check_block ~keys ~image ~exits) image.Image.blocks
+    | Backend_id.Scfp ->
+      let s0 = Scfp.init ~keys ~nonce:image.Image.nonce in
+      let s_exits =
+        Array.map
+          (fun (b : Image.block) ->
+            let _, _, s_exit =
+              Scfp.chain (Scfp.canonical ~s0 ~base:b.Image.base) b.Image.cipher_words 0
+            in
+            s_exit)
+          image.Image.blocks
+      in
+      Sofia_util.Par.map ?domains
+        (fun i -> scfp_check_block ~image ~exits ~s0 ~s_exits i image.Image.blocks.(i))
+        (Array.init (Array.length image.Image.blocks) Fun.id)
+  in
   (* obs accounting runs on the caller's domain, in block order, off the
      per-block results — identical counters and event stream whether the
      checks themselves ran on 1 domain or 8 *)

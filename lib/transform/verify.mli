@@ -30,6 +30,7 @@ type issue =
   | Mac_words_wrong of { base : int }
   | Ciphertext_mismatch of { address : int }
   | Unknown_predecessor of { base : int; prev_pc : int }
+  | Patch_mismatch of { base : int; slot : int }
   | Uncovered_instruction of { orig_index : int }
   | Duplicated_instruction of { orig_index : int }
   | Instruction_changed of { orig_index : int; address : int }

@@ -143,6 +143,27 @@ let prop_route_op_affinity =
       && FS.route ~shards (mk (Job.Attest { source })) = k
       && FS.route ~shards (mk (Job.Simulate { source; sofia = true })) = k)
 
+let prop_backend_in_shard_keys =
+  (* PR 8: the protection backend is part of the image identity, so it
+     must be part of both shard keys — an SCFP job must never route to
+     (or replay from) the SOFIA artifact for the same source. Explicit
+     SOFIA must collapse onto the field-less encoding, keeping
+     all-SOFIA shard maps byte-identical to pre-backend routers. *)
+  QCheck.Test.make ~count:200
+    ~name:"shard keys: backend separates, sofia stays byte-stable"
+    QCheck.(pair (int_range 0 255) small_string)
+    (fun (nonce, salt) ->
+      let source = sources.(nonce mod Array.length sources) ^ salt in
+      let mk ?backend () = Job.make ~id:"x" ~nonce ?backend (Job.Protect { source }) in
+      let plain = mk () in
+      let sofia = mk ~backend:Sofia.Transform.Backend_id.Sofia () in
+      let scfp = mk ~backend:Sofia.Transform.Backend_id.Scfp () in
+      FS.route_key sofia = FS.route_key plain
+      && FS.content_key sofia = FS.content_key plain
+      && FS.route_key scfp <> FS.route_key plain
+      && FS.content_key scfp <> FS.content_key plain
+      && FS.route ~shards:1 scfp = 0)
+
 let test_route_coverage () =
   (* the map must actually spread load: over a modest nonce scan every
      shard of a 3-way fleet sees traffic *)
@@ -464,6 +485,7 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_route_deterministic;
     QCheck_alcotest.to_alcotest prop_route_op_affinity;
+    QCheck_alcotest.to_alcotest prop_backend_in_shard_keys;
     Alcotest.test_case "route covers every shard" `Quick test_route_coverage;
     Alcotest.test_case "content key vs route key" `Quick test_content_key_vs_route_key;
     Alcotest.test_case "3-child mix matches one-shot payloads" `Slow

@@ -26,14 +26,16 @@ let check_bool = Alcotest.(check bool)
 
 let keys = Keys.generate ~seed:11L
 let other_keys = Keys.generate ~seed:12L
+let b_sofia = Sofia.Transform.Backend_id.Sofia
+let b_scfp = Sofia.Transform.Backend_id.Scfp
 
 let source =
   ".equ OUT, 0xFFFF0000\nmain:\n  addi t0, zero, 5\n  la a6, OUT\n  st t0, 0(a6)\n  call \
    f\n  halt\nf:\n  addi t0, t0, 1\n  ret\n"
 
-let protect ?(nonce = 3) ?(keys = keys) src =
+let protect ?(backend = b_sofia) ?(nonce = 3) ?(keys = keys) src =
   let program = Sofia.Asm.Assembler.assemble src in
-  Transform.protect_exn ~keys ~nonce program
+  Transform.protect_exn ~backend ~keys ~nonce program
 
 (* a throwaway store directory; recursively removed afterwards *)
 let rec rm_rf path =
@@ -80,10 +82,12 @@ let test_envelope_roundtrip () =
     let src = Bytes.to_string (bytes_of_prng g (Prng.int_below g 200)) in
     let meta = bytes_of_prng g (Prng.int_below g 64) in
     let payload = bytes_of_prng g (Prng.int_below g 600) in
+    let backend = if Prng.bool g then b_sofia else b_scfp in
     let b =
-      Envelope.encode ~kind ~codec_version:codec ~nonce ~keys ~source:src ~meta ~payload ()
+      Envelope.encode ~backend ~kind ~codec_version:codec ~nonce ~keys ~source:src ~meta
+        ~payload ()
     in
-    match Envelope.decode ~kind ~codec_version:codec ~nonce ~keys ~source:src b with
+    match Envelope.decode ~backend ~kind ~codec_version:codec ~nonce ~keys ~source:src b with
     | Error f -> Alcotest.failf "round-trip failed: %s" (Envelope.failure_name f)
     | Ok ok ->
       check_bool "meta" true (Bytes.equal ok.Envelope.meta meta);
@@ -93,11 +97,13 @@ let test_envelope_roundtrip () =
 (* ---- adversarial corpus: truncation at every byte boundary ---- *)
 
 let small_envelope () =
-  Envelope.encode ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys ~source:"src"
-    ~meta:(Bytes.of_string "meta") ~payload:(Bytes.of_string "payload-bytes") ()
+  Envelope.encode ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys
+    ~source:"src" ~meta:(Bytes.of_string "meta") ~payload:(Bytes.of_string "payload-bytes")
+    ()
 
 let decode_small b =
-  Envelope.decode ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys ~source:"src" b
+  Envelope.decode ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys
+    ~source:"src" b
 
 let test_truncation_every_boundary () =
   let b = small_envelope () in
@@ -128,9 +134,9 @@ let test_single_bit_flips () =
 
 let test_version_skew () =
   let stale =
-    Envelope.encode ~envelope_version:(Envelope.version + 1) ~kind:Envelope.Artifact
-      ~codec_version:1 ~nonce:7 ~keys ~source:"src" ~meta:Bytes.empty ~payload:Bytes.empty
-      ()
+    Envelope.encode ~envelope_version:(Envelope.version + 1) ~backend:b_sofia
+      ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys ~source:"src" ~meta:Bytes.empty
+      ~payload:Bytes.empty ()
   in
   (match decode_small stale with
    | Error (Envelope.Stale_envelope v) ->
@@ -141,7 +147,8 @@ let test_version_skew () =
    | Error f -> Alcotest.failf "stale envelope: %s" (Envelope.failure_name f));
   let b = small_envelope () in
   match
-    Envelope.decode ~kind:Envelope.Artifact ~codec_version:2 ~nonce:7 ~keys ~source:"src" b
+    Envelope.decode ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:2 ~nonce:7 ~keys
+      ~source:"src" b
   with
   | Error (Envelope.Stale_codec 1) -> ()
   | Ok _ -> Alcotest.fail "codec skew decoded"
@@ -169,43 +176,54 @@ let test_degenerate_sizes () =
 let test_identity_mismatches () =
   let b = small_envelope () in
   (match
-     Envelope.decode ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys:other_keys
-       ~source:"src" b
+     Envelope.decode ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7
+       ~keys:other_keys ~source:"src" b
    with
    | Error Envelope.Key_mismatch -> ()
    | _ -> Alcotest.fail "wrong keys accepted");
   (match
-     Envelope.decode ~kind:Envelope.Artifact ~codec_version:1 ~nonce:8 ~keys ~source:"src" b
+     Envelope.decode ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:8
+       ~keys ~source:"src" b
    with
    | Error Envelope.Nonce_mismatch -> ()
    | _ -> Alcotest.fail "wrong nonce accepted");
   (match
-     Envelope.decode ~kind:Envelope.Table ~codec_version:1 ~nonce:7 ~keys ~source:"src" b
+     Envelope.decode ~backend:b_sofia ~kind:Envelope.Table ~codec_version:1 ~nonce:7 ~keys
+       ~source:"src" b
    with
    | Error Envelope.Bad_kind -> ()
    | _ -> Alcotest.fail "wrong kind accepted");
+  (* the backend is folded into the kind tag: a SOFIA entry read as an
+     SCFP one is structurally the wrong kind, before any payload check *)
+  (match
+     Envelope.decode ~backend:b_scfp ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys
+       ~source:"src" b
+   with
+   | Error Envelope.Bad_kind -> ()
+   | _ -> Alcotest.fail "cross-backend read accepted");
   (* the filename hash is not the defence: even on a forced aliased
      read, the embedded source byte-compare rejects *)
   match
-    Envelope.decode ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys ~source:"srC" b
+    Envelope.decode ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:7 ~keys
+      ~source:"srC" b
   with
   | Error Envelope.Source_mismatch -> ()
   | _ -> Alcotest.fail "wrong source accepted"
 
 (* ---- store-level artifact round-trip ---- *)
 
-let store_one ?(nonce = 3) ?(issues = None) t =
-  let image = protect ~nonce source in
+let store_one ?(backend = b_sofia) ?(nonce = 3) ?(issues = None) t =
+  let image = protect ~backend ~nonce source in
   let sfi = Binary_format.serialize image in
-  let tag = Cbc_mac.mac_words keys.Keys.k2 image.Image.cipher in
-  Fs.store_artifact t ~keys ~nonce ~source ~sfi
+  let tag = Cbc_mac.mac_words keys.Keys.k2 (Image.authenticated_words image) in
+  Fs.store_artifact t ~backend ~keys ~nonce ~source ~sfi
     ~expansion:(Transform.expansion_ratio image) ~issues ~mac_tag:tag;
   (image, sfi, tag)
 
 let test_artifact_roundtrip () =
   with_store (fun _dir t ->
       let image, sfi, tag = store_one ~issues:(Some 0) t in
-      match Fs.load_artifact t ~keys ~nonce:3 ~source with
+      match Fs.load_artifact t ~backend:b_sofia ~keys ~nonce:3 ~source with
       | None -> Alcotest.fail "fresh artifact missed"
       | Some a ->
         check_bool "sfi bytes identical" true (Bytes.equal a.Fs.sfi sfi);
@@ -216,11 +234,13 @@ let test_artifact_roundtrip () =
         check_int "one hit" 1 (Fs.hits t);
         (* wrong identity is a plain miss, not corruption *)
         check_bool "wrong nonce misses" true
-          (Fs.load_artifact t ~keys ~nonce:4 ~source = None);
+          (Fs.load_artifact t ~backend:b_sofia ~keys ~nonce:4 ~source = None);
         check_bool "wrong keys miss" true
-          (Fs.load_artifact t ~keys:other_keys ~nonce:3 ~source = None);
+          (Fs.load_artifact t ~backend:b_sofia ~keys:other_keys ~nonce:3 ~source = None);
         check_bool "wrong source misses" true
-          (Fs.load_artifact t ~keys ~nonce:3 ~source:(source ^ " ") = None);
+          (Fs.load_artifact t ~backend:b_sofia ~keys ~nonce:3 ~source:(source ^ " ") = None);
+        check_bool "wrong backend misses" true
+          (Fs.load_artifact t ~backend:b_scfp ~keys ~nonce:3 ~source = None);
         check_int "no corruption counted" 0 (Fs.corrupt t))
 
 (* The MAC-gating invariant across serialisation (DESIGN.md §11/§12):
@@ -237,10 +257,10 @@ let test_mac_verdict_gate () =
           ~value:(image.Image.cipher.(0) lxor 1)
       in
       let tampered_sfi = Binary_format.serialize tampered in
-      Fs.store_artifact t ~keys ~nonce:3 ~source ~sfi:tampered_sfi
+      Fs.store_artifact t ~backend:b_sofia ~keys ~nonce:3 ~source ~sfi:tampered_sfi
         ~expansion:(Transform.expansion_ratio image) ~issues:None ~mac_tag:tag;
       let corrupt_before = Fs.corrupt t in
-      (match Fs.load_artifact t ~keys ~nonce:3 ~source with
+      (match Fs.load_artifact t ~backend:b_sofia ~keys ~nonce:3 ~source with
        | Some _ -> Alcotest.fail "tampered payload with stale verdict served"
        | None -> ());
       check_bool "counted as corrupt" true (Fs.corrupt t > corrupt_before))
@@ -306,18 +326,18 @@ let test_table_binding_and_tamper () =
       let sfi = Binary_format.serialize image in
       let tbl = build_table image in
       let fp = Fs.fingerprint64 sfi in
-      Fs.store_table t ~keys ~nonce:3 ~source ~codec_version:Block_table.codec_version
-        ~artifact_fp:fp (Block_table.to_bytes tbl);
+      Fs.store_table t ~backend:b_sofia ~keys ~nonce:3 ~source
+        ~codec_version:Block_table.codec_version ~artifact_fp:fp (Block_table.to_bytes tbl);
       check_bool "bound table loads" true
-        (Fs.load_table t ~keys ~nonce:3 ~source ~codec_version:Block_table.codec_version
-           ~artifact_fp:fp
+        (Fs.load_table t ~backend:b_sofia ~keys ~nonce:3 ~source
+           ~codec_version:Block_table.codec_version ~artifact_fp:fp
         <> None);
       check_bool "stale binding misses" true
-        (Fs.load_table t ~keys ~nonce:3 ~source ~codec_version:Block_table.codec_version
-           ~artifact_fp:(Int64.add fp 1L)
+        (Fs.load_table t ~backend:b_sofia ~keys ~nonce:3 ~source
+           ~codec_version:Block_table.codec_version ~artifact_fp:(Int64.add fp 1L)
         = None);
       check_bool "stale codec misses" true
-        (Fs.load_table t ~keys ~nonce:3 ~source
+        (Fs.load_table t ~backend:b_sofia ~keys ~nonce:3 ~source
            ~codec_version:(Block_table.codec_version + 1) ~artifact_fp:fp
         = None);
       (* flip one bit mid-file in the on-disk table entry *)
@@ -328,8 +348,8 @@ let test_table_binding_and_tamper () =
       write_file table_file bytes;
       let corrupt_before = Fs.corrupt t in
       check_bool "tampered table misses" true
-        (Fs.load_table t ~keys ~nonce:3 ~source ~codec_version:Block_table.codec_version
-           ~artifact_fp:fp
+        (Fs.load_table t ~backend:b_sofia ~keys ~nonce:3 ~source
+           ~codec_version:Block_table.codec_version ~artifact_fp:fp
         = None);
       check_bool "tamper counted corrupt" true (Fs.corrupt t > corrupt_before))
 
@@ -340,8 +360,8 @@ let test_gc_budget_lru () =
       (* measure one entry's on-disk size with a probe of the same shape *)
       let entry_size =
         let probe = Fs.open_store ~dir () in
-        Fs.put probe ~kind:Envelope.Artifact ~codec_version:1 ~nonce:0 ~keys
-          ~source:"source-0" ~meta:Bytes.empty ~payload:(Bytes.make 400 'x');
+        Fs.put probe ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:0
+          ~keys ~source:"source-0" ~meta:Bytes.empty ~payload:(Bytes.make 400 'x');
         let n = (Sys.readdir dir).(0) in
         (Unix.stat (Filename.concat dir n)).Unix.st_size
       in
@@ -354,8 +374,8 @@ let test_gc_budget_lru () =
          made oldest, then 1; entry 3's put tips the budget *)
       List.iter
         (fun (i, age) ->
-          Fs.put t ~kind:Envelope.Artifact ~codec_version:1 ~nonce:i ~keys ~source:(src i)
-            ~meta:Bytes.empty ~payload:(Bytes.make 400 'x');
+          Fs.put t ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:i ~keys
+            ~source:(src i) ~meta:Bytes.empty ~payload:(Bytes.make 400 'x');
           let fresh =
             Array.to_list (Sys.readdir dir)
             |> List.filter (fun n -> not (List.mem n !seen))
@@ -368,13 +388,15 @@ let test_gc_budget_lru () =
         [ (1, 200.); (2, 300.); (3, 0.) ];
       check_int "one eviction" 1 (Fs.evictions t);
       check_bool "oldest-mtime entry evicted" true
-        (Fs.get t ~kind:Envelope.Artifact ~codec_version:1 ~nonce:2 ~keys ~source:(src 2)
+        (Fs.get t ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:2 ~keys
+           ~source:(src 2)
         = None);
       check_bool "newer entries survive" true
-        (Fs.get t ~kind:Envelope.Artifact ~codec_version:1 ~nonce:1 ~keys ~source:(src 1)
+        (Fs.get t ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:1 ~keys
+           ~source:(src 1)
          <> None
-        && Fs.get t ~kind:Envelope.Artifact ~codec_version:1 ~nonce:3 ~keys
-             ~source:(src 3)
+        && Fs.get t ~backend:b_sofia ~kind:Envelope.Artifact ~codec_version:1 ~nonce:3
+             ~keys ~source:(src 3)
            <> None))
 
 (* ---- crash safety: mid-write debris and torn entries ---- *)
@@ -395,16 +417,48 @@ let test_crash_debris_recovery () =
       check_bool "tmp debris janitored" true
         (Array.for_all (fun n -> not (Filename.check_suffix n ".tmp")) (Sys.readdir dir));
       (* the torn entry is a miss (corrupt), never an error *)
-      (match Fs.load_artifact t2 ~keys ~nonce:3 ~source with
+      (match Fs.load_artifact t2 ~backend:b_sofia ~keys ~nonce:3 ~source with
        | Some _ -> Alcotest.fail "torn entry served"
        | None -> ());
       check_bool "torn counted corrupt" true (Fs.corrupt t2 > 0);
       (* re-protect re-populates; the rebuild is byte-deterministic *)
       let _, sfi2, _ = store_one t2 in
       check_bool "rebuild deterministic" true (Bytes.equal sfi sfi2);
-      match Fs.load_artifact t2 ~keys ~nonce:3 ~source with
+      match Fs.load_artifact t2 ~backend:b_sofia ~keys ~nonce:3 ~source with
       | Some a -> check_bool "re-stored serves identical" true (Bytes.equal a.Fs.sfi sfi)
       | None -> Alcotest.fail "re-stored artifact missed")
+
+(* ---- mixed-backend shared store (ISSUE 8) ---- *)
+
+(* One directory serves both backends: the same (source, keys, nonce)
+   under SOFIA and SCFP must be distinct entries, each loading its own
+   bytes — and an SCFP-keyed read must never be satisfiable by SOFIA
+   bytes, even when the SOFIA file is spliced onto the SCFP filename
+   (the cross-backend cache-poisoning hazard). *)
+let test_mixed_backend_store () =
+  with_store (fun dir t ->
+      let _, sfi_sofia, _ = store_one ~backend:b_sofia t in
+      let _, sfi_scfp, _ = store_one ~backend:b_scfp t in
+      check_bool "backends protect to different bytes" false
+        (Bytes.equal sfi_sofia sfi_scfp);
+      (match Fs.load_artifact t ~backend:b_sofia ~keys ~nonce:3 ~source with
+       | Some a ->
+         check_bool "sofia serves sofia bytes" true (Bytes.equal a.Fs.sfi sfi_sofia)
+       | None -> Alcotest.fail "sofia entry missed");
+      (match Fs.load_artifact t ~backend:b_scfp ~keys ~nonce:3 ~source with
+       | Some a -> check_bool "scfp serves scfp bytes" true (Bytes.equal a.Fs.sfi sfi_scfp)
+       | None -> Alcotest.fail "scfp entry missed");
+      (* forced alias: copy the SOFIA entry over the SCFP filename *)
+      let sofia_file = find_entry dir ".k1.sfc" in
+      let scfp_file = find_entry dir ".k3.sfc" in
+      write_file scfp_file (read_file sofia_file);
+      (match Fs.load_artifact t ~backend:b_scfp ~keys ~nonce:3 ~source with
+       | Some _ -> Alcotest.fail "spliced sofia entry served as scfp"
+       | None -> ());
+      (* and the untouched SOFIA entry still serves *)
+      match Fs.load_artifact t ~backend:b_sofia ~keys ~nonce:3 ~source with
+      | Some a -> check_bool "sofia unaffected" true (Bytes.equal a.Fs.sfi sfi_sofia)
+      | None -> Alcotest.fail "sofia entry lost")
 
 (* ---- warm engine restart, in process: two engines, one store dir ---- *)
 
@@ -481,6 +535,8 @@ let suite =
     Alcotest.test_case "GC honours budget in LRU order" `Quick test_gc_budget_lru;
     Alcotest.test_case "crash debris: tmp janitor + torn entry" `Quick
       test_crash_debris_recovery;
+    Alcotest.test_case "mixed backends share one store without aliasing" `Quick
+      test_mixed_backend_store;
     Alcotest.test_case "warm engine restart serves identical responses" `Slow
       test_engine_warm_restart;
   ]

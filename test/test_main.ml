@@ -21,6 +21,7 @@ let () =
       ("obs", Obs_tests.suite);
       ("kat", Kat_tests.suite);
       ("rectangle-diff", Rectangle_diff_tests.suite);
+      ("sponge-diff", Sponge_diff_tests.suite);
       ("ks-cache", Ks_cache_tests.suite);
       ("parallel", Parallel_tests.suite);
       ("fuzz", Fuzz_tests.suite);
@@ -29,6 +30,7 @@ let () =
       ("serve-smoke", Serve_smoke_tests.suite);
       ("fault", Fault_tests.suite);
       ("engine", Engine_tests.suite);
+      ("backend", Backend_tests.suite);
       ("store-fs", Store_fs_tests.suite);
       ("fleet", Fleet_tests.suite);
     ]

@@ -23,6 +23,13 @@
                          and re-run a small live fleet-vs-serve pair of
                          real processes, requiring a steady-state fleet
                          speedup of at least RATIO
+       [--backend-floor NAME:RATIO]
+                         validate the baseline's "backends" rows for
+                         protection backend NAME (full in-model
+                         detection coverage, correct outputs) and
+                         re-measure the backend live, requiring its
+                         geometric-mean protected/vanilla cycle ratio
+                         to stay at or below RATIO (repeatable)
 
    The gate is deliberately generous: Bechamel medians are stable to a
    few percent on an idle machine, so a 25% per-benchmark budget only
@@ -49,7 +56,8 @@ module J = Sofia.Obs.Json
 let usage () =
   prerr_endline
     "usage: bench_compare BASELINE.json [--runs N] [--tolerance PCT] [--normalize] \
-     [--floor NAME:RATIO]... [--warm-floor RATIO] [--fleet-floor RATIO]";
+     [--floor NAME:RATIO]... [--warm-floor RATIO] [--fleet-floor RATIO] \
+     [--backend-floor NAME:RATIO]...";
   exit 2
 
 let read_file path =
@@ -97,7 +105,8 @@ let () =
   and normalize = ref false
   and floors = ref []
   and warm_floor = ref None
-  and fleet_floor = ref None in
+  and fleet_floor = ref None
+  and backend_floors = ref [] in
   let rec parse = function
     | [] -> ()
     | "--runs" :: n :: rest ->
@@ -123,6 +132,18 @@ let () =
          floors := (name, ratio) :: !floors
        | None -> usage ());
       parse rest
+    | "--backend-floor" :: spec :: rest ->
+      (match String.rindex_opt spec ':' with
+       | Some i ->
+         let name = String.sub spec 0 i in
+         let ratio = float_of_string (String.sub spec (i + 1) (String.length spec - i - 1)) in
+         (match Sofia.Transform.Backend_id.of_name name with
+          | Some b -> backend_floors := (b, ratio) :: !backend_floors
+          | None ->
+            prerr_endline ("bench_compare: unknown backend " ^ name);
+            exit 2)
+       | None -> usage ());
+      parse rest
     | path :: rest when !baseline_path = None ->
       baseline_path := Some path;
       parse rest
@@ -144,7 +165,7 @@ let () =
       exit 2
   in
   (match J.member "schema" baseline_json with
-   | Some (J.Str ("sofia-bench/1" | "sofia-bench/2")) -> ()
+   | Some (J.Str ("sofia-bench/1" | "sofia-bench/2" | "sofia-bench/3")) -> ()
    | Some (J.Str s) -> failwith (Printf.sprintf "unsupported baseline schema %S" s)
    | _ -> failwith "baseline has no schema field");
   let baseline = micro_rows_of_report baseline_json in
@@ -344,6 +365,73 @@ let () =
            all_done=%b open_loop_done=%b%s\n"
           f.fl_ratio ratio f.fl_cold_ratio f.fl_identical f.fl_all_done f.fl_open_done
           (if fresh_ok then "" else "  TOO SLOW OR INCORRECT")));
+  (* Backend gate (PR 8): for each --backend-floor NAME:RATIO, the
+     committed "backends" rows for NAME must claim full in-model
+     detection coverage and correct outputs, and a fresh live
+     re-measure of the backend (campaign + run pairs through the
+     lib/protection registry) must hold full coverage with a
+     geometric-mean protected/vanilla cycle ratio no worse than RATIO.
+     Catches a backend whose transform quietly broke (coverage) and a
+     perf regression hiding in one backend's fetch path (ratio). *)
+  let backend_failed = ref false in
+  if !backend_floors <> [] then begin
+    let module BB = Sofia_benchlib.Bench_backend in
+    let module BI = Sofia.Transform.Backend_id in
+    let baseline_rows =
+      let open J in
+      let experiments =
+        match member "experiments" baseline_json with Some (List l) -> l | _ -> []
+      in
+      match
+        List.find_opt (fun e -> member "id" e = Some (Str "backends")) experiments
+      with
+      | Some e -> (match member "rows" e with Some (List l) -> l | _ -> [])
+      | None -> []
+    in
+    List.iter
+      (fun (b, ratio) ->
+        Printf.printf "\nbackend gate %s (cycle-ratio ceiling %.2fx):\n%!" (BI.name b)
+          ratio;
+        let mine =
+          List.filter (fun r -> J.member "backend" r = Some (J.Str (BI.name b)))
+            baseline_rows
+        in
+        if mine = [] then begin
+          backend_failed := true;
+          Printf.printf "  baseline has no backends rows for %s\n" (BI.name b)
+        end
+        else
+          List.iter
+            (fun row ->
+              let cov =
+                match J.member "detection_coverage" row with
+                | Some (J.Float f) -> f
+                | Some (J.Int i) -> float_of_int i
+                | _ -> 0.0
+              in
+              let ok = cov = 1.0 && J.member "outputs_ok" row = Some (J.Bool true) in
+              if not ok then begin
+                backend_failed := true;
+                Printf.printf "  baseline row %s: coverage %.3f outputs_ok=%b  INVALID\n"
+                  (match J.member "workload" row with Some (J.Str s) -> s | _ -> "?")
+                  cov
+                  (J.member "outputs_ok" row = Some (J.Bool true))
+              end)
+            mine;
+        let fresh_rows = BB.rows ~backends:[ b ] ~trials:2 () in
+        let cov_ok =
+          List.for_all (fun (r : BB.row) -> r.BB.coverage = 1.0 && r.BB.outputs_ok)
+            fresh_rows
+        in
+        let gr = BB.geomean_cycle_ratio b fresh_rows in
+        let ok = cov_ok && gr <= ratio in
+        if not ok then backend_failed := true;
+        Printf.printf "  fresh %s: geomean cycle ratio %.2fx (ceiling %.2fx), coverage %s%s\n"
+          (BI.name b) gr ratio
+          (if cov_ok then "100%" else "INCOMPLETE")
+          (if ok then "" else "  TOO SLOW OR INCORRECT"))
+      (List.rev !backend_floors)
+  end;
   (* Fault-coverage gate: a fresh pinned-seed campaign must detect
      100% of the in-model tamper classes with zero detection latency —
      a perf-motivated change that weakens the frontend (say, a MAC
@@ -353,17 +441,22 @@ let () =
      applies to the fresh run. *)
   let module C = Sofia.Fault.Campaign in
   let module S = Sofia.Fault.Site in
-  Printf.printf "\nfault coverage gate (pinned seed 0xf417a, 3 trials/cell):\n%!";
-  let fr = C.run ~trials:3 ~seed:0xF417AL ~with_service:false () in
+  Printf.printf "\nfault coverage gate (pinned seed 0xf417a, 3 trials/cell, all backends):\n%!";
+  let fr =
+    C.run ~backends:Sofia.Transform.Backend_id.all ~trials:3 ~seed:0xF417AL
+      ~with_service:false ()
+  in
   let fault_failed = ref false in
   List.iter
     (fun (c : C.cell) ->
-      let gated = S.in_model c.C.clazz in
+      let gated = S.in_model c.C.clazz && c.C.applicable in
       let ok = (not gated) || (c.C.detected = c.C.trials && c.C.lat_max = 0) in
       if not ok then fault_failed := true;
-      Printf.printf "  %-16s %3d/%-3d detected, latency max %d%s\n" (S.name c.C.clazz)
-        c.C.detected c.C.trials c.C.lat_max
-        (if not gated then "  (out of model, not gated)"
+      Printf.printf "  %-6s %-16s %3d/%-3d detected, latency max %d%s\n"
+        (Sofia.Transform.Backend_id.name c.C.backend)
+        (S.name c.C.clazz) c.C.detected c.C.trials c.C.lat_max
+        (if not c.C.applicable then "  (not applicable)"
+         else if not gated then "  (out of model, not gated)"
          else if ok then ""
          else "  ESCAPE"))
     (C.by_class fr);
@@ -381,7 +474,12 @@ let () =
   if !fleet_failed then
     Printf.printf "FAIL: the fleet gate failed (stale baseline row or slow/incorrect fresh \
                    fleet)\n";
+  if !backend_failed then
+    Printf.printf "FAIL: a backend gate failed (stale baseline rows or slow/incomplete \
+                   fresh backend)\n";
   if !fault_failed then
     Printf.printf "FAIL: an in-model tamper class escaped detection or detected late\n";
-  if !failed <> [] || !floor_failed || !fault_failed || !warm_failed || !fleet_failed then
-    exit 1
+  if
+    !failed <> [] || !floor_failed || !fault_failed || !warm_failed || !fleet_failed
+    || !backend_failed
+  then exit 1

@@ -14,9 +14,14 @@
 
    [--schedule] pins the key expansion alone (all 26 round subkeys per
    key), so a bug confined to the schedule precomputation is caught by
-   name rather than as an opaque encrypt mismatch. *)
+   name rather than as an opaque encrypt mismatch.
+
+   [--sponge] pins the SCFP sponge permutation the same way:
+
+     dune exec tools/gen_kat.exe -- --sponge > test/vectors/sponge_kat.txt *)
 
 module Rectangle = Sofia.Crypto.Rectangle
+module Sponge = Sofia.Crypto.Sponge
 module Prng = Sofia.Util.Prng
 
 let key_hex_of_prng rng = String.init 20 (fun _ -> "0123456789abcdef".[Prng.int_below rng 16])
@@ -69,10 +74,30 @@ let gen_kat () =
     emit (key_hex_of_prng rng) (Prng.next64 rng)
   done
 
+let gen_sponge () =
+  print_string
+    "# SCFP sponge permutation known-answer vectors (pinned from this \
+     implementation).\n\
+     # Regenerate with: dune exec tools/gen_kat.exe -- --sponge > \
+     test/vectors/sponge_kat.txt\n\
+     # Format: <state in: 16 hex digits> <state out: 16 hex digits>\n";
+  let emit s = Printf.printf "%016Lx %016Lx\n" s (Sponge.permute s) in
+  (* structured corner cases: fixed points of sloppy packing show here *)
+  List.iter emit [ 0L; Int64.minus_one; 1L; Int64.min_int; 0xFFFF_FFFFL ];
+  for bit = 0 to 6 do
+    emit (Int64.shift_left 1L (bit * 9))
+  done;
+  (* pseudo-random bulk *)
+  let rng = Prng.create ~seed:0x5350L in
+  for _ = 1 to 52 do
+    emit (Prng.next64 rng)
+  done
+
 let () =
   match Sys.argv with
   | [| _ |] -> gen_kat ()
   | [| _; "--schedule" |] -> gen_schedule ()
+  | [| _; "--sponge" |] -> gen_sponge ()
   | _ ->
-    prerr_endline "usage: gen_kat [--schedule]";
+    prerr_endline "usage: gen_kat [--schedule|--sponge]";
     exit 2
