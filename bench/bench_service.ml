@@ -440,6 +440,111 @@ let measure_fleet ?(clients = 64) ?(children = 3) () =
         fl_per_shard = per_shard;
       }
 
+(* ---- fleet warm restart over the persistent replay tier (PR 9) ---- *)
+
+type fleet_restart = {
+  fr_jobs : int;
+  fr_children : int;
+  fr_cold_s : float;  (** first fleet process: children compute, disk fills *)
+  fr_warm_s : float;  (** second fleet process, same --replay-dir *)
+  fr_speedup : float;
+  fr_disk_replays : int;  (** warm process's replays served from disk *)
+  fr_replay_corrupt : int;  (** zero-trust reload rejections (must be 0) *)
+  fr_all_done : bool;
+  fr_identical : bool;  (** warm payloads byte-identical to the cold process's *)
+}
+
+(* Two *separate* real [fleet --stdin] processes sharing one
+   --replay-dir: the PR 6 warm-restart story promoted to fleet scope.
+   The restarted router must answer every replayable job straight from
+   the persistent replay tier — nonzero disk replays, zero corrupt
+   reloads, no child round-trips — with payloads byte-identical to the
+   cold fleet's. The [fleet-restart-warm] bench row; gated by
+   tools/bench_compare --fleet-warm-floor. *)
+let measure_fleet_restart ?(clients = 64) ?(children = 3) () =
+  match Sofia.Fleet.Child.find_cli () with
+  | None -> None
+  | Some cli ->
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let dir = Filename.temp_file "sofia_bench_replay" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+      (fun () ->
+        let jobs = Sofia.Service_load.registry_jobs ~clients () in
+        let n = List.length jobs in
+        let lines = List.map (fun r -> J.to_string (Job.request_to_json r)) jobs in
+        let pass () =
+          let mfile = Filename.temp_file "sofia_bench_fleetm" ".json" in
+          let pid, oc, ic =
+            spawn_pipe cli
+              [ "fleet"; "--stdin"; "--children"; string_of_int children;
+                "--replay-dir"; dir; "--json"; mfile ]
+          in
+          output_string oc "{\"id\":\"bench-warm\",\"op\":\"ping\"}\n";
+          flush oc;
+          ignore (input_line ic);
+          let rs, dt = run_mix ~oc ~ic lines in
+          close_out_noerr oc;
+          (try while true do ignore (input_line ic) done with End_of_file -> ());
+          close_in_noerr ic;
+          ignore (Unix.waitpid [] pid);
+          let doc =
+            let icm = open_in_bin mfile in
+            let raw = really_input_string icm (in_channel_length icm) in
+            close_in_noerr icm;
+            Sys.remove mfile;
+            J.parse_opt raw
+          in
+          (rs, dt, doc)
+        in
+        let cold, cold_s, _ = pass () in
+        let warm, warm_s, warm_doc = pass () in
+        let stat path =
+          match
+            Option.bind warm_doc (fun d ->
+                List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some d) path)
+          with
+          | Some (J.Int v) -> v
+          | _ -> -1
+        in
+        Some
+          {
+            fr_jobs = n;
+            fr_children = children;
+            fr_cold_s = cold_s;
+            fr_warm_s = warm_s;
+            fr_speedup = cold_s /. warm_s;
+            fr_disk_replays = stat [ "router"; "disk_replays" ];
+            fr_replay_corrupt = stat [ "replay_store"; "corrupt" ];
+            fr_all_done = all_done_lines cold && all_done_lines warm;
+            fr_identical = maps_equal (payload_map cold) (payload_map warm);
+          })
+
+let fleet_restart_row (f : fleet_restart) =
+  J.Obj
+    [
+      ("name", J.Str "fleet-restart-warm");
+      ("jobs", J.Int f.fr_jobs);
+      ("children", J.Int f.fr_children);
+      ("cold_s", J.Float f.fr_cold_s);
+      ("warm_s", J.Float f.fr_warm_s);
+      ("speedup", J.Float f.fr_speedup);
+      ("disk_replays", J.Int f.fr_disk_replays);
+      ("replay_corrupt", J.Int f.fr_replay_corrupt);
+      ("all_done", J.Bool f.fr_all_done);
+      ("identical", J.Bool f.fr_identical);
+    ]
+
+let pp_fleet_restart fmt (f : fleet_restart) =
+  Format.fprintf fmt
+    "  fleet warm restart (%d jobs, %d children, shared --replay-dir)@.\
+    \  cold fleet: %6.3f s    restarted fleet: %6.3f s    speedup: %.2fx@.\
+    \  disk replays: %d   corrupt reloads: %d   all done: %b   identical: %b@."
+    f.fr_jobs f.fr_children f.fr_cold_s f.fr_warm_s f.fr_speedup f.fr_disk_replays
+    f.fr_replay_corrupt f.fr_all_done f.fr_identical
+
 let fleet_row (f : fleet) =
   J.Obj
     [
@@ -501,7 +606,7 @@ let throughput_row (m : measurement) =
       ("identical_images", J.Bool m.identical_images);
     ]
 
-let to_json ?restart ?fleet ?(extra_rows = []) (m : measurement) =
+let to_json ?restart ?fleet ?fleet_restart ?(extra_rows = []) (m : measurement) =
   J.Obj
     [
       ( "rows",
@@ -522,6 +627,7 @@ let to_json ?restart ?fleet ?(extra_rows = []) (m : measurement) =
           ]
           @ (match restart with Some r -> [ restart_row r ] | None -> [])
           @ (match fleet with Some f -> [ fleet_row f ] | None -> [])
+          @ (match fleet_restart with Some f -> [ fleet_restart_row f ] | None -> [])
           @ extra_rows) );
       ("service_metrics", m.metrics);
     ]

@@ -506,9 +506,13 @@ let service () =
   Format.printf "%a" Sofia_benchlib.Bench_service.pp m;
   let r = Sofia_benchlib.Bench_service.measure_restart () in
   Format.printf "%a" Sofia_benchlib.Bench_service.pp_restart r;
-  match Sofia_benchlib.Bench_service.measure_fleet () with
+  (match Sofia_benchlib.Bench_service.measure_fleet () with
   | Some f -> Format.printf "%a" Sofia_benchlib.Bench_service.pp_fleet f
-  | None -> Format.printf "  fleet: skipped (sofia_cli binary not found; set SOFIA_CLI)@."
+  | None -> Format.printf "  fleet: skipped (sofia_cli binary not found; set SOFIA_CLI)@.");
+  match Sofia_benchlib.Bench_service.measure_fleet_restart () with
+  | Some f -> Format.printf "%a" Sofia_benchlib.Bench_service.pp_fleet_restart f
+  | None ->
+    Format.printf "  fleet restart: skipped (sofia_cli binary not found; set SOFIA_CLI)@."
 
 (* ------------------------------------------------------------------ *)
 (* fault: the lib/fault campaign (detection coverage + recovery)       *)
@@ -697,8 +701,19 @@ let json_service () =
     Format.printf "  [json] fleet: %.2fx over single-process serve, in %.1f s@."
       f.Sofia_benchlib.Bench_service.fl_ratio fwall
   | None -> Format.printf "  [json] fleet: skipped (sofia_cli binary not found)@.");
+  let fleet_restart, frwall =
+    timed (fun () -> Sofia_benchlib.Bench_service.measure_fleet_restart ())
+  in
+  (match fleet_restart with
+  | Some f ->
+    Format.printf
+      "  [json] fleet restart: %.2fx warm, %d disk replays / %d corrupt, in %.1f s@."
+      f.Sofia_benchlib.Bench_service.fr_speedup
+      f.Sofia_benchlib.Bench_service.fr_disk_replays
+      f.Sofia_benchlib.Bench_service.fr_replay_corrupt frwall
+  | None -> Format.printf "  [json] fleet restart: skipped (sofia_cli binary not found)@.");
   match
-    Sofia_benchlib.Bench_service.to_json ~restart:r ?fleet
+    Sofia_benchlib.Bench_service.to_json ~restart:r ?fleet ?fleet_restart
       ~extra_rows:[ Sofia_benchlib.Bench_service.throughput_row scfp_m ]
       m
   with

@@ -693,12 +693,33 @@ let serve_cmd =
 
 let fleet_cmd =
   let module R = Sofia.Fleet.Router in
-  let run use_stdin socket children workers queue window audit_every no_replay
-      hang_timeout_ms breaker deadline engine backend store_dir store_budget socket_dir
-      metrics json_out =
+  let parse_tcp spec =
+    match String.rindex_opt spec ':' with
+    | None -> Error (spec ^ ": expected HOST:PORT")
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | None -> Error (spec ^ ": bad port")
+      | Some p when p < 0 || p > 65535 -> Error (spec ^ ": bad port")
+      | Some p -> (
+        if host = "" || host = "*" then Ok (Unix.inet_addr_any, p)
+        else
+          match Unix.inet_addr_of_string host with
+          | a -> Ok (a, p)
+          | exception Failure _ -> (
+            match (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+            | a -> Ok (a, p)
+            | exception Not_found -> Error (host ^ ": cannot resolve"))))
+  in
+  let run use_stdin socket tcp accepts children workers queue window audit_every no_replay
+      hang_timeout_ms breaker rejoin_cooldown_ms rejoin_probes restart_backoff_ms
+      restart_budget client_linger_ms replay_dir deadline engine backend store_dir
+      store_budget socket_dir metrics json_out =
     if children < 1 then or_die (Error (Printf.sprintf "--children must be >= 1 (got %d)" children));
     if queue < 1 then or_die (Error (Printf.sprintf "--queue must be >= 1 (got %d)" queue));
     if window < 1 then or_die (Error (Printf.sprintf "--window must be >= 1 (got %d)" window));
+    if accepts = 0 then or_die (Error "--accepts must be nonzero (negative = unlimited)");
     let cfg =
       { R.default_config with
         R.children;
@@ -709,6 +730,12 @@ let fleet_cmd =
         replay = not no_replay;
         hang_timeout_ms;
         breaker_threshold = breaker;
+        rejoin_cooldown_ms;
+        rejoin_probes;
+        restart_backoff_ms;
+        restart_budget;
+        client_linger_ms;
+        replay_dir;
         default_deadline_ms = deadline;
         engine =
           Some (match engine with Sofia.Cpu.Run_config.Fast -> "fast" | _ -> "ref");
@@ -725,29 +752,49 @@ let fleet_cmd =
               | R.Child_up (k, pid) -> Format.eprintf "fleet: shard %d up (pid %d)@." k pid
               | R.Child_down (k, reason) ->
                 Format.eprintf "fleet: shard %d down: %s@." k reason
+              | R.Child_rejoin (k, _) ->
+                Format.eprintf "fleet: shard %d rejoined after probation@." k
               | R.Client_response _ -> ())
       }
     in
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let serve_listener srv ~name ~finally =
+      Format.eprintf "fleet: listening on %s@." name;
+      Fun.protect ~finally
+        (fun () -> R.run_listener ~signals:true cfg ~listen_fd:srv ~accepts)
+    in
     let stats, doc =
-      match (use_stdin, socket) with
-      | true, Some _ | false, None ->
-        or_die (Error "pick exactly one of --stdin and --socket PATH")
-      | true, None -> R.run ~signals:true cfg ~client_in:Unix.stdin ~client_out:Unix.stdout
-      | false, Some path ->
-        (* one client connection at a time, like serve --socket --once *)
+      match (use_stdin, socket, tcp) with
+      | true, None, None ->
+        R.run ~signals:true cfg ~client_in:Unix.stdin ~client_out:Unix.stdout
+      | false, Some path, None ->
+        (* multi-client accept loop on an AF_UNIX listener; --accepts
+           (default 1) bounds how many connections are served *)
         (try Wire.prepare_socket_path path with Wire.Bind_error m -> or_die (Error m));
         let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         Unix.bind srv (Unix.ADDR_UNIX path);
-        Unix.listen srv 1;
-        Format.eprintf "fleet: listening on %s@." path;
-        let cfd, _ = Unix.accept srv in
-        Fun.protect
+        Unix.listen srv 8;
+        serve_listener srv ~name:path
           ~finally:(fun () ->
-            (try Unix.close cfd with Unix.Unix_error _ -> ());
             (try Unix.close srv with Unix.Unix_error _ -> ());
             try Sys.remove path with Sys_error _ -> ())
-          (fun () -> R.run ~signals:true cfg ~client_in:cfd ~client_out:cfd)
+      | false, None, Some spec ->
+        let addr, port = or_die (parse_tcp spec) in
+        let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt srv Unix.SO_REUSEADDR true;
+        (try Unix.bind srv (Unix.ADDR_INET (addr, port))
+         with Unix.Unix_error (e, _, _) ->
+           or_die (Error (Printf.sprintf "%s: bind failed: %s" spec (Unix.error_message e))));
+        Unix.listen srv 8;
+        (* report the actual port (the CI smoke binds port 0) *)
+        let name =
+          match Unix.getsockname srv with
+          | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+          | _ -> spec
+        in
+        serve_listener srv ~name
+          ~finally:(fun () -> try Unix.close srv with Unix.Unix_error _ -> ())
+      | _ -> or_die (Error "pick exactly one of --stdin, --socket PATH and --tcp HOST:PORT")
     in
     Format.eprintf
       "fleet: %d received (%d malformed), %d done, %d rejected, %d timed out, %d failed; \
@@ -778,7 +825,19 @@ let fleet_cmd =
   in
   let socket =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
-           ~doc:"Listen on a Unix-domain socket at $(docv) and serve one connection.")
+           ~doc:"Listen on a Unix-domain socket at $(docv); serve $(b,--accepts) \
+                 concurrent client connections.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Listen on a TCP socket (for multi-machine fleets); serve \
+                 $(b,--accepts) concurrent client connections. Port 0 binds an \
+                 ephemeral port, reported on stderr.")
+  in
+  let accepts =
+    Arg.(value & opt int 1 & info [ "accepts" ] ~docv:"N"
+           ~doc:"With --socket/--tcp: client connections to accept before draining; \
+                 negative means unlimited (drain on SIGINT/SIGTERM).")
   in
   let children =
     Arg.(value & opt int 3 & info [ "children" ] ~docv:"N"
@@ -814,6 +873,37 @@ let fleet_cmd =
            ~doc:"Circuit breaker: quarantine a child after $(docv) consecutive deaths \
                  and re-shed its traffic to healthy shards. 0 disables.")
   in
+  let rejoin_cooldown =
+    Arg.(value & opt int 30000 & info [ "rejoin-cooldown-ms" ] ~docv:"MS"
+           ~doc:"Rest a breaker-quarantined shard for $(docv) before restarting it on \
+                 probation (integrity quarantines are permanent). 0 disables rejoin.")
+  in
+  let rejoin_probes =
+    Arg.(value & opt int 3 & info [ "rejoin-probes" ] ~docv:"N"
+           ~doc:"Consecutive clean probe responses a probation shard must serve before \
+                 it is re-admitted and its traffic re-shed back.")
+  in
+  let restart_backoff =
+    Arg.(value & opt int 25 & info [ "restart-backoff-ms" ] ~docv:"MS"
+           ~doc:"Base crash-restart delay; doubles per consecutive death (with jitter, \
+                 capped at 2s), so a poison environment restarts paced, not hot.")
+  in
+  let restart_budget =
+    Arg.(value & opt int 6 & info [ "restart-budget" ] ~docv:"N"
+           ~doc:"Restarts allowed per shard within a 10s sliding window before the \
+                 shard is quarantined. 0 means unlimited.")
+  in
+  let client_linger =
+    Arg.(value & opt int 5000 & info [ "client-linger-ms" ] ~docv:"MS"
+           ~doc:"Drop a client whose responses it has not read for $(docv) (slow-client \
+                 isolation; its jobs still settle internally). 0 disables.")
+  in
+  let replay_dir =
+    Arg.(value & opt (some string) None & info [ "replay-dir" ] ~docv:"DIR"
+           ~doc:"Persist the router's replay cache as sealed store envelopes under \
+                 $(docv), so a restarted router keeps its warm state; reloads re-verify \
+                 the envelope MAC and the payload content hash before replaying.")
+  in
   let socket_dir =
     Arg.(value & opt (some string) None & info [ "socket-dir" ] ~docv:"DIR"
            ~doc:"Directory for the child sockets (default: a fresh temp dir, removed \
@@ -822,12 +912,14 @@ let fleet_cmd =
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Serve jobs through N serve child processes sharded by image content hash, \
-             with crash-restart, hang-kill, circuit-breaker and response-audit \
-             supervision at the router")
-    Term.(const run $ use_stdin $ socket $ children $ workers $ queue_arg $ window
-          $ audit_every $ no_replay $ hang_timeout $ breaker $ deadline_arg $ engine_arg
-          $ backend_arg $ store_dir_arg $ store_budget_arg $ socket_dir $ metrics_arg
-          $ json_out_arg)
+             with crash-restart (backoff-paced, budget-bounded), hang-kill, \
+             circuit-breaker with probation rejoin, response-audit supervision and an \
+             optionally persistent replay cache at the router")
+    Term.(const run $ use_stdin $ socket $ tcp $ accepts $ children $ workers $ queue_arg
+          $ window $ audit_every $ no_replay $ hang_timeout $ breaker $ rejoin_cooldown
+          $ rejoin_probes $ restart_backoff $ restart_budget $ client_linger $ replay_dir
+          $ deadline_arg $ engine_arg $ backend_arg $ store_dir_arg $ store_budget_arg
+          $ socket_dir $ metrics_arg $ json_out_arg)
 
 let batch_cmd =
   let run file clients dump workers queue backpressure store retries deadline ks_cache engine
@@ -913,10 +1005,13 @@ let batch_cmd =
 (* ---- campaign: the full-pipeline fault-injection sweep ---- *)
 
 let campaign_cmd =
-  let run trials seed workloads classes backends no_service no_fleet engine json_out =
+  let run trials seed multi_fault workloads classes backends no_service no_fleet engine
+      json_out =
     let module C = Sofia.Fault.Campaign in
     let module S = Sofia.Fault.Site in
     if trials < 1 then or_die (Error (Printf.sprintf "--trials must be >= 1 (got %d)" trials));
+    if multi_fault < 1 then
+      or_die (Error (Printf.sprintf "--multi-fault must be >= 1 (got %d)" multi_fault));
     let classes =
       match classes with
       | [] -> S.all
@@ -951,7 +1046,7 @@ let campaign_cmd =
     let backends = match backends with [] -> None | l -> Some l in
     let report =
       C.run ~classes ?backends ~with_service:(not no_service) ~with_fleet:(not no_fleet)
-        ?workloads ~engine ~trials ~seed ()
+        ?workloads ~engine ~trials ~seed ~multi_fault ()
     in
     Format.printf "%a" C.pp report;
     (match json_out with
@@ -974,6 +1069,12 @@ let campaign_cmd =
   let seed =
     Arg.(value & opt int64 0xF417AL & info [ "seed" ] ~docv:"SEED"
            ~doc:"Campaign PRNG seed; the whole matrix is reproducible from it.")
+  in
+  let multi_fault =
+    Arg.(value & opt int 1 & info [ "multi-fault" ] ~docv:"N"
+           ~doc:"Apply $(docv) independent faults per trial (image-mutation classes): \
+                 double/triple bit flips probe how the backends' integrity machinery \
+                 degrades under compound corruption. Default 1 (single-fault).")
   in
   let workloads =
     Arg.(value & opt_all string [] & info [ "workload" ] ~docv:"NAME"
@@ -1004,8 +1105,8 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:"Sweep seeded faults over every layer and print the detection-coverage matrix; \
              exits nonzero if any in-model tamper escapes or a recovery scenario fails")
-    Term.(const run $ trials $ seed $ workloads $ classes $ backends $ no_service $ no_fleet
-          $ engine_arg $ json_out_arg)
+    Term.(const run $ trials $ seed $ multi_fault $ workloads $ classes $ backends
+          $ no_service $ no_fleet $ engine_arg $ json_out_arg)
 
 (* ---- table1 ---- *)
 

@@ -45,6 +45,7 @@ type service_check = { name : string; ok : bool; detail : string }
 type report = {
   seed : int64;
   trials_per_cell : int;
+  multi_fault : int;  (* simultaneous faults per trial (image classes) *)
   fuel : int;
   backends : Sofia_transform.Backend_id.t list;
   cells : cell list;
@@ -162,46 +163,74 @@ let offsets_for clazz (kind : Block.kind) =
     | Block.Mux -> range 8 Block.exit_offset)
   | _ -> invalid_arg "offsets_for"
 
-let image_trial ~config ~(p : profile) site =
-  let tampered = Site.apply p.image site in
+(* Apply every site to the same image before one run — the
+   [--multi-fault] mode (N simultaneous flips per trial). The verdict
+   and latency are measured exactly as for a single fault: the clean
+   profile is unchanged, only the tampered image carries more damage. *)
+let image_trial ~config ~(p : profile) sites =
+  let tampered = List.fold_left Site.apply p.image sites in
   let trace = Trace.create () in
   let obs = Obs.create ~trace () in
   let r = Runner.run ~config ~obs ~keys:p.keys tampered in
   let v = classify ~clean:p.clean r in
   let lat = if v = Detected then detection_latency trace else None in
-  (site, v, lat)
+  (List.hd sites, v, lat)
+
+(* [n] pairwise-distinct sites from one sampler. Distinctness matters:
+   a repeated fault cancels itself (x XOR x = 0, swapping a pair twice
+   restores it) and would launder a Masked verdict into the matrix.
+   Bounded retries — a workload with fewer distinct sites than
+   requested faults contributes as many as exist. With [n = 1] the
+   sampler is called exactly once, so the PRNG stream (and therefore
+   the whole matrix) is bit-identical to the single-fault campaign. *)
+let sample_distinct ~n sample =
+  let rec go acc k fuel =
+    if k >= n || fuel <= 0 then List.rev acc
+    else
+      let s = sample () in
+      if List.mem s acc then go acc k (fuel - 1) else go (s :: acc) (k + 1) (fuel - 1)
+  in
+  go [] 0 (64 * n)
 
 (* [None] = the class has no applicable site in this workload (e.g. no
    multiplexor block on the executed path) — recorded as zero trials,
-   never as an escape. *)
-let one_trial ~config ~rng ~(p : profile) clazz =
+   never as an escape. [multi] faults are injected per trial for the
+   image-mutation classes; [Edge_redirect] and [Fetch_transient] model
+   a single rogue edge / a single transient flip and stay single-fault
+   regardless (their detection path has no cross-fault interaction to
+   degrade). *)
+let one_trial ~config ~rng ~multi ~(p : profile) clazz =
   match clazz with
   | (Site.Insn_flip | Site.Mac_flip | Site.Keystream) as cz ->
     if Array.length p.visited = 0 then None
     else begin
-      let b = p.visited.(Prng.int_below rng (Array.length p.visited)) in
-      let offs = offsets_for cz b.Image.kind in
-      let off = List.nth offs (Prng.int_below rng (List.length offs)) in
-      let address = b.Image.base + off in
-      let mask =
-        match cz with
-        | Site.Keystream ->
-          let rec nz () =
-            let m = Prng.next32 rng in
-            if m = 0 then nz () else m
-          in
-          nz ()
-        | _ -> 1 lsl Prng.int_below rng 32
+      let sample () =
+        let b = p.visited.(Prng.int_below rng (Array.length p.visited)) in
+        let offs = offsets_for cz b.Image.kind in
+        let off = List.nth offs (Prng.int_below rng (List.length offs)) in
+        let address = b.Image.base + off in
+        let mask =
+          match cz with
+          | Site.Keystream ->
+            let rec nz () =
+              let m = Prng.next32 rng in
+              if m = 0 then nz () else m
+            in
+            nz ()
+          | _ -> 1 lsl Prng.int_below rng 32
+        in
+        Site.Word_xor { address; mask }
       in
-      Some (image_trial ~config ~p (Site.Word_xor { address; mask }))
+      Some (image_trial ~config ~p (sample_distinct ~n:multi sample))
     end
   | Site.Mux_swap ->
     if Array.length p.visited_mux = 0 then None
     else begin
-      let b = p.visited_mux.(Prng.int_below rng (Array.length p.visited_mux)) in
-      Some
-        (image_trial ~config ~p
-           (Site.Word_swap { a = b.Image.base; b = b.Image.base + 4 }))
+      let sample () =
+        let b = p.visited_mux.(Prng.int_below rng (Array.length p.visited_mux)) in
+        Site.Word_swap { a = b.Image.base; b = b.Image.base + 4 }
+      in
+      Some (image_trial ~config ~p (sample_distinct ~n:multi sample))
     end
   | Site.Edge_redirect ->
     if Array.length p.visited = 0 then None
@@ -266,11 +295,11 @@ let add_cell c v lat =
       lat_max = max c.lat_max l }
   | None -> c
 
-let run_cell ~config ~rng ~obs ~p ~backend ~workload clazz ~trials =
+let run_cell ~config ~rng ~multi ~obs ~p ~backend ~workload clazz ~trials =
   let c = ref (zero_cell ~backend clazz workload) in
   if !c.applicable then
     for _ = 1 to trials do
-      match one_trial ~config ~rng ~p clazz with
+      match one_trial ~config ~rng ~multi ~p clazz with
       | None -> ()
       | Some (_site, v, lat) ->
         c := add_cell !c v lat;
@@ -684,10 +713,53 @@ module FS = Sofia_fleet.Shard
 (* Feed the router from a temp file and collect its responses in
    another: no pipe-buffer write deadlock is possible at any job count,
    and the output survives for line-level inspection. *)
-let fleet_run ?(children = 3) ?(window = 32) ?(audit_every = 0) ?(replay = true)
+let fleet_cfg ?(children = 3) ?(window = 32) ?(audit_every = 0) ?(replay = true)
     ?(probe_interval_ms = 100) ?(hang_timeout_ms = 5_000) ?(breaker = 3)
-    ?(redispatch_limit = 2) ?store_dir ?deadline_ms ?child_extra_args ?on_event ~cli
-    lines =
+    ?(redispatch_limit = 2) ?(rejoin_cooldown_ms = 30_000) ?(rejoin_probes = 3)
+    ?(restart_backoff_ms = 25) ?(restart_budget = 6)
+    ?(restart_budget_window_ms = 10_000) ?(client_linger_ms = 5_000) ?replay_dir
+    ?store_dir ?deadline_ms ?child_extra_args ?on_event ~cli () =
+  {
+    FR.default_config with
+    FR.children;
+    window;
+    audit_every;
+    replay;
+    probe_interval_ms;
+    hang_timeout_ms;
+    breaker_threshold = breaker;
+    redispatch_limit;
+    rejoin_cooldown_ms;
+    rejoin_probes;
+    restart_backoff_ms;
+    restart_budget;
+    restart_budget_window_ms;
+    client_linger_ms;
+    replay_dir;
+    store_dir;
+    default_deadline_ms = deadline_ms;
+    cli = Some cli;
+    child_extra_args;
+    on_event;
+  }
+
+let read_responses out_path =
+  let responses = ref [] in
+  let ic = open_in out_path in
+  (try
+     while true do
+       match J.parse_opt (input_line ic) with
+       | Some j -> responses := j :: !responses
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !responses
+
+let fleet_run ?children ?window ?audit_every ?replay ?probe_interval_ms
+    ?hang_timeout_ms ?breaker ?redispatch_limit ?rejoin_cooldown_ms ?rejoin_probes
+    ?restart_backoff_ms ?restart_budget ?restart_budget_window_ms ?client_linger_ms
+    ?replay_dir ?store_dir ?deadline_ms ?child_extra_args ?on_event ~cli lines =
   let in_path = Filename.temp_file "sofia_fleet" ".ndjson" in
   let out_path = Filename.temp_file "sofia_fleet" ".out" in
   Fun.protect
@@ -705,22 +777,11 @@ let fleet_run ?(children = 3) ?(window = 32) ?(audit_every = 0) ?(replay = true)
       let cin = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
       let cout = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
       let cfg =
-        {
-          FR.default_config with
-          FR.children;
-          window;
-          audit_every;
-          replay;
-          probe_interval_ms;
-          hang_timeout_ms;
-          breaker_threshold = breaker;
-          redispatch_limit;
-          store_dir;
-          default_deadline_ms = deadline_ms;
-          cli = Some cli;
-          child_extra_args;
-          on_event;
-        }
+        fleet_cfg ?children ?window ?audit_every ?replay ?probe_interval_ms
+          ?hang_timeout_ms ?breaker ?redispatch_limit ?rejoin_cooldown_ms
+          ?rejoin_probes ?restart_backoff_ms ?restart_budget
+          ?restart_budget_window_ms ?client_linger_ms ?replay_dir ?store_dir
+          ?deadline_ms ?child_extra_args ?on_event ~cli ()
       in
       let stats, doc =
         Fun.protect
@@ -729,17 +790,65 @@ let fleet_run ?(children = 3) ?(window = 32) ?(audit_every = 0) ?(replay = true)
             try Unix.close cout with Unix.Unix_error _ -> ())
           (fun () -> FR.run cfg ~client_in:cin ~client_out:cout)
       in
-      let responses = ref [] in
-      let ic = open_in out_path in
-      (try
-         while true do
-           match J.parse_opt (input_line ic) with
-           | Some j -> responses := j :: !responses
-           | None -> ()
-         done
-       with End_of_file -> ());
-      close_in ic;
-      (List.rev !responses, stats, doc))
+      (read_responses out_path, stats, doc))
+
+(* Several concurrent clients over the same fleet: each client's lines
+   go in from its own temp file and its responses come back to its own,
+   so slow-reader and flood behaviour is per-client observable. Returns
+   one response list per client, in order. *)
+let fleet_run_clients ?children ?window ?audit_every ?replay ?probe_interval_ms
+    ?hang_timeout_ms ?breaker ?redispatch_limit ?rejoin_cooldown_ms ?rejoin_probes
+    ?restart_backoff_ms ?restart_budget ?restart_budget_window_ms ?client_linger_ms
+    ?replay_dir ?store_dir ?deadline_ms ?child_extra_args ?on_event ~cli
+    per_client_lines =
+  let files =
+    List.map
+      (fun lines ->
+        let in_path = Filename.temp_file "sofia_fleet_cl" ".ndjson" in
+        let out_path = Filename.temp_file "sofia_fleet_cl" ".out" in
+        let oc = open_out in_path in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines;
+        close_out oc;
+        (in_path, out_path))
+      per_client_lines
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (i, o) ->
+          (try Sys.remove i with Sys_error _ -> ());
+          try Sys.remove o with Sys_error _ -> ())
+        files)
+    (fun () ->
+      let fds =
+        List.map
+          (fun (i, o) ->
+            ( Unix.openfile i [ Unix.O_RDONLY ] 0,
+              Unix.openfile o [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 ))
+          files
+      in
+      let cfg =
+        fleet_cfg ?children ?window ?audit_every ?replay ?probe_interval_ms
+          ?hang_timeout_ms ?breaker ?redispatch_limit ?rejoin_cooldown_ms
+          ?rejoin_probes ?restart_backoff_ms ?restart_budget
+          ?restart_budget_window_ms ?client_linger_ms ?replay_dir ?store_dir
+          ?deadline_ms ?child_extra_args ?on_event ~cli ()
+      in
+      let stats, doc =
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun (i, o) ->
+                (try Unix.close i with Unix.Unix_error _ -> ());
+                try Unix.close o with Unix.Unix_error _ -> ())
+              fds)
+          (fun () -> FR.run_clients cfg ~clients:fds)
+      in
+      (List.map (fun (_, o) -> read_responses o) files, stats, doc))
 
 let r_str k j = match J.member k j with Some (J.Str s) -> Some s | _ -> None
 let r_status j = Option.value ~default:"?" (r_str "status" j)
@@ -781,6 +890,29 @@ let fr_pinned_jobs ~children ~pred ~prefix source want =
   in
   go [] 0 1
 
+(* per-request metadata that legitimately differs between two reads of
+   the same cached result — everything else must be byte-identical *)
+let fr_volatile = [ "seq"; "completion"; "attempts"; "worker"; "latency_ms"; "ts_unix" ]
+
+(* id -> rendered payload (volatile metadata dropped), sorted: two
+   clients served the same jobs must produce equal maps *)
+let fr_payload_map rs =
+  List.filter_map
+    (fun j ->
+      match j with
+      | J.Obj fields ->
+        Option.map
+          (fun id ->
+            ( id,
+              J.to_string
+                (J.Obj
+                   (List.filter (fun (k, _) -> not (List.mem k fr_volatile)) fields))
+            ))
+          (r_str "id" j)
+      | _ -> None)
+    rs
+  |> List.sort compare
+
 (* the shard the routing map loads most, for a given job list *)
 let fr_busiest ~children jobs =
   let counts = Array.make children 0 in
@@ -809,7 +941,7 @@ let fsc_child_kill cli source =
         killed := true;
         try Unix.kill pids.(victim) Sys.sigkill with Unix.Unix_error _ -> ()
       end
-    | FR.Child_down _ -> ()
+    | FR.Child_down _ | FR.Child_rejoin _ -> ()
   in
   let rs, st, _ = fleet_run ~children ~window:4 ~on_event ~cli (fr_lines jobs) in
   let once = fr_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs in
@@ -853,7 +985,7 @@ let fsc_child_hang cli source =
         stopped := true;
         try Unix.kill pids.(victim) Sys.sigstop with Unix.Unix_error _ -> ()
       end
-    | FR.Child_down _ -> ()
+    | FR.Child_down _ | FR.Child_rejoin _ -> ()
   in
   let rs, st, _ =
     fleet_run ~children ~window:4 ~hang_timeout_ms:400 ~on_event ~cli (fr_lines jobs)
@@ -1128,6 +1260,352 @@ let fsc_store_poison cli source =
             (FR.conserved st1 && FR.conserved st2);
       })
 
+(* Four clients hammer the same fleet concurrently with the same job
+   set (PR 9): fair dispatch answers every client exactly once,
+   cross-client replay/coalescing keeps each distinct job on one child
+   only, and the §13 byte-identity guarantee holds one level up —
+   every client reads the same payload bytes for the same job. *)
+let fsc_client_flood cli source =
+  let nclients = 4 in
+  let jobs = fr_protect_jobs ~prefix:"ff" source 25 in
+  let lines = fr_lines jobs in
+  let rss, st, _ = fleet_run_clients ~cli (List.init nclients (fun _ -> lines)) in
+  let ids = List.map (fun (j : Job.request) -> j.Job.id) jobs in
+  let each_once = rss <> [] && List.for_all (fun rs -> fr_ids_once ids rs) rss in
+  let all_done = List.for_all fr_all_done rss in
+  let identical =
+    match List.map fr_payload_map rss with
+    | [] -> false
+    | m0 :: rest -> m0 <> [] && List.for_all (fun m -> m = m0) rest
+  in
+  (* 100 requests, but only the 25 distinct jobs ever reach a child *)
+  let routed = Array.fold_left (fun a ss -> a + ss.FR.ss_routed) 0 st.FR.shards in
+  (* every non-primary request is served from the cache tier — parked
+     behind the in-flight primary (coalesced, then released as a
+     replay) or replayed outright — so replays counts all 75 *)
+  let deduped = routed = 25 && st.FR.replays = 75 in
+  let ok =
+    st.FR.received = 100 && each_once && all_done && identical && deduped
+    && FR.conserved st
+  in
+  {
+    name = "fleet_client_flood";
+    ok;
+    detail =
+      Printf.sprintf
+        "received=%d each_client_once=%b all_done=%b payloads_identical=%b \
+         routed=%d replays=%d coalesced=%d conserved=%b"
+        st.FR.received each_once all_done identical routed st.FR.replays
+        st.FR.coalesced (FR.conserved st);
+  }
+
+(* A slow-loris client sends a burst of duplicates and never reads a
+   byte back: its responses back up behind a full pipe until the linger
+   expires and the router drops it — while a healthy client on the same
+   fleet is answered in full. Nothing leaks: the dropped client's jobs
+   still settle internally and the conservation law holds. *)
+let fsc_slow_loris cli source =
+  let dup =
+    J.to_string
+      (Job.request_to_json (Job.make ~id:"loris" ~nonce:33 (Job.Protect { source })))
+  in
+  let good_jobs = fr_protect_jobs ~prefix:"fg" source 8 in
+  let slow_in = Filename.temp_file "sofia_loris" ".ndjson" in
+  let good_in = Filename.temp_file "sofia_loris_g" ".ndjson" in
+  let good_out = Filename.temp_file "sofia_loris_g" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ slow_in; good_in; good_out ])
+    (fun () ->
+      let write_lines path lines =
+        let oc = open_out path in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines;
+        close_out oc
+      in
+      (* ~1200 replies cannot fit a ~64KB pipe nobody drains *)
+      write_lines slow_in (List.init 1_200 (fun _ -> dup));
+      write_lines good_in (fr_lines good_jobs);
+      let sfd = Unix.openfile slow_in [ Unix.O_RDONLY ] 0 in
+      let pr, pw = Unix.pipe ~cloexec:true () in
+      let gin = Unix.openfile good_in [ Unix.O_RDONLY ] 0 in
+      let gout = Unix.openfile good_out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let cfg = fleet_cfg ~client_linger_ms:200 ~cli () in
+      let stats, _ =
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              [ sfd; pr; pw; gin; gout ])
+          (fun () -> FR.run_clients cfg ~clients:[ (sfd, pw); (gin, gout) ])
+      in
+      let rs = read_responses good_out in
+      let once =
+        fr_ids_once (List.map (fun (j : Job.request) -> j.Job.id) good_jobs) rs
+      in
+      let ok =
+        stats.FR.slow_client_drops = 1 && once && fr_all_done rs
+        && FR.conserved stats
+      in
+      {
+        name = "fleet_slow_loris";
+        ok;
+        detail =
+          Printf.sprintf
+            "slow_dropped=%b healthy_all_done=%b answered_once=%b conserved=%b"
+            (stats.FR.slow_client_drops = 1)
+            (fr_all_done rs) once (FR.conserved stats);
+      })
+
+(* Breaker-quarantine one shard with a poison job, then watch it earn
+   its way back under live traffic: after the cooldown the router
+   restarts the shard on probation, two clean probes re-admit it, and a
+   fresh wave of jobs for its key range routes home again — a breaker
+   quarantine is a state, not a sentence (integrity quarantines stay
+   permanent: fleet_digest_quarantine). The post-rejoin wave is fed by
+   a watchdog domain triggered by the Child_rejoin event, with a
+   timeout so a rejoin bug fails the scenario instead of wedging it. *)
+let fsc_rejoin_reshed cli source =
+  let children = 2 in
+  let marker = "FLEET-REJOIN-9" in
+  let psource = source ^ "\n; " ^ marker in
+  let poison = Job.make ~id:"poison" ~nonce:41 (Job.Protect { source = psource }) in
+  let victim = FS.route ~shards:children poison in
+  let during =
+    fr_pinned_jobs ~children ~pred:(fun k -> k = victim) ~prefix:"fj" source 4
+  in
+  let elsewhere =
+    fr_pinned_jobs ~children ~pred:(fun k -> k <> victim) ~prefix:"fjo" source 4
+  in
+  (* a distinct source gives the post-rejoin wave distinct content
+     keys, so it really dispatches to the rejoined shard instead of
+     replaying from the cache *)
+  let post =
+    fr_pinned_jobs ~children
+      ~pred:(fun k -> k = victim)
+      ~prefix:"fjp" (source ^ "\n; after-rejoin") 4
+  in
+  let out_path = Filename.temp_file "sofia_rejoin" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
+    (fun () ->
+      let pr, pw = Unix.pipe ~cloexec:true () in
+      let cout = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let send jobs =
+        List.iter
+          (fun l ->
+            let line = l ^ "\n" in
+            ignore (Unix.write_substring pw line 0 (String.length line)))
+          (fr_lines jobs)
+      in
+      (* -1 = not rejoined yet; >= 0 = victim's routed count at rejoin *)
+      let rejoin_routed = Atomic.make (-1) in
+      let on_event = function
+        | FR.Child_rejoin (k, routed) when k = victim ->
+          ignore (Atomic.compare_and_set rejoin_routed (-1) routed)
+        | _ -> ()
+      in
+      (* the feeder owns pw and does *all* the writing — the request
+         wave can exceed the pipe capacity, so it must be written while
+         the router is already reading, never from the router's own
+         thread. It sends the post-rejoin wave when the event lands (or
+         gives up after 20s) and always closes, so the router always
+         sees client EOF *)
+      let feeder =
+        Domain.spawn (fun () ->
+            send ((poison :: during) @ elsewhere);
+            let deadline = Unix.gettimeofday () +. 20.0 in
+            let rec wait () =
+              if Atomic.get rejoin_routed >= 0 then true
+              else if Unix.gettimeofday () > deadline then false
+              else begin
+                Unix.sleepf 0.01;
+                wait ()
+              end
+            in
+            let rejoined = wait () in
+            if rejoined then send post;
+            (try Unix.close pw with Unix.Unix_error _ -> ());
+            rejoined)
+      in
+      let extra k = if k = victim then [ "--test-exit"; marker ] else [] in
+      let cfg =
+        fleet_cfg ~children ~window:1 ~breaker:1 ~probe_interval_ms:20
+          ~rejoin_cooldown_ms:150 ~rejoin_probes:2 ~child_extra_args:extra
+          ~on_event ~cli ()
+      in
+      let stats, _ =
+        Fun.protect
+          ~finally:(fun () ->
+            ignore (Domain.join feeder);
+            (try Unix.close pr with Unix.Unix_error _ -> ());
+            try Unix.close cout with Unix.Unix_error _ -> ())
+          (fun () -> FR.run cfg ~client_in:pr ~client_out:cout)
+      in
+      let rs = read_responses out_path in
+      let all = (poison :: during) @ elsewhere @ post in
+      let once = fr_ids_once (List.map (fun (j : Job.request) -> j.Job.id) all) rs in
+      let snap = Atomic.get rejoin_routed in
+      let back_home = snap >= 0 && stats.FR.shards.(victim).FR.ss_routed > snap in
+      let ok =
+        fr_all_done rs && once && stats.FR.deaths = 1 && stats.FR.quar_breaker = 1
+        && stats.FR.quar_integrity = 0 && stats.FR.rejoins = 1
+        && stats.FR.resheds >= 1 && back_home && FR.conserved stats
+      in
+      {
+        name = "fleet_rejoin_reshed";
+        ok;
+        detail =
+          Printf.sprintf
+            "all_done=%b answered_once=%b quarantined=%b rejoined=%b reshed=%b traffic_back_home=%b conserved=%b"
+            (fr_all_done rs) once
+            (stats.FR.quar_breaker = 1)
+            (stats.FR.rejoins = 1)
+            (stats.FR.resheds >= 1)
+            back_home (FR.conserved stats);
+      })
+
+(* Poison jobs that kill every incarnation of their home shard: the
+   exponential backoff paces the restarts and the restart budget bounds
+   them — four deaths cost exactly three restarts before the shard is
+   quarantined on the breaker cause, while the other shard keeps
+   serving. A restart storm is contained, never a hot loop. window=1
+   keeps the death cascade deterministic. *)
+let fsc_restart_storm cli source =
+  let children = 2 in
+  let victim = 0 in
+  let marker = "FLEET-STORM-4" in
+  let psource = source ^ "\n; " ^ marker in
+  let poisons =
+    fr_pinned_jobs ~children ~pred:(fun k -> k = victim) ~prefix:"fx" psource 2
+  in
+  let healthy =
+    fr_pinned_jobs ~children ~pred:(fun k -> k <> victim) ~prefix:"fxo" source 4
+  in
+  let extra k = if k = victim then [ "--test-exit"; marker ] else [] in
+  let rs, st, _ =
+    fleet_run ~children ~window:1 ~breaker:0 ~restart_backoff_ms:10
+      ~restart_budget:3 ~rejoin_cooldown_ms:0 ~child_extra_args:extra ~cli
+      (fr_lines (poisons @ healthy))
+  in
+  let once =
+    fr_ids_once (List.map (fun (j : Job.request) -> j.Job.id) (poisons @ healthy)) rs
+  in
+  (* the first poison burns its incarnation budget and fails; the
+     second is re-shed off the quarantined shard and completes *)
+  let failed_count =
+    List.length (List.filter (fun j -> r_status j = "failed") rs)
+  in
+  let healthy_done =
+    List.for_all
+      (fun j -> r_status j = "failed" || r_status j = "done")
+      rs
+    && List.length rs = 6
+  in
+  let bounded =
+    st.FR.deaths = 4 && st.FR.restarts = 3 && st.FR.backoffs = 3
+    && st.FR.quar_breaker = 1
+  in
+  let ok =
+    once && healthy_done && failed_count = 1 && bounded && st.FR.resheds >= 1
+    && FR.conserved st
+  in
+  {
+    name = "fleet_restart_storm";
+    ok;
+    detail =
+      Printf.sprintf
+        "deaths=%d restarts=%d backoffs=%d budget_quarantine=%b reshed=%b answered_once=%b conserved=%b"
+        st.FR.deaths st.FR.restarts st.FR.backoffs
+        (st.FR.quar_breaker = 1)
+        (st.FR.resheds >= 1)
+        once (FR.conserved st);
+  }
+
+(* The replay cache outlives the router (PR 9): a fresh fleet over the
+   same replay_dir serves every duplicate straight from disk without
+   touching a child. One sealed entry is tampered between the runs: the
+   zero-trust reload re-derives the payload fingerprint, counts exactly
+   one corrupt miss, and re-protects — spliced bytes are never served,
+   and both runs hand out identical payloads. *)
+let fsc_replay_warm_tamper cli source =
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_file "sofia_fleet_replay" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let jobs = fr_protect_jobs ~prefix:"fwr" source 8 in
+      let digests rs =
+        List.filter_map
+          (fun j ->
+            match (r_str "id" j, r_str "digest" j) with
+            | Some id, Some d -> Some (id, d)
+            | _ -> None)
+          rs
+        |> List.sort compare
+      in
+      let rs1, st1, _ = fleet_run ~replay_dir:dir ~cli (fr_lines jobs) in
+      let tampered =
+        match
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun n -> not (Sys.is_directory (Filename.concat dir n)))
+          |> List.sort compare
+        with
+        | [] -> false
+        | n :: _ ->
+          let p = Filename.concat dir n in
+          let ic = open_in_bin p in
+          let b = Bytes.create (in_channel_length ic) in
+          really_input ic b 0 (Bytes.length b);
+          close_in ic;
+          let i = Bytes.length b / 2 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+          let oc = open_out_bin p in
+          output_bytes oc b;
+          close_out oc;
+          true
+      in
+      let rs2, st2, doc2 = fleet_run ~replay_dir:dir ~cli (fr_lines jobs) in
+      let corrupt_counted =
+        match Option.bind (J.member "replay_store" doc2) (J.member "corrupt") with
+        | Some (J.Int n) -> n >= 1
+        | _ -> false
+      in
+      let stable = digests rs1 <> [] && digests rs1 = digests rs2 in
+      let routed st =
+        Array.fold_left (fun a ss -> a + ss.FR.ss_routed) 0 st.FR.shards
+      in
+      let warm =
+        st1.FR.disk_replays = 0 && routed st1 = 8 && st2.FR.disk_replays = 7
+        && routed st2 = 1
+      in
+      let ok =
+        tampered && fr_all_done rs1 && fr_all_done rs2 && warm && corrupt_counted
+        && stable && FR.conserved st1 && FR.conserved st2
+      in
+      {
+        name = "fleet_replay_warm_tamper";
+        ok;
+        detail =
+          Printf.sprintf
+            "all_done=%b disk_replays=%d/7 tamper_detected=%b payloads_stable=%b conserved=%b"
+            (fr_all_done rs1 && fr_all_done rs2)
+            st2.FR.disk_replays corrupt_counted stable
+            (FR.conserved st1 && FR.conserved st2);
+      })
+
 let fleet_checks workloads =
   match workloads with
   | [] -> []
@@ -1151,6 +1629,11 @@ let fleet_checks workloads =
         fsc_digest_quarantine cli source;
         fsc_breaker_reshed cli source;
         fsc_store_poison cli source;
+        fsc_client_flood cli source;
+        fsc_slow_loris cli source;
+        fsc_rejoin_reshed cli source;
+        fsc_restart_storm cli source;
+        fsc_replay_warm_tamper cli source;
       ])
 
 (* ------------------------------------------------------------------ *)
@@ -1159,7 +1642,9 @@ let fleet_checks workloads =
 
 let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
     ?(backends = [ Sofia_transform.Backend_id.Sofia ]) ?(with_service = true)
-    ?with_fleet ?workloads ?(engine = Sofia_cpu.Run_config.Fast) ~trials ~seed () =
+    ?with_fleet ?workloads ?(engine = Sofia_cpu.Run_config.Fast) ?(multi_fault = 1)
+    ~trials ~seed () =
+  if multi_fault < 1 then invalid_arg "Campaign.run: multi_fault must be >= 1";
   (* the fleet wall rides with the service wall unless asked otherwise *)
   let with_fleet = Option.value ~default:with_service with_fleet in
   let workloads =
@@ -1176,8 +1661,8 @@ let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
             let p = profile ~config ~backend ~key_seed w in
             List.map
               (fun clazz ->
-                run_cell ~config ~rng ~obs ~p ~backend ~workload:w.W.name clazz
-                  ~trials)
+                run_cell ~config ~rng ~multi:multi_fault ~obs ~p ~backend
+                  ~workload:w.W.name clazz ~trials)
               classes)
           workloads)
       backends
@@ -1188,7 +1673,7 @@ let run ?(obs = Obs.none) ?(fuel = default_fuel) ?(classes = Site.all)
     (if with_service then service_checks workloads else [])
     @ (if with_fleet then fleet_checks workloads else [])
   in
-  { seed; trials_per_cell = trials; fuel; backends; cells; service }
+  { seed; trials_per_cell = trials; multi_fault; fuel; backends; cells; service }
 
 (* one aggregated cell per (backend, class), over every workload *)
 let by_backend_class r =
@@ -1263,13 +1748,41 @@ let cell_json c =
           ] );
     ]
 
+(* per-backend in-model rollup: under --multi-fault the interesting
+   question is whether either backend's detection degrades as faults
+   stack — report each backend's rate side by side so a degradation is
+   a one-line diff, not a matrix dig *)
+let backend_summary_json r =
+  J.List
+    (List.map
+       (fun backend ->
+         let d, tr, e =
+           List.fold_left
+             (fun (d, tr, e) c ->
+               if c.backend = backend && Site.in_model c.clazz then
+                 (d + c.detected, tr + c.trials, e + c.masked + c.corrupted + c.hung)
+               else (d, tr, e))
+             (0, 0, 0) r.cells
+         in
+         J.Obj
+           [
+             ("backend", J.Str (Sofia_transform.Backend_id.name backend));
+             ("in_model_trials", J.Int tr);
+             ("in_model_detected", J.Int d);
+             ( "in_model_detection_rate",
+               J.Float (if tr = 0 then 1.0 else float_of_int d /. float_of_int tr) );
+             ("in_model_escapes", J.Int e);
+           ])
+       r.backends)
+
 let to_json r =
   let d, t = in_model_trials r in
   J.Obj
     [
-      ("schema", J.Str "sofia-fault-campaign/2");
+      ("schema", J.Str "sofia-fault-campaign/3");
       ("seed", J.Str (Printf.sprintf "0x%Lx" r.seed));
       ("trials_per_cell", J.Int r.trials_per_cell);
+      ("faults_per_trial", J.Int r.multi_fault);
       ("fuel", J.Int r.fuel);
       ( "backends",
         J.List
@@ -1289,6 +1802,7 @@ let to_json r =
              Site.all) );
       ("matrix", J.List (List.map cell_json r.cells));
       ("by_class", J.List (List.map cell_json (by_class r)));
+      ("by_backend", backend_summary_json r);
       ( "summary",
         J.Obj
           [
@@ -1312,8 +1826,9 @@ let to_json r =
 
 let pp fmt r =
   let d, t = in_model_trials r in
-  Format.fprintf fmt "fault campaign  seed=0x%Lx  trials/cell=%d  backends=%s@."
-    r.seed r.trials_per_cell
+  Format.fprintf fmt
+    "fault campaign  seed=0x%Lx  trials/cell=%d  faults/trial=%d  backends=%s@."
+    r.seed r.trials_per_cell r.multi_fault
     (String.concat "," (List.map Sofia_transform.Backend_id.name r.backends));
   Format.fprintf fmt "%-7s %-16s %8s %9s %7s %10s %6s %12s %8s@." "backend" "class"
     "trials" "detected" "masked" "corrupted" "hung" "latency-mean" "lat-max";

@@ -62,6 +62,9 @@ type service_check = { name : string; ok : bool; detail : string }
 type report = {
   seed : int64;
   trials_per_cell : int;
+  multi_fault : int;
+      (** simultaneous faults injected per trial for the image-mutation
+          classes (the [--multi-fault] mode); 1 = the classic campaign *)
   fuel : int;
   backends : Sofia_transform.Backend_id.t list;
   cells : cell list;
@@ -82,6 +85,7 @@ val run :
   ?with_fleet:bool ->
   ?workloads:Sofia_workloads.Workload.t list ->
   ?engine:Sofia_cpu.Run_config.engine ->
+  ?multi_fault:int ->
   trials:int ->
   seed:int64 ->
   unit ->
@@ -98,13 +102,22 @@ val run :
     [with_service] (default [true]) appends the seven service scenarios,
     which spawn real worker domains and take ~1 s of wall time.
     [with_fleet] (default: [with_service]) additionally re-runs the
-    failure wall at fleet scope — seven scenarios that each spawn a
+    failure wall at fleet scope — twelve scenarios that each spawn a
     real [sofia_cli fleet] of child processes (kill -9, SIGSTOP past
     the watchdog, clock skew, wire garbage, a digest-lying child, a
-    poison job tripping the process breaker, a poisoned shard store) —
-    and is skipped with a passing note when no sofia_cli binary can be
-    found. [engine] (default [Fast]) selects the execution engine for
-    every simulated run; reports are byte-identical between engines. *)
+    poison job tripping the process breaker, a poisoned shard store,
+    a four-client flood, a slow-loris reader, quarantine rejoin under
+    load, a budget-bounded restart storm, and a tampered persistent
+    replay cache across a router restart) — and is skipped with a
+    passing note when no sofia_cli binary can be found. [engine]
+    (default [Fast]) selects the execution engine for every simulated
+    run; reports are byte-identical between engines.
+    [multi_fault] (default 1) injects that many pairwise-distinct
+    simultaneous faults per trial for the image-mutation classes
+    ([Insn_flip], [Mac_flip], [Keystream], [Mux_swap]); [Edge_redirect]
+    and [Fetch_transient] stay single-fault. With the default the PRNG
+    stream, and therefore the whole matrix, is bit-identical to the
+    pre-multi-fault campaign. *)
 
 val by_class : report -> cell list
 (** The matrix aggregated to one cell per (backend, class) pair
@@ -125,11 +138,12 @@ val passed : report -> bool
     criterion. *)
 
 val to_json : report -> Sofia_obs.Json.t
-(** Schema [sofia-fault-campaign/2]: seed, the backend list, the class
-    taxonomy, the full matrix (each cell tagged with its backend and
-    applicability), the per-(backend, class) aggregation, the summary
-    (detection rate, escapes, [passed]) and the service-check
-    results. *)
+(** Schema [sofia-fault-campaign/3]: seed, faults-per-trial, the
+    backend list, the class taxonomy, the full matrix (each cell tagged
+    with its backend and applicability), the per-(backend, class)
+    aggregation, a per-backend in-model rollup ([by_backend] — the
+    multi-fault degradation comparison), the summary (detection rate,
+    escapes, [passed]) and the service-check results. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable coverage table (per-class rows) + service lines. *)

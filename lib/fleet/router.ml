@@ -1,11 +1,14 @@
 (* The fleet router: N `sofia_cli serve --socket --once` children behind
    one single-threaded select loop that shards jobs by image content
    hash (Shard.route), with PR 4's supervision machinery promoted one
-   level up — watchdog, crash-restart, circuit breaker and graceful
-   drain now act on whole processes, which (unlike OCaml domains) can
-   actually be killed.
+   level up — watchdog, crash-restart with exponential backoff and a
+   restart-budget window, circuit breaker and graceful drain now act on
+   whole processes, which (unlike OCaml domains) can actually be
+   killed. The loop serves any number of concurrent clients (pipes,
+   AF_UNIX or TCP accepts) with per-client read/write buffers, so one
+   stalled reader never blocks the fleet.
 
-   Trust model (DESIGN §13): children are untrusted-but-supervised.
+   Trust model (DESIGN §13/§15): children are untrusted-but-supervised.
    The router never constructs a payload itself — every byte of a
    client-visible payload was produced by a child behind the full
    MAC-before-anything-runnable pipeline — but it does hold children to
@@ -14,19 +17,35 @@
    out past its first victim), and a configurable audit sample
    re-dispatches jobs to a second shard and compares response content
    hashes, with a third-shard majority vote deciding which child lied.
-   A lying child is quarantined — killed, never restarted, its traffic
-   re-shed to healthy shards. *)
+
+   Quarantine has a two-cause taxonomy. A child caught lying about a
+   content hash is quarantined for INTEGRITY: killed, never restarted,
+   its traffic re-shed to healthy shards. A child quarantined by the
+   BREAKER (repeated deaths, exhausted restart budget) is merely
+   suspected of a bad environment: after a cooldown it is restarted on
+   probation and must answer K consecutive clean probes before it is
+   re-admitted and its traffic dynamically re-shed back home.
+
+   The replay cache can persist across router restarts through the §12
+   store_fs envelope tier (config.replay_dir): each settled done
+   response is sealed as a Replay envelope under the request's own
+   keys, and a reload is zero-trust — envelope structure, CRC, CBC-MAC,
+   source compare, and a re-derived payload fingerprint must all pass
+   before a byte of it is ever replayed to a client. *)
 
 module Job = Sofia_service.Job
 module J = Sofia_obs.Json
 module Obs = Sofia_obs.Obs
 module Event = Sofia_obs.Event
 module Clock = Sofia_util.Clock
+module Fs = Sofia_store_fs.Store_fs
+module Keys = Sofia_crypto.Keys
 
 type event =
   | Client_response of int  (** running count of client-visible job responses *)
   | Child_up of int * int  (** shard, pid *)
   | Child_down of int * string  (** shard, reason *)
+  | Child_rejoin of int * int  (** shard, ss_routed at re-admission *)
 
 type config = {
   children : int;
@@ -49,6 +68,14 @@ type config = {
   connect_timeout_s : float;
   child_extra_args : (int -> string list) option;
   on_event : (event -> unit) option;
+  replay_dir : string option;
+  rejoin_cooldown_ms : int;
+  rejoin_probes : int;
+  restart_backoff_ms : int;
+  restart_backoff_max_ms : int;
+  restart_budget : int;
+  restart_budget_window_ms : int;
+  client_linger_ms : int;
 }
 
 let default_config =
@@ -73,6 +100,14 @@ let default_config =
     connect_timeout_s = 10.0;
     child_extra_args = None;
     on_event = None;
+    replay_dir = None;
+    rejoin_cooldown_ms = 30_000;
+    rejoin_probes = 3;
+    restart_backoff_ms = 25;
+    restart_backoff_max_ms = 2_000;
+    restart_budget = 6;
+    restart_budget_window_ms = 10_000;
+    client_linger_ms = 5_000;
   }
 
 type shard_stats = {
@@ -104,6 +139,12 @@ type stats = {
   mutable quarantines : int;
   mutable resheds : int;
   mutable interrupted : bool;
+  mutable backoffs : int;  (* deferred restarts scheduled *)
+  mutable rejoins : int;  (* quarantined shards re-admitted after probation *)
+  mutable quar_breaker : int;
+  mutable quar_integrity : int;
+  mutable disk_replays : int;  (* replays served from the persistent tier *)
+  mutable slow_client_drops : int;
   shards : shard_stats array;
 }
 
@@ -115,6 +156,30 @@ type kind =
   | Tiebreak of string
   | Probe
 
+(* One connected client: its own NDJSON reassembly buffer on the read
+   side and an elastic write buffer on the write side, so a reader that
+   has stalled (full socket buffer) only delays its own responses — the
+   select loop keeps pumping every other client and every child. A
+   client whose buffer stays undrained past the linger is dropped; its
+   jobs keep settling internally so the terminal counters conserve. *)
+type client = {
+  cl_id : int;
+  cl_in : Unix.file_descr;
+  cl_out : Unix.file_descr;
+  cl_rbuf : Buffer.t;
+  cl_wbuf : Buffer.t;
+  mutable cl_eof : bool;
+  mutable cl_gone : bool;
+  mutable cl_pending : int;  (* admitted, not yet answered *)
+  mutable cl_drain_deadline : float;  (* 0.0 = buffer empty / no deadline *)
+  cl_owned : bool;  (* accepted by us: we close the fds *)
+}
+
+(* Why a shard is out of service. Breaker quarantines are eligible for
+   probation rejoin; integrity quarantines are permanent — a child that
+   lied about a content hash is never trusted again. *)
+type quarantine_cause = Breaker | Integrity
+
 type dispatch = {
   d_iid : string;  (* internal wire id — the router renames jobs on the child hop *)
   d_req : Job.request;  (* original request, client id inside *)
@@ -122,13 +187,14 @@ type dispatch = {
   d_seq : int;
   d_admit : float;  (* mono *)
   d_kind : kind;
+  d_client : client;  (* who gets the answer; the sink for router-internal work *)
   mutable d_tries : int;  (* child incarnations consumed *)
   mutable d_shard : int;
 }
 
 (* A duplicate of an in-flight content key, parked until the primary
    settles. *)
-type waiter = { w_id : string; w_seq : int; w_admit : float }
+type waiter = { w_id : string; w_seq : int; w_admit : float; w_client : client }
 
 (* One audited primary: both responses stashed until the verdict. *)
 type audit_state = {
@@ -163,6 +229,11 @@ type child_state = {
   mutable c_consec_deaths : int;
   mutable c_probe_out : bool;
   mutable c_args : string list;
+  mutable c_quar : quarantine_cause option;
+  mutable c_quar_since : float;
+  mutable c_probation : int;  (* clean probes so far; -1 = not on probation *)
+  mutable c_restart_at : float;  (* deferred restart due time; 0.0 = none *)
+  mutable c_restart_times : float list;  (* restart budget window, newest first *)
 }
 
 type t = {
@@ -182,11 +253,15 @@ type t = {
   mutable completion : int;
   mutable distinct_keys : int;  (* drives the audit sampling cadence *)
   mutable settled : int;  (* client-visible job responses emitted *)
-  mutable client_eof : bool;
-  mutable client_gone : bool;
   mutable stop : bool;
-  client_out : Unix.file_descr;
-  client_buf : Buffer.t;
+  mutable clients : client list;
+  mutable next_client : int;
+  sink : client;  (* never-written destination for router-internal dispatches *)
+  mutable listen : Unix.file_descr option;
+  mutable accepts_left : int;  (* 0 = no more accepts; < 0 = unlimited *)
+  mutable rng : int64;  (* deterministic jitter state *)
+  rstore : Fs.t option;  (* persistent replay tier, when configured *)
+  rkeys : (int64, Keys.t) Hashtbl.t;  (* key_seed -> derived device keys *)
 }
 
 let fire t e = match t.cfg.on_event with Some f -> f e | None -> ()
@@ -194,25 +269,57 @@ let fire t e = match t.cfg.on_event with Some f -> f e | None -> ()
 let emit_obs t kind detail =
   if Obs.tracing t.obs then Obs.emit t.obs (Event.Service_error { kind; detail })
 
+(* Bounded deterministic jitter (an LCG stepped per draw): restart
+   storms across shards de-synchronize without consulting any global
+   randomness the tests could not replay. *)
+let jitter t bound =
+  t.rng <- Int64.add (Int64.mul t.rng 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.rem (Int64.shift_right_logical t.rng 33) (Int64.of_int (max 1 bound)))
+
 (* ---- client output ------------------------------------------------ *)
 
-(* Single-threaded full write: our NDJSON can tear only if the client
-   never reads it. A vanished client flips [client_gone]; jobs keep
-   settling internally so the terminal counters still conserve. *)
-let write_client t line =
-  if not t.client_gone then begin
-    let data = Bytes.of_string (line ^ "\n") in
-    let len = Bytes.length data in
+(* Push as much buffered output as the client will take right now.
+   Blocking fds (the legacy pipe front) drain fully — our NDJSON can
+   tear only if the client never reads it; nonblocking fds (accepted
+   sockets, fault-scenario pipes) keep the remainder buffered for the
+   select loop's write set. A vanished client flips [cl_gone]; jobs
+   keep settling internally so the terminal counters still conserve. *)
+let flush_client cl =
+  if (not cl.cl_gone) && Buffer.length cl.cl_wbuf > 0 then begin
+    let s = Buffer.contents cl.cl_wbuf in
+    let len = String.length s in
+    let data = Bytes.unsafe_of_string s in
     let rec push off =
-      if off < len then
-        match Unix.write t.client_out data off (len - off) with
+      if off >= len then begin
+        Buffer.clear cl.cl_wbuf;
+        cl.cl_drain_deadline <- 0.0
+      end
+      else
+        match Unix.write cl.cl_out data off (len - off) with
         | n -> push (off + n)
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Buffer.clear cl.cl_wbuf;
+          Buffer.add_substring cl.cl_wbuf s off (len - off)
     in
     try push 0
     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-      t.client_gone <- true
+      Buffer.clear cl.cl_wbuf;
+      cl.cl_gone <- true
   end
+
+let write_client cl line =
+  if not cl.cl_gone then begin
+    Buffer.add_string cl.cl_wbuf line;
+    Buffer.add_char cl.cl_wbuf '\n';
+    flush_client cl
+  end
+
+(* Every admitted request is answered exactly once; [deliver] is the
+   single place that retires the admission debt. *)
+let deliver cl line =
+  cl.cl_pending <- cl.cl_pending - 1;
+  write_client cl line
 
 (* ---- response JSON plumbing --------------------------------------- *)
 
@@ -249,7 +356,7 @@ let count_status t ss status latency_ms =
 (* Emit one client-visible response from template fields, rewriting the
    per-request metadata. [shard_stats] attributes done-counts/latency to
    the serving shard (None for router-origin verdicts and replays). *)
-let emit_from_fields t ~id ~seq ~admit ~attempts ~worker ~shard_stats fields =
+let emit_from_fields t cl ~id ~seq ~admit ~attempts ~worker ~shard_stats fields =
   let lat = (Clock.mono_s () -. admit) *. 1000.0 in
   let fields =
     set_field
@@ -265,7 +372,7 @@ let emit_from_fields t ~id ~seq ~admit ~attempts ~worker ~shard_stats fields =
   t.completion <- t.completion + 1;
   let status = Option.value ~default:"failed" (get_str fields "status") in
   count_status t shard_stats status lat;
-  write_client t (J.to_string (J.Obj fields))
+  deliver cl (J.to_string (J.Obj fields))
 
 let metadata_fields =
   [ "id"; "op"; "status"; "seq"; "completion"; "attempts"; "worker"; "latency_ms"; "ts_unix" ]
@@ -291,7 +398,7 @@ let make_cached ~worker fields =
    pre-rendered payload tail — a duplicate costs microseconds, which is
    where the fleet's throughput edge over a single-process serve comes
    from on duplicate-heavy mixes. *)
-let emit_replay t ~id ~seq ~admit (c : cached) =
+let emit_replay t cl ~id ~seq ~admit (c : cached) =
   let lat = (Clock.mono_s () -. admit) *. 1000.0 in
   let head =
     J.to_string
@@ -303,12 +410,12 @@ let emit_replay t ~id ~seq ~admit (c : cached) =
   t.completion <- t.completion + 1;
   t.stats.replays <- t.stats.replays + 1;
   count_status t None c.t_status lat;
-  write_client t (String.sub head 0 (String.length head - 1) ^ c.t_tail ^ "}")
+  deliver cl (String.sub head 0 (String.length head - 1) ^ c.t_tail ^ "}")
 
 (* A verdict the router itself must hand down (no healthy shard, a job
    that kills every child it touches, an unresolved integrity conflict).
    Honest failure, standard wire schema. *)
-let emit_router_failure t ~id ~op ~seq ~admit msg =
+let emit_router_failure t cl ~id ~op ~seq ~admit msg =
   let resp =
     {
       Job.id;
@@ -324,7 +431,61 @@ let emit_router_failure t ~id ~op ~seq ~admit msg =
   in
   t.completion <- t.completion + 1;
   count_status t None "failed" resp.Job.latency_ms;
-  write_client t (Job.response_to_line resp)
+  deliver cl (Job.response_to_line resp)
+
+(* ---- the persistent replay tier ----------------------------------- *)
+
+(* A Replay envelope is sealed under the request's own derived device
+   keys: the payload is the cached template rendered as one JSON
+   object, and the envelope source is the router's content key — so a
+   reload re-checks kind, codec, nonce, key fingerprint, CRC, CBC-MAC
+   and the full source text, and store_fs additionally re-derives the
+   payload's 64-bit fingerprint (store_replay meta) before a byte is
+   believed. A failed check is a miss, never served. *)
+
+let replay_keys t seed =
+  match Hashtbl.find_opt t.rkeys seed with
+  | Some k -> k
+  | None ->
+    let k = Keys.generate ~seed in
+    Hashtbl.add t.rkeys seed k;
+    k
+
+let cached_payload (c : cached) =
+  Bytes.of_string
+    (J.to_string
+       (J.Obj
+          [ ("op", J.Str c.t_op); ("status", J.Str c.t_status);
+            ("worker", J.Int c.t_worker); ("ts", c.t_ts); ("tail", J.Str c.t_tail) ]))
+
+let cached_of_payload payload =
+  match J.parse_opt (Bytes.to_string payload) with
+  | Some (J.Obj fields) -> (
+    match
+      ( get_str fields "op", get_str fields "status",
+        List.assoc_opt "worker" fields, List.assoc_opt "ts" fields,
+        get_str fields "tail" )
+    with
+    | Some op, Some status, Some (J.Int worker), Some ts, Some tail ->
+      Some { t_op = op; t_status = status; t_worker = worker; t_ts = ts; t_tail = tail }
+    | _ -> None)
+  | _ -> None
+
+let disk_replay_store t (req : Job.request) key c =
+  match t.rstore with
+  | Some rs when t.cfg.replay && key <> "" ->
+    Fs.store_replay rs ~backend:req.Job.backend ~keys:(replay_keys t req.Job.key_seed)
+      ~nonce:req.Job.nonce ~source:key ~payload:(cached_payload c)
+  | _ -> ()
+
+let disk_replay_load t (req : Job.request) key =
+  match t.rstore with
+  | Some rs when t.cfg.replay && key <> "" ->
+    Option.bind
+      (Fs.load_replay rs ~backend:req.Job.backend ~keys:(replay_keys t req.Job.key_seed)
+         ~nonce:req.Job.nonce ~source:key)
+      cached_of_payload
+  | _ -> None
 
 (* ---- shard selection ---------------------------------------------- *)
 
@@ -336,7 +497,8 @@ let healthy_count t =
 (* Content-hash routing with quarantine fallback: a quarantined home
    shard re-sheds deterministically to the next healthy one (scanning
    up), so even degraded routing stays a pure function of (request,
-   quarantine set). *)
+   quarantine set). A rejoined shard becomes healthy again, so its
+   traffic re-sheds back home through this same function. *)
 let effective_shard t req =
   let n = Array.length t.kids in
   let s0 = Shard.route ~shards:n req in
@@ -407,6 +569,7 @@ let rec pump t k =
   let ch = t.kids.(k) in
   if
     (not ch.cs.ss_quarantined)
+    && ch.c.Child.fd <> None
     && Hashtbl.length ch.c_outstanding < t.cfg.window
     && not (Queue.is_empty ch.c_queue)
   then begin
@@ -432,56 +595,97 @@ and enqueue t k d =
    are re-dispatched to the replacement (or re-shed / failed once their
    incarnation budget is gone), audits are abandoned in the primary's
    favour, probes evaporate. Mirrors PR 4's worker-crash rule — record
-   the death and spawn the replacement BEFORE settling the victims — at
-   process scope. *)
+   the death and schedule the replacement BEFORE settling the victims —
+   at process scope. The replacement is deferred: exponential backoff
+   with jitter, bounded by a restart budget over a sliding window, so a
+   poison environment produces a paced, bounded restart storm rather
+   than a hot loop. *)
 and handle_death t k reason =
   let ch = t.kids.(k) in
   if ch.c.Child.fd <> None || Child.alive ch.c.Child.pid then begin
-    let orphans = Hashtbl.fold (fun _ d acc -> d :: acc) ch.c_outstanding [] in
-    let parked = List.of_seq (Queue.to_seq ch.c_queue) in
-    Hashtbl.reset ch.c_outstanding;
-    Queue.clear ch.c_queue;
-    ch.c_probe_out <- false;
-    Child.kill ch.c;
-    t.stats.deaths <- t.stats.deaths + 1;
-    ch.cs.ss_deaths <- ch.cs.ss_deaths + 1;
-    ch.c_consec_deaths <- ch.c_consec_deaths + 1;
-    emit_obs t "fleet_child_death"
-      (Printf.sprintf "shard %d: %s (consecutive %d)" k reason ch.c_consec_deaths);
-    fire t (Child_down (k, reason));
-    let tripped =
-      t.cfg.breaker_threshold > 0 && ch.c_consec_deaths >= t.cfg.breaker_threshold
-    in
-    if tripped then quarantine t k "breaker: repeated child deaths"
+    if ch.cs.ss_quarantined then begin
+      (* a probation incarnation died: the shard is already out of
+         service and owes no client anything beyond probes — back to
+         cooldown, no death accounting *)
+      Hashtbl.reset ch.c_outstanding;
+      Queue.clear ch.c_queue;
+      ch.c_probe_out <- false;
+      Child.kill ch.c;
+      ch.c_probation <- -1;
+      ch.c_quar_since <- Clock.mono_s ();
+      emit_obs t "fleet_probation_death" (Printf.sprintf "shard %d: %s" k reason)
+    end
     else begin
-      (try
-         Child.restart ch.c ~cli:t.cli ~args:ch.c_args
-           ~connect_timeout_s:t.cfg.connect_timeout_s;
-         ch.c_last_rx <- Clock.mono_s ();
-         t.stats.restarts <- t.stats.restarts + 1;
-         ch.cs.ss_restarts <- ch.cs.ss_restarts + 1;
-         fire t (Child_up (k, ch.c.Child.pid))
-       with Child.Child_failed m ->
-         emit_obs t "fleet_child_restart_failed" m;
-         quarantine t k ("restart failed: " ^ m))
-    end;
-    (* settle the orphans only after the supervision state is updated;
-       orphans first so a killer job re-dispatches ahead of parked work
-       (keeping its deaths consecutive for the breaker), and only
-       orphans consume an incarnation try — a parked job never touched
-       the dead child *)
-    List.iter (redispatch t ~dispatched:true) (List.rev orphans);
-    List.iter (redispatch t ~dispatched:false) parked
+      let orphans = Hashtbl.fold (fun _ d acc -> d :: acc) ch.c_outstanding [] in
+      let parked = List.of_seq (Queue.to_seq ch.c_queue) in
+      Hashtbl.reset ch.c_outstanding;
+      Queue.clear ch.c_queue;
+      ch.c_probe_out <- false;
+      Child.kill ch.c;
+      t.stats.deaths <- t.stats.deaths + 1;
+      ch.cs.ss_deaths <- ch.cs.ss_deaths + 1;
+      ch.c_consec_deaths <- ch.c_consec_deaths + 1;
+      emit_obs t "fleet_child_death"
+        (Printf.sprintf "shard %d: %s (consecutive %d)" k reason ch.c_consec_deaths);
+      fire t (Child_down (k, reason));
+      let tripped =
+        t.cfg.breaker_threshold > 0 && ch.c_consec_deaths >= t.cfg.breaker_threshold
+      in
+      if tripped then quarantine t k ~cause:Breaker "breaker: repeated child deaths"
+      else begin
+        let now = Clock.mono_s () in
+        let window_s = float_of_int t.cfg.restart_budget_window_ms /. 1000.0 in
+        ch.c_restart_times <-
+          List.filter (fun ts -> now -. ts <= window_s) ch.c_restart_times;
+        if
+          t.cfg.restart_budget > 0
+          && List.length ch.c_restart_times >= t.cfg.restart_budget
+        then quarantine t k ~cause:Breaker "restart budget exhausted"
+        else begin
+          (* schedule the replacement: 2^(deaths-1) * base, capped, plus
+             up to 25% deterministic jitter *)
+          let expo =
+            min t.cfg.restart_backoff_max_ms
+              (max 1 t.cfg.restart_backoff_ms
+               * (1 lsl min 16 (max 0 (ch.c_consec_deaths - 1))))
+          in
+          let delay_ms = expo + jitter t ((expo / 4) + 1) in
+          ch.c_restart_at <- now +. (float_of_int delay_ms /. 1000.0);
+          t.stats.backoffs <- t.stats.backoffs + 1;
+          emit_obs t "fleet_restart_backoff"
+            (Printf.sprintf "shard %d: restart in %dms (death %d)" k delay_ms
+               ch.c_consec_deaths)
+        end
+      end;
+      (* settle the orphans only after the supervision state is updated;
+         orphans first so a killer job re-dispatches ahead of parked work
+         (keeping its deaths consecutive for the breaker), and only
+         orphans consume an incarnation try — a parked job never touched
+         the dead child. Work re-routed to this same (still healthy)
+         shard parks in its queue until the deferred restart pumps it. *)
+      List.iter (redispatch t ~dispatched:true) (List.rev orphans);
+      List.iter (redispatch t ~dispatched:false) parked
+    end
   end
 
-(* Permanent removal from service: the breaker at process scope, and
-   the only correct answer to a child caught lying about a content
-   hash. Kill it, never restart it, re-shed its traffic. *)
-and quarantine t k reason =
+(* Removal from service: the breaker at process scope, and the only
+   correct answer to a child caught lying about a content hash. Kill
+   it and re-shed its traffic. A [Breaker] quarantine is a suspicion
+   about the environment — the shard earns its way back through
+   cooldown + probation probes (see [tick]); an [Integrity] quarantine
+   is permanent. *)
+and quarantine t k ~cause reason =
   let ch = t.kids.(k) in
   if not ch.cs.ss_quarantined then begin
     ch.cs.ss_quarantined <- true;
+    ch.c_quar <- Some cause;
+    ch.c_quar_since <- Clock.mono_s ();
+    ch.c_probation <- -1;
+    ch.c_restart_at <- 0.0;
     t.stats.quarantines <- t.stats.quarantines + 1;
+    (match cause with
+     | Breaker -> t.stats.quar_breaker <- t.stats.quar_breaker + 1
+     | Integrity -> t.stats.quar_integrity <- t.stats.quar_integrity + 1);
     emit_obs t "fleet_quarantine" (Printf.sprintf "shard %d: %s" k reason);
     fire t (Child_down (k, "quarantined: " ^ reason));
     let orphans = Hashtbl.fold (fun _ d acc -> d :: acc) ch.c_outstanding [] in
@@ -522,8 +726,8 @@ and redispatch t ~dispatched d =
          child processes — fail it rather than grind the fleet down
          (the PR 4 rule that a crash loop is bounded by crashing jobs,
          at process scope) *)
-      emit_router_failure t ~id:d.d_req.Job.id ~op:(Job.op_name d.d_req.Job.spec)
-        ~seq:d.d_seq ~admit:d.d_admit
+      emit_router_failure t d.d_client ~id:d.d_req.Job.id
+        ~op:(Job.op_name d.d_req.Job.spec) ~seq:d.d_seq ~admit:d.d_admit
         (Printf.sprintf "job killed its shard child %d times" d.d_tries);
       settle_key_failure t d
         (Printf.sprintf "job killed its shard child %d times" d.d_tries)
@@ -532,8 +736,9 @@ and redispatch t ~dispatched d =
       match effective_shard t d.d_req with
       | Some k -> enqueue t k d
       | None ->
-        emit_router_failure t ~id:d.d_req.Job.id ~op:(Job.op_name d.d_req.Job.spec)
-          ~seq:d.d_seq ~admit:d.d_admit "no healthy shard available";
+        emit_router_failure t d.d_client ~id:d.d_req.Job.id
+          ~op:(Job.op_name d.d_req.Job.spec) ~seq:d.d_seq ~admit:d.d_admit
+          "no healthy shard available";
         settle_key_failure t d "no healthy shard available"
     end
 
@@ -546,8 +751,8 @@ and settle_key_failure t d msg =
      | Some ws ->
        List.iter
          (fun w ->
-           emit_router_failure t ~id:w.w_id ~op:(Job.op_name d.d_req.Job.spec)
-             ~seq:w.w_seq ~admit:w.w_admit msg)
+           emit_router_failure t w.w_client ~id:w.w_id
+             ~op:(Job.op_name d.d_req.Job.spec) ~seq:w.w_seq ~admit:w.w_admit msg)
          (List.rev !ws)
      | None -> ());
     Hashtbl.remove t.waiters d.d_key;
@@ -558,8 +763,8 @@ and settle_key_failure t d msg =
 
 and finalize_conflict_failure t st msg =
   let d = st.a_primary in
-  emit_router_failure t ~id:d.d_req.Job.id ~op:(Job.op_name d.d_req.Job.spec) ~seq:d.d_seq
-    ~admit:d.d_admit msg;
+  emit_router_failure t d.d_client ~id:d.d_req.Job.id ~op:(Job.op_name d.d_req.Job.spec)
+    ~seq:d.d_seq ~admit:d.d_admit msg;
   settle_key_failure t d msg
 
 (* Both the primary and the audit answered (or the audit was
@@ -590,6 +795,7 @@ and conclude_audit t p_iid st =
             d_seq = -1;
             d_admit = Clock.mono_s ();
             d_kind = Tiebreak p_iid;
+            d_client = st.a_primary.d_client;
             d_tries = 0;
             d_shard = third;
           }
@@ -603,8 +809,8 @@ and conclude_audit t p_iid st =
            later, so order by index descending to stay deterministic) *)
         Hashtbl.remove t.audits p_iid;
         let a, b = (st.a_primary.d_shard, st.a_a_shard) in
-        quarantine t (max a b) "unresolvable integrity conflict";
-        quarantine t (min a b) "unresolvable integrity conflict";
+        quarantine t (max a b) ~cause:Integrity "unresolvable integrity conflict";
+        quarantine t (min a b) ~cause:Integrity "unresolvable integrity conflict";
         finalize_conflict_failure t st
           "response integrity conflict with no healthy quorum"
     end
@@ -617,33 +823,36 @@ and conclude_tiebreak t p_iid st ~t_fields ~t_fp =
   let pfp = Option.get st.a_p_fp and d = st.a_primary in
   let afp = Option.get st.a_a_fp in
   if String.equal t_fp pfp then begin
-    quarantine t st.a_a_shard "audit digest mismatch (outvoted 2-1)";
+    quarantine t st.a_a_shard ~cause:Integrity "audit digest mismatch (outvoted 2-1)";
     match st.a_p_fields with
     | Some fields -> finalize_primary t d fields
     | None -> finalize_conflict_failure t st "integrity vote lost the primary response"
   end
   else if String.equal t_fp afp then begin
-    quarantine t d.d_shard "served a wrong content hash (outvoted 2-1)";
+    quarantine t d.d_shard ~cause:Integrity "served a wrong content hash (outvoted 2-1)";
     (* the tiebreak child's answer is the agreed majority payload; serve
        it under the client's identifiers *)
     finalize_primary t d t_fields
   end
   else begin
-    quarantine t st.a_t_shard "integrity vote: three-way disagreement";
-    quarantine t (max d.d_shard st.a_a_shard) "integrity vote: three-way disagreement";
-    quarantine t (min d.d_shard st.a_a_shard) "integrity vote: three-way disagreement";
+    quarantine t st.a_t_shard ~cause:Integrity "integrity vote: three-way disagreement";
+    quarantine t (max d.d_shard st.a_a_shard) ~cause:Integrity
+      "integrity vote: three-way disagreement";
+    quarantine t (min d.d_shard st.a_a_shard) ~cause:Integrity
+      "integrity vote: three-way disagreement";
     finalize_conflict_failure t st "response integrity conflict: three-way disagreement"
   end
 
 (* ---- settling primaries ------------------------------------------- *)
 
 (* Forward one primary child response to the client, fill the replay
-   cache, and release every parked duplicate with the same template —
-   the byte-identical payload guarantee is this single code path. *)
+   cache (and its persistent tier), and release every parked duplicate
+   with the same template — the byte-identical payload guarantee is
+   this single code path. *)
 and finalize_primary t d fields =
   let status = Option.value ~default:"failed" (get_str fields "status") in
   let ss = if d.d_shard >= 0 then Some t.kids.(d.d_shard).cs else None in
-  emit_from_fields t ~id:d.d_req.Job.id ~seq:d.d_seq ~admit:d.d_admit
+  emit_from_fields t d.d_client ~id:d.d_req.Job.id ~seq:d.d_seq ~admit:d.d_admit
     ~attempts:(match List.assoc_opt "attempts" fields with Some (J.Int n) -> n | _ -> 0)
     ~worker:d.d_shard ~shard_stats:ss fields;
   if d.d_key <> "" then begin
@@ -651,6 +860,7 @@ and finalize_primary t d fields =
       if status = "done" then begin
         let c = make_cached ~worker:d.d_shard fields in
         if t.cfg.replay then Hashtbl.replace t.cache d.d_key c;
+        disk_replay_store t d.d_req d.d_key c;
         Some c
       end
       else None
@@ -660,11 +870,11 @@ and finalize_primary t d fields =
        List.iter
          (fun w ->
            match c with
-           | Some c -> emit_replay t ~id:w.w_id ~seq:w.w_seq ~admit:w.w_admit c
+           | Some c -> emit_replay t w.w_client ~id:w.w_id ~seq:w.w_seq ~admit:w.w_admit c
            | None ->
              t.stats.replays <- t.stats.replays + 1;
-             emit_from_fields t ~id:w.w_id ~seq:w.w_seq ~admit:w.w_admit ~attempts:0
-               ~worker:d.d_shard ~shard_stats:None fields)
+             emit_from_fields t w.w_client ~id:w.w_id ~seq:w.w_seq ~admit:w.w_admit
+               ~attempts:0 ~worker:d.d_shard ~shard_stats:None fields)
          (List.rev !ws)
      | None -> ());
     Hashtbl.remove t.waiters d.d_key
@@ -690,7 +900,25 @@ let handle_child_line t k line =
       | Some d -> (
         Hashtbl.remove ch.c_outstanding iid;
         (match d.d_kind with
-         | Probe -> ch.c_probe_out <- false
+         | Probe ->
+           ch.c_probe_out <- false;
+           (* probation: a quarantined-by-breaker shard earns its way
+              back with K consecutive clean probe responses *)
+           if ch.cs.ss_quarantined && ch.c_probation >= 0 then begin
+             ch.c_probation <- ch.c_probation + 1;
+             if ch.c_probation >= t.cfg.rejoin_probes then begin
+               ch.cs.ss_quarantined <- false;
+               ch.c_quar <- None;
+               ch.c_probation <- -1;
+               ch.c_consec_deaths <- 0;
+               ch.c_restart_times <- [];
+               t.stats.rejoins <- t.stats.rejoins + 1;
+               emit_obs t "fleet_rejoin"
+                 (Printf.sprintf "shard %d re-admitted after %d clean probes" k
+                    t.cfg.rejoin_probes);
+               fire t (Child_rejoin (k, ch.cs.ss_routed))
+             end
+           end
          | Primary -> (
            let fields =
              set_field fields "worker" (J.Int k)
@@ -723,82 +951,94 @@ let handle_child_line t k line =
 
 (* ---- admission ---------------------------------------------------- *)
 
-let admit t (req : Job.request) =
+let admit t cl (req : Job.request) =
   t.stats.submitted <- t.stats.submitted + 1;
+  cl.cl_pending <- cl.cl_pending + 1;
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
   let admit_t = Clock.mono_s () in
   let key = if t.cfg.replay && Shard.replayable req then Shard.content_key req else "" in
   if key <> "" && Hashtbl.mem t.cache key then
-    emit_replay t ~id:req.Job.id ~seq ~admit:admit_t (Hashtbl.find t.cache key)
+    emit_replay t cl ~id:req.Job.id ~seq ~admit:admit_t (Hashtbl.find t.cache key)
   else if key <> "" && Hashtbl.mem t.waiters key then begin
     t.stats.coalesced <- t.stats.coalesced + 1;
     let ws = Hashtbl.find t.waiters key in
-    ws := { w_id = req.Job.id; w_seq = seq; w_admit = admit_t } :: !ws
+    ws := { w_id = req.Job.id; w_seq = seq; w_admit = admit_t; w_client = cl } :: !ws
   end
   else begin
-    if key <> "" then begin
-      Hashtbl.replace t.waiters key (ref []);
-      t.distinct_keys <- t.distinct_keys + 1
-    end;
-    match effective_shard t req with
-    | None ->
-      emit_router_failure t ~id:req.Job.id ~op:(Job.op_name req.Job.spec) ~seq
-        ~admit:admit_t "no healthy shard available";
-      if key <> "" then Hashtbl.remove t.waiters key
-    | Some k ->
-      let iid = Printf.sprintf "j%d" t.next_iid in
-      t.next_iid <- t.next_iid + 1;
-      let d =
-        {
-          d_iid = iid;
-          d_req = req;
-          d_key = key;
-          d_seq = seq;
-          d_admit = admit_t;
-          d_kind = Primary;
-          d_tries = 0;
-          d_shard = k;
-        }
-      in
-      (* audit sampling: every Nth distinct content key is shadow-
-         dispatched to a second shard; the client response is held for
-         the verdict, so an audited lie never reaches a client at all *)
-      (if
-         t.cfg.audit_every > 0 && key <> ""
-         && t.distinct_keys mod t.cfg.audit_every = 0
-         && healthy_count t >= 2
-       then
-         match next_healthy_excluding t ~avoid:[ k ] with
-         | Some ak ->
-           t.stats.audits <- t.stats.audits + 1;
-           let a_iid = Printf.sprintf "a%d" t.next_iid in
-           t.next_iid <- t.next_iid + 1;
-           Hashtbl.replace t.audits iid
-             {
-               a_primary = d;
-               a_p_fields = None;
-               a_p_fp = None;
-               a_a_shard = ak;
-               a_a_fp = None;
-               a_t_shard = -1;
-               a_abandoned = false;
-             };
-           let ad =
-             {
-               d_iid = a_iid;
-               d_req = req;
-               d_key = "";
-               d_seq = -1;
-               d_admit = admit_t;
-               d_kind = Audit iid;
-               d_tries = 0;
-               d_shard = ak;
-             }
-           in
-           enqueue t ak ad
-         | None -> ());
-      enqueue t k d
+    match disk_replay_load t req key with
+    | Some c ->
+      (* the persistent tier survived a router restart: re-install the
+         template in the memory cache and serve it as an ordinary
+         replay — it already passed the full zero-trust reload *)
+      Hashtbl.replace t.cache key c;
+      t.stats.disk_replays <- t.stats.disk_replays + 1;
+      emit_replay t cl ~id:req.Job.id ~seq ~admit:admit_t c
+    | None -> (
+      if key <> "" then begin
+        Hashtbl.replace t.waiters key (ref []);
+        t.distinct_keys <- t.distinct_keys + 1
+      end;
+      match effective_shard t req with
+      | None ->
+        emit_router_failure t cl ~id:req.Job.id ~op:(Job.op_name req.Job.spec) ~seq
+          ~admit:admit_t "no healthy shard available";
+        if key <> "" then Hashtbl.remove t.waiters key
+      | Some k ->
+        let iid = Printf.sprintf "j%d" t.next_iid in
+        t.next_iid <- t.next_iid + 1;
+        let d =
+          {
+            d_iid = iid;
+            d_req = req;
+            d_key = key;
+            d_seq = seq;
+            d_admit = admit_t;
+            d_kind = Primary;
+            d_client = cl;
+            d_tries = 0;
+            d_shard = k;
+          }
+        in
+        (* audit sampling: every Nth distinct content key is shadow-
+           dispatched to a second shard; the client response is held for
+           the verdict, so an audited lie never reaches a client at all *)
+        (if
+           t.cfg.audit_every > 0 && key <> ""
+           && t.distinct_keys mod t.cfg.audit_every = 0
+           && healthy_count t >= 2
+         then
+           match next_healthy_excluding t ~avoid:[ k ] with
+           | Some ak ->
+             t.stats.audits <- t.stats.audits + 1;
+             let a_iid = Printf.sprintf "a%d" t.next_iid in
+             t.next_iid <- t.next_iid + 1;
+             Hashtbl.replace t.audits iid
+               {
+                 a_primary = d;
+                 a_p_fields = None;
+                 a_p_fp = None;
+                 a_a_shard = ak;
+                 a_a_fp = None;
+                 a_t_shard = -1;
+                 a_abandoned = false;
+               };
+             let ad =
+               {
+                 d_iid = a_iid;
+                 d_req = req;
+                 d_key = "";
+                 d_seq = -1;
+                 d_admit = admit_t;
+                 d_kind = Audit iid;
+                 d_client = t.sink;
+                 d_tries = 0;
+                 d_shard = ak;
+               }
+             in
+             enqueue t ak ad
+           | None -> ());
+        enqueue t k d)
   end
 
 (* Textual id/tail split of a raw request line. Our own serializer puts
@@ -829,7 +1069,7 @@ let split_id_tail line =
    cached response or coalesces onto the in-flight primary. Everything
    else (first occurrence, non-replayable op, unusual framing) goes
    through the full parser, which also teaches the memo. *)
-let admit_line t line =
+let admit_line t cl line =
   let fast =
     if not t.cfg.replay then None
     else
@@ -849,14 +1089,15 @@ let admit_line t line =
   match fast with
   | Some action ->
     t.stats.submitted <- t.stats.submitted + 1;
+    cl.cl_pending <- cl.cl_pending + 1;
     let seq = t.next_seq in
     t.next_seq <- t.next_seq + 1;
     let at = Clock.mono_s () in
     (match action with
-     | `Replay (id, c) -> emit_replay t ~id ~seq ~admit:at c
+     | `Replay (id, c) -> emit_replay t cl ~id ~seq ~admit:at c
      | `Coalesce (id, ws) ->
        t.stats.coalesced <- t.stats.coalesced + 1;
-       ws := { w_id = id; w_seq = seq; w_admit = at } :: !ws);
+       ws := { w_id = id; w_seq = seq; w_admit = at; w_client = cl } :: !ws);
     Ok ()
   | None -> (
     (* parse with the fleet's own default backend: a request without a
@@ -870,14 +1111,14 @@ let admit_line t line =
          Hashtbl.replace t.memo tail
            (if Shard.replayable req then Shard.content_key req else "")
        | None -> ());
-      admit t req;
+      admit t cl req;
       Ok ()
     | Error msg -> Error msg)
 
-let handle_client_line t line =
+let handle_client_line t cl line =
   t.stats.received <- t.stats.received + 1;
   if String.trim line <> "" then
-    match admit_line t line with
+    match admit_line t cl line with
     | Ok () -> ()
     | Error msg ->
       (* malformed lines are answered by the router itself; children
@@ -886,9 +1127,31 @@ let handle_client_line t line =
       let id = Option.bind (J.parse_opt line) (fun j ->
           match J.member "id" j with Some (J.Str s) -> Some s | _ -> None)
       in
-      write_client t (Job.error_line ~id msg)
+      write_client cl (Job.error_line ~id msg)
 
-(* ---- housekeeping: probes + watchdog ------------------------------ *)
+(* ---- housekeeping: probes + watchdog + restarts + rejoin ---------- *)
+
+let send_probe t k now =
+  let ch = t.kids.(k) in
+  let iid = Printf.sprintf "p%d" t.next_iid in
+  t.next_iid <- t.next_iid + 1;
+  let d =
+    {
+      d_iid = iid;
+      d_req = Job.make ~id:iid Job.Ping;
+      d_key = "";
+      d_seq = -1;
+      d_admit = now;
+      d_kind = Probe;
+      d_client = t.sink;
+      d_tries = 0;
+      d_shard = k;
+    }
+  in
+  ch.c_probe_out <- true;
+  Hashtbl.replace ch.c_outstanding iid d;
+  if not (Child.send_line ch.c (request_line d)) then
+    handle_death t k "write failed (probe)"
 
 let tick t =
   let now = Clock.mono_s () in
@@ -896,7 +1159,58 @@ let tick t =
   let hang_s = float_of_int t.cfg.hang_timeout_ms /. 1000.0 in
   Array.iteri
     (fun k ch ->
-      if (not ch.cs.ss_quarantined) && ch.c.Child.fd <> None then begin
+      if ch.cs.ss_quarantined then begin
+        (* breaker quarantines are probed back to life; integrity
+           quarantines never are *)
+        match ch.c_quar with
+        | Some Breaker when t.cfg.rejoin_cooldown_ms > 0 && not t.stop ->
+          if ch.c.Child.fd = None then begin
+            if now -. ch.c_quar_since >= float_of_int t.cfg.rejoin_cooldown_ms /. 1000.0
+            then begin
+              try
+                Child.restart ch.c ~cli:t.cli ~args:ch.c_args
+                  ~connect_timeout_s:t.cfg.connect_timeout_s;
+                ch.c_probation <- 0;
+                ch.c_probe_out <- false;
+                ch.c_last_rx <- now;
+                emit_obs t "fleet_probation_start" (Printf.sprintf "shard %d" k);
+                fire t (Child_up (k, ch.c.Child.pid))
+              with Child.Child_failed m ->
+                emit_obs t "fleet_probation_restart_failed" m;
+                ch.c_quar_since <- now
+            end
+          end
+          else if
+            t.cfg.hang_timeout_ms > 0 && ch.c_probe_out && now -. ch.c_last_rx >= hang_s
+          then handle_death t k "probation watchdog: hang timeout"
+          else if
+            t.cfg.probe_interval_ms > 0 && (not ch.c_probe_out)
+            && now -. ch.c_last_rx >= probe_s
+          then send_probe t k now
+        | _ -> ()
+      end
+      else if ch.c.Child.fd = None then begin
+        (* deferred crash-restart, once its backoff delay has elapsed —
+           the shard stays formally healthy meanwhile, parking its
+           routed work. Restarts proceed even during a stop/drain so
+           parked work can still settle. *)
+        if ch.c_restart_at > 0.0 && now >= ch.c_restart_at then begin
+          ch.c_restart_at <- 0.0;
+          try
+            Child.restart ch.c ~cli:t.cli ~args:ch.c_args
+              ~connect_timeout_s:t.cfg.connect_timeout_s;
+            ch.c_last_rx <- now;
+            ch.c_restart_times <- now :: ch.c_restart_times;
+            t.stats.restarts <- t.stats.restarts + 1;
+            ch.cs.ss_restarts <- ch.cs.ss_restarts + 1;
+            fire t (Child_up (k, ch.c.Child.pid));
+            pump t k
+          with Child.Child_failed m ->
+            emit_obs t "fleet_child_restart_failed" m;
+            quarantine t k ~cause:Breaker ("restart failed: " ^ m)
+        end
+      end
+      else begin
         (* watchdog: traffic owed (jobs or a probe in flight) and
            nothing received for a whole hang timeout — the child is
            wedged. Unlike a hung domain, a hung process can be killed;
@@ -916,28 +1230,29 @@ let tick t =
           t.cfg.probe_interval_ms > 0
           && (not ch.c_probe_out)
           && now -. ch.c_last_rx >= probe_s
-        then begin
-          let iid = Printf.sprintf "p%d" t.next_iid in
-          t.next_iid <- t.next_iid + 1;
-          let d =
-            {
-              d_iid = iid;
-              d_req = Job.make ~id:iid Job.Ping;
-              d_key = "";
-              d_seq = -1;
-              d_admit = now;
-              d_kind = Probe;
-              d_tries = 0;
-              d_shard = k;
-            }
-          in
-          ch.c_probe_out <- true;
-          Hashtbl.replace ch.c_outstanding iid d;
-          if not (Child.send_line ch.c (request_line d)) then
-            handle_death t k "write failed (probe)"
-        end
+        then send_probe t k now
       end)
-    t.kids
+    t.kids;
+  (* slow-client isolation: a client whose write buffer has not fully
+     drained within the linger is dropped — its fds stop mattering,
+     its jobs keep settling internally, and nobody else ever waited *)
+  if t.cfg.client_linger_ms > 0 then
+    List.iter
+      (fun cl ->
+        if (not cl.cl_gone) && Buffer.length cl.cl_wbuf > 0 then begin
+          if cl.cl_drain_deadline = 0.0 then
+            cl.cl_drain_deadline <-
+              now +. (float_of_int t.cfg.client_linger_ms /. 1000.0)
+          else if now >= cl.cl_drain_deadline then begin
+            Buffer.clear cl.cl_wbuf;
+            cl.cl_gone <- true;
+            t.stats.slow_client_drops <- t.stats.slow_client_drops + 1;
+            emit_obs t "fleet_slow_client_drop"
+              (Printf.sprintf "client %d: write buffer undrained for %dms" cl.cl_id
+                 t.cfg.client_linger_ms)
+          end
+        end)
+      t.clients
 
 (* ---- metrics ------------------------------------------------------ *)
 
@@ -983,6 +1298,12 @@ let stats_json (s : stats) =
       ("quarantines", J.Int s.quarantines);
       ("resheds", J.Int s.resheds);
       ("interrupted", J.Bool s.interrupted);
+      ("backoffs", J.Int s.backoffs);
+      ("rejoins", J.Int s.rejoins);
+      ("quar_breaker", J.Int s.quar_breaker);
+      ("quar_integrity", J.Int s.quar_integrity);
+      ("disk_replays", J.Int s.disk_replays);
+      ("slow_client_drops", J.Int s.slow_client_drops);
     ]
 
 (* The per-child serve metrics documents (written by `serve --json` at
@@ -1007,20 +1328,23 @@ let child_metrics_json t =
 
 let metrics_json t =
   J.Obj
-    [
-      ( "fleet",
-        J.Obj
-          [
-            ("children", J.Int t.cfg.children);
-            ("workers_per_child", J.Int t.cfg.workers);
-            ("window", J.Int t.cfg.window);
-            ("replay", J.Bool t.cfg.replay);
-            ("audit_every", J.Int t.cfg.audit_every);
-          ] );
-      ("router", stats_json t.stats);
-      ("shards", J.List (Array.to_list (Array.map shard_json t.kids)));
-      ("children_metrics", child_metrics_json t);
-    ]
+    ([
+       ( "fleet",
+         J.Obj
+           [
+             ("children", J.Int t.cfg.children);
+             ("workers_per_child", J.Int t.cfg.workers);
+             ("window", J.Int t.cfg.window);
+             ("replay", J.Bool t.cfg.replay);
+             ("audit_every", J.Int t.cfg.audit_every);
+           ] );
+       ("router", stats_json t.stats);
+       ("shards", J.List (Array.to_list (Array.map shard_json t.kids)));
+       ("children_metrics", child_metrics_json t);
+     ]
+    @ match t.rstore with
+      | Some rs -> [ ("replay_store", Fs.counters_json rs) ]
+      | None -> [])
 
 (* ---- main loop ---------------------------------------------------- *)
 
@@ -1047,6 +1371,49 @@ let fresh_dir () =
   mkdir_p d;
   d
 
+(* Startup janitor for a caller-provided socket dir, mirroring the
+   store_fs tmp janitor: a fleet killed with SIGKILL leaves dead
+   shard-*.sock files and metrics debris behind, and a fresh fleet
+   should not fail (or inherit stale metrics) because of them. Deletion
+   follows Wire.prepare_socket_path's rule exactly — a socket is
+   removed only after a probe connect proves nobody is listening
+   (ECONNREFUSED); a live socket is left for the child's own bind to
+   refuse, and a plain file squatting on the name is never deleted. *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let janitor_socket_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        if Filename.check_suffix name ".tmp" then
+          (try Sys.remove path with Sys_error _ -> ())
+        else if starts_with ~prefix:"metrics-" name && Filename.check_suffix name ".json"
+        then (try Sys.remove path with Sys_error _ -> ())
+        else if starts_with ~prefix:"shard-" name && Filename.check_suffix name ".sock"
+        then begin
+          match Unix.stat path with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | st ->
+            if st.Unix.st_kind = Unix.S_SOCK then begin
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              let dead =
+                match Unix.connect fd (Unix.ADDR_UNIX path) with
+                | () -> false (* a live fleet still owns it *)
+                | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+                  true
+                | exception Unix.Unix_error (_, _, _) -> false
+              in
+              (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+              if dead then try Sys.remove path with Sys_error _ -> ()
+            end
+        end)
+      entries
+
 let cleanup_dir t =
   Array.iter
     (fun ch ->
@@ -1059,7 +1426,21 @@ let cleanup_dir t =
     (List.init (Array.length t.kids) Fun.id);
   if t.dir_created then try Unix.rmdir t.dir with Unix.Unix_error _ -> ()
 
-let create ?(obs = Obs.none) cfg ~client_out =
+let sink_client () =
+  {
+    cl_id = -1;
+    cl_in = Unix.stdin;
+    cl_out = Unix.stdout;
+    cl_rbuf = Buffer.create 1;
+    cl_wbuf = Buffer.create 1;
+    cl_eof = true;
+    cl_gone = true;  (* writes are dropped; pending is never read *)
+    cl_pending = 0;
+    cl_drain_deadline = 0.0;
+    cl_owned = false;
+  }
+
+let create ?(obs = Obs.none) cfg =
   if cfg.children < 1 then invalid_arg "Router: children must be >= 1";
   let cli =
     match cfg.cli with
@@ -1073,8 +1454,12 @@ let create ?(obs = Obs.none) cfg ~client_out =
     match cfg.socket_dir with
     | Some d ->
       mkdir_p d;
+      janitor_socket_dir d;
       (d, false)
     | None -> (fresh_dir (), true)
+  in
+  let rstore =
+    Option.map (fun d -> Fs.open_store ~obs ~dir:d ()) cfg.replay_dir
   in
   let stats =
     {
@@ -1083,6 +1468,8 @@ let create ?(obs = Obs.none) cfg ~client_out =
       replays = 0; coalesced = 0; audits = 0; digest_conflicts = 0;
       deaths = 0; restarts = 0; hangs = 0; quarantines = 0; resheds = 0;
       interrupted = false;
+      backoffs = 0; rejoins = 0; quar_breaker = 0; quar_integrity = 0;
+      disk_replays = 0; slow_client_drops = 0;
       shards =
         Array.init cfg.children (fun k ->
             {
@@ -1100,17 +1487,23 @@ let create ?(obs = Obs.none) cfg ~client_out =
       waiters = Hashtbl.create 64;
       audits = Hashtbl.create 16;
       next_seq = 0; next_iid = 0; completion = 0; distinct_keys = 0; settled = 0;
-      client_eof = false; client_gone = false; stop = false;
-      client_out;
-      client_buf = Buffer.create 4096;
+      stop = false;
+      clients = [];
+      next_client = 0;
+      sink = sink_client ();
+      listen = None;
+      accepts_left = 0;
+      rng = 0x5EEDL;
+      rstore;
+      rkeys = Hashtbl.create 8;
     }
   in
   let kids =
     Array.init cfg.children (fun k ->
         let sock, args = child_args t0 k in
-        (* a stale socket file from a previous fleet is the child's
-           problem: serve's prepare_socket_path probe-connects and
-           unlinks dead ones (PR 4) — the router just spawns *)
+        (* a stale socket file from a previous fleet is cleared by the
+           janitor above (caller-provided dirs) and, as a second line,
+           by the child's own prepare_socket_path probe (PR 4) *)
         let c =
           Child.start ~cli ~args ~shard:k ~socket_path:sock
             ~connect_timeout_s:cfg.connect_timeout_s
@@ -1124,22 +1517,64 @@ let create ?(obs = Obs.none) cfg ~client_out =
           c_consec_deaths = 0;
           c_probe_out = false;
           c_args = args;
+          c_quar = None;
+          c_quar_since = 0.0;
+          c_probation = -1;
+          c_restart_at = 0.0;
+          c_restart_times = [];
         })
   in
   let t = { t0 with kids } in
   Array.iter (fun ch -> fire t (Child_up (ch.c.Child.shard, ch.c.Child.pid))) t.kids;
   t
 
-let take_client_lines t =
-  let s = Buffer.contents t.client_buf in
+let add_client t ~owned fd_in fd_out =
+  let cl =
+    {
+      cl_id = t.next_client;
+      cl_in = fd_in;
+      cl_out = fd_out;
+      cl_rbuf = Buffer.create 4096;
+      cl_wbuf = Buffer.create 4096;
+      cl_eof = false;
+      cl_gone = false;
+      cl_pending = 0;
+      cl_drain_deadline = 0.0;
+      cl_owned = owned;
+    }
+  in
+  t.next_client <- t.next_client + 1;
+  t.clients <- t.clients @ [ cl ];
+  cl
+
+let take_client_lines cl =
+  let s = Buffer.contents cl.cl_rbuf in
   match String.rindex_opt s '\n' with
   | None -> []
   | Some i ->
-    Buffer.clear t.client_buf;
-    Buffer.add_substring t.client_buf s (i + 1) (String.length s - i - 1);
+    Buffer.clear cl.cl_rbuf;
+    Buffer.add_substring cl.cl_rbuf s (i + 1) (String.length s - i - 1);
     String.split_on_char '\n' (String.sub s 0 i)
 
-let serve ?(signals = false) t ~client_in =
+let client_active cl = not (cl.cl_eof || cl.cl_gone)
+
+let accepting t = t.listen <> None && t.accepts_left <> 0 && not t.stop
+
+let clients_done t =
+  (not (accepting t)) && List.for_all (fun cl -> not (client_active cl)) t.clients
+
+let close_client_fds cl =
+  if cl.cl_owned then begin
+    (try Unix.close cl.cl_in with Unix.Unix_error (_, _, _) -> ());
+    if cl.cl_out != cl.cl_in then
+      try Unix.close cl.cl_out with Unix.Unix_error (_, _, _) -> ()
+  end
+
+(* Past this many bytes of undrained output we stop reading new
+   requests from that client — bounded memory per stalled reader. *)
+let client_wbuf_cap = 1 lsl 20
+
+let serve ?(signals = false) t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let signal_hits = ref 0 in
   let saved = ref [] in
@@ -1163,7 +1598,9 @@ let serve ?(signals = false) t ~client_in =
   end;
   let chunk = Bytes.create 65536 in
   let finished () =
-    (t.client_eof || t.client_gone || t.stop) && unsettled t = 0
+    (t.stop || clients_done t)
+    && unsettled t = 0
+    && List.for_all (fun cl -> cl.cl_gone || Buffer.length cl.cl_wbuf = 0) t.clients
   in
   while not (finished ()) do
     if (not t.stop) && !signal_hits > 0 then begin
@@ -1171,31 +1608,47 @@ let serve ?(signals = false) t ~client_in =
       t.stats.interrupted <- true
     end;
     let child_fds =
-      Array.to_list t.kids
-      |> List.filter_map (fun ch ->
-             if ch.cs.ss_quarantined then None else ch.c.Child.fd)
+      Array.to_list t.kids |> List.filter_map (fun ch -> ch.c.Child.fd)
     in
-    let want_client =
-      (not (t.client_eof || t.client_gone || t.stop))
-      (* simple flow control: past ~4 windows of unsettled work per
-         shard, stop pulling client input and let the socket buffer
-         push back — bounds router memory under open-loop overload *)
-      && unsettled t < 4 * t.cfg.window * Array.length t.kids
+    (* simple flow control: past ~4 windows of unsettled work per
+       shard, stop pulling client input and let the socket buffers
+       push back — bounds router memory under open-loop overload *)
+    let backlogged =
+      unsettled t >= 4 * t.cfg.window * Array.length t.kids
     in
-    let rset = (if want_client then [ client_in ] else []) @ child_fds in
-    let readable, _, _ =
-      try Unix.select rset [] [] 0.05
+    let client_rfds =
+      if t.stop || backlogged then []
+      else
+        List.filter_map
+          (fun cl ->
+            if client_active cl && Buffer.length cl.cl_wbuf < client_wbuf_cap then
+              Some cl.cl_in
+            else None)
+          t.clients
+    in
+    let listen_fds = if accepting t then Option.to_list t.listen else [] in
+    let wset =
+      List.filter_map
+        (fun cl ->
+          if (not cl.cl_gone) && Buffer.length cl.cl_wbuf > 0 then Some cl.cl_out
+          else None)
+        t.clients
+    in
+    let readable, writable, _ =
+      try Unix.select (child_fds @ client_rfds @ listen_fds) wset [] 0.05
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
     (* children first: responses free windows before new admissions *)
     Array.iteri
       (fun k ch ->
         match ch.c.Child.fd with
-        | Some fd when List.memq fd readable && not ch.cs.ss_quarantined -> (
+        | Some fd when List.memq fd readable -> (
           match Child.drain_input ch.c with
           | `Eof ->
             if
-              (t.stop || t.client_eof) && Hashtbl.length ch.c_outstanding = 0
+              (t.stop || clients_done t)
+              && (not ch.cs.ss_quarantined)
+              && Hashtbl.length ch.c_outstanding = 0
               && Queue.is_empty ch.c_queue
             then begin
               (* orderly exit during drain (e.g. terminal-delivered
@@ -1207,43 +1660,110 @@ let serve ?(signals = false) t ~client_in =
           | `Lines lines -> List.iter (handle_child_line t k) lines)
         | _ -> ())
       t.kids;
-    if want_client && List.memq client_in readable then begin
-      match Unix.read client_in chunk 0 (Bytes.length chunk) with
-      | 0 -> t.client_eof <- true
-      | n ->
-        Buffer.add_subbytes t.client_buf chunk 0 n;
-        List.iter (handle_client_line t) (take_client_lines t)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
-        t.client_eof <- true
-    end;
+    (* new connections *)
+    (match t.listen with
+     | Some lfd when accepting t && List.memq lfd readable -> (
+       match Unix.accept ~cloexec:true lfd with
+       | fd, _ ->
+         Unix.set_nonblock fd;
+         if t.accepts_left > 0 then t.accepts_left <- t.accepts_left - 1;
+         ignore (add_client t ~owned:true fd fd)
+       | exception
+           Unix.Unix_error
+             ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+         -> ())
+     | _ -> ());
+    (* per-client input *)
+    List.iter
+      (fun cl ->
+        if client_active cl && List.memq cl.cl_in readable then begin
+          match Unix.read cl.cl_in chunk 0 (Bytes.length chunk) with
+          | 0 -> cl.cl_eof <- true
+          | n ->
+            Buffer.add_subbytes cl.cl_rbuf chunk 0 n;
+            List.iter (handle_client_line t cl) (take_client_lines cl)
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+            cl.cl_eof <- true
+        end)
+      t.clients;
+    (* drain write buffers that have room again *)
+    List.iter
+      (fun cl ->
+        if (not cl.cl_gone) && List.memq cl.cl_out writable then flush_client cl)
+      t.clients;
     (* a trailing unterminated line at EOF is still a request *)
-    if t.client_eof && Buffer.length t.client_buf > 0 then begin
-      let line = Buffer.contents t.client_buf in
-      Buffer.clear t.client_buf;
-      handle_client_line t line
-    end;
-    tick t
+    List.iter
+      (fun cl ->
+        if cl.cl_eof && Buffer.length cl.cl_rbuf > 0 then begin
+          let line = Buffer.contents cl.cl_rbuf in
+          Buffer.clear cl.cl_rbuf;
+          handle_client_line t cl line
+        end)
+      t.clients;
+    tick t;
+    (* retire clients that are fully answered (or gone) *)
+    let retired, live =
+      List.partition
+        (fun cl ->
+          cl.cl_gone || (cl.cl_eof && cl.cl_pending = 0 && Buffer.length cl.cl_wbuf = 0))
+        t.clients
+    in
+    List.iter close_client_fds retired;
+    t.clients <- live
   done;
   (* graceful fleet shutdown: close our end, --once children drain and
-     exit; stragglers are killed. No child outlives the router. *)
+     exit; stragglers (and quarantined/probation incarnations) are
+     killed. No child outlives the router. *)
   Array.iter
-    (fun ch -> if not ch.cs.ss_quarantined then Child.stop_gently ch.c ~timeout_s:5.0)
+    (fun ch ->
+      if ch.cs.ss_quarantined then Child.kill ch.c
+      else Child.stop_gently ch.c ~timeout_s:5.0)
     t.kids;
+  List.iter close_client_fds t.clients;
+  List.iter (fun (s, old) -> try Sys.set_signal s old with _ -> ()) !saved;
   t.stats
 
-(* One-call front: spawn the fleet, serve the client fds, stop the
+(* One-call fronts: spawn the fleet, serve the client fds, stop the
    children, return the stats and the fleet metrics document (which
    needs the children stopped: their serve --json files are written at
    child exit). *)
-let run ?obs ?signals cfg ~client_in ~client_out =
-  let t = create ?obs cfg ~client_out in
+
+let finish ?signals t =
   let cleanup_on_error e =
     Array.iter (fun ch -> Child.kill ch.c) t.kids;
     cleanup_dir t;
     raise e
   in
-  let stats = try serve ?signals t ~client_in with e -> cleanup_on_error e in
+  let stats = try serve ?signals t with e -> cleanup_on_error e in
   let doc = metrics_json t in
   cleanup_dir t;
   (stats, doc)
+
+let run ?obs ?signals cfg ~client_in ~client_out =
+  let t = create ?obs cfg in
+  ignore (add_client t ~owned:false client_in client_out);
+  finish ?signals t
+
+let run_clients ?obs ?signals cfg ~clients =
+  let t = create ?obs cfg in
+  List.iter
+    (fun (fd_in, fd_out) ->
+      (* fault-scenario clients are pipes that may never be drained on
+         the far side: nonblocking writes + the elastic buffer keep a
+         stalled reader from wedging the whole fleet *)
+      (try Unix.set_nonblock fd_in with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.set_nonblock fd_out with Unix.Unix_error (_, _, _) -> ());
+      ignore (add_client t ~owned:false fd_in fd_out))
+    clients;
+  finish ?signals t
+
+let run_listener ?obs ?signals cfg ~listen_fd ~accepts =
+  let t = create ?obs cfg in
+  t.listen <- Some listen_fd;
+  t.accepts_left <- accepts;
+  (* the listener belongs to the caller (it may rebind/reuse it);
+     serve only stops accepting *)
+  finish ?signals t

@@ -42,7 +42,7 @@ open Sofia_util
 module Keys = Sofia_crypto.Keys
 module Cbc_mac = Sofia_crypto.Cbc_mac
 
-type kind = Artifact | Table
+type kind = Artifact | Table | Replay
 
 (* The backend folds into the kind tag: a SOFIA artifact and an SCFP
    artifact for the same (source, keys, ω) are different objects, and
@@ -50,11 +50,13 @@ type kind = Artifact | Table
    backend read dies as [Bad_kind] (a structural miss) rather than
    handing one backend's ciphertext to the other's frontend. SOFIA
    keeps the pre-PR-8 tags 1/2, so existing stores read back
-   unchanged; SCFP takes 3/4. The tag is also part of the filename
-   identity (see Store_fs.entry_name), so the two backends never even
-   share a file. *)
+   unchanged; SCFP takes 3/4. Replay entries (the fleet router's
+   persistent response cache, PR 9) take 5/7 — tag 6 is left unused so
+   both backends keep the same +2 offset. The tag is also part of the
+   filename identity (see Store_fs.entry_name), so the kinds never
+   even share a file. *)
 let kind_tag ~backend k =
-  let base = match k with Artifact -> 1 | Table -> 2 in
+  let base = match k with Artifact -> 1 | Table -> 2 | Replay -> 5 in
   match (backend : Sofia_transform.Backend_id.t) with
   | Sofia_transform.Backend_id.Sofia -> base
   | Sofia_transform.Backend_id.Scfp -> base + 2

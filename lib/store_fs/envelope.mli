@@ -9,14 +9,15 @@
     bytes: a bad envelope is a cache miss. See the layout comment in
     [envelope.ml] and DESIGN.md §12. *)
 
-type kind = Artifact | Table
+type kind = Artifact | Table | Replay
 
 val kind_tag : backend:Sofia_transform.Backend_id.t -> kind -> int
 (** The on-disk kind tag. The protection backend is folded in (SOFIA
-    artifact/table = 1/2, the pre-PR-8 values; SCFP = 3/4), so a
-    cross-backend read fails the structural check ([Bad_kind]) before
-    any payload byte is believed — the shared-store cache-poisoning
-    guard. *)
+    artifact/table = 1/2, the pre-PR-8 values; SCFP = 3/4; fleet
+    replay entries = 5/7, tag 6 unused so both backends share the +2
+    offset), so a cross-backend read fails the structural check
+    ([Bad_kind]) before any payload byte is believed — the
+    shared-store cache-poisoning guard. *)
 
 val version : int
 val header_bytes : int

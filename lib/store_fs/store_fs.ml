@@ -366,6 +366,48 @@ let load_table t ~backend ~keys ~nonce ~source ~codec_version ~artifact_fp =
       None
     end
 
+(* ---- the replay codec (kind = Replay) ----
+
+   The fleet router's persistent response cache (PR 9). The
+   addressing [source] is the router's content key (operation name +
+   route key), the payload is the cached response fields rendered as a
+   small JSON object, and meta carries the 64-bit FNV-1a fingerprint
+   of those payload bytes. The fingerprint is *re-derived* on every
+   load — the zero-trust rule the artifact codec applies to its MAC:
+   the envelope's CRC/tag already reject an outside tamper, and this
+   inner check additionally kills a payload/meta splice of two valid
+   envelopes before a stale byte is ever replayed to a client. *)
+
+let replay_codec_version = 1
+let replay_meta_bytes = 8
+
+let store_replay t ~backend ~keys ~nonce ~source ~payload =
+  let meta = Bytes.make replay_meta_bytes '\000' in
+  put_i64_le meta 0 (fingerprint64 payload);
+  put t ~backend ~kind:Envelope.Replay ~codec_version:replay_codec_version ~nonce ~keys
+    ~source ~meta ~payload
+
+let load_replay t ~backend ~keys ~nonce ~source =
+  match
+    get t ~backend ~kind:Envelope.Replay ~codec_version:replay_codec_version ~nonce ~keys
+      ~source
+  with
+  | None -> None
+  | Some { Envelope.meta; payload } ->
+    if
+      Bytes.length meta = replay_meta_bytes
+      && Int64.equal (get_i64_le meta 0) (fingerprint64 payload)
+    then Some payload
+    else begin
+      (* payload bytes disagree with their own recorded fingerprint:
+         that is corruption, never an operational miss *)
+      locked t (fun () ->
+          t.corrupt <- t.corrupt + 1;
+          t.hits <- t.hits - 1;
+          t.misses <- t.misses + 1);
+      None
+    end
+
 (* ---- counters ---- *)
 
 let hits t = locked t (fun () -> t.hits)

@@ -118,6 +118,34 @@ val load_table :
 (** [None] unless the stored binding fingerprint equals [artifact_fp]:
     a refreshed artifact silently invalidates its old table. *)
 
+(* ---- the replay codec ---- *)
+
+val replay_codec_version : int
+
+val store_replay :
+  t ->
+  backend:Sofia_transform.Backend_id.t ->
+  keys:Sofia_crypto.Keys.t ->
+  nonce:int ->
+  source:string ->
+  payload:Bytes.t ->
+  unit
+(** Persist one fleet replay-cache entry. [source] is the router's
+    content key; [payload] is the cached response rendered as JSON.
+    meta records the 64-bit FNV-1a fingerprint of the payload bytes. *)
+
+val load_replay :
+  t ->
+  backend:Sofia_transform.Backend_id.t ->
+  keys:Sofia_crypto.Keys.t ->
+  nonce:int ->
+  source:string ->
+  Bytes.t option
+(** Zero-trust reload: beyond the envelope checks, the payload's
+    fingerprint is {e re-derived} and compared against the stored
+    meta — a mismatch is a corrupt miss, so a spliced or stale payload
+    is never replayed to a client. *)
+
 (* ---- counters ---- *)
 
 val hits : t -> int

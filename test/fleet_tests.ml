@@ -257,7 +257,7 @@ let test_child_kill_exactly_once () =
           killed := true;
           try Unix.kill pids.(victim) Sys.sigkill with Unix.Unix_error _ -> ()
         end
-      | FR.Child_down _ -> ()
+      | FR.Child_down _ | FR.Child_rejoin _ -> ()
     in
     let rs, st =
       fleet_run
@@ -394,6 +394,157 @@ let test_stale_socket_recovery () =
         Alcotest.(check bool) "conserved" true (FR.conserved st))
   end
 
+(* ---- PR 9 survivability: TCP listener, janitor, persistent replay ---- *)
+
+let test_tcp_two_clients () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    (* two concurrent TCP clients through the real accept loop; both
+       must see every id exactly once with byte-identical payloads *)
+    let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt srv Unix.SO_REUSEADDR true;
+    Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    Unix.listen srv 8;
+    let addr = Unix.getsockname srv in
+    let jobs = List.init 8 mixed_request in
+    let client () =
+      (* the connect lands in the listen backlog even before the router
+         starts accepting, so spawning first is race-free *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd addr;
+      let oc = Unix.out_channel_of_descr fd in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (lines_of jobs);
+      flush oc;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let ic = Unix.in_channel_of_descr fd in
+      let rs = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match Json.parse_opt line with
+           | Some j -> rs := j :: !rs
+           | None -> failwith ("non-JSON response line over TCP: " ^ line)
+         done
+       with End_of_file -> ());
+      close_in_noerr ic;
+      List.rev !rs
+    in
+    let d1 = Domain.spawn client in
+    let d2 = Domain.spawn client in
+    let cfg = { FR.default_config with FR.cli = Some cli; children = 2 } in
+    let st, _doc = FR.run_listener cfg ~listen_fd:srv ~accepts:2 in
+    let r1 = Domain.join d1 in
+    let r2 = Domain.join d2 in
+    Unix.close srv;
+    let ids = List.map (fun (j : Job.request) -> j.Job.id) jobs in
+    List.iter
+      (fun rs ->
+        check_ids_once ids rs;
+        List.iter (fun j -> Alcotest.(check string) "status" "done" (r_status j)) rs)
+      [ r1; r2 ];
+    let fp rs =
+      List.sort compare
+        (List.map (fun j -> (Option.get (r_str "id" j), payload_fingerprint j)) rs)
+    in
+    Alcotest.(check bool) "both TCP clients saw identical payloads" true (fp r1 = fp r2);
+    Alcotest.(check bool) "conserved" true (FR.conserved st)
+  end
+
+let test_socket_dir_janitor () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    (* a SIGKILLed fleet leaves tmp debris, stale metrics and dead
+       sockets behind; the next fleet must sweep exactly those and
+       nothing else *)
+    let dir = Filename.temp_file "sofia_fleet_jan" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Unix.rmdir dir)
+      (fun () ->
+        let plant name contents =
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc contents;
+          close_out oc
+        in
+        plant "half-write.tmp" "{\"partial\":";
+        plant "metrics-7.json" "{\"stale\":true}";
+        plant "keep.txt" "not ours";
+        let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind dead (Unix.ADDR_UNIX (Filename.concat dir "shard-0.sock"));
+        Unix.close dead;
+        let jobs = List.init 4 mixed_request in
+        let rs, st =
+          fleet_run
+            ~tweak:(fun c -> { c with FR.children = 2; socket_dir = Some dir })
+            (lines_of jobs)
+        in
+        check_ids_once (List.map (fun (j : Job.request) -> j.Job.id) jobs) rs;
+        List.iter (fun j -> Alcotest.(check string) "status" "done" (r_status j)) rs;
+        Alcotest.(check bool) "conserved" true (FR.conserved st);
+        let exists n = Sys.file_exists (Filename.concat dir n) in
+        Alcotest.(check bool) "tmp debris swept" false (exists "half-write.tmp");
+        Alcotest.(check bool) "stale metrics swept" false (exists "metrics-7.json");
+        Alcotest.(check bool) "unrelated plain file left alone" true (exists "keep.txt"))
+  end
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun n -> rm_rf (Filename.concat p n)) (Sys.readdir p);
+    Unix.rmdir p
+  end
+  else Sys.remove p
+
+let test_replay_survives_restart () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    (* same requests through two *separate* fleets sharing a replay
+       dir: the second must answer everything from disk, dispatching
+       nothing, with byte-identical payloads *)
+    let dir = Filename.temp_file "sofia_fleet_warm" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+      (fun () ->
+        let jobs =
+          List.init 6 (fun i ->
+              Job.make ~id:(Printf.sprintf "warm-%d" i) ~nonce:(i + 1)
+                (Job.Protect { source = sources.(0) }))
+        in
+        let tweak c = { c with FR.children = 2; FR.replay_dir = Some dir } in
+        let r1, st1 = fleet_run ~tweak (lines_of jobs) in
+        let r2, st2 = fleet_run ~tweak (lines_of jobs) in
+        let ids = List.map (fun (j : Job.request) -> j.Job.id) jobs in
+        check_ids_once ids r1;
+        check_ids_once ids r2;
+        List.iter
+          (fun j -> Alcotest.(check string) "status" "done" (r_status j))
+          (r1 @ r2);
+        let routed st =
+          Array.fold_left (fun a ss -> a + ss.FR.ss_routed) 0 st.FR.shards
+        in
+        Alcotest.(check int) "cold run dispatched every image" 6 (routed st1);
+        Alcotest.(check int) "cold run had nothing on disk" 0 st1.FR.disk_replays;
+        Alcotest.(check int) "warm run served everything from disk" 6
+          st2.FR.disk_replays;
+        Alcotest.(check int) "warm run never dispatched to a child" 0 (routed st2);
+        let fp rs =
+          List.sort compare
+            (List.map (fun j -> (Option.get (r_str "id" j), payload_fingerprint j)) rs)
+        in
+        Alcotest.(check bool) "payloads byte-identical across the restart" true
+          (fp r1 = fp r2);
+        Alcotest.(check bool) "conserved (cold)" true (FR.conserved st1);
+        Alcotest.(check bool) "conserved (warm)" true (FR.conserved st2))
+  end
+
 (* ---- graceful drain of the whole fleet process ---- *)
 
 let test_sigterm_drain_no_torn_output () =
@@ -444,6 +595,82 @@ let test_sigterm_drain_no_torn_output () =
         if Json.parse_opt line = None then
           Alcotest.failf "torn/garbled response line after SIGTERM: %s" line)
       (first :: List.rev !rest)
+  end
+
+let test_sigterm_drain_parked_midline () =
+  if not (have_cli ()) then Alcotest.skip ()
+  else begin
+    (* the hard drain case: window=1 keeps the park queues non-empty
+       when the signal lands, and an unterminated trailing line leaves
+       the client mid-NDJSON-record. The drain must still settle every
+       admitted job, emit no torn line, conserve the terminal counters
+       in its own metrics doc, and exit 0. *)
+    let mfile = Filename.temp_file "sofia_fleet_mterm" ".json" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists mfile then Sys.remove mfile)
+      (fun () ->
+        let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        let req_r, req_w = Unix.pipe ~cloexec:true () in
+        let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+        let pid =
+          Unix.create_process cli
+            [| cli; "fleet"; "--stdin"; "--children"; "2"; "--window"; "1";
+               "--json"; mfile |]
+            req_r resp_w null
+        in
+        Unix.close null;
+        Unix.close req_r;
+        Unix.close resp_w;
+        let oc = Unix.out_channel_of_descr req_w in
+        let ic = Unix.in_channel_of_descr resp_r in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          (lines_of (List.init 20 mixed_request));
+        output_string oc "{\"id\":\"torn\",\"op\":\"prot";
+        flush oc;
+        let first =
+          match input_line ic with
+          | l -> l
+          | exception End_of_file -> Alcotest.fail "fleet produced no output"
+        in
+        Unix.kill pid Sys.sigterm;
+        let rest = ref [] in
+        (try
+           while true do
+             rest := input_line ic :: !rest
+           done
+         with End_of_file -> ());
+        close_out_noerr oc;
+        close_in_noerr ic;
+        let _, status = Unix.waitpid [] pid in
+        Alcotest.(check bool) "fleet exited 0 after mid-line SIGTERM" true
+          (status = Unix.WEXITED 0);
+        List.iter
+          (fun line ->
+            if Json.parse_opt line = None then
+              Alcotest.failf "torn/garbled response line after SIGTERM: %s" line)
+          (first :: List.rev !rest);
+        let mic = open_in_bin mfile in
+        let raw = really_input_string mic (in_channel_length mic) in
+        close_in_noerr mic;
+        match Json.parse_opt raw with
+        | None -> Alcotest.fail "fleet --json wrote an unparseable document"
+        | Some doc ->
+          let router =
+            match Json.member "router" doc with
+            | Some r -> r
+            | None -> Alcotest.fail "metrics doc lacks a router section"
+          in
+          let geti k =
+            match Json.member k router with Some (Json.Int n) -> n | _ -> -1
+          in
+          Alcotest.(check bool) "interrupted flagged" true
+            (Json.member "interrupted" router = Some (Json.Bool true));
+          Alcotest.(check int) "submitted = done+rejected+timed_out+failed"
+            (geti "submitted")
+            (geti "done" + geti "rejected" + geti "timed_out" + geti "failed"))
   end
 
 (* ---- the child-engine fix the fleet motivated ---- *)
@@ -499,8 +726,16 @@ let suite =
     Alcotest.test_case "ping round-trip, never replayed" `Slow test_ping_round_trip;
     Alcotest.test_case "window=1 backpressure conserves" `Slow test_window_one_conservation;
     Alcotest.test_case "stale sockets recovered at spawn" `Slow test_stale_socket_recovery;
+    Alcotest.test_case "TCP accept loop: two concurrent clients" `Slow
+      test_tcp_two_clients;
+    Alcotest.test_case "socket-dir janitor sweeps debris only" `Slow
+      test_socket_dir_janitor;
+    Alcotest.test_case "replay cache survives a router restart" `Slow
+      test_replay_survives_restart;
     Alcotest.test_case "SIGTERM drain: no torn NDJSON" `Slow
       test_sigterm_drain_no_torn_output;
+    Alcotest.test_case "SIGTERM drain: parked queues, mid-line client" `Slow
+      test_sigterm_drain_parked_midline;
     Alcotest.test_case "raising response callback loses nothing" `Quick
       test_raising_callback_never_loses_a_settle;
   ]

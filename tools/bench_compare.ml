@@ -23,6 +23,14 @@
                          and re-run a small live fleet-vs-serve pair of
                          real processes, requiring a steady-state fleet
                          speedup of at least RATIO
+       [--fleet-warm-floor RATIO]
+                         validate the baseline's fleet-restart-warm row
+                         (payloads identical across the router restart,
+                         all jobs done, nonzero disk replays, zero
+                         corrupt reloads) and re-run a small live
+                         restarted-fleet pair over one --replay-dir,
+                         requiring a warm/cold speedup of at least
+                         RATIO
        [--backend-floor NAME:RATIO]
                          validate the baseline's "backends" rows for
                          protection backend NAME (full in-model
@@ -57,7 +65,7 @@ let usage () =
   prerr_endline
     "usage: bench_compare BASELINE.json [--runs N] [--tolerance PCT] [--normalize] \
      [--floor NAME:RATIO]... [--warm-floor RATIO] [--fleet-floor RATIO] \
-     [--backend-floor NAME:RATIO]...";
+     [--fleet-warm-floor RATIO] [--backend-floor NAME:RATIO]...";
   exit 2
 
 let read_file path =
@@ -106,6 +114,7 @@ let () =
   and floors = ref []
   and warm_floor = ref None
   and fleet_floor = ref None
+  and fleet_warm_floor = ref None
   and backend_floors = ref [] in
   let rec parse = function
     | [] -> ()
@@ -123,6 +132,9 @@ let () =
       parse rest
     | "--fleet-floor" :: r :: rest ->
       fleet_floor := Some (float_of_string r);
+      parse rest
+    | "--fleet-warm-floor" :: r :: rest ->
+      fleet_warm_floor := Some (float_of_string r);
       parse rest
     | "--floor" :: spec :: rest ->
       (match String.rindex_opt spec ':' with
@@ -365,6 +377,67 @@ let () =
            all_done=%b open_loop_done=%b%s\n"
           f.fl_ratio ratio f.fl_cold_ratio f.fl_identical f.fl_all_done f.fl_open_done
           (if fresh_ok then "" else "  TOO SLOW OR INCORRECT")));
+  (* Fleet warm-restart gate (PR 9): the committed fleet-restart-warm
+     row must claim a correct warm fleet start (payloads byte-identical
+     across the router restart, all jobs done, the persistent replay
+     tier actually hit, zero corrupt reloads), and a small fresh
+     cold-vs-warm fleet pair of real processes sharing one --replay-dir
+     must reproduce at least the floored speedup. Catches a stale
+     baseline and a persistent replay tier that quietly stopped
+     serving or started trusting tampered envelopes. *)
+  let fleet_warm_failed = ref false in
+  (match !fleet_warm_floor with
+   | None -> ()
+   | Some ratio ->
+     Printf.printf "\nfleet warm-restart gate (floor %.2fx):\n%!" ratio;
+     let baseline_row =
+       let open J in
+       let experiments =
+         match member "experiments" baseline_json with Some (List l) -> l | _ -> []
+       in
+       match
+         List.find_opt (fun e -> member "id" e = Some (Str "service")) experiments
+       with
+       | None -> None
+       | Some svc ->
+         let rows = match member "rows" svc with Some (List l) -> l | _ -> [] in
+         List.find_opt (fun r -> member "name" r = Some (Str "fleet-restart-warm")) rows
+     in
+     (match baseline_row with
+      | None ->
+        fleet_warm_failed := true;
+        Printf.printf "  baseline has no fleet-restart-warm row\n"
+      | Some row ->
+        let bool_field n = J.member n row = Some (J.Bool true) in
+        let int_field n = match J.member n row with Some (J.Int v) -> v | _ -> 0 in
+        let row_ok =
+          bool_field "identical" && bool_field "all_done"
+          && int_field "disk_replays" > 0
+          && int_field "replay_corrupt" = 0
+        in
+        if not row_ok then fleet_warm_failed := true;
+        Printf.printf
+          "  baseline row: identical=%b all_done=%b disk_replays=%d replay_corrupt=%d%s\n"
+          (bool_field "identical") (bool_field "all_done") (int_field "disk_replays")
+          (int_field "replay_corrupt")
+          (if row_ok then "" else "  INVALID"));
+     (match Sofia_benchlib.Bench_service.measure_fleet_restart ~clients:8 ~children:2 () with
+      | None ->
+        fleet_warm_failed := true;
+        Printf.printf "  fresh fleet restart: sofia_cli binary not found (set SOFIA_CLI)\n"
+      | Some f ->
+        let open Sofia_benchlib.Bench_service in
+        let fresh_ok =
+          f.fr_speedup >= ratio && f.fr_disk_replays > 0 && f.fr_replay_corrupt = 0
+          && f.fr_identical && f.fr_all_done
+        in
+        if not fresh_ok then fleet_warm_failed := true;
+        Printf.printf
+          "  fresh fleet restart: %.2fx warm (floor %.2fx), disk %d replays / %d corrupt, \
+           identical=%b all_done=%b%s\n"
+          f.fr_speedup ratio f.fr_disk_replays f.fr_replay_corrupt f.fr_identical
+          f.fr_all_done
+          (if fresh_ok then "" else "  TOO SLOW OR INCORRECT")));
   (* Backend gate (PR 8): for each --backend-floor NAME:RATIO, the
      committed "backends" rows for NAME must claim full in-model
      detection coverage and correct outputs, and a fresh live
@@ -474,6 +547,9 @@ let () =
   if !fleet_failed then
     Printf.printf "FAIL: the fleet gate failed (stale baseline row or slow/incorrect fresh \
                    fleet)\n";
+  if !fleet_warm_failed then
+    Printf.printf "FAIL: the fleet warm-restart gate failed (stale baseline row or \
+                   slow/incorrect fresh fleet restart)\n";
   if !backend_failed then
     Printf.printf "FAIL: a backend gate failed (stale baseline rows or slow/incomplete \
                    fresh backend)\n";
@@ -481,5 +557,5 @@ let () =
     Printf.printf "FAIL: an in-model tamper class escaped detection or detected late\n";
   if
     !failed <> [] || !floor_failed || !fault_failed || !warm_failed || !fleet_failed
-    || !backend_failed
+    || !fleet_warm_failed || !backend_failed
   then exit 1
